@@ -1,0 +1,43 @@
+//! Fig. 2 benchmark: cost of full token iterations (the convergence loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use score_bench::bench_world;
+use score_core::{HighestLevelFirst, RoundRobin, ScoreEngine, TokenRing};
+
+fn bench_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_iteration");
+    group.sample_size(20);
+    for vms in [32u32, 128] {
+        group.bench_with_input(BenchmarkId::new("round_robin", vms), &vms, |b, &vms| {
+            b.iter_batched(
+                || {
+                    let (cluster, traffic) = bench_world(vms, 1);
+                    let ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), vms);
+                    (cluster, traffic, ring)
+                },
+                |(mut cluster, traffic, mut ring)| {
+                    ring.run_iteration(&mut cluster, &traffic);
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("hlf", vms), &vms, |b, &vms| {
+            b.iter_batched(
+                || {
+                    let (cluster, traffic) = bench_world(vms, 1);
+                    let ring =
+                        TokenRing::new(ScoreEngine::paper_default(), HighestLevelFirst::new(), vms);
+                    (cluster, traffic, ring)
+                },
+                |(mut cluster, traffic, mut ring)| {
+                    ring.run_iteration(&mut cluster, &traffic);
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iterations);
+criterion_main!(benches);

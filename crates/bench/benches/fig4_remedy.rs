@@ -1,0 +1,33 @@
+//! Fig. 4 benchmark: link-load accounting and one Remedy control step —
+//! the centralized machinery S-CORE avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use score_baselines::{Remedy, RemedyConfig};
+use score_bench::bench_world;
+use score_core::LinkLoadMap;
+
+fn bench_remedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_remedy");
+    group.sample_size(20);
+    for vms in [64u32, 256] {
+        let (cluster, traffic) = bench_world(vms, 3);
+        group.bench_with_input(BenchmarkId::new("link_load_map", vms), &vms, |b, _| {
+            b.iter(|| LinkLoadMap::compute(cluster.allocation(), &traffic, cluster.topo()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("remedy_one_step", vms), &vms, |b, &vms| {
+            b.iter_batched(
+                || bench_world(vms, 3),
+                |(mut cluster, traffic)| {
+                    Remedy::new(RemedyConfig { max_migrations: 1, ..RemedyConfig::paper_default() })
+                        .run(&mut cluster, &traffic)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_remedy);
+criterion_main!(benches);

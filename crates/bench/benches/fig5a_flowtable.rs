@@ -1,0 +1,76 @@
+//! Fig. 5a benchmark: flow-table add/lookup/delete for type-1 (unique
+//! source IPs) and type-2 (1000 flows per source IP) sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use score_flowtable::{paper_type2_flows, type1_flows, FlowTable};
+
+fn bench_flowtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_flowtable");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, keys) in [("type1", type1_flows(n)), ("type2", paper_type2_flows(n))] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("add_{label}"), n),
+                &keys,
+                |b, keys| {
+                    b.iter_batched(
+                        || FlowTable::with_capacity(keys.len()),
+                        |mut table| {
+                            for (i, &k) in keys.iter().enumerate() {
+                                table.record(k, 1500, 1, i as f64 * 1e-6);
+                            }
+                            table
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("lookup_{label}"), n),
+                &keys,
+                |b, keys| {
+                    let mut table = FlowTable::with_capacity(keys.len());
+                    for (i, &k) in keys.iter().enumerate() {
+                        table.record(k, 1500, 1, i as f64 * 1e-6);
+                    }
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for k in keys {
+                            if table.get(k).is_some() {
+                                hits += 1;
+                            }
+                        }
+                        hits
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("delete_{label}"), n),
+                &keys,
+                |b, keys| {
+                    b.iter_batched(
+                        || {
+                            let mut table = FlowTable::with_capacity(keys.len());
+                            for (i, &k) in keys.iter().enumerate() {
+                                table.record(k, 1500, 1, i as f64 * 1e-6);
+                            }
+                            table
+                        },
+                        |mut table| {
+                            for k in keys {
+                                table.remove(k);
+                            }
+                            table
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flowtable);
+criterion_main!(benches);

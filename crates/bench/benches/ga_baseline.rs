@@ -1,0 +1,43 @@
+//! GA baseline benchmark: full fast-config runs and the per-generation
+//! fitness evaluation (the 12-hour bottleneck of the paper's setup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use score_baselines::{GaConfig, GeneticOptimizer};
+use score_bench::bench_world;
+use score_core::CostModel;
+
+fn bench_ga(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ga_baseline");
+    group.sample_size(10);
+    for vms in [48u32, 96] {
+        let (cluster, traffic) = bench_world(vms, 4);
+        group.bench_with_input(BenchmarkId::new("fast_run", vms), &vms, |b, _| {
+            b.iter(|| {
+                GeneticOptimizer::new(
+                    cluster.topo(),
+                    &traffic,
+                    CostModel::paper_default(),
+                    16,
+                    GaConfig { max_generations: 20, ..GaConfig::fast() },
+                )
+                .run()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_fast_run", vms), &vms, |b, _| {
+            b.iter(|| {
+                GeneticOptimizer::new(
+                    cluster.topo(),
+                    &traffic,
+                    CostModel::paper_default(),
+                    16,
+                    GaConfig { max_generations: 20, threads: 4, population: 128, ..GaConfig::fast() },
+                )
+                .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Simulation-throughput benchmark: full scenario runs at CI scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use score_sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+use score_traffic::TrafficIntensity;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_runner");
+    group.sample_size(10);
+    for policy in [PolicyKind::RoundRobin, PolicyKind::HighestLevelFirst] {
+        group.bench_with_input(
+            BenchmarkId::new("small_canonical_120s", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 3)),
+                    |mut world| {
+                        let config = SimConfig { t_end_s: 120.0, ..SimConfig::paper_default() };
+                        run_simulation(&mut world.cluster, &world.traffic, policy, &config)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.bench_function("world_build_small", |b| {
+        b.iter(|| build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Token machinery benchmarks: wire codec and next-holder selection for
+//! both paper policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use score_core::{HighestLevelFirst, LocalView, RoundRobin, Token, TokenPolicy};
+use score_topology::{Level, ServerId, VmId};
+
+fn synthetic_view(vm: VmId, peers: usize) -> LocalView {
+    LocalView {
+        vm,
+        server: ServerId::new(0),
+        peers: (0..peers)
+            .map(|i| score_core::PeerInfo {
+                vm: VmId::new(1000 + i as u32),
+                rate: 1e6,
+                server: ServerId::new(1 + i as u32 % 15),
+                level: Level::new((i % 4) as u8),
+            })
+            .collect(),
+    }
+}
+
+fn bench_token(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token");
+    for n in [1_000u32, 100_000] {
+        let mut token = Token::for_vms((0..n).map(VmId::new));
+        for v in (0..n).step_by(7) {
+            token.set_level(VmId::new(v), Level::CORE);
+        }
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| token.encode())
+        });
+        let wire = token.encode();
+        group.bench_with_input(BenchmarkId::new("decode", n), &n, |b, _| {
+            b.iter(|| Token::decode(&wire).unwrap())
+        });
+
+        let view = synthetic_view(VmId::new(0), 8);
+        group.bench_with_input(BenchmarkId::new("rr_next", n), &n, |b, _| {
+            let mut policy = RoundRobin::new();
+            let mut t = token.clone();
+            b.iter(|| policy.next_holder(&mut t, VmId::new(0), &view))
+        });
+        group.bench_with_input(BenchmarkId::new("hlf_next", n), &n, |b, _| {
+            let mut policy = HighestLevelFirst::new();
+            let mut t = token.clone();
+            b.iter(|| policy.next_holder(&mut t, VmId::new(0), &view))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_token);
+criterion_main!(benches);

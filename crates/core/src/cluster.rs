@@ -1,0 +1,505 @@
+//! Cluster state: topology + allocation + per-server resource usage.
+//!
+//! [`Cluster`] is the piece of shared world state the simulator, the S-CORE
+//! engine and the baselines all operate on. It enforces the server-side
+//! capacity boundaries of §VI ("a VM migrates only when Theorem 1 is
+//! satisfied and the target host has sufficient system resources").
+
+use score_topology::{ServerId, Topology, VmId};
+use score_traffic::PairTraffic;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::allocation::Allocation;
+use crate::resources::{AdmissionError, CapacityReport, ServerSpec, ServerUsage, VmSpec};
+
+/// Error constructing a [`Cluster`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The allocation references more servers than the topology has.
+    ServerCountMismatch {
+        /// Servers in the allocation.
+        allocation: u32,
+        /// Servers in the topology.
+        topology: usize,
+    },
+    /// VM population differs between allocation, specs and traffic.
+    VmCountMismatch {
+        /// VMs in the allocation.
+        allocation: u32,
+        /// VM specs supplied.
+        specs: usize,
+        /// VMs in the traffic description.
+        traffic: u32,
+    },
+    /// The initial allocation violates a server's capacity.
+    InitialOverCommit {
+        /// The overloaded server.
+        server: ServerId,
+        /// The violated resource.
+        source: AdmissionError,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::ServerCountMismatch { allocation, topology } => write!(
+                f,
+                "allocation spans {allocation} servers but the topology has {topology}"
+            ),
+            ClusterError::VmCountMismatch { allocation, specs, traffic } => write!(
+                f,
+                "VM population mismatch: allocation {allocation}, specs {specs}, traffic {traffic}"
+            ),
+            ClusterError::InitialOverCommit { server, source } => {
+                write!(f, "initial allocation overcommits {server}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Topology + allocation + resource ledger.
+pub struct Cluster {
+    topo: Arc<dyn Topology>,
+    server_spec: ServerSpec,
+    vm_specs: Vec<VmSpec>,
+    /// Total traffic demand per VM: `Σ_v λ(u, v)` (upper bound on its NIC
+    /// load; the admission check refines this dynamically by excluding
+    /// intra-host pairs).
+    vm_nic_demand: Vec<f64>,
+    /// The pairwise loads, kept for dynamic NIC accounting.
+    traffic: PairTraffic,
+    alloc: Allocation,
+    usage: Vec<ServerUsage>,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("topology", &self.topo.name())
+            .field("servers", &self.alloc.num_servers())
+            .field("vms", &self.alloc.num_vms())
+            .field("server_spec", &self.server_spec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for Cluster {
+    fn clone(&self) -> Self {
+        Cluster {
+            topo: Arc::clone(&self.topo),
+            server_spec: self.server_spec,
+            vm_specs: self.vm_specs.clone(),
+            vm_nic_demand: self.vm_nic_demand.clone(),
+            traffic: self.traffic.clone(),
+            alloc: self.alloc.clone(),
+            usage: self.usage.clone(),
+        }
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster with uniform VM specs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::with_vm_specs`].
+    pub fn new(
+        topo: Arc<dyn Topology>,
+        server_spec: ServerSpec,
+        vm_spec: VmSpec,
+        traffic: &PairTraffic,
+        alloc: Allocation,
+    ) -> Result<Self, ClusterError> {
+        let specs = vec![vm_spec; alloc.num_vms() as usize];
+        Cluster::with_vm_specs(topo, server_spec, specs, traffic, alloc)
+    }
+
+    /// Builds a cluster with per-VM (heterogeneous) specs, validating the
+    /// initial allocation against server capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] if populations are inconsistent or the
+    /// initial allocation overcommits any server (slots/RAM/CPU; the NIC
+    /// threshold is enforced only on migrations, since the initial
+    /// placement is whatever the DC already runs).
+    pub fn with_vm_specs(
+        topo: Arc<dyn Topology>,
+        server_spec: ServerSpec,
+        vm_specs: Vec<VmSpec>,
+        traffic: &PairTraffic,
+        alloc: Allocation,
+    ) -> Result<Self, ClusterError> {
+        if alloc.num_servers() as usize != topo.num_servers() {
+            return Err(ClusterError::ServerCountMismatch {
+                allocation: alloc.num_servers(),
+                topology: topo.num_servers(),
+            });
+        }
+        if vm_specs.len() != alloc.num_vms() as usize || traffic.num_vms() != alloc.num_vms() {
+            return Err(ClusterError::VmCountMismatch {
+                allocation: alloc.num_vms(),
+                specs: vm_specs.len(),
+                traffic: traffic.num_vms(),
+            });
+        }
+        let vm_nic_demand: Vec<f64> = (0..alloc.num_vms())
+            .map(|v| traffic.peers(VmId::new(v)).iter().map(|&(_, r)| r).sum())
+            .collect();
+        let mut usage = vec![ServerUsage::default(); topo.num_servers()];
+        for (vm, server) in alloc.iter() {
+            let u = &mut usage[server.index()];
+            // Validate slots/RAM/CPU with an unbounded NIC threshold.
+            if let Err(source) =
+                u.admission_check(&server_spec, &vm_specs[vm.index()], 0.0, f64::INFINITY)
+            {
+                return Err(ClusterError::InitialOverCommit { server, source });
+            }
+            u.admit(&vm_specs[vm.index()], vm_nic_demand[vm.index()]);
+        }
+        Ok(Cluster {
+            topo,
+            server_spec,
+            vm_specs,
+            vm_nic_demand,
+            traffic: traffic.clone(),
+            alloc,
+            usage,
+        })
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// Shared handle to the topology.
+    pub fn topo_arc(&self) -> Arc<dyn Topology> {
+        Arc::clone(&self.topo)
+    }
+
+    /// The current allocation.
+    pub fn allocation(&self) -> &Allocation {
+        &self.alloc
+    }
+
+    /// The uniform server spec.
+    pub fn server_spec(&self) -> &ServerSpec {
+        &self.server_spec
+    }
+
+    /// Spec of one VM.
+    pub fn vm_spec(&self, vm: VmId) -> &VmSpec {
+        &self.vm_specs[vm.index()]
+    }
+
+    /// Estimated NIC demand of one VM in bits per second.
+    pub fn vm_nic_demand(&self, vm: VmId) -> f64 {
+        self.vm_nic_demand[vm.index()]
+    }
+
+    /// Resource usage of one server.
+    pub fn usage(&self, server: ServerId) -> &ServerUsage {
+        &self.usage[server.index()]
+    }
+
+    /// Number of VMs.
+    pub fn num_vms(&self) -> u32 {
+        self.alloc.num_vms()
+    }
+
+    /// The §V-B5 capacity probe for a server.
+    pub fn capacity_report(&self, server: ServerId) -> CapacityReport {
+        CapacityReport::from_usage(&self.server_spec, &self.usage[server.index()])
+    }
+
+    /// Traffic of `vm` that would leave `host`'s NIC if `vm` ran there:
+    /// the sum of its pair rates to peers hosted elsewhere.
+    pub fn external_rate(&self, vm: VmId, host: ServerId) -> f64 {
+        self.traffic
+            .peers(vm)
+            .iter()
+            .filter(|&&(peer, _)| peer != vm && self.alloc.server_of(peer) != host)
+            .map(|&(_, rate)| rate)
+            .sum()
+    }
+
+    /// Current NIC load of a server: traffic its hosted VMs exchange with
+    /// VMs on other servers.
+    pub fn host_external_load(&self, host: ServerId) -> f64 {
+        self.alloc.vms_on(host).iter().map(|&u| self.external_rate(u, host)).sum()
+    }
+
+    /// Can `server` host `vm` right now, honouring the bandwidth threshold
+    /// (fraction of NIC capacity hosted traffic may use)?
+    ///
+    /// The bandwidth check is *dynamic* (§V-C): it accounts for the NIC
+    /// load the move would actually produce — pairs that become intra-host
+    /// stop loading the NIC at all, so collocating a heavy pair can
+    /// *relieve* the target's NIC.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated resource.
+    pub fn can_host(
+        &self,
+        server: ServerId,
+        vm: VmId,
+        bandwidth_threshold: f64,
+    ) -> Result<(), AdmissionError> {
+        // Slots / RAM / CPU via the static ledger (NIC handled below).
+        self.usage[server.index()].admission_check(
+            &self.server_spec,
+            &self.vm_specs[vm.index()],
+            0.0,
+            f64::INFINITY,
+        )?;
+        if bandwidth_threshold.is_finite() {
+            let incoming = self.external_rate(vm, server);
+            // Pairs between `vm` and VMs already on `server` currently load
+            // the server's NIC; after the move they become intra-host.
+            let internalised: f64 = self
+                .traffic
+                .peers(vm)
+                .iter()
+                .filter(|&&(peer, _)| self.alloc.server_of(peer) == server)
+                .map(|&(_, rate)| rate)
+                .sum();
+            let new_load = self.host_external_load(server) + incoming - internalised;
+            if new_load > bandwidth_threshold * self.server_spec.nic_bps + 1e-9 {
+                return Err(AdmissionError::Bandwidth);
+            }
+        }
+        Ok(())
+    }
+
+    /// Migrates `vm` to `target` after re-validating admission.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated resource; the cluster is unchanged on error.
+    pub fn migrate(
+        &mut self,
+        vm: VmId,
+        target: ServerId,
+        bandwidth_threshold: f64,
+    ) -> Result<(), AdmissionError> {
+        let current = self.alloc.server_of(vm);
+        if current == target {
+            return Ok(());
+        }
+        self.can_host(target, vm, bandwidth_threshold)?;
+        let spec = self.vm_specs[vm.index()];
+        let nic = self.vm_nic_demand[vm.index()];
+        self.usage[current.index()].evict(&spec, nic);
+        self.usage[target.index()].admit(&spec, nic);
+        self.alloc.move_vm(vm, target);
+        Ok(())
+    }
+
+    /// Replaces the allocation wholesale (used by centralized baselines),
+    /// re-deriving usage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InitialOverCommit`] if the new allocation
+    /// violates capacity; the cluster is unchanged on error.
+    pub fn set_allocation(&mut self, alloc: Allocation) -> Result<(), ClusterError> {
+        let mut usage = vec![ServerUsage::default(); self.usage.len()];
+        for (vm, server) in alloc.iter() {
+            let u = &mut usage[server.index()];
+            if let Err(source) =
+                u.admission_check(&self.server_spec, &self.vm_specs[vm.index()], 0.0, f64::INFINITY)
+            {
+                return Err(ClusterError::InitialOverCommit { server, source });
+            }
+            u.admit(&self.vm_specs[vm.index()], self.vm_nic_demand[vm.index()]);
+        }
+        self.alloc = alloc;
+        self.usage = usage;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use score_topology::CanonicalTree;
+    use score_traffic::PairTrafficBuilder;
+
+    fn traffic(n: u32) -> PairTraffic {
+        let mut b = PairTrafficBuilder::new(n);
+        if n >= 2 {
+            b.add(VmId::new(0), VmId::new(1), 100.0);
+        }
+        b.build()
+    }
+
+    fn cluster(vms: u32, per_server: u32) -> Cluster {
+        let topo = Arc::new(CanonicalTree::small());
+        let spec = ServerSpec { vm_slots: per_server, ..ServerSpec::paper_default() };
+        let alloc = Allocation::from_fn(vms, 16, |vm| ServerId::new(vm.get() % 16));
+        Cluster::new(topo, spec, VmSpec::paper_default(), &traffic(vms), alloc).unwrap()
+    }
+
+    #[test]
+    fn construction_tracks_usage() {
+        let c = cluster(32, 16);
+        assert_eq!(c.num_vms(), 32);
+        assert_eq!(c.usage(ServerId::new(0)).slots, 2);
+        assert_eq!(c.vm_nic_demand(VmId::new(0)), 100.0);
+        assert_eq!(c.vm_nic_demand(VmId::new(5)), 0.0);
+        assert_eq!(c.capacity_report(ServerId::new(0)).free_slots, 14);
+    }
+
+    #[test]
+    fn migrate_moves_usage() {
+        let mut c = cluster(4, 16);
+        c.migrate(VmId::new(0), ServerId::new(3), 1.0).unwrap();
+        assert_eq!(c.allocation().server_of(VmId::new(0)), ServerId::new(3));
+        assert_eq!(c.usage(ServerId::new(0)).slots, 0);
+        assert_eq!(c.usage(ServerId::new(3)).slots, 2);
+        // NIC demand moved with it.
+        assert!((c.usage(ServerId::new(3)).nic_bps - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migrate_respects_slots() {
+        let mut c = cluster(16, 1); // one slot per server, all full
+        let err = c.migrate(VmId::new(0), ServerId::new(1), 1.0).unwrap_err();
+        assert_eq!(err, AdmissionError::NoSlot);
+        // State unchanged on failure.
+        assert_eq!(c.allocation().server_of(VmId::new(0)), ServerId::new(0));
+        assert_eq!(c.usage(ServerId::new(1)).slots, 1);
+    }
+
+    #[test]
+    fn migrate_to_self_is_ok() {
+        let mut c = cluster(16, 1);
+        // Even at capacity, staying put is fine.
+        c.migrate(VmId::new(0), ServerId::new(0), 1.0).unwrap();
+    }
+
+    #[test]
+    fn initial_overcommit_rejected() {
+        let topo: Arc<dyn Topology> = Arc::new(CanonicalTree::small());
+        let spec = ServerSpec { vm_slots: 1, ..ServerSpec::paper_default() };
+        let alloc = Allocation::from_fn(2, 16, |_| ServerId::new(0));
+        let err =
+            Cluster::new(topo, spec, VmSpec::paper_default(), &traffic(2), alloc).unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::InitialOverCommit {
+                server: ServerId::new(0),
+                source: AdmissionError::NoSlot
+            }
+        );
+    }
+
+    #[test]
+    fn population_mismatches_rejected() {
+        let topo: Arc<dyn Topology> = Arc::new(CanonicalTree::small());
+        let alloc = Allocation::from_fn(4, 16, |vm| ServerId::new(vm.get()));
+        let err = Cluster::new(
+            Arc::clone(&topo),
+            ServerSpec::paper_default(),
+            VmSpec::paper_default(),
+            &traffic(5),
+            alloc,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::VmCountMismatch { .. }));
+
+        let alloc8 = Allocation::from_fn(4, 8, |vm| ServerId::new(vm.get()));
+        let err = Cluster::new(
+            topo,
+            ServerSpec::paper_default(),
+            VmSpec::paper_default(),
+            &traffic(4),
+            alloc8,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::ServerCountMismatch { .. }));
+    }
+
+    #[test]
+    fn set_allocation_revalidates() {
+        let mut c = cluster(4, 2);
+        let packed = Allocation::from_fn(4, 16, |_| ServerId::new(0));
+        assert!(matches!(
+            c.set_allocation(packed),
+            Err(ClusterError::InitialOverCommit { .. })
+        ));
+        let fine = Allocation::from_fn(4, 16, |vm| ServerId::new(vm.get() / 2));
+        c.set_allocation(fine).unwrap();
+        assert_eq!(c.usage(ServerId::new(0)).slots, 2);
+        assert_eq!(c.usage(ServerId::new(3)).slots, 0);
+    }
+
+    #[test]
+    fn bandwidth_threshold_blocks_migration() {
+        let topo: Arc<dyn Topology> = Arc::new(CanonicalTree::small());
+        // vm0 exchanges 0.7 Gb/s with vm1 and 0.5 Gb/s with vm2.
+        let mut b = PairTrafficBuilder::new(3);
+        b.add(VmId::new(0), VmId::new(1), 0.7e9);
+        b.add(VmId::new(0), VmId::new(2), 0.5e9);
+        let traffic = b.build();
+        let alloc = Allocation::from_fn(3, 16, |vm| ServerId::new(vm.get()));
+        let mut c = Cluster::new(
+            topo,
+            ServerSpec::paper_default(),
+            VmSpec::paper_default(),
+            &traffic,
+            alloc,
+        )
+        .unwrap();
+        // Moving vm0 to an *empty* server puts its full 1.2 Gb/s external
+        // demand on a 1 GbE NIC: blocked at threshold 1.0 …
+        let err = c.migrate(VmId::new(0), ServerId::new(5), 1.0).unwrap_err();
+        assert_eq!(err, AdmissionError::Bandwidth);
+        // … but collocating with vm1 internalises the 0.7 Gb/s pair, so
+        // only 0.5 Gb/s hits srv1's NIC: allowed.
+        c.migrate(VmId::new(0), ServerId::new(1), 1.0).unwrap();
+        assert!((c.host_external_load(ServerId::new(1)) - 0.5e9).abs() < 1.0);
+        // An unconstrained threshold admits anything.
+        c.migrate(VmId::new(0), ServerId::new(5), f64::INFINITY).unwrap();
+    }
+
+    #[test]
+    fn external_rate_tracks_allocation() {
+        let topo: Arc<dyn Topology> = Arc::new(CanonicalTree::small());
+        let mut b = PairTrafficBuilder::new(3);
+        b.add(VmId::new(0), VmId::new(1), 100.0);
+        b.add(VmId::new(0), VmId::new(2), 10.0);
+        let traffic = b.build();
+        let alloc = Allocation::from_fn(3, 16, |vm| ServerId::new(vm.get() / 2));
+        let c = Cluster::new(
+            topo,
+            ServerSpec::paper_default(),
+            VmSpec::paper_default(),
+            &traffic,
+            alloc,
+        )
+        .unwrap();
+        // vm0 and vm1 share srv0, vm2 is on srv1.
+        assert_eq!(c.external_rate(VmId::new(0), ServerId::new(0)), 10.0);
+        assert_eq!(c.external_rate(VmId::new(0), ServerId::new(5)), 110.0);
+        // vm0 contributes its (0,2) pair; vm1's only peer is on-host.
+        assert_eq!(c.host_external_load(ServerId::new(0)), 10.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ClusterError::ServerCountMismatch { allocation: 4, topology: 16 };
+        assert!(e.to_string().contains("4"));
+        let e = ClusterError::InitialOverCommit {
+            server: ServerId::new(2),
+            source: AdmissionError::Ram,
+        };
+        assert!(e.to_string().contains("srv2"));
+    }
+}

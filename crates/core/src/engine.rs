@@ -1,0 +1,310 @@
+//! The token-holder decision procedure (paper §IV, §V-B5, §V-C).
+//!
+//! When dom0 receives the token for a hosted VM it:
+//!
+//! 1. aggregates the VM's per-peer traffic (flow table, §V-B3);
+//! 2. resolves peer locations and communication levels (§V-B4);
+//! 3. ranks the peers' servers "from highest to lowest communication
+//!    levels" and probes each for capacity (§V-B5);
+//! 4. migrates iff Theorem 1 holds: `ΔC_{u→x̂} > c_m`, preferring the
+//!    feasible target with the largest gain.
+//!
+//! [`ScoreEngine`] implements steps 3–4 over a [`LocalView`] (steps 1–2).
+
+use score_topology::ServerId;
+use score_traffic::PairTraffic;
+use score_topology::VmId;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::cost::CostModel;
+use crate::view::LocalView;
+
+/// Tunables of the S-CORE migration decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreConfig {
+    /// Migration (overhead) cost `c_m` that a move's gain must exceed
+    /// (Theorem 1). The paper's headline comparison uses 0.
+    pub migration_cost: f64,
+    /// Fraction of a host NIC that hosted traffic may occupy; candidate
+    /// targets above this are skipped ("the next best choice with adequate
+    /// bandwidth will be considered", §V-C).
+    pub bandwidth_threshold: f64,
+    /// Optional cap on how many candidate servers to probe per decision
+    /// (capacity-probe budget). `None` probes every peer server.
+    pub max_candidates: Option<usize>,
+}
+
+impl ScoreConfig {
+    /// The paper's evaluation defaults: `c_m = 0`, no bandwidth headroom
+    /// reserved, probe all peers.
+    pub fn paper_default() -> Self {
+        ScoreConfig { migration_cost: 0.0, bandwidth_threshold: 1.0, max_candidates: None }
+    }
+
+    /// Returns a copy with the given migration cost.
+    pub fn with_migration_cost(mut self, cm: f64) -> Self {
+        self.migration_cost = cm;
+        self
+    }
+
+    /// Returns a copy with the given bandwidth threshold.
+    pub fn with_bandwidth_threshold(mut self, threshold: f64) -> Self {
+        self.bandwidth_threshold = threshold;
+        self
+    }
+}
+
+impl Default for ScoreConfig {
+    fn default() -> Self {
+        ScoreConfig::paper_default()
+    }
+}
+
+/// Outcome of one token-holder decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationDecision {
+    /// The deciding VM.
+    pub vm: VmId,
+    /// Chosen target server, if the Theorem-1 condition was met.
+    pub target: Option<ServerId>,
+    /// `ΔC` of the chosen target (0.0 when no move).
+    pub gain: f64,
+    /// Candidate servers evaluated.
+    pub evaluated: usize,
+    /// Candidates rejected by the capacity/bandwidth probe.
+    pub rejected_capacity: usize,
+}
+
+impl MigrationDecision {
+    /// True if the decision is to migrate.
+    pub fn migrates(&self) -> bool {
+        self.target.is_some()
+    }
+}
+
+/// The S-CORE decision engine: stateless combination of a cost model and a
+/// configuration, applied to one token holder at a time.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreEngine {
+    cost: CostModel,
+    config: ScoreConfig,
+}
+
+impl ScoreEngine {
+    /// Creates an engine.
+    pub fn new(cost: CostModel, config: ScoreConfig) -> Self {
+        ScoreEngine { cost, config }
+    }
+
+    /// Engine with the paper's cost weights and defaults.
+    pub fn paper_default() -> Self {
+        ScoreEngine::new(CostModel::paper_default(), ScoreConfig::paper_default())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ScoreConfig {
+        &self.config
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Makes the migration decision for the holder described by `view`,
+    /// without mutating anything.
+    ///
+    /// Candidates are the servers hosting the holder's peers, in descending
+    /// communication-level order; each is capacity-probed; among the
+    /// feasible ones the largest `ΔC` wins, provided it exceeds `c_m`.
+    pub fn decide(&self, view: &LocalView, cluster: &Cluster) -> MigrationDecision {
+        let mut candidates = view.candidate_servers();
+        if let Some(cap) = self.config.max_candidates {
+            candidates.truncate(cap);
+        }
+        let mut best: Option<(ServerId, f64)> = None;
+        let mut evaluated = 0;
+        let mut rejected = 0;
+        for target in candidates {
+            evaluated += 1;
+            if cluster.can_host(target, view.vm, self.config.bandwidth_threshold).is_err() {
+                rejected += 1;
+                continue;
+            }
+            let delta =
+                view.delta_for(target, self.cost.weights(), cluster.topo());
+            if delta > self.config.migration_cost
+                && best.map_or(true, |(_, b)| delta > b)
+            {
+                best = Some((target, delta));
+            }
+        }
+        MigrationDecision {
+            vm: view.vm,
+            target: best.map(|(s, _)| s),
+            gain: best.map_or(0.0, |(_, g)| g),
+            evaluated,
+            rejected_capacity: rejected,
+        }
+    }
+
+    /// Observes, decides, and applies the migration if warranted. Returns
+    /// the decision and the (pre-migration) local view.
+    pub fn step(
+        &self,
+        u: VmId,
+        cluster: &mut Cluster,
+        traffic: &PairTraffic,
+    ) -> (MigrationDecision, LocalView) {
+        let view = LocalView::observe(u, cluster.allocation(), traffic, cluster.topo());
+        let decision = self.decide(&view, cluster);
+        if let Some(target) = decision.target {
+            cluster
+                .migrate(u, target, self.config.bandwidth_threshold)
+                .expect("decide() validated admission for the chosen target");
+        }
+        (decision, view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Allocation;
+    use crate::resources::{ServerSpec, VmSpec};
+    use score_topology::CanonicalTree;
+    use score_traffic::PairTrafficBuilder;
+    use std::sync::Arc;
+
+    /// vm0@srv0 with peers vm1@srv1 (L1, heavy) and vm2@srv8 (L3, light).
+    fn fixture() -> (Cluster, PairTraffic) {
+        let topo = Arc::new(CanonicalTree::small());
+        let mut b = PairTrafficBuilder::new(3);
+        b.add(VmId::new(0), VmId::new(1), 10.0);
+        b.add(VmId::new(0), VmId::new(2), 1.0);
+        let traffic = b.build();
+        let servers = [0u32, 1, 8];
+        let alloc = Allocation::from_fn(3, 16, |vm| ServerId::new(servers[vm.index()]));
+        let cluster = Cluster::new(
+            topo,
+            ServerSpec::paper_default(),
+            VmSpec::paper_default(),
+            &traffic,
+            alloc,
+        )
+        .unwrap();
+        (cluster, traffic)
+    }
+
+    #[test]
+    fn migrates_to_best_gain_target() {
+        let (mut cluster, traffic) = fixture();
+        let engine = ScoreEngine::paper_default();
+        let (decision, _) = engine.step(VmId::new(0), &mut cluster, &traffic);
+        // Moving next to the heavy rack-mate (srv1) collapses the 10-unit
+        // pair to level 0 and only raises the light pair — best move.
+        assert_eq!(decision.target, Some(ServerId::new(1)));
+        assert!(decision.gain > 0.0);
+        assert_eq!(cluster.allocation().server_of(VmId::new(0)), ServerId::new(1));
+    }
+
+    #[test]
+    fn decision_counts_candidates() {
+        let (cluster, traffic) = fixture();
+        let engine = ScoreEngine::paper_default();
+        let view = LocalView::observe(VmId::new(0), cluster.allocation(), &traffic, cluster.topo());
+        let d = engine.decide(&view, &cluster);
+        assert_eq!(d.evaluated, 2);
+        assert_eq!(d.rejected_capacity, 0);
+        assert!(d.migrates());
+    }
+
+    #[test]
+    fn migration_cost_gates_moves() {
+        let (cluster, traffic) = fixture();
+        let view = LocalView::observe(VmId::new(0), cluster.allocation(), &traffic, cluster.topo());
+        let free = ScoreEngine::paper_default();
+        let gain = free.decide(&view, &cluster).gain;
+        let expensive = ScoreEngine::new(
+            CostModel::paper_default(),
+            ScoreConfig::paper_default().with_migration_cost(gain + 1.0),
+        );
+        let d = expensive.decide(&view, &cluster);
+        assert!(!d.migrates(), "cm above the best gain must block migration");
+        assert_eq!(d.gain, 0.0);
+    }
+
+    #[test]
+    fn full_target_fails_over_to_next_best() {
+        let topo = Arc::new(CanonicalTree::small());
+        // vm0@srv0 talks to vm1@srv1 (heavy) and vm2@srv2 (light), all in
+        // rack 0. Collocating with vm1 is best but srv1 is full, so the
+        // engine falls over to srv2 (collocating with the light peer while
+        // keeping the heavy one at rack level).
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(0), VmId::new(1), 10.0);
+        b.add(VmId::new(0), VmId::new(2), 1.0);
+        b.add(VmId::new(1), VmId::new(3), 1.0);
+        let traffic = b.build();
+        let servers = [0u32, 1, 2, 1]; // vm3 fills srv1's second slot
+        let alloc = Allocation::from_fn(4, 16, |vm| ServerId::new(servers[vm.index()]));
+        let spec = ServerSpec { vm_slots: 2, ..ServerSpec::paper_default() };
+        let mut cluster =
+            Cluster::new(topo, spec, VmSpec::paper_default(), &traffic, alloc).unwrap();
+        let engine = ScoreEngine::paper_default();
+        let (decision, _) = engine.step(VmId::new(0), &mut cluster, &traffic);
+        assert_eq!(decision.rejected_capacity, 1);
+        assert_eq!(decision.target, Some(ServerId::new(2)));
+    }
+
+    #[test]
+    fn no_move_when_already_optimal() {
+        let (mut cluster, traffic) = fixture();
+        let engine = ScoreEngine::paper_default();
+        // First step moves vm0 to srv1; a second decision for vm0 must not
+        // bounce it back and forth.
+        engine.step(VmId::new(0), &mut cluster, &traffic);
+        let (second, _) = engine.step(VmId::new(0), &mut cluster, &traffic);
+        assert!(!second.migrates(), "stable allocation must not oscillate");
+    }
+
+    #[test]
+    fn accepted_move_reduces_total_cost() {
+        let (mut cluster, traffic) = fixture();
+        let engine = ScoreEngine::paper_default();
+        let before = engine.cost_model().total_cost(
+            cluster.allocation(),
+            &traffic,
+            cluster.topo(),
+        );
+        let (decision, _) = engine.step(VmId::new(0), &mut cluster, &traffic);
+        let after =
+            engine.cost_model().total_cost(cluster.allocation(), &traffic, cluster.topo());
+        assert!(decision.migrates());
+        assert!((before - after - decision.gain).abs() < 1e-9, "Lemma 3 consistency");
+        assert!(after < before);
+    }
+
+    #[test]
+    fn candidate_budget_respected() {
+        let (cluster, traffic) = fixture();
+        let engine = ScoreEngine::new(
+            CostModel::paper_default(),
+            ScoreConfig { max_candidates: Some(1), ..ScoreConfig::paper_default() },
+        );
+        let view = LocalView::observe(VmId::new(0), cluster.allocation(), &traffic, cluster.topo());
+        let d = engine.decide(&view, &cluster);
+        assert_eq!(d.evaluated, 1);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ScoreConfig::paper_default()
+            .with_migration_cost(5.0)
+            .with_bandwidth_threshold(0.8);
+        assert_eq!(c.migration_cost, 5.0);
+        assert_eq!(c.bandwidth_threshold, 0.8);
+        assert_eq!(ScoreConfig::default(), ScoreConfig::paper_default());
+    }
+}

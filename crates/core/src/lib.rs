@@ -1,0 +1,84 @@
+//! # S-CORE: Scalable Communication-Cost Reduction for cloud data centers
+//!
+//! A production-quality Rust implementation of **"Scalable Traffic-Aware
+//! Virtual Machine Management for Cloud Data Centers"** (Tso, Oikonomou,
+//! Kavvadia, Pezaros — IEEE ICDCS 2014).
+//!
+//! S-CORE dynamically re-allocates VMs through live migration to minimise
+//! the network-wide, link-weighted communication cost of pairwise VM
+//! traffic. Its defining property is being **fully distributed**: a token
+//! circulates among the VMs, and the token holder unilaterally decides —
+//! from locally available information only — whether moving to a peer's
+//! server reduces the global cost by more than the migration cost
+//! (Theorem 1).
+//!
+//! ## Crate layout
+//!
+//! * [`cost`] — Eq. (1)/(2) communication costs and the Lemma-3 migration
+//!   delta;
+//! * [`allocation`] / [`resources`] / [`cluster`] — VM→server assignments
+//!   with slot/RAM/CPU/bandwidth capacity enforcement;
+//! * [`token`] — the 5-byte-per-entry migration token of §V-B2;
+//! * [`policy`] — Round-Robin and Highest-Level-First (Algorithm 1) token
+//!   policies;
+//! * [`view`] — the holder's local knowledge ([`LocalView`]), the only
+//!   input the decision engine is allowed to read;
+//! * [`engine`] — the §V-B5 decision procedure (rank peers, probe
+//!   capacity, apply Theorem 1);
+//! * [`ring`] — iteration driver producing the paper's per-iteration
+//!   migration statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use score_core::{
+//!     Allocation, Cluster, RoundRobin, ScoreEngine, ServerSpec, TokenRing, VmSpec,
+//! };
+//! use score_topology::{CanonicalTree, ServerId};
+//! use score_traffic::WorkloadConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = Arc::new(CanonicalTree::small());
+//! let traffic = WorkloadConfig::new(32, 42).generate();
+//! // Traffic-agnostic initial placement: VM v on server v mod 16.
+//! let alloc = Allocation::from_fn(32, 16, |vm| ServerId::new(vm.get() % 16));
+//! let mut cluster = Cluster::new(
+//!     topo,
+//!     ServerSpec::paper_default(),
+//!     VmSpec::paper_default(),
+//!     &traffic,
+//!     alloc,
+//! )?;
+//!
+//! let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
+//! let stats = ring.run_iterations(3, &mut cluster, &traffic);
+//! assert!(stats[0].migrations > 0); // the first sweep finds improvements
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod allocation;
+pub mod cluster;
+pub mod cost;
+pub mod engine;
+pub mod netload;
+pub mod policy;
+pub mod resources;
+pub mod ring;
+pub mod token;
+pub mod view;
+
+pub use allocation::Allocation;
+pub use cluster::{Cluster, ClusterError};
+pub use cost::{level_breakdown, CostModel};
+pub use engine::{MigrationDecision, ScoreConfig, ScoreEngine};
+pub use netload::LinkLoadMap;
+pub use policy::{HighestCostFirst, HighestLevelFirst, RandomNext, RoundRobin, TokenPolicy};
+pub use resources::{AdmissionError, CapacityReport, ServerSpec, ServerUsage, VmSpec};
+pub use ring::{IterationStats, StepOutcome, TokenRing};
+pub use token::{Token, TokenCodecError, TokenEntry};
+pub use view::{LocalView, PeerInfo};

@@ -1,0 +1,559 @@
+//! Token-passing policies (paper §V-A).
+//!
+//! The token holder decides whether to migrate, then picks the next holder
+//! according to the policy. The paper evaluates two: Round-Robin
+//! ([`RoundRobin`]) and Highest-Level-First ([`HighestLevelFirst`],
+//! Algorithm 1). [`RandomNext`] is included as an ablation baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use score_topology::{Level, VmId};
+use std::fmt;
+
+use crate::token::Token;
+use crate::view::LocalView;
+
+/// A token-passing policy.
+///
+/// `next_holder` is invoked while `holder` still owns the token, *after*
+/// its migration decision; `view` reflects the holder's post-decision local
+/// state. Implementations may update the token's level entries (HLF does,
+/// RR does not need to). Returning `None` means no next holder exists
+/// (empty or singleton token).
+pub trait TokenPolicy: fmt::Debug + Send {
+    /// Short policy name for logs and CSV columns (e.g. `"rr"`, `"hlf"`).
+    fn name(&self) -> &'static str;
+
+    /// Picks the next token holder and updates token state.
+    fn next_holder(&mut self, token: &mut Token, holder: VmId, view: &LocalView) -> Option<VmId>;
+
+    /// Discards any policy-internal state (visit sets, estimates) — called
+    /// when a lost token is regenerated and the distributed state restarts
+    /// from scratch. Stateless policies need not override this.
+    fn reset(&mut self) {}
+}
+
+impl<P: TokenPolicy + ?Sized> TokenPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn next_holder(&mut self, token: &mut Token, holder: VmId, view: &LocalView) -> Option<VmId> {
+        (**self).next_holder(token, holder, view)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// Round-robin: pass the token in ascending VM-id order, wrapping at the
+/// top ("trivial to implement" but "wasteful since not all VMs will need to
+/// migrate at any given time", §V-A1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl RoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobin
+    }
+}
+
+impl TokenPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn next_holder(&mut self, token: &mut Token, holder: VmId, _view: &LocalView) -> Option<VmId> {
+        let next = token.next_after(holder)?;
+        if next == holder {
+            None
+        } else {
+            Some(next)
+        }
+    }
+}
+
+/// Highest-Level-First (Algorithm 1): prioritise VMs whose traffic crosses
+/// the most expensive layers, using the partial level estimates stored in
+/// the token.
+///
+/// Algorithm 1 tracks which VMs have already been *checked* in the current
+/// round ("if !found then ⊲ No unchecked VMs are left", line 15): without
+/// it, two permanently core-level VMs would ping-pong the token between
+/// themselves forever and starve the rest of the population. The checked
+/// set conceptually travels with the token (one bit per entry); we keep it
+/// inside the policy, which is equivalent for a single ring.
+#[derive(Debug, Clone, Default)]
+pub struct HighestLevelFirst {
+    checked: std::collections::HashSet<VmId>,
+}
+
+impl HighestLevelFirst {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        HighestLevelFirst::default()
+    }
+
+    /// Finds the first *unchecked* VM (≠ `exclude`) at exactly `level`,
+    /// scanning ids cyclically starting *after* `from`.
+    fn scan_cyclic_after(
+        &self,
+        token: &Token,
+        from: VmId,
+        level: Level,
+        exclude: VmId,
+    ) -> Option<VmId> {
+        let entries = token.entries();
+        if entries.is_empty() {
+            return None;
+        }
+        let start = match entries.binary_search_by_key(&from, |e| e.id) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        let n = entries.len();
+        for off in 0..n {
+            let e = &entries[(start + off) % n];
+            if e.id != exclude && e.level == level && !self.checked.contains(&e.id) {
+                return Some(e.id);
+            }
+        }
+        None
+    }
+
+    /// Finds the lowest-id *unchecked* VM (≠ `exclude`) at exactly `level`
+    /// — the "start from the beginning (v0)" scan of Algorithm 1 lines
+    /// 13–14.
+    fn scan_from_first(&self, token: &Token, level: Level, exclude: VmId) -> Option<VmId> {
+        token
+            .entries()
+            .iter()
+            .find(|e| e.id != exclude && e.level == level && !self.checked.contains(&e.id))
+            .map(|e| e.id)
+    }
+
+    /// Best unchecked VM by (level desc, id asc), excluding `exclude`.
+    fn best_unchecked(&self, token: &Token, exclude: VmId) -> Option<VmId> {
+        token
+            .entries()
+            .iter()
+            .filter(|e| e.id != exclude && !self.checked.contains(&e.id))
+            .max_by(|a, b| a.level.cmp(&b.level).then(b.id.cmp(&a.id)))
+            .map(|e| e.id)
+    }
+}
+
+impl TokenPolicy for HighestLevelFirst {
+    fn name(&self) -> &'static str {
+        "hlf"
+    }
+
+    fn reset(&mut self) {
+        self.checked.clear();
+    }
+
+    fn next_holder(&mut self, token: &mut Token, holder: VmId, view: &LocalView) -> Option<VmId> {
+        // Line 1 and the preceding text: the holder refreshes its own entry
+        // (it knows ℓ_A(u) exactly) …
+        token.set_level(holder, view.own_level());
+        // … and lines 3–5: raises peer entries it has fresher knowledge of.
+        for (vm, level) in view.peer_levels() {
+            token.raise_level(vm, level);
+        }
+        // The holder has now been checked this round.
+        self.checked.insert(holder);
+
+        // Lines 6–14: search the holder's level starting after it, then
+        // lower levels starting from v0 — unchecked VMs only.
+        let cl0 = token.level_of(holder).unwrap_or(Level::ZERO);
+        for cl in (0..=cl0.get()).rev() {
+            let level = Level::new(cl);
+            let found = if cl == cl0.get() {
+                self.scan_cyclic_after(token, holder, level, holder)
+            } else {
+                self.scan_from_first(token, level, holder)
+            };
+            if let Some(z) = found {
+                return Some(z);
+            }
+        }
+
+        // Nothing unchecked at or below the holder's level; VMs whose
+        // (possibly freshly raised) level exceeds the holder's may still be
+        // unchecked — serve the highest of them first.
+        if let Some(z) = self.best_unchecked(token, holder) {
+            return Some(z);
+        }
+
+        // Lines 15–16: no unchecked VMs are left — the round is over.
+        // Restart from the highest-level VM with the lowest ID; if that is
+        // the holder itself, fall back to its round-robin successor.
+        self.checked.clear();
+        let (_, ids) = token.max_level_entries()?;
+        if let Some(z) = ids.into_iter().find(|&z| z != holder) {
+            return Some(z);
+        }
+        token.next_after(holder).filter(|&z| z != holder)
+    }
+}
+
+/// Highest-Cost-First: prioritise VMs by their estimated *communication
+/// cost* contribution instead of their level.
+///
+/// One of the "number of distinct token passing policies" the paper's
+/// companion technical report (TR-2013-338) explores beyond RR and HLF: a
+/// VM at core level with negligible traffic matters less than one at
+/// aggregation level moving gigabits. The policy tracks per-VM cost
+/// estimates the same way HLF tracks levels — exact for VMs that held the
+/// token, partial (from observed pairs) for their peers — plus the same
+/// per-round checked set to guarantee coverage.
+#[derive(Debug, Clone)]
+pub struct HighestCostFirst {
+    weights: score_topology::LinkWeights,
+    estimates: std::collections::HashMap<VmId, f64>,
+    checked: std::collections::HashSet<VmId>,
+}
+
+impl HighestCostFirst {
+    /// Creates the policy with the cost weights used for estimates.
+    pub fn new(weights: score_topology::LinkWeights) -> Self {
+        HighestCostFirst {
+            weights,
+            estimates: std::collections::HashMap::new(),
+            checked: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Creates the policy with the paper's default weights.
+    pub fn paper_default() -> Self {
+        HighestCostFirst::new(score_topology::LinkWeights::paper_default())
+    }
+
+    /// The current cost estimate for a VM (0 when unobserved).
+    pub fn estimate(&self, vm: VmId) -> f64 {
+        self.estimates.get(&vm).copied().unwrap_or(0.0)
+    }
+
+    /// Picks the unchecked VM (≠ `exclude`) with the highest estimate,
+    /// ties broken towards the lowest id.
+    fn best_unchecked(&self, token: &Token, exclude: VmId) -> Option<VmId> {
+        let mut best: Option<(f64, VmId)> = None;
+        for e in token.entries() {
+            if e.id == exclude || self.checked.contains(&e.id) {
+                continue;
+            }
+            let est = self.estimate(e.id);
+            match best {
+                Some((b, _)) if est <= b => {}
+                _ => best = Some((est, e.id)),
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+impl TokenPolicy for HighestCostFirst {
+    fn name(&self) -> &'static str {
+        "hcf"
+    }
+
+    fn reset(&mut self) {
+        self.checked.clear();
+        self.estimates.clear();
+    }
+
+    fn next_holder(&mut self, token: &mut Token, holder: VmId, view: &LocalView) -> Option<VmId> {
+        // Exact cost for the holder (Eq. 1 over its local view) …
+        let own: f64 = 2.0
+            * view
+                .peers
+                .iter()
+                .map(|p| p.rate * self.weights.prefix(p.level))
+                .sum::<f64>();
+        self.estimates.insert(holder, own);
+        // … and a partial lower-bound estimate for each peer: the pair the
+        // holder can see. Keep the max across observations.
+        for p in &view.peers {
+            let pair_cost = 2.0 * p.rate * self.weights.prefix(p.level);
+            let entry = self.estimates.entry(p.vm).or_insert(0.0);
+            if *entry < pair_cost {
+                *entry = pair_cost;
+            }
+        }
+        // Keep the token's level entries fresh too (interoperable state).
+        token.set_level(holder, view.own_level());
+        for (vm, level) in view.peer_levels() {
+            token.raise_level(vm, level);
+        }
+        self.checked.insert(holder);
+
+        if let Some(z) = self.best_unchecked(token, holder) {
+            return Some(z);
+        }
+        // Round over: restart at the globally highest-cost VM.
+        self.checked.clear();
+        if let Some(z) = self.best_unchecked(token, holder) {
+            return Some(z);
+        }
+        token.next_after(holder).filter(|&z| z != holder)
+    }
+}
+
+/// Uniform-random next holder (ablation baseline; not in the paper).
+#[derive(Debug)]
+pub struct RandomNext {
+    rng: StdRng,
+}
+
+impl RandomNext {
+    /// Creates the policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomNext { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl TokenPolicy for RandomNext {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn next_holder(&mut self, token: &mut Token, holder: VmId, _view: &LocalView) -> Option<VmId> {
+        let entries = token.entries();
+        let others: Vec<VmId> =
+            entries.iter().map(|e| e.id).filter(|&id| id != holder).collect();
+        if others.is_empty() {
+            None
+        } else {
+            Some(others[self.rng.gen_range(0..others.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use score_topology::ServerId;
+
+    fn view_with_level(vm: VmId, own: Level, peers: Vec<(VmId, Level)>) -> LocalView {
+        // Build a synthetic view: the engine fields not used by the
+        // policies (rates, servers) are filled with placeholders, except
+        // levels which the policies read.
+        LocalView {
+            vm,
+            server: ServerId::new(0),
+            peers: peers
+                .into_iter()
+                .map(|(v, l)| crate::view::PeerInfo {
+                    vm: v,
+                    rate: 1.0,
+                    server: ServerId::new(1),
+                    level: l,
+                })
+                .chain(std::iter::once(crate::view::PeerInfo {
+                    vm: VmId::new(u32::MAX),
+                    rate: 0.0,
+                    server: ServerId::new(1),
+                    level: own,
+                }))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_id_order() {
+        let mut token = Token::for_vms([2, 5, 9].map(VmId::new));
+        let mut rr = RoundRobin::new();
+        let v = view_with_level(VmId::new(2), Level::ZERO, vec![]);
+        assert_eq!(rr.next_holder(&mut token, VmId::new(2), &v), Some(VmId::new(5)));
+        assert_eq!(rr.next_holder(&mut token, VmId::new(5), &v), Some(VmId::new(9)));
+        assert_eq!(rr.next_holder(&mut token, VmId::new(9), &v), Some(VmId::new(2)));
+    }
+
+    #[test]
+    fn round_robin_singleton_stops() {
+        let mut token = Token::for_vms([VmId::new(4)]);
+        let mut rr = RoundRobin::new();
+        let v = view_with_level(VmId::new(4), Level::ZERO, vec![]);
+        assert_eq!(rr.next_holder(&mut token, VmId::new(4), &v), None);
+    }
+
+    #[test]
+    fn hlf_updates_holder_and_peer_levels() {
+        let mut token = Token::for_vms([0, 1, 2].map(VmId::new));
+        let mut hlf = HighestLevelFirst::new();
+        let v = view_with_level(
+            VmId::new(0),
+            Level::CORE,
+            vec![(VmId::new(1), Level::AGGREGATION)],
+        );
+        let _ = hlf.next_holder(&mut token, VmId::new(0), &v);
+        assert_eq!(token.level_of(VmId::new(0)), Some(Level::CORE));
+        assert_eq!(token.level_of(VmId::new(1)), Some(Level::AGGREGATION));
+        assert_eq!(token.level_of(VmId::new(2)), Some(Level::ZERO));
+    }
+
+    #[test]
+    fn hlf_prefers_same_level_after_holder() {
+        let mut token = Token::for_vms([0, 1, 2, 3].map(VmId::new));
+        token.set_level(VmId::new(1), Level::CORE);
+        token.set_level(VmId::new(3), Level::CORE);
+        let mut hlf = HighestLevelFirst::new();
+        // Holder 2 at core level: scan starts after 2, finds 3 before 1.
+        let v = view_with_level(VmId::new(2), Level::CORE, vec![]);
+        assert_eq!(hlf.next_holder(&mut token, VmId::new(2), &v), Some(VmId::new(3)));
+    }
+
+    #[test]
+    fn hlf_drops_to_lower_level_from_v0() {
+        let mut token = Token::for_vms([0, 1, 2, 3].map(VmId::new));
+        token.set_level(VmId::new(1), Level::RACK);
+        token.set_level(VmId::new(3), Level::RACK);
+        let mut hlf = HighestLevelFirst::new();
+        // Holder 2 at aggregation level, nobody else there → drop to rack
+        // level and take the lowest id (1).
+        let v = view_with_level(VmId::new(2), Level::AGGREGATION, vec![]);
+        assert_eq!(hlf.next_holder(&mut token, VmId::new(2), &v), Some(VmId::new(1)));
+    }
+
+    #[test]
+    fn hlf_falls_back_to_max_level_min_id() {
+        let mut token = Token::for_vms([0, 1, 2].map(VmId::new));
+        token.set_level(VmId::new(1), Level::CORE);
+        token.set_level(VmId::new(2), Level::CORE);
+        let mut hlf = HighestLevelFirst::new();
+        // Holder 0 at level 0; nobody else at level 0 → lines 15–16 pick
+        // the lowest-id max-level VM (1).
+        let v = view_with_level(VmId::new(0), Level::ZERO, vec![]);
+        // own level 0 comes from the synthetic "no peers above 0" view.
+        let v0 = LocalView { vm: VmId::new(0), server: ServerId::new(0), peers: vec![] };
+        let _ = v;
+        assert_eq!(hlf.next_holder(&mut token, VmId::new(0), &v0), Some(VmId::new(1)));
+    }
+
+    #[test]
+    fn hlf_singleton_stops() {
+        let mut token = Token::for_vms([VmId::new(7)]);
+        let mut hlf = HighestLevelFirst::new();
+        let v = LocalView { vm: VmId::new(7), server: ServerId::new(0), peers: vec![] };
+        assert_eq!(hlf.next_holder(&mut token, VmId::new(7), &v), None);
+    }
+
+    #[test]
+    fn hlf_does_not_starve_low_level_vms() {
+        // Two VMs pinned at core level that never migrate must not trap the
+        // token between themselves: every VM gets the token each round.
+        let mut token = Token::for_vms([0, 1, 2, 3, 4].map(VmId::new));
+        token.set_level(VmId::new(0), Level::CORE);
+        token.set_level(VmId::new(1), Level::CORE);
+        let mut hlf = HighestLevelFirst::new();
+        let mut holder = VmId::new(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            seen.insert(holder);
+            // Holders report their stored level as their true level.
+            let own = token.level_of(holder).unwrap();
+            let v = view_with_level(holder, own, vec![]);
+            match hlf.next_holder(&mut token, holder, &v) {
+                Some(next) => holder = next,
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), 5, "all 5 VMs must hold the token: {seen:?}");
+    }
+
+    #[test]
+    fn hlf_round_restart_targets_max_level() {
+        let mut token = Token::for_vms([0, 1].map(VmId::new));
+        token.set_level(VmId::new(1), Level::CORE);
+        let mut hlf = HighestLevelFirst::new();
+        // 0 -> 1 (only unchecked), then 1 -> round restart -> 0? No: after
+        // both checked, restart picks max-level min-id excluding holder.
+        let v0 = LocalView { vm: VmId::new(0), server: ServerId::new(0), peers: vec![] };
+        assert_eq!(hlf.next_holder(&mut token, VmId::new(0), &v0), Some(VmId::new(1)));
+        let v1 = view_with_level(VmId::new(1), Level::CORE, vec![]);
+        // Round over: restart. Max level is 1's own CORE, but 1 is the
+        // holder, so 0 gets it.
+        assert_eq!(hlf.next_holder(&mut token, VmId::new(1), &v1), Some(VmId::new(0)));
+    }
+
+    #[test]
+    fn random_next_avoids_holder_and_is_seeded() {
+        let mut token = Token::for_vms([0, 1, 2, 3].map(VmId::new));
+        let v = LocalView { vm: VmId::new(0), server: ServerId::new(0), peers: vec![] };
+        let picks: Vec<Option<VmId>> = {
+            let mut p = RandomNext::new(9);
+            (0..16).map(|_| p.next_holder(&mut token, VmId::new(0), &v)).collect()
+        };
+        assert!(picks.iter().all(|p| p.is_some() && p.unwrap() != VmId::new(0)));
+        let mut p2 = RandomNext::new(9);
+        let picks2: Vec<Option<VmId>> =
+            (0..16).map(|_| p2.next_holder(&mut token, VmId::new(0), &v)).collect();
+        assert_eq!(picks, picks2, "seeded policy must be deterministic");
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(RoundRobin::new().name(), "rr");
+        assert_eq!(HighestLevelFirst::new().name(), "hlf");
+        assert_eq!(RandomNext::new(0).name(), "random");
+        assert_eq!(HighestCostFirst::paper_default().name(), "hcf");
+    }
+
+    #[test]
+    fn hcf_prefers_costly_vms() {
+        let mut token = Token::for_vms([0, 1, 2, 3].map(VmId::new));
+        let mut hcf = HighestCostFirst::paper_default();
+        // Holder 0 sees peer 2 with a heavy core-level pair and peer 1
+        // with a light rack-level pair → 2 gets the higher estimate.
+        let view = LocalView {
+            vm: VmId::new(0),
+            server: ServerId::new(0),
+            peers: vec![
+                crate::view::PeerInfo {
+                    vm: VmId::new(1),
+                    rate: 1.0,
+                    server: ServerId::new(1),
+                    level: Level::RACK,
+                },
+                crate::view::PeerInfo {
+                    vm: VmId::new(2),
+                    rate: 100.0,
+                    server: ServerId::new(8),
+                    level: Level::CORE,
+                },
+            ],
+        };
+        let next = hcf.next_holder(&mut token, VmId::new(0), &view);
+        assert_eq!(next, Some(VmId::new(2)));
+        assert!(hcf.estimate(VmId::new(2)) > hcf.estimate(VmId::new(1)));
+        // The holder's own (exact) estimate covers both pairs.
+        assert!(hcf.estimate(VmId::new(0)) > hcf.estimate(VmId::new(2)));
+    }
+
+    #[test]
+    fn hcf_covers_everyone_per_round() {
+        let mut token = Token::for_vms([0, 1, 2, 3, 4].map(VmId::new));
+        let mut hcf = HighestCostFirst::paper_default();
+        let mut holder = VmId::new(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            seen.insert(holder);
+            let view = LocalView { vm: holder, server: ServerId::new(0), peers: vec![] };
+            match hcf.next_holder(&mut token, holder, &view) {
+                Some(next) => holder = next,
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), 5, "all VMs must hold the token: {seen:?}");
+    }
+
+    #[test]
+    fn hcf_singleton_stops() {
+        let mut token = Token::for_vms([VmId::new(3)]);
+        let mut hcf = HighestCostFirst::paper_default();
+        let view = LocalView { vm: VmId::new(3), server: ServerId::new(0), peers: vec![] };
+        assert_eq!(hcf.next_holder(&mut token, VmId::new(3), &view), None);
+    }
+}

@@ -1,0 +1,386 @@
+//! The token ring: driving S-CORE over a whole VM population.
+//!
+//! One *iteration* passes the token through `|V|` holders (for round-robin
+//! this is exactly one sweep over the VM ids). Fig. 2 of the paper plots
+//! the ratio of migrated VMs in each of 5 consecutive iterations and shows
+//! it plummeting after the second one — [`TokenRing::run_iteration`]
+//! produces exactly that statistic.
+
+use score_topology::VmId;
+use score_traffic::PairTraffic;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::engine::{MigrationDecision, ScoreEngine};
+use crate::policy::TokenPolicy;
+use crate::token::Token;
+use crate::view::LocalView;
+
+/// Outcome of one token-holder step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// The VM that held the token.
+    pub holder: VmId,
+    /// The server hosting the holder *before* any migration this step.
+    pub source: score_topology::ServerId,
+    /// Its migration decision.
+    pub decision: MigrationDecision,
+    /// The next token holder (`None` terminates the ring).
+    pub next: Option<VmId>,
+}
+
+/// Aggregate statistics of one iteration (`|V|` token holds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Token holds performed.
+    pub steps: usize,
+    /// Number of migrations performed.
+    pub migrations: usize,
+    /// Sum of the Lemma-3 gains of all performed migrations.
+    pub total_gain: f64,
+}
+
+impl IterationStats {
+    /// Migrated-VM ratio: migrations / steps (the Fig. 2 metric).
+    pub fn migration_ratio(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.migrations as f64 / self.steps as f64
+        }
+    }
+}
+
+/// A running S-CORE instance: engine + token + policy + current holder.
+#[derive(Debug)]
+pub struct TokenRing<P: TokenPolicy> {
+    engine: ScoreEngine,
+    policy: P,
+    token: Token,
+    holder: Option<VmId>,
+}
+
+impl<P: TokenPolicy> TokenRing<P> {
+    /// Creates a ring over VMs `0..num_vms`, starting at the lowest id
+    /// ("starting from the VM with lowest ID", §V-A1).
+    pub fn new(engine: ScoreEngine, policy: P, num_vms: u32) -> Self {
+        let token = Token::for_vms((0..num_vms).map(VmId::new));
+        let holder = token.first();
+        TokenRing { engine, policy, token, holder }
+    }
+
+    /// The current token holder.
+    pub fn holder(&self) -> Option<VmId> {
+        self.holder
+    }
+
+    /// The token state.
+    pub fn token(&self) -> &Token {
+        &self.token
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> &ScoreEngine {
+        &self.engine
+    }
+
+    /// Adds a VM to the ring (elastic arrival): it joins the token at
+    /// level 0 and will receive the token in due course. Returns `false`
+    /// if it was already a member.
+    ///
+    /// In the paper, "VM ID allocation is handled by a centralized VM
+    /// instance placement manager" — this is the ring-side effect of such
+    /// an arrival.
+    pub fn add_vm(&mut self, vm: VmId) -> bool {
+        let added = self.token.add_vm(vm);
+        if self.holder.is_none() {
+            self.holder = Some(vm);
+        }
+        added
+    }
+
+    /// Removes a VM from the ring (departure/termination). If the departing
+    /// VM currently holds the token, the token passes to its round-robin
+    /// successor. Returns `false` if it was not a member.
+    pub fn remove_vm(&mut self, vm: VmId) -> bool {
+        if !self.token.contains(vm) {
+            return false;
+        }
+        if self.holder == Some(vm) {
+            let successor = self.token.next_after(vm).filter(|&z| z != vm);
+            self.holder = successor;
+        }
+        self.token.remove_vm(vm);
+        // Re-validate against the shrunk token (defensive: the successor
+        // could only be stale if the token mutated concurrently).
+        if let Some(h) = self.holder {
+            if !self.token.contains(h) {
+                self.holder = self.token.first();
+            }
+        }
+        true
+    }
+
+    /// Regenerates a lost token (failure recovery).
+    ///
+    /// The token is a single point of loss in any token-passing protocol;
+    /// when its holder crashes or the message is dropped, the VM instance
+    /// placement manager (which owns ID allocation, §V-A) can mint a fresh
+    /// token over the known membership. All level entries restart at zero
+    /// and policy-internal state is discarded — the distributed state is
+    /// soft and rebuilds within one iteration.
+    pub fn regenerate_token(&mut self) {
+        let members: Vec<VmId> = self.token.entries().iter().map(|e| e.id).collect();
+        self.token = Token::for_vms(members);
+        self.policy.reset();
+        self.holder = self.token.first();
+    }
+
+    /// Performs one token-holder step: decide, migrate if warranted, pass
+    /// the token. Returns `None` when no holder remains.
+    pub fn step(&mut self, cluster: &mut Cluster, traffic: &PairTraffic) -> Option<StepOutcome> {
+        let holder = self.holder?;
+        let (decision, pre_view) = self.engine.step(holder, cluster, traffic);
+        // The policy sees the *post-migration* state: if the holder moved,
+        // its levels (and those of its peers) changed.
+        let post_view =
+            LocalView::observe(holder, cluster.allocation(), traffic, cluster.topo());
+        let next = self.policy.next_holder(&mut self.token, holder, &post_view);
+        self.holder = next;
+        Some(StepOutcome { holder, source: pre_view.server, decision, next })
+    }
+
+    /// Runs `|V|` steps — one iteration in the paper's sense.
+    pub fn run_iteration(
+        &mut self,
+        cluster: &mut Cluster,
+        traffic: &PairTraffic,
+    ) -> IterationStats {
+        let n = self.token.len();
+        let mut stats = IterationStats { steps: 0, migrations: 0, total_gain: 0.0 };
+        for _ in 0..n {
+            let Some(outcome) = self.step(cluster, traffic) else { break };
+            stats.steps += 1;
+            if outcome.decision.migrates() {
+                stats.migrations += 1;
+                stats.total_gain += outcome.decision.gain;
+            }
+        }
+        stats
+    }
+
+    /// Runs `iterations` iterations, returning per-iteration statistics
+    /// (the Fig. 2 series).
+    pub fn run_iterations(
+        &mut self,
+        iterations: usize,
+        cluster: &mut Cluster,
+        traffic: &PairTraffic,
+    ) -> Vec<IterationStats> {
+        (0..iterations).map(|_| self.run_iteration(cluster, traffic)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::allocation::Allocation;
+    use crate::policy::{HighestLevelFirst, RoundRobin};
+    use crate::resources::{ServerSpec, VmSpec};
+    use score_topology::{CanonicalTree, ServerId};
+    use score_traffic::WorkloadConfig;
+    use std::sync::Arc;
+
+    fn fixture(seed: u64) -> (Cluster, PairTraffic) {
+        let topo = Arc::new(CanonicalTree::small()); // 16 servers
+        let traffic = WorkloadConfig::new(32, seed).generate();
+        // Spread VMs round-robin across servers (a traffic-agnostic initial
+        // placement).
+        let alloc = Allocation::from_fn(32, 16, |vm| ServerId::new(vm.get() % 16));
+        let cluster = Cluster::new(
+            topo,
+            ServerSpec::paper_default(),
+            VmSpec::paper_default(),
+            &traffic,
+            alloc,
+        )
+        .unwrap();
+        (cluster, traffic)
+    }
+
+    #[test]
+    fn iterations_reduce_cost_monotonically() {
+        let (mut cluster, traffic) = fixture(1);
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
+        let model = ring.engine().cost_model().clone();
+        let mut last = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        let initial = last;
+        for _ in 0..4 {
+            ring.run_iteration(&mut cluster, &traffic);
+            let now = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+            assert!(now <= last + 1e-9, "cost must never increase");
+            last = now;
+        }
+        assert!(last < initial, "S-CORE should find improvements on a random placement");
+    }
+
+    #[test]
+    fn migration_ratio_plummets() {
+        // The Fig. 2 property: after the first couple of iterations almost
+        // nobody migrates any more.
+        let (mut cluster, traffic) = fixture(2);
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
+        let stats = ring.run_iterations(5, &mut cluster, &traffic);
+        assert_eq!(stats.len(), 5);
+        assert!(stats[0].migrations >= 1);
+        let late: usize = stats[3].migrations + stats[4].migrations;
+        assert!(
+            late <= stats[0].migrations,
+            "late iterations ({late}) should migrate no more than the first ({})",
+            stats[0].migrations
+        );
+        assert_eq!(stats[4].migrations, 0, "converged by the fifth iteration");
+    }
+
+    #[test]
+    fn hlf_converges_too() {
+        let (mut cluster, traffic) = fixture(3);
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), HighestLevelFirst::new(), 32);
+        let model = ring.engine().cost_model().clone();
+        let initial = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        let stats = ring.run_iterations(5, &mut cluster, &traffic);
+        let final_cost = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        assert!(final_cost < initial);
+        assert!(stats[4].migration_ratio() < 0.1);
+    }
+
+    #[test]
+    fn gains_match_cost_drop() {
+        let (mut cluster, traffic) = fixture(4);
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
+        let model = ring.engine().cost_model().clone();
+        let before = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        let stats = ring.run_iteration(&mut cluster, &traffic);
+        let after = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        assert!(
+            (before - after - stats.total_gain).abs() < 1e-6 * before.max(1.0),
+            "sum of Lemma-3 gains must equal the total cost drop"
+        );
+    }
+
+    #[test]
+    fn step_outcome_chain() {
+        let (mut cluster, traffic) = fixture(5);
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
+        let o1 = ring.step(&mut cluster, &traffic).unwrap();
+        assert_eq!(o1.holder, VmId::new(0));
+        assert_eq!(o1.next, Some(VmId::new(1)));
+        let o2 = ring.step(&mut cluster, &traffic).unwrap();
+        assert_eq!(o2.holder, VmId::new(1));
+    }
+
+    #[test]
+    fn empty_ring_terminates() {
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 0);
+        let (mut cluster, traffic) = fixture(6);
+        assert!(ring.holder().is_none());
+        assert!(ring.step(&mut cluster, &traffic).is_none());
+        let stats = ring.run_iteration(&mut cluster, &traffic);
+        assert_eq!(stats.steps, 0);
+        assert_eq!(stats.migration_ratio(), 0.0);
+    }
+
+    #[test]
+    fn churn_add_and_remove_vms_mid_run() {
+        let (mut cluster, traffic) = fixture(8);
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
+        // Run half an iteration, then remove the current holder and a
+        // bystander; the ring must keep functioning.
+        for _ in 0..16 {
+            ring.step(&mut cluster, &traffic);
+        }
+        let holder = ring.holder().unwrap();
+        assert!(ring.remove_vm(holder));
+        assert!(ring.remove_vm(VmId::new(0)));
+        assert!(!ring.remove_vm(VmId::new(0)), "double removal is a no-op");
+        assert_ne!(ring.holder(), Some(holder));
+        assert_eq!(ring.token().len(), 30);
+        // Re-adding restores membership and the ring still converges.
+        assert!(ring.add_vm(VmId::new(0)));
+        assert!(!ring.add_vm(VmId::new(0)));
+        let stats = ring.run_iteration(&mut cluster, &traffic);
+        assert_eq!(stats.steps, 31);
+        assert!(cluster.allocation().is_consistent());
+    }
+
+    #[test]
+    fn token_loss_recovery_preserves_convergence() {
+        // Failure injection: lose the token twice mid-run; the regenerated
+        // soft state must not prevent convergence or corrupt the cluster.
+        let (mut cluster, traffic) = fixture(12);
+        let model = CostModel::paper_default();
+        let initial = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), HighestLevelFirst::new(), 32);
+        for burst in 0..3 {
+            for _ in 0..20 {
+                ring.step(&mut cluster, &traffic);
+            }
+            if burst < 2 {
+                ring.regenerate_token();
+                assert_eq!(ring.holder(), Some(VmId::new(0)));
+                assert!(ring
+                    .token()
+                    .entries()
+                    .iter()
+                    .all(|e| e.level == score_topology::Level::ZERO));
+            }
+        }
+        ring.run_iterations(4, &mut cluster, &traffic);
+        let final_cost = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        assert!(final_cost < initial);
+        assert!(cluster.allocation().is_consistent());
+
+        // And the regenerated ring converges to the same cost as an
+        // undisturbed one (the allocation state is what matters; token
+        // state is soft).
+        let (mut cluster2, _) = fixture(12);
+        let mut ring2 = TokenRing::new(ScoreEngine::paper_default(), HighestLevelFirst::new(), 32);
+        ring2.run_iterations(6, &mut cluster2, &traffic);
+        let undisturbed = model.total_cost(cluster2.allocation(), &traffic, cluster2.topo());
+        assert!(
+            final_cost <= undisturbed * 1.5 + 1e-9,
+            "token loss must not wreck convergence: {final_cost} vs {undisturbed}"
+        );
+    }
+
+    #[test]
+    fn removing_last_vm_empties_ring() {
+        let (mut cluster, traffic) = fixture(9);
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 1);
+        assert_eq!(ring.holder(), Some(VmId::new(0)));
+        assert!(ring.remove_vm(VmId::new(0)));
+        assert!(ring.holder().is_none());
+        assert!(ring.step(&mut cluster, &traffic).is_none());
+        // An arrival restarts the ring.
+        assert!(ring.add_vm(VmId::new(0)));
+        assert_eq!(ring.holder(), Some(VmId::new(0)));
+    }
+
+    #[test]
+    fn capacity_is_never_violated() {
+        let (mut cluster, traffic) = fixture(7);
+        let slots = cluster.server_spec().vm_slots as usize;
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
+        ring.run_iterations(3, &mut cluster, &traffic);
+        for s in cluster.topo().servers() {
+            assert!(cluster.allocation().occupancy(s) <= slots);
+        }
+        assert!(cluster.allocation().is_consistent());
+    }
+}

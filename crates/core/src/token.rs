@@ -1,0 +1,351 @@
+//! The migration token (paper §V-A, §V-B2).
+//!
+//! "A token is a message formed as an array of entries … capable of
+//! representing over 4 billion IDs before recycling, and an 8-bit
+//! communication level. Entries are stored in ascending order by VM ID."
+//!
+//! The wire format packs each entry as a big-endian `u32` VM id followed by
+//! one level byte (5 bytes per VM), so "the size of the message is of the
+//! order of the number of VMs in the network".
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use score_topology::{Level, VmId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One token entry: a VM id and its last known highest communication level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenEntry {
+    /// The VM this entry describes.
+    pub id: VmId,
+    /// Last recorded highest communication level `l_v` (0 initially).
+    pub level: Level,
+}
+
+/// Error decoding a token from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenCodecError {
+    /// The byte length is not a multiple of the 5-byte entry size.
+    BadLength {
+        /// Received length in bytes.
+        len: usize,
+    },
+    /// Entries were not in strictly ascending VM-id order.
+    NotSorted {
+        /// Index of the first out-of-order entry.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TokenCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenCodecError::BadLength { len } => {
+                write!(f, "token length {len} is not a multiple of {} bytes", Token::ENTRY_BYTES)
+            }
+            TokenCodecError::NotSorted { index } => {
+                write!(f, "token entry {index} is not in ascending VM-id order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TokenCodecError {}
+
+/// The migration token: an ordered array of `(VM id, level)` entries.
+///
+/// # Examples
+///
+/// ```
+/// use score_core::Token;
+/// use score_topology::{Level, VmId};
+///
+/// let mut token = Token::for_vms((0..4).map(VmId::new));
+/// token.raise_level(VmId::new(2), Level::CORE);
+/// let bytes = token.encode();
+/// assert_eq!(bytes.len(), 4 * Token::ENTRY_BYTES);
+/// let decoded = Token::decode(&bytes).unwrap();
+/// assert_eq!(decoded.level_of(VmId::new(2)), Some(Level::CORE));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    entries: Vec<TokenEntry>,
+}
+
+impl Token {
+    /// Bytes per entry on the wire: a 32-bit id plus an 8-bit level.
+    pub const ENTRY_BYTES: usize = 5;
+
+    /// Creates a token covering the given VMs with all levels initialised
+    /// to zero ("the highest communication level is initialized at zero for
+    /// all VMs", §V-A). Ids are deduplicated and sorted.
+    pub fn for_vms<I: IntoIterator<Item = VmId>>(vms: I) -> Self {
+        let mut ids: Vec<VmId> = vms.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Token {
+            entries: ids.into_iter().map(|id| TokenEntry { id, level: Level::ZERO }).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the token has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, ascending by VM id.
+    pub fn entries(&self) -> &[TokenEntry] {
+        &self.entries
+    }
+
+    /// The lowest VM id, `v0`.
+    pub fn first(&self) -> Option<VmId> {
+        self.entries.first().map(|e| e.id)
+    }
+
+    fn position(&self, vm: VmId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&vm, |e| e.id)
+    }
+
+    /// True if the token tracks `vm`.
+    pub fn contains(&self, vm: VmId) -> bool {
+        self.position(vm).is_ok()
+    }
+
+    /// The stored level `l_v` for a VM.
+    pub fn level_of(&self, vm: VmId) -> Option<Level> {
+        self.position(vm).ok().map(|i| self.entries[i].level)
+    }
+
+    /// Overwrites the stored level of a VM (used for the holder's own
+    /// entry, which is always refreshed). Returns `false` for unknown VMs.
+    pub fn set_level(&mut self, vm: VmId, level: Level) -> bool {
+        match self.position(vm) {
+            Ok(i) => {
+                self.entries[i].level = level;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Raises the stored level of a VM if `level` is greater (the peer
+    /// update rule of Algorithm 1: "this update takes place only if the
+    /// existing estimation is smaller"). Returns `true` if the entry
+    /// changed.
+    pub fn raise_level(&mut self, vm: VmId, level: Level) -> bool {
+        match self.position(vm) {
+            Ok(i) if self.entries[i].level < level => {
+                self.entries[i].level = level;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The cyclic successor of `vm` in ascending id order (round-robin:
+    /// "starting from the VM with lowest ID … there is no other VM x such
+    /// that ID_u > ID_x > ID_v"). Works whether or not `vm` itself is
+    /// tracked. Returns `None` on an empty token; returns `vm` itself only
+    /// when it is the sole entry.
+    pub fn next_after(&self, vm: VmId) -> Option<VmId> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let idx = match self.position(vm) {
+            Ok(i) => (i + 1) % self.entries.len(),
+            Err(i) => i % self.entries.len(),
+        };
+        Some(self.entries[idx].id)
+    }
+
+    /// Adds a VM (level 0). Returns `false` if it was already present.
+    /// Supports VM arrivals between iterations.
+    pub fn add_vm(&mut self, vm: VmId) -> bool {
+        match self.position(vm) {
+            Ok(_) => false,
+            Err(i) => {
+                self.entries.insert(i, TokenEntry { id: vm, level: Level::ZERO });
+                true
+            }
+        }
+    }
+
+    /// Removes a VM. Returns `false` if it was not present. Supports VM
+    /// departures between iterations.
+    pub fn remove_vm(&mut self, vm: VmId) -> bool {
+        match self.position(vm) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Entries with the maximum stored level; `(level, ids)`.
+    pub fn max_level_entries(&self) -> Option<(Level, Vec<VmId>)> {
+        let max = self.entries.iter().map(|e| e.level).max()?;
+        Some((max, self.entries.iter().filter(|e| e.level == max).map(|e| e.id).collect()))
+    }
+
+    /// Serialises the token to its 5-byte-per-entry wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.entries.len() * Self::ENTRY_BYTES);
+        for e in &self.entries {
+            buf.put_u32(e.id.get());
+            buf.put_u8(e.level.get());
+        }
+        buf.freeze()
+    }
+
+    /// Parses a token from its wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenCodecError`] if the length is not a multiple of the
+    /// entry size or entries are not strictly ascending by id.
+    pub fn decode(mut bytes: &[u8]) -> Result<Self, TokenCodecError> {
+        if bytes.len() % Self::ENTRY_BYTES != 0 {
+            return Err(TokenCodecError::BadLength { len: bytes.len() });
+        }
+        let n = bytes.len() / Self::ENTRY_BYTES;
+        let mut entries = Vec::with_capacity(n);
+        let mut prev: Option<u32> = None;
+        for index in 0..n {
+            let id = bytes.get_u32();
+            let level = bytes.get_u8();
+            if let Some(p) = prev {
+                if id <= p {
+                    return Err(TokenCodecError::NotSorted { index });
+                }
+            }
+            prev = Some(id);
+            entries.push(TokenEntry { id: VmId::new(id), level: Level::new(level) });
+        }
+        Ok(Token { entries })
+    }
+
+    /// Wire size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.entries.len() * Self::ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token() -> Token {
+        Token::for_vms([3, 1, 7, 1, 5].map(VmId::new))
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let t = token();
+        assert_eq!(t.len(), 4);
+        let ids: Vec<u32> = t.entries().iter().map(|e| e.id.get()).collect();
+        assert_eq!(ids, vec![1, 3, 5, 7]);
+        assert!(t.entries().iter().all(|e| e.level == Level::ZERO));
+        assert_eq!(t.first(), Some(VmId::new(1)));
+    }
+
+    #[test]
+    fn level_updates() {
+        let mut t = token();
+        assert!(t.set_level(VmId::new(3), Level::AGGREGATION));
+        assert_eq!(t.level_of(VmId::new(3)), Some(Level::AGGREGATION));
+        // raise only goes up
+        assert!(!t.raise_level(VmId::new(3), Level::RACK));
+        assert_eq!(t.level_of(VmId::new(3)), Some(Level::AGGREGATION));
+        assert!(t.raise_level(VmId::new(3), Level::CORE));
+        assert_eq!(t.level_of(VmId::new(3)), Some(Level::CORE));
+        // unknown VM
+        assert!(!t.set_level(VmId::new(99), Level::RACK));
+        assert_eq!(t.level_of(VmId::new(99)), None);
+    }
+
+    #[test]
+    fn round_robin_successor() {
+        let t = token();
+        assert_eq!(t.next_after(VmId::new(1)), Some(VmId::new(3)));
+        assert_eq!(t.next_after(VmId::new(7)), Some(VmId::new(1))); // wraps
+        // For ids not in the token, the next higher tracked id is chosen.
+        assert_eq!(t.next_after(VmId::new(4)), Some(VmId::new(5)));
+        assert_eq!(t.next_after(VmId::new(100)), Some(VmId::new(1)));
+        assert_eq!(Token::for_vms([]).next_after(VmId::new(0)), None);
+        let solo = Token::for_vms([VmId::new(9)]);
+        assert_eq!(solo.next_after(VmId::new(9)), Some(VmId::new(9)));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut t = token();
+        t.set_level(VmId::new(5), Level::CORE);
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), t.encoded_len());
+        assert_eq!(bytes.len(), 4 * Token::ENTRY_BYTES);
+        let decoded = Token::decode(&bytes).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn wire_format_layout() {
+        let mut t = Token::for_vms([VmId::new(0x01020304)]);
+        t.set_level(VmId::new(0x01020304), Level::new(9));
+        let bytes = t.encode();
+        assert_eq!(&bytes[..], &[0x01, 0x02, 0x03, 0x04, 9]);
+    }
+
+    #[test]
+    fn decode_rejects_bad_length() {
+        assert_eq!(Token::decode(&[0, 0, 0]), Err(TokenCodecError::BadLength { len: 3 }));
+    }
+
+    #[test]
+    fn decode_rejects_unsorted() {
+        // two entries: id 2 then id 1
+        let bytes = [0, 0, 0, 2, 0, 0, 0, 0, 1, 0];
+        assert_eq!(Token::decode(&bytes), Err(TokenCodecError::NotSorted { index: 1 }));
+        // duplicate ids are also rejected
+        let dup = [0, 0, 0, 2, 0, 0, 0, 0, 2, 0];
+        assert_eq!(Token::decode(&dup), Err(TokenCodecError::NotSorted { index: 1 }));
+    }
+
+    #[test]
+    fn membership_changes() {
+        let mut t = token();
+        assert!(t.add_vm(VmId::new(4)));
+        assert!(!t.add_vm(VmId::new(4)));
+        assert_eq!(t.next_after(VmId::new(3)), Some(VmId::new(4)));
+        assert!(t.remove_vm(VmId::new(4)));
+        assert!(!t.remove_vm(VmId::new(4)));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn max_level_entries() {
+        let mut t = token();
+        assert_eq!(
+            t.max_level_entries(),
+            Some((Level::ZERO, vec![VmId::new(1), VmId::new(3), VmId::new(5), VmId::new(7)]))
+        );
+        t.set_level(VmId::new(5), Level::CORE);
+        t.set_level(VmId::new(7), Level::CORE);
+        let (level, ids) = t.max_level_entries().unwrap();
+        assert_eq!(level, Level::CORE);
+        assert_eq!(ids, vec![VmId::new(5), VmId::new(7)]);
+        assert_eq!(Token::for_vms([]).max_level_entries(), None);
+    }
+
+    #[test]
+    fn codec_error_display() {
+        assert!(TokenCodecError::BadLength { len: 3 }.to_string().contains('3'));
+        assert!(TokenCodecError::NotSorted { index: 1 }.to_string().contains("entry 1"));
+    }
+}

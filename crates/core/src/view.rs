@@ -1,0 +1,217 @@
+//! The token holder's local view (paper §IV).
+//!
+//! "The condition of Theorem 1 relies on information that is available
+//! locally at a given VM u": the identity, rate and location of each peer,
+//! plus the precomputed location-cost mapping. [`LocalView`] is that
+//! information, deliberately *excluding* any global state — the engine only
+//! ever reasons from a `LocalView`, which keeps the implementation honest
+//! about S-CORE's distributed nature.
+
+use score_topology::{Level, LinkWeights, ServerId, Topology, VmId};
+use score_traffic::PairTraffic;
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::Allocation;
+
+/// What the holder knows about one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeerInfo {
+    /// The peer VM.
+    pub vm: VmId,
+    /// Aggregate rate λ(z, u) in bits per second (both directions).
+    pub rate: f64,
+    /// The server hosting the peer (learned via the location probe,
+    /// §V-B4).
+    pub server: ServerId,
+    /// Communication level ℓ_A(z, u) between holder and peer.
+    pub level: Level,
+}
+
+/// Everything VM `u` knows locally when it holds the token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalView {
+    /// The observing VM.
+    pub vm: VmId,
+    /// Its current server.
+    pub server: ServerId,
+    /// Its peers `Vu` with rates, locations and levels.
+    pub peers: Vec<PeerInfo>,
+}
+
+impl LocalView {
+    /// Gathers the local view of `u` from simulation state.
+    ///
+    /// In a real deployment this data comes from the dom0 flow table
+    /// (rates), location probes (peer servers) and the precomputed
+    /// location-cost mapping (levels); in simulation we read the same
+    /// quantities from the global structures, but only the `u`-local slice
+    /// of them.
+    pub fn observe<T: Topology + ?Sized>(
+        u: VmId,
+        alloc: &Allocation,
+        traffic: &PairTraffic,
+        topo: &T,
+    ) -> Self {
+        let server = alloc.server_of(u);
+        let peers = traffic
+            .peers(u)
+            .iter()
+            .map(|&(vm, rate)| {
+                let peer_server = alloc.server_of(vm);
+                PeerInfo { vm, rate, server: peer_server, level: topo.level(server, peer_server) }
+            })
+            .collect();
+        LocalView { vm: u, server, peers }
+    }
+
+    /// The holder's highest communication level `ℓ_A(u)`; level 0 when the
+    /// VM has no peers.
+    pub fn own_level(&self) -> Level {
+        self.peers.iter().map(|p| p.level).max().unwrap_or(Level::ZERO)
+    }
+
+    /// Lemma-3 migration delta `ΔC_{u→x̂}` computed from the local view
+    /// only: `2 Σ_z λ(z,u) (Σ_{i≤ℓ(z,u)} c_i − Σ_{i≤ℓ'(z,u)} c_i)`.
+    pub fn delta_for<T: Topology + ?Sized>(
+        &self,
+        target: ServerId,
+        weights: &LinkWeights,
+        topo: &T,
+    ) -> f64 {
+        if target == self.server {
+            return 0.0;
+        }
+        let mut delta = 0.0;
+        for p in &self.peers {
+            let after = topo.level(p.server, target);
+            delta += p.rate * weights.level_change_saving(p.level, after);
+        }
+        2.0 * delta
+    }
+
+    /// Candidate target servers, "rank[ed] … from highest to lowest
+    /// communication levels" (§V-B5), ties broken towards heavier peers.
+    /// The holder's own server is excluded; duplicates are removed keeping
+    /// the best rank.
+    pub fn candidate_servers(&self) -> Vec<ServerId> {
+        let mut ranked: Vec<&PeerInfo> = self.peers.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.level
+                .cmp(&a.level)
+                .then(b.rate.partial_cmp(&a.rate).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let mut out = Vec::new();
+        for p in ranked {
+            if p.server != self.server && !out.contains(&p.server) {
+                out.push(p.server);
+            }
+        }
+        out
+    }
+
+    /// Total traffic rate of this VM (its NIC demand estimate).
+    pub fn total_rate(&self) -> f64 {
+        self.peers.iter().map(|p| p.rate).sum()
+    }
+
+    /// Peer levels as `(vm, level)` pairs — what the HLF token policy
+    /// needs to refresh token entries.
+    pub fn peer_levels(&self) -> Vec<(VmId, Level)> {
+        self.peers.iter().map(|p| (p.vm, p.level)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use score_topology::CanonicalTree;
+    use score_traffic::PairTrafficBuilder;
+
+    fn fixture() -> (CanonicalTree, Allocation, PairTraffic) {
+        let topo = CanonicalTree::small();
+        // vm0@srv0, vm1@srv1 (same rack), vm2@srv4 (same agg), vm3@srv8 (core)
+        let servers = [0u32, 1, 4, 8];
+        let alloc = Allocation::from_fn(4, 16, |vm| ServerId::new(servers[vm.index()]));
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(0), VmId::new(1), 10.0);
+        b.add(VmId::new(0), VmId::new(2), 5.0);
+        b.add(VmId::new(0), VmId::new(3), 1.0);
+        (topo, alloc, b.build())
+    }
+
+    #[test]
+    fn observation_contents() {
+        let (topo, alloc, traffic) = fixture();
+        let view = LocalView::observe(VmId::new(0), &alloc, &traffic, &topo);
+        assert_eq!(view.server, ServerId::new(0));
+        assert_eq!(view.peers.len(), 3);
+        assert_eq!(view.peers[0].level, Level::RACK);
+        assert_eq!(view.peers[1].level, Level::AGGREGATION);
+        assert_eq!(view.peers[2].level, Level::CORE);
+        assert_eq!(view.own_level(), Level::CORE);
+        assert_eq!(view.total_rate(), 16.0);
+    }
+
+    #[test]
+    fn own_level_without_peers() {
+        let (topo, alloc, traffic) = fixture();
+        let view = LocalView::observe(VmId::new(1), &alloc, &traffic, &topo);
+        assert_eq!(view.own_level(), Level::RACK);
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(2), VmId::new(3), 1.0);
+        let t2 = b.build();
+        let lonely = LocalView::observe(VmId::new(0), &alloc, &t2, &topo);
+        assert_eq!(lonely.own_level(), Level::ZERO);
+        assert!(lonely.candidate_servers().is_empty());
+    }
+
+    #[test]
+    fn candidates_ranked_by_level_then_rate() {
+        let (topo, alloc, traffic) = fixture();
+        let view = LocalView::observe(VmId::new(0), &alloc, &traffic, &topo);
+        // Highest level peer is vm3@srv8 (core), then vm2@srv4, then vm1@srv1.
+        assert_eq!(
+            view.candidate_servers(),
+            vec![ServerId::new(8), ServerId::new(4), ServerId::new(1)]
+        );
+    }
+
+    #[test]
+    fn candidates_exclude_own_server_and_dups() {
+        let (topo, _, _) = fixture();
+        // Both peers on the same server as holder or duplicated.
+        let alloc = Allocation::from_fn(3, 16, |vm| {
+            ServerId::new(if vm.get() == 0 { 0 } else { 4 })
+        });
+        let mut b = PairTrafficBuilder::new(3);
+        b.add(VmId::new(0), VmId::new(1), 1.0);
+        b.add(VmId::new(0), VmId::new(2), 2.0);
+        let traffic = b.build();
+        let view = LocalView::observe(VmId::new(0), &alloc, &traffic, &topo);
+        assert_eq!(view.candidate_servers(), vec![ServerId::new(4)]);
+    }
+
+    #[test]
+    fn delta_matches_cost_model() {
+        use crate::cost::CostModel;
+        let (topo, alloc, traffic) = fixture();
+        let model = CostModel::paper_default();
+        let view = LocalView::observe(VmId::new(0), &alloc, &traffic, &topo);
+        for target in [1u32, 4, 8, 12, 0] {
+            let t = ServerId::new(target);
+            let local = view.delta_for(t, model.weights(), &topo);
+            let global = model.migration_delta(VmId::new(0), t, &alloc, &traffic, &topo);
+            assert!((local - global).abs() < 1e-9, "target {target}: {local} vs {global}");
+        }
+    }
+
+    #[test]
+    fn peer_levels_for_token_updates() {
+        let (topo, alloc, traffic) = fixture();
+        let view = LocalView::observe(VmId::new(0), &alloc, &traffic, &topo);
+        let levels = view.peer_levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], (VmId::new(1), Level::RACK));
+        assert_eq!(levels[2], (VmId::new(3), Level::CORE));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the link-load accounting: traffic placed on
+//! the fabric is conserved, and per-link attributions are coherent.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use score_core::{Allocation, LinkLoadMap};
+use score_topology::{CanonicalTree, FatTree, Level, ServerId, Topology, VmId};
+use score_traffic::{PairTraffic, WorkloadConfig};
+
+fn world(seed: u64) -> (PairTraffic, Allocation) {
+    let traffic = WorkloadConfig::new(24, seed).generate();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+    let alloc = Allocation::from_fn(24, 16, |_| ServerId::new(rng.gen_range(0..16)));
+    (traffic, alloc)
+}
+
+/// Sum of a pair's inter-host rates: each communicating pair whose
+/// endpoints sit on different servers loads both endpoints' host links
+/// with its full rate.
+fn expected_host_layer_load(traffic: &PairTraffic, alloc: &Allocation) -> f64 {
+    traffic
+        .pairs()
+        .iter()
+        .filter(|&&(u, v, _)| alloc.server_of(u) != alloc.server_of(v))
+        .map(|&(_, _, r)| 2.0 * r)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn host_layer_load_is_conserved_canonical(seed in 0u64..300) {
+        let topo = CanonicalTree::small();
+        let (traffic, alloc) = world(seed);
+        let map = LinkLoadMap::compute(&alloc, &traffic, &topo);
+        let got = map.total_load_at_level(Level::RACK);
+        let expected = expected_host_layer_load(&traffic, &alloc);
+        prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0),
+            "host layer {} vs expected {}", got, expected);
+    }
+
+    #[test]
+    fn host_layer_load_is_conserved_fattree(seed in 0u64..300) {
+        let topo = FatTree::small();
+        let (traffic, alloc) = world(seed);
+        let map = LinkLoadMap::compute(&alloc, &traffic, &topo);
+        let got = map.total_load_at_level(Level::RACK);
+        let expected = expected_host_layer_load(&traffic, &alloc);
+        prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn ecmp_split_conserves_upper_layer_mass(seed in 0u64..300) {
+        // Core-layer mass equals 2x the rate of core-level pairs,
+        // regardless of how ECMP spreads it across core links.
+        let topo = FatTree::small();
+        let (traffic, alloc) = world(seed);
+        let map = LinkLoadMap::compute(&alloc, &traffic, &topo);
+        let expected: f64 = traffic
+            .pairs()
+            .iter()
+            .filter(|&&(u, v, _)| {
+                topo.level(alloc.server_of(u), alloc.server_of(v)) == Level::CORE
+            })
+            .map(|&(_, _, r)| 2.0 * r)
+            .sum();
+        let got = map.total_load_at_level(Level::CORE);
+        prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn contributors_attribute_twice_the_link_load(seed in 0u64..200) {
+        let topo = CanonicalTree::small();
+        let (traffic, alloc) = world(seed);
+        let map = LinkLoadMap::compute(&alloc, &traffic, &topo);
+        if let Some((hot, _)) = map.max_utilization(Level::RACK) {
+            let contributed: f64 = LinkLoadMap::contributors(hot, &alloc, &traffic, &topo)
+                .iter()
+                .map(|&(_, c)| c)
+                .sum();
+            // Each pair charges both endpoints, so attribution doubles the
+            // link's carried load.
+            prop_assert!((contributed - 2.0 * map.load_bps(hot)).abs()
+                < 1e-6 * contributed.max(1.0));
+        }
+    }
+
+    #[test]
+    fn collocating_everything_clears_the_fabric(seed in 0u64..100) {
+        let topo = CanonicalTree::small();
+        let traffic = WorkloadConfig::new(16, seed).generate();
+        let alloc = Allocation::from_fn(16, 16, |_| ServerId::new(0));
+        let map = LinkLoadMap::compute(&alloc, &traffic, &topo);
+        for (_, load, _) in map.iter() {
+            prop_assert_eq!(load, 0.0);
+        }
+        let _ = VmId::new(0);
+    }
+}

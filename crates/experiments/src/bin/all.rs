@@ -1,0 +1,42 @@
+//! Runs every figure experiment in sequence and prints a combined report —
+//! the data behind EXPERIMENTS.md.
+
+use score_experiments as exp;
+use score_sim::TopologyKind;
+
+fn main() {
+    let paper = exp::paper_scale_requested();
+    let sw = exp::Stopwatch::start();
+    println!(
+        "S-CORE reproduction — full experiment suite ({} scale)",
+        if paper { "paper" } else { "CI" }
+    );
+
+    exp::banner("Fig. 2");
+    println!("{}", exp::fig2::run(paper).1);
+    exp::banner("Fig. 3a–c");
+    println!("{}", exp::fig3_tm::run(paper).1);
+    exp::banner("Fig. 3d–f");
+    println!("{}", exp::fig3_cost::run(TopologyKind::CanonicalTree, paper).1);
+    exp::banner("Fig. 3g–i");
+    println!("{}", exp::fig3_cost::run(TopologyKind::FatTree, paper).1);
+    exp::banner("Fig. 4");
+    println!("{}", exp::fig4::run(paper).1);
+    exp::banner("Fig. 5a");
+    println!("{}", exp::fig5a::run(paper).1);
+    exp::banner("Fig. 5b");
+    println!("{}", exp::fig5b::run(paper).1);
+    exp::banner("Fig. 5c/5d");
+    println!("{}", exp::fig5cd::run(paper).1);
+    exp::banner("Extension: policies");
+    println!("{}", exp::ext_policies::run(paper).1);
+    exp::banner("Extension: weights");
+    println!("{}", exp::ext_weights::run(paper).1);
+    exp::banner("Extension: control overhead");
+    println!("{}", exp::ext_overhead::run(paper).1);
+    exp::banner("Extension: oversubscription");
+    println!("{}", exp::ext_oversub::run(paper).1);
+
+    println!("\nAll experiments finished in {:.1} s.", sw.elapsed_s());
+    println!("CSV outputs under: {}", exp::results_dir().display());
+}

@@ -1,0 +1,8 @@
+//! Extension: control-plane overhead accounting (§V-B scalability claim).
+
+fn main() {
+    score_experiments::banner("Extension — control-plane overhead");
+    let (_, summary) =
+        score_experiments::ext_overhead::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

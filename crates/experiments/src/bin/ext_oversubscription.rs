@@ -1,0 +1,8 @@
+//! Extension: ToR oversubscription sweep (§V-C headroom claim).
+
+fn main() {
+    score_experiments::banner("Extension — oversubscription sweep");
+    let (_, summary) =
+        score_experiments::ext_oversub::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

@@ -1,0 +1,8 @@
+//! Extension: all-token-policy comparison (beyond the paper's RR vs HLF).
+
+fn main() {
+    score_experiments::banner("Extension — token-policy comparison");
+    let (_, summary) =
+        score_experiments::ext_policies::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

@@ -1,0 +1,8 @@
+//! Extension: link-weight sensitivity ablation (§II operator-policy knob).
+
+fn main() {
+    score_experiments::banner("Extension — link-weight sensitivity");
+    let (_, summary) =
+        score_experiments::ext_weights::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 2 (migrated-VM ratio per token iteration).
+
+fn main() {
+    score_experiments::banner("Fig. 2 — ratio of migrated VMs per iteration");
+    let (_, summary) = score_experiments::fig2::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

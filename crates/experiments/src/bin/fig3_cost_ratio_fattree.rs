@@ -1,0 +1,12 @@
+//! Regenerates paper Fig. 3g–i (cost ratio vs time, fat-tree).
+
+use score_sim::TopologyKind;
+
+fn main() {
+    score_experiments::banner("Fig. 3g–i — cost ratio, fat-tree");
+    let (_, summary) = score_experiments::fig3_cost::run(
+        TopologyKind::FatTree,
+        score_experiments::paper_scale_requested(),
+    );
+    println!("{summary}");
+}

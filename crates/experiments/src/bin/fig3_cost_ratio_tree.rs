@@ -1,0 +1,12 @@
+//! Regenerates paper Fig. 3d–f (cost ratio vs time, canonical tree).
+
+use score_sim::TopologyKind;
+
+fn main() {
+    score_experiments::banner("Fig. 3d–f — cost ratio, canonical tree");
+    let (_, summary) = score_experiments::fig3_cost::run(
+        TopologyKind::CanonicalTree,
+        score_experiments::paper_scale_requested(),
+    );
+    println!("{summary}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 3a–c (traffic-matrix heatmaps).
+
+fn main() {
+    score_experiments::banner("Fig. 3a–c — ToR-to-ToR traffic matrices");
+    let (_, summary) = score_experiments::fig3_tm::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 4a/4b (S-CORE vs Remedy).
+
+fn main() {
+    score_experiments::banner("Fig. 4 — S-CORE vs Remedy");
+    let (_, summary) = score_experiments::fig4::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

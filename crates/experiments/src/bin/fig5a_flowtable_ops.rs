@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 5a (flow-table operation timings).
+
+fn main() {
+    score_experiments::banner("Fig. 5a — flow-table operations");
+    let (_, summary) = score_experiments::fig5a::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 5b (migrated-bytes distribution).
+
+fn main() {
+    score_experiments::banner("Fig. 5b — migrated bytes per migration");
+    let (_, summary) = score_experiments::fig5b::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 5c/5d (migration time and downtime vs load).
+
+fn main() {
+    score_experiments::banner("Fig. 5c/5d — migration time & downtime");
+    let (_, summary) = score_experiments::fig5cd::run(score_experiments::paper_scale_requested());
+    println!("{summary}");
+}

@@ -1,0 +1,186 @@
+//! `scorectl` — run a custom S-CORE scenario from the command line.
+//!
+//! ```text
+//! scorectl [--topology canonical|fattree] [--racks N] [--hosts-per-rack N]
+//!          [--k N] [--vms-per-host F] [--intensity sparse|medium|dense]
+//!          [--policy rr|hlf|hcf|random] [--cm F] [--t-end SECONDS]
+//!          [--seed N] [--csv FILE]
+//! ```
+//!
+//! Prints the run summary and, with `--csv`, writes the cost-vs-time
+//! series.
+
+use score_sim::{
+    build_world, run_simulation, series_to_csv, PolicyKind, ScenarioConfig, SimConfig,
+    TopologyKind,
+};
+use score_core::ScoreConfig;
+use score_traffic::TrafficIntensity;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    topology: TopologyKind,
+    racks: u32,
+    hosts_per_rack: u32,
+    k: u32,
+    vms_per_host: f64,
+    intensity: TrafficIntensity,
+    policy: PolicyKind,
+    cm: f64,
+    t_end_s: f64,
+    seed: u64,
+    csv: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            topology: TopologyKind::CanonicalTree,
+            racks: 32,
+            hosts_per_rack: 5,
+            k: 8,
+            vms_per_host: 2.0,
+            intensity: TrafficIntensity::Sparse,
+            policy: PolicyKind::HighestLevelFirst,
+            cm: 0.0,
+            t_end_s: 500.0,
+            seed: 42,
+            csv: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--topology" => {
+                args.topology = match value("--topology")?.as_str() {
+                    "canonical" => TopologyKind::CanonicalTree,
+                    "fattree" => TopologyKind::FatTree,
+                    other => return Err(format!("unknown topology {other:?}")),
+                }
+            }
+            "--racks" => args.racks = value("--racks")?.parse().map_err(|e| format!("{e}"))?,
+            "--hosts-per-rack" => {
+                args.hosts_per_rack =
+                    value("--hosts-per-rack")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--k" => args.k = value("--k")?.parse().map_err(|e| format!("{e}"))?,
+            "--vms-per-host" => {
+                args.vms_per_host = value("--vms-per-host")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--intensity" => {
+                args.intensity = match value("--intensity")?.as_str() {
+                    "sparse" => TrafficIntensity::Sparse,
+                    "medium" => TrafficIntensity::Medium,
+                    "dense" => TrafficIntensity::Dense,
+                    other => return Err(format!("unknown intensity {other:?}")),
+                }
+            }
+            "--policy" => {
+                args.policy = match value("--policy")?.as_str() {
+                    "rr" => PolicyKind::RoundRobin,
+                    "hlf" => PolicyKind::HighestLevelFirst,
+                    "hcf" => PolicyKind::HighestCostFirst,
+                    "random" => PolicyKind::Random,
+                    other => return Err(format!("unknown policy {other:?}")),
+                }
+            }
+            "--cm" => args.cm = value("--cm")?.parse().map_err(|e| format!("{e}"))?,
+            "--t-end" => args.t_end_s = value("--t-end")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--help" | "-h" => {
+                return Err(String::new()); // triggers usage
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: scorectl [--topology canonical|fattree] [--racks N] \
+         [--hosts-per-rack N] [--k N] [--vms-per-host F] \
+         [--intensity sparse|medium|dense] [--policy rr|hlf|hcf|random] \
+         [--cm F] [--t-end SECONDS] [--seed N] [--csv FILE]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenario = ScenarioConfig {
+        topology: args.topology,
+        racks: args.racks,
+        hosts_per_rack: args.hosts_per_rack,
+        racks_per_agg: (args.racks / 4).max(1),
+        cores: 2,
+        k: args.k,
+        vms_per_host: args.vms_per_host,
+        intensity: args.intensity,
+        seed: args.seed,
+    };
+    let mut world = build_world(&scenario);
+    let config = SimConfig {
+        t_end_s: args.t_end_s,
+        score: ScoreConfig::paper_default().with_migration_cost(args.cm),
+        seed: args.seed,
+        ..SimConfig::paper_default()
+    };
+    println!(
+        "scenario: {} | servers {} | VMs {} | {} workload | policy {} | cm {:.3e}",
+        world.topo.name(),
+        world.topo.num_servers(),
+        world.traffic.num_vms(),
+        args.intensity.name(),
+        args.policy.name(),
+        args.cm,
+    );
+    let report = run_simulation(&mut world.cluster, &world.traffic, args.policy, &config);
+    println!(
+        "cost: {:.4e} -> {:.4e} ({:.1}% reduction)",
+        report.initial_cost,
+        report.final_cost,
+        (1.0 - report.final_cost / report.initial_cost) * 100.0
+    );
+    println!(
+        "migrations: {} | bytes moved {:.1} MB | cumulative downtime {:.0} ms | token holds {}",
+        report.migrations.len(),
+        report.total_migration_bytes() / (1024.0 * 1024.0),
+        report.total_downtime_s() * 1e3,
+        report.token_holds,
+    );
+    for (i, it) in report.iterations.iter().take(5).enumerate() {
+        println!(
+            "iteration {}: {:.1}% of VMs migrated",
+            i + 1,
+            it.migration_ratio() * 100.0
+        );
+    }
+    if let Some(path) = args.csv {
+        let csv = series_to_csv(&report.cost_series, "time_s", "cost");
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("cost series written to {path}");
+    }
+    ExitCode::SUCCESS
+}

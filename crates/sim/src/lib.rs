@@ -1,0 +1,50 @@
+//! Flow-level discrete-event data-center simulator for S-CORE — the
+//! reproduction's stand-in for the paper's ns-3 environment (§VI).
+//!
+//! The paper simulates 2560-host canonical trees and k = 16 fat-trees in
+//! ns-3, with each server modelled as "a VM hypervisor network application"
+//! supporting in- and out-migration. S-CORE's decisions depend on *average*
+//! pairwise rates over long windows, not packet-level dynamics, so this
+//! simulator operates at flow granularity:
+//!
+//! * [`events`] — a deterministic discrete-event queue;
+//! * [`scenario`] — topology + workload + initial-placement recipes at
+//!   paper scale and CI scale;
+//! * [`runner`] — drives the S-CORE token ring over simulated time,
+//!   charging token-hold and token-pass delays and sampling the pre-copy
+//!   model for every migration (cost-vs-time of Fig. 3d–i, Fig. 4b);
+//! * [`metrics`] — utilization CDF snapshots (Fig. 4a), CSV and ASCII
+//!   plotting helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use score_sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+//! use score_traffic::TrafficIntensity;
+//!
+//! let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 7));
+//! let config = SimConfig { t_end_s: 60.0, ..SimConfig::paper_default() };
+//! let report = run_simulation(
+//!     &mut world.cluster,
+//!     &world.traffic,
+//!     PolicyKind::HighestLevelFirst,
+//!     &config,
+//! );
+//! assert!(report.final_cost <= report.initial_cost);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod events;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+
+pub use events::{EventQueue, SimEvent};
+pub use metrics::{ascii_chart, jain_fairness, series_to_csv, UtilizationSnapshot};
+pub use runner::{
+    run_dynamic, run_simulation, HypervisorStats, MigrationEvent, PolicyKind, SimConfig,
+    SimReport, TrafficPhase,
+};
+pub use scenario::{build_world, ScenarioConfig, TopologyKind, World};

@@ -1,0 +1,567 @@
+//! The scenario runner: S-CORE over simulated time.
+//!
+//! Drives a [`TokenRing`] through the event queue so that cost reduction
+//! unfolds on a wall-clock axis (the x-axis of Fig. 3d–i and Fig. 4b):
+//! each token hold costs decision time, token passing costs network
+//! latency, and every accepted migration samples the pre-copy model for
+//! its duration, bytes and downtime.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use score_core::{
+    Cluster, CostModel, HighestLevelFirst, IterationStats, RandomNext, RoundRobin, ScoreConfig,
+    ScoreEngine, TokenPolicy, TokenRing,
+};
+use score_topology::{ServerId, VmId};
+use score_traffic::{CbrLoad, PairTraffic};
+use score_xen::{PreCopyConfig, PreCopyModel};
+use serde::{Deserialize, Serialize};
+
+use crate::events::{EventQueue, SimEvent};
+
+/// Token policy selector for configuration files and CSV columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Round-Robin (§V-A1).
+    RoundRobin,
+    /// Highest-Level-First (§V-A2, Algorithm 1).
+    HighestLevelFirst,
+    /// Highest-Cost-First (TR-2013-338-inspired extension).
+    HighestCostFirst,
+    /// Uniform random (ablation).
+    Random,
+}
+
+impl PolicyKind {
+    /// Lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "rr",
+            PolicyKind::HighestLevelFirst => "hlf",
+            PolicyKind::HighestCostFirst => "hcf",
+            PolicyKind::Random => "random",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self, seed: u64) -> Box<dyn TokenPolicy> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(RoundRobin::new()),
+            PolicyKind::HighestLevelFirst => Box::new(HighestLevelFirst::new()),
+            PolicyKind::HighestCostFirst => {
+                Box::new(score_core::HighestCostFirst::paper_default())
+            }
+            PolicyKind::Random => Box::new(RandomNext::new(seed)),
+        }
+    }
+
+    /// Both paper policies.
+    pub fn paper_policies() -> [PolicyKind; 2] {
+        [PolicyKind::HighestLevelFirst, PolicyKind::RoundRobin]
+    }
+
+    /// Every implemented policy (paper pair + extensions/ablations).
+    pub fn all() -> [PolicyKind; 4] {
+        [
+            PolicyKind::HighestLevelFirst,
+            PolicyKind::RoundRobin,
+            PolicyKind::HighestCostFirst,
+            PolicyKind::Random,
+        ]
+    }
+}
+
+/// Timing and algorithm parameters of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulation horizon in seconds (the paper plots 700–800 s).
+    pub t_end_s: f64,
+    /// Cost sampling interval in seconds.
+    pub sample_interval_s: f64,
+    /// Time a dom0 holds the token: flow-table aggregation + probes +
+    /// decision.
+    pub token_hold_s: f64,
+    /// Network latency of passing the token to the next dom0.
+    pub token_pass_s: f64,
+    /// S-CORE decision parameters (`c_m`, bandwidth threshold).
+    pub score: ScoreConfig,
+    /// Pre-copy model for migration overheads.
+    pub precopy: PreCopyConfig,
+    /// Background load seen by migration traffic.
+    pub background: CbrLoad,
+    /// RNG seed (migration model noise, random policy).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Defaults that let a few thousand token holds fit the paper's 700 s
+    /// horizon.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            t_end_s: 700.0,
+            sample_interval_s: 5.0,
+            token_hold_s: 0.08,
+            token_pass_s: 0.02,
+            score: ScoreConfig::paper_default(),
+            precopy: PreCopyConfig::paper_default(),
+            background: CbrLoad::IDLE,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_default()
+    }
+}
+
+/// One migration performed during the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationEvent {
+    /// Decision time.
+    pub time_s: f64,
+    /// The VM that moved.
+    pub vm: VmId,
+    /// Source server.
+    pub from: ServerId,
+    /// Destination server.
+    pub to: ServerId,
+    /// Lemma-3 gain of the move.
+    pub gain: f64,
+    /// Bytes moved by pre-copy.
+    pub bytes: f64,
+    /// Total migration duration in seconds.
+    pub duration_s: f64,
+    /// Stop-and-copy downtime in seconds.
+    pub downtime_s: f64,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// `(time, Eq.-(2) cost)` samples.
+    pub cost_series: Vec<(f64, f64)>,
+    /// Cost at t = 0.
+    pub initial_cost: f64,
+    /// Cost at the horizon.
+    pub final_cost: f64,
+    /// All migrations in decision order.
+    pub migrations: Vec<MigrationEvent>,
+    /// Per-iteration (|V| token holds) migration statistics — the Fig. 2
+    /// series.
+    pub iterations: Vec<IterationStats>,
+    /// Token holds executed.
+    pub token_holds: usize,
+}
+
+/// In-/out-migration counts for one hypervisor — the bookkeeping the
+/// paper's per-server "VM hypervisor network application" maintains
+/// ("supporting in-migration … as well as out-migration", §VI).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HypervisorStats {
+    /// VMs that moved onto this server.
+    pub in_migrations: u32,
+    /// VMs that moved off this server.
+    pub out_migrations: u32,
+}
+
+impl SimReport {
+    /// Total migration bytes.
+    pub fn total_migration_bytes(&self) -> f64 {
+        self.migrations.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Per-server in-/out-migration counts (indexed by raw server id).
+    pub fn hypervisor_stats(&self, num_servers: usize) -> Vec<HypervisorStats> {
+        let mut stats = vec![HypervisorStats::default(); num_servers];
+        for m in &self.migrations {
+            stats[m.from.index()].out_migrations += 1;
+            stats[m.to.index()].in_migrations += 1;
+        }
+        stats
+    }
+
+    /// Maximum number of migrations in flight at any instant (each
+    /// migration occupies `[time_s, time_s + duration_s)`).
+    pub fn max_concurrent_migrations(&self) -> usize {
+        let mut events: Vec<(f64, i32)> = Vec::with_capacity(self.migrations.len() * 2);
+        for m in &self.migrations {
+            events.push((m.time_s, 1));
+            events.push((m.time_s + m.duration_s, -1));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut current = 0i32;
+        let mut max = 0i32;
+        for (_, delta) in events {
+            current += delta;
+            max = max.max(current);
+        }
+        max.max(0) as usize
+    }
+
+    /// Total VM downtime across all migrations.
+    pub fn total_downtime_s(&self) -> f64 {
+        self.migrations.iter().map(|m| m.downtime_s).sum()
+    }
+
+    /// Cost series normalised by a baseline cost (the "communication cost
+    /// ratio" y-axis of Fig. 3d–i, with the GA-optimal as baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline_cost` is not positive.
+    pub fn ratio_series(&self, baseline_cost: f64) -> Vec<(f64, f64)> {
+        assert!(baseline_cost > 0.0, "baseline cost must be positive");
+        self.cost_series.iter().map(|&(t, c)| (t, c / baseline_cost)).collect()
+    }
+}
+
+/// Runs S-CORE under the given policy over simulated time, mutating
+/// `cluster` in place.
+pub fn run_simulation(
+    cluster: &mut Cluster,
+    traffic: &PairTraffic,
+    policy: PolicyKind,
+    config: &SimConfig,
+) -> SimReport {
+    let num_vms = cluster.num_vms();
+    let engine = ScoreEngine::new(CostModel::paper_default(), config.score);
+    let model = engine.cost_model().clone();
+    let mut ring = TokenRing::new(engine, policy.build(config.seed), num_vms);
+    let precopy = PreCopyModel::new(config.precopy);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut queue = EventQueue::new();
+    queue.schedule_at(0.0, SimEvent::Sample);
+    queue.schedule_at(config.token_hold_s.max(1e-6), SimEvent::TokenArrive {
+        vm: ring.holder().unwrap_or(VmId::new(0)),
+    });
+    queue.schedule_at(config.t_end_s, SimEvent::End);
+
+    let initial_cost = model.total_cost(cluster.allocation(), traffic, cluster.topo());
+    let mut report = SimReport {
+        cost_series: Vec::new(),
+        initial_cost,
+        final_cost: initial_cost,
+        migrations: Vec::new(),
+        iterations: Vec::new(),
+        token_holds: 0,
+    };
+
+    // Per-iteration accumulator (an iteration is |V| token holds).
+    let mut iter_stats = IterationStats { steps: 0, migrations: 0, total_gain: 0.0 };
+
+    while let Some((t, event)) = queue.pop() {
+        match event {
+            SimEvent::End => break,
+            SimEvent::Sample => {
+                let cost = model.total_cost(cluster.allocation(), traffic, cluster.topo());
+                report.cost_series.push((t, cost));
+                if t + config.sample_interval_s <= config.t_end_s {
+                    queue.schedule_in(config.sample_interval_s, SimEvent::Sample);
+                }
+            }
+            SimEvent::MigrationComplete { .. } => {
+                // Allocation already switched at decision time; the
+                // completion event only exists to order bookkeeping if a
+                // consumer wants in-flight counts.
+            }
+            SimEvent::TokenArrive { vm: _ } => {
+                let Some(outcome) = ring.step(cluster, traffic) else { continue };
+                report.token_holds += 1;
+                iter_stats.steps += 1;
+                if let Some(target) = outcome.decision.target {
+                    let sample = precopy.migrate(config.background, &mut rng);
+                    report.migrations.push(MigrationEvent {
+                        time_s: t,
+                        vm: outcome.holder,
+                        from: outcome.source,
+                        to: target,
+                        gain: outcome.decision.gain,
+                        bytes: sample.migrated_bytes,
+                        duration_s: sample.total_time_s,
+                        downtime_s: sample.downtime_s,
+                    });
+                    iter_stats.migrations += 1;
+                    iter_stats.total_gain += outcome.decision.gain;
+                    queue.schedule_in(
+                        sample.total_time_s,
+                        SimEvent::MigrationComplete { vm: outcome.holder, to: target, sample },
+                    );
+                }
+                if iter_stats.steps as u32 >= num_vms {
+                    report.iterations.push(iter_stats);
+                    iter_stats = IterationStats { steps: 0, migrations: 0, total_gain: 0.0 };
+                }
+                if let Some(next) = outcome.next {
+                    queue.schedule_in(
+                        config.token_hold_s + config.token_pass_s,
+                        SimEvent::TokenArrive { vm: next },
+                    );
+                }
+            }
+        }
+    }
+
+    if iter_stats.steps > 0 {
+        report.iterations.push(iter_stats);
+    }
+    report.final_cost = model.total_cost(cluster.allocation(), traffic, cluster.topo());
+    report
+}
+
+/// One phase of a dynamic workload: a traffic pattern active for a
+/// duration.
+#[derive(Debug, Clone)]
+pub struct TrafficPhase {
+    /// How long this phase lasts, seconds.
+    pub duration_s: f64,
+    /// The pairwise loads during the phase.
+    pub traffic: PairTraffic,
+}
+
+/// Runs S-CORE across a sequence of traffic phases — the paper's
+/// "always-on" operation: when the TM shifts, the token keeps circulating
+/// and the allocation re-converges to the new pattern.
+///
+/// Returns one [`SimReport`] per phase; the cluster state carries over
+/// between phases (time axes restart per phase).
+///
+/// # Panics
+///
+/// Panics if `phases` is empty or populations mismatch the cluster.
+pub fn run_dynamic(
+    cluster: &mut Cluster,
+    phases: &[TrafficPhase],
+    policy: PolicyKind,
+    config: &SimConfig,
+) -> Vec<SimReport> {
+    assert!(!phases.is_empty(), "need at least one phase");
+    phases
+        .iter()
+        .enumerate()
+        .map(|(i, phase)| {
+            let phase_config = SimConfig {
+                t_end_s: phase.duration_s,
+                seed: config.seed.wrapping_add(i as u64),
+                ..config.clone()
+            };
+            run_simulation(cluster, &phase.traffic, policy, &phase_config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{build_world, ScenarioConfig};
+    use score_traffic::TrafficIntensity;
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            t_end_s: 120.0,
+            sample_interval_s: 5.0,
+            token_hold_s: 0.05,
+            token_pass_s: 0.01,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn simulation_reduces_cost_over_time() {
+        let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 1));
+        let report = run_simulation(
+            &mut world.cluster,
+            &world.traffic,
+            PolicyKind::RoundRobin,
+            &quick_config(),
+        );
+        assert!(report.final_cost < report.initial_cost);
+        // Series is non-increasing (S-CORE never performs a bad move).
+        for w in report.cost_series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6);
+        }
+        assert!(report.token_holds > 0);
+        assert!(!report.migrations.is_empty());
+    }
+
+    #[test]
+    fn iteration_stats_group_by_population() {
+        let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 2));
+        let vms = world.cluster.num_vms() as usize;
+        let report = run_simulation(
+            &mut world.cluster,
+            &world.traffic,
+            PolicyKind::RoundRobin,
+            &quick_config(),
+        );
+        for (i, it) in report.iterations.iter().enumerate() {
+            if i + 1 < report.iterations.len() {
+                assert_eq!(it.steps, vms, "full iterations cover the population");
+            }
+        }
+    }
+
+    #[test]
+    fn hlf_and_rr_both_converge() {
+        for policy in PolicyKind::paper_policies() {
+            let mut world =
+                build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 3));
+            let report =
+                run_simulation(&mut world.cluster, &world.traffic, policy, &quick_config());
+            assert!(
+                report.final_cost < report.initial_cost,
+                "{} must improve the initial placement",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn migration_events_have_sane_overheads() {
+        let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 4));
+        let report = run_simulation(
+            &mut world.cluster,
+            &world.traffic,
+            PolicyKind::HighestLevelFirst,
+            &quick_config(),
+        );
+        for m in &report.migrations {
+            assert!(m.gain > 0.0);
+            assert!(m.bytes > 50e6 && m.bytes < 200e6);
+            assert!(m.duration_s > 1.0 && m.duration_s < 15.0);
+            assert!(m.downtime_s < 0.05);
+        }
+        assert!(report.total_migration_bytes() > 0.0);
+        assert!(report.total_downtime_s() > 0.0);
+    }
+
+    #[test]
+    fn ratio_series_normalises() {
+        let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 5));
+        let report = run_simulation(
+            &mut world.cluster,
+            &world.traffic,
+            PolicyKind::RoundRobin,
+            &quick_config(),
+        );
+        let ratios = report.ratio_series(report.final_cost);
+        assert!((ratios.last().unwrap().1 - 1.0).abs() < 0.2);
+        assert!(ratios[0].1 >= ratios.last().unwrap().1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 6);
+        let run = || {
+            let mut world = build_world(&cfg);
+            run_simulation(
+                &mut world.cluster,
+                &world.traffic,
+                PolicyKind::HighestLevelFirst,
+                &quick_config(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_cost, b.final_cost);
+        assert_eq!(a.migrations.len(), b.migrations.len());
+        assert_eq!(a.token_holds, b.token_holds);
+    }
+
+    #[test]
+    fn hypervisor_stats_balance() {
+        let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 11));
+        let servers = world.topo.num_servers();
+        let report = run_simulation(
+            &mut world.cluster,
+            &world.traffic,
+            PolicyKind::RoundRobin,
+            &quick_config(),
+        );
+        let stats = report.hypervisor_stats(servers);
+        let ins: u32 = stats.iter().map(|s| s.in_migrations).sum();
+        let outs: u32 = stats.iter().map(|s| s.out_migrations).sum();
+        assert_eq!(ins as usize, report.migrations.len());
+        assert_eq!(outs as usize, report.migrations.len());
+        // Migrations overlap in time (token keeps moving while pre-copy
+        // runs), so concurrency is at least 1 when any migration happened.
+        if !report.migrations.is_empty() {
+            assert!(report.max_concurrent_migrations() >= 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_phases_readapt() {
+        use score_traffic::WorkloadConfig;
+        // Phase 1: workload A; phase 2: a fresh workload B over the same
+        // population. S-CORE must re-converge after the shift.
+        let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 8));
+        let num_vms = world.traffic.num_vms();
+        let traffic_b = WorkloadConfig::new(num_vms, 999).generate();
+        let phases = vec![
+            TrafficPhase { duration_s: 120.0, traffic: world.traffic.clone() },
+            TrafficPhase { duration_s: 120.0, traffic: traffic_b },
+        ];
+        let reports = run_dynamic(
+            &mut world.cluster,
+            &phases,
+            PolicyKind::HighestLevelFirst,
+            &quick_config(),
+        );
+        assert_eq!(reports.len(), 2);
+        // Phase 1 improves workload A.
+        assert!(reports[0].final_cost < reports[0].initial_cost);
+        // The shift leaves the allocation mismatched to workload B; the
+        // second phase finds new migrations and improves again.
+        assert!(reports[1].migrations.len() > 3, "must re-adapt after the TM shift");
+        assert!(reports[1].final_cost < reports[1].initial_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn dynamic_requires_phases() {
+        let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 9));
+        let _ = run_dynamic(
+            &mut world.cluster,
+            &[],
+            PolicyKind::RoundRobin,
+            &quick_config(),
+        );
+    }
+
+    #[test]
+    fn stability_no_oscillation_under_static_traffic() {
+        // VM stability (paper §VI-B): once converged, no VM keeps bouncing.
+        let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 10));
+        let config = SimConfig { t_end_s: 250.0, ..quick_config() };
+        let report = run_simulation(
+            &mut world.cluster,
+            &world.traffic,
+            PolicyKind::RoundRobin,
+            &config,
+        );
+        let mut per_vm = std::collections::HashMap::new();
+        for m in &report.migrations {
+            *per_vm.entry(m.vm).or_insert(0usize) += 1;
+        }
+        let max_moves = per_vm.values().copied().max().unwrap_or(0);
+        assert!(max_moves <= 4, "a VM migrated {max_moves} times under static traffic");
+        // And the tail of the run is quiet.
+        let late = report
+            .migrations
+            .iter()
+            .filter(|m| m.time_s > 200.0)
+            .count();
+        assert_eq!(late, 0, "migrations continued after convergence");
+    }
+
+    #[test]
+    fn policy_kind_metadata() {
+        assert_eq!(PolicyKind::RoundRobin.name(), "rr");
+        assert_eq!(PolicyKind::HighestLevelFirst.name(), "hlf");
+        assert_eq!(PolicyKind::Random.name(), "random");
+        assert_eq!(PolicyKind::paper_policies().len(), 2);
+    }
+}

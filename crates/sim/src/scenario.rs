@@ -1,0 +1,227 @@
+//! Scenario construction: topology + workload + initial cluster state.
+//!
+//! The paper's simulations pair two topologies (canonical tree with 2560
+//! hosts, fat-tree with k = 16) with three workload intensities and a
+//! traffic-agnostic initial placement. [`ScenarioConfig`] captures that
+//! recipe, with a scaled-down default so experiments finish in CI time and
+//! a `paper_scale` escape hatch for the full-size runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use score_baselines::random_placement;
+use score_core::{Cluster, ServerSpec, VmSpec};
+use score_topology::{CanonicalTreeBuilder, FatTreeBuilder, Topology};
+use score_traffic::{PairTraffic, TrafficIntensity, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which DC fabric to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Canonical layered tree (paper Fig. 1a).
+    CanonicalTree,
+    /// k-ary fat-tree (paper Fig. 1b).
+    FatTree,
+}
+
+impl TopologyKind {
+    /// Lowercase name for CSV columns and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::CanonicalTree => "canonical-tree",
+            TopologyKind::FatTree => "fat-tree",
+        }
+    }
+}
+
+/// A complete simulation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Fabric type.
+    pub topology: TopologyKind,
+    /// Racks for the canonical tree (ignored by the fat-tree).
+    pub racks: u32,
+    /// Hosts per rack for the canonical tree (ignored by the fat-tree).
+    pub hosts_per_rack: u32,
+    /// Racks per aggregation switch for the canonical tree.
+    pub racks_per_agg: u32,
+    /// Core switches for the canonical tree.
+    pub cores: u32,
+    /// Fat-tree arity (ignored by the canonical tree).
+    pub k: u32,
+    /// Mean VMs per host (the paper packs up to 16).
+    pub vms_per_host: f64,
+    /// Workload intensity.
+    pub intensity: TrafficIntensity,
+    /// RNG seed for workload + placement.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// Scaled-down canonical-tree scenario (32 racks × 5 hosts, 2 VMs per
+    /// host) that preserves the paper's structure at CI-friendly size.
+    pub fn small_canonical(intensity: TrafficIntensity, seed: u64) -> Self {
+        ScenarioConfig {
+            topology: TopologyKind::CanonicalTree,
+            racks: 32,
+            hosts_per_rack: 5,
+            racks_per_agg: 8,
+            cores: 2,
+            k: 0,
+            vms_per_host: 2.0,
+            intensity,
+            seed,
+        }
+    }
+
+    /// Scaled-down fat-tree scenario (k = 8: 128 hosts).
+    pub fn small_fattree(intensity: TrafficIntensity, seed: u64) -> Self {
+        ScenarioConfig { topology: TopologyKind::FatTree, k: 8, ..Self::small_canonical(intensity, seed) }
+    }
+
+    /// The paper's full-scale canonical tree: 128 racks × 20 hosts
+    /// (2560 servers).
+    pub fn paper_canonical(intensity: TrafficIntensity, seed: u64) -> Self {
+        ScenarioConfig {
+            topology: TopologyKind::CanonicalTree,
+            racks: 128,
+            hosts_per_rack: 20,
+            racks_per_agg: 16,
+            cores: 2,
+            k: 0,
+            vms_per_host: 2.0,
+            intensity,
+            seed,
+        }
+    }
+
+    /// The paper's full-scale fat-tree: k = 16 (1024 hosts).
+    pub fn paper_fattree(intensity: TrafficIntensity, seed: u64) -> Self {
+        ScenarioConfig { topology: TopologyKind::FatTree, k: 16, ..Self::paper_canonical(intensity, seed) }
+    }
+
+    /// Builds the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are invalid (zero counts, odd `k`, …).
+    pub fn build_topology(&self) -> Arc<dyn Topology> {
+        match self.topology {
+            TopologyKind::CanonicalTree => Arc::new(
+                CanonicalTreeBuilder::new()
+                    .racks(self.racks)
+                    .hosts_per_rack(self.hosts_per_rack)
+                    .racks_per_agg(self.racks_per_agg)
+                    .cores(self.cores)
+                    .build()
+                    .expect("scenario dimensions must be valid"),
+            ),
+            TopologyKind::FatTree => Arc::new(
+                FatTreeBuilder::new().k(self.k).build().expect("scenario arity must be valid"),
+            ),
+        }
+    }
+
+    /// Number of VMs the scenario instantiates.
+    pub fn num_vms(&self, topo: &dyn Topology) -> u32 {
+        ((topo.num_servers() as f64) * self.vms_per_host).round() as u32
+    }
+}
+
+/// A fully materialised scenario.
+pub struct World {
+    /// The fabric.
+    pub topo: Arc<dyn Topology>,
+    /// Pairwise VM loads.
+    pub traffic: PairTraffic,
+    /// Cluster state with the random initial placement applied.
+    pub cluster: Cluster,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("topology", &self.topo.name())
+            .field("servers", &self.topo.num_servers())
+            .field("vms", &self.traffic.num_vms())
+            .finish()
+    }
+}
+
+/// Materialises a scenario: topology, clustered workload, random initial
+/// placement, capacity-validated cluster.
+///
+/// # Panics
+///
+/// Panics if the scenario dimensions are invalid or the placement cannot
+/// fit (vms_per_host must stay below the 16-slot server limit).
+pub fn build_world(config: &ScenarioConfig) -> World {
+    let topo = config.build_topology();
+    let num_vms = config.num_vms(topo.as_ref());
+    let traffic =
+        WorkloadConfig::new(num_vms, config.seed).with_intensity(config.intensity).generate();
+    let server_spec = ServerSpec::paper_default();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e3779b97f4a7c15);
+    let alloc = random_placement(
+        num_vms,
+        topo.num_servers() as u32,
+        server_spec.vm_slots,
+        &mut rng,
+    );
+    let cluster = Cluster::new(
+        Arc::clone(&topo),
+        server_spec,
+        VmSpec::paper_default(),
+        &traffic,
+        alloc,
+    )
+    .expect("random placement respects slot capacity");
+    World { topo, traffic, cluster }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_canonical_world() {
+        let cfg = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 1);
+        let world = build_world(&cfg);
+        assert_eq!(world.topo.num_servers(), 160);
+        assert_eq!(world.traffic.num_vms(), 320);
+        assert_eq!(world.cluster.num_vms(), 320);
+    }
+
+    #[test]
+    fn small_fattree_world() {
+        let cfg = ScenarioConfig::small_fattree(TrafficIntensity::Medium, 2);
+        let world = build_world(&cfg);
+        assert_eq!(world.topo.num_servers(), 128); // k=8 → 8^3/4
+        assert_eq!(world.topo.name(), "fat-tree");
+    }
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let cfg = ScenarioConfig::paper_canonical(TrafficIntensity::Sparse, 3);
+        let topo = cfg.build_topology();
+        assert_eq!(topo.num_servers(), 2560);
+        let cfg = ScenarioConfig::paper_fattree(TrafficIntensity::Sparse, 3);
+        let topo = cfg.build_topology();
+        assert_eq!(topo.num_servers(), 1024);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 7);
+        let a = build_world(&cfg);
+        let b = build_world(&cfg);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.cluster.allocation(), b.cluster.allocation());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TopologyKind::CanonicalTree.name(), "canonical-tree");
+        assert_eq!(TopologyKind::FatTree.name(), "fat-tree");
+    }
+}

@@ -1,0 +1,182 @@
+//! The [`Topology`] abstraction shared by every S-CORE component.
+//!
+//! Algorithms (cost model, token policies, baselines) only ever ask a
+//! topology three questions: *which rack is this server in*, *how many hops
+//! separate two servers* (which determines the communication level
+//! `ℓ = h/2`), and — for link-utilization accounting — *which links does
+//! traffic between two servers traverse, in what proportions*.
+
+use crate::graph::NetGraph;
+use crate::ids::{Level, LinkId, NodeId, RackId, ServerId};
+use std::fmt;
+use std::ops::Range;
+
+/// A share of traffic placed on one link by a server-to-server route.
+///
+/// With multipath routing (ECMP in the fat-tree, multiple cores in the
+/// canonical tree) a route spreads its load across equal-cost paths; the
+/// `fraction` is the portion of the pair's traffic carried by `link`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteShare {
+    /// The link carrying part of the route.
+    pub link: LinkId,
+    /// Fraction of the pair's traffic on that link, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+impl RouteShare {
+    /// Convenience constructor.
+    pub fn new(link: LinkId, fraction: f64) -> Self {
+        RouteShare { link, fraction }
+    }
+}
+
+/// A layered data-center topology.
+///
+/// Implementations provide closed-form hop counts (validated against BFS on
+/// the explicit [`NetGraph`] in tests) and deterministic equal-cost multipath
+/// route shares for link-utilization accounting.
+///
+/// Servers are numbered densely `0..num_servers()` and are contiguous within
+/// a rack, so [`servers_in_rack`](Topology::servers_in_rack) returns a range.
+pub trait Topology: fmt::Debug + Send + Sync {
+    /// Short human-readable name (e.g. `"canonical-tree"`).
+    fn name(&self) -> &str;
+
+    /// Total number of physical servers.
+    fn num_servers(&self) -> usize;
+
+    /// Total number of racks (ToR switches in the canonical tree, edge
+    /// switches in the fat-tree).
+    fn num_racks(&self) -> usize;
+
+    /// The rack hosting server `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    fn rack_of(&self, s: ServerId) -> RackId;
+
+    /// Raw id range of the servers in rack `r` (servers are contiguous per
+    /// rack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    fn servers_in_rack(&self, r: RackId) -> Range<u32>;
+
+    /// Number of hops along a shortest path between the two servers
+    /// (`0` if `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either server is out of range.
+    fn hops(&self, a: ServerId, b: ServerId) -> u32;
+
+    /// Highest communication level this topology can produce
+    /// (3 for three-layer topologies).
+    fn max_level(&self) -> Level;
+
+    /// The explicit node/link graph (for utilization accounting and
+    /// verification).
+    fn graph(&self) -> &NetGraph;
+
+    /// Graph node of a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    fn host_node(&self, s: ServerId) -> NodeId;
+
+    /// Equal-cost multipath route shares for traffic between `a` and `b`.
+    ///
+    /// Returns an empty vector when `a == b` (collocated VMs exchange data
+    /// through server-local memory, touching no network link). Fractions for
+    /// links of the same level on one side of the path sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either server is out of range.
+    fn route_shares(&self, a: ServerId, b: ServerId) -> Vec<RouteShare>;
+
+    /// Communication level between two servers, `ℓ = h / 2` (paper §II).
+    fn level(&self, a: ServerId, b: ServerId) -> Level {
+        Level::from_hops(self.hops(a, b))
+    }
+
+    /// Iterator over all server ids.
+    fn servers(&self) -> Box<dyn Iterator<Item = ServerId> + '_> {
+        Box::new((0..self.num_servers() as u32).map(ServerId::new))
+    }
+
+    /// Iterator over all rack ids.
+    fn racks(&self) -> Box<dyn Iterator<Item = RackId> + '_> {
+        Box::new((0..self.num_racks() as u32).map(RackId::new))
+    }
+
+    /// Iterator over the servers of a rack as typed ids.
+    fn rack_members(&self, r: RackId) -> Box<dyn Iterator<Item = ServerId> + '_> {
+        Box::new(self.servers_in_rack(r).map(ServerId::new))
+    }
+}
+
+/// Validation helpers shared by topology tests and property tests.
+pub mod checks {
+    use super::*;
+
+    /// Asserts that the closed-form hop count of `topo` matches BFS on its
+    /// explicit graph for the given pair.
+    pub fn assert_hops_match_bfs<T: Topology + ?Sized>(topo: &T, a: ServerId, b: ServerId) {
+        let closed = topo.hops(a, b);
+        let bfs = topo
+            .graph()
+            .bfs_hops(topo.host_node(a), topo.host_node(b))
+            .expect("topology graphs are connected");
+        assert_eq!(
+            closed, bfs,
+            "closed-form hops {closed} != BFS hops {bfs} for {a} -> {b} on {}",
+            topo.name()
+        );
+    }
+
+    /// Asserts route-share sanity: fractions in (0,1], per-level fraction
+    /// mass consistent with a path that crosses `level(a,b)` layers.
+    pub fn assert_route_shares_sane<T: Topology + ?Sized>(topo: &T, a: ServerId, b: ServerId) {
+        let shares = topo.route_shares(a, b);
+        if a == b {
+            assert!(shares.is_empty(), "collocated servers must have empty routes");
+            return;
+        }
+        let level = topo.level(a, b).get();
+        let mut per_level = vec![0.0f64; (topo.max_level().get() + 1) as usize];
+        for s in &shares {
+            assert!(s.fraction > 0.0 && s.fraction <= 1.0, "fraction out of range");
+            let l = topo.graph().link(s.link).level as usize;
+            per_level[l] += s.fraction;
+        }
+        for l in 1..=level as usize {
+            // A path of level ℓ crosses two links of every layer 1..=ℓ
+            // (one on each side), so total fraction mass per layer is 2.
+            assert!(
+                (per_level[l] - 2.0).abs() < 1e-9,
+                "layer {l} fraction mass {} != 2 for {a} -> {b}",
+                per_level[l]
+            );
+        }
+        for (l, &mass) in per_level.iter().enumerate().skip(level as usize + 1) {
+            assert!(mass.abs() < 1e-12, "layer {l} unexpectedly used for {a} -> {b}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_share_constructor() {
+        let s = RouteShare::new(LinkId::new(3), 0.5);
+        assert_eq!(s.link, LinkId::new(3));
+        assert_eq!(s.fraction, 0.5);
+    }
+}

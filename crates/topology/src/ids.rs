@@ -1,0 +1,243 @@
+//! Strongly-typed identifiers used throughout the S-CORE workspace.
+//!
+//! The paper identifies each VM by a unique, totally-ordered 32-bit
+//! identifier (its IPv4 address in the Xen implementation, §V-B2). Servers,
+//! racks, switches and links get their own newtypes so that indices into the
+//! different entity tables can never be confused ([C-NEWTYPE]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 32-bit value of this identifier.
+            pub const fn get(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the identifier as a `usize`, convenient for indexing
+            /// into dense entity tables.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Unique, totally ordered identifier of a virtual machine.
+    ///
+    /// The S-CORE token (paper §V-A) orders its entries by ascending `VmId`;
+    /// the Xen implementation reuses the VM's IPv4 address as this 32-bit
+    /// value, "capable of representing over 4 billion IDs before recycling".
+    VmId,
+    "vm"
+);
+
+id_newtype!(
+    /// Identifier of a physical server (a hypervisor host).
+    ServerId,
+    "srv"
+);
+
+id_newtype!(
+    /// Identifier of a rack; every server belongs to exactly one rack and
+    /// communicates through that rack's Top-of-Rack (ToR) switch.
+    RackId,
+    "rack"
+);
+
+id_newtype!(
+    /// Identifier of a node in the network graph (host or switch).
+    NodeId,
+    "n"
+);
+
+id_newtype!(
+    /// Identifier of a (bidirectional) network link in the topology graph.
+    LinkId,
+    "link"
+);
+
+id_newtype!(
+    /// Identifier of a pod in a fat-tree topology.
+    PodId,
+    "pod"
+);
+
+/// Communication level between two VMs (paper §II).
+///
+/// `Level(0)` means the VMs are collocated on the same server. `Level(1)`
+/// means traffic crosses only 1-level (host-to-ToR) links, `Level(2)` goes
+/// through the aggregation layer and `Level(3)` through the core. In general
+/// `ℓ(u, v) = h(σ(u), σ(v)) / 2` where `h` is the number of hops along a
+/// shortest path between the hosting servers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Level(u8);
+
+impl Level {
+    /// VMs collocated on the same server.
+    pub const ZERO: Level = Level(0);
+    /// Intra-rack communication (through the ToR switch only).
+    pub const RACK: Level = Level(1);
+    /// Communication through the aggregation layer.
+    pub const AGGREGATION: Level = Level(2);
+    /// Communication through the core layer.
+    pub const CORE: Level = Level(3);
+
+    /// Creates a level from its raw value.
+    pub const fn new(raw: u8) -> Self {
+        Level(raw)
+    }
+
+    /// Derives the communication level from a hop count along a shortest
+    /// path, `ℓ = h / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is odd; layered DC topologies always produce even
+    /// shortest-path hop counts between servers.
+    pub fn from_hops(hops: u32) -> Self {
+        assert!(hops % 2 == 0, "hop count between servers must be even, got {hops}");
+        let level = hops / 2;
+        assert!(level <= u8::MAX as u32, "communication level {level} overflows u8");
+        Level(level as u8)
+    }
+
+    /// Returns the raw level value.
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the level as a `usize`, convenient for indexing weight tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the number of hops a shortest path of this level traverses.
+    pub const fn hops(self) -> u32 {
+        2 * self.0 as u32
+    }
+
+    /// Returns the level one below this one, saturating at zero.
+    pub const fn lower(self) -> Level {
+        Level(self.0.saturating_sub(1))
+    }
+}
+
+impl From<u8> for Level {
+    fn from(raw: u8) -> Self {
+        Level(raw)
+    }
+}
+
+impl From<Level> for u8 {
+    fn from(level: Level) -> u8 {
+        level.0
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_id_roundtrip_and_order() {
+        let a = VmId::new(7);
+        let b = VmId::from(9u32);
+        assert!(a < b);
+        assert_eq!(u32::from(b), 9);
+        assert_eq!(a.index(), 7);
+        assert_eq!(a.to_string(), "vm7");
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Purely a compile-time property; keep a token runtime assertion.
+        let s = ServerId::new(3);
+        let r = RackId::new(3);
+        assert_eq!(s.get(), r.get());
+    }
+
+    #[test]
+    fn level_from_hops() {
+        assert_eq!(Level::from_hops(0), Level::ZERO);
+        assert_eq!(Level::from_hops(2), Level::RACK);
+        assert_eq!(Level::from_hops(4), Level::AGGREGATION);
+        assert_eq!(Level::from_hops(6), Level::CORE);
+        assert_eq!(Level::CORE.hops(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn level_from_odd_hops_panics() {
+        let _ = Level::from_hops(3);
+    }
+
+    #[test]
+    fn level_lower_saturates() {
+        assert_eq!(Level::CORE.lower(), Level::AGGREGATION);
+        assert_eq!(Level::ZERO.lower(), Level::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Level::AGGREGATION.to_string(), "L2");
+        assert_eq!(ServerId::new(12).to_string(), "srv12");
+        assert_eq!(RackId::new(4).to_string(), "rack4");
+        assert_eq!(LinkId::new(1).to_string(), "link1");
+        assert_eq!(PodId::new(2).to_string(), "pod2");
+        assert_eq!(NodeId::new(0).to_string(), "n0");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(VmId::default().get(), 0);
+        assert_eq!(Level::default(), Level::ZERO);
+    }
+}

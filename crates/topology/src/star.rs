@@ -1,0 +1,133 @@
+//! Single-switch star topology.
+//!
+//! The degenerate "one communication level" case used by the paper's
+//! NP-completeness reduction (appendix): every server hangs off a single
+//! switch, so any two distinct servers communicate at level 1 over links of
+//! weight `c1`. Also a minimal example of implementing [`Topology`] outside
+//! the built-in tree families.
+
+use crate::api::{RouteShare, Topology};
+use crate::graph::{NetGraph, NodeKind};
+use crate::ids::{Level, LinkId, NodeId, RackId, ServerId};
+use std::ops::Range;
+
+/// `servers` hosts attached to one switch; each server is its own rack.
+#[derive(Debug, Clone)]
+pub struct StarTopology {
+    graph: NetGraph,
+    host_nodes: Vec<NodeId>,
+    host_links: Vec<LinkId>,
+}
+
+impl StarTopology {
+    /// Builds a star of `servers` hosts with `link_bps` access links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0` or `link_bps` is not positive.
+    pub fn new(servers: u32, link_bps: f64) -> Self {
+        assert!(servers > 0, "need at least one server");
+        let mut graph = NetGraph::new();
+        let host_nodes: Vec<NodeId> =
+            (0..servers).map(|_| graph.add_node(NodeKind::Host)).collect();
+        let switch = graph.add_node(NodeKind::Tor);
+        let host_links =
+            host_nodes.iter().map(|&h| graph.add_link(h, switch, 1, link_bps)).collect();
+        StarTopology { graph, host_nodes, host_links }
+    }
+}
+
+impl Topology for StarTopology {
+    fn name(&self) -> &str {
+        "star"
+    }
+
+    fn num_servers(&self) -> usize {
+        self.host_nodes.len()
+    }
+
+    fn num_racks(&self) -> usize {
+        self.host_nodes.len()
+    }
+
+    fn rack_of(&self, s: ServerId) -> RackId {
+        assert!(s.index() < self.num_servers(), "server {s} out of range");
+        RackId::new(s.get())
+    }
+
+    fn servers_in_rack(&self, r: RackId) -> Range<u32> {
+        assert!(r.index() < self.num_racks(), "rack {r} out of range");
+        r.get()..r.get() + 1
+    }
+
+    fn hops(&self, a: ServerId, b: ServerId) -> u32 {
+        assert!(a.index() < self.num_servers(), "server {a} out of range");
+        assert!(b.index() < self.num_servers(), "server {b} out of range");
+        if a == b {
+            0
+        } else {
+            2
+        }
+    }
+
+    fn max_level(&self) -> Level {
+        Level::RACK
+    }
+
+    fn graph(&self) -> &NetGraph {
+        &self.graph
+    }
+
+    fn host_node(&self, s: ServerId) -> NodeId {
+        self.host_nodes[s.index()]
+    }
+
+    fn route_shares(&self, a: ServerId, b: ServerId) -> Vec<RouteShare> {
+        if a == b {
+            return Vec::new();
+        }
+        vec![
+            RouteShare::new(self.host_links[a.index()], 1.0),
+            RouteShare::new(self.host_links[b.index()], 1.0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::checks;
+
+    #[test]
+    fn star_levels() {
+        let t = StarTopology::new(4, 1e9);
+        assert_eq!(t.level(ServerId::new(0), ServerId::new(0)), Level::ZERO);
+        assert_eq!(t.level(ServerId::new(0), ServerId::new(3)), Level::RACK);
+        assert_eq!(t.max_level(), Level::RACK);
+        assert_eq!(t.num_racks(), 4);
+    }
+
+    #[test]
+    fn hops_match_bfs() {
+        let t = StarTopology::new(5, 1e9);
+        for a in 0..5 {
+            for b in 0..5 {
+                checks::assert_hops_match_bfs(&t, ServerId::new(a), ServerId::new(b));
+                checks::assert_route_shares_sane(&t, ServerId::new(a), ServerId::new(b));
+            }
+        }
+    }
+
+    #[test]
+    fn each_server_is_its_own_rack() {
+        let t = StarTopology::new(3, 1e9);
+        assert_eq!(t.rack_of(ServerId::new(2)), RackId::new(2));
+        assert_eq!(t.servers_in_rack(RackId::new(1)), 1..2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = StarTopology::new(0, 1e9);
+    }
+}

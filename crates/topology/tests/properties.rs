@@ -1,0 +1,123 @@
+//! Property-based tests for topology invariants.
+
+use proptest::prelude::*;
+use score_topology::{
+    checks, CanonicalTreeBuilder, FatTreeBuilder, Level, LinkWeights, ServerId, Topology,
+};
+
+fn canonical_strategy() -> impl Strategy<Value = (u32, u32, u32, u32)> {
+    // (racks_per_agg, agg_groups, hosts_per_rack, cores)
+    (1u32..=4, 1u32..=4, 1u32..=6, 1u32..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn canonical_hops_match_bfs((rpa, groups, hpr, cores) in canonical_strategy(),
+                                seed_a in 0u32..1000, seed_b in 0u32..1000) {
+        let racks = rpa * groups;
+        let topo = CanonicalTreeBuilder::new()
+            .racks(racks)
+            .hosts_per_rack(hpr)
+            .racks_per_agg(rpa)
+            .cores(cores)
+            .build()
+            .unwrap();
+        let n = topo.num_servers() as u32;
+        let a = ServerId::new(seed_a % n);
+        let b = ServerId::new(seed_b % n);
+        checks::assert_hops_match_bfs(&topo, a, b);
+        checks::assert_route_shares_sane(&topo, a, b);
+    }
+
+    #[test]
+    fn canonical_level_symmetry((rpa, groups, hpr, cores) in canonical_strategy(),
+                                seed_a in 0u32..1000, seed_b in 0u32..1000) {
+        let racks = rpa * groups;
+        let topo = CanonicalTreeBuilder::new()
+            .racks(racks)
+            .hosts_per_rack(hpr)
+            .racks_per_agg(rpa)
+            .cores(cores)
+            .build()
+            .unwrap();
+        let n = topo.num_servers() as u32;
+        let a = ServerId::new(seed_a % n);
+        let b = ServerId::new(seed_b % n);
+        prop_assert_eq!(topo.level(a, b), topo.level(b, a));
+        prop_assert_eq!(topo.hops(a, b) % 2, 0);
+        if a == b {
+            prop_assert_eq!(topo.level(a, b), Level::ZERO);
+        } else {
+            prop_assert!(topo.level(a, b) >= Level::RACK);
+            prop_assert!(topo.level(a, b) <= topo.max_level());
+        }
+    }
+
+    #[test]
+    fn fattree_hops_match_bfs(k_half in 1u32..=4, seed_a in 0u32..10_000, seed_b in 0u32..10_000) {
+        let k = 2 * k_half;
+        let topo = FatTreeBuilder::new().k(k).build().unwrap();
+        let n = topo.num_servers() as u32;
+        let a = ServerId::new(seed_a % n);
+        let b = ServerId::new(seed_b % n);
+        checks::assert_hops_match_bfs(&topo, a, b);
+        checks::assert_route_shares_sane(&topo, a, b);
+        prop_assert_eq!(topo.level(a, b), topo.level(b, a));
+    }
+
+    #[test]
+    fn rack_membership_is_partition((rpa, groups, hpr, cores) in canonical_strategy()) {
+        let racks = rpa * groups;
+        let topo = CanonicalTreeBuilder::new()
+            .racks(racks)
+            .hosts_per_rack(hpr)
+            .racks_per_agg(rpa)
+            .cores(cores)
+            .build()
+            .unwrap();
+        let mut seen = vec![false; topo.num_servers()];
+        for r in topo.racks() {
+            for s in topo.rack_members(r) {
+                prop_assert_eq!(topo.rack_of(s), r);
+                prop_assert!(!seen[s.index()], "server in two racks");
+                seen[s.index()] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|x| x), "server in no rack");
+    }
+
+    #[test]
+    fn weights_prefix_monotone(c1 in 0.1f64..2.0, g2 in 0.01f64..5.0, g3 in 0.01f64..5.0) {
+        let c2 = c1 + g2;
+        let c3 = c2 + g3;
+        let w = LinkWeights::new([c1, c2, c3]).unwrap();
+        let mut prev = 0.0;
+        for l in 0..=3u8 {
+            let p = w.prefix(Level::new(l));
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+        // Savings from moving down a level are always positive.
+        prop_assert!(w.level_change_saving(Level::CORE, Level::RACK) > 0.0);
+        prop_assert!(w.level_change_saving(Level::RACK, Level::CORE) < 0.0);
+    }
+
+    #[test]
+    fn route_shares_are_level_consistent(k_half in 1u32..=3, seed_a in 0u32..10_000, seed_b in 0u32..10_000) {
+        // The highest link level used on a route equals the pair level.
+        let k = 2 * k_half;
+        let topo = FatTreeBuilder::new().k(k).build().unwrap();
+        let n = topo.num_servers() as u32;
+        let a = ServerId::new(seed_a % n);
+        let b = ServerId::new(seed_b % n);
+        let shares = topo.route_shares(a, b);
+        let max_used = shares
+            .iter()
+            .map(|s| topo.graph().link(s.link).level)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(max_used, topo.level(a, b).get());
+    }
+}

@@ -1,0 +1,229 @@
+//! Windowed traffic-rate estimation (paper §IV).
+//!
+//! S-CORE does not act on instantaneous rates: "traffic load λ(u, v) can be
+//! captured dynamically by monitoring incoming and outgoing traffic …
+//! averaged over a given time interval", with the window sized "on the
+//! order of minutes to hours" so the algorithm "capture[s] steady-state and
+//! avoid[s] reacting to instantaneous fluctuations". This module provides
+//! that estimator: per-pair byte accounting over a sliding window, plus the
+//! conversion into the [`PairTraffic`] snapshot the decision engine
+//! consumes.
+//!
+//! The burst-insensitivity the paper argues for in §VI-B ("the short-term
+//! effects of sudden arrivals of mice flows are canceled out when averaged
+//! over one iteration") is a property of exactly this window.
+
+use score_topology::VmId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+use crate::pairwise::{PairTraffic, PairTrafficBuilder};
+
+/// Sliding-window rate estimator over pairwise byte observations.
+///
+/// # Examples
+///
+/// ```
+/// use score_topology::VmId;
+/// use score_traffic::RateEstimator;
+///
+/// let mut est = RateEstimator::new(4, 60.0);
+/// // 125 kB/s observed for a full minute ≈ 1 Mb/s.
+/// for t in 0..60 {
+///     est.observe(VmId::new(0), VmId::new(1), 125_000.0, t as f64);
+/// }
+/// let rate = est.rate(VmId::new(0), VmId::new(1), 60.0);
+/// assert!((rate - 1e6).abs() < 0.05e6);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateEstimator {
+    window_s: f64,
+    /// Per (min, max) VM pair: FIFO of `(timestamp, bytes)` samples inside
+    /// the window, plus the running byte sum.
+    samples: HashMap<(u32, u32), PairWindow>,
+    num_vms: u32,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct PairWindow {
+    fifo: VecDeque<(f64, f64)>,
+    bytes: f64,
+}
+
+impl PairWindow {
+    fn push(&mut self, t: f64, bytes: f64) {
+        self.fifo.push_back((t, bytes));
+        self.bytes += bytes;
+    }
+
+    fn expire(&mut self, horizon: f64) {
+        while let Some(&(t, b)) = self.fifo.front() {
+            if t < horizon {
+                self.fifo.pop_front();
+                self.bytes -= b;
+            } else {
+                break;
+            }
+        }
+        if self.fifo.is_empty() {
+            self.bytes = 0.0;
+        }
+    }
+}
+
+impl RateEstimator {
+    /// Creates an estimator over VMs `0..num_vms` with the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not positive and finite.
+    pub fn new(num_vms: u32, window_s: f64) -> Self {
+        assert!(window_s.is_finite() && window_s > 0.0, "window must be positive");
+        RateEstimator { window_s, samples: HashMap::new(), num_vms }
+    }
+
+    /// The window length in seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Records `bytes` exchanged between `u` and `v` at time `now_s`
+    /// (both directions are aggregated, like the dom0 flow table does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`, either id is out of range, or `bytes` is
+    /// negative.
+    pub fn observe(&mut self, u: VmId, v: VmId, bytes: f64, now_s: f64) {
+        assert_ne!(u, v, "self-traffic is not observable");
+        assert!(u.get() < self.num_vms && v.get() < self.num_vms, "vm out of range");
+        assert!(bytes >= 0.0, "bytes must be non-negative");
+        if bytes == 0.0 {
+            return;
+        }
+        let key = if u < v { (u.get(), v.get()) } else { (v.get(), u.get()) };
+        self.samples.entry(key).or_default().push(now_s, bytes);
+    }
+
+    /// Current rate estimate λ̂(u, v) in bits per second at time `now_s`:
+    /// window bytes × 8 / window.
+    pub fn rate(&mut self, u: VmId, v: VmId, now_s: f64) -> f64 {
+        let key = if u < v { (u.get(), v.get()) } else { (v.get(), u.get()) };
+        match self.samples.get_mut(&key) {
+            Some(w) => {
+                w.expire(now_s - self.window_s);
+                w.bytes * 8.0 / self.window_s
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Snapshots every pair's estimate into a [`PairTraffic`] — the input
+    /// the decision engine consumes. Pairs whose window emptied disappear
+    /// from the communication graph (their `Vu` membership lapses).
+    pub fn snapshot(&mut self, now_s: f64) -> PairTraffic {
+        let horizon = now_s - self.window_s;
+        let mut builder = PairTrafficBuilder::new(self.num_vms);
+        self.samples.retain(|&(u, v), w| {
+            w.expire(horizon);
+            if w.bytes > 0.0 {
+                builder.add(VmId::new(u), VmId::new(v), w.bytes * 8.0 / self.window_s);
+                true
+            } else {
+                false
+            }
+        });
+        builder.build()
+    }
+
+    /// Number of pairs currently holding samples.
+    pub fn tracked_pairs(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(i: u32) -> VmId {
+        VmId::new(i)
+    }
+
+    #[test]
+    fn steady_flow_converges_to_true_rate() {
+        let mut est = RateEstimator::new(4, 60.0);
+        // 1 Mb/s = 125_000 B/s, observed once per second for 2 windows.
+        for t in 0..120 {
+            est.observe(vm(0), vm(1), 125_000.0, t as f64);
+        }
+        let rate = est.rate(vm(0), vm(1), 120.0);
+        assert!((rate - 1e6).abs() < 0.05e6, "rate {rate}");
+    }
+
+    #[test]
+    fn short_burst_is_attenuated() {
+        let mut est = RateEstimator::new(4, 300.0);
+        // A single 10 MB burst inside a 5-minute window.
+        est.observe(vm(0), vm(1), 10e6, 100.0);
+        let rate = est.rate(vm(0), vm(1), 101.0);
+        // Instantaneous rate would be 80 Mb/s; the window reports ~0.27.
+        assert!(rate < 0.3e6, "burst insufficiently attenuated: {rate}");
+    }
+
+    #[test]
+    fn old_samples_expire() {
+        let mut est = RateEstimator::new(4, 10.0);
+        est.observe(vm(0), vm(1), 1000.0, 0.0);
+        assert!(est.rate(vm(0), vm(1), 5.0) > 0.0);
+        assert_eq!(est.rate(vm(0), vm(1), 20.1), 0.0);
+    }
+
+    #[test]
+    fn snapshot_builds_pair_traffic() {
+        let mut est = RateEstimator::new(4, 10.0);
+        for t in 0..10 {
+            est.observe(vm(0), vm(1), 1250.0, t as f64); // 1250 B/s = 10 kb/s
+            est.observe(vm(2), vm(3), 12_500.0, t as f64); // 100 kb/s
+        }
+        let snap = est.snapshot(10.0);
+        assert_eq!(snap.num_pairs(), 2);
+        assert!((snap.rate(vm(0), vm(1)) - 1e4).abs() < 500.0);
+        assert!((snap.rate(vm(2), vm(3)) - 1e5).abs() < 5e3);
+        // Peer sets are derived from observations.
+        assert_eq!(snap.peers(vm(0)).len(), 1);
+    }
+
+    #[test]
+    fn lapsed_pairs_leave_the_graph() {
+        let mut est = RateEstimator::new(4, 10.0);
+        est.observe(vm(0), vm(1), 1000.0, 0.0);
+        est.observe(vm(2), vm(3), 1000.0, 95.0);
+        let snap = est.snapshot(100.0);
+        assert_eq!(snap.num_pairs(), 1);
+        assert_eq!(snap.rate(vm(0), vm(1)), 0.0);
+        assert_eq!(est.tracked_pairs(), 1);
+    }
+
+    #[test]
+    fn direction_is_aggregated() {
+        let mut est = RateEstimator::new(4, 10.0);
+        est.observe(vm(0), vm(1), 500.0, 1.0);
+        est.observe(vm(1), vm(0), 500.0, 2.0);
+        let rate = est.rate(vm(0), vm(1), 5.0);
+        assert!((rate - 1000.0 * 8.0 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = RateEstimator::new(2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-traffic")]
+    fn self_observation_rejected() {
+        let mut est = RateEstimator::new(2, 10.0);
+        est.observe(vm(1), vm(1), 1.0, 0.0);
+    }
+}

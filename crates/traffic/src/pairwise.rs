@@ -1,0 +1,317 @@
+//! Pairwise VM traffic loads λ(u, v) — the communication graph.
+//!
+//! The paper (§III) defines λ(u, v) as the average rate exchanged between
+//! VMs u and v (incoming *and* outgoing) over a measurement window.
+//! [`PairTraffic`] stores those unordered pairwise rates together with a
+//! per-VM adjacency (`Vu`, "the set of VMs that exchange data with VM u"),
+//! which is exactly the local information S-CORE consults when a VM holds
+//! the migration token.
+
+use score_topology::VmId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Builder that accumulates pairwise rates before freezing them into a
+/// [`PairTraffic`].
+#[derive(Debug, Clone, Default)]
+pub struct PairTrafficBuilder {
+    num_vms: u32,
+    // Canonically ordered (min, max) pair → accumulated rate.
+    rates: BTreeMap<(u32, u32), f64>,
+}
+
+impl PairTrafficBuilder {
+    /// Creates a builder for VMs `0..num_vms`.
+    pub fn new(num_vms: u32) -> Self {
+        PairTrafficBuilder { num_vms, rates: BTreeMap::new() }
+    }
+
+    /// Adds `rate` (bits per second, both directions combined) between `u`
+    /// and `v`, accumulating with any rate already recorded for the pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-traffic never leaves the VM), if either id
+    /// is out of range, or if `rate` is not positive and finite.
+    pub fn add(&mut self, u: VmId, v: VmId, rate: f64) -> &mut Self {
+        assert_ne!(u, v, "self-traffic is not part of the communication graph");
+        assert!(u.get() < self.num_vms, "vm {u} out of range");
+        assert!(v.get() < self.num_vms, "vm {v} out of range");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive and finite");
+        let key = if u < v { (u.get(), v.get()) } else { (v.get(), u.get()) };
+        *self.rates.entry(key).or_insert(0.0) += rate;
+        self
+    }
+
+    /// Number of distinct pairs recorded so far.
+    pub fn num_pairs(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Freezes the builder into an immutable [`PairTraffic`].
+    pub fn build(&self) -> PairTraffic {
+        let mut adjacency: Vec<Vec<(VmId, f64)>> = vec![Vec::new(); self.num_vms as usize];
+        let mut total = 0.0;
+        for (&(u, v), &rate) in &self.rates {
+            adjacency[u as usize].push((VmId::new(v), rate));
+            adjacency[v as usize].push((VmId::new(u), rate));
+            total += rate;
+        }
+        for peers in &mut adjacency {
+            peers.sort_by_key(|&(vm, _)| vm);
+        }
+        PairTraffic {
+            num_vms: self.num_vms,
+            pairs: self.rates.iter().map(|(&(u, v), &r)| (VmId::new(u), VmId::new(v), r)).collect(),
+            adjacency,
+            total,
+        }
+    }
+}
+
+/// Immutable pairwise VM traffic: rates λ(u, v) and per-VM peer sets `Vu`.
+///
+/// # Examples
+///
+/// ```
+/// use score_topology::VmId;
+/// use score_traffic::PairTrafficBuilder;
+///
+/// let mut b = PairTrafficBuilder::new(3);
+/// b.add(VmId::new(0), VmId::new(1), 100.0);
+/// b.add(VmId::new(1), VmId::new(2), 50.0);
+/// let traffic = b.build();
+/// assert_eq!(traffic.rate(VmId::new(1), VmId::new(0)), 100.0);
+/// assert_eq!(traffic.peers(VmId::new(1)).len(), 2);
+/// assert_eq!(traffic.total_rate(), 150.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairTraffic {
+    num_vms: u32,
+    /// Canonical (u < v) pair list.
+    pairs: Vec<(VmId, VmId, f64)>,
+    /// `adjacency[u]` = Vu with rates, sorted by peer id.
+    adjacency: Vec<Vec<(VmId, f64)>>,
+    total: f64,
+}
+
+impl PairTraffic {
+    /// An empty communication graph over `num_vms` VMs.
+    pub fn empty(num_vms: u32) -> Self {
+        PairTrafficBuilder::new(num_vms).build()
+    }
+
+    /// Number of VMs (ids are dense `0..num_vms`).
+    pub fn num_vms(&self) -> u32 {
+        self.num_vms
+    }
+
+    /// Number of communicating pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Rate λ(u, v); zero if the pair does not communicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn rate(&self, u: VmId, v: VmId) -> f64 {
+        assert!(u.get() < self.num_vms && v.get() < self.num_vms, "vm out of range");
+        if u == v {
+            return 0.0;
+        }
+        let peers = &self.adjacency[u.index()];
+        match peers.binary_search_by_key(&v, |&(p, _)| p) {
+            Ok(i) => peers[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The peer set `Vu` of a VM, with rates, sorted by peer id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn peers(&self, u: VmId) -> &[(VmId, f64)] {
+        assert!(u.get() < self.num_vms, "vm {u} out of range");
+        &self.adjacency[u.index()]
+    }
+
+    /// Number of peers of `u`.
+    pub fn degree(&self, u: VmId) -> usize {
+        self.peers(u).len()
+    }
+
+    /// All pairs `(u, v, λ)` with `u < v`.
+    pub fn pairs(&self) -> &[(VmId, VmId, f64)] {
+        &self.pairs
+    }
+
+    /// Sum of λ over all pairs.
+    pub fn total_rate(&self) -> f64 {
+        self.total
+    }
+
+    /// Average number of peers per VM (communication-graph density).
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vms == 0 {
+            return 0.0;
+        }
+        2.0 * self.pairs.len() as f64 / self.num_vms as f64
+    }
+
+    /// Returns a copy with every rate multiplied by `factor` — the paper's
+    /// "scaled the initial TM by a factor of 10 and 50".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f64) -> PairTraffic {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        PairTraffic {
+            num_vms: self.num_vms,
+            pairs: self.pairs.iter().map(|&(u, v, r)| (u, v, r * factor)).collect(),
+            adjacency: self
+                .adjacency
+                .iter()
+                .map(|peers| peers.iter().map(|&(p, r)| (p, r * factor)).collect())
+                .collect(),
+            total: self.total * factor,
+        }
+    }
+
+    /// Returns a copy with every pair rate clamped to at most `cap` —
+    /// the line-rate ceiling a single VM pair can physically sustain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not positive and finite.
+    pub fn capped(&self, cap: f64) -> PairTraffic {
+        assert!(cap.is_finite() && cap > 0.0, "cap must be positive");
+        let pairs: Vec<(VmId, VmId, f64)> =
+            self.pairs.iter().map(|&(u, v, r)| (u, v, r.min(cap))).collect();
+        let adjacency: Vec<Vec<(VmId, f64)>> = self
+            .adjacency
+            .iter()
+            .map(|peers| peers.iter().map(|&(p, r)| (p, r.min(cap))).collect())
+            .collect();
+        let total = pairs.iter().map(|&(_, _, r)| r).sum();
+        PairTraffic { num_vms: self.num_vms, pairs, adjacency, total }
+    }
+
+    /// Merges another communication graph over the same VM population into
+    /// this one, accumulating rates of shared pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM populations differ.
+    pub fn merged(&self, other: &PairTraffic) -> PairTraffic {
+        assert_eq!(self.num_vms, other.num_vms, "VM populations differ");
+        let mut b = PairTrafficBuilder::new(self.num_vms);
+        for &(u, v, r) in self.pairs.iter().chain(other.pairs.iter()) {
+            b.add(u, v, r);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> PairTraffic {
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(0), VmId::new(1), 10.0);
+        b.add(VmId::new(1), VmId::new(2), 20.0);
+        b.add(VmId::new(2), VmId::new(0), 30.0);
+        b.build()
+    }
+
+    #[test]
+    fn rates_are_symmetric() {
+        let t = triangle();
+        assert_eq!(t.rate(VmId::new(0), VmId::new(1)), 10.0);
+        assert_eq!(t.rate(VmId::new(1), VmId::new(0)), 10.0);
+        assert_eq!(t.rate(VmId::new(0), VmId::new(3)), 0.0);
+        assert_eq!(t.rate(VmId::new(0), VmId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_complete() {
+        let t = triangle();
+        let peers = t.peers(VmId::new(0));
+        assert_eq!(peers, &[(VmId::new(1), 10.0), (VmId::new(2), 30.0)]);
+        assert_eq!(t.degree(VmId::new(3)), 0);
+        assert_eq!(t.degree(VmId::new(1)), 2);
+    }
+
+    #[test]
+    fn duplicate_adds_accumulate() {
+        let mut b = PairTrafficBuilder::new(2);
+        b.add(VmId::new(0), VmId::new(1), 5.0);
+        b.add(VmId::new(1), VmId::new(0), 7.0);
+        let t = b.build();
+        assert_eq!(t.rate(VmId::new(0), VmId::new(1)), 12.0);
+        assert_eq!(t.num_pairs(), 1);
+    }
+
+    #[test]
+    fn totals_and_density() {
+        let t = triangle();
+        assert_eq!(t.total_rate(), 60.0);
+        assert_eq!(t.num_pairs(), 3);
+        assert!((t.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_scales_everything() {
+        let t = triangle().scaled(10.0);
+        assert_eq!(t.rate(VmId::new(0), VmId::new(1)), 100.0);
+        assert_eq!(t.total_rate(), 600.0);
+        assert_eq!(t.num_pairs(), 3); // pure scaling preserves the pattern
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let t = triangle();
+        let m = t.merged(&t);
+        assert_eq!(m.rate(VmId::new(0), VmId::new(1)), 20.0);
+        assert_eq!(m.num_pairs(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = PairTraffic::empty(5);
+        assert_eq!(t.num_vms(), 5);
+        assert_eq!(t.num_pairs(), 0);
+        assert_eq!(t.total_rate(), 0.0);
+        assert_eq!(t.mean_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-traffic")]
+    fn rejects_self_pairs() {
+        PairTrafficBuilder::new(2).add(VmId::new(1), VmId::new(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        PairTrafficBuilder::new(2).add(VmId::new(0), VmId::new(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_rate() {
+        PairTrafficBuilder::new(2).add(VmId::new(0), VmId::new(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "populations differ")]
+    fn merge_rejects_mismatched_populations() {
+        let a = PairTraffic::empty(2);
+        let b = PairTraffic::empty(3);
+        let _ = a.merged(&b);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the traffic substrate.
+
+use proptest::prelude::*;
+use score_topology::{RackId, VmId};
+use score_traffic::{
+    FlowSampler, PairTrafficBuilder, TrafficIntensity, TrafficMatrix, WorkloadConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pair_rates_symmetric_and_conserved(
+        num_vms in 2u32..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40, 1.0f64..1e6), 1..60),
+    ) {
+        let mut b = PairTrafficBuilder::new(num_vms);
+        let mut expected_total = 0.0;
+        for (u, v, r) in edges {
+            let (u, v) = (u % num_vms, v % num_vms);
+            if u == v { continue; }
+            b.add(VmId::new(u), VmId::new(v), r);
+            expected_total += r;
+        }
+        let t = b.build();
+        prop_assert!((t.total_rate() - expected_total).abs() < 1e-6 * expected_total.max(1.0));
+        for u in 0..num_vms {
+            for &(peer, rate) in t.peers(VmId::new(u)) {
+                prop_assert_eq!(t.rate(VmId::new(u), peer), rate);
+                prop_assert_eq!(t.rate(peer, VmId::new(u)), rate);
+            }
+        }
+        // Sum of adjacency rates double-counts each pair exactly once.
+        let adj_sum: f64 = (0..num_vms)
+            .flat_map(|u| t.peers(VmId::new(u)).iter().map(|&(_, r)| r).collect::<Vec<_>>())
+            .sum();
+        prop_assert!((adj_sum - 2.0 * t.total_rate()).abs() < 1e-6 * adj_sum.max(1.0));
+    }
+
+    #[test]
+    fn scaling_is_linear(factor in 0.1f64..100.0, seed in 0u64..50) {
+        let t = WorkloadConfig::new(60, seed).generate();
+        let s = t.scaled(factor);
+        prop_assert_eq!(t.num_pairs(), s.num_pairs());
+        prop_assert!((s.total_rate() - factor * t.total_rate()).abs()
+            < 1e-9 * s.total_rate().max(1.0));
+    }
+
+    #[test]
+    fn matrix_total_matches_pairs(seed in 0u64..50, racks in 2usize..10) {
+        let t = WorkloadConfig::new(80, seed).generate();
+        let racks_u = racks as u32;
+        let tm = TrafficMatrix::from_pairs(racks, &t, |v| RackId::new(v.get() % racks_u));
+        prop_assert!(tm.is_symmetric(1e-9));
+        prop_assert!((tm.total() - t.total_rate()).abs() < 1e-6 * t.total_rate().max(1.0));
+    }
+
+    #[test]
+    fn flow_sampling_conserves_bytes(seed in 0u64..50, window in 1.0f64..100.0) {
+        let t = WorkloadConfig::new(30, seed).generate();
+        let flows = FlowSampler::new(window, seed).sample(&t);
+        let flow_bytes: f64 = flows.iter().map(|f| f.bytes).sum();
+        let expected = t.total_rate() / 8.0 * window;
+        prop_assert!((flow_bytes - expected).abs() < 1e-6 * expected.max(1.0),
+            "flow bytes {} expected {}", flow_bytes, expected);
+    }
+
+    #[test]
+    fn intensities_are_ordered(seed in 0u64..30) {
+        let base = WorkloadConfig::new(100, seed);
+        let sparse = base.clone().with_intensity(TrafficIntensity::Sparse).generate();
+        let medium = base.clone().with_intensity(TrafficIntensity::Medium).generate();
+        let dense = base.with_intensity(TrafficIntensity::Dense).generate();
+        prop_assert!(sparse.total_rate() < medium.total_rate());
+        prop_assert!(medium.total_rate() < dense.total_rate());
+        prop_assert!(sparse.num_pairs() <= medium.num_pairs());
+        prop_assert!(medium.num_pairs() <= dense.num_pairs());
+    }
+}

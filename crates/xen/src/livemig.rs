@@ -1,0 +1,360 @@
+//! Pre-copy live-migration model (the Xen testbed substitute).
+//!
+//! The paper's testbed (§VI-C) measures real Xen 4.1 migrations of 196 MB
+//! VMs over 1 GbE with NFS-backed images ("only transferring of memory
+//! state is needed"): migrated bytes of 127 MB ± 11 MB (all below 150 MB),
+//! total migration time from 2.94 s (idle) through 4.29 s (100 Mb/s CBR)
+//! to 9.34 s (saturated link), and stop-and-copy downtime below 50 ms.
+//!
+//! We model the pre-copy protocol of Clark et al. (NSDI'05), which Xen
+//! implements:
+//!
+//! 1. an initial round copies all non-zero/non-ballooned pages;
+//! 2. each subsequent round copies the pages dirtied during the previous
+//!    round (a geometric series when `dirty rate < bandwidth`);
+//! 3. when the residue falls below a threshold (or rounds are exhausted),
+//!    the VM is suspended and the residue plus CPU state is copied — the
+//!    *downtime* — then resumed on the target.
+//!
+//! The migration stream's achievable throughput under competing CBR load
+//! is taken from the paper's own three measured operating points
+//! ([`migration_throughput_fraction`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use score_traffic::dist::standard_normal;
+use score_traffic::CbrLoad;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the link rate a TCP migration stream achieves against CBR
+/// background traffic of intensity `load`.
+///
+/// Piecewise-linear fit through the paper's measured points: idle → full
+/// rate; 10% CBR → the rate implied by 4.29 s total time; saturated → the
+/// rate implied by 9.34 s. The sharp initial drop reflects how an open-loop
+/// CBR source disproportionately punishes a congestion-controlled stream.
+pub fn migration_throughput_fraction(load: CbrLoad) -> f64 {
+    let x = load.get();
+    if x <= 0.1 {
+        1.0 - 5.5 * x
+    } else {
+        0.45 - 0.344 * (x - 0.1)
+    }
+}
+
+/// Parameters of the pre-copy model, calibrated to the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreCopyConfig {
+    /// VM memory size in bytes (paper: 196 MB).
+    pub ram_bytes: f64,
+    /// Mean fraction of pages skipped in round 0 (zero/ballooned pages).
+    pub skip_fraction_mean: f64,
+    /// Standard deviation of the skip fraction (drives the Fig. 5b
+    /// spread).
+    pub skip_fraction_std: f64,
+    /// Mean page-dirty rate in bytes/s while migrating (the testbed VMs
+    /// run light HTTP/iperf service loads).
+    pub dirty_rate_mean: f64,
+    /// Standard deviation of the dirty rate.
+    pub dirty_rate_std: f64,
+    /// Residue threshold that triggers stop-and-copy.
+    pub stop_threshold_bytes: f64,
+    /// Maximum pre-copy rounds before forcing stop-and-copy.
+    pub max_rounds: u32,
+    /// Migration setup overhead (handshake, resource reservation) in
+    /// seconds.
+    pub setup_s: f64,
+    /// Suspend/resume overhead added to the downtime, seconds (mean).
+    pub suspend_overhead_mean_s: f64,
+    /// Jitter of the suspend/resume overhead, seconds (half-width).
+    pub suspend_overhead_jitter_s: f64,
+    /// Link capacity in bits per second.
+    pub link_bps: f64,
+}
+
+impl PreCopyConfig {
+    /// The paper's testbed: 196 MB VMs on 1 GbE.
+    pub fn paper_default() -> Self {
+        PreCopyConfig {
+            ram_bytes: 196.0 * 1024.0 * 1024.0,
+            skip_fraction_mean: 0.37,
+            skip_fraction_std: 0.054,
+            dirty_rate_mean: 1.6e6,
+            dirty_rate_std: 0.8e6,
+            stop_threshold_bytes: 512.0 * 1024.0,
+            max_rounds: 30,
+            setup_s: 1.85,
+            suspend_overhead_mean_s: 0.009,
+            suspend_overhead_jitter_s: 0.003,
+            link_bps: 1e9,
+        }
+    }
+}
+
+impl Default for PreCopyConfig {
+    fn default() -> Self {
+        PreCopyConfig::paper_default()
+    }
+}
+
+/// Result of one simulated migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationSample {
+    /// Total bytes pushed over the network (all rounds + stop-and-copy).
+    pub migrated_bytes: f64,
+    /// Wall-clock migration time in seconds, including setup.
+    pub total_time_s: f64,
+    /// Stop-and-copy downtime in seconds.
+    pub downtime_s: f64,
+    /// Pre-copy rounds executed (excluding the stop-and-copy).
+    pub rounds: u32,
+}
+
+/// The pre-copy simulator.
+///
+/// # Examples
+///
+/// ```
+/// use score_traffic::CbrLoad;
+/// use score_xen::{PreCopyModel, SummaryStats};
+///
+/// let model = PreCopyModel::default();
+/// let samples = model.migrate_many(CbrLoad::IDLE, 100, 7);
+/// let times: Vec<f64> = samples.iter().map(|s| s.total_time_s).collect();
+/// let stats = SummaryStats::of(&times);
+/// // An idle 1 GbE link migrates a 196 MB VM in about three seconds.
+/// assert!(stats.mean > 2.0 && stats.mean < 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreCopyModel {
+    config: PreCopyConfig,
+}
+
+impl PreCopyModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive RAM or link capacity.
+    pub fn new(config: PreCopyConfig) -> Self {
+        assert!(config.ram_bytes > 0.0, "RAM must be positive");
+        assert!(config.link_bps > 0.0, "link capacity must be positive");
+        assert!(config.max_rounds >= 1, "need at least one round");
+        PreCopyModel { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PreCopyConfig {
+        &self.config
+    }
+
+    /// Simulates one migration under the given background load.
+    pub fn migrate<R: Rng + ?Sized>(&self, load: CbrLoad, rng: &mut R) -> MigrationSample {
+        let c = &self.config;
+        let rate_bytes =
+            (c.link_bps / 8.0) * migration_throughput_fraction(load).max(0.01);
+
+        // Round 0 working set: RAM minus skipped pages.
+        let skip = (c.skip_fraction_mean + c.skip_fraction_std * standard_normal(rng))
+            .clamp(0.05, 0.75);
+        let initial = c.ram_bytes * (1.0 - skip);
+        let dirty_rate = (c.dirty_rate_mean + c.dirty_rate_std * standard_normal(rng))
+            .clamp(0.1e6, 50e6);
+
+        let mut remaining = initial;
+        let mut migrated = 0.0;
+        let mut time = c.setup_s;
+        let mut rounds = 0u32;
+        loop {
+            // Copy the current residue; pages dirty while we copy.
+            let round_time = remaining / rate_bytes;
+            migrated += remaining;
+            time += round_time;
+            rounds += 1;
+            let dirtied = (dirty_rate * round_time).min(initial);
+            if dirtied <= c.stop_threshold_bytes
+                || rounds >= c.max_rounds
+                || dirtied >= remaining
+            {
+                remaining = dirtied;
+                break;
+            }
+            remaining = dirtied;
+        }
+
+        // Stop-and-copy: suspend, push the residue and CPU state, resume.
+        let overhead = c.suspend_overhead_mean_s
+            + rng.gen_range(-c.suspend_overhead_jitter_s..=c.suspend_overhead_jitter_s);
+        let downtime = remaining / rate_bytes + overhead.max(0.001);
+        migrated += remaining;
+        time += downtime;
+
+        MigrationSample { migrated_bytes: migrated, total_time_s: time, downtime_s: downtime, rounds }
+    }
+
+    /// Simulates `n` migrations with a fresh deterministic RNG.
+    pub fn migrate_many(&self, load: CbrLoad, n: usize, seed: u64) -> Vec<MigrationSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.migrate(load, &mut rng)).collect()
+    }
+}
+
+impl Default for PreCopyModel {
+    fn default() -> Self {
+        PreCopyModel::new(PreCopyConfig::paper_default())
+    }
+}
+
+/// Mean / standard deviation / extrema of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Computes statistics over `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "no samples");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        SummaryStats {
+            mean,
+            std: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    #[test]
+    fn throughput_fraction_matches_paper_points() {
+        assert!((migration_throughput_fraction(CbrLoad::IDLE) - 1.0).abs() < 1e-12);
+        let at_10 = migration_throughput_fraction(CbrLoad::new(0.1));
+        assert!((at_10 - 0.45).abs() < 1e-9);
+        let at_full = migration_throughput_fraction(CbrLoad::new(1.0));
+        assert!(at_full > 0.1 && at_full < 0.15);
+        // Monotone decreasing.
+        let sweep = CbrLoad::paper_sweep();
+        for w in sweep.windows(2) {
+            assert!(
+                migration_throughput_fraction(w[1]) < migration_throughput_fraction(w[0])
+            );
+        }
+    }
+
+    #[test]
+    fn migrated_bytes_match_fig5b() {
+        let model = PreCopyModel::default();
+        let samples = model.migrate_many(CbrLoad::IDLE, 200, 42);
+        let bytes: Vec<f64> = samples.iter().map(|s| s.migrated_bytes / MB).collect();
+        let stats = SummaryStats::of(&bytes);
+        // Paper: mean 127 MB, std 11 MB, all below 150 MB.
+        assert!((stats.mean - 127.0).abs() < 8.0, "mean {:.1} MB", stats.mean);
+        assert!(stats.std > 5.0 && stats.std < 18.0, "std {:.1} MB", stats.std);
+        assert!(stats.max < 160.0, "max {:.1} MB", stats.max);
+    }
+
+    #[test]
+    fn idle_migration_time_matches_fig5c() {
+        let model = PreCopyModel::default();
+        let samples = model.migrate_many(CbrLoad::IDLE, 200, 7);
+        let times: Vec<f64> = samples.iter().map(|s| s.total_time_s).collect();
+        let stats = SummaryStats::of(&times);
+        assert!((stats.mean - 2.94).abs() < 0.4, "idle mean {:.2} s", stats.mean);
+    }
+
+    #[test]
+    fn loaded_migration_times_match_fig5c() {
+        let model = PreCopyModel::default();
+        let at = |l: f64| {
+            let s = model.migrate_many(CbrLoad::new(l), 200, 11);
+            SummaryStats::of(&s.iter().map(|x| x.total_time_s).collect::<Vec<_>>()).mean
+        };
+        let t10 = at(0.1);
+        let t100 = at(1.0);
+        assert!((t10 - 4.29).abs() < 0.7, "10% load mean {t10:.2} s");
+        assert!((t100 - 9.34).abs() < 1.5, "100% load mean {t100:.2} s");
+        // Sub-linear growth between the extremes.
+        let t50 = at(0.5);
+        assert!(t10 < t50 && t50 < t100);
+    }
+
+    #[test]
+    fn downtime_stays_below_50ms() {
+        let model = PreCopyModel::default();
+        for &load in &CbrLoad::paper_sweep() {
+            let samples = model.migrate_many(load, 100, 23);
+            for s in &samples {
+                assert!(
+                    s.downtime_s < 0.050,
+                    "downtime {:.1} ms at load {load}",
+                    s.downtime_s * 1e3
+                );
+            }
+        }
+        // And grows with load (Fig. 5d trend).
+        let idle = SummaryStats::of(
+            &model.migrate_many(CbrLoad::IDLE, 200, 5).iter().map(|s| s.downtime_s).collect::<Vec<_>>(),
+        );
+        let full = SummaryStats::of(
+            &model.migrate_many(CbrLoad::new(1.0), 200, 5).iter().map(|s| s.downtime_s).collect::<Vec<_>>(),
+        );
+        assert!(full.mean > idle.mean);
+    }
+
+    #[test]
+    fn few_rounds_when_idle() {
+        let model = PreCopyModel::default();
+        let samples = model.migrate_many(CbrLoad::IDLE, 50, 3);
+        for s in samples {
+            assert!(s.rounds <= 4, "idle migrations converge quickly, got {}", s.rounds);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = PreCopyModel::default();
+        let a = model.migrate_many(CbrLoad::new(0.3), 10, 9);
+        let b = model.migrate_many(CbrLoad::new(0.3), 10, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let s = SummaryStats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_stats_panic() {
+        let _ = SummaryStats::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "RAM must be positive")]
+    fn bad_config_rejected() {
+        let _ = PreCopyModel::new(PreCopyConfig { ram_bytes: 0.0, ..PreCopyConfig::paper_default() });
+    }
+}

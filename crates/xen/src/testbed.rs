@@ -1,0 +1,140 @@
+//! Testbed experiment harnesses for Fig. 5b/5c/5d.
+//!
+//! The paper measured >100 real Xen migrations; these helpers run the
+//! pre-copy model over the same experimental designs: the migrated-bytes
+//! distribution, and the migration-time / downtime sweeps over background
+//! CBR load.
+
+use score_traffic::CbrLoad;
+use serde::{Deserialize, Serialize};
+
+use crate::livemig::{MigrationSample, PreCopyModel, SummaryStats};
+
+/// One histogram bin of the Fig. 5b distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBin {
+    /// Bin center, in MB.
+    pub center_mb: f64,
+    /// Empirical probability of the bin.
+    pub probability: f64,
+    /// Sample count in the bin.
+    pub count: usize,
+}
+
+/// Fig. 5b: distribution of migrated bytes over `n` idle-link migrations.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `bin_mb <= 0`.
+pub fn migrated_bytes_histogram(
+    model: &PreCopyModel,
+    n: usize,
+    bin_mb: f64,
+    seed: u64,
+) -> (Vec<HistogramBin>, SummaryStats) {
+    assert!(n > 0, "need at least one migration");
+    assert!(bin_mb > 0.0, "bin width must be positive");
+    const MB: f64 = 1024.0 * 1024.0;
+    let samples = model.migrate_many(CbrLoad::IDLE, n, seed);
+    let mb: Vec<f64> = samples.iter().map(|s| s.migrated_bytes / MB).collect();
+    let stats = SummaryStats::of(&mb);
+    let lo = (stats.min / bin_mb).floor() * bin_mb;
+    let bins = (((stats.max - lo) / bin_mb).floor() as usize) + 1;
+    let mut counts = vec![0usize; bins];
+    for &v in &mb {
+        let idx = (((v - lo) / bin_mb) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let hist = counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, count)| HistogramBin {
+            center_mb: lo + (i as f64 + 0.5) * bin_mb,
+            probability: count as f64 / n as f64,
+            count,
+        })
+        .collect();
+    (hist, stats)
+}
+
+/// One point of the Fig. 5c/5d sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Background CBR load.
+    pub load: f64,
+    /// Total-migration-time statistics, seconds.
+    pub time: SummaryStats,
+    /// Downtime statistics, seconds.
+    pub downtime: SummaryStats,
+}
+
+/// Fig. 5c + 5d: migration time and downtime vs background load, `n`
+/// migrations per point over [`CbrLoad::paper_sweep`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn load_sweep(model: &PreCopyModel, n: usize, seed: u64) -> Vec<SweepPoint> {
+    assert!(n > 0, "need at least one migration per point");
+    CbrLoad::paper_sweep()
+        .into_iter()
+        .enumerate()
+        .map(|(i, load)| {
+            let samples = model.migrate_many(load, n, seed.wrapping_add(i as u64));
+            summarize_point(load, &samples)
+        })
+        .collect()
+}
+
+fn summarize_point(load: CbrLoad, samples: &[MigrationSample]) -> SweepPoint {
+    let times: Vec<f64> = samples.iter().map(|s| s.total_time_s).collect();
+    let downs: Vec<f64> = samples.iter().map(|s| s.downtime_s).collect();
+    SweepPoint {
+        load: load.get(),
+        time: SummaryStats::of(&times),
+        downtime: SummaryStats::of(&downs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let model = PreCopyModel::default();
+        let (hist, stats) = migrated_bytes_histogram(&model, 150, 5.0, 1);
+        let total: usize = hist.iter().map(|b| b.count).sum();
+        assert_eq!(total, 150);
+        let prob: f64 = hist.iter().map(|b| b.probability).sum();
+        assert!((prob - 1.0).abs() < 1e-9);
+        assert!(stats.mean > 100.0 && stats.mean < 150.0);
+        // Bin centers are ordered and spaced by the bin width.
+        for w in hist.windows(2) {
+            assert!((w[1].center_mb - w[0].center_mb - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_shape_matches_paper() {
+        let model = PreCopyModel::default();
+        let sweep = load_sweep(&model, 60, 2);
+        assert_eq!(sweep.len(), 11);
+        // Times increase with load; downtime stays under 50 ms.
+        for w in sweep.windows(2) {
+            assert!(w[1].time.mean > w[0].time.mean, "time not monotone");
+        }
+        for p in &sweep {
+            assert!(p.downtime.max < 0.050, "downtime {} ms", p.downtime.max * 1e3);
+        }
+        // Endpoints near the paper's values.
+        assert!((sweep[0].time.mean - 2.94).abs() < 0.5);
+        assert!((sweep[10].time.mean - 9.34).abs() < 1.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one migration")]
+    fn empty_histogram_rejected() {
+        let _ = migrated_bytes_histogram(&PreCopyModel::default(), 0, 5.0, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for the pre-copy migration model.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use score_traffic::CbrLoad;
+use score_xen::{migration_throughput_fraction, PreCopyConfig, PreCopyModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn migrated_bytes_bounded_by_geometric_limit(seed in 0u64..500, load in 0.0f64..=1.0) {
+        let config = PreCopyConfig::paper_default();
+        let model = PreCopyModel::new(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = model.migrate(CbrLoad::new(load), &mut rng);
+        // At least the non-skipped working set is moved once …
+        prop_assert!(s.migrated_bytes >= config.ram_bytes * 0.2);
+        // … and never more than a few times the VM's RAM (geometric series
+        // with ratio < 1 plus safety margin).
+        prop_assert!(s.migrated_bytes <= config.ram_bytes * 4.0,
+            "migrated {} for {} RAM", s.migrated_bytes, config.ram_bytes);
+        prop_assert!(s.rounds >= 1 && s.rounds <= config.max_rounds);
+        prop_assert!(s.downtime_s > 0.0);
+        prop_assert!(s.total_time_s > s.downtime_s);
+    }
+
+    #[test]
+    fn mean_time_monotone_in_load(seed in 0u64..100) {
+        let model = PreCopyModel::default();
+        let mean = |load: f64| {
+            let samples = model.migrate_many(CbrLoad::new(load), 60, seed);
+            samples.iter().map(|s| s.total_time_s).sum::<f64>() / samples.len() as f64
+        };
+        let lo = mean(0.0);
+        let mid = mean(0.5);
+        let hi = mean(1.0);
+        prop_assert!(lo < mid && mid < hi, "{lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn throughput_fraction_is_monotone_and_bounded(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let f_lo = migration_throughput_fraction(CbrLoad::new(lo));
+        let f_hi = migration_throughput_fraction(CbrLoad::new(hi));
+        prop_assert!(f_lo >= f_hi - 1e-12);
+        prop_assert!(f_hi > 0.0 && f_lo <= 1.0);
+    }
+
+    #[test]
+    fn downtime_never_exceeds_50ms_at_paper_settings(seed in 0u64..200, load in 0.0f64..=1.0) {
+        let model = PreCopyModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = model.migrate(CbrLoad::new(load), &mut rng);
+        prop_assert!(s.downtime_s < 0.050, "downtime {} ms", s.downtime_s * 1e3);
+    }
+}

@@ -1,0 +1,53 @@
+//! # s-core — facade crate for the S-CORE reproduction
+//!
+//! One-stop import for the full reproduction of **"Scalable Traffic-Aware
+//! Virtual Machine Management for Cloud Data Centers"** (Tso, Oikonomou,
+//! Kavvadia, Pezaros — IEEE ICDCS 2014):
+//!
+//! * [`topology`] — canonical-tree / fat-tree / star DC fabrics, levels,
+//!   link weights, addressing;
+//! * [`traffic`] — synthetic DC workloads (sparse/medium/dense), traffic
+//!   matrices, flows, CBR;
+//! * [`flowtable`] — the dom0 flow-monitoring table;
+//! * [`core`] — the S-CORE algorithm: cost model, token, RR/HLF policies,
+//!   decision engine, cluster state;
+//! * [`baselines`] — GA approximate-optimal, Remedy, naive placements, the
+//!   NP-completeness reduction;
+//! * [`xen`] — pre-copy live-migration model and dom0 control plane;
+//! * [`sim`] — the flow-level discrete-event simulator and scenario
+//!   runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use s_core::sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+//! use s_core::traffic::TrafficIntensity;
+//!
+//! let scenario = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 42);
+//! let mut world = build_world(&scenario);
+//! let config = SimConfig { t_end_s: 60.0, ..SimConfig::paper_default() };
+//! let report = run_simulation(
+//!     &mut world.cluster,
+//!     &world.traffic,
+//!     PolicyKind::HighestLevelFirst,
+//!     &config,
+//! );
+//! println!(
+//!     "communication cost: {:.3e} -> {:.3e} ({} migrations)",
+//!     report.initial_cost,
+//!     report.final_cost,
+//!     report.migrations.len()
+//! );
+//! assert!(report.final_cost <= report.initial_cost);
+//! ```
+//!
+//! See `examples/` for richer scenarios and `crates/experiments` for the
+//! binaries regenerating every figure of the paper.
+
+pub use score_baselines as baselines;
+pub use score_core as core;
+pub use score_flowtable as flowtable;
+pub use score_sim as sim;
+pub use score_topology as topology;
+pub use score_traffic as traffic;
+pub use score_xen as xen;
