@@ -56,6 +56,7 @@ pub fn exhaustive_optimal<T: Topology + ?Sized>(
 
     // Depth-first over VMs in id order; partial cost counts pairs whose
     // both endpoints are already placed.
+    #[allow(clippy::too_many_arguments)] // internal DFS carries its whole search state
     fn recurse<T: Topology + ?Sized>(
         vm: usize,
         n: usize,
@@ -137,7 +138,11 @@ pub fn exhaustive_optimal<T: Topology + ?Sized>(
     let best = Allocation::from_fn(n as u32, servers as u32, |vm| {
         ServerId::new(best_vec[vm.index()])
     });
-    ExhaustiveResult { best, best_cost, examined }
+    ExhaustiveResult {
+        best,
+        best_cost,
+        examined,
+    }
 }
 
 #[cfg(test)]
@@ -186,8 +191,7 @@ mod tests {
         // Verify against a fully naive enumeration of all 4^4 assignments.
         let mut naive_best = f64::INFINITY;
         for mask in 0..(4u32.pow(4)) {
-            let digits: Vec<u32> =
-                (0..4).map(|i| (mask / 4u32.pow(i)) % 4).collect();
+            let digits: Vec<u32> = (0..4).map(|i| (mask / 4u32.pow(i)) % 4).collect();
             let mut occ = [0u32; 4];
             let mut feasible = true;
             for &d in &digits {
@@ -200,8 +204,7 @@ mod tests {
             if !feasible {
                 continue;
             }
-            let alloc =
-                Allocation::from_fn(4, 4, |vm| ServerId::new(digits[vm.index()]));
+            let alloc = Allocation::from_fn(4, 4, |vm| ServerId::new(digits[vm.index()]));
             let cost = model.total_cost(&alloc, &traffic, &topo);
             naive_best = naive_best.min(cost);
         }

@@ -60,7 +60,7 @@ impl GaConfig {
             rel_improvement: 0.01,
             patience: 10,
             max_generations: 10_000,
-            seed: 0x5c0_7e,
+            seed: 0x5_c07e,
             threads: 4,
         }
     }
@@ -75,7 +75,7 @@ impl GaConfig {
             rel_improvement: 0.01,
             patience: 8,
             max_generations: 200,
-            seed: 0x5c0_7e,
+            seed: 0x5_c07e,
             threads: 1,
         }
     }
@@ -152,19 +152,33 @@ impl<'a> GeneticOptimizer<'a> {
         config: GaConfig,
     ) -> Self {
         assert!(config.population >= 2, "population must be at least 2");
-        assert!(config.tournament_k >= 1, "tournament size must be at least 1");
-        assert!(config.elite < config.population, "elite must be below population");
+        assert!(
+            config.tournament_k >= 1,
+            "tournament size must be at least 1"
+        );
+        assert!(
+            config.elite < config.population,
+            "elite must be below population"
+        );
         assert!(
             topo.num_servers() as u64 * slots_per_server as u64 >= traffic.num_vms() as u64,
             "topology cannot hold the VM population"
         );
-        GeneticOptimizer { topo, traffic, model, slots_per_server, config }
+        GeneticOptimizer {
+            topo,
+            traffic,
+            model,
+            slots_per_server,
+            config,
+        }
     }
 
     fn genome_cost(&self, genome: &Genome) -> f64 {
-        let alloc = Allocation::from_fn(self.traffic.num_vms(), self.topo.num_servers() as u32, |vm| {
-            ServerId::new(genome[vm.index()])
-        });
+        let alloc = Allocation::from_fn(
+            self.traffic.num_vms(),
+            self.topo.num_servers() as u32,
+            |vm| ServerId::new(genome[vm.index()]),
+        );
         self.model.total_cost(&alloc, self.traffic, self.topo)
     }
 
@@ -288,8 +302,11 @@ impl<'a> GeneticOptimizer<'a> {
             // Elitism: carry over the best individuals.
             let mut order: Vec<usize> = (0..pop.len()).collect();
             order.sort_by(|&i, &j| costs[i].partial_cmp(&costs[j]).unwrap());
-            let mut next: Vec<Genome> =
-                order.iter().take(self.config.elite).map(|&i| pop[i].clone()).collect();
+            let mut next: Vec<Genome> = order
+                .iter()
+                .take(self.config.elite)
+                .map(|&i| pop[i].clone())
+                .collect();
             while next.len() < self.config.population {
                 let pa = self.tournament(&costs, &mut rng);
                 let pb = self.tournament(&costs, &mut rng);
@@ -303,7 +320,11 @@ impl<'a> GeneticOptimizer<'a> {
 
             best_idx = argmin(&costs);
             let gen_best = costs[best_idx];
-            let improvement = if best.1 > 0.0 { (best.1 - gen_best) / best.1 } else { 0.0 };
+            let improvement = if best.1 > 0.0 {
+                (best.1 - gen_best) / best.1
+            } else {
+                0.0
+            };
             if gen_best < best.1 {
                 best = (pop[best_idx].clone(), gen_best);
             }
@@ -316,7 +337,12 @@ impl<'a> GeneticOptimizer<'a> {
         }
 
         let alloc = Allocation::from_fn(num_vms, servers, |vm| ServerId::new(best.0[vm.index()]));
-        GaResult { best: alloc, best_cost: best.1, generations, history }
+        GaResult {
+            best: alloc,
+            best_cost: best.1,
+            generations,
+            history,
+        }
     }
 }
 
@@ -334,17 +360,26 @@ mod tests {
     use super::*;
     use crate::placement::respects_slots;
     use score_topology::CanonicalTree;
-    use score_traffic::{PairTrafficBuilder, WorkloadConfig};
     use score_topology::VmId;
+    use score_traffic::{PairTrafficBuilder, WorkloadConfig};
 
     fn small_world() -> (CanonicalTree, PairTraffic) {
-        (CanonicalTree::small(), WorkloadConfig::new(24, 5).generate())
+        (
+            CanonicalTree::small(),
+            WorkloadConfig::new(24, 5).generate(),
+        )
     }
 
     #[test]
     fn ga_result_respects_capacity() {
         let (topo, traffic) = small_world();
-        let ga = GeneticOptimizer::new(&topo, &traffic, CostModel::paper_default(), 4, GaConfig::fast());
+        let ga = GeneticOptimizer::new(
+            &topo,
+            &traffic,
+            CostModel::paper_default(),
+            4,
+            GaConfig::fast(),
+        );
         let result = ga.run();
         assert!(respects_slots(&result.best, 4));
         assert!(result.best.is_consistent());
@@ -376,7 +411,13 @@ mod tests {
     #[test]
     fn ga_history_is_monotone_nonincreasing() {
         let (topo, traffic) = small_world();
-        let ga = GeneticOptimizer::new(&topo, &traffic, CostModel::paper_default(), 4, GaConfig::fast());
+        let ga = GeneticOptimizer::new(
+            &topo,
+            &traffic,
+            CostModel::paper_default(),
+            4,
+            GaConfig::fast(),
+        );
         let result = ga.run();
         assert!(result.history.windows(2).all(|w| w[1] <= w[0] + 1e-9));
         assert_eq!(result.history.len(), result.generations + 1);
@@ -390,7 +431,13 @@ mod tests {
         b.add(VmId::new(0), VmId::new(1), 1000.0);
         b.add(VmId::new(2), VmId::new(3), 1000.0);
         let traffic = b.build();
-        let ga = GeneticOptimizer::new(&topo, &traffic, CostModel::paper_default(), 4, GaConfig::fast());
+        let ga = GeneticOptimizer::new(
+            &topo,
+            &traffic,
+            CostModel::paper_default(),
+            4,
+            GaConfig::fast(),
+        );
         let result = ga.run();
         assert_eq!(result.best_cost, 0.0, "both pairs should be collocated");
     }
@@ -422,7 +469,13 @@ mod tests {
     #[test]
     fn repair_fixes_overfull_servers() {
         let (topo, traffic) = small_world();
-        let ga = GeneticOptimizer::new(&topo, &traffic, CostModel::paper_default(), 2, GaConfig::fast());
+        let ga = GeneticOptimizer::new(
+            &topo,
+            &traffic,
+            CostModel::paper_default(),
+            2,
+            GaConfig::fast(),
+        );
         let mut genome: Genome = vec![0; 24]; // everything on server 0
         ga.repair(&mut genome);
         let alloc = Allocation::from_fn(24, 16, |vm| ServerId::new(genome[vm.index()]));
@@ -433,8 +486,14 @@ mod tests {
     fn deterministic_under_seed() {
         let (topo, traffic) = small_world();
         let run = || {
-            GeneticOptimizer::new(&topo, &traffic, CostModel::paper_default(), 4, GaConfig::fast())
-                .run()
+            GeneticOptimizer::new(
+                &topo,
+                &traffic,
+                CostModel::paper_default(),
+                4,
+                GaConfig::fast(),
+            )
+            .run()
         };
         let a = run();
         let b = run();

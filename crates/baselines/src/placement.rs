@@ -46,7 +46,9 @@ pub fn striped_placement(num_vms: u32, num_servers: u32, slots_per_server: u32) 
         per_server <= slots_per_server,
         "striping puts {per_server} VMs per server, above the limit {slots_per_server}"
     );
-    Allocation::from_fn(num_vms, num_servers, |vm| ServerId::new(vm.get() % num_servers))
+    Allocation::from_fn(num_vms, num_servers, |vm| {
+        ServerId::new(vm.get() % num_servers)
+    })
 }
 
 /// Densely packed placement: fill server 0 to its slot limit, then server
@@ -61,7 +63,9 @@ pub fn packed_placement(num_vms: u32, num_servers: u32, slots_per_server: u32) -
         (num_servers as u64) * (slots_per_server as u64) >= num_vms as u64,
         "not enough slots"
     );
-    Allocation::from_fn(num_vms, num_servers, |vm| ServerId::new(vm.get() / slots_per_server))
+    Allocation::from_fn(num_vms, num_servers, |vm| {
+        ServerId::new(vm.get() / slots_per_server)
+    })
 }
 
 /// Randomly packed placement: like [`packed_placement`] but the VM order is
@@ -92,8 +96,7 @@ pub fn shuffled_packed_placement<R: Rng + ?Sized>(
 
 /// Checks a placement against a uniform slot limit.
 pub fn respects_slots(alloc: &Allocation, slots_per_server: u32) -> bool {
-    (0..alloc.num_servers())
-        .all(|s| alloc.occupancy(ServerId::new(s)) <= slots_per_server as usize)
+    (0..alloc.num_servers()).all(|s| alloc.occupancy(ServerId::new(s)) <= slots_per_server as usize)
 }
 
 /// Convenience for experiments: which rack a VM lands on under an
@@ -163,8 +166,7 @@ mod tests {
         let a = shuffled_packed_placement(10, 4, 4, &mut rng);
         assert!(respects_slots(&a, 4));
         // Same density profile as packed: 4, 4, 2 VMs over 3 servers.
-        let mut occ: Vec<usize> =
-            (0..4).map(|s| a.occupancy(ServerId::new(s))).collect();
+        let mut occ: Vec<usize> = (0..4).map(|s| a.occupancy(ServerId::new(s))).collect();
         occ.sort_unstable_by(|x, y| y.cmp(x));
         assert_eq!(occ, vec![4, 4, 2, 0]);
         // Different VM identities than plain packed (with overwhelming

@@ -203,9 +203,8 @@ mod tests {
     fn cut_weight_matches_manual() {
         let gp = triangle_plus_pendant();
         // Partition {0,1,2} | {3}: only the (2,3) edge is cut.
-        let alloc = Allocation::from_fn(4, 4, |vm| {
-            ServerId::new(if vm.get() == 3 { 1 } else { 0 })
-        });
+        let alloc =
+            Allocation::from_fn(4, 4, |vm| ServerId::new(if vm.get() == 3 { 1 } else { 0 }));
         assert_eq!(cut_weight(&gp, &alloc), 5.0);
     }
 
@@ -220,7 +219,13 @@ mod tests {
         let instances = vec![
             GraphPartitionInstance {
                 vertices: 5,
-                edges: vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (4, 0, 5.0)],
+                edges: vec![
+                    (0, 1, 1.0),
+                    (1, 2, 2.0),
+                    (2, 3, 3.0),
+                    (3, 4, 4.0),
+                    (4, 0, 5.0),
+                ],
                 capacity: 3,
                 goal: 3.0,
             },

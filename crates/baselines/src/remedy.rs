@@ -215,12 +215,8 @@ impl Remedy {
                 break;
             }
 
-            let contributors = LinkLoadMap::contributors(
-                hot_link,
-                cluster.allocation(),
-                traffic,
-                cluster.topo(),
-            );
+            let contributors =
+                LinkLoadMap::contributors(hot_link, cluster.allocation(), traffic, cluster.topo());
             let mut best: Option<(VmId, ServerId, f64)> = None;
             for &(vm, _) in contributors.iter().take(self.config.candidates_per_step) {
                 for target in self.candidate_targets(vm, cluster, &map) {
@@ -237,19 +233,22 @@ impl Remedy {
                 }
             }
 
-            let Some((vm, target, predicted)) = best else { break };
+            let Some((vm, target, predicted)) = best else {
+                break;
+            };
             // Steady-state gate: the utilization relief, amortised over the
             // configured window on the hot link's capacity, must pay for
             // the migration bytes.
             let relief = max_util - predicted;
-            let hot_capacity =
-                cluster.topo().graph().link(hot_link).capacity_bps / 8.0;
+            let hot_capacity = cluster.topo().graph().link(hot_link).capacity_bps / 8.0;
             let benefit_bytes = relief * hot_capacity * self.config.amortization_s;
             if relief <= 1e-12 || benefit_bytes <= bytes_per_migration {
                 break;
             }
             let from = cluster.allocation().server_of(vm);
-            cluster.migrate(vm, target, 1.0).expect("candidate_targets validated capacity");
+            cluster
+                .migrate(vm, target, 1.0)
+                .expect("candidate_targets validated capacity");
             result.steps.push(RemedyStep {
                 vm,
                 from,
@@ -337,7 +336,10 @@ mod tests {
             .max_utilization(Level::AGGREGATION)
             .unwrap()
             .1;
-        assert!(after <= before + 1e-12, "max util must not increase: {before} -> {after}");
+        assert!(
+            after <= before + 1e-12,
+            "max util must not increase: {before} -> {after}"
+        );
         if !result.steps.is_empty() {
             assert!(after < before, "performed migrations must reduce max util");
             // Every step's bookkeeping is coherent.
@@ -361,7 +363,10 @@ mod tests {
     #[test]
     fn high_threshold_does_nothing() {
         let (mut cluster, traffic) = world(13);
-        let cfg = RemedyConfig { utilization_threshold: 1e9, ..RemedyConfig::paper_default() };
+        let cfg = RemedyConfig {
+            utilization_threshold: 1e9,
+            ..RemedyConfig::paper_default()
+        };
         let result = Remedy::new(cfg).run(&mut cluster, &traffic);
         assert!(result.steps.is_empty());
     }
@@ -386,10 +391,18 @@ mod tests {
         // catastrophically and reports coherent numbers.
         let (mut cluster, traffic) = world(15);
         let model = CostModel::paper_default();
-        let (before, after, result) =
-            remedy_cost_reduction(&mut cluster, &traffic, &model, RemedyConfig::paper_default());
+        let (before, after, result) = remedy_cost_reduction(
+            &mut cluster,
+            &traffic,
+            &model,
+            RemedyConfig::paper_default(),
+        );
         assert!(before > 0.0);
         assert!(after > 0.0);
-        assert_eq!(result.total_migrated_bytes(), result.steps.len() as f64 * Remedy::new(RemedyConfig::paper_default()).migration_bytes());
+        assert_eq!(
+            result.total_migrated_bytes(),
+            result.steps.len() as f64
+                * Remedy::new(RemedyConfig::paper_default()).migration_bytes()
+        );
     }
 }

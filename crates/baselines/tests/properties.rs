@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use score_baselines::{
-    min_cost_brute_force, min_cut_brute_force, reduce, respects_slots, GaConfig,
-    GeneticOptimizer, GraphPartitionInstance, Remedy, RemedyConfig,
+    min_cost_brute_force, min_cut_brute_force, reduce, respects_slots, GaConfig, GeneticOptimizer,
+    GraphPartitionInstance, Remedy, RemedyConfig,
 };
 use score_core::{Cluster, CostModel, ServerSpec, VmSpec};
 use score_topology::CanonicalTree;

@@ -15,7 +15,10 @@ fn bench_ablations(c: &mut Criterion) {
     for budget in [1usize, 4, 16] {
         let engine = ScoreEngine::new(
             CostModel::paper_default(),
-            ScoreConfig { max_candidates: Some(budget), ..ScoreConfig::paper_default() },
+            ScoreConfig {
+                max_candidates: Some(budget),
+                ..ScoreConfig::paper_default()
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("decision_with_budget", budget),
@@ -61,9 +64,11 @@ fn bench_ablations(c: &mut Criterion) {
     for levels in [3u8, 6] {
         let weights = LinkWeights::exponential(levels, std::f64::consts::E).unwrap();
         let model = CostModel::new(weights);
-        group.bench_with_input(BenchmarkId::new("total_cost_levels", levels), &levels, |b, _| {
-            b.iter(|| model.total_cost(cluster.allocation(), &traffic, cluster.topo()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("total_cost_levels", levels),
+            &levels,
+            |b, _| b.iter(|| model.total_cost(cluster.allocation(), &traffic, cluster.topo())),
+        );
     }
     group.finish();
 }

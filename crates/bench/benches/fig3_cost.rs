@@ -31,8 +31,12 @@ fn bench_cost_kernels(c: &mut Criterion) {
         let engine = ScoreEngine::paper_default();
         group.bench_with_input(BenchmarkId::new("holder_decision", vms), &vms, |b, _| {
             b.iter(|| {
-                let view =
-                    LocalView::observe(VmId::new(0), cluster.allocation(), &traffic, cluster.topo());
+                let view = LocalView::observe(
+                    VmId::new(0),
+                    cluster.allocation(),
+                    &traffic,
+                    cluster.topo(),
+                );
                 engine.decide(&view, &cluster)
             })
         });

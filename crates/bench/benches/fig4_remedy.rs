@@ -19,8 +19,11 @@ fn bench_remedy(c: &mut Criterion) {
             b.iter_batched(
                 || bench_world(vms, 3),
                 |(mut cluster, traffic)| {
-                    Remedy::new(RemedyConfig { max_migrations: 1, ..RemedyConfig::paper_default() })
-                        .run(&mut cluster, &traffic)
+                    Remedy::new(RemedyConfig {
+                        max_migrations: 1,
+                        ..RemedyConfig::paper_default()
+                    })
+                    .run(&mut cluster, &traffic)
                 },
                 criterion::BatchSize::SmallInput,
             )

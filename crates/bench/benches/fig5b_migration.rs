@@ -10,11 +10,15 @@ fn bench_precopy(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5b_migration");
     let model = PreCopyModel::default();
     for load in [0.0f64, 0.5, 1.0] {
-        group.bench_with_input(BenchmarkId::new("migrate", format!("{load}")), &load, |b, &l| {
-            let mut rng = StdRng::seed_from_u64(9);
-            let cbr = CbrLoad::new(l);
-            b.iter(|| model.migrate(cbr, &mut rng))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("migrate", format!("{load}")),
+            &load,
+            |b, &l| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let cbr = CbrLoad::new(l);
+                b.iter(|| model.migrate(cbr, &mut rng))
+            },
+        );
     }
     group.bench_function("migrate_many_100", |b| {
         b.iter(|| model.migrate_many(CbrLoad::new(0.3), 100, 11))

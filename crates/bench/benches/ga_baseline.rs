@@ -18,7 +18,10 @@ fn bench_ga(c: &mut Criterion) {
                     &traffic,
                     CostModel::paper_default(),
                     16,
-                    GaConfig { max_generations: 20, ..GaConfig::fast() },
+                    GaConfig {
+                        max_generations: 20,
+                        ..GaConfig::fast()
+                    },
                 )
                 .run()
             })
@@ -30,7 +33,12 @@ fn bench_ga(c: &mut Criterion) {
                     &traffic,
                     CostModel::paper_default(),
                     16,
-                    GaConfig { max_generations: 20, threads: 4, population: 128, ..GaConfig::fast() },
+                    GaConfig {
+                        max_generations: 20,
+                        threads: 4,
+                        population: 128,
+                        ..GaConfig::fast()
+                    },
                 )
                 .run()
             })

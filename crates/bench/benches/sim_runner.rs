@@ -1,8 +1,15 @@
 //! Simulation-throughput benchmark: full scenario runs at CI scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use score_sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+use score_sim::{PolicyKind, Scenario};
 use score_traffic::TrafficIntensity;
+
+fn scenario_for(policy: PolicyKind) -> Scenario {
+    let mut scenario = Scenario::small_canonical(TrafficIntensity::Sparse, 3);
+    scenario.policy = policy;
+    scenario.timing.t_end_s = 120.0;
+    scenario
+}
 
 fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_runner");
@@ -13,18 +20,26 @@ fn bench_sim(c: &mut Criterion) {
             &policy,
             |b, &policy| {
                 b.iter_batched(
-                    || build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 3)),
-                    |mut world| {
-                        let config = SimConfig { t_end_s: 120.0, ..SimConfig::paper_default() };
-                        run_simulation(&mut world.cluster, &world.traffic, policy, &config)
+                    || {
+                        scenario_for(policy)
+                            .session()
+                            .expect("bench scenario is feasible")
+                    },
+                    |mut session| {
+                        session.run_to_horizon();
+                        session.report()
                     },
                     criterion::BatchSize::SmallInput,
                 )
             },
         );
     }
-    group.bench_function("world_build_small", |b| {
-        b.iter(|| build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 3)))
+    group.bench_function("session_materialize_small", |b| {
+        b.iter(|| {
+            scenario_for(PolicyKind::RoundRobin)
+                .session()
+                .expect("bench scenario is feasible")
+        })
     });
     group.finish();
 }

@@ -49,7 +49,10 @@ impl Allocation {
             vm_server.push(s);
             server_vms[s.index()].push(vm);
         }
-        Allocation { vm_server, server_vms }
+        Allocation {
+            vm_server,
+            server_vms,
+        }
     }
 
     /// Builds an allocation from an explicit vector (`vec[vm] = server`).
@@ -104,13 +107,19 @@ impl Allocation {
     ///
     /// Panics if either id is out of range.
     pub fn move_vm(&mut self, vm: VmId, target: ServerId) {
-        assert!(target.index() < self.server_vms.len(), "server {target} out of range");
+        assert!(
+            target.index() < self.server_vms.len(),
+            "server {target} out of range"
+        );
         let current = self.vm_server[vm.index()];
         if current == target {
             return;
         }
         let old_list = &mut self.server_vms[current.index()];
-        let pos = old_list.iter().position(|&v| v == vm).expect("reverse index corrupt");
+        let pos = old_list
+            .iter()
+            .position(|&v| v == vm)
+            .expect("reverse index corrupt");
         old_list.swap_remove(pos);
         self.server_vms[target.index()].push(vm);
         self.vm_server[vm.index()] = target;
@@ -123,7 +132,10 @@ impl Allocation {
 
     /// Iterates over `(vm, server)` pairs in VM order.
     pub fn iter(&self) -> impl Iterator<Item = (VmId, ServerId)> + '_ {
-        self.vm_server.iter().enumerate().map(|(i, &s)| (VmId::new(i as u32), s))
+        self.vm_server
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (VmId::new(i as u32), s))
     }
 
     /// Largest per-server occupancy (for capacity sanity checks).

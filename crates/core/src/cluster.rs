@@ -44,11 +44,18 @@ pub enum ClusterError {
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ClusterError::ServerCountMismatch { allocation, topology } => write!(
+            ClusterError::ServerCountMismatch {
+                allocation,
+                topology,
+            } => write!(
                 f,
                 "allocation spans {allocation} servers but the topology has {topology}"
             ),
-            ClusterError::VmCountMismatch { allocation, specs, traffic } => write!(
+            ClusterError::VmCountMismatch {
+                allocation,
+                specs,
+                traffic,
+            } => write!(
                 f,
                 "VM population mismatch: allocation {allocation}, specs {specs}, traffic {traffic}"
             ),
@@ -231,7 +238,11 @@ impl Cluster {
     /// Current NIC load of a server: traffic its hosted VMs exchange with
     /// VMs on other servers.
     pub fn host_external_load(&self, host: ServerId) -> f64 {
-        self.alloc.vms_on(host).iter().map(|&u| self.external_rate(u, host)).sum()
+        self.alloc
+            .vms_on(host)
+            .iter()
+            .map(|&u| self.external_rate(u, host))
+            .sum()
     }
 
     /// Can `server` host `vm` right now, honouring the bandwidth threshold
@@ -312,9 +323,12 @@ impl Cluster {
         let mut usage = vec![ServerUsage::default(); self.usage.len()];
         for (vm, server) in alloc.iter() {
             let u = &mut usage[server.index()];
-            if let Err(source) =
-                u.admission_check(&self.server_spec, &self.vm_specs[vm.index()], 0.0, f64::INFINITY)
-            {
+            if let Err(source) = u.admission_check(
+                &self.server_spec,
+                &self.vm_specs[vm.index()],
+                0.0,
+                f64::INFINITY,
+            ) {
                 return Err(ClusterError::InitialOverCommit { server, source });
             }
             u.admit(&self.vm_specs[vm.index()], self.vm_nic_demand[vm.index()]);
@@ -341,7 +355,10 @@ mod tests {
 
     fn cluster(vms: u32, per_server: u32) -> Cluster {
         let topo = Arc::new(CanonicalTree::small());
-        let spec = ServerSpec { vm_slots: per_server, ..ServerSpec::paper_default() };
+        let spec = ServerSpec {
+            vm_slots: per_server,
+            ..ServerSpec::paper_default()
+        };
         let alloc = Allocation::from_fn(vms, 16, |vm| ServerId::new(vm.get() % 16));
         Cluster::new(topo, spec, VmSpec::paper_default(), &traffic(vms), alloc).unwrap()
     }
@@ -387,7 +404,10 @@ mod tests {
     #[test]
     fn initial_overcommit_rejected() {
         let topo: Arc<dyn Topology> = Arc::new(CanonicalTree::small());
-        let spec = ServerSpec { vm_slots: 1, ..ServerSpec::paper_default() };
+        let spec = ServerSpec {
+            vm_slots: 1,
+            ..ServerSpec::paper_default()
+        };
         let alloc = Allocation::from_fn(2, 16, |_| ServerId::new(0));
         let err =
             Cluster::new(topo, spec, VmSpec::paper_default(), &traffic(2), alloc).unwrap_err();
@@ -466,7 +486,8 @@ mod tests {
         c.migrate(VmId::new(0), ServerId::new(1), 1.0).unwrap();
         assert!((c.host_external_load(ServerId::new(1)) - 0.5e9).abs() < 1.0);
         // An unconstrained threshold admits anything.
-        c.migrate(VmId::new(0), ServerId::new(5), f64::INFINITY).unwrap();
+        c.migrate(VmId::new(0), ServerId::new(5), f64::INFINITY)
+            .unwrap();
     }
 
     #[test]
@@ -494,7 +515,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ClusterError::ServerCountMismatch { allocation: 4, topology: 16 };
+        let e = ClusterError::ServerCountMismatch {
+            allocation: 4,
+            topology: 16,
+        };
         assert!(e.to_string().contains("4"));
         let e = ClusterError::InitialOverCommit {
             server: ServerId::new(2),

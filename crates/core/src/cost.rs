@@ -222,7 +222,10 @@ mod tests {
         // vm0: 10 * prefix(1) [to vm1, same rack] + 5 * prefix(2) [to vm2].
         let expected = 2.0 * (10.0 * w(1) + 5.0 * w(2));
         let got = m.vm_cost(VmId::new(0), &alloc(), &traffic(), &topo());
-        assert!((got - expected).abs() < 1e-9, "got {got} expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "got {got} expected {expected}"
+        );
     }
 
     #[test]
@@ -253,14 +256,21 @@ mod tests {
         let delta = m.migration_delta(VmId::new(0), ServerId::new(4), &a, &t, &topo);
         a.move_vm(VmId::new(0), ServerId::new(4));
         let after = m.total_cost(&a, &t, &topo);
-        assert!((delta - (before - after)).abs() < 1e-9, "delta {delta} vs {}", before - after);
+        assert!(
+            (delta - (before - after)).abs() < 1e-9,
+            "delta {delta} vs {}",
+            before - after
+        );
     }
 
     #[test]
     fn delta_for_noop_move_is_zero() {
         let m = CostModel::paper_default();
         let (a, t, topo) = (alloc(), traffic(), topo());
-        assert_eq!(m.migration_delta(VmId::new(0), ServerId::new(0), &a, &t, &topo), 0.0);
+        assert_eq!(
+            m.migration_delta(VmId::new(0), ServerId::new(0), &a, &t, &topo),
+            0.0
+        );
     }
 
     #[test]
@@ -289,7 +299,10 @@ mod tests {
     fn highest_level() {
         let m = CostModel::paper_default();
         let (a, t, topo) = (alloc(), traffic(), topo());
-        assert_eq!(m.highest_level(VmId::new(0), &a, &t, &topo), Level::AGGREGATION);
+        assert_eq!(
+            m.highest_level(VmId::new(0), &a, &t, &topo),
+            Level::AGGREGATION
+        );
         assert_eq!(m.highest_level(VmId::new(2), &a, &t, &topo), Level::CORE);
         // vm with no peers
         let mut b = PairTrafficBuilder::new(4);

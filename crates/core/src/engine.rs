@@ -12,8 +12,8 @@
 //! [`ScoreEngine`] implements steps 3–4 over a [`LocalView`] (steps 1–2).
 
 use score_topology::ServerId;
-use score_traffic::PairTraffic;
 use score_topology::VmId;
+use score_traffic::PairTraffic;
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
@@ -39,7 +39,11 @@ impl ScoreConfig {
     /// The paper's evaluation defaults: `c_m = 0`, no bandwidth headroom
     /// reserved, probe all peers.
     pub fn paper_default() -> Self {
-        ScoreConfig { migration_cost: 0.0, bandwidth_threshold: 1.0, max_candidates: None }
+        ScoreConfig {
+            migration_cost: 0.0,
+            bandwidth_threshold: 1.0,
+            max_candidates: None,
+        }
     }
 
     /// Returns a copy with the given migration cost.
@@ -128,15 +132,15 @@ impl ScoreEngine {
         let mut rejected = 0;
         for target in candidates {
             evaluated += 1;
-            if cluster.can_host(target, view.vm, self.config.bandwidth_threshold).is_err() {
+            if cluster
+                .can_host(target, view.vm, self.config.bandwidth_threshold)
+                .is_err()
+            {
                 rejected += 1;
                 continue;
             }
-            let delta =
-                view.delta_for(target, self.cost.weights(), cluster.topo());
-            if delta > self.config.migration_cost
-                && best.map_or(true, |(_, b)| delta > b)
-            {
+            let delta = view.delta_for(target, self.cost.weights(), cluster.topo());
+            if delta > self.config.migration_cost && best.is_none_or(|(_, b)| delta > b) {
                 best = Some((target, delta));
             }
         }
@@ -206,7 +210,10 @@ mod tests {
         // pair to level 0 and only raises the light pair — best move.
         assert_eq!(decision.target, Some(ServerId::new(1)));
         assert!(decision.gain > 0.0);
-        assert_eq!(cluster.allocation().server_of(VmId::new(0)), ServerId::new(1));
+        assert_eq!(
+            cluster.allocation().server_of(VmId::new(0)),
+            ServerId::new(1)
+        );
     }
 
     #[test]
@@ -249,7 +256,10 @@ mod tests {
         let traffic = b.build();
         let servers = [0u32, 1, 2, 1]; // vm3 fills srv1's second slot
         let alloc = Allocation::from_fn(4, 16, |vm| ServerId::new(servers[vm.index()]));
-        let spec = ServerSpec { vm_slots: 2, ..ServerSpec::paper_default() };
+        let spec = ServerSpec {
+            vm_slots: 2,
+            ..ServerSpec::paper_default()
+        };
         let mut cluster =
             Cluster::new(topo, spec, VmSpec::paper_default(), &traffic, alloc).unwrap();
         let engine = ScoreEngine::paper_default();
@@ -273,16 +283,18 @@ mod tests {
     fn accepted_move_reduces_total_cost() {
         let (mut cluster, traffic) = fixture();
         let engine = ScoreEngine::paper_default();
-        let before = engine.cost_model().total_cost(
-            cluster.allocation(),
-            &traffic,
-            cluster.topo(),
-        );
+        let before = engine
+            .cost_model()
+            .total_cost(cluster.allocation(), &traffic, cluster.topo());
         let (decision, _) = engine.step(VmId::new(0), &mut cluster, &traffic);
-        let after =
-            engine.cost_model().total_cost(cluster.allocation(), &traffic, cluster.topo());
+        let after = engine
+            .cost_model()
+            .total_cost(cluster.allocation(), &traffic, cluster.topo());
         assert!(decision.migrates());
-        assert!((before - after - decision.gain).abs() < 1e-9, "Lemma 3 consistency");
+        assert!(
+            (before - after - decision.gain).abs() < 1e-9,
+            "Lemma 3 consistency"
+        );
         assert!(after < before);
     }
 
@@ -291,7 +303,10 @@ mod tests {
         let (cluster, traffic) = fixture();
         let engine = ScoreEngine::new(
             CostModel::paper_default(),
-            ScoreConfig { max_candidates: Some(1), ..ScoreConfig::paper_default() },
+            ScoreConfig {
+                max_candidates: Some(1),
+                ..ScoreConfig::paper_default()
+            },
         );
         let view = LocalView::observe(VmId::new(0), cluster.allocation(), &traffic, cluster.topo());
         let d = engine.decide(&view, &cluster);

@@ -30,13 +30,20 @@
 //!
 //! ## Example
 //!
+//! This crate is the algorithm layer. Most users should declare a
+//! `Scenario` in `score_sim` and run a `Session` instead; drop down to
+//! this level to drive the ring by hand on custom cluster state.
+//! [`TokenRing`] holds its policy as a `Box<dyn TokenPolicy>`, so
+//! policies are runtime values (pass any policy to [`TokenRing::new`],
+//! or an already-boxed one to [`TokenRing::with_boxed`]):
+//!
 //! ```
-//! use std::sync::Arc;
 //! use score_core::{
 //!     Allocation, Cluster, RoundRobin, ScoreEngine, ServerSpec, TokenRing, VmSpec,
 //! };
 //! use score_topology::{CanonicalTree, ServerId};
 //! use score_traffic::WorkloadConfig;
+//! use std::sync::Arc;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let topo = Arc::new(CanonicalTree::small());
@@ -54,6 +61,7 @@
 //! let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
 //! let stats = ring.run_iterations(3, &mut cluster, &traffic);
 //! assert!(stats[0].migrations > 0); // the first sweep finds improvements
+//! assert_eq!(ring.policy().name(), "rr"); // the policy is a runtime value
 //! # Ok(())
 //! # }
 //! ```

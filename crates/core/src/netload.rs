@@ -88,7 +88,11 @@ impl LinkLoadMap {
     /// Iterator over `(link, load_bps, utilization)` tuples.
     pub fn iter(&self) -> impl Iterator<Item = (LinkId, f64, f64)> + '_ {
         (0..self.load_bps.len()).map(move |i| {
-            (LinkId::new(i as u32), self.load_bps[i], self.load_bps[i] / self.capacity_bps[i])
+            (
+                LinkId::new(i as u32),
+                self.load_bps[i],
+                self.load_bps[i] / self.capacity_bps[i],
+            )
         })
     }
 
@@ -105,7 +109,12 @@ impl LinkLoadMap {
     pub fn max_utilization(&self, min_level: Level) -> Option<(LinkId, f64)> {
         (0..self.load_bps.len())
             .filter(|&i| self.level[i] >= min_level.get())
-            .map(|i| (LinkId::new(i as u32), self.load_bps[i] / self.capacity_bps[i]))
+            .map(|i| {
+                (
+                    LinkId::new(i as u32),
+                    self.load_bps[i] / self.capacity_bps[i],
+                )
+            })
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
     }
 
@@ -178,7 +187,9 @@ mod tests {
         let (topo, alloc, traffic) = fixture();
         let map = LinkLoadMap::compute(&alloc, &traffic, &topo);
         // srv0's host link carries both pairs: 150 Mb/s.
-        let host0 = score_topology::Topology::route_shares(&topo, ServerId::new(0), ServerId::new(1))[0].link;
+        let host0 =
+            score_topology::Topology::route_shares(&topo, ServerId::new(0), ServerId::new(1))[0]
+                .link;
         assert!((map.load_bps(host0) - 150e6).abs() < 1.0);
         // Host link utilization: 150 Mb/s over 1 Gb/s.
         assert!((map.utilization(host0) - 0.15).abs() < 1e-9);
@@ -209,7 +220,7 @@ mod tests {
         let map = LinkLoadMap::compute(&alloc, &traffic, &topo);
         let (_link, util) = map.max_utilization(Level::RACK).unwrap();
         assert!((util - 0.15).abs() < 1e-9); // srv0's host link
-        // Restricted to core level only.
+                                             // Restricted to core level only.
         let (_link, util) = map.max_utilization(Level::CORE).unwrap();
         assert!((util - 25e6 / 10e9).abs() < 1e-12);
     }

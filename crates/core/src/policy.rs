@@ -310,7 +310,9 @@ pub struct RandomNext {
 impl RandomNext {
     /// Creates the policy with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        RandomNext { rng: StdRng::seed_from_u64(seed) }
+        RandomNext {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -321,8 +323,11 @@ impl TokenPolicy for RandomNext {
 
     fn next_holder(&mut self, token: &mut Token, holder: VmId, _view: &LocalView) -> Option<VmId> {
         let entries = token.entries();
-        let others: Vec<VmId> =
-            entries.iter().map(|e| e.id).filter(|&id| id != holder).collect();
+        let others: Vec<VmId> = entries
+            .iter()
+            .map(|e| e.id)
+            .filter(|&id| id != holder)
+            .collect();
         if others.is_empty() {
             None
         } else {
@@ -366,9 +371,18 @@ mod tests {
         let mut token = Token::for_vms([2, 5, 9].map(VmId::new));
         let mut rr = RoundRobin::new();
         let v = view_with_level(VmId::new(2), Level::ZERO, vec![]);
-        assert_eq!(rr.next_holder(&mut token, VmId::new(2), &v), Some(VmId::new(5)));
-        assert_eq!(rr.next_holder(&mut token, VmId::new(5), &v), Some(VmId::new(9)));
-        assert_eq!(rr.next_holder(&mut token, VmId::new(9), &v), Some(VmId::new(2)));
+        assert_eq!(
+            rr.next_holder(&mut token, VmId::new(2), &v),
+            Some(VmId::new(5))
+        );
+        assert_eq!(
+            rr.next_holder(&mut token, VmId::new(5), &v),
+            Some(VmId::new(9))
+        );
+        assert_eq!(
+            rr.next_holder(&mut token, VmId::new(9), &v),
+            Some(VmId::new(2))
+        );
     }
 
     #[test]
@@ -402,7 +416,10 @@ mod tests {
         let mut hlf = HighestLevelFirst::new();
         // Holder 2 at core level: scan starts after 2, finds 3 before 1.
         let v = view_with_level(VmId::new(2), Level::CORE, vec![]);
-        assert_eq!(hlf.next_holder(&mut token, VmId::new(2), &v), Some(VmId::new(3)));
+        assert_eq!(
+            hlf.next_holder(&mut token, VmId::new(2), &v),
+            Some(VmId::new(3))
+        );
     }
 
     #[test]
@@ -414,7 +431,10 @@ mod tests {
         // Holder 2 at aggregation level, nobody else there → drop to rack
         // level and take the lowest id (1).
         let v = view_with_level(VmId::new(2), Level::AGGREGATION, vec![]);
-        assert_eq!(hlf.next_holder(&mut token, VmId::new(2), &v), Some(VmId::new(1)));
+        assert_eq!(
+            hlf.next_holder(&mut token, VmId::new(2), &v),
+            Some(VmId::new(1))
+        );
     }
 
     #[test]
@@ -427,16 +447,27 @@ mod tests {
         // the lowest-id max-level VM (1).
         let v = view_with_level(VmId::new(0), Level::ZERO, vec![]);
         // own level 0 comes from the synthetic "no peers above 0" view.
-        let v0 = LocalView { vm: VmId::new(0), server: ServerId::new(0), peers: vec![] };
+        let v0 = LocalView {
+            vm: VmId::new(0),
+            server: ServerId::new(0),
+            peers: vec![],
+        };
         let _ = v;
-        assert_eq!(hlf.next_holder(&mut token, VmId::new(0), &v0), Some(VmId::new(1)));
+        assert_eq!(
+            hlf.next_holder(&mut token, VmId::new(0), &v0),
+            Some(VmId::new(1))
+        );
     }
 
     #[test]
     fn hlf_singleton_stops() {
         let mut token = Token::for_vms([VmId::new(7)]);
         let mut hlf = HighestLevelFirst::new();
-        let v = LocalView { vm: VmId::new(7), server: ServerId::new(0), peers: vec![] };
+        let v = LocalView {
+            vm: VmId::new(7),
+            server: ServerId::new(0),
+            peers: vec![],
+        };
         assert_eq!(hlf.next_holder(&mut token, VmId::new(7), &v), None);
     }
 
@@ -470,26 +501,45 @@ mod tests {
         let mut hlf = HighestLevelFirst::new();
         // 0 -> 1 (only unchecked), then 1 -> round restart -> 0? No: after
         // both checked, restart picks max-level min-id excluding holder.
-        let v0 = LocalView { vm: VmId::new(0), server: ServerId::new(0), peers: vec![] };
-        assert_eq!(hlf.next_holder(&mut token, VmId::new(0), &v0), Some(VmId::new(1)));
+        let v0 = LocalView {
+            vm: VmId::new(0),
+            server: ServerId::new(0),
+            peers: vec![],
+        };
+        assert_eq!(
+            hlf.next_holder(&mut token, VmId::new(0), &v0),
+            Some(VmId::new(1))
+        );
         let v1 = view_with_level(VmId::new(1), Level::CORE, vec![]);
         // Round over: restart. Max level is 1's own CORE, but 1 is the
         // holder, so 0 gets it.
-        assert_eq!(hlf.next_holder(&mut token, VmId::new(1), &v1), Some(VmId::new(0)));
+        assert_eq!(
+            hlf.next_holder(&mut token, VmId::new(1), &v1),
+            Some(VmId::new(0))
+        );
     }
 
     #[test]
     fn random_next_avoids_holder_and_is_seeded() {
         let mut token = Token::for_vms([0, 1, 2, 3].map(VmId::new));
-        let v = LocalView { vm: VmId::new(0), server: ServerId::new(0), peers: vec![] };
+        let v = LocalView {
+            vm: VmId::new(0),
+            server: ServerId::new(0),
+            peers: vec![],
+        };
         let picks: Vec<Option<VmId>> = {
             let mut p = RandomNext::new(9);
-            (0..16).map(|_| p.next_holder(&mut token, VmId::new(0), &v)).collect()
+            (0..16)
+                .map(|_| p.next_holder(&mut token, VmId::new(0), &v))
+                .collect()
         };
-        assert!(picks.iter().all(|p| p.is_some() && p.unwrap() != VmId::new(0)));
+        assert!(picks
+            .iter()
+            .all(|p| p.is_some() && p.unwrap() != VmId::new(0)));
         let mut p2 = RandomNext::new(9);
-        let picks2: Vec<Option<VmId>> =
-            (0..16).map(|_| p2.next_holder(&mut token, VmId::new(0), &v)).collect();
+        let picks2: Vec<Option<VmId>> = (0..16)
+            .map(|_| p2.next_holder(&mut token, VmId::new(0), &v))
+            .collect();
         assert_eq!(picks, picks2, "seeded policy must be deterministic");
     }
 
@@ -540,7 +590,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..10 {
             seen.insert(holder);
-            let view = LocalView { vm: holder, server: ServerId::new(0), peers: vec![] };
+            let view = LocalView {
+                vm: holder,
+                server: ServerId::new(0),
+                peers: vec![],
+            };
             match hcf.next_holder(&mut token, holder, &view) {
                 Some(next) => holder = next,
                 None => break,
@@ -553,7 +607,11 @@ mod tests {
     fn hcf_singleton_stops() {
         let mut token = Token::for_vms([VmId::new(3)]);
         let mut hcf = HighestCostFirst::paper_default();
-        let view = LocalView { vm: VmId::new(3), server: ServerId::new(0), peers: vec![] };
+        let view = LocalView {
+            vm: VmId::new(3),
+            server: ServerId::new(0),
+            peers: vec![],
+        };
         assert_eq!(hcf.next_holder(&mut token, VmId::new(3), &view), None);
     }
 }

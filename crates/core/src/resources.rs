@@ -22,7 +22,10 @@ pub struct VmSpec {
 impl VmSpec {
     /// The paper's testbed VM: 196 MB RAM, light CPU.
     pub fn paper_default() -> Self {
-        VmSpec { ram_mb: 196, cpu_cores: 0.25 }
+        VmSpec {
+            ram_mb: 196,
+            cpu_cores: 0.25,
+        }
     }
 }
 
@@ -51,7 +54,12 @@ impl ServerSpec {
     /// The paper's simulated server: 16 VM slots, enough RAM for them, a
     /// 1 GbE NIC.
     pub fn paper_default() -> Self {
-        ServerSpec { vm_slots: 16, ram_mb: 16 * 256, cpu_cores: 8.0, nic_bps: 1e9 }
+        ServerSpec {
+            vm_slots: 16,
+            ram_mb: 16 * 256,
+            cpu_cores: 8.0,
+            nic_bps: 1e9,
+        }
     }
 }
 
@@ -200,7 +208,12 @@ mod tests {
 
     #[test]
     fn admission_slot_limit() {
-        let spec = ServerSpec { vm_slots: 2, ram_mb: 10_000, cpu_cores: 32.0, nic_bps: 1e9 };
+        let spec = ServerSpec {
+            vm_slots: 2,
+            ram_mb: 10_000,
+            cpu_cores: 32.0,
+            nic_bps: 1e9,
+        };
         let vm = VmSpec::paper_default();
         let mut usage = ServerUsage::default();
         assert!(usage.admission_check(&spec, &vm, 0.0, 1.0).is_ok());
@@ -214,20 +227,42 @@ mod tests {
 
     #[test]
     fn admission_ram_limit() {
-        let spec = ServerSpec { vm_slots: 16, ram_mb: 300, cpu_cores: 32.0, nic_bps: 1e9 };
-        let vm = VmSpec { ram_mb: 196, cpu_cores: 0.1 };
+        let spec = ServerSpec {
+            vm_slots: 16,
+            ram_mb: 300,
+            cpu_cores: 32.0,
+            nic_bps: 1e9,
+        };
+        let vm = VmSpec {
+            ram_mb: 196,
+            cpu_cores: 0.1,
+        };
         let mut usage = ServerUsage::default();
         usage.admit(&vm, 0.0);
-        assert_eq!(usage.admission_check(&spec, &vm, 0.0, 1.0), Err(AdmissionError::Ram));
+        assert_eq!(
+            usage.admission_check(&spec, &vm, 0.0, 1.0),
+            Err(AdmissionError::Ram)
+        );
     }
 
     #[test]
     fn admission_cpu_limit() {
-        let spec = ServerSpec { vm_slots: 16, ram_mb: 10_000, cpu_cores: 1.0, nic_bps: 1e9 };
-        let vm = VmSpec { ram_mb: 10, cpu_cores: 0.6 };
+        let spec = ServerSpec {
+            vm_slots: 16,
+            ram_mb: 10_000,
+            cpu_cores: 1.0,
+            nic_bps: 1e9,
+        };
+        let vm = VmSpec {
+            ram_mb: 10,
+            cpu_cores: 0.6,
+        };
         let mut usage = ServerUsage::default();
         usage.admit(&vm, 0.0);
-        assert_eq!(usage.admission_check(&spec, &vm, 0.0, 1.0), Err(AdmissionError::Cpu));
+        assert_eq!(
+            usage.admission_check(&spec, &vm, 0.0, 1.0),
+            Err(AdmissionError::Cpu)
+        );
     }
 
     #[test]
@@ -247,7 +282,10 @@ mod tests {
 
     #[test]
     fn admit_evict_roundtrip() {
-        let vm = VmSpec { ram_mb: 100, cpu_cores: 0.5 };
+        let vm = VmSpec {
+            ram_mb: 100,
+            cpu_cores: 0.5,
+        };
         let mut usage = ServerUsage::default();
         usage.admit(&vm, 1e6);
         usage.admit(&vm, 2e6);

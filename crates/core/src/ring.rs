@@ -52,21 +52,40 @@ impl IterationStats {
 }
 
 /// A running S-CORE instance: engine + token + policy + current holder.
+///
+/// The policy is held as a `Box<dyn TokenPolicy>` so that it can be
+/// selected at runtime (from a serialized `Scenario`, a CLI flag, a
+/// config file) instead of being baked into the ring's type — the
+/// foundation of the `Scenario`/`Session` experiment API.
 #[derive(Debug)]
-pub struct TokenRing<P: TokenPolicy> {
+pub struct TokenRing {
     engine: ScoreEngine,
-    policy: P,
+    policy: Box<dyn TokenPolicy>,
     token: Token,
     holder: Option<VmId>,
 }
 
-impl<P: TokenPolicy> TokenRing<P> {
+impl TokenRing {
     /// Creates a ring over VMs `0..num_vms`, starting at the lowest id
     /// ("starting from the VM with lowest ID", §V-A1).
-    pub fn new(engine: ScoreEngine, policy: P, num_vms: u32) -> Self {
+    ///
+    /// Accepts any policy value (it is boxed internally); pass an
+    /// already-boxed `Box<dyn TokenPolicy>` via [`TokenRing::with_boxed`]
+    /// to avoid double indirection.
+    pub fn new(engine: ScoreEngine, policy: impl TokenPolicy + 'static, num_vms: u32) -> Self {
+        TokenRing::with_boxed(engine, Box::new(policy), num_vms)
+    }
+
+    /// Creates a ring from an already-boxed policy (runtime selection).
+    pub fn with_boxed(engine: ScoreEngine, policy: Box<dyn TokenPolicy>, num_vms: u32) -> Self {
         let token = Token::for_vms((0..num_vms).map(VmId::new));
         let holder = token.first();
-        TokenRing { engine, policy, token, holder }
+        TokenRing {
+            engine,
+            policy,
+            token,
+            holder,
+        }
     }
 
     /// The current token holder.
@@ -80,8 +99,8 @@ impl<P: TokenPolicy> TokenRing<P> {
     }
 
     /// The policy in use.
-    pub fn policy(&self) -> &P {
-        &self.policy
+    pub fn policy(&self) -> &dyn TokenPolicy {
+        self.policy.as_ref()
     }
 
     /// The engine in use.
@@ -148,11 +167,15 @@ impl<P: TokenPolicy> TokenRing<P> {
         let (decision, pre_view) = self.engine.step(holder, cluster, traffic);
         // The policy sees the *post-migration* state: if the holder moved,
         // its levels (and those of its peers) changed.
-        let post_view =
-            LocalView::observe(holder, cluster.allocation(), traffic, cluster.topo());
+        let post_view = LocalView::observe(holder, cluster.allocation(), traffic, cluster.topo());
         let next = self.policy.next_holder(&mut self.token, holder, &post_view);
         self.holder = next;
-        Some(StepOutcome { holder, source: pre_view.server, decision, next })
+        Some(StepOutcome {
+            holder,
+            source: pre_view.server,
+            decision,
+            next,
+        })
     }
 
     /// Runs `|V|` steps — one iteration in the paper's sense.
@@ -162,9 +185,15 @@ impl<P: TokenPolicy> TokenRing<P> {
         traffic: &PairTraffic,
     ) -> IterationStats {
         let n = self.token.len();
-        let mut stats = IterationStats { steps: 0, migrations: 0, total_gain: 0.0 };
+        let mut stats = IterationStats {
+            steps: 0,
+            migrations: 0,
+            total_gain: 0.0,
+        };
         for _ in 0..n {
-            let Some(outcome) = self.step(cluster, traffic) else { break };
+            let Some(outcome) = self.step(cluster, traffic) else {
+                break;
+            };
             stats.steps += 1;
             if outcome.decision.migrates() {
                 stats.migrations += 1;
@@ -182,15 +211,17 @@ impl<P: TokenPolicy> TokenRing<P> {
         cluster: &mut Cluster,
         traffic: &PairTraffic,
     ) -> Vec<IterationStats> {
-        (0..iterations).map(|_| self.run_iteration(cluster, traffic)).collect()
+        (0..iterations)
+            .map(|_| self.run_iteration(cluster, traffic))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::CostModel;
     use crate::allocation::Allocation;
+    use crate::cost::CostModel;
     use crate::policy::{HighestLevelFirst, RoundRobin};
     use crate::resources::{ServerSpec, VmSpec};
     use score_topology::{CanonicalTree, ServerId};
@@ -227,7 +258,10 @@ mod tests {
             assert!(now <= last + 1e-9, "cost must never increase");
             last = now;
         }
-        assert!(last < initial, "S-CORE should find improvements on a random placement");
+        assert!(
+            last < initial,
+            "S-CORE should find improvements on a random placement"
+        );
     }
 
     #[test]

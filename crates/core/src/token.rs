@@ -41,7 +41,11 @@ impl fmt::Display for TokenCodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TokenCodecError::BadLength { len } => {
-                write!(f, "token length {len} is not a multiple of {} bytes", Token::ENTRY_BYTES)
+                write!(
+                    f,
+                    "token length {len} is not a multiple of {} bytes",
+                    Token::ENTRY_BYTES
+                )
             }
             TokenCodecError::NotSorted { index } => {
                 write!(f, "token entry {index} is not in ascending VM-id order")
@@ -84,7 +88,13 @@ impl Token {
         ids.sort_unstable();
         ids.dedup();
         Token {
-            entries: ids.into_iter().map(|id| TokenEntry { id, level: Level::ZERO }).collect(),
+            entries: ids
+                .into_iter()
+                .map(|id| TokenEntry {
+                    id,
+                    level: Level::ZERO,
+                })
+                .collect(),
         }
     }
 
@@ -170,7 +180,13 @@ impl Token {
         match self.position(vm) {
             Ok(_) => false,
             Err(i) => {
-                self.entries.insert(i, TokenEntry { id: vm, level: Level::ZERO });
+                self.entries.insert(
+                    i,
+                    TokenEntry {
+                        id: vm,
+                        level: Level::ZERO,
+                    },
+                );
                 true
             }
         }
@@ -191,7 +207,14 @@ impl Token {
     /// Entries with the maximum stored level; `(level, ids)`.
     pub fn max_level_entries(&self) -> Option<(Level, Vec<VmId>)> {
         let max = self.entries.iter().map(|e| e.level).max()?;
-        Some((max, self.entries.iter().filter(|e| e.level == max).map(|e| e.id).collect()))
+        Some((
+            max,
+            self.entries
+                .iter()
+                .filter(|e| e.level == max)
+                .map(|e| e.id)
+                .collect(),
+        ))
     }
 
     /// Serialises the token to its 5-byte-per-entry wire format.
@@ -211,7 +234,7 @@ impl Token {
     /// Returns [`TokenCodecError`] if the length is not a multiple of the
     /// entry size or entries are not strictly ascending by id.
     pub fn decode(mut bytes: &[u8]) -> Result<Self, TokenCodecError> {
-        if bytes.len() % Self::ENTRY_BYTES != 0 {
+        if !bytes.len().is_multiple_of(Self::ENTRY_BYTES) {
             return Err(TokenCodecError::BadLength { len: bytes.len() });
         }
         let n = bytes.len() / Self::ENTRY_BYTES;
@@ -226,7 +249,10 @@ impl Token {
                 }
             }
             prev = Some(id);
-            entries.push(TokenEntry { id: VmId::new(id), level: Level::new(level) });
+            entries.push(TokenEntry {
+                id: VmId::new(id),
+                level: Level::new(level),
+            });
         }
         Ok(Token { entries })
     }
@@ -275,7 +301,7 @@ mod tests {
         let t = token();
         assert_eq!(t.next_after(VmId::new(1)), Some(VmId::new(3)));
         assert_eq!(t.next_after(VmId::new(7)), Some(VmId::new(1))); // wraps
-        // For ids not in the token, the next higher tracked id is chosen.
+                                                                    // For ids not in the token, the next higher tracked id is chosen.
         assert_eq!(t.next_after(VmId::new(4)), Some(VmId::new(5)));
         assert_eq!(t.next_after(VmId::new(100)), Some(VmId::new(1)));
         assert_eq!(Token::for_vms([]).next_after(VmId::new(0)), None);
@@ -304,17 +330,26 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_length() {
-        assert_eq!(Token::decode(&[0, 0, 0]), Err(TokenCodecError::BadLength { len: 3 }));
+        assert_eq!(
+            Token::decode(&[0, 0, 0]),
+            Err(TokenCodecError::BadLength { len: 3 })
+        );
     }
 
     #[test]
     fn decode_rejects_unsorted() {
         // two entries: id 2 then id 1
         let bytes = [0, 0, 0, 2, 0, 0, 0, 0, 1, 0];
-        assert_eq!(Token::decode(&bytes), Err(TokenCodecError::NotSorted { index: 1 }));
+        assert_eq!(
+            Token::decode(&bytes),
+            Err(TokenCodecError::NotSorted { index: 1 })
+        );
         // duplicate ids are also rejected
         let dup = [0, 0, 0, 2, 0, 0, 0, 0, 2, 0];
-        assert_eq!(Token::decode(&dup), Err(TokenCodecError::NotSorted { index: 1 }));
+        assert_eq!(
+            Token::decode(&dup),
+            Err(TokenCodecError::NotSorted { index: 1 })
+        );
     }
 
     #[test]
@@ -333,7 +368,10 @@ mod tests {
         let mut t = token();
         assert_eq!(
             t.max_level_entries(),
-            Some((Level::ZERO, vec![VmId::new(1), VmId::new(3), VmId::new(5), VmId::new(7)]))
+            Some((
+                Level::ZERO,
+                vec![VmId::new(1), VmId::new(3), VmId::new(5), VmId::new(7)]
+            ))
         );
         t.set_level(VmId::new(5), Level::CORE);
         t.set_level(VmId::new(7), Level::CORE);
@@ -345,7 +383,11 @@ mod tests {
 
     #[test]
     fn codec_error_display() {
-        assert!(TokenCodecError::BadLength { len: 3 }.to_string().contains('3'));
-        assert!(TokenCodecError::NotSorted { index: 1 }.to_string().contains("entry 1"));
+        assert!(TokenCodecError::BadLength { len: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(TokenCodecError::NotSorted { index: 1 }
+            .to_string()
+            .contains("entry 1"));
     }
 }

@@ -58,16 +58,29 @@ impl LocalView {
             .iter()
             .map(|&(vm, rate)| {
                 let peer_server = alloc.server_of(vm);
-                PeerInfo { vm, rate, server: peer_server, level: topo.level(server, peer_server) }
+                PeerInfo {
+                    vm,
+                    rate,
+                    server: peer_server,
+                    level: topo.level(server, peer_server),
+                }
             })
             .collect();
-        LocalView { vm: u, server, peers }
+        LocalView {
+            vm: u,
+            server,
+            peers,
+        }
     }
 
     /// The holder's highest communication level `ℓ_A(u)`; level 0 when the
     /// VM has no peers.
     pub fn own_level(&self) -> Level {
-        self.peers.iter().map(|p| p.level).max().unwrap_or(Level::ZERO)
+        self.peers
+            .iter()
+            .map(|p| p.level)
+            .max()
+            .unwrap_or(Level::ZERO)
     }
 
     /// Lemma-3 migration delta `ΔC_{u→x̂}` computed from the local view
@@ -96,9 +109,11 @@ impl LocalView {
     pub fn candidate_servers(&self) -> Vec<ServerId> {
         let mut ranked: Vec<&PeerInfo> = self.peers.iter().collect();
         ranked.sort_by(|a, b| {
-            b.level
-                .cmp(&a.level)
-                .then(b.rate.partial_cmp(&a.rate).unwrap_or(std::cmp::Ordering::Equal))
+            b.level.cmp(&a.level).then(
+                b.rate
+                    .partial_cmp(&a.rate)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let mut out = Vec::new();
         for p in ranked {
@@ -180,9 +195,8 @@ mod tests {
     fn candidates_exclude_own_server_and_dups() {
         let (topo, _, _) = fixture();
         // Both peers on the same server as holder or duplicated.
-        let alloc = Allocation::from_fn(3, 16, |vm| {
-            ServerId::new(if vm.get() == 0 { 0 } else { 4 })
-        });
+        let alloc =
+            Allocation::from_fn(3, 16, |vm| ServerId::new(if vm.get() == 0 { 0 } else { 4 }));
         let mut b = PairTrafficBuilder::new(3);
         b.add(VmId::new(0), VmId::new(1), 1.0);
         b.add(VmId::new(0), VmId::new(2), 2.0);
@@ -201,7 +215,10 @@ mod tests {
             let t = ServerId::new(target);
             let local = view.delta_for(t, model.weights(), &topo);
             let global = model.migration_delta(VmId::new(0), t, &alloc, &traffic, &topo);
-            assert!((local - global).abs() < 1e-9, "target {target}: {local} vs {global}");
+            assert!(
+                (local - global).abs() < 1e-9,
+                "target {target}: {local} vs {global}"
+            );
         }
     }
 

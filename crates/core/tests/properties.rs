@@ -21,7 +21,9 @@ fn random_traffic(num_vms: u32, seed: u64) -> PairTraffic {
 
 fn random_allocation(num_vms: u32, num_servers: u32, seed: u64) -> Allocation {
     let mut rng = StdRng::seed_from_u64(seed);
-    Allocation::from_fn(num_vms, num_servers, |_| ServerId::new(rng.gen_range(0..num_servers)))
+    Allocation::from_fn(num_vms, num_servers, |_| {
+        ServerId::new(rng.gen_range(0..num_servers))
+    })
 }
 
 proptest! {

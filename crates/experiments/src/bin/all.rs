@@ -17,7 +17,10 @@ fn main() {
     exp::banner("Fig. 3a–c");
     println!("{}", exp::fig3_tm::run(paper).1);
     exp::banner("Fig. 3d–f");
-    println!("{}", exp::fig3_cost::run(TopologyKind::CanonicalTree, paper).1);
+    println!(
+        "{}",
+        exp::fig3_cost::run(TopologyKind::CanonicalTree, paper).1
+    );
     exp::banner("Fig. 3g–i");
     println!("{}", exp::fig3_cost::run(TopologyKind::FatTree, paper).1);
     exp::banner("Fig. 4");

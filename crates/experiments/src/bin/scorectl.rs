@@ -1,101 +1,92 @@
 //! `scorectl` — run a custom S-CORE scenario from the command line.
 //!
 //! ```text
-//! scorectl [--topology canonical|fattree] [--racks N] [--hosts-per-rack N]
-//!          [--k N] [--vms-per-host F] [--intensity sparse|medium|dense]
+//! scorectl [--topology canonical|fattree|star] [--racks N] [--hosts-per-rack N]
+//!          [--k N] [--hosts N] [--vms-per-host F] [--intensity sparse|medium|dense]
 //!          [--policy rr|hlf|hcf|random] [--cm F] [--t-end SECONDS]
-//!          [--seed N] [--csv FILE]
+//!          [--seed N] [--csv FILE] [--json FILE]
+//!          [--scenario FILE] [--emit-scenario FILE]
 //! ```
 //!
-//! Prints the run summary and, with `--csv`, writes the cost-vs-time
-//! series.
+//! Every flag edits one field of a [`Scenario`]; the run itself is
+//! `scenario.session() → run_to_horizon() → report()`. With
+//! `--scenario FILE` the whole spec is loaded from JSON instead (flags
+//! still apply on top), `--emit-scenario` writes the effective spec back
+//! out, and `--json` writes the full [`score_sim::RunReport`].
 
-use score_sim::{
-    build_world, run_simulation, series_to_csv, PolicyKind, ScenarioConfig, SimConfig,
-    TopologyKind,
-};
-use score_core::ScoreConfig;
+use score_sim::{series_to_csv, PolicyKind, Scenario, TopologySpec};
 use score_traffic::TrafficIntensity;
 use std::process::ExitCode;
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Args {
-    topology: TopologyKind,
-    racks: u32,
-    hosts_per_rack: u32,
-    k: u32,
-    vms_per_host: f64,
-    intensity: TrafficIntensity,
-    policy: PolicyKind,
-    cm: f64,
-    t_end_s: f64,
-    seed: u64,
+    scenario_file: Option<String>,
+    topology: Option<String>,
+    racks: Option<u32>,
+    hosts_per_rack: Option<u32>,
+    k: Option<u32>,
+    hosts: Option<u32>,
+    vms_per_host: Option<f64>,
+    intensity: Option<TrafficIntensity>,
+    policy: Option<PolicyKind>,
+    cm: Option<f64>,
+    t_end_s: Option<f64>,
+    seed: Option<u64>,
     csv: Option<String>,
-}
-
-impl Default for Args {
-    fn default() -> Self {
-        Args {
-            topology: TopologyKind::CanonicalTree,
-            racks: 32,
-            hosts_per_rack: 5,
-            k: 8,
-            vms_per_host: 2.0,
-            intensity: TrafficIntensity::Sparse,
-            policy: PolicyKind::HighestLevelFirst,
-            cm: 0.0,
-            t_end_s: 500.0,
-            seed: 42,
-            csv: None,
-        }
-    }
+    json: Option<String>,
+    emit_scenario: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
-            "--topology" => {
-                args.topology = match value("--topology")?.as_str() {
-                    "canonical" => TopologyKind::CanonicalTree,
-                    "fattree" => TopologyKind::FatTree,
-                    other => return Err(format!("unknown topology {other:?}")),
-                }
-            }
-            "--racks" => args.racks = value("--racks")?.parse().map_err(|e| format!("{e}"))?,
+            "--scenario" => args.scenario_file = Some(value("--scenario")?),
+            "--topology" => args.topology = Some(value("--topology")?),
+            "--racks" => args.racks = Some(value("--racks")?.parse().map_err(|e| format!("{e}"))?),
             "--hosts-per-rack" => {
-                args.hosts_per_rack =
-                    value("--hosts-per-rack")?.parse().map_err(|e| format!("{e}"))?
+                args.hosts_per_rack = Some(
+                    value("--hosts-per-rack")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
-            "--k" => args.k = value("--k")?.parse().map_err(|e| format!("{e}"))?,
+            "--k" => args.k = Some(value("--k")?.parse().map_err(|e| format!("{e}"))?),
+            "--hosts" => args.hosts = Some(value("--hosts")?.parse().map_err(|e| format!("{e}"))?),
             "--vms-per-host" => {
-                args.vms_per_host = value("--vms-per-host")?.parse().map_err(|e| format!("{e}"))?
+                args.vms_per_host = Some(
+                    value("--vms-per-host")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
             "--intensity" => {
-                args.intensity = match value("--intensity")?.as_str() {
+                args.intensity = Some(match value("--intensity")?.as_str() {
                     "sparse" => TrafficIntensity::Sparse,
                     "medium" => TrafficIntensity::Medium,
                     "dense" => TrafficIntensity::Dense,
                     other => return Err(format!("unknown intensity {other:?}")),
-                }
+                })
             }
             "--policy" => {
-                args.policy = match value("--policy")?.as_str() {
+                args.policy = Some(match value("--policy")?.as_str() {
                     "rr" => PolicyKind::RoundRobin,
                     "hlf" => PolicyKind::HighestLevelFirst,
                     "hcf" => PolicyKind::HighestCostFirst,
                     "random" => PolicyKind::Random,
                     other => return Err(format!("unknown policy {other:?}")),
-                }
+                })
             }
-            "--cm" => args.cm = value("--cm")?.parse().map_err(|e| format!("{e}"))?,
-            "--t-end" => args.t_end_s = value("--t-end")?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--cm" => args.cm = Some(value("--cm")?.parse().map_err(|e| format!("{e}"))?),
+            "--t-end" => {
+                args.t_end_s = Some(value("--t-end")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
             "--csv" => args.csv = Some(value("--csv")?),
+            "--json" => args.json = Some(value("--json")?),
+            "--emit-scenario" => args.emit_scenario = Some(value("--emit-scenario")?),
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage
             }
@@ -107,11 +98,141 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: scorectl [--topology canonical|fattree] [--racks N] \
-         [--hosts-per-rack N] [--k N] [--vms-per-host F] \
+        "usage: scorectl [--topology canonical|fattree|star] [--racks N] \
+         [--hosts-per-rack N] [--k N] [--hosts N] [--vms-per-host F] \
          [--intensity sparse|medium|dense] [--policy rr|hlf|hcf|random] \
-         [--cm F] [--t-end SECONDS] [--seed N] [--csv FILE]"
+         [--cm F] [--t-end SECONDS] [--seed N] [--csv FILE] [--json FILE] \
+         [--scenario FILE] [--emit-scenario FILE]"
     );
+}
+
+/// Applies the CLI flags on top of a base scenario. A dimension flag
+/// that does not fit the (possibly loaded) scenario's topology or
+/// workload variant is an error, never silently dropped.
+fn apply_flags(mut scenario: Scenario, args: &Args) -> Result<Scenario, String> {
+    if let Some(kind) = &args.topology {
+        scenario.topology = match kind.as_str() {
+            "canonical" => {
+                TopologySpec::canonical(args.racks.unwrap_or(32), args.hosts_per_rack.unwrap_or(5))
+            }
+            "fattree" => TopologySpec::FatTree {
+                k: args.k.unwrap_or(8),
+            },
+            "star" => TopologySpec::Star {
+                hosts: args.hosts.unwrap_or(64),
+            },
+            other => return Err(format!("unknown topology {other:?}")),
+        };
+        let unused = match scenario.topology {
+            TopologySpec::CanonicalTree { .. } => {
+                [args.k.map(|_| "--k"), args.hosts.map(|_| "--hosts")]
+            }
+            TopologySpec::FatTree { .. } => [
+                args.racks.map(|_| "--racks"),
+                args.hosts_per_rack
+                    .or(args.hosts)
+                    .map(|_| "--hosts-per-rack/--hosts"),
+            ],
+            TopologySpec::Star { .. } => [
+                args.racks.or(args.k).map(|_| "--racks/--k"),
+                args.hosts_per_rack.map(|_| "--hosts-per-rack"),
+            ],
+        };
+        if let Some(flag) = unused.into_iter().flatten().next() {
+            return Err(format!("{flag} does not apply to --topology {kind}"));
+        }
+    } else {
+        match &mut scenario.topology {
+            TopologySpec::CanonicalTree {
+                racks,
+                hosts_per_rack,
+                ..
+            } => {
+                if let Some(r) = args.racks {
+                    *racks = r;
+                }
+                if let Some(h) = args.hosts_per_rack {
+                    *hosts_per_rack = h;
+                }
+            }
+            TopologySpec::FatTree { k } => {
+                if let Some(new_k) = args.k {
+                    *k = new_k;
+                }
+            }
+            TopologySpec::Star { hosts } => {
+                if let Some(h) = args.hosts {
+                    *hosts = h;
+                }
+            }
+        }
+        let mismatched = match scenario.topology {
+            TopologySpec::CanonicalTree { .. } => {
+                [args.k.map(|_| "--k"), args.hosts.map(|_| "--hosts")]
+            }
+            TopologySpec::FatTree { .. } => [
+                args.racks.map(|_| "--racks"),
+                args.hosts_per_rack
+                    .or(args.hosts)
+                    .map(|_| "--hosts-per-rack/--hosts"),
+            ],
+            TopologySpec::Star { .. } => [
+                args.racks.or(args.k).map(|_| "--racks/--k"),
+                args.hosts_per_rack.map(|_| "--hosts-per-rack"),
+            ],
+        };
+        if let Some(flag) = mismatched.into_iter().flatten().next() {
+            return Err(format!(
+                "{flag} does not apply to the scenario's {} topology (pass --topology to replace it)",
+                scenario.topology.name()
+            ));
+        }
+    }
+    match &mut scenario.workload {
+        score_sim::WorkloadSpec::Synthetic {
+            intensity,
+            vms_per_host,
+            seed,
+        } => {
+            if let Some(i) = args.intensity {
+                *intensity = i;
+            }
+            if let Some(v) = args.vms_per_host {
+                *vms_per_host = v;
+            }
+            if let Some(s) = args.seed {
+                *seed = s;
+            }
+        }
+        score_sim::WorkloadSpec::FixedVms {
+            intensity, seed, ..
+        } => {
+            if args.vms_per_host.is_some() {
+                return Err(
+                    "--vms-per-host does not apply to a fixed-population workload spec".into(),
+                );
+            }
+            if let Some(i) = args.intensity {
+                *intensity = i;
+            }
+            if let Some(s) = args.seed {
+                *seed = s;
+            }
+        }
+    }
+    if let Some(policy) = args.policy {
+        scenario.policy = policy;
+    }
+    if let Some(cm) = args.cm {
+        scenario.engine = scenario.engine.with_migration_cost(cm);
+    }
+    if let Some(t) = args.t_end_s {
+        scenario.timing.t_end_s = t;
+    }
+    if let Some(s) = args.seed {
+        scenario.seed = s;
+    }
+    Ok(scenario)
 }
 
 fn main() -> ExitCode {
@@ -126,39 +247,63 @@ fn main() -> ExitCode {
         }
     };
 
-    let scenario = ScenarioConfig {
-        topology: args.topology,
-        racks: args.racks,
-        hosts_per_rack: args.hosts_per_rack,
-        racks_per_agg: (args.racks / 4).max(1),
-        cores: 2,
-        k: args.k,
-        vms_per_host: args.vms_per_host,
-        intensity: args.intensity,
-        seed: args.seed,
+    let base = match &args.scenario_file {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Scenario::from_json(&text).map_err(|e| e.to_string()))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot load scenario {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = Scenario::builder().build();
+            s.timing.t_end_s = 500.0;
+            s
+        }
     };
-    let mut world = build_world(&scenario);
-    let config = SimConfig {
-        t_end_s: args.t_end_s,
-        score: ScoreConfig::paper_default().with_migration_cost(args.cm),
-        seed: args.seed,
-        ..SimConfig::paper_default()
+    let scenario = match apply_flags(base, &args) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &args.emit_scenario {
+        if let Err(e) = std::fs::write(path, scenario.to_json_pretty()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("scenario spec written to {path}");
+    }
+
+    let mut session = match scenario.session() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     println!(
         "scenario: {} | servers {} | VMs {} | {} workload | policy {} | cm {:.3e}",
-        world.topo.name(),
-        world.topo.num_servers(),
-        world.traffic.num_vms(),
-        args.intensity.name(),
-        args.policy.name(),
-        args.cm,
+        session.topo().name(),
+        session.topo().num_servers(),
+        session.traffic().num_vms(),
+        scenario.workload.intensity().name(),
+        scenario.policy.name(),
+        scenario.engine.score().migration_cost,
     );
-    let report = run_simulation(&mut world.cluster, &world.traffic, args.policy, &config);
+    session.run_to_horizon();
+    let report = session.report();
     println!(
         "cost: {:.4e} -> {:.4e} ({:.1}% reduction)",
         report.initial_cost,
         report.final_cost,
-        (1.0 - report.final_cost / report.initial_cost) * 100.0
+        report.cost_reduction() * 100.0
     );
     println!(
         "migrations: {} | bytes moved {:.1} MB | cumulative downtime {:.0} ms | token holds {}",
@@ -167,12 +312,8 @@ fn main() -> ExitCode {
         report.total_downtime_s() * 1e3,
         report.token_holds,
     );
-    for (i, it) in report.iterations.iter().take(5).enumerate() {
-        println!(
-            "iteration {}: {:.1}% of VMs migrated",
-            i + 1,
-            it.migration_ratio() * 100.0
-        );
+    for (i, ratio) in report.migration_ratios.iter().take(5).enumerate() {
+        println!("iteration {}: {:.1}% of VMs migrated", i + 1, ratio * 100.0);
     }
     if let Some(path) = args.csv {
         let csv = series_to_csv(&report.cost_series, "time_s", "cost");
@@ -181,6 +322,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("cost series written to {path}");
+    }
+    if let Some(path) = args.json {
+        if let Err(e) = std::fs::write(&path, report.to_json_pretty()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("run report written to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -53,7 +53,10 @@ pub fn run(paper_scale: bool) -> (Vec<OverheadPoint>, String) {
         for h in 0..hosts.min(1024) {
             cp.add_host(
                 Ip4::from_octets(10, (h >> 8) as u8, h as u8, 1),
-                CapacityReport { free_slots: 16, free_ram_mb: 4096 },
+                CapacityReport {
+                    free_slots: 16,
+                    free_ram_mb: 4096,
+                },
             );
         }
         let token = Token::for_vms((0..n).map(VmId::new));
@@ -67,7 +70,12 @@ pub fn run(paper_scale: bool) -> (Vec<OverheadPoint>, String) {
         let capacity_bytes = n as u64 * MEAN_PEERS * 20;
         let iteration_bytes = n as u64 * token_bytes as u64 + location_bytes + capacity_bytes;
         let iteration_tx_s = iteration_bytes as f64 * 8.0 / 1e9;
-        let point = OverheadPoint { vms: n, token_bytes, iteration_bytes, iteration_tx_s };
+        let point = OverheadPoint {
+            vms: n,
+            token_bytes,
+            iteration_bytes,
+            iteration_tx_s,
+        };
         let _ = writeln!(
             csv,
             "{n},{token_bytes},{iteration_bytes},{iteration_tx_s:.4}"

@@ -7,18 +7,14 @@
 //! point — quantifying the claim that traffic localization buys operators
 //! "network capacity headroom".
 
-use score_core::{CostModel, LinkLoadMap};
-use score_sim::{jain_fairness, run_simulation, PolicyKind, SimConfig};
-use score_baselines::random_placement;
-use score_core::{Cluster, ServerSpec, VmSpec};
+use score_core::{Cluster, LinkLoadMap};
+use score_sim::{jain_fairness, PolicyKind, Scenario};
 use score_topology::{CanonicalTreeBuilder, Level, LinkCapacities, Topology};
-use score_traffic::WorkloadConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use score_traffic::{PairTraffic, WorkloadConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use crate::write_result;
+use crate::{write_report, write_result};
 
 /// Outcome at one oversubscription ratio.
 #[derive(Debug, Clone, Copy)]
@@ -64,31 +60,29 @@ pub fn run(paper_scale: bool) -> (Vec<OversubPoint>, String) {
         let topo: Arc<dyn Topology> = Arc::new(topo);
         let num_vms = (topo.num_servers() * 2) as u32;
         let traffic = WorkloadConfig::new(num_vms, 37).generate();
-        let alloc = random_placement(
-            num_vms,
-            topo.num_servers() as u32,
-            16,
-            &mut StdRng::seed_from_u64(37),
-        );
-        let mut cluster = Cluster::new(
-            Arc::clone(&topo),
-            ServerSpec::paper_default(),
-            VmSpec::paper_default(),
-            &traffic,
-            alloc,
-        )
-        .expect("random placement fits");
+        let scenario = Scenario::builder()
+            .policy(PolicyKind::HighestLevelFirst)
+            .workload_seed(37)
+            .horizon(400.0)
+            .build();
+        let mut session = scenario
+            .session_with(Arc::clone(&topo), traffic)
+            .expect("random placement fits");
 
-        let upper_max = |cluster: &Cluster| {
-            LinkLoadMap::compute(cluster.allocation(), &traffic, cluster.topo())
+        let upper_max = |cluster: &Cluster, traffic: &PairTraffic| {
+            LinkLoadMap::compute(cluster.allocation(), traffic, cluster.topo())
                 .max_utilization(Level::AGGREGATION)
                 .map_or(0.0, |(_, u)| u)
         };
-        let before = upper_max(&cluster);
-        let config = SimConfig { t_end_s: 400.0, ..SimConfig::paper_default() };
-        run_simulation(&mut cluster, &traffic, PolicyKind::HighestLevelFirst, &config);
-        let after = upper_max(&cluster);
-        let map = LinkLoadMap::compute(cluster.allocation(), &traffic, cluster.topo());
+        let before = upper_max(session.cluster(), session.traffic());
+        session.run_to_horizon();
+        write_report(&format!("ext_oversub_{ratio:.0}x.json"), &session.report());
+        let after = upper_max(session.cluster(), session.traffic());
+        let map = LinkLoadMap::compute(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
         let mut upper = map.utilizations_at_level(Level::AGGREGATION);
         upper.extend(map.utilizations_at_level(Level::CORE));
         let point = OversubPoint {
@@ -108,7 +102,6 @@ pub fn run(paper_scale: bool) -> (Vec<OversubPoint>, String) {
             ratio, point.max_util_before, point.max_util_after, point.fairness_after
         );
         points.push(point);
-        let _ = CostModel::paper_default();
     }
     let _ = writeln!(
         summary,

@@ -5,12 +5,11 @@
 //! ablation) against each other on the same scenario, reporting final
 //! cost, convergence speed, and migration churn.
 
-use score_core::CostModel;
-use score_sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+use score_sim::{PolicyKind, Scenario};
 use score_traffic::TrafficIntensity;
 use std::fmt::Write as _;
 
-use crate::write_result;
+use crate::{write_report, write_result};
 
 /// Outcome for one policy.
 #[derive(Debug, Clone, Copy)]
@@ -28,12 +27,11 @@ pub struct PolicyOutcome {
 
 /// Runs the comparison and writes `ext_policy_comparison.csv`.
 pub fn run(paper_scale: bool) -> (Vec<PolicyOutcome>, String) {
-    let scenario = if paper_scale {
-        ScenarioConfig::paper_canonical(TrafficIntensity::Sparse, 17)
+    let base = if paper_scale {
+        Scenario::paper_canonical(TrafficIntensity::Sparse, 17)
     } else {
-        ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 17)
+        Scenario::small_canonical(TrafficIntensity::Sparse, 17)
     };
-    let _ = CostModel::paper_default();
 
     let mut outcomes = Vec::new();
     let mut csv = String::from("policy,final_fraction,t90_s,migrations\n");
@@ -44,9 +42,13 @@ pub fn run(paper_scale: bool) -> (Vec<PolicyOutcome>, String) {
         "policy", "final cost", "t90 (s)", "migrations"
     );
     for policy in PolicyKind::all() {
-        let mut world = build_world(&scenario);
-        let config = SimConfig { t_end_s: 500.0, ..SimConfig::paper_default() };
-        let report = run_simulation(&mut world.cluster, &world.traffic, policy, &config);
+        let mut scenario = base.clone();
+        scenario.policy = policy;
+        scenario.timing.t_end_s = 500.0;
+        let mut session = scenario.session().expect("preset scenario is feasible");
+        session.run_to_horizon();
+        let report = session.report();
+        write_report(&format!("ext_policy_{}.json", policy.name()), &report);
         let total_drop = report.initial_cost - report.final_cost;
         let target = report.initial_cost - 0.9 * total_drop;
         let t90 = report
@@ -102,9 +104,7 @@ mod tests {
         }
         // The informed policies must not be slower to t90 than random by a
         // large margin.
-        let t90 = |kind: PolicyKind| {
-            outcomes.iter().find(|o| o.policy == kind).unwrap().t90_s
-        };
+        let t90 = |kind: PolicyKind| outcomes.iter().find(|o| o.policy == kind).unwrap().t90_s;
         assert!(t90(PolicyKind::HighestLevelFirst).is_finite());
         assert!(t90(PolicyKind::HighestCostFirst).is_finite());
         assert!(summary.contains("hcf"));

@@ -9,14 +9,13 @@
 //! make more core-relieving moves clear the bar, pushing more traffic mass
 //! down the hierarchy.
 
-use score_core::{level_breakdown, CostModel, ScoreConfig, ScoreEngine, TokenRing};
-use score_core::HighestLevelFirst;
-use score_sim::{build_world, ScenarioConfig};
+use score_core::level_breakdown;
+use score_sim::Scenario;
 use score_topology::LinkWeights;
 use score_traffic::TrafficIntensity;
 use std::fmt::Write as _;
 
-use crate::write_result;
+use crate::{write_report, write_result};
 
 /// Outcome for one weight vector.
 #[derive(Debug, Clone)]
@@ -31,14 +30,17 @@ pub struct WeightOutcome {
 
 /// Runs the sweep and writes `ext_weight_sensitivity.csv`.
 pub fn run(paper_scale: bool) -> (Vec<WeightOutcome>, String) {
-    let scenario = if paper_scale {
-        ScenarioConfig::paper_canonical(TrafficIntensity::Sparse, 29)
+    let base = if paper_scale {
+        Scenario::paper_canonical(TrafficIntensity::Sparse, 29)
     } else {
-        ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 29)
+        Scenario::small_canonical(TrafficIntensity::Sparse, 29)
     };
 
     let weightings: Vec<(String, LinkWeights)> = vec![
-        ("nearly-flat".into(), LinkWeights::new([1.0, 1.05, 1.1]).unwrap()),
+        (
+            "nearly-flat".into(),
+            LinkWeights::new([1.0, 1.05, 1.1]).unwrap(),
+        ),
         ("base-2".into(), LinkWeights::exponential(3, 2.0).unwrap()),
         ("paper-e".into(), LinkWeights::paper_default()),
         ("base-10".into(), LinkWeights::exponential(3, 10.0).unwrap()),
@@ -56,18 +58,22 @@ pub fn run(paper_scale: bool) -> (Vec<WeightOutcome>, String) {
     // gains, prohibitive for the flattest weighting's marginal moves.
     let cm = 5e7;
     for (name, weights) in weightings {
-        let mut world = build_world(&scenario);
-        let engine = ScoreEngine::new(
-            CostModel::new(weights),
-            ScoreConfig::paper_default().with_migration_cost(cm),
+        let mut scenario = base.clone();
+        scenario.engine = scenario
+            .engine
+            .with_migration_cost(cm)
+            .with_weights(weights);
+        // A horizon that cannot cut the 6 iterations short (the event
+        // queue needs a finite end marker).
+        scenario.timing.t_end_s = 1e6;
+        let mut session = scenario.session().expect("preset scenario is feasible");
+        session.run(6);
+        write_report(&format!("ext_weights_{name}.json"), &session.report());
+        let breakdown = level_breakdown(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
         );
-        let mut ring =
-            TokenRing::new(engine, HighestLevelFirst::new(), world.traffic.num_vms());
-        for _ in 0..6 {
-            ring.run_iteration(&mut world.cluster, &world.traffic);
-        }
-        let breakdown =
-            level_breakdown(world.cluster.allocation(), &world.traffic, world.cluster.topo());
         let above_rack: f64 = breakdown.iter().skip(2).sum();
         let _ = writeln!(
             csv,
@@ -84,7 +90,11 @@ pub fn run(paper_scale: bool) -> (Vec<WeightOutcome>, String) {
             breakdown[3] * 100.0,
             above_rack * 100.0
         );
-        outcomes.push(WeightOutcome { name, breakdown, above_rack });
+        outcomes.push(WeightOutcome {
+            name,
+            breakdown,
+            above_rack,
+        });
     }
     let path = write_result("ext_weight_sensitivity.csv", &csv);
     let _ = writeln!(summary, "  -> {}", path.display());
@@ -101,7 +111,11 @@ mod tests {
         assert_eq!(outcomes.len(), 4);
         for o in &outcomes {
             let sum: f64 = o.breakdown.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "{}: breakdown sums to {sum}", o.name);
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{}: breakdown sums to {sum}",
+                o.name
+            );
         }
         // All weightings localize most traffic below the aggregation layer
         // (the Theorem-1 gate accepts any strictly positive saving).

@@ -4,11 +4,11 @@
 //! both policies, demonstrating that "S-CORE quickly converges to a stable
 //! VM distribution within two token-passing iterations".
 
-use score_sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+use score_sim::{PolicyKind, Scenario};
 use score_traffic::TrafficIntensity;
 use std::fmt::Write as _;
 
-use crate::write_result;
+use crate::{write_report, write_result};
 
 /// Number of iterations the figure plots.
 pub const ITERATIONS: usize = 5;
@@ -22,32 +22,34 @@ pub struct Fig2Result {
 
 /// Runs the experiment and writes `fig2_migration_ratio.csv`.
 pub fn run(paper_scale: bool) -> (Fig2Result, String) {
-    let scenario = if paper_scale {
-        ScenarioConfig::paper_canonical(TrafficIntensity::Sparse, 7)
+    let base = if paper_scale {
+        Scenario::paper_canonical(TrafficIntensity::Sparse, 7)
     } else {
-        ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 7)
+        Scenario::small_canonical(TrafficIntensity::Sparse, 7)
     };
+
+    let topo = base.topology.build().expect("preset dimensions are valid");
+    let num_vms = base.workload.num_vms(topo.as_ref()) as f64;
+    // Enough simulated time for 5 full iterations plus slack.
+    let (hold, pass) = (0.05, 0.01);
 
     let mut series = Vec::new();
     for policy in PolicyKind::paper_policies() {
-        let mut world = build_world(&scenario);
-        let num_vms = world.cluster.num_vms() as f64;
-        // Enough simulated time for 5 full iterations plus slack.
-        let hold = 0.05;
-        let pass = 0.01;
-        let config = SimConfig {
-            t_end_s: (ITERATIONS as f64 + 1.5) * num_vms * (hold + pass),
-            sample_interval_s: 10.0,
-            token_hold_s: hold,
-            token_pass_s: pass,
-            ..SimConfig::paper_default()
-        };
-        let report = run_simulation(&mut world.cluster, &world.traffic, policy, &config);
+        let mut scenario = base.clone();
+        scenario.policy = policy;
+        scenario.timing.t_end_s = (ITERATIONS as f64 + 1.5) * num_vms * (hold + pass);
+        scenario.timing.sample_interval_s = 10.0;
+        scenario.timing.token_hold_s = hold;
+        scenario.timing.token_pass_s = pass;
+        let mut session = scenario.session().expect("preset scenario is feasible");
+        session.run_to_horizon();
+        let report = session.report();
+        write_report(&format!("fig2_{}.json", policy.name()), &report);
         let ratios: Vec<f64> = report
-            .iterations
+            .migration_ratios
             .iter()
             .take(ITERATIONS)
-            .map(|it| it.migration_ratio())
+            .copied()
             .collect();
         series.push((policy.name(), ratios));
     }
@@ -77,7 +79,10 @@ mod tests {
         assert!(summary.contains("Fig. 2"));
         for (name, ratios) in &result.series {
             assert_eq!(ratios.len(), ITERATIONS, "policy {name}");
-            assert!(ratios[0] > 0.05, "{name}: first iteration must migrate, got {ratios:?}");
+            assert!(
+                ratios[0] > 0.05,
+                "{name}: first iteration must migrate, got {ratios:?}"
+            );
             let late = ratios[3] + ratios[4];
             assert!(
                 late < ratios[0] * 0.5,

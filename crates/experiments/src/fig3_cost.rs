@@ -9,14 +9,11 @@
 
 use score_baselines::{GaConfig, GeneticOptimizer};
 use score_core::CostModel;
-use score_sim::{
-    ascii_chart, build_world, run_simulation, series_to_csv, PolicyKind, ScenarioConfig,
-    SimConfig, TopologyKind,
-};
+use score_sim::{ascii_chart, series_to_csv, PolicyKind, Scenario, TopologyKind};
 use score_traffic::TrafficIntensity;
 use std::fmt::Write as _;
 
-use crate::write_result;
+use crate::{write_report, write_result};
 
 /// Outcome for one (intensity, policy) cell of the figure.
 #[derive(Debug, Clone)]
@@ -42,34 +39,50 @@ pub fn run(kind: TopologyKind, paper_scale: bool) -> (Vec<CostRatioCell>, String
     let letters = match kind {
         TopologyKind::CanonicalTree => ["d", "e", "f"],
         TopologyKind::FatTree => ["g", "h", "i"],
+        TopologyKind::Star => unreachable!("the figure plots tree fabrics only"),
     };
-    let mut summary = format!("Fig. 3{}–{} — cost ratio vs GA-optimal, {}\n", letters[0], letters[2], kind.name());
+    let mut summary = format!(
+        "Fig. 3{}–{} — cost ratio vs GA-optimal, {}\n",
+        letters[0],
+        letters[2],
+        kind.name()
+    );
 
     for intensity in TrafficIntensity::all() {
         let scenario = match (kind, paper_scale) {
-            (TopologyKind::CanonicalTree, false) => ScenarioConfig::small_canonical(intensity, 11),
-            (TopologyKind::CanonicalTree, true) => ScenarioConfig::paper_canonical(intensity, 11),
-            (TopologyKind::FatTree, false) => ScenarioConfig::small_fattree(intensity, 11),
-            (TopologyKind::FatTree, true) => ScenarioConfig::paper_fattree(intensity, 11),
+            (TopologyKind::CanonicalTree, false) => Scenario::small_canonical(intensity, 11),
+            (TopologyKind::CanonicalTree, true) => Scenario::paper_canonical(intensity, 11),
+            (TopologyKind::FatTree, false) => Scenario::small_fattree(intensity, 11),
+            (TopologyKind::FatTree, true) => Scenario::paper_fattree(intensity, 11),
+            (TopologyKind::Star, _) => unreachable!("the figure plots tree fabrics only"),
         };
 
         // GA-optimal approximation on the same instance.
-        let ga_world = build_world(&scenario);
-        let ga_cfg = if paper_scale { GaConfig::paper_default() } else { GaConfig::fast() };
+        let ga_session = scenario.session().expect("preset scenario is feasible");
+        let ga_cfg = if paper_scale {
+            GaConfig::paper_default()
+        } else {
+            GaConfig::fast()
+        };
         let ga = GeneticOptimizer::new(
-            ga_world.topo.as_ref(),
-            &ga_world.traffic,
+            ga_session.topo().as_ref(),
+            ga_session.traffic(),
             CostModel::paper_default(),
-            ga_world.cluster.server_spec().vm_slots,
+            ga_session.cluster().server_spec().vm_slots,
             ga_cfg,
         )
         .run();
 
         let mut chart_series = Vec::new();
         for policy in PolicyKind::paper_policies() {
-            let mut world = build_world(&scenario);
-            let config = SimConfig { t_end_s: 700.0, ..SimConfig::paper_default() };
-            let report = run_simulation(&mut world.cluster, &world.traffic, policy, &config);
+            let mut cell_scenario = scenario.clone();
+            cell_scenario.policy = policy;
+            cell_scenario.timing.t_end_s = 700.0;
+            let mut session = cell_scenario
+                .session()
+                .expect("preset scenario is feasible");
+            session.run_to_horizon();
+            let report = session.report();
             let series = report.ratio_series(ga.best_cost);
             let cell = CostRatioCell {
                 intensity,
@@ -82,8 +95,22 @@ pub fn run(kind: TopologyKind, paper_scale: bool) -> (Vec<CostRatioCell>, String
             };
             let csv = series_to_csv(&series, "time_s", "cost_ratio");
             let path = write_result(
-                &format!("fig3_{}_{}_{}.csv", kind.name(), intensity.name(), policy.name()),
+                &format!(
+                    "fig3_{}_{}_{}.csv",
+                    kind.name(),
+                    intensity.name(),
+                    policy.name()
+                ),
                 &csv,
+            );
+            write_report(
+                &format!(
+                    "fig3_{}_{}_{}.json",
+                    kind.name(),
+                    intensity.name(),
+                    policy.name()
+                ),
+                &report,
             );
             let _ = writeln!(
                 summary,
@@ -98,8 +125,10 @@ pub fn run(kind: TopologyKind, paper_scale: bool) -> (Vec<CostRatioCell>, String
             chart_series.push((policy.name(), series));
             cells.push(cell);
         }
-        let refs: Vec<(&str, &[(f64, f64)])> =
-            chart_series.iter().map(|(n, s)| (*n, s.as_slice())).collect();
+        let refs: Vec<(&str, &[(f64, f64)])> = chart_series
+            .iter()
+            .map(|(n, s)| (*n, s.as_slice()))
+            .collect();
         let _ = writeln!(summary, "{}", ascii_chart(&refs, 64, 12));
     }
     (cells, summary)
@@ -143,15 +172,13 @@ mod tests {
         let sparse_hlf = fat
             .iter()
             .find(|c| {
-                c.intensity == TrafficIntensity::Sparse
-                    && c.policy == PolicyKind::HighestLevelFirst
+                c.intensity == TrafficIntensity::Sparse && c.policy == PolicyKind::HighestLevelFirst
             })
             .unwrap();
         let dense_hlf = fat
             .iter()
             .find(|c| {
-                c.intensity == TrafficIntensity::Dense
-                    && c.policy == PolicyKind::HighestLevelFirst
+                c.intensity == TrafficIntensity::Dense && c.policy == PolicyKind::HighestLevelFirst
             })
             .unwrap();
         assert!(

@@ -5,7 +5,7 @@
 //! (properties from the DC measurement literature); medium and dense scale
 //! the base TM by 10 and 50.
 
-use score_sim::{build_world, ScenarioConfig};
+use score_sim::Scenario;
 use score_traffic::{TrafficIntensity, TrafficMatrix};
 use std::fmt::Write as _;
 
@@ -30,15 +30,15 @@ pub fn run(paper_scale: bool) -> (Vec<(TrafficIntensity, TmStats)>, String) {
     let mut summary = String::from("Fig. 3a–c — ToR-to-ToR traffic matrices\n");
     for intensity in TrafficIntensity::all() {
         let scenario = if paper_scale {
-            ScenarioConfig::paper_canonical(intensity, 7)
+            Scenario::paper_canonical(intensity, 7)
         } else {
-            ScenarioConfig::small_canonical(intensity, 7)
+            Scenario::small_canonical(intensity, 7)
         };
-        let world = build_world(&scenario);
-        let racks = world.topo.num_racks();
-        let alloc = world.cluster.allocation();
-        let topo = world.topo.as_ref();
-        let tm = TrafficMatrix::from_pairs(racks, &world.traffic, |vm| {
+        let session = scenario.session().expect("preset scenario is feasible");
+        let racks = session.topo().num_racks();
+        let alloc = session.cluster().allocation();
+        let topo = session.topo().as_ref();
+        let tm = TrafficMatrix::from_pairs(racks, session.traffic(), |vm| {
             topo.rack_of(alloc.server_of(vm))
         });
         let stats = TmStats {

@@ -12,16 +12,13 @@
 //! amortised over the measurement window.
 
 use score_baselines::{Remedy, RemedyConfig};
-use score_core::{CostModel, ScoreConfig};
-use score_sim::{
-    build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig,
-    UtilizationSnapshot,
-};
+use score_core::CostModel;
+use score_sim::{PolicyKind, Scenario, UtilizationSnapshot};
 use score_topology::Level;
 use score_traffic::TrafficIntensity;
 use std::fmt::Write as _;
 
-use crate::write_result;
+use crate::{write_report, write_result};
 
 /// Experiment outcome.
 #[derive(Debug, Clone)]
@@ -46,9 +43,9 @@ pub fn cm_from_remedy_bytes(bytes: f64, model: &CostModel, window_s: f64) -> f64
 /// Runs the comparison and writes the Fig. 4a/4b CSVs.
 pub fn run(paper_scale: bool) -> (Fig4Result, String) {
     let scenario = if paper_scale {
-        ScenarioConfig::paper_canonical(TrafficIntensity::Sparse, 23)
+        Scenario::paper_canonical(TrafficIntensity::Sparse, 23)
     } else {
-        ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 23)
+        Scenario::small_canonical(TrafficIntensity::Sparse, 23)
     };
     let model = CostModel::paper_default();
     let remedy_cfg = RemedyConfig::paper_default();
@@ -56,49 +53,45 @@ pub fn run(paper_scale: bool) -> (Fig4Result, String) {
     let cm = cm_from_remedy_bytes(migration_bytes, &model, remedy_cfg.amortization_s);
 
     // Initial state (shared by both systems).
-    let world0 = build_world(&scenario);
-    let initial_cost =
-        model.total_cost(world0.cluster.allocation(), &world0.traffic, world0.cluster.topo());
-    let initial_snapshot = UtilizationSnapshot::capture(&world0.cluster, &world0.traffic);
+    let session0 = scenario.session().expect("preset scenario is feasible");
+    let initial_cost = session0.initial_cost();
+    let initial_snapshot = session0.report().link_utilization;
 
     // --- S-CORE run (HLF, cm from Remedy's model). ---
-    let mut score_world = build_world(&scenario);
-    let config = SimConfig {
-        t_end_s: 700.0,
-        score: ScoreConfig::paper_default().with_migration_cost(cm),
-        ..SimConfig::paper_default()
-    };
-    let score_report = run_simulation(
-        &mut score_world.cluster,
-        &score_world.traffic,
-        PolicyKind::HighestLevelFirst,
-        &config,
-    );
-    let score_snapshot = UtilizationSnapshot::capture(&score_world.cluster, &score_world.traffic);
+    let mut score_scenario = scenario.clone();
+    score_scenario.policy = PolicyKind::HighestLevelFirst;
+    score_scenario.timing.t_end_s = 700.0;
+    score_scenario.engine = score_scenario.engine.with_migration_cost(cm);
+    let mut score_session = score_scenario
+        .session()
+        .expect("preset scenario is feasible");
+    score_session.run_to_horizon();
+    let score_report = score_session.report();
+    write_report("fig4_score.json", &score_report);
+    let score_snapshot = score_report.link_utilization.clone();
+    let t_end_s = score_scenario.timing.t_end_s;
 
     // --- Remedy run, stepped to produce a time series. ---
-    let mut remedy_world = build_world(&scenario);
-    let controller = Remedy::new(RemedyConfig { max_migrations: 1, ..remedy_cfg });
+    let mut remedy_session = scenario.session().expect("preset scenario is feasible");
+    let controller = Remedy::new(RemedyConfig {
+        max_migrations: 1,
+        ..remedy_cfg
+    });
     let monitor_interval_s = 10.0;
     let mut t = 0.0;
     let mut remedy_series = vec![(0.0, initial_cost)];
     for _ in 0..remedy_cfg.max_migrations {
-        let result = controller.run(&mut remedy_world.cluster, &remedy_world.traffic);
+        let (cluster, traffic) = remedy_session.split_mut();
+        let result = controller.run(cluster, traffic);
         t += monitor_interval_s;
-        if result.steps.is_empty() || t > config.t_end_s {
+        if result.steps.is_empty() || t > t_end_s {
             break;
         }
-        let cost = model.total_cost(
-            remedy_world.cluster.allocation(),
-            &remedy_world.traffic,
-            remedy_world.cluster.topo(),
-        );
-        remedy_series.push((t, cost));
+        remedy_series.push((t, remedy_session.current_cost()));
     }
-    remedy_series.push((config.t_end_s, remedy_series.last().unwrap().1));
+    remedy_series.push((t_end_s, remedy_series.last().unwrap().1));
     let remedy_final = remedy_series.last().unwrap().1;
-    let remedy_snapshot =
-        UtilizationSnapshot::capture(&remedy_world.cluster, &remedy_world.traffic);
+    let remedy_snapshot = remedy_session.report().link_utilization;
 
     // --- Outputs. ---
     let mut csv_cdf = String::from("system,layer,utilization,cdf\n");
@@ -167,7 +160,10 @@ mod tests {
     fn score_beats_remedy_on_both_axes() {
         let (r, summary) = run(false);
         // S-CORE reduces core/agg utilization more than Remedy does.
-        assert!(r.core_mean[1] < r.core_mean[0], "S-CORE must relieve the core");
+        assert!(
+            r.core_mean[1] < r.core_mean[0],
+            "S-CORE must relieve the core"
+        );
         assert!(
             r.core_mean[1] <= r.core_mean[2],
             "S-CORE core relief must at least match Remedy's"

@@ -62,7 +62,13 @@ fn time_ops(keys: &[score_flowtable::FlowKey], flow_type: u8) -> OpTiming {
     let delete_s = t0.elapsed().as_secs_f64();
     assert!(table.is_empty());
 
-    OpTiming { n: keys.len(), flow_type, add_s, lookup_s, delete_s }
+    OpTiming {
+        n: keys.len(),
+        flow_type,
+        add_s,
+        lookup_s,
+        delete_s,
+    }
 }
 
 /// Runs the sweep and writes `fig5a_flowtable_ops.csv`.
@@ -105,7 +111,10 @@ mod tests {
         // The paper's claim: a realistic 100-concurrent-flow workload needs
         // well under 100 ms for any operation.
         let t1 = time_ops(&type1_flows(100), 1);
-        assert!(t1.add_s < 0.1 && t1.lookup_s < 0.1 && t1.delete_s < 0.1, "{t1:?}");
+        assert!(
+            t1.add_s < 0.1 && t1.lookup_s < 0.1 && t1.delete_s < 0.1,
+            "{t1:?}"
+        );
     }
 
     #[test]

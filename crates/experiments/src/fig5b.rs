@@ -13,7 +13,7 @@ use crate::write_result;
 pub fn run(paper_scale: bool) -> (SummaryStats, String) {
     let n = if paper_scale { 2000 } else { 400 };
     let model = PreCopyModel::default();
-    let (hist, stats) = migrated_bytes_histogram(&model, n, 5.0, 0xf16_5b);
+    let (hist, stats) = migrated_bytes_histogram(&model, n, 5.0, 0xf_165b);
 
     let mut csv = String::from("bin_center_mb,probability,count\n");
     for b in &hist {
@@ -28,7 +28,11 @@ pub fn run(paper_scale: bool) -> (SummaryStats, String) {
         stats.mean, stats.std, stats.min, stats.max
     );
     // Tiny ASCII histogram.
-    let peak = hist.iter().map(|b| b.probability).fold(0.0, f64::max).max(1e-9);
+    let peak = hist
+        .iter()
+        .map(|b| b.probability)
+        .fold(0.0, f64::max)
+        .max(1e-9);
     for b in &hist {
         let bar = "#".repeat(((b.probability / peak) * 30.0).round() as usize);
         let _ = writeln!(summary, "  {:>6.1} MB |{bar}", b.center_mb);

@@ -71,7 +71,11 @@ mod tests {
         assert!((sweep[1].time.mean - 4.29).abs() < 0.8);
         assert!((sweep[10].time.mean - 9.34).abs() < 1.6);
         for p in &sweep {
-            assert!(p.downtime.max < 0.050, "downtime exceeded 50 ms at load {}", p.load);
+            assert!(
+                p.downtime.max < 0.050,
+                "downtime exceeded 50 ms at load {}",
+                p.load
+            );
         }
         assert!(summary.contains("Fig. 5c/5d"));
     }

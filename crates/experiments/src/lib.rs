@@ -1,8 +1,11 @@
 //! Shared infrastructure for the experiment binaries.
 //!
 //! Every figure of the paper's evaluation has a binary in `src/bin/` that
-//! regenerates it: the binary prints a human-readable summary (tables +
-//! ASCII charts) and writes machine-readable CSV under `results/`.
+//! regenerates it. Each binary declares its scenarios through the
+//! `Scenario`/`Session` API of `score_sim`, prints a human-readable
+//! summary (tables + ASCII charts), and writes machine-readable results
+//! under `results/`: CSV series plus the unified [`score_sim::RunReport`]
+//! JSON for every session run (see [`write_report`]).
 //!
 //! | Binary | Paper artifact |
 //! |---|---|
@@ -14,7 +17,15 @@
 //! | `fig5a_flowtable_ops` | Fig. 5a — flow-table op timings |
 //! | `fig5b_migrated_bytes` | Fig. 5b — migrated-bytes distribution |
 //! | `fig5cd_migration_time_downtime` | Fig. 5c/5d — time & downtime vs load |
+//! | `ext_policy_comparison` | extension — all four token policies |
+//! | `ext_weight_sensitivity` | extension — link-weight sweep |
+//! | `ext_oversubscription` | extension — ToR oversubscription sweep |
+//! | `ext_control_overhead` | extension — control-plane overhead |
+//! | `scorectl` | ad-hoc scenarios from CLI flags or JSON specs |
 //! | `all` | runs everything and summarises paper-vs-measured |
+//!
+//! See `README.md` in this crate for the one-command-per-figure table
+//! with full invocations.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -60,6 +71,19 @@ pub fn write_result(name: &str, contents: &str) -> PathBuf {
     let path = dir.join(name);
     fs::write(&path, contents).expect("write result file");
     path
+}
+
+/// Writes a [`score_sim::RunReport`] as JSON to `results_dir()/name` —
+/// the one machine-readable format every session-driven experiment
+/// emits alongside its CSVs.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries want loud failures).
+pub fn write_report(name: &str, report: &score_sim::RunReport) -> PathBuf {
+    report
+        .write_json(&results_dir(), name)
+        .expect("write run report")
 }
 
 /// True when the `--paper-scale` flag (or `SCORE_PAPER_SCALE=1`) asks for

@@ -69,12 +69,24 @@ pub struct FlowKey {
 impl FlowKey {
     /// Creates a TCP flow key — the common case in the experiments.
     pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
-        FlowKey { src_ip, dst_ip, src_port, dst_port, proto: Protocol::Tcp }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Tcp,
+        }
     }
 
     /// Creates a UDP flow key.
     pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
-        FlowKey { src_ip, dst_ip, src_port, dst_port, proto: Protocol::Udp }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Udp,
+        }
     }
 
     /// The same flow viewed from the opposite direction.
@@ -120,7 +132,12 @@ mod tests {
     use super::*;
 
     fn key() -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 5000, Ipv4Addr::new(10, 0, 1, 2), 80)
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            5000,
+            Ipv4Addr::new(10, 0, 1, 2),
+            80,
+        )
     }
 
     #[test]
@@ -165,7 +182,12 @@ mod tests {
 
     #[test]
     fn udp_constructor() {
-        let k = FlowKey::udp(Ipv4Addr::new(1, 1, 1, 1), 53, Ipv4Addr::new(2, 2, 2, 2), 5353);
+        let k = FlowKey::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            53,
+            Ipv4Addr::new(2, 2, 2, 2),
+            5353,
+        );
         assert_eq!(k.proto, Protocol::Udp);
     }
 }

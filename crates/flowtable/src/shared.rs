@@ -72,7 +72,9 @@ impl SharedFlowTable {
         now_s: f64,
         min_age_s: f64,
     ) -> Vec<(Ipv4Addr, f64)> {
-        self.inner.read().aggregate_peer_rates(local, now_s, min_age_s)
+        self.inner
+            .read()
+            .aggregate_peer_rates(local, now_s, min_age_s)
     }
 
     /// Clears all flows touching `ip` after a migration decision.

@@ -86,7 +86,10 @@ impl FlowTable {
 
     /// Creates an empty table with capacity for `n` flows.
     pub fn with_capacity(n: usize) -> Self {
-        FlowTable { flows: HashMap::with_capacity(n), by_ip: HashMap::new() }
+        FlowTable {
+            flows: HashMap::with_capacity(n),
+            by_ip: HashMap::new(),
+        }
     }
 
     /// Number of tracked flows.
@@ -114,7 +117,13 @@ impl FlowTable {
             None => {
                 self.flows.insert(
                     key,
-                    FlowRecord { key, bytes, packets, first_seen_s: now_s, last_seen_s: now_s },
+                    FlowRecord {
+                        key,
+                        bytes,
+                        packets,
+                        first_seen_s: now_s,
+                        last_seen_s: now_s,
+                    },
                 );
                 self.by_ip.entry(key.src_ip).or_default().insert(key);
                 self.by_ip.entry(key.dst_ip).or_default().insert(key);
@@ -196,7 +205,9 @@ impl FlowTable {
     ) -> Vec<(Ipv4Addr, f64)> {
         let mut per_peer: HashMap<Ipv4Addr, f64> = HashMap::new();
         for rec in self.flows_by_ip(local) {
-            let Some(peer) = rec.key.peer_of(local) else { continue };
+            let Some(peer) = rec.key.peer_of(local) else {
+                continue;
+            };
             if peer == local {
                 continue;
             }
@@ -206,7 +217,7 @@ impl FlowTable {
             }
         }
         let mut rates: Vec<(Ipv4Addr, f64)> = per_peer.into_iter().collect();
-        rates.sort_by(|a, b| a.0.cmp(&b.0));
+        rates.sort_by_key(|a| a.0);
         rates
     }
 

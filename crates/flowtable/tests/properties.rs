@@ -7,9 +7,20 @@ use std::net::Ipv4Addr;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Record { src: u8, dst: u8, port: u16, bytes: u64 },
-    Remove { src: u8, dst: u8, port: u16 },
-    ClearIp { ip: u8 },
+    Record {
+        src: u8,
+        dst: u8,
+        port: u16,
+        bytes: u64,
+    },
+    Remove {
+        src: u8,
+        dst: u8,
+        port: u16,
+    },
+    ClearIp {
+        ip: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -100,7 +100,11 @@ impl EventQueue {
     /// Panics if `time_s` is in the past or not finite.
     pub fn schedule_at(&mut self, time_s: f64, event: SimEvent) {
         assert!(time_s.is_finite(), "event time must be finite");
-        assert!(time_s >= self.now_s, "cannot schedule into the past ({time_s} < {})", self.now_s);
+        assert!(
+            time_s >= self.now_s,
+            "cannot schedule into the past ({time_s} < {})",
+            self.now_s
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { time_s, seq, event });

@@ -1,36 +1,41 @@
 //! Flow-level discrete-event data-center simulator for S-CORE — the
-//! reproduction's stand-in for the paper's ns-3 environment (§VI).
+//! reproduction's stand-in for the paper's ns-3 environment (§VI) — and
+//! the **`Scenario`/`Session` experiment API** every binary, example and
+//! bench in this repository runs through.
 //!
-//! The paper simulates 2560-host canonical trees and k = 16 fat-trees in
-//! ns-3, with each server modelled as "a VM hypervisor network application"
-//! supporting in- and out-migration. S-CORE's decisions depend on *average*
-//! pairwise rates over long windows, not packet-level dynamics, so this
-//! simulator operates at flow granularity:
-//!
-//! * [`events`] — a deterministic discrete-event queue;
-//! * [`scenario`] — topology + workload + initial-placement recipes at
-//!   paper scale and CI scale;
-//! * [`runner`] — drives the S-CORE token ring over simulated time,
-//!   charging token-hold and token-pass delays and sampling the pre-copy
-//!   model for every migration (cost-vs-time of Fig. 3d–i, Fig. 4b);
+//! * [`spec`] — [`Scenario`]: a fully serde-round-trippable experiment
+//!   description (`TopologySpec` × `WorkloadSpec` × `PlacementSpec` ×
+//!   `PolicySpec` × `EngineSpec` × `TimingSpec`), with builder and paper
+//!   presets;
+//! * [`session`] — [`Session`]: the materialized cluster + token ring +
+//!   event clock, advanced with `step`/`run`/`run_to_horizon`;
+//! * [`report`] — [`RunReport`]: one unified, JSON-serializable result
+//!   format (cost trajectory, migration ratios, link utilization,
+//!   flow-table ops);
+//! * [`events`] — the deterministic discrete-event queue;
 //! * [`metrics`] — utilization CDF snapshots (Fig. 4a), CSV and ASCII
 //!   plotting helpers.
 //!
 //! # Example
 //!
 //! ```
-//! use score_sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+//! use score_sim::{PolicyKind, Scenario};
 //! use score_traffic::TrafficIntensity;
 //!
-//! let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 7));
-//! let config = SimConfig { t_end_s: 60.0, ..SimConfig::paper_default() };
-//! let report = run_simulation(
-//!     &mut world.cluster,
-//!     &world.traffic,
-//!     PolicyKind::HighestLevelFirst,
-//!     &config,
-//! );
+//! let scenario = Scenario::builder()
+//!     .canonical_tree(32, 5)
+//!     .sparse_traffic(7)
+//!     .policy(PolicyKind::HighestLevelFirst)
+//!     .horizon(60.0)
+//!     .build();
+//! let mut session = scenario.session().unwrap();
+//! session.run_to_horizon();
+//! let report = session.report();
 //! assert!(report.final_cost <= report.initial_cost);
+//! // The spec round-trips through JSON; the report serializes too.
+//! assert_eq!(Scenario::from_json(&scenario.to_json()).unwrap(), scenario);
+//! let _json = report.to_json();
+//! # let _ = TrafficIntensity::Sparse;
 //! ```
 
 #![warn(missing_docs)]
@@ -38,13 +43,15 @@
 
 pub mod events;
 pub mod metrics;
-pub mod runner;
-pub mod scenario;
+pub mod report;
+pub mod session;
+pub mod spec;
 
 pub use events::{EventQueue, SimEvent};
 pub use metrics::{ascii_chart, jain_fairness, series_to_csv, UtilizationSnapshot};
-pub use runner::{
-    run_dynamic, run_simulation, HypervisorStats, MigrationEvent, PolicyKind, SimConfig,
-    SimReport, TrafficPhase,
+pub use report::{FlowTableOps, HypervisorStats, MigrationEvent, RunReport};
+pub use session::{Session, TrafficPhase};
+pub use spec::{
+    EngineSpec, PlacementSpec, PolicyKind, PolicySpec, Scenario, ScenarioBuilder, ScenarioError,
+    TimingSpec, TopologyKind, TopologySpec, WorkloadSpec,
 };
-pub use scenario::{build_world, ScenarioConfig, TopologyKind, World};

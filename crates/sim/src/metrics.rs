@@ -52,9 +52,11 @@ impl UtilizationSnapshot {
     /// Renders the snapshot as CSV rows `layer,utilization,cdf`.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("layer,utilization,cdf\n");
-        for (name, values) in
-            [("core", &self.core), ("aggregation", &self.aggregation), ("edge", &self.edge)]
-        {
+        for (name, values) in [
+            ("core", &self.core),
+            ("aggregation", &self.aggregation),
+            ("edge", &self.edge),
+        ] {
             let n = values.len().max(1);
             for (i, u) in values.iter().enumerate() {
                 let _ = writeln!(out, "{name},{u:.6},{:.6}", (i + 1) as f64 / n as f64);
@@ -140,13 +142,19 @@ pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{build_world, ScenarioConfig};
+    use crate::spec::Scenario;
     use score_traffic::TrafficIntensity;
+
+    fn fresh_snapshot(seed: u64) -> UtilizationSnapshot {
+        let session = Scenario::small_canonical(TrafficIntensity::Sparse, seed)
+            .session()
+            .expect("preset scenario is feasible");
+        UtilizationSnapshot::capture(session.cluster(), session.traffic())
+    }
 
     #[test]
     fn snapshot_layers_are_sorted() {
-        let world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 1));
-        let snap = UtilizationSnapshot::capture(&world.cluster, &world.traffic);
+        let snap = fresh_snapshot(1);
         for layer in [&snap.core, &snap.aggregation, &snap.edge] {
             assert!(layer.windows(2).all(|w| w[0] <= w[1]));
             assert!(!layer.is_empty());
@@ -186,8 +194,7 @@ mod tests {
         let csv = series_to_csv(&[(0.0, 1.0), (5.0, 0.5)], "t", "ratio");
         assert!(csv.starts_with("t,ratio\n"));
         assert!(csv.contains("5.000,0.500000"));
-        let world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 2));
-        let snap = UtilizationSnapshot::capture(&world.cluster, &world.traffic);
+        let snap = fresh_snapshot(2);
         let csv = snap.to_csv();
         assert!(csv.starts_with("layer,utilization,cdf\n"));
         assert!(csv.contains("core,"));

@@ -1,0 +1,292 @@
+//! The unified run report: every experiment, example and bench reads its
+//! results from one machine-readable type.
+//!
+//! [`RunReport`] carries the cost trajectory (Fig. 3d–i / 4b), the
+//! per-iteration migration ratios (Fig. 2), migration overheads
+//! (Fig. 5b–d), the link-utilization snapshot (Fig. 4a) and the dom0
+//! flow-table operation counts (Fig. 5a context) — and serializes to one
+//! JSON format via [`RunReport::to_json`] / [`RunReport::write_json`].
+
+use score_core::IterationStats;
+use score_topology::{ServerId, VmId};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::metrics::UtilizationSnapshot;
+
+/// One migration performed during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationEvent {
+    /// Decision time.
+    pub time_s: f64,
+    /// The VM that moved.
+    pub vm: VmId,
+    /// Source server.
+    pub from: ServerId,
+    /// Destination server.
+    pub to: ServerId,
+    /// Lemma-3 gain of the move.
+    pub gain: f64,
+    /// Bytes moved by pre-copy.
+    pub bytes: f64,
+    /// Total migration duration in seconds.
+    pub duration_s: f64,
+    /// Stop-and-copy downtime in seconds.
+    pub downtime_s: f64,
+}
+
+/// In-/out-migration counts for one hypervisor — the bookkeeping the
+/// paper's per-server "VM hypervisor network application" maintains
+/// ("supporting in-migration … as well as out-migration", §VI).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HypervisorStats {
+    /// VMs that moved onto this server.
+    pub in_migrations: u32,
+    /// VMs that moved off this server.
+    pub out_migrations: u32,
+}
+
+/// Dom0 flow-table operation counts implied by a run: every token hold
+/// aggregates the local flow table once (§V-B1), and every migration
+/// reinstalls flow rules at the source and destination dom0s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTableOps {
+    /// Whole-table aggregation passes (one per token hold).
+    pub aggregations: u64,
+    /// Flow-rule reinstallations (two per migration).
+    pub rule_updates: u64,
+}
+
+impl FlowTableOps {
+    /// Total flow-table operations.
+    pub fn total(&self) -> u64 {
+        self.aggregations + self.rule_updates
+    }
+}
+
+/// Unified result of one [`crate::Session`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Fabric name (e.g. `canonical-tree`).
+    pub topology: String,
+    /// Policy name (e.g. `hlf`).
+    pub policy: String,
+    /// `(time, Eq.-(2) cost)` samples.
+    pub cost_series: Vec<(f64, f64)>,
+    /// Cost at t = 0.
+    pub initial_cost: f64,
+    /// Cost when the report was taken.
+    pub final_cost: f64,
+    /// All migrations in decision order.
+    pub migrations: Vec<MigrationEvent>,
+    /// Per-iteration (|V| token holds) migration statistics — the Fig. 2
+    /// series.
+    pub iterations: Vec<IterationStats>,
+    /// Migrated-VM ratio per iteration (`iterations[i].migration_ratio()`
+    /// precomputed for plotting).
+    pub migration_ratios: Vec<f64>,
+    /// Token holds executed.
+    pub token_holds: usize,
+    /// Link-utilization snapshot at report time (Fig. 4a ingredient).
+    pub link_utilization: UtilizationSnapshot,
+    /// Flow-table operation counts implied by the run.
+    pub flow_table: FlowTableOps,
+}
+
+impl RunReport {
+    /// Total migration bytes.
+    pub fn total_migration_bytes(&self) -> f64 {
+        self.migrations.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Total VM downtime across all migrations.
+    pub fn total_downtime_s(&self) -> f64 {
+        self.migrations.iter().map(|m| m.downtime_s).sum()
+    }
+
+    /// Fractional communication-cost reduction achieved:
+    /// `1 − final/initial`.
+    pub fn cost_reduction(&self) -> f64 {
+        if self.initial_cost == 0.0 {
+            0.0
+        } else {
+            1.0 - self.final_cost / self.initial_cost
+        }
+    }
+
+    /// Per-server in-/out-migration counts (indexed by raw server id).
+    pub fn hypervisor_stats(&self, num_servers: usize) -> Vec<HypervisorStats> {
+        let mut stats = vec![HypervisorStats::default(); num_servers];
+        for m in &self.migrations {
+            stats[m.from.index()].out_migrations += 1;
+            stats[m.to.index()].in_migrations += 1;
+        }
+        stats
+    }
+
+    /// Maximum number of migrations in flight at any instant (each
+    /// migration occupies `[time_s, time_s + duration_s)`).
+    pub fn max_concurrent_migrations(&self) -> usize {
+        let mut events: Vec<(f64, i32)> = Vec::with_capacity(self.migrations.len() * 2);
+        for m in &self.migrations {
+            events.push((m.time_s, 1));
+            events.push((m.time_s + m.duration_s, -1));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut current = 0i32;
+        let mut max = 0i32;
+        for (_, delta) in events {
+            current += delta;
+            max = max.max(current);
+        }
+        max.max(0) as usize
+    }
+
+    /// Cost series normalised by a baseline cost (the "communication cost
+    /// ratio" y-axis of Fig. 3d–i, with the GA-optimal as baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline_cost` is not positive.
+    pub fn ratio_series(&self, baseline_cost: f64) -> Vec<(f64, f64)> {
+        assert!(baseline_cost > 0.0, "baseline cost must be positive");
+        self.cost_series
+            .iter()
+            .map(|&(t, c)| (t, c / baseline_cost))
+            .collect()
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialization is infallible")
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the report as pretty JSON to `dir/name`, creating the
+    /// directory — the one machine-readable format every experiment
+    /// emits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, dir: &Path, name: &str) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        std::fs::write(&path, self.to_json_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            topology: "canonical-tree".into(),
+            policy: "hlf".into(),
+            cost_series: vec![(0.0, 100.0), (5.0, 80.0), (10.0, 50.0)],
+            initial_cost: 100.0,
+            final_cost: 50.0,
+            migrations: vec![
+                MigrationEvent {
+                    time_s: 1.0,
+                    vm: VmId::new(3),
+                    from: ServerId::new(0),
+                    to: ServerId::new(1),
+                    gain: 20.0,
+                    bytes: 1e8,
+                    duration_s: 3.0,
+                    downtime_s: 0.01,
+                },
+                MigrationEvent {
+                    time_s: 2.0,
+                    vm: VmId::new(5),
+                    from: ServerId::new(1),
+                    to: ServerId::new(2),
+                    gain: 30.0,
+                    bytes: 2e8,
+                    duration_s: 4.0,
+                    downtime_s: 0.02,
+                },
+            ],
+            iterations: vec![IterationStats {
+                steps: 8,
+                migrations: 2,
+                total_gain: 50.0,
+            }],
+            migration_ratios: vec![0.25],
+            token_holds: 8,
+            link_utilization: UtilizationSnapshot {
+                core: vec![0.1, 0.2],
+                aggregation: vec![0.05],
+                edge: vec![0.01],
+            },
+            flow_table: FlowTableOps {
+                aggregations: 8,
+                rule_updates: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = sample_report();
+        assert_eq!(r.total_migration_bytes(), 3e8);
+        assert!((r.total_downtime_s() - 0.03).abs() < 1e-12);
+        assert!((r.cost_reduction() - 0.5).abs() < 1e-12);
+        assert_eq!(r.flow_table.total(), 12);
+        // Overlapping migrations: [1,4) and [2,6) overlap.
+        assert_eq!(r.max_concurrent_migrations(), 2);
+        let stats = r.hypervisor_stats(3);
+        assert_eq!(stats[1].in_migrations, 1);
+        assert_eq!(stats[1].out_migrations, 1);
+    }
+
+    #[test]
+    fn ratio_series_normalises() {
+        let r = sample_report();
+        let ratios = r.ratio_series(50.0);
+        assert_eq!(ratios.last().unwrap().1, 1.0);
+        assert_eq!(ratios[0].1, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline cost must be positive")]
+    fn ratio_series_rejects_zero_baseline() {
+        let _ = sample_report().ratio_series(0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample_report();
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let back = RunReport::from_json(&r.to_json_pretty()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("score_report_test");
+        let r = sample_report();
+        let path = r.write_json(&dir, "run.json").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(RunReport::from_json(&text).unwrap(), r);
+        std::fs::remove_file(path).ok();
+    }
+}

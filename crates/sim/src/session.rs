@@ -1,0 +1,628 @@
+//! A [`Session`] is a materialized, running scenario: the cluster, the
+//! token ring (policy selected at runtime), the discrete-event clock and
+//! the report accumulators, advanced by [`Session::step`] /
+//! [`Session::run`] / [`Session::run_to_horizon`] and observed through
+//! [`Session::report`].
+//!
+//! The simulated-time semantics are the paper's §VI setup: each token
+//! hold costs decision time, token passing costs network latency, and
+//! every accepted migration samples the pre-copy model for its duration,
+//! bytes and downtime (the wall-clock x-axis of Fig. 3d–i and Fig. 4b).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use score_core::{Cluster, CostModel, IterationStats, ScoreEngine, StepOutcome, TokenRing};
+use score_topology::{Topology, VmId};
+use score_traffic::{CbrLoad, PairTraffic};
+use score_xen::PreCopyModel;
+
+use crate::events::{EventQueue, SimEvent};
+use crate::metrics::UtilizationSnapshot;
+use crate::report::{FlowTableOps, MigrationEvent, RunReport};
+use crate::spec::{Scenario, ScenarioError};
+use std::sync::Arc;
+
+/// One phase of a dynamic workload: a traffic pattern active for a
+/// duration.
+#[derive(Debug, Clone)]
+pub struct TrafficPhase {
+    /// How long this phase lasts, seconds.
+    pub duration_s: f64,
+    /// The pairwise loads during the phase.
+    pub traffic: PairTraffic,
+}
+
+/// A running S-CORE experiment (see the module docs).
+#[derive(Debug)]
+pub struct Session {
+    scenario: Scenario,
+    topo: Arc<dyn Topology>,
+    traffic: PairTraffic,
+    cluster: Cluster,
+    model: CostModel,
+    ring: TokenRing,
+    precopy: PreCopyModel,
+    background: CbrLoad,
+    rng: StdRng,
+    queue: EventQueue,
+    horizon_s: f64,
+    finished: bool,
+    initial_cost: f64,
+    cost_series: Vec<(f64, f64)>,
+    migrations: Vec<MigrationEvent>,
+    iterations: Vec<IterationStats>,
+    current_iter: IterationStats,
+    token_holds: usize,
+}
+
+impl Session {
+    /// Builds the session from a scenario plus an already-materialized
+    /// fabric and workload (called by [`Scenario::session`] /
+    /// [`Scenario::session_with`]).
+    pub(crate) fn materialize(
+        scenario: Scenario,
+        topo: Arc<dyn Topology>,
+        traffic: PairTraffic,
+    ) -> Result<Self, ScenarioError> {
+        scenario.timing.validate()?;
+        scenario.engine.validate()?;
+        let server_spec = score_core::ServerSpec::paper_default();
+        let capacity = topo.num_servers() as u64 * u64::from(server_spec.vm_slots);
+        if u64::from(traffic.num_vms()) > capacity {
+            return Err(ScenarioError::Placement(format!(
+                "{} VMs exceed {} servers x {} slots",
+                traffic.num_vms(),
+                topo.num_servers(),
+                server_spec.vm_slots
+            )));
+        }
+        let alloc = scenario.placement.build(
+            traffic.num_vms(),
+            topo.num_servers() as u32,
+            server_spec.vm_slots,
+            scenario.workload.seed(),
+        );
+        let cluster = Cluster::new(
+            Arc::clone(&topo),
+            server_spec,
+            score_core::VmSpec::paper_default(),
+            &traffic,
+            alloc,
+        )?;
+        let model = CostModel::new(scenario.engine.weights());
+        let engine = ScoreEngine::new(model.clone(), scenario.engine.score());
+        let ring = TokenRing::with_boxed(
+            engine,
+            scenario.policy.build(scenario.seed),
+            traffic.num_vms(),
+        );
+        let precopy = PreCopyModel::new(scenario.engine.precopy());
+        let background = scenario.engine.background();
+        let rng = StdRng::seed_from_u64(scenario.seed);
+        let initial_cost = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+
+        let mut session = Session {
+            horizon_s: scenario.timing.t_end_s,
+            scenario,
+            topo,
+            traffic,
+            cluster,
+            model,
+            ring,
+            precopy,
+            background,
+            rng,
+            queue: EventQueue::new(),
+            finished: false,
+            initial_cost,
+            cost_series: Vec::new(),
+            migrations: Vec::new(),
+            iterations: Vec::new(),
+            current_iter: IterationStats {
+                steps: 0,
+                migrations: 0,
+                total_gain: 0.0,
+            },
+            token_holds: 0,
+        };
+        session.prime_queue();
+        Ok(session)
+    }
+
+    fn prime_queue(&mut self) {
+        self.queue.schedule_at(self.queue.now_s(), SimEvent::Sample);
+        self.queue.schedule_in(
+            self.scenario.timing.token_hold_s.max(1e-6),
+            SimEvent::TokenArrive {
+                vm: self.ring.holder().unwrap_or(VmId::new(0)),
+            },
+        );
+        self.queue.schedule_at(self.horizon_s, SimEvent::End);
+    }
+
+    /// The scenario this session materializes.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The fabric.
+    pub fn topo(&self) -> &Arc<dyn Topology> {
+        &self.topo
+    }
+
+    /// The pairwise VM traffic currently offered.
+    pub fn traffic(&self) -> &PairTraffic {
+        &self.traffic
+    }
+
+    /// The cluster state.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (for baselines like Remedy operating on
+    /// the same materialized instance).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Mutable cluster access together with the traffic it serves
+    /// (borrow-friendly form for `baseline.run(cluster, traffic)`).
+    pub fn split_mut(&mut self) -> (&mut Cluster, &PairTraffic) {
+        (&mut self.cluster, &self.traffic)
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.queue.now_s()
+    }
+
+    /// Eq.-(2) cost of the placement at materialization time.
+    pub fn initial_cost(&self) -> f64 {
+        self.initial_cost
+    }
+
+    /// Eq.-(2) cost of the current placement.
+    pub fn current_cost(&self) -> f64 {
+        self.model.total_cost(
+            self.cluster.allocation(),
+            &self.traffic,
+            self.cluster.topo(),
+        )
+    }
+
+    /// True once the simulation horizon has been reached.
+    pub fn horizon_reached(&self) -> bool {
+        self.finished
+    }
+
+    /// Advances simulated time until one token hold completes, returning
+    /// its outcome. Returns `None` once the horizon is reached (or the
+    /// ring has no holder left).
+    pub fn step(&mut self) -> Option<StepOutcome> {
+        if self.finished {
+            return None;
+        }
+        while let Some((t, event)) = self.queue.pop() {
+            match event {
+                SimEvent::End => {
+                    self.finished = true;
+                    return None;
+                }
+                SimEvent::Sample => {
+                    let cost = self.current_cost();
+                    self.cost_series.push((t, cost));
+                    let next = t + self.scenario.timing.sample_interval_s;
+                    if next <= self.horizon_s {
+                        self.queue
+                            .schedule_in(self.scenario.timing.sample_interval_s, SimEvent::Sample);
+                    }
+                }
+                SimEvent::MigrationComplete { .. } => {
+                    // The allocation already switched at decision time; the
+                    // completion event only orders bookkeeping for
+                    // consumers interested in in-flight counts.
+                }
+                SimEvent::TokenArrive { vm: _ } => {
+                    let Some(outcome) = self.ring.step(&mut self.cluster, &self.traffic) else {
+                        continue;
+                    };
+                    self.token_holds += 1;
+                    self.current_iter.steps += 1;
+                    if let Some(target) = outcome.decision.target {
+                        let sample = self.precopy.migrate(self.background, &mut self.rng);
+                        self.migrations.push(MigrationEvent {
+                            time_s: t,
+                            vm: outcome.holder,
+                            from: outcome.source,
+                            to: target,
+                            gain: outcome.decision.gain,
+                            bytes: sample.migrated_bytes,
+                            duration_s: sample.total_time_s,
+                            downtime_s: sample.downtime_s,
+                        });
+                        self.current_iter.migrations += 1;
+                        self.current_iter.total_gain += outcome.decision.gain;
+                        self.queue.schedule_in(
+                            sample.total_time_s,
+                            SimEvent::MigrationComplete {
+                                vm: outcome.holder,
+                                to: target,
+                                sample,
+                            },
+                        );
+                    }
+                    if self.current_iter.steps as u32 >= self.traffic.num_vms() {
+                        self.iterations.push(self.current_iter);
+                        self.current_iter = IterationStats {
+                            steps: 0,
+                            migrations: 0,
+                            total_gain: 0.0,
+                        };
+                    }
+                    if let Some(next) = outcome.next {
+                        self.queue.schedule_in(
+                            self.scenario.timing.token_hold_s + self.scenario.timing.token_pass_s,
+                            SimEvent::TokenArrive { vm: next },
+                        );
+                    }
+                    return Some(outcome);
+                }
+            }
+        }
+        self.finished = true;
+        None
+    }
+
+    /// Runs `iterations` full iterations (each `|V|` token holds, the
+    /// paper's unit of progress), stopping early at the horizon. Returns
+    /// the per-iteration statistics newly completed during this call.
+    pub fn run(&mut self, iterations: usize) -> Vec<IterationStats> {
+        let start = self.iterations.len();
+        let goal = start + iterations;
+        while self.iterations.len() < goal && self.step().is_some() {}
+        self.iterations[start..].to_vec()
+    }
+
+    /// Runs until the simulation horizon.
+    pub fn run_to_horizon(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Takes the unified report of everything run so far. Can be called
+    /// at any point (before, during, after the horizon); the final cost
+    /// and the link-utilization snapshot reflect the current placement.
+    pub fn report(&self) -> RunReport {
+        let mut iterations = self.iterations.clone();
+        if self.current_iter.steps > 0 {
+            iterations.push(self.current_iter);
+        }
+        let migration_ratios = iterations
+            .iter()
+            .map(IterationStats::migration_ratio)
+            .collect();
+        RunReport {
+            topology: self.topo.name().to_string(),
+            policy: self.scenario.policy.name().to_string(),
+            cost_series: self.cost_series.clone(),
+            initial_cost: self.initial_cost,
+            final_cost: self.current_cost(),
+            migrations: self.migrations.clone(),
+            iterations,
+            migration_ratios,
+            token_holds: self.token_holds,
+            link_utilization: UtilizationSnapshot::capture(&self.cluster, &self.traffic),
+            flow_table: FlowTableOps {
+                aggregations: self.token_holds as u64,
+                rule_updates: 2 * self.migrations.len() as u64,
+            },
+        }
+    }
+
+    /// Rebinds the session to a new traffic pattern and a fresh
+    /// sub-horizon, keeping the current allocation: clock, queue, ring
+    /// and accumulators restart, the cluster carries over. This is the
+    /// paper's "always-on" TM shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Cluster`] if the current allocation is
+    /// infeasible under the new traffic's bandwidth demands.
+    pub fn rebind_traffic(
+        &mut self,
+        traffic: PairTraffic,
+        duration_s: f64,
+        seed: u64,
+    ) -> Result<(), ScenarioError> {
+        let alloc = self.cluster.allocation().clone();
+        self.cluster = Cluster::new(
+            Arc::clone(&self.topo),
+            *self.cluster.server_spec(),
+            score_core::VmSpec::paper_default(),
+            &traffic,
+            alloc,
+        )?;
+        self.traffic = traffic;
+        let engine = ScoreEngine::new(self.model.clone(), self.scenario.engine.score());
+        self.ring = TokenRing::with_boxed(
+            engine,
+            self.scenario.policy.build(seed),
+            self.traffic.num_vms(),
+        );
+        self.rng = StdRng::seed_from_u64(seed);
+        self.queue = EventQueue::new();
+        self.horizon_s = duration_s;
+        self.finished = false;
+        self.initial_cost = self.current_cost();
+        self.cost_series.clear();
+        self.migrations.clear();
+        self.iterations.clear();
+        self.current_iter = IterationStats {
+            steps: 0,
+            migrations: 0,
+            total_gain: 0.0,
+        };
+        self.token_holds = 0;
+        self.prime_queue();
+        Ok(())
+    }
+
+    /// Runs S-CORE across a sequence of traffic phases — when the TM
+    /// shifts, the token keeps circulating and the allocation
+    /// re-converges to the new pattern. Returns one report per phase;
+    /// the cluster state carries over between phases (time axes restart
+    /// per phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if a phase's traffic cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn run_phases(&mut self, phases: &[TrafficPhase]) -> Result<Vec<RunReport>, ScenarioError> {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let base_seed = self.scenario.seed;
+        phases
+            .iter()
+            .enumerate()
+            .map(|(i, phase)| {
+                self.rebind_traffic(
+                    phase.traffic.clone(),
+                    phase.duration_s,
+                    base_seed.wrapping_add(i as u64),
+                )?;
+                self.run_to_horizon();
+                Ok(self.report())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PolicyKind, Scenario, TimingSpec};
+    use score_traffic::{TrafficIntensity, WorkloadConfig};
+
+    fn quick_scenario(policy: PolicyKind, seed: u64) -> Scenario {
+        let mut s = Scenario::small_canonical(TrafficIntensity::Sparse, seed);
+        s.policy = policy;
+        s.timing = TimingSpec {
+            t_end_s: 120.0,
+            sample_interval_s: 5.0,
+            token_hold_s: 0.05,
+            token_pass_s: 0.01,
+        };
+        s
+    }
+
+    #[test]
+    fn simulation_reduces_cost_over_time() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 1).session().unwrap();
+        session.run_to_horizon();
+        let report = session.report();
+        assert!(report.final_cost < report.initial_cost);
+        // Series is non-increasing (S-CORE never performs a bad move).
+        for w in report.cost_series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6);
+        }
+        assert!(report.token_holds > 0);
+        assert!(!report.migrations.is_empty());
+        assert!(session.horizon_reached());
+        assert!(session.step().is_none(), "no steps past the horizon");
+    }
+
+    #[test]
+    fn iteration_stats_group_by_population() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 2).session().unwrap();
+        let vms = session.cluster().num_vms() as usize;
+        session.run_to_horizon();
+        let report = session.report();
+        for (i, it) in report.iterations.iter().enumerate() {
+            if i + 1 < report.iterations.len() {
+                assert_eq!(it.steps, vms, "full iterations cover the population");
+            }
+        }
+        assert_eq!(report.migration_ratios.len(), report.iterations.len());
+    }
+
+    #[test]
+    fn run_n_iterations_is_incremental() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 3).session().unwrap();
+        let first = session.run(1);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].steps, session.cluster().num_vms() as usize);
+        let second = session.run(2);
+        assert_eq!(second.len(), 2);
+        assert_eq!(session.report().iterations.len(), 3);
+        // The cost after explicit iterations matches the accumulator.
+        assert!(session.current_cost() <= session.initial_cost());
+    }
+
+    #[test]
+    fn hlf_and_rr_both_converge() {
+        for policy in PolicyKind::paper_policies() {
+            let mut session = quick_scenario(policy, 3).session().unwrap();
+            session.run_to_horizon();
+            let report = session.report();
+            assert!(
+                report.final_cost < report.initial_cost,
+                "{} must improve the initial placement",
+                policy.name()
+            );
+            assert_eq!(report.policy, policy.name());
+        }
+    }
+
+    #[test]
+    fn migration_events_have_sane_overheads() {
+        let mut session = quick_scenario(PolicyKind::HighestLevelFirst, 4)
+            .session()
+            .unwrap();
+        session.run_to_horizon();
+        let report = session.report();
+        for m in &report.migrations {
+            assert!(m.gain > 0.0);
+            assert!(m.bytes > 50e6 && m.bytes < 200e6);
+            assert!(m.duration_s > 1.0 && m.duration_s < 15.0);
+            assert!(m.downtime_s < 0.05);
+        }
+        assert!(report.total_migration_bytes() > 0.0);
+        assert!(report.total_downtime_s() > 0.0);
+        assert_eq!(report.flow_table.aggregations, report.token_holds as u64);
+        assert_eq!(
+            report.flow_table.rule_updates,
+            2 * report.migrations.len() as u64
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut session = quick_scenario(PolicyKind::HighestLevelFirst, 6)
+                .session()
+                .unwrap();
+            session.run_to_horizon();
+            session.report()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_cost, b.final_cost);
+        assert_eq!(a.migrations.len(), b.migrations.len());
+        assert_eq!(a.token_holds, b.token_holds);
+        assert_eq!(a, b, "the full report must be identical under a fixed seed");
+    }
+
+    #[test]
+    fn hypervisor_stats_balance() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 11)
+            .session()
+            .unwrap();
+        let servers = session.topo().num_servers();
+        session.run_to_horizon();
+        let report = session.report();
+        let stats = report.hypervisor_stats(servers);
+        let ins: u32 = stats.iter().map(|s| s.in_migrations).sum();
+        let outs: u32 = stats.iter().map(|s| s.out_migrations).sum();
+        assert_eq!(ins as usize, report.migrations.len());
+        assert_eq!(outs as usize, report.migrations.len());
+        if !report.migrations.is_empty() {
+            assert!(report.max_concurrent_migrations() >= 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_phases_readapt() {
+        // Phase 1: workload A; phase 2: a fresh workload B over the same
+        // population. S-CORE must re-converge after the shift.
+        let mut session = quick_scenario(PolicyKind::HighestLevelFirst, 8)
+            .session()
+            .unwrap();
+        let num_vms = session.traffic().num_vms();
+        let traffic_a = session.traffic().clone();
+        let traffic_b = WorkloadConfig::new(num_vms, 999).generate();
+        let phases = vec![
+            TrafficPhase {
+                duration_s: 120.0,
+                traffic: traffic_a,
+            },
+            TrafficPhase {
+                duration_s: 120.0,
+                traffic: traffic_b,
+            },
+        ];
+        let reports = session.run_phases(&phases).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].final_cost < reports[0].initial_cost);
+        // The shift leaves the allocation mismatched to workload B; the
+        // second phase finds new migrations and improves again.
+        assert!(
+            reports[1].migrations.len() > 3,
+            "must re-adapt after the TM shift"
+        );
+        assert!(reports[1].final_cost < reports[1].initial_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn dynamic_requires_phases() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 9).session().unwrap();
+        let _ = session.run_phases(&[]);
+    }
+
+    #[test]
+    fn stability_no_oscillation_under_static_traffic() {
+        // VM stability (paper §VI-B): once converged, no VM keeps
+        // bouncing.
+        let mut scenario = quick_scenario(PolicyKind::RoundRobin, 10);
+        scenario.timing.t_end_s = 250.0;
+        let mut session = scenario.session().unwrap();
+        session.run_to_horizon();
+        let report = session.report();
+        let mut per_vm = std::collections::HashMap::new();
+        for m in &report.migrations {
+            *per_vm.entry(m.vm).or_insert(0usize) += 1;
+        }
+        let max_moves = per_vm.values().copied().max().unwrap_or(0);
+        assert!(
+            max_moves <= 4,
+            "a VM migrated {max_moves} times under static traffic"
+        );
+        let late = report
+            .migrations
+            .iter()
+            .filter(|m| m.time_s > 200.0)
+            .count();
+        assert_eq!(late, 0, "migrations continued after convergence");
+    }
+
+    #[test]
+    fn report_mid_run_then_final() {
+        let mut session = quick_scenario(PolicyKind::HighestLevelFirst, 12)
+            .session()
+            .unwrap();
+        session.run(1);
+        let mid = session.report();
+        assert_eq!(mid.iterations.len(), 1);
+        session.run_to_horizon();
+        let fin = session.report();
+        assert!(fin.token_holds >= mid.token_holds);
+        assert!(fin.final_cost <= mid.final_cost + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_placement_is_an_error() {
+        // 20 VMs per host cannot fit 16 slots.
+        let scenario = Scenario::builder().vms_per_host(20.0).build();
+        assert!(matches!(
+            scenario.session(),
+            Err(ScenarioError::Placement(_))
+        ));
+    }
+}

@@ -1,0 +1,997 @@
+//! The declarative experiment API: a [`Scenario`] is a fully
+//! serde-round-trippable description of one S-CORE experiment — fabric,
+//! workload, initial placement, token policy, decision engine, and
+//! timing — with nothing materialized yet.
+//!
+//! `Scenario` is the single entry point for every experiment binary,
+//! example, bench and test in this repository: declare the scenario
+//! (by builder, preset, or JSON), then [`Scenario::session`] it into a
+//! running [`crate::Session`]. Because the spec is plain data, a sweep
+//! over policies × topologies × intensities is a loop over values, and
+//! any run can be reproduced from its serialized spec alone.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use score_baselines::{packed_placement, random_placement, striped_placement};
+use score_core::{Allocation, ClusterError, ScoreConfig, TokenPolicy};
+use score_topology::{CanonicalTreeBuilder, FatTreeBuilder, LinkWeights, StarTopology, Topology};
+use score_traffic::{CbrLoad, PairTraffic, TrafficIntensity, WorkloadConfig};
+use score_xen::PreCopyConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::session::Session;
+
+/// Which family of DC fabric a scenario runs on (CSV columns, file
+/// names, figure selection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Canonical layered tree (paper Fig. 1a).
+    CanonicalTree,
+    /// k-ary fat-tree (paper Fig. 1b).
+    FatTree,
+    /// Single-switch star (degenerate baseline fabric).
+    Star,
+}
+
+impl TopologyKind {
+    /// Lowercase name for CSV columns and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::CanonicalTree => "canonical-tree",
+            TopologyKind::FatTree => "fat-tree",
+            TopologyKind::Star => "star",
+        }
+    }
+}
+
+/// Errors materializing a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The topology dimensions are invalid (zero counts, odd `k`, …).
+    Topology(String),
+    /// The requested placement cannot be represented.
+    Placement(String),
+    /// The timing parameters are unusable (non-finite, non-positive
+    /// horizon/interval, negative delays).
+    Timing(String),
+    /// The engine parameters are unusable (non-finite decision costs).
+    Engine(String),
+    /// Building the cluster failed (capacity violated by the placement).
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Topology(msg) => write!(f, "invalid topology spec: {msg}"),
+            ScenarioError::Placement(msg) => write!(f, "invalid placement spec: {msg}"),
+            ScenarioError::Timing(msg) => write!(f, "invalid timing spec: {msg}"),
+            ScenarioError::Engine(msg) => write!(f, "invalid engine spec: {msg}"),
+            ScenarioError::Cluster(e) => write!(f, "cluster construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ClusterError> for ScenarioError {
+    fn from(e: ClusterError) -> Self {
+        ScenarioError::Cluster(e)
+    }
+}
+
+/// Declarative fabric description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Canonical layered tree (paper Fig. 1a).
+    CanonicalTree {
+        /// Number of racks.
+        racks: u32,
+        /// Hosts per rack.
+        hosts_per_rack: u32,
+        /// Racks per aggregation switch.
+        racks_per_agg: u32,
+        /// Core switches.
+        cores: u32,
+    },
+    /// k-ary fat-tree (paper Fig. 1b).
+    FatTree {
+        /// Fat-tree arity (must be even and positive).
+        k: u32,
+    },
+    /// Single-switch star.
+    Star {
+        /// Number of hosts on the switch.
+        hosts: u32,
+    },
+}
+
+impl TopologySpec {
+    /// The fabric family.
+    pub fn kind(&self) -> TopologyKind {
+        match self {
+            TopologySpec::CanonicalTree { .. } => TopologyKind::CanonicalTree,
+            TopologySpec::FatTree { .. } => TopologyKind::FatTree,
+            TopologySpec::Star { .. } => TopologyKind::Star,
+        }
+    }
+
+    /// Lowercase fabric name.
+    pub fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Canonical tree with derived aggregation grouping: racks per
+    /// aggregation switch is the largest divisor of `racks` no bigger
+    /// than a quarter of them (so the spec always materializes), with
+    /// 2 cores. The one shared derivation for builder and CLI defaults.
+    pub fn canonical(racks: u32, hosts_per_rack: u32) -> Self {
+        let target = (racks / 4).max(1);
+        let racks_per_agg = (1..=target)
+            .rev()
+            .find(|d| racks.is_multiple_of(*d))
+            .unwrap_or(1);
+        TopologySpec::CanonicalTree {
+            racks,
+            hosts_per_rack,
+            racks_per_agg,
+            cores: 2,
+        }
+    }
+
+    /// Scaled-down canonical tree (32 racks × 5 hosts) preserving the
+    /// paper's structure at CI-friendly size.
+    pub fn small_canonical() -> Self {
+        TopologySpec::CanonicalTree {
+            racks: 32,
+            hosts_per_rack: 5,
+            racks_per_agg: 8,
+            cores: 2,
+        }
+    }
+
+    /// The paper's full-scale canonical tree: 128 racks × 20 hosts
+    /// (2560 servers).
+    pub fn paper_canonical() -> Self {
+        TopologySpec::CanonicalTree {
+            racks: 128,
+            hosts_per_rack: 20,
+            racks_per_agg: 16,
+            cores: 2,
+        }
+    }
+
+    /// Scaled-down fat-tree (k = 8: 128 hosts).
+    pub fn small_fattree() -> Self {
+        TopologySpec::FatTree { k: 8 }
+    }
+
+    /// The paper's full-scale fat-tree: k = 16 (1024 hosts).
+    pub fn paper_fattree() -> Self {
+        TopologySpec::FatTree { k: 16 }
+    }
+
+    /// Materializes the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Topology`] when the dimensions are
+    /// invalid.
+    pub fn build(&self) -> Result<Arc<dyn Topology>, ScenarioError> {
+        match *self {
+            TopologySpec::CanonicalTree {
+                racks,
+                hosts_per_rack,
+                racks_per_agg,
+                cores,
+            } => CanonicalTreeBuilder::new()
+                .racks(racks)
+                .hosts_per_rack(hosts_per_rack)
+                .racks_per_agg(racks_per_agg)
+                .cores(cores)
+                .build()
+                .map(|t| Arc::new(t) as Arc<dyn Topology>)
+                .map_err(|e| ScenarioError::Topology(e.to_string())),
+            TopologySpec::FatTree { k } => FatTreeBuilder::new()
+                .k(k)
+                .build()
+                .map(|t| Arc::new(t) as Arc<dyn Topology>)
+                .map_err(|e| ScenarioError::Topology(e.to_string())),
+            TopologySpec::Star { hosts } => {
+                if hosts == 0 {
+                    return Err(ScenarioError::Topology(
+                        "star needs at least one host".into(),
+                    ));
+                }
+                Ok(Arc::new(StarTopology::new(hosts, 1e9)))
+            }
+        }
+    }
+}
+
+/// Declarative workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The paper's clustered synthetic workload, sized relative to the
+    /// fabric (`vms_per_host × servers` VMs).
+    Synthetic {
+        /// Workload intensity (sparse / medium / dense TM).
+        intensity: TrafficIntensity,
+        /// Mean VMs per host (the paper packs up to 16).
+        vms_per_host: f64,
+        /// RNG seed for workload generation.
+        seed: u64,
+    },
+    /// The same synthetic workload over an explicit VM population,
+    /// independent of fabric size.
+    FixedVms {
+        /// Workload intensity.
+        intensity: TrafficIntensity,
+        /// VM population.
+        num_vms: u32,
+        /// RNG seed for workload generation.
+        seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The workload's RNG seed.
+    pub fn seed(&self) -> u64 {
+        match *self {
+            WorkloadSpec::Synthetic { seed, .. } | WorkloadSpec::FixedVms { seed, .. } => seed,
+        }
+    }
+
+    /// The workload intensity.
+    pub fn intensity(&self) -> TrafficIntensity {
+        match *self {
+            WorkloadSpec::Synthetic { intensity, .. }
+            | WorkloadSpec::FixedVms { intensity, .. } => intensity,
+        }
+    }
+
+    /// Number of VMs the workload instantiates on `topo`.
+    pub fn num_vms(&self, topo: &dyn Topology) -> u32 {
+        match *self {
+            WorkloadSpec::Synthetic { vms_per_host, .. } => {
+                ((topo.num_servers() as f64) * vms_per_host).round() as u32
+            }
+            WorkloadSpec::FixedVms { num_vms, .. } => num_vms,
+        }
+    }
+
+    /// Generates the pairwise VM traffic for `topo`.
+    pub fn generate(&self, topo: &dyn Topology) -> PairTraffic {
+        WorkloadConfig::new(self.num_vms(topo), self.seed())
+            .with_intensity(self.intensity())
+            .generate()
+    }
+}
+
+/// Declarative initial-placement description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementSpec {
+    /// Uniform-random placement honouring slot limits (the paper's
+    /// traffic-agnostic initial placement). The RNG derives from the
+    /// workload seed xor `salt`, so the same scenario always places the
+    /// same way.
+    Random {
+        /// Extra entropy folded into the placement RNG.
+        salt: u64,
+    },
+    /// Round-robin stripe: VM `v` on server `v mod N`.
+    Striped,
+    /// Fill servers in id order up to their slot limit.
+    Packed,
+}
+
+impl PlacementSpec {
+    /// The paper's default: random placement with no extra salt.
+    pub fn random() -> Self {
+        PlacementSpec::Random { salt: 0 }
+    }
+
+    /// Builds the VM→server assignment.
+    pub fn build(
+        &self,
+        num_vms: u32,
+        num_servers: u32,
+        slots_per_server: u32,
+        workload_seed: u64,
+    ) -> Allocation {
+        match *self {
+            PlacementSpec::Random { salt } => {
+                let mut rng = StdRng::seed_from_u64(workload_seed ^ salt ^ 0x9e37_79b9_7f4a_7c15);
+                random_placement(num_vms, num_servers, slots_per_server, &mut rng)
+            }
+            PlacementSpec::Striped => striped_placement(num_vms, num_servers, slots_per_server),
+            PlacementSpec::Packed => packed_placement(num_vms, num_servers, slots_per_server),
+        }
+    }
+}
+
+/// Token policy selector for configuration files and CSV columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Round-Robin (§V-A1).
+    RoundRobin,
+    /// Highest-Level-First (§V-A2, Algorithm 1).
+    HighestLevelFirst,
+    /// Highest-Cost-First (TR-2013-338-inspired extension).
+    HighestCostFirst,
+    /// Uniform random (ablation).
+    Random,
+}
+
+/// Spec-style alias for [`PolicyKind`] — the policy member of a
+/// [`Scenario`] alongside `TopologySpec`/`WorkloadSpec`/etc.
+pub type PolicySpec = PolicyKind;
+
+impl PolicyKind {
+    /// Lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "rr",
+            PolicyKind::HighestLevelFirst => "hlf",
+            PolicyKind::HighestCostFirst => "hcf",
+            PolicyKind::Random => "random",
+        }
+    }
+
+    /// Instantiates the policy (runtime selection — the ring holds the
+    /// policy behind `dyn TokenPolicy`).
+    pub fn build(self, seed: u64) -> Box<dyn TokenPolicy> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(score_core::RoundRobin::new()),
+            PolicyKind::HighestLevelFirst => Box::new(score_core::HighestLevelFirst::new()),
+            PolicyKind::HighestCostFirst => Box::new(score_core::HighestCostFirst::paper_default()),
+            PolicyKind::Random => Box::new(score_core::RandomNext::new(seed)),
+        }
+    }
+
+    /// Both paper policies.
+    pub fn paper_policies() -> [PolicyKind; 2] {
+        [PolicyKind::HighestLevelFirst, PolicyKind::RoundRobin]
+    }
+
+    /// Every implemented policy (paper pair + extensions/ablations).
+    pub fn all() -> [PolicyKind; 4] {
+        [
+            PolicyKind::HighestLevelFirst,
+            PolicyKind::RoundRobin,
+            PolicyKind::HighestCostFirst,
+            PolicyKind::Random,
+        ]
+    }
+}
+
+/// Declarative decision-engine description: the S-CORE parameters plus
+/// the migration-overhead model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineSpec {
+    /// The paper's evaluation defaults (`c_m = 0`, `e^ℓ` link weights,
+    /// testbed-calibrated pre-copy, idle background load).
+    Paper,
+    /// Fully explicit parameters.
+    Custom {
+        /// S-CORE decision parameters (`c_m`, bandwidth threshold).
+        score: ScoreConfig,
+        /// Per-level link weights of the cost model.
+        weights: LinkWeights,
+        /// Pre-copy model for migration overheads.
+        precopy: PreCopyConfig,
+        /// Background load seen by migration traffic.
+        background: CbrLoad,
+    },
+}
+
+impl EngineSpec {
+    /// An explicit spec initialized to the paper defaults (convenient
+    /// starting point for overrides).
+    pub fn custom() -> Self {
+        EngineSpec::Custom {
+            score: ScoreConfig::paper_default(),
+            weights: LinkWeights::paper_default(),
+            precopy: PreCopyConfig::paper_default(),
+            background: CbrLoad::IDLE,
+        }
+    }
+
+    /// The S-CORE decision parameters.
+    pub fn score(&self) -> ScoreConfig {
+        match self {
+            EngineSpec::Paper => ScoreConfig::paper_default(),
+            EngineSpec::Custom { score, .. } => *score,
+        }
+    }
+
+    /// The cost-model link weights.
+    pub fn weights(&self) -> LinkWeights {
+        match self {
+            EngineSpec::Paper => LinkWeights::paper_default(),
+            EngineSpec::Custom { weights, .. } => weights.clone(),
+        }
+    }
+
+    /// The pre-copy migration model parameters.
+    pub fn precopy(&self) -> PreCopyConfig {
+        match self {
+            EngineSpec::Paper => PreCopyConfig::paper_default(),
+            EngineSpec::Custom { precopy, .. } => *precopy,
+        }
+    }
+
+    /// The background load migrations compete with.
+    pub fn background(&self) -> CbrLoad {
+        match self {
+            EngineSpec::Paper => CbrLoad::IDLE,
+            EngineSpec::Custom { background, .. } => *background,
+        }
+    }
+
+    /// Returns a copy with the given migration cost `c_m` (Theorem 1's
+    /// knob), promoting `Paper` to `Custom`.
+    pub fn with_migration_cost(self, cm: f64) -> Self {
+        let (mut score, weights, precopy, background) = (
+            self.score(),
+            self.weights(),
+            self.precopy(),
+            self.background(),
+        );
+        score.migration_cost = cm;
+        EngineSpec::Custom {
+            score,
+            weights,
+            precopy,
+            background,
+        }
+    }
+
+    /// Returns a copy with the given cost-model link weights, promoting
+    /// `Paper` to `Custom`.
+    pub fn with_weights(self, weights: LinkWeights) -> Self {
+        let (score, precopy, background) = (self.score(), self.precopy(), self.background());
+        EngineSpec::Custom {
+            score,
+            weights,
+            precopy,
+            background,
+        }
+    }
+
+    /// Checks the invariants a deserialized or flag-built spec might
+    /// violate: the decision parameters must be finite (the JSON writer
+    /// renders non-finite floats as `null`, which would make an emitted
+    /// spec impossible to reload).
+    pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+        let score = self.score();
+        if !score.migration_cost.is_finite() {
+            return Err(ScenarioError::Engine(format!(
+                "migration cost must be finite, got {}",
+                score.migration_cost
+            )));
+        }
+        if !score.bandwidth_threshold.is_finite() {
+            return Err(ScenarioError::Engine(format!(
+                "bandwidth threshold must be finite, got {}",
+                score.bandwidth_threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Timing parameters of a simulated run.
+///
+/// All durations must be finite; the horizon and sampling interval must
+/// be positive and the token delays non-negative
+/// ([`Scenario::session`] validates this before materializing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingSpec {
+    /// Simulation horizon in seconds (the paper plots 700–800 s).
+    pub t_end_s: f64,
+    /// Cost sampling interval in seconds.
+    pub sample_interval_s: f64,
+    /// Time a dom0 holds the token: flow-table aggregation + probes +
+    /// decision.
+    pub token_hold_s: f64,
+    /// Network latency of passing the token to the next dom0.
+    pub token_pass_s: f64,
+}
+
+impl TimingSpec {
+    /// Defaults that let a few thousand token holds fit the paper's
+    /// 700 s horizon.
+    pub fn paper_default() -> Self {
+        TimingSpec {
+            t_end_s: 700.0,
+            sample_interval_s: 5.0,
+            token_hold_s: 0.08,
+            token_pass_s: 0.02,
+        }
+    }
+
+    /// Checks the invariants a deserialized spec might violate: finite
+    /// durations, positive horizon and sampling interval, non-negative
+    /// token delays. A zero sampling interval would spin the event loop
+    /// forever; negative times would panic inside the event queue.
+    pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+        let all_finite = self.t_end_s.is_finite()
+            && self.sample_interval_s.is_finite()
+            && self.token_hold_s.is_finite()
+            && self.token_pass_s.is_finite();
+        if !all_finite {
+            return Err(ScenarioError::Timing("durations must be finite".into()));
+        }
+        if self.t_end_s <= 0.0 {
+            return Err(ScenarioError::Timing(format!(
+                "horizon must be positive, got {}",
+                self.t_end_s
+            )));
+        }
+        if self.sample_interval_s <= 0.0 {
+            return Err(ScenarioError::Timing(format!(
+                "sample interval must be positive, got {}",
+                self.sample_interval_s
+            )));
+        }
+        if self.token_hold_s < 0.0 || self.token_pass_s < 0.0 {
+            return Err(ScenarioError::Timing(format!(
+                "token delays must be non-negative, got hold {} / pass {}",
+                self.token_hold_s, self.token_pass_s
+            )));
+        }
+        if self.token_hold_s + self.token_pass_s <= 0.0 {
+            return Err(ScenarioError::Timing(
+                "token hold + pass must be positive or simulated time never advances".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingSpec {
+    fn default() -> Self {
+        TimingSpec::paper_default()
+    }
+}
+
+/// A complete, serializable experiment description.
+///
+/// # Example
+///
+/// ```
+/// use score_sim::{PolicyKind, Scenario};
+///
+/// let scenario = Scenario::builder()
+///     .fat_tree(4)
+///     .dense_traffic(7)
+///     .policy(PolicyKind::HighestLevelFirst)
+///     .migration_cost(1e8)
+///     .horizon(60.0)
+///     .build();
+/// // Round-trips through JSON …
+/// let json = scenario.to_json();
+/// assert_eq!(Scenario::from_json(&json).unwrap(), scenario);
+/// // … and materializes into a runnable session.
+/// let mut session = scenario.session().unwrap();
+/// session.run_to_horizon();
+/// assert!(session.report().final_cost <= session.report().initial_cost);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Fabric to simulate.
+    pub topology: TopologySpec,
+    /// Workload to offer.
+    pub workload: WorkloadSpec,
+    /// Initial VM placement.
+    pub placement: PlacementSpec,
+    /// Token-passing policy.
+    pub policy: PolicySpec,
+    /// Decision engine and migration-overhead model.
+    pub engine: EngineSpec,
+    /// Simulation timing.
+    pub timing: TimingSpec,
+    /// Master seed for simulation randomness (migration-model noise, the
+    /// random policy). Workload and placement seeds live in their specs.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Starts a builder initialized to the CI-scale canonical tree with a
+    /// sparse workload under HLF and paper parameters.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// Scaled-down canonical-tree scenario (32 racks × 5 hosts, 2 VMs
+    /// per host) preserving the paper's structure at CI-friendly size.
+    pub fn small_canonical(intensity: TrafficIntensity, seed: u64) -> Self {
+        Scenario::builder()
+            .topology(TopologySpec::small_canonical())
+            .intensity(intensity)
+            .workload_seed(seed)
+            .seed(seed)
+            .build()
+    }
+
+    /// Scaled-down fat-tree scenario (k = 8: 128 hosts).
+    pub fn small_fattree(intensity: TrafficIntensity, seed: u64) -> Self {
+        Scenario::builder()
+            .topology(TopologySpec::small_fattree())
+            .intensity(intensity)
+            .workload_seed(seed)
+            .seed(seed)
+            .build()
+    }
+
+    /// The paper's full-scale canonical tree (2560 servers).
+    pub fn paper_canonical(intensity: TrafficIntensity, seed: u64) -> Self {
+        Scenario::builder()
+            .topology(TopologySpec::paper_canonical())
+            .intensity(intensity)
+            .workload_seed(seed)
+            .seed(seed)
+            .build()
+    }
+
+    /// The paper's full-scale fat-tree (k = 16: 1024 hosts).
+    pub fn paper_fattree(intensity: TrafficIntensity, seed: u64) -> Self {
+        Scenario::builder()
+            .topology(TopologySpec::paper_fattree())
+            .intensity(intensity)
+            .workload_seed(seed)
+            .seed(seed)
+            .build()
+    }
+
+    /// Materializes the scenario into a runnable [`Session`]: builds the
+    /// fabric, generates the workload, applies the initial placement and
+    /// validates capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when the topology dimensions are invalid
+    /// or the placement violates capacity.
+    pub fn session(&self) -> Result<Session, ScenarioError> {
+        let topo = self.topology.build()?;
+        let traffic = self.workload.generate(topo.as_ref());
+        Session::materialize(self.clone(), topo, traffic)
+    }
+
+    /// Materializes with an externally built fabric and workload —
+    /// the bring-your-own-topology path (custom `Topology`
+    /// implementations, hand-crafted traffic). Placement, policy, engine
+    /// and timing still come from the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when the placement violates capacity.
+    pub fn session_with(
+        &self,
+        topo: Arc<dyn Topology>,
+        traffic: PairTraffic,
+    ) -> Result<Session, ScenarioError> {
+        Session::materialize(self.clone(), topo, traffic)
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("scenario serialization is infallible")
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serialization is infallible")
+    }
+
+    /// Parses a scenario from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Fluent construction of [`Scenario`]s.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    topology: TopologySpec,
+    intensity: TrafficIntensity,
+    vms_per_host: f64,
+    fixed_vms: Option<u32>,
+    workload_seed: u64,
+    placement: PlacementSpec,
+    policy: PolicySpec,
+    engine: EngineSpec,
+    timing: TimingSpec,
+    seed: u64,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            topology: TopologySpec::small_canonical(),
+            intensity: TrafficIntensity::Sparse,
+            vms_per_host: 2.0,
+            fixed_vms: None,
+            workload_seed: 42,
+            placement: PlacementSpec::random(),
+            policy: PolicyKind::HighestLevelFirst,
+            engine: EngineSpec::Paper,
+            timing: TimingSpec::paper_default(),
+            seed: 42,
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Sets the fabric spec.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = spec;
+        self
+    }
+
+    /// Selects a canonical tree with the given shape (aggregation
+    /// grouping derived by [`TopologySpec::canonical`], 2 cores).
+    pub fn canonical_tree(self, racks: u32, hosts_per_rack: u32) -> Self {
+        self.topology(TopologySpec::canonical(racks, hosts_per_rack))
+    }
+
+    /// Selects a k-ary fat-tree.
+    pub fn fat_tree(self, k: u32) -> Self {
+        self.topology(TopologySpec::FatTree { k })
+    }
+
+    /// Selects a single-switch star.
+    pub fn star(self, hosts: u32) -> Self {
+        self.topology(TopologySpec::Star { hosts })
+    }
+
+    /// Sets the workload intensity.
+    pub fn intensity(mut self, intensity: TrafficIntensity) -> Self {
+        self.intensity = intensity;
+        self
+    }
+
+    /// Sparse workload with the given seed.
+    pub fn sparse_traffic(mut self, seed: u64) -> Self {
+        self.intensity = TrafficIntensity::Sparse;
+        self.workload_seed = seed;
+        self
+    }
+
+    /// Medium workload with the given seed.
+    pub fn medium_traffic(mut self, seed: u64) -> Self {
+        self.intensity = TrafficIntensity::Medium;
+        self.workload_seed = seed;
+        self
+    }
+
+    /// Dense workload with the given seed.
+    pub fn dense_traffic(mut self, seed: u64) -> Self {
+        self.intensity = TrafficIntensity::Dense;
+        self.workload_seed = seed;
+        self
+    }
+
+    /// Sets the mean VMs per host (sizing the synthetic population).
+    pub fn vms_per_host(mut self, vms_per_host: f64) -> Self {
+        self.vms_per_host = vms_per_host;
+        self.fixed_vms = None;
+        self
+    }
+
+    /// Fixes the VM population independently of fabric size.
+    pub fn num_vms(mut self, num_vms: u32) -> Self {
+        self.fixed_vms = Some(num_vms);
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn workload_seed(mut self, seed: u64) -> Self {
+        self.workload_seed = seed;
+        self
+    }
+
+    /// Sets the initial placement.
+    pub fn placement(mut self, placement: PlacementSpec) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the token policy.
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the engine spec wholesale.
+    pub fn engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the migration cost `c_m` (Theorem 1's knob).
+    pub fn migration_cost(mut self, cm: f64) -> Self {
+        self.engine = self.engine.with_migration_cost(cm);
+        self
+    }
+
+    /// Sets the timing spec wholesale.
+    pub fn timing(mut self, timing: TimingSpec) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the simulation horizon in seconds.
+    pub fn horizon(mut self, t_end_s: f64) -> Self {
+        self.timing.t_end_s = t_end_s;
+        self
+    }
+
+    /// Sets the cost sampling interval in seconds.
+    pub fn sample_interval(mut self, interval_s: f64) -> Self {
+        self.timing.sample_interval_s = interval_s;
+        self
+    }
+
+    /// Sets token hold and pass delays in seconds.
+    pub fn token_timing(mut self, hold_s: f64, pass_s: f64) -> Self {
+        self.timing.token_hold_s = hold_s;
+        self.timing.token_pass_s = pass_s;
+        self
+    }
+
+    /// Sets the master simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the scenario.
+    pub fn build(self) -> Scenario {
+        let workload = match self.fixed_vms {
+            Some(num_vms) => WorkloadSpec::FixedVms {
+                intensity: self.intensity,
+                num_vms,
+                seed: self.workload_seed,
+            },
+            None => WorkloadSpec::Synthetic {
+                intensity: self.intensity,
+                vms_per_host: self.vms_per_host,
+                seed: self.workload_seed,
+            },
+        };
+        Scenario {
+            topology: self.topology,
+            workload,
+            placement: self.placement,
+            policy: self.policy,
+            engine: self.engine,
+            timing: self.timing,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_dimensions() {
+        let topo = TopologySpec::paper_canonical().build().unwrap();
+        assert_eq!(topo.num_servers(), 2560);
+        let topo = TopologySpec::paper_fattree().build().unwrap();
+        assert_eq!(topo.num_servers(), 1024);
+        let topo = TopologySpec::small_canonical().build().unwrap();
+        assert_eq!(topo.num_servers(), 160);
+    }
+
+    #[test]
+    fn builder_example_from_issue_shape() {
+        let scenario = Scenario::builder()
+            .fat_tree(4)
+            .dense_traffic(9)
+            .policy(PolicyKind::HighestLevelFirst)
+            .migration_cost(2e8)
+            .build();
+        assert_eq!(scenario.topology, TopologySpec::FatTree { k: 4 });
+        assert_eq!(scenario.workload.intensity(), TrafficIntensity::Dense);
+        assert_eq!(scenario.workload.seed(), 9);
+        assert_eq!(scenario.engine.score().migration_cost, 2e8);
+        // Everything else stays at paper defaults.
+        assert_eq!(scenario.engine.weights(), LinkWeights::paper_default());
+        assert_eq!(scenario.timing, TimingSpec::paper_default());
+    }
+
+    #[test]
+    fn invalid_topologies_are_errors_not_panics() {
+        assert!(matches!(
+            TopologySpec::FatTree { k: 3 }.build(),
+            Err(ScenarioError::Topology(_))
+        ));
+        assert!(matches!(
+            TopologySpec::CanonicalTree {
+                racks: 0,
+                hosts_per_rack: 1,
+                racks_per_agg: 1,
+                cores: 1
+            }
+            .build(),
+            Err(ScenarioError::Topology(_))
+        ));
+        assert!(matches!(
+            TopologySpec::Star { hosts: 0 }.build(),
+            Err(ScenarioError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn workload_sizes_follow_fabric() {
+        let topo = TopologySpec::small_canonical().build().unwrap();
+        let spec = WorkloadSpec::Synthetic {
+            intensity: TrafficIntensity::Sparse,
+            vms_per_host: 2.0,
+            seed: 1,
+        };
+        assert_eq!(spec.num_vms(topo.as_ref()), 320);
+        let fixed = WorkloadSpec::FixedVms {
+            intensity: TrafficIntensity::Sparse,
+            num_vms: 17,
+            seed: 1,
+        };
+        assert_eq!(fixed.num_vms(topo.as_ref()), 17);
+        assert_eq!(fixed.generate(topo.as_ref()).num_vms(), 17);
+    }
+
+    #[test]
+    fn placements_are_deterministic_and_feasible() {
+        for spec in [
+            PlacementSpec::random(),
+            PlacementSpec::Striped,
+            PlacementSpec::Packed,
+        ] {
+            let a = spec.build(64, 16, 16, 7);
+            let b = spec.build(64, 16, 16, 7);
+            assert_eq!(a, b, "{spec:?} must be deterministic");
+            assert!(score_baselines::respects_slots(&a, 16), "{spec:?} must fit");
+        }
+        // Different salts give different random placements.
+        let a = PlacementSpec::Random { salt: 0 }.build(64, 16, 16, 7);
+        let b = PlacementSpec::Random { salt: 1 }.build(64, 16, 16, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn policy_kind_metadata() {
+        assert_eq!(PolicyKind::RoundRobin.name(), "rr");
+        assert_eq!(PolicyKind::HighestLevelFirst.name(), "hlf");
+        assert_eq!(PolicyKind::Random.name(), "random");
+        assert_eq!(PolicyKind::paper_policies().len(), 2);
+        assert_eq!(PolicyKind::all().len(), 4);
+    }
+
+    #[test]
+    fn engine_spec_promotion() {
+        let spec = EngineSpec::Paper.with_migration_cost(5e8);
+        assert_eq!(spec.score().migration_cost, 5e8);
+        assert_eq!(spec.weights(), LinkWeights::paper_default());
+        assert_eq!(
+            EngineSpec::custom(),
+            EngineSpec::Paper.with_migration_cost(0.0)
+        );
+    }
+
+    #[test]
+    fn topology_kind_names() {
+        assert_eq!(TopologyKind::CanonicalTree.name(), "canonical-tree");
+        assert_eq!(TopologyKind::FatTree.name(), "fat-tree");
+        assert_eq!(TopologyKind::Star.name(), "star");
+    }
+}

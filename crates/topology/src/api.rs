@@ -133,7 +133,8 @@ pub mod checks {
             .bfs_hops(topo.host_node(a), topo.host_node(b))
             .expect("topology graphs are connected");
         assert_eq!(
-            closed, bfs,
+            closed,
+            bfs,
             "closed-form hops {closed} != BFS hops {bfs} for {a} -> {b} on {}",
             topo.name()
         );
@@ -144,27 +145,40 @@ pub mod checks {
     pub fn assert_route_shares_sane<T: Topology + ?Sized>(topo: &T, a: ServerId, b: ServerId) {
         let shares = topo.route_shares(a, b);
         if a == b {
-            assert!(shares.is_empty(), "collocated servers must have empty routes");
+            assert!(
+                shares.is_empty(),
+                "collocated servers must have empty routes"
+            );
             return;
         }
         let level = topo.level(a, b).get();
         let mut per_level = vec![0.0f64; (topo.max_level().get() + 1) as usize];
         for s in &shares {
-            assert!(s.fraction > 0.0 && s.fraction <= 1.0, "fraction out of range");
+            assert!(
+                s.fraction > 0.0 && s.fraction <= 1.0,
+                "fraction out of range"
+            );
             let l = topo.graph().link(s.link).level as usize;
             per_level[l] += s.fraction;
         }
-        for l in 1..=level as usize {
+        for (l, mass) in per_level
+            .iter()
+            .enumerate()
+            .take(level as usize + 1)
+            .skip(1)
+        {
             // A path of level ℓ crosses two links of every layer 1..=ℓ
             // (one on each side), so total fraction mass per layer is 2.
             assert!(
-                (per_level[l] - 2.0).abs() < 1e-9,
-                "layer {l} fraction mass {} != 2 for {a} -> {b}",
-                per_level[l]
+                (mass - 2.0).abs() < 1e-9,
+                "layer {l} fraction mass {mass} != 2 for {a} -> {b}"
             );
         }
         for (l, &mass) in per_level.iter().enumerate().skip(level as usize + 1) {
-            assert!(mass.abs() < 1e-12, "layer {l} unexpectedly used for {a} -> {b}");
+            assert!(
+                mass.abs() < 1e-12,
+                "layer {l} unexpectedly used for {a} -> {b}"
+            );
         }
     }
 }

@@ -43,7 +43,10 @@ impl FatTreeBuilder {
     /// Starts from the paper's configuration `k = 16` (1024 hosts) with
     /// uniform 1 Gb/s links.
     pub fn new() -> Self {
-        FatTreeBuilder { k: 16, capacities: LinkCapacities::uniform(1e9) }
+        FatTreeBuilder {
+            k: 16,
+            capacities: LinkCapacities::uniform(1e9),
+        }
     }
 
     /// Sets the fat-tree arity `k` (must be even, ≥ 2).
@@ -64,7 +67,7 @@ impl FatTreeBuilder {
     ///
     /// Returns [`BuildError::BadArity`] if `k` is odd or smaller than 2.
     pub fn build(&self) -> Result<FatTree, BuildError> {
-        if self.k < 2 || self.k % 2 != 0 {
+        if self.k < 2 || !self.k.is_multiple_of(2) {
             return Err(BuildError::BadArity { k: self.k });
         }
         Ok(FatTree::build(self))
@@ -95,12 +98,17 @@ pub struct FatTree {
 impl FatTree {
     /// The paper's simulation configuration: `k = 16`, 1024 hosts.
     pub fn paper_default() -> Self {
-        FatTreeBuilder::new().build().expect("paper default parameters are valid")
+        FatTreeBuilder::new()
+            .build()
+            .expect("paper default parameters are valid")
     }
 
     /// A small `k = 4` instance (16 hosts) for tests and examples.
     pub fn small() -> Self {
-        FatTreeBuilder::new().k(4).build().expect("small parameters are valid")
+        FatTreeBuilder::new()
+            .k(4)
+            .build()
+            .expect("small parameters are valid")
     }
 
     fn build(b: &FatTreeBuilder) -> Self {
@@ -113,14 +121,18 @@ impl FatTree {
         let num_cores = (half * half) as usize;
 
         let mut graph = NetGraph::new();
-        let host_nodes: Vec<NodeId> =
-            (0..num_hosts).map(|_| graph.add_node(NodeKind::Host)).collect();
-        let edge_nodes: Vec<NodeId> =
-            (0..num_edges).map(|_| graph.add_node(NodeKind::Tor)).collect();
-        let agg_nodes: Vec<NodeId> =
-            (0..num_aggs).map(|_| graph.add_node(NodeKind::Aggregation)).collect();
-        let core_nodes: Vec<NodeId> =
-            (0..num_cores).map(|_| graph.add_node(NodeKind::Core)).collect();
+        let host_nodes: Vec<NodeId> = (0..num_hosts)
+            .map(|_| graph.add_node(NodeKind::Host))
+            .collect();
+        let edge_nodes: Vec<NodeId> = (0..num_edges)
+            .map(|_| graph.add_node(NodeKind::Tor))
+            .collect();
+        let agg_nodes: Vec<NodeId> = (0..num_aggs)
+            .map(|_| graph.add_node(NodeKind::Aggregation))
+            .collect();
+        let core_nodes: Vec<NodeId> = (0..num_cores)
+            .map(|_| graph.add_node(NodeKind::Core))
+            .collect();
 
         // Hosts: host h lives in pod h / hosts_per_pod, under edge switch
         // (h % hosts_per_pod) / half of that pod.
@@ -167,7 +179,14 @@ impl FatTree {
             agg_core_links.push(links);
         }
 
-        FatTree { k, graph, host_nodes, host_links, edge_agg_links, agg_core_links }
+        FatTree {
+            k,
+            graph,
+            host_nodes,
+            host_links,
+            edge_agg_links,
+            agg_core_links,
+        }
     }
 
     /// The fat-tree arity `k`.
@@ -298,8 +317,14 @@ impl Topology for FatTree {
             shares.push(RouteShare::new(self.edge_agg_links[ea][j], frac_agg));
             shares.push(RouteShare::new(self.edge_agg_links[eb][j], frac_agg));
             for i in 0..half {
-                shares.push(RouteShare::new(self.agg_core_links[aggs_a + j][i], frac_core));
-                shares.push(RouteShare::new(self.agg_core_links[aggs_b + j][i], frac_core));
+                shares.push(RouteShare::new(
+                    self.agg_core_links[aggs_a + j][i],
+                    frac_core,
+                ));
+                shares.push(RouteShare::new(
+                    self.agg_core_links[aggs_b + j][i],
+                    frac_core,
+                ));
             }
         }
         shares
@@ -379,8 +404,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_arity() {
-        assert_eq!(FatTreeBuilder::new().k(3).build().unwrap_err(), BuildError::BadArity { k: 3 });
-        assert_eq!(FatTreeBuilder::new().k(0).build().unwrap_err(), BuildError::BadArity { k: 0 });
+        assert_eq!(
+            FatTreeBuilder::new().k(3).build().unwrap_err(),
+            BuildError::BadArity { k: 3 }
+        );
+        assert_eq!(
+            FatTreeBuilder::new().k(0).build().unwrap_err(),
+            BuildError::BadArity { k: 0 }
+        );
     }
 
     #[test]

@@ -117,7 +117,13 @@ impl NetGraph {
             "link capacity must be positive and finite"
         );
         let id = LinkId::new(self.links.len() as u32);
-        self.links.push(Link { id, a, b, level, capacity_bps });
+        self.links.push(Link {
+            id,
+            a,
+            b,
+            level,
+            capacity_bps,
+        });
         self.adjacency[a.index()].push(id);
         self.adjacency[b.index()].push(id);
         id

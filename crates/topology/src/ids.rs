@@ -137,9 +137,15 @@ impl Level {
     /// Panics if `hops` is odd; layered DC topologies always produce even
     /// shortest-path hop counts between servers.
     pub fn from_hops(hops: u32) -> Self {
-        assert!(hops % 2 == 0, "hop count between servers must be even, got {hops}");
+        assert!(
+            hops.is_multiple_of(2),
+            "hop count between servers must be even, got {hops}"
+        );
         let level = hops / 2;
-        assert!(level <= u8::MAX as u32, "communication level {level} overflows u8");
+        assert!(
+            level <= u8::MAX as u32,
+            "communication level {level} overflows u8"
+        );
         Level(level as u8)
     }
 

@@ -41,7 +41,12 @@ impl Ip4 {
 
     /// Dotted-quad octets.
     pub const fn octets(self) -> [u8; 4] {
-        [(self.0 >> 24) as u8, (self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8]
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
     }
 }
 
@@ -67,7 +72,11 @@ impl UnknownAddressError {
 
 impl fmt::Display for UnknownAddressError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "address {} is not part of the data-center address plan", self.addr)
+        write!(
+            f,
+            "address {} is not part of the data-center address plan",
+            self.addr
+        )
     }
 }
 
@@ -107,7 +116,10 @@ impl AddressPlan {
         for s in 0..topo.num_servers() as u32 {
             server_rack.push(topo.rack_of(ServerId::new(s)).get());
         }
-        AddressPlan { rack_base, server_rack }
+        AddressPlan {
+            rack_base,
+            server_rack,
+        }
     }
 
     /// The dom0 address of a server: `10.<rack_hi>.<rack_lo>.<host+1>`.
@@ -150,7 +162,8 @@ impl AddressPlan {
     /// Returns [`UnknownAddressError`] if the address does not belong to the
     /// plan.
     pub fn rack_of(&self, ip: Ip4) -> Result<RackId, UnknownAddressError> {
-        self.server_of(ip).map(|s| RackId::new(self.server_rack[s.index()]))
+        self.server_of(ip)
+            .map(|s| RackId::new(self.server_rack[s.index()]))
     }
 
     /// Number of servers covered by the plan.
@@ -187,11 +200,18 @@ impl LocationOracle {
             .collect();
         for (i, &a) in reps.iter().enumerate() {
             for (j, &b) in reps.iter().enumerate() {
-                levels[i * racks + j] =
-                    if i == j { Level::RACK.get() } else { topo.level(a, b).get() };
+                levels[i * racks + j] = if i == j {
+                    Level::RACK.get()
+                } else {
+                    topo.level(a, b).get()
+                };
             }
         }
-        LocationOracle { racks, levels, plan: AddressPlan::new(topo) }
+        LocationOracle {
+            racks,
+            levels,
+            plan: AddressPlan::new(topo),
+        }
     }
 
     /// The address plan the oracle was built from.
@@ -222,7 +242,10 @@ impl LocationOracle {
     ///
     /// Panics if either rack is out of range.
     pub fn rack_level(&self, a: RackId, b: RackId) -> Level {
-        assert!(a.index() < self.racks && b.index() < self.racks, "rack out of range");
+        assert!(
+            a.index() < self.racks && b.index() < self.racks,
+            "rack out of range"
+        );
         Level::new(self.levels[a.index() * self.racks + b.index()])
     }
 }
@@ -289,8 +312,9 @@ mod tests {
         for a in 0..topo.num_servers() as u32 {
             for b in 0..topo.num_servers() as u32 {
                 let (sa, sb) = (ServerId::new(a), ServerId::new(b));
-                let got =
-                    oracle.level_between(plan.server_ip(sa), plan.server_ip(sb)).unwrap();
+                let got = oracle
+                    .level_between(plan.server_ip(sa), plan.server_ip(sb))
+                    .unwrap();
                 assert_eq!(got, topo.level(sa, sb), "pair {a},{b}");
             }
         }
@@ -300,9 +324,18 @@ mod tests {
     fn oracle_rack_level() {
         let topo = CanonicalTree::small();
         let oracle = LocationOracle::new(&topo);
-        assert_eq!(oracle.rack_level(RackId::new(0), RackId::new(0)), Level::RACK);
-        assert_eq!(oracle.rack_level(RackId::new(0), RackId::new(1)), Level::AGGREGATION);
-        assert_eq!(oracle.rack_level(RackId::new(0), RackId::new(2)), Level::CORE);
+        assert_eq!(
+            oracle.rack_level(RackId::new(0), RackId::new(0)),
+            Level::RACK
+        );
+        assert_eq!(
+            oracle.rack_level(RackId::new(0), RackId::new(1)),
+            Level::AGGREGATION
+        );
+        assert_eq!(
+            oracle.rack_level(RackId::new(0), RackId::new(2)),
+            Level::CORE
+        );
     }
 
     #[test]
@@ -312,7 +345,9 @@ mod tests {
         let plan = oracle.plan().clone();
         let (a, b) = (ServerId::new(0), ServerId::new(4));
         assert_eq!(
-            oracle.level_between(plan.server_ip(a), plan.server_ip(b)).unwrap(),
+            oracle
+                .level_between(plan.server_ip(a), plan.server_ip(b))
+                .unwrap(),
             Level::CORE
         );
     }

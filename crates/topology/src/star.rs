@@ -28,12 +28,19 @@ impl StarTopology {
     pub fn new(servers: u32, link_bps: f64) -> Self {
         assert!(servers > 0, "need at least one server");
         let mut graph = NetGraph::new();
-        let host_nodes: Vec<NodeId> =
-            (0..servers).map(|_| graph.add_node(NodeKind::Host)).collect();
+        let host_nodes: Vec<NodeId> = (0..servers)
+            .map(|_| graph.add_node(NodeKind::Host))
+            .collect();
         let switch = graph.add_node(NodeKind::Tor);
-        let host_links =
-            host_nodes.iter().map(|&h| graph.add_link(h, switch, 1, link_bps)).collect();
-        StarTopology { graph, host_nodes, host_links }
+        let host_links = host_nodes
+            .iter()
+            .map(|&h| graph.add_link(h, switch, 1, link_bps))
+            .collect();
+        StarTopology {
+            graph,
+            host_nodes,
+            host_links,
+        }
     }
 }
 

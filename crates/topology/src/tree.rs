@@ -31,13 +31,21 @@ impl LinkCapacities {
     /// 1 GbE at the edge, 10 GbE uplinks — the typical oversubscribed DC of
     /// the paper's era.
     pub fn oversubscribed_default() -> Self {
-        LinkCapacities { host_bps: 1e9, tor_agg_bps: 10e9, agg_core_bps: 10e9 }
+        LinkCapacities {
+            host_bps: 1e9,
+            tor_agg_bps: 10e9,
+            agg_core_bps: 10e9,
+        }
     }
 
     /// Uniform capacity on all links (used by the fat-tree, which relies on
     /// path multiplicity rather than faster uplinks).
     pub fn uniform(bps: f64) -> Self {
-        LinkCapacities { host_bps: bps, tor_agg_bps: bps, agg_core_bps: bps }
+        LinkCapacities {
+            host_bps: bps,
+            tor_agg_bps: bps,
+            agg_core_bps: bps,
+        }
     }
 }
 
@@ -73,7 +81,10 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::ZeroCount { what } => write!(f, "{what} must be at least 1"),
-            BuildError::RacksNotDivisible { racks, racks_per_agg } => write!(
+            BuildError::RacksNotDivisible {
+                racks,
+                racks_per_agg,
+            } => write!(
                 f,
                 "number of racks ({racks}) must be divisible by racks per aggregation switch \
                  ({racks_per_agg})"
@@ -169,15 +180,19 @@ impl CanonicalTreeBuilder {
             return Err(BuildError::ZeroCount { what: "racks" });
         }
         if self.hosts_per_rack == 0 {
-            return Err(BuildError::ZeroCount { what: "hosts_per_rack" });
+            return Err(BuildError::ZeroCount {
+                what: "hosts_per_rack",
+            });
         }
         if self.racks_per_agg == 0 {
-            return Err(BuildError::ZeroCount { what: "racks_per_agg" });
+            return Err(BuildError::ZeroCount {
+                what: "racks_per_agg",
+            });
         }
         if self.cores == 0 {
             return Err(BuildError::ZeroCount { what: "cores" });
         }
-        if self.racks % self.racks_per_agg != 0 {
+        if !self.racks.is_multiple_of(self.racks_per_agg) {
             return Err(BuildError::RacksNotDivisible {
                 racks: self.racks,
                 racks_per_agg: self.racks_per_agg,
@@ -212,7 +227,9 @@ impl CanonicalTree {
     /// The paper's simulation configuration: 2560 hosts, 128 ToR switches,
     /// 20 hosts per rack.
     pub fn paper_default() -> Self {
-        CanonicalTreeBuilder::new().build().expect("paper default parameters are valid")
+        CanonicalTreeBuilder::new()
+            .build()
+            .expect("paper default parameters are valid")
     }
 
     /// A small instance convenient for tests and examples: 4 racks × 4
@@ -232,14 +249,18 @@ impl CanonicalTree {
         let num_hosts = (b.racks * b.hosts_per_rack) as usize;
         let num_aggs = (b.racks / b.racks_per_agg) as usize;
 
-        let host_nodes: Vec<NodeId> =
-            (0..num_hosts).map(|_| graph.add_node(NodeKind::Host)).collect();
-        let tor_nodes: Vec<NodeId> =
-            (0..b.racks).map(|_| graph.add_node(NodeKind::Tor)).collect();
-        let agg_nodes: Vec<NodeId> =
-            (0..num_aggs).map(|_| graph.add_node(NodeKind::Aggregation)).collect();
-        let core_nodes: Vec<NodeId> =
-            (0..b.cores).map(|_| graph.add_node(NodeKind::Core)).collect();
+        let host_nodes: Vec<NodeId> = (0..num_hosts)
+            .map(|_| graph.add_node(NodeKind::Host))
+            .collect();
+        let tor_nodes: Vec<NodeId> = (0..b.racks)
+            .map(|_| graph.add_node(NodeKind::Tor))
+            .collect();
+        let agg_nodes: Vec<NodeId> = (0..num_aggs)
+            .map(|_| graph.add_node(NodeKind::Aggregation))
+            .collect();
+        let core_nodes: Vec<NodeId> = (0..b.cores)
+            .map(|_| graph.add_node(NodeKind::Core))
+            .collect();
 
         let mut host_links = Vec::with_capacity(num_hosts);
         for (h, &hn) in host_nodes.iter().enumerate() {
@@ -250,7 +271,12 @@ impl CanonicalTree {
         let mut tor_agg_links = Vec::with_capacity(b.racks as usize);
         for (r, &tn) in tor_nodes.iter().enumerate() {
             let agg = r as u32 / b.racks_per_agg;
-            tor_agg_links.push(graph.add_link(tn, agg_nodes[agg as usize], 2, b.capacities.tor_agg_bps));
+            tor_agg_links.push(graph.add_link(
+                tn,
+                agg_nodes[agg as usize],
+                2,
+                b.capacities.tor_agg_bps,
+            ));
         }
 
         let mut agg_core_links = Vec::with_capacity(num_aggs);
@@ -482,12 +508,24 @@ mod tests {
             BuildError::ZeroCount { what: "racks" }
         );
         assert_eq!(
-            CanonicalTreeBuilder::new().hosts_per_rack(0).build().unwrap_err(),
-            BuildError::ZeroCount { what: "hosts_per_rack" }
+            CanonicalTreeBuilder::new()
+                .hosts_per_rack(0)
+                .build()
+                .unwrap_err(),
+            BuildError::ZeroCount {
+                what: "hosts_per_rack"
+            }
         );
         assert_eq!(
-            CanonicalTreeBuilder::new().racks(10).racks_per_agg(3).build().unwrap_err(),
-            BuildError::RacksNotDivisible { racks: 10, racks_per_agg: 3 }
+            CanonicalTreeBuilder::new()
+                .racks(10)
+                .racks_per_agg(3)
+                .build()
+                .unwrap_err(),
+            BuildError::RacksNotDivisible {
+                racks: 10,
+                racks_per_agg: 3
+            }
         );
         assert_eq!(
             CanonicalTreeBuilder::new().cores(0).build().unwrap_err(),
@@ -536,10 +574,15 @@ mod tests {
 
     #[test]
     fn build_error_display() {
-        assert!(BuildError::ZeroCount { what: "cores" }.to_string().contains("cores"));
-        assert!(BuildError::RacksNotDivisible { racks: 10, racks_per_agg: 3 }
+        assert!(BuildError::ZeroCount { what: "cores" }
             .to_string()
-            .contains("divisible"));
+            .contains("cores"));
+        assert!(BuildError::RacksNotDivisible {
+            racks: 10,
+            racks_per_agg: 3
+        }
+        .to_string()
+        .contains("divisible"));
         assert!(BuildError::BadArity { k: 3 }.to_string().contains('3'));
     }
 }

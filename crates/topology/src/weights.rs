@@ -35,7 +35,10 @@ impl fmt::Display for WeightsError {
         match self {
             WeightsError::Empty => write!(f, "link weights must contain at least one level"),
             WeightsError::NotPositive { index } => {
-                write!(f, "link weight at index {index} is not a positive finite number")
+                write!(
+                    f,
+                    "link weight at index {index} is not a positive finite number"
+                )
             }
             WeightsError::NotIncreasing { index } => {
                 write!(f, "link weight at index {index} does not strictly increase")
@@ -106,8 +109,7 @@ impl LinkWeights {
     /// The weights used in the paper's evaluation (§VI): `c1 = e^0 = 1`,
     /// `c2 = e^1`, `c3 = e^3`.
     pub fn paper_default() -> Self {
-        LinkWeights::new([1.0, 1f64.exp(), 3f64.exp()])
-            .expect("paper default weights are valid")
+        LinkWeights::new([1.0, 1f64.exp(), 3f64.exp()]).expect("paper default weights are valid")
     }
 
     /// Exponentially growing weights `c_i = base^(i-1)` for `levels` layers.
@@ -207,7 +209,10 @@ mod tests {
         assert_eq!(w.level_change_saving(Level::CORE, Level::RACK), 6.0);
         // Moving up is a negative saving.
         assert_eq!(w.level_change_saving(Level::RACK, Level::CORE), -6.0);
-        assert_eq!(w.level_change_saving(Level::AGGREGATION, Level::AGGREGATION), 0.0);
+        assert_eq!(
+            w.level_change_saving(Level::AGGREGATION, Level::AGGREGATION),
+            0.0
+        );
     }
 
     #[test]
@@ -257,8 +262,12 @@ mod tests {
             WeightsError::Empty.to_string(),
             "link weights must contain at least one level"
         );
-        assert!(WeightsError::NotPositive { index: 2 }.to_string().contains("index 2"));
-        assert!(WeightsError::NotIncreasing { index: 1 }.to_string().contains("index 1"));
+        assert!(WeightsError::NotPositive { index: 2 }
+            .to_string()
+            .contains("index 2"));
+        assert!(WeightsError::NotIncreasing { index: 1 }
+            .to_string()
+            .contains("index 1"));
     }
 
     #[test]

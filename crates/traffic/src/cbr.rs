@@ -22,7 +22,10 @@ impl CbrLoad {
     ///
     /// Panics if `ratio` is not in `[0, 1]`.
     pub fn new(ratio: f64) -> Self {
-        assert!((0.0..=1.0).contains(&ratio), "CBR load must be in [0, 1], got {ratio}");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "CBR load must be in [0, 1], got {ratio}"
+        );
         CbrLoad(ratio)
     }
 

@@ -45,7 +45,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma` is negative or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid log-normal");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid log-normal"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -95,7 +98,10 @@ impl BoundedPareto {
     /// Panics unless `0 < min < max` and `alpha > 0`.
     pub fn new(alpha: f64, min: f64, max: f64) -> Self {
         assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
-        assert!(min > 0.0 && min < max && max.is_finite(), "need 0 < min < max");
+        assert!(
+            min > 0.0 && min < max && max.is_finite(),
+            "need 0 < min < max"
+        );
         BoundedPareto { alpha, min, max }
     }
 
@@ -224,7 +230,10 @@ mod tests {
         let mut r = rng();
         for _ in 0..10_000 {
             let x = d.sample(&mut r);
-            assert!(x >= d.min() - 1e-9 && x <= d.max() + 1e-9, "sample {x} out of bounds");
+            assert!(
+                x >= d.min() - 1e-9 && x <= d.max() + 1e-9,
+                "sample {x} out of bounds"
+            );
         }
     }
 

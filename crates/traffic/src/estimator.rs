@@ -78,8 +78,15 @@ impl RateEstimator {
     ///
     /// Panics if `window_s` is not positive and finite.
     pub fn new(num_vms: u32, window_s: f64) -> Self {
-        assert!(window_s.is_finite() && window_s > 0.0, "window must be positive");
-        RateEstimator { window_s, samples: HashMap::new(), num_vms }
+        assert!(
+            window_s.is_finite() && window_s > 0.0,
+            "window must be positive"
+        );
+        RateEstimator {
+            window_s,
+            samples: HashMap::new(),
+            num_vms,
+        }
     }
 
     /// The window length in seconds.
@@ -96,19 +103,30 @@ impl RateEstimator {
     /// negative.
     pub fn observe(&mut self, u: VmId, v: VmId, bytes: f64, now_s: f64) {
         assert_ne!(u, v, "self-traffic is not observable");
-        assert!(u.get() < self.num_vms && v.get() < self.num_vms, "vm out of range");
+        assert!(
+            u.get() < self.num_vms && v.get() < self.num_vms,
+            "vm out of range"
+        );
         assert!(bytes >= 0.0, "bytes must be non-negative");
         if bytes == 0.0 {
             return;
         }
-        let key = if u < v { (u.get(), v.get()) } else { (v.get(), u.get()) };
+        let key = if u < v {
+            (u.get(), v.get())
+        } else {
+            (v.get(), u.get())
+        };
         self.samples.entry(key).or_default().push(now_s, bytes);
     }
 
     /// Current rate estimate λ̂(u, v) in bits per second at time `now_s`:
     /// window bytes × 8 / window.
     pub fn rate(&mut self, u: VmId, v: VmId, now_s: f64) -> f64 {
-        let key = if u < v { (u.get(), v.get()) } else { (v.get(), u.get()) };
+        let key = if u < v {
+            (u.get(), v.get())
+        } else {
+            (v.get(), u.get())
+        };
         match self.samples.get_mut(&key) {
             Some(w) => {
                 w.expire(now_s - self.window_s);

@@ -77,7 +77,10 @@ impl FlowSampler {
     ///
     /// Panics if `window_s` is not positive and finite.
     pub fn new(window_s: f64, seed: u64) -> Self {
-        assert!(window_s.is_finite() && window_s > 0.0, "window must be positive");
+        assert!(
+            window_s.is_finite() && window_s > 0.0,
+            "window must be positive"
+        );
         FlowSampler { window_s, seed }
     }
 
@@ -113,7 +116,13 @@ impl FlowSampler {
                     rng.gen_range(0.001..0.1) * self.window_s
                 };
                 let start = rng.gen_range(0.0..(self.window_s - duration).max(f64::MIN_POSITIVE));
-                flows.push(Flow { src: u, dst: v, bytes, start_s: start, duration_s: duration });
+                flows.push(Flow {
+                    src: u,
+                    dst: v,
+                    bytes,
+                    start_s: start,
+                    duration_s: duration,
+                });
             }
         }
         flows
@@ -143,8 +152,11 @@ mod tests {
             .sum();
         // 8e6 bps / 8 * 10 s = 1e7 bytes
         assert!((elephant_bytes - 1e7).abs() < 1.0, "bytes {elephant_bytes}");
-        let mouse_bytes: f64 =
-            flows.iter().filter(|f| f.src == VmId::new(2)).map(|f| f.bytes).sum();
+        let mouse_bytes: f64 = flows
+            .iter()
+            .filter(|f| f.src == VmId::new(2))
+            .map(|f| f.bytes)
+            .sum();
         assert!((mouse_bytes - 1e4).abs() < 0.01, "bytes {mouse_bytes}");
     }
 
@@ -189,8 +201,8 @@ mod tests {
         let mouse_flows: Vec<_> = flows.iter().filter(|f| f.src == VmId::new(2)).collect();
         assert!(elephant_flows.len() <= 3);
         assert!(mouse_flows.len() >= 2);
-        let mean_e: f64 = elephant_flows.iter().map(|f| f.duration_s).sum::<f64>()
-            / elephant_flows.len() as f64;
+        let mean_e: f64 =
+            elephant_flows.iter().map(|f| f.duration_s).sum::<f64>() / elephant_flows.len() as f64;
         let mean_m: f64 =
             mouse_flows.iter().map(|f| f.duration_s).sum::<f64>() / mouse_flows.len() as f64;
         assert!(mean_e > mean_m, "elephants should live longer");

@@ -68,7 +68,11 @@ impl TrafficIntensity {
 
     /// All intensities in increasing order.
     pub fn all() -> [TrafficIntensity; 3] {
-        [TrafficIntensity::Sparse, TrafficIntensity::Medium, TrafficIntensity::Dense]
+        [
+            TrafficIntensity::Sparse,
+            TrafficIntensity::Medium,
+            TrafficIntensity::Dense,
+        ]
     }
 }
 
@@ -162,7 +166,11 @@ impl WorkloadConfig {
                     let u = member(i);
                     let v = member((i + 1) % size);
                     if u != v {
-                        builder.add(u, v, (self.intra_rate.sample(&mut rng) * rate_scale).min(cap));
+                        builder.add(
+                            u,
+                            v,
+                            (self.intra_rate.sample(&mut rng) * rate_scale).min(cap),
+                        );
                     }
                 }
                 let chords = size / 2;
@@ -170,7 +178,11 @@ impl WorkloadConfig {
                     let a = member(rng.gen_range(0..size));
                     let b = member(rng.gen_range(0..size));
                     if a != b {
-                        builder.add(a, b, (self.intra_rate.sample(&mut rng) * rate_scale).min(cap));
+                        builder.add(
+                            a,
+                            b,
+                            (self.intra_rate.sample(&mut rng) * rate_scale).min(cap),
+                        );
                     }
                 }
             }
@@ -180,8 +192,9 @@ impl WorkloadConfig {
         // 2. Hot VM subset: a handful of endpoints that attract
         //    disproportionate cross-cluster traffic (the TM hotspots).
         let hot_count = ((self.num_vms as f64 * self.hot_vm_fraction).ceil() as u32).max(1);
-        let hot: Vec<u32> =
-            (0..hot_count).map(|_| rng.gen_range(0..self.num_vms)).collect();
+        let hot: Vec<u32> = (0..hot_count)
+            .map(|_| rng.gen_range(0..self.num_vms))
+            .collect();
 
         // 3. Cross-cluster chatter; pair count densifies sub-linearly with
         //    intensity, rates scale linearly (capped).
@@ -220,12 +233,16 @@ pub fn sparse_workload(num_vms: u32, seed: u64) -> PairTraffic {
 
 /// Convenience: the paper's medium (×10) workload.
 pub fn medium_workload(num_vms: u32, seed: u64) -> PairTraffic {
-    WorkloadConfig::new(num_vms, seed).with_intensity(TrafficIntensity::Medium).generate()
+    WorkloadConfig::new(num_vms, seed)
+        .with_intensity(TrafficIntensity::Medium)
+        .generate()
 }
 
 /// Convenience: the paper's dense (×50) workload.
 pub fn dense_workload(num_vms: u32, seed: u64) -> PairTraffic {
-    WorkloadConfig::new(num_vms, seed).with_intensity(TrafficIntensity::Dense).generate()
+    WorkloadConfig::new(num_vms, seed)
+        .with_intensity(TrafficIntensity::Dense)
+        .generate()
 }
 
 #[cfg(test)]
@@ -296,7 +313,11 @@ mod tests {
         let mut degrees: Vec<usize> = (0..1000).map(|v| t.degree(VmId::new(v))).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
-        assert!(degrees[0] as f64 > 2.0 * mean, "max {} mean {mean}", degrees[0]);
+        assert!(
+            degrees[0] as f64 > 2.0 * mean,
+            "max {} mean {mean}",
+            degrees[0]
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl TrafficMatrix {
     /// Panics if `racks == 0`.
     pub fn zeros(racks: usize) -> Self {
         assert!(racks > 0, "matrix needs at least one rack");
-        TrafficMatrix { racks, cells: vec![0.0; racks * racks] }
+        TrafficMatrix {
+            racks,
+            cells: vec![0.0; racks * racks],
+        }
     }
 
     /// Aggregates pairwise VM traffic to rack granularity under the given
@@ -91,7 +94,10 @@ impl TrafficMatrix {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn scale(&mut self, factor: f64) {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         for c in &mut self.cells {
             *c *= factor;
         }
@@ -144,7 +150,10 @@ impl TrafficMatrix {
     ///
     /// Panics if `fraction` is outside `(0, 1]`.
     pub fn top_cell_share(&self, fraction: f64) -> f64 {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let total = self.total();
         if total == 0.0 {
             return 0.0;
@@ -204,9 +213,13 @@ impl TrafficMatrix {
         for bi in 0..size {
             for bj in 0..size {
                 let i0 = (bi as f64 * step) as usize;
-                let i1 = (((bi + 1) as f64 * step) as usize).max(i0 + 1).min(self.racks);
+                let i1 = (((bi + 1) as f64 * step) as usize)
+                    .max(i0 + 1)
+                    .min(self.racks);
                 let j0 = (bj as f64 * step) as usize;
-                let j1 = (((bj + 1) as f64 * step) as usize).max(j0 + 1).min(self.racks);
+                let j1 = (((bj + 1) as f64 * step) as usize)
+                    .max(j0 + 1)
+                    .min(self.racks);
                 let mut peak: f64 = 0.0;
                 for i in i0..i1 {
                     for j in j0..j1 {

@@ -23,7 +23,10 @@ pub struct PairTrafficBuilder {
 impl PairTrafficBuilder {
     /// Creates a builder for VMs `0..num_vms`.
     pub fn new(num_vms: u32) -> Self {
-        PairTrafficBuilder { num_vms, rates: BTreeMap::new() }
+        PairTrafficBuilder {
+            num_vms,
+            rates: BTreeMap::new(),
+        }
     }
 
     /// Adds `rate` (bits per second, both directions combined) between `u`
@@ -37,8 +40,15 @@ impl PairTrafficBuilder {
         assert_ne!(u, v, "self-traffic is not part of the communication graph");
         assert!(u.get() < self.num_vms, "vm {u} out of range");
         assert!(v.get() < self.num_vms, "vm {v} out of range");
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive and finite");
-        let key = if u < v { (u.get(), v.get()) } else { (v.get(), u.get()) };
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive and finite"
+        );
+        let key = if u < v {
+            (u.get(), v.get())
+        } else {
+            (v.get(), u.get())
+        };
         *self.rates.entry(key).or_insert(0.0) += rate;
         self
     }
@@ -62,7 +72,11 @@ impl PairTrafficBuilder {
         }
         PairTraffic {
             num_vms: self.num_vms,
-            pairs: self.rates.iter().map(|(&(u, v), &r)| (VmId::new(u), VmId::new(v), r)).collect(),
+            pairs: self
+                .rates
+                .iter()
+                .map(|(&(u, v), &r)| (VmId::new(u), VmId::new(v), r))
+                .collect(),
             adjacency,
             total,
         }
@@ -117,7 +131,10 @@ impl PairTraffic {
     ///
     /// Panics if either id is out of range.
     pub fn rate(&self, u: VmId, v: VmId) -> f64 {
-        assert!(u.get() < self.num_vms && v.get() < self.num_vms, "vm out of range");
+        assert!(
+            u.get() < self.num_vms && v.get() < self.num_vms,
+            "vm out of range"
+        );
         if u == v {
             return 0.0;
         }
@@ -168,10 +185,17 @@ impl PairTraffic {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn scaled(&self, factor: f64) -> PairTraffic {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         PairTraffic {
             num_vms: self.num_vms,
-            pairs: self.pairs.iter().map(|&(u, v, r)| (u, v, r * factor)).collect(),
+            pairs: self
+                .pairs
+                .iter()
+                .map(|&(u, v, r)| (u, v, r * factor))
+                .collect(),
             adjacency: self
                 .adjacency
                 .iter()
@@ -189,15 +213,23 @@ impl PairTraffic {
     /// Panics if `cap` is not positive and finite.
     pub fn capped(&self, cap: f64) -> PairTraffic {
         assert!(cap.is_finite() && cap > 0.0, "cap must be positive");
-        let pairs: Vec<(VmId, VmId, f64)> =
-            self.pairs.iter().map(|&(u, v, r)| (u, v, r.min(cap))).collect();
+        let pairs: Vec<(VmId, VmId, f64)> = self
+            .pairs
+            .iter()
+            .map(|&(u, v, r)| (u, v, r.min(cap)))
+            .collect();
         let adjacency: Vec<Vec<(VmId, f64)>> = self
             .adjacency
             .iter()
             .map(|peers| peers.iter().map(|&(p, r)| (p, r.min(cap))).collect())
             .collect();
         let total = pairs.iter().map(|&(_, _, r)| r).sum();
-        PairTraffic { num_vms: self.num_vms, pairs, adjacency, total }
+        PairTraffic {
+            num_vms: self.num_vms,
+            pairs,
+            adjacency,
+            total,
+        }
     }
 
     /// Merges another communication graph over the same VM population into

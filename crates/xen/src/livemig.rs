@@ -151,15 +151,14 @@ impl PreCopyModel {
     /// Simulates one migration under the given background load.
     pub fn migrate<R: Rng + ?Sized>(&self, load: CbrLoad, rng: &mut R) -> MigrationSample {
         let c = &self.config;
-        let rate_bytes =
-            (c.link_bps / 8.0) * migration_throughput_fraction(load).max(0.01);
+        let rate_bytes = (c.link_bps / 8.0) * migration_throughput_fraction(load).max(0.01);
 
         // Round 0 working set: RAM minus skipped pages.
-        let skip = (c.skip_fraction_mean + c.skip_fraction_std * standard_normal(rng))
-            .clamp(0.05, 0.75);
+        let skip =
+            (c.skip_fraction_mean + c.skip_fraction_std * standard_normal(rng)).clamp(0.05, 0.75);
         let initial = c.ram_bytes * (1.0 - skip);
-        let dirty_rate = (c.dirty_rate_mean + c.dirty_rate_std * standard_normal(rng))
-            .clamp(0.1e6, 50e6);
+        let dirty_rate =
+            (c.dirty_rate_mean + c.dirty_rate_std * standard_normal(rng)).clamp(0.1e6, 50e6);
 
         let mut remaining = initial;
         let mut migrated = 0.0;
@@ -172,10 +171,7 @@ impl PreCopyModel {
             time += round_time;
             rounds += 1;
             let dirtied = (dirty_rate * round_time).min(initial);
-            if dirtied <= c.stop_threshold_bytes
-                || rounds >= c.max_rounds
-                || dirtied >= remaining
-            {
+            if dirtied <= c.stop_threshold_bytes || rounds >= c.max_rounds || dirtied >= remaining {
                 remaining = dirtied;
                 break;
             }
@@ -189,7 +185,12 @@ impl PreCopyModel {
         migrated += remaining;
         time += downtime;
 
-        MigrationSample { migrated_bytes: migrated, total_time_s: time, downtime_s: downtime, rounds }
+        MigrationSample {
+            migrated_bytes: migrated,
+            total_time_s: time,
+            downtime_s: downtime,
+            rounds,
+        }
     }
 
     /// Simulates `n` migrations with a fresh deterministic RNG.
@@ -254,9 +255,7 @@ mod tests {
         // Monotone decreasing.
         let sweep = CbrLoad::paper_sweep();
         for w in sweep.windows(2) {
-            assert!(
-                migration_throughput_fraction(w[1]) < migration_throughput_fraction(w[0])
-            );
+            assert!(migration_throughput_fraction(w[1]) < migration_throughput_fraction(w[0]));
         }
     }
 
@@ -267,8 +266,16 @@ mod tests {
         let bytes: Vec<f64> = samples.iter().map(|s| s.migrated_bytes / MB).collect();
         let stats = SummaryStats::of(&bytes);
         // Paper: mean 127 MB, std 11 MB, all below 150 MB.
-        assert!((stats.mean - 127.0).abs() < 8.0, "mean {:.1} MB", stats.mean);
-        assert!(stats.std > 5.0 && stats.std < 18.0, "std {:.1} MB", stats.std);
+        assert!(
+            (stats.mean - 127.0).abs() < 8.0,
+            "mean {:.1} MB",
+            stats.mean
+        );
+        assert!(
+            stats.std > 5.0 && stats.std < 18.0,
+            "std {:.1} MB",
+            stats.std
+        );
         assert!(stats.max < 160.0, "max {:.1} MB", stats.max);
     }
 
@@ -278,7 +285,11 @@ mod tests {
         let samples = model.migrate_many(CbrLoad::IDLE, 200, 7);
         let times: Vec<f64> = samples.iter().map(|s| s.total_time_s).collect();
         let stats = SummaryStats::of(&times);
-        assert!((stats.mean - 2.94).abs() < 0.4, "idle mean {:.2} s", stats.mean);
+        assert!(
+            (stats.mean - 2.94).abs() < 0.4,
+            "idle mean {:.2} s",
+            stats.mean
+        );
     }
 
     #[test]
@@ -312,10 +323,18 @@ mod tests {
         }
         // And grows with load (Fig. 5d trend).
         let idle = SummaryStats::of(
-            &model.migrate_many(CbrLoad::IDLE, 200, 5).iter().map(|s| s.downtime_s).collect::<Vec<_>>(),
+            &model
+                .migrate_many(CbrLoad::IDLE, 200, 5)
+                .iter()
+                .map(|s| s.downtime_s)
+                .collect::<Vec<_>>(),
         );
         let full = SummaryStats::of(
-            &model.migrate_many(CbrLoad::new(1.0), 200, 5).iter().map(|s| s.downtime_s).collect::<Vec<_>>(),
+            &model
+                .migrate_many(CbrLoad::new(1.0), 200, 5)
+                .iter()
+                .map(|s| s.downtime_s)
+                .collect::<Vec<_>>(),
         );
         assert!(full.mean > idle.mean);
     }
@@ -325,7 +344,11 @@ mod tests {
         let model = PreCopyModel::default();
         let samples = model.migrate_many(CbrLoad::IDLE, 50, 3);
         for s in samples {
-            assert!(s.rounds <= 4, "idle migrations converge quickly, got {}", s.rounds);
+            assert!(
+                s.rounds <= 4,
+                "idle migrations converge quickly, got {}",
+                s.rounds
+            );
         }
     }
 
@@ -355,6 +378,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "RAM must be positive")]
     fn bad_config_rejected() {
-        let _ = PreCopyModel::new(PreCopyConfig { ram_bytes: 0.0, ..PreCopyConfig::paper_default() });
+        let _ = PreCopyModel::new(PreCopyConfig {
+            ram_bytes: 0.0,
+            ..PreCopyConfig::paper_default()
+        });
     }
 }

@@ -194,7 +194,8 @@ impl ControlPlane {
         let (_, dom0) = self.route_to_vm(peer_vm)?;
         self.stats.location_probes += 1;
         self.stats.bytes += (Dom0Message::LocationRequest { reply_to: dom0 }.wire_bytes()
-            + Dom0Message::LocationResponse { dom0 }.wire_bytes()) as u64;
+            + Dom0Message::LocationResponse { dom0 }.wire_bytes())
+            as u64;
         Ok(dom0)
     }
 
@@ -205,12 +206,15 @@ impl ControlPlane {
     /// Returns [`UnroutableError`] if `dom0` is not a registered
     /// hypervisor address.
     pub fn capacity_probe(&mut self, dom0: Ip4) -> Result<CapacityReport, UnroutableError> {
-        let &idx =
-            self.dom0_index.get(&dom0).ok_or(UnroutableError { addr: dom0 })?;
+        let &idx = self
+            .dom0_index
+            .get(&dom0)
+            .ok_or(UnroutableError { addr: dom0 })?;
         let report = self.hosts[idx].capacity;
         self.stats.capacity_probes += 1;
         self.stats.bytes += (Dom0Message::CapacityRequest { reply_to: dom0 }.wire_bytes()
-            + Dom0Message::CapacityResponse(report).wire_bytes()) as u64;
+            + Dom0Message::CapacityResponse(report).wire_bytes())
+            as u64;
         Ok(report)
     }
 
@@ -242,8 +246,20 @@ mod tests {
 
     fn plane() -> ControlPlane {
         let mut cp = ControlPlane::new();
-        let h0 = cp.add_host(ip(10, 0, 0, 1), CapacityReport { free_slots: 2, free_ram_mb: 512 });
-        let h1 = cp.add_host(ip(10, 0, 1, 1), CapacityReport { free_slots: 0, free_ram_mb: 0 });
+        let h0 = cp.add_host(
+            ip(10, 0, 0, 1),
+            CapacityReport {
+                free_slots: 2,
+                free_ram_mb: 512,
+            },
+        );
+        let h1 = cp.add_host(
+            ip(10, 0, 1, 1),
+            CapacityReport {
+                free_slots: 0,
+                free_ram_mb: 0,
+            },
+        );
         cp.place_vm(ip(172, 16, 0, 1), h0);
         cp.place_vm(ip(172, 16, 0, 2), h1);
         cp
@@ -302,7 +318,13 @@ mod tests {
     #[test]
     fn capacity_updates_visible() {
         let mut cp = plane();
-        cp.set_capacity(1, CapacityReport { free_slots: 5, free_ram_mb: 1000 });
+        cp.set_capacity(
+            1,
+            CapacityReport {
+                free_slots: 5,
+                free_ram_mb: 1000,
+            },
+        );
         assert_eq!(cp.capacity_probe(ip(10, 0, 1, 1)).unwrap().free_slots, 5);
     }
 
@@ -310,19 +332,31 @@ mod tests {
     #[should_panic(expected = "already registered")]
     fn duplicate_dom0_rejected() {
         let mut cp = plane();
-        cp.add_host(ip(10, 0, 0, 1), CapacityReport { free_slots: 1, free_ram_mb: 1 });
+        cp.add_host(
+            ip(10, 0, 0, 1),
+            CapacityReport {
+                free_slots: 1,
+                free_ram_mb: 1,
+            },
+        );
     }
 
     #[test]
     fn message_wire_sizes() {
         assert_eq!(Dom0Message::Token(vec![0; 25]).wire_bytes(), 25);
         assert_eq!(
-            Dom0Message::LocationRequest { reply_to: ip(1, 2, 3, 4) }.wire_bytes(),
+            Dom0Message::LocationRequest {
+                reply_to: ip(1, 2, 3, 4)
+            }
+            .wire_bytes(),
             8
         );
         assert_eq!(
-            Dom0Message::CapacityResponse(CapacityReport { free_slots: 1, free_ram_mb: 2 })
-                .wire_bytes(),
+            Dom0Message::CapacityResponse(CapacityReport {
+                free_slots: 1,
+                free_ram_mb: 2
+            })
+            .wire_bytes(),
             12
         );
     }

@@ -125,7 +125,11 @@ mod tests {
             assert!(w[1].time.mean > w[0].time.mean, "time not monotone");
         }
         for p in &sweep {
-            assert!(p.downtime.max < 0.050, "downtime {} ms", p.downtime.max * 1e3);
+            assert!(
+                p.downtime.max < 0.050,
+                "downtime {} ms",
+                p.downtime.max * 1e3
+            );
         }
         // Endpoints near the paper's values.
         assert!((sweep[0].time.mean - 2.94).abs() < 0.5);

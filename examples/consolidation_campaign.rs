@@ -10,43 +10,41 @@
 //! ```
 
 use s_core::baselines::{GaConfig, GeneticOptimizer};
-use s_core::core::{CostModel, ScoreConfig};
-use s_core::sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+use s_core::core::CostModel;
+use s_core::sim::{PolicyKind, Scenario};
 use s_core::traffic::TrafficIntensity;
 
 fn main() {
-    let scenario = ScenarioConfig::small_canonical(TrafficIntensity::Medium, 7);
+    let base = Scenario::small_canonical(TrafficIntensity::Medium, 7);
     let model = CostModel::paper_default();
 
     // The centralized GA bound, for context (the paper's "optimal").
-    let ga_world = build_world(&scenario);
+    let ga_session = base.session().expect("preset scenario is feasible");
     let ga = GeneticOptimizer::new(
-        ga_world.topo.as_ref(),
-        &ga_world.traffic,
+        ga_session.topo().as_ref(),
+        ga_session.traffic(),
         model.clone(),
-        ga_world.cluster.server_spec().vm_slots,
+        ga_session.cluster().server_spec().vm_slots,
         GaConfig::fast(),
     )
     .run();
-    println!("GA-optimal cost bound: {:.3e} ({} generations)\n", ga.best_cost, ga.generations);
+    println!(
+        "GA-optimal cost bound: {:.3e} ({} generations)\n",
+        ga.best_cost, ga.generations
+    );
 
     println!(
         "{:>12} {:>10} {:>12} {:>12} {:>14} {:>12}",
         "cm", "migrations", "final cost", "vs GA", "bytes moved", "downtime"
     );
     for cm_scale in [0.0, 1e8, 1e9, 5e9, 2e10] {
-        let mut world = build_world(&scenario);
-        let config = SimConfig {
-            t_end_s: 400.0,
-            score: ScoreConfig::paper_default().with_migration_cost(cm_scale),
-            ..SimConfig::paper_default()
-        };
-        let report = run_simulation(
-            &mut world.cluster,
-            &world.traffic,
-            PolicyKind::HighestLevelFirst,
-            &config,
-        );
+        let mut scenario = base.clone();
+        scenario.policy = PolicyKind::HighestLevelFirst;
+        scenario.timing.t_end_s = 400.0;
+        scenario.engine = scenario.engine.with_migration_cost(cm_scale);
+        let mut session = scenario.session().expect("preset scenario is feasible");
+        session.run_to_horizon();
+        let report = session.report();
         println!(
             "{:>12.0} {:>10} {:>12.3e} {:>11.2}x {:>11.1} MB {:>9.0} ms",
             cm_scale,

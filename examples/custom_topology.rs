@@ -9,13 +9,13 @@
 //! cargo run --example custom_topology
 //! ```
 
-use s_core::core::{
-    Allocation, Cluster, CostModel, RoundRobin, ScoreEngine, ServerSpec, TokenRing, VmSpec,
-};
+use s_core::core::ScoreConfig;
+use s_core::sim::{EngineSpec, PlacementSpec, PolicyKind, Scenario};
 use s_core::topology::{
     Level, LinkId, LinkWeights, NetGraph, NodeId, NodeKind, RackId, RouteShare, ServerId, Topology,
 };
-use s_core::traffic::WorkloadConfig;
+use s_core::traffic::{CbrLoad, WorkloadConfig};
+use s_core::xen::PreCopyConfig;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -38,24 +38,33 @@ impl LeafSpine {
         let host_nodes: Vec<NodeId> = (0..leaves * hosts_per_leaf)
             .map(|_| graph.add_node(NodeKind::Host))
             .collect();
-        let leaf_nodes: Vec<NodeId> =
-            (0..leaves).map(|_| graph.add_node(NodeKind::Tor)).collect();
-        let spine_nodes: Vec<NodeId> =
-            (0..spines).map(|_| graph.add_node(NodeKind::Aggregation)).collect();
+        let leaf_nodes: Vec<NodeId> = (0..leaves).map(|_| graph.add_node(NodeKind::Tor)).collect();
+        let spine_nodes: Vec<NodeId> = (0..spines)
+            .map(|_| graph.add_node(NodeKind::Aggregation))
+            .collect();
         let host_links = host_nodes
             .iter()
             .enumerate()
-            .map(|(h, &hn)| {
-                graph.add_link(hn, leaf_nodes[h / hosts_per_leaf as usize], 1, 10e9)
-            })
+            .map(|(h, &hn)| graph.add_link(hn, leaf_nodes[h / hosts_per_leaf as usize], 1, 10e9))
             .collect();
         let leaf_spine_links = leaf_nodes
             .iter()
             .map(|&ln| {
-                spine_nodes.iter().map(|&sn| graph.add_link(ln, sn, 2, 40e9)).collect()
+                spine_nodes
+                    .iter()
+                    .map(|&sn| graph.add_link(ln, sn, 2, 40e9))
+                    .collect()
             })
             .collect();
-        LeafSpine { leaves, hosts_per_leaf, spines, graph, host_nodes, host_links, leaf_spine_links }
+        LeafSpine {
+            leaves,
+            hosts_per_leaf,
+            spines,
+            graph,
+            host_nodes,
+            host_links,
+            leaf_spine_links,
+        }
     }
 
     fn leaf_of(&self, s: ServerId) -> u32 {
@@ -131,31 +140,33 @@ fn main() {
     let topo: Arc<dyn Topology> = Arc::new(LeafSpine::new(8, 8, 4));
     let num_vms = 128;
     let traffic = WorkloadConfig::new(num_vms, 5).generate();
-    let alloc = Allocation::from_fn(num_vms, topo.num_servers() as u32, |vm| {
-        ServerId::new(vm.get() % topo.num_servers() as u32)
-    });
-    let mut cluster = Cluster::new(
-        Arc::clone(&topo),
-        ServerSpec::paper_default(),
-        VmSpec::paper_default(),
-        &traffic,
-        alloc,
-    )
-    .expect("striped placement fits");
 
-    // A two-level fabric wants a two-level weight vector.
+    // A two-level fabric wants a two-level weight vector; everything else
+    // of the scenario (placement, policy, timing) is declarative.
     let weights = LinkWeights::new([1.0, std::f64::consts::E]).expect("valid weights");
-    let model = CostModel::new(weights);
-    let initial = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+    let scenario = Scenario::builder()
+        .placement(PlacementSpec::Striped)
+        .policy(PolicyKind::RoundRobin)
+        .engine(EngineSpec::Custom {
+            score: ScoreConfig::paper_default(),
+            weights,
+            precopy: PreCopyConfig::paper_default(),
+            background: CbrLoad::IDLE,
+        })
+        .horizon(1e6)
+        .build();
 
-    let engine = ScoreEngine::new(model.clone(), Default::default());
-    let mut ring = TokenRing::new(engine, RoundRobin::new(), num_vms);
-    for _ in 0..4 {
-        ring.run_iteration(&mut cluster, &traffic);
-    }
-    let final_cost = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+    let mut session = scenario
+        .session_with(Arc::clone(&topo), traffic)
+        .expect("striped placement fits");
+    let initial = session.initial_cost();
+    session.run(4);
+    let final_cost = session.current_cost();
 
     println!("leaf-spine fabric: {} leaves x {} hosts", 8, 8);
-    println!("cost: {initial:.3e} -> {final_cost:.3e} ({:.1}% reduction)", (1.0 - final_cost / initial) * 100.0);
+    println!(
+        "cost: {initial:.3e} -> {final_cost:.3e} ({:.1}% reduction)",
+        (1.0 - final_cost / initial) * 100.0
+    );
     println!("S-CORE ran unmodified on a user-defined Topology implementation.");
 }

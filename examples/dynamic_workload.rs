@@ -7,13 +7,14 @@
 //! cargo run --example dynamic_workload
 //! ```
 
-use s_core::sim::{build_world, run_dynamic, PolicyKind, ScenarioConfig, SimConfig, TrafficPhase};
+use s_core::sim::{PolicyKind, Scenario, TrafficPhase};
 use s_core::traffic::{TrafficIntensity, WorkloadConfig};
 
 fn main() {
-    let scenario = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 31);
-    let mut world = build_world(&scenario);
-    let num_vms = world.traffic.num_vms();
+    let mut scenario = Scenario::small_canonical(TrafficIntensity::Sparse, 31);
+    scenario.policy = PolicyKind::HighestLevelFirst;
+    let mut session = scenario.session().expect("preset scenario is feasible");
+    let num_vms = session.traffic().num_vms();
 
     // Three epochs: the original workload, a completely re-clustered one
     // (services redeployed), then a denser variant of the second.
@@ -22,17 +23,21 @@ fn main() {
         .with_intensity(TrafficIntensity::Medium)
         .generate();
     let phases = vec![
-        TrafficPhase { duration_s: 250.0, traffic: world.traffic.clone() },
-        TrafficPhase { duration_s: 250.0, traffic: workload_b },
-        TrafficPhase { duration_s: 250.0, traffic: workload_c },
+        TrafficPhase {
+            duration_s: 250.0,
+            traffic: session.traffic().clone(),
+        },
+        TrafficPhase {
+            duration_s: 250.0,
+            traffic: workload_b,
+        },
+        TrafficPhase {
+            duration_s: 250.0,
+            traffic: workload_c,
+        },
     ];
 
-    let reports = run_dynamic(
-        &mut world.cluster,
-        &phases,
-        PolicyKind::HighestLevelFirst,
-        &SimConfig::paper_default(),
-    );
+    let reports = session.run_phases(&phases).expect("phases bind cleanly");
 
     println!("S-CORE across three traffic epochs (250 s each):\n");
     for (i, report) in reports.iter().enumerate() {

@@ -7,7 +7,7 @@
 
 use s_core::baselines::{Remedy, RemedyConfig};
 use s_core::core::LinkLoadMap;
-use s_core::sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+use s_core::sim::{PolicyKind, Scenario};
 use s_core::topology::Level;
 use s_core::traffic::TrafficIntensity;
 
@@ -26,27 +26,25 @@ fn describe(label: &str, cluster: &s_core::core::Cluster, traffic: &s_core::traf
 }
 
 fn main() {
-    let scenario = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 23);
+    let mut scenario = Scenario::small_canonical(TrafficIntensity::Sparse, 23);
+    scenario.policy = PolicyKind::HighestLevelFirst;
+    scenario.timing.t_end_s = 500.0;
 
-    let world0 = build_world(&scenario);
+    let session0 = scenario.session().expect("preset scenario is feasible");
     println!("link utilization before/after (sparse TM, random initial placement):\n");
-    describe("initial", &world0.cluster, &world0.traffic);
+    describe("initial", session0.cluster(), session0.traffic());
 
     // S-CORE localizes traffic to the cheap layers.
-    let mut score_world = build_world(&scenario);
-    let report = run_simulation(
-        &mut score_world.cluster,
-        &score_world.traffic,
-        PolicyKind::HighestLevelFirst,
-        &SimConfig { t_end_s: 500.0, ..SimConfig::paper_default() },
-    );
-    describe("s-core", &score_world.cluster, &score_world.traffic);
+    let mut score_session = scenario.session().expect("preset scenario is feasible");
+    score_session.run_to_horizon();
+    let report = score_session.report();
+    describe("s-core", score_session.cluster(), score_session.traffic());
 
     // Remedy balances utilization instead.
-    let mut remedy_world = build_world(&scenario);
-    let result =
-        Remedy::new(RemedyConfig::paper_default()).run(&mut remedy_world.cluster, &remedy_world.traffic);
-    describe("remedy", &remedy_world.cluster, &remedy_world.traffic);
+    let mut remedy_session = scenario.session().expect("preset scenario is feasible");
+    let (cluster, traffic) = remedy_session.split_mut();
+    let result = Remedy::new(RemedyConfig::paper_default()).run(cluster, traffic);
+    describe("remedy", remedy_session.cluster(), remedy_session.traffic());
 
     println!(
         "\nS-CORE migrated {} VMs and cut communication cost by {:.1}%;",

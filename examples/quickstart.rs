@@ -1,37 +1,36 @@
-//! Quickstart: run S-CORE on a small data center and watch the
-//! communication cost fall.
+//! Quickstart: declare a scenario, run it, watch the communication cost
+//! fall.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use s_core::core::{CostModel, HighestLevelFirst, ScoreEngine, TokenRing};
-use s_core::sim::{build_world, ScenarioConfig};
-use s_core::traffic::TrafficIntensity;
+use s_core::sim::{PolicyKind, Scenario};
 
 fn main() {
     // A 32-rack canonical tree with 320 VMs running a sparse, clustered
-    // workload, initially placed at random.
-    let scenario = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 42);
-    let mut world = build_world(&scenario);
-    let model = CostModel::paper_default();
+    // workload, initially placed at random, driven by the
+    // Highest-Level-First token policy.
+    let scenario = Scenario::builder()
+        .canonical_tree(32, 5)
+        .sparse_traffic(42)
+        .policy(PolicyKind::HighestLevelFirst)
+        .build();
 
-    let initial =
-        model.total_cost(world.cluster.allocation(), &world.traffic, world.cluster.topo());
-    println!("servers: {}", world.topo.num_servers());
-    println!("VMs:     {}", world.traffic.num_vms());
+    // The spec is plain data: print it, save it, re-load it.
+    println!("scenario:\n{}\n", scenario.to_json_pretty());
+
+    let mut session = scenario.session().expect("scenario is feasible");
+    let initial = session.initial_cost();
+    println!("servers: {}", session.topo().num_servers());
+    println!("VMs:     {}", session.traffic().num_vms());
     println!("initial communication cost: {initial:.3e}");
 
-    // Circulate the migration token with the Highest-Level-First policy.
-    let mut ring = TokenRing::new(
-        ScoreEngine::paper_default(),
-        HighestLevelFirst::new(),
-        world.traffic.num_vms(),
-    );
+    // Advance one full token iteration (|V| holds) at a time.
     for iteration in 1..=5 {
-        let stats = ring.run_iteration(&mut world.cluster, &world.traffic);
-        let cost =
-            model.total_cost(world.cluster.allocation(), &world.traffic, world.cluster.topo());
+        let stats = session.run(1);
+        let Some(stats) = stats.first() else { break };
+        let cost = session.current_cost();
         println!(
             "iteration {iteration}: {:>4} migrations ({:>5.1}% of VMs), cost {cost:.3e} ({:.1}% of initial)",
             stats.migrations,
@@ -40,10 +39,9 @@ fn main() {
         );
     }
 
-    let final_cost =
-        model.total_cost(world.cluster.allocation(), &world.traffic, world.cluster.topo());
+    let report = session.report();
     println!(
         "total reduction: {:.1}% — migrations stop once the allocation is traffic-local",
-        (1.0 - final_cost / initial) * 100.0
+        report.cost_reduction() * 100.0
     );
 }

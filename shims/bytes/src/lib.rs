@@ -1,0 +1,234 @@
+//! Workspace-local stand-in for the `bytes` crate: the [`Buf`]/[`BufMut`]
+//! traits and [`Bytes`]/[`BytesMut`] containers backed by `Vec<u8>`
+//! (crates.io is unreachable in this build environment). Network byte
+//! order (big-endian) throughout, like the real crate.
+
+use std::ops::Deref;
+
+/// Read cursor over a byte sequence.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16;
+
+    /// Reads a big-endian `u32`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+
+    /// Reads a big-endian `u64`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_be_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Append-only write interface.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Wraps an owned byte vector.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u8(7);
+        buf.put_u16(0x0102);
+        buf.put_u64(42);
+        let bytes = buf.freeze();
+        assert_eq!(bytes.len(), 15);
+        let mut cursor: &[u8] = &bytes;
+        assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16(), 0x0102);
+        assert_eq!(cursor.get_u64(), 42);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn wire_order_is_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        assert_eq!(buf.freeze().as_slice(), &[0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Workspace-local stand-in for `crossbeam` (crates.io is unreachable in
+//! this build environment). Only [`thread::scope`] is provided — the one
+//! crossbeam API the workspace uses — implemented over
+//! `std::thread::scope`.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle for spawning threads inside a [`scope`]; mirrors
+    /// `crossbeam::thread::Scope` (spawn closures receive the scope so
+    /// they can spawn further threads).
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined before
+    /// `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// The real crossbeam returns `Err` when a child thread panicked;
+    /// `std::thread::scope` resumes the panic on the parent instead, so
+    /// this shim only ever returns `Ok` (callers' `.expect(...)` on the
+    /// result is then a no-op, and a child panic still propagates).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 2];
+        thread::scope(|s| {
+            for (slot, chunk) in sums.iter_mut().zip(data.chunks(2)) {
+                s.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let result = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+}

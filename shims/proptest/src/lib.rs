@@ -1,0 +1,457 @@
+//! Workspace-local stand-in for the `proptest` crate (crates.io is
+//! unreachable in this build environment).
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range and tuple
+//! strategies, `prop::collection::{vec, btree_set}`, `prop_map`,
+//! `prop_oneof!`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Each test case samples fresh inputs from a per-case deterministic
+//! seed. There is **no shrinking**: a failure reports the case number and
+//! message, and the fixed seeding makes every failure reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives — what [`prop_oneof!`]
+/// expands to.
+pub struct Union<T> {
+    alternatives: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("alternatives", &self.alternatives.len())
+            .finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { alternatives }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.alternatives.len());
+        self.alternatives[i].sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Size specifications accepted by the collection strategies.
+pub trait SizeRange {
+    /// Samples a concrete size.
+    fn sample_size(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_size(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_size(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_size(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// The `prop::` namespace mirrored from the real crate.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy for `Vec`s with element strategy `element` and a
+        /// length drawn from `size`.
+        pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy for `BTreeSet`s; sizes may undershoot when sampling
+        /// produces duplicates, matching the real proptest's behavior of
+        /// trying up to the requested count.
+        pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+        where
+            S: Strategy,
+            S::Value: Ord,
+            Z: SizeRange,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let n = self.size.sample_size(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Strategy returned by [`btree_set`].
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+        where
+            S: Strategy,
+            S::Value: Ord,
+            Z: SizeRange,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let n = self.size.sample_size(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use super::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Deterministic per-case RNG: properties are reproducible run to run.
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed ^ (u64::from(case) << 32))
+}
+
+/// Marker for [`prop_assume`] rejections.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct CaseRejected(pub PhantomData<()>);
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut proptest_case_rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_case_rng);)*
+                let outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err(msg) if msg == "__proptest_case_rejected__" => {}
+                    Err(msg) => panic!(
+                        "property `{}` failed at case {case}/{}: {msg}",
+                        stringify!($name),
+                        config.cases,
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case with a
+/// formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: `{:?}` != `{:?}`", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: both sides are `{:?}`", a);
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err("__proptest_case_rejected__".to_string());
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let alternatives: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::Union::new(alternatives)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u32..10, y in 0.5f64..=1.5, (a, b) in (0u8..4, 1u8..=2)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..=1.5).contains(&y));
+            prop_assert!(a < 4 && (1..=2).contains(&b));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u16..100, 1..20),
+            s in prop::collection::btree_set(0u32..1000, 0..16),
+        ) {
+            prop_assert!((1..20).contains(&v.len()));
+            prop_assert!(s.len() < 16);
+        }
+
+        #[test]
+        fn map_and_oneof_compose(
+            op in prop_oneof![
+                (0u8..4).prop_map(|x| x as u32),
+                (10u8..14).prop_map(|x| x as u32),
+            ],
+        ) {
+            prop_assert!(op < 4 || (10..14).contains(&op), "got {op}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| {
+                let mut rng = super::case_rng("t", c);
+                rand::Rng::gen::<u64>(&mut rng)
+            })
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| {
+                let mut rng = super::case_rng("t", c);
+                rand::Rng::gen::<u64>(&mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -14,24 +14,28 @@
 //! * [`baselines`] — GA approximate-optimal, Remedy, naive placements, the
 //!   NP-completeness reduction;
 //! * [`xen`] — pre-copy live-migration model and dom0 control plane;
-//! * [`sim`] — the flow-level discrete-event simulator and scenario
-//!   runner.
+//! * [`sim`] — the flow-level discrete-event simulator and the
+//!   `Scenario`/`Session` experiment API.
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use s_core::sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
-//! use s_core::traffic::TrafficIntensity;
+//! Every experiment is two moves: *declare* a [`sim::Scenario`] (builder,
+//! preset, or JSON — the spec is fully serde-round-trippable), then
+//! *materialize* it into a [`sim::Session`] and run:
 //!
-//! let scenario = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 42);
-//! let mut world = build_world(&scenario);
-//! let config = SimConfig { t_end_s: 60.0, ..SimConfig::paper_default() };
-//! let report = run_simulation(
-//!     &mut world.cluster,
-//!     &world.traffic,
-//!     PolicyKind::HighestLevelFirst,
-//!     &config,
-//! );
+//! ```
+//! use s_core::sim::{PolicyKind, Scenario};
+//!
+//! let scenario = Scenario::builder()
+//!     .canonical_tree(32, 5)
+//!     .sparse_traffic(42)
+//!     .policy(PolicyKind::HighestLevelFirst)
+//!     .horizon(60.0)
+//!     .build();
+//!
+//! let mut session = scenario.session().expect("scenario is feasible");
+//! session.run_to_horizon();
+//! let report = session.report();
 //! println!(
 //!     "communication cost: {:.3e} -> {:.3e} ({} migrations)",
 //!     report.initial_cost,
@@ -39,10 +43,16 @@
 //!     report.migrations.len()
 //! );
 //! assert!(report.final_cost <= report.initial_cost);
+//!
+//! // The spec round-trips through JSON, and the report serializes to the
+//! // same machine-readable format every experiment binary emits.
+//! assert_eq!(Scenario::from_json(&scenario.to_json()).unwrap(), scenario);
+//! let _json = report.to_json();
 //! ```
 //!
-//! See `examples/` for richer scenarios and `crates/experiments` for the
-//! binaries regenerating every figure of the paper.
+//! See `examples/` for richer scenarios (dynamic workloads, custom
+//! fabrics, `c_m` sweeps) and `crates/experiments` for the binaries
+//! regenerating every figure of the paper.
 
 pub use score_baselines as baselines;
 pub use score_core as core;

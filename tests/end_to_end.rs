@@ -1,17 +1,17 @@
 //! Cross-crate integration tests driven through the `s-core` facade.
 
-use s_core::baselines::{
-    exhaustive_optimal, random_placement, GaConfig, GeneticOptimizer,
-};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s_core::baselines::{exhaustive_optimal, random_placement, GaConfig, GeneticOptimizer};
 use s_core::core::{
     Allocation, CapacityReport, Cluster, CostModel, HighestLevelFirst, RoundRobin, ScoreEngine,
     ServerSpec, Token, TokenRing, VmSpec,
 };
-use s_core::topology::{AddressPlan, CanonicalTree, CanonicalTreeBuilder, ServerId, Topology, VmId};
+use s_core::topology::{
+    AddressPlan, CanonicalTree, CanonicalTreeBuilder, ServerId, Topology, VmId,
+};
 use s_core::traffic::{PairTrafficBuilder, WorkloadConfig};
 use s_core::xen::ControlPlane;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 fn small_cluster(seed: u64) -> (Cluster, s_core::traffic::PairTraffic) {
@@ -39,7 +39,10 @@ fn facade_pipeline_reduces_cost_and_respects_invariants() {
     let stats = ring.run_iterations(6, &mut cluster, &traffic);
     let final_cost = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
 
-    assert!(final_cost < initial, "S-CORE must improve a random placement");
+    assert!(
+        final_cost < initial,
+        "S-CORE must improve a random placement"
+    );
     assert_eq!(stats.last().unwrap().migrations, 0, "must converge");
     assert!(cluster.allocation().is_consistent());
     for s in cluster.topo().servers() {
@@ -94,17 +97,26 @@ fn exhaustive_bounds_ga_and_score_on_tiny_instance() {
 
     let exact = exhaustive_optimal(&topo, &traffic, &model, 3);
     let ga = GeneticOptimizer::new(&topo, &traffic, model.clone(), 3, GaConfig::fast()).run();
-    assert!(ga.best_cost + 1e-9 >= exact.best_cost, "exhaustive is a lower bound");
+    assert!(
+        ga.best_cost + 1e-9 >= exact.best_cost,
+        "exhaustive is a lower bound"
+    );
 
     let alloc = Allocation::from_fn(6, 4, |vm| ServerId::new(vm.get() % 4));
     let topo_arc: Arc<dyn Topology> = Arc::new(topo);
-    let spec = ServerSpec { vm_slots: 3, ..ServerSpec::paper_default() };
+    let spec = ServerSpec {
+        vm_slots: 3,
+        ..ServerSpec::paper_default()
+    };
     let mut cluster =
         Cluster::new(topo_arc, spec, VmSpec::paper_default(), &traffic, alloc).unwrap();
     let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 6);
     ring.run_iterations(8, &mut cluster, &traffic);
     let score_cost = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
-    assert!(score_cost + 1e-9 >= exact.best_cost, "S-CORE cannot beat the true optimum");
+    assert!(
+        score_cost + 1e-9 >= exact.best_cost,
+        "S-CORE cannot beat the true optimum"
+    );
 }
 
 #[test]
@@ -116,7 +128,10 @@ fn token_travels_the_control_plane() {
     for s in 0..topo.num_servers() as u32 {
         cp.add_host(
             plan.server_ip(ServerId::new(s)),
-            CapacityReport { free_slots: 16, free_ram_mb: 4096 },
+            CapacityReport {
+                free_slots: 16,
+                free_ram_mb: 4096,
+            },
         );
     }
     // VM addresses from a disjoint space, routed to their hosts.

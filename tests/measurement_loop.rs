@@ -57,8 +57,7 @@ fn estimated_rates_drive_equivalent_decisions() {
 
     // Evaluate BOTH final allocations against the ground truth λ.
     let model = CostModel::paper_default();
-    let cost_truth =
-        model.total_cost(truth_cluster.allocation(), &truth, truth_cluster.topo());
+    let cost_truth = model.total_cost(truth_cluster.allocation(), &truth, truth_cluster.topo());
     let cost_est = model.total_cost(est_cluster.allocation(), &truth, est_cluster.topo());
     assert!(
         cost_est <= cost_truth * 1.05 + 1e-9,
@@ -80,7 +79,11 @@ fn stale_estimates_decay_and_new_traffic_dominates() {
         estimator.observe(VmId::new(2), VmId::new(3), 10_000.0, t as f64);
     }
     let snap = estimator.snapshot(90.0);
-    assert_eq!(snap.rate(VmId::new(0), VmId::new(1)), 0.0, "stale pair must lapse");
+    assert_eq!(
+        snap.rate(VmId::new(0), VmId::new(1)),
+        0.0,
+        "stale pair must lapse"
+    );
     assert!(snap.rate(VmId::new(2), VmId::new(3)) > 0.0);
     assert_eq!(snap.peers(VmId::new(0)).len(), 0);
 }

@@ -7,7 +7,7 @@
 
 use s_core::baselines::{verify_reduction, GraphPartitionInstance, Remedy, RemedyConfig};
 use s_core::core::{CostModel, LinkLoadMap};
-use s_core::sim::{build_world, run_simulation, PolicyKind, ScenarioConfig, SimConfig};
+use s_core::sim::{PolicyKind, Scenario};
 use s_core::topology::Level;
 use s_core::traffic::{CbrLoad, TrafficIntensity};
 use s_core::xen::{load_sweep, migrated_bytes_histogram, PreCopyModel};
@@ -16,24 +16,29 @@ use s_core::xen::{load_sweep, migrated_bytes_histogram, PreCopyModel};
 /// token-passing iteration".
 #[test]
 fn convergence_within_two_iterations() {
-    let mut world = build_world(&ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 7));
-    let num_vms = world.cluster.num_vms() as f64;
-    let config = SimConfig {
-        t_end_s: 6.5 * num_vms * 0.06,
-        token_hold_s: 0.05,
-        token_pass_s: 0.01,
-        ..SimConfig::paper_default()
-    };
-    let report = run_simulation(
-        &mut world.cluster,
-        &world.traffic,
-        PolicyKind::RoundRobin,
-        &config,
+    let mut scenario = Scenario::small_canonical(TrafficIntensity::Sparse, 7);
+    scenario.policy = PolicyKind::RoundRobin;
+    let topo = scenario
+        .topology
+        .build()
+        .expect("preset dimensions are valid");
+    let num_vms = scenario.workload.num_vms(topo.as_ref()) as f64;
+    scenario.timing.t_end_s = 6.5 * num_vms * 0.06;
+    scenario.timing.token_hold_s = 0.05;
+    scenario.timing.token_pass_s = 0.01;
+    let mut session = scenario.session().expect("preset scenario is feasible");
+    session.run_to_horizon();
+    let report = session.report();
+    let ratios: Vec<f64> = report.migration_ratios.iter().take(5).copied().collect();
+    assert!(
+        ratios.len() >= 4,
+        "need at least 4 iterations, got {}",
+        ratios.len()
     );
-    let ratios: Vec<f64> =
-        report.iterations.iter().take(5).map(|it| it.migration_ratio()).collect();
-    assert!(ratios.len() >= 4, "need at least 4 iterations, got {}", ratios.len());
-    assert!(ratios[0] > 0.1, "first iteration migrates substantially: {ratios:?}");
+    assert!(
+        ratios[0] > 0.1,
+        "first iteration migrates substantially: {ratios:?}"
+    );
     assert!(
         ratios[2] < ratios[0] * 0.25,
         "third iteration must be a small fraction of the first: {ratios:?}"
@@ -57,11 +62,11 @@ fn score_captures_most_of_the_optimal_reduction() {
 
 fn score_experiments_like_fig3() -> (Vec<(String, f64)>, ()) {
     use s_core::baselines::{GaConfig, GeneticOptimizer};
-    let scenario = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 11);
-    let ga_world = build_world(&scenario);
+    let base = Scenario::small_canonical(TrafficIntensity::Sparse, 11);
+    let ga_session = base.session().expect("preset scenario is feasible");
     let ga = GeneticOptimizer::new(
-        ga_world.topo.as_ref(),
-        &ga_world.traffic,
+        ga_session.topo().as_ref(),
+        ga_session.traffic(),
         CostModel::paper_default(),
         16,
         GaConfig::fast(),
@@ -69,13 +74,12 @@ fn score_experiments_like_fig3() -> (Vec<(String, f64)>, ()) {
     .run();
     let mut cells = Vec::new();
     for policy in PolicyKind::paper_policies() {
-        let mut world = build_world(&scenario);
-        let report = run_simulation(
-            &mut world.cluster,
-            &world.traffic,
-            policy,
-            &SimConfig { t_end_s: 500.0, ..SimConfig::paper_default() },
-        );
+        let mut scenario = base.clone();
+        scenario.policy = policy;
+        scenario.timing.t_end_s = 500.0;
+        let mut session = scenario.session().expect("preset scenario is feasible");
+        session.run_to_horizon();
+        let report = session.report();
         let reduction = (report.initial_cost - report.final_cost)
             / (report.initial_cost - ga.best_cost).max(f64::MIN_POSITIVE);
         cells.push((policy.name().to_string(), reduction));
@@ -87,31 +91,22 @@ fn score_experiments_like_fig3() -> (Vec<(String, f64)>, ()) {
 /// more than Remedy (paper: ~40% vs ~10%) and relieves core links more.
 #[test]
 fn score_outperforms_remedy() {
-    let scenario = ScenarioConfig::small_canonical(TrafficIntensity::Sparse, 23);
-    let model = CostModel::paper_default();
+    let mut scenario = Scenario::small_canonical(TrafficIntensity::Sparse, 23);
+    scenario.policy = PolicyKind::HighestLevelFirst;
+    scenario.timing.t_end_s = 500.0;
 
-    let mut score_world = build_world(&scenario);
-    let initial = model.total_cost(
-        score_world.cluster.allocation(),
-        &score_world.traffic,
-        score_world.cluster.topo(),
-    );
-    let report = run_simulation(
-        &mut score_world.cluster,
-        &score_world.traffic,
-        PolicyKind::HighestLevelFirst,
-        &SimConfig { t_end_s: 500.0, ..SimConfig::paper_default() },
-    );
+    let mut score_session = scenario.session().expect("preset scenario is feasible");
+    let initial = score_session.initial_cost();
+    score_session.run_to_horizon();
+    let report = score_session.report();
     let score_reduction = 1.0 - report.final_cost / initial;
 
-    let mut remedy_world = build_world(&scenario);
-    Remedy::new(RemedyConfig::paper_default())
-        .run(&mut remedy_world.cluster, &remedy_world.traffic);
-    let remedy_cost = model.total_cost(
-        remedy_world.cluster.allocation(),
-        &remedy_world.traffic,
-        remedy_world.cluster.topo(),
-    );
+    let mut remedy_session = scenario.session().expect("preset scenario is feasible");
+    {
+        let (cluster, traffic) = remedy_session.split_mut();
+        Remedy::new(RemedyConfig::paper_default()).run(cluster, traffic);
+    }
+    let remedy_cost = remedy_session.current_cost();
     let remedy_reduction = 1.0 - remedy_cost / initial;
 
     assert!(
@@ -123,15 +118,15 @@ fn score_outperforms_remedy() {
 
     // Core-layer relief (Fig. 4a): S-CORE shifts the core CDF further left.
     let score_core = LinkLoadMap::compute(
-        score_world.cluster.allocation(),
-        &score_world.traffic,
-        score_world.cluster.topo(),
+        score_session.cluster().allocation(),
+        score_session.traffic(),
+        score_session.cluster().topo(),
     )
     .utilization_cdf(Level::CORE);
     let remedy_core = LinkLoadMap::compute(
-        remedy_world.cluster.allocation(),
-        &remedy_world.traffic,
-        remedy_world.cluster.topo(),
+        remedy_session.cluster().allocation(),
+        remedy_session.traffic(),
+        remedy_session.cluster().topo(),
     )
     .utilization_cdf(Level::CORE);
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -155,7 +150,10 @@ fn migration_time_and_downtime_anchors() {
     assert!((sweep[10].time.mean - 9.34).abs() < 1.6);
     for p in &sweep {
         assert!(p.downtime.max < 0.050);
-        assert!(p.downtime.mean < p.time.mean / 10.0, "downtime is an order smaller");
+        assert!(
+            p.downtime.mean < p.time.mean / 10.0,
+            "downtime is an order smaller"
+        );
     }
     // Sub-linear: the second half of the sweep grows slower than 1:1 with
     // the first jump.
@@ -171,7 +169,14 @@ fn migration_time_and_downtime_anchors() {
 fn np_reduction_equivalence() {
     let gp = GraphPartitionInstance {
         vertices: 6,
-        edges: vec![(0, 1, 4.0), (1, 2, 1.0), (2, 3, 4.0), (3, 4, 1.0), (4, 5, 4.0), (5, 0, 1.0)],
+        edges: vec![
+            (0, 1, 4.0),
+            (1, 2, 1.0),
+            (2, 3, 4.0),
+            (3, 4, 1.0),
+            (4, 5, 4.0),
+            (5, 0, 1.0),
+        ],
         capacity: 3,
         goal: 3.0,
     };

@@ -5,8 +5,7 @@
 //! cargo test --release --test paper_scale -- --ignored
 //! ```
 
-use s_core::core::{CostModel, HighestLevelFirst, ScoreEngine, TokenRing};
-use s_core::sim::{build_world, ScenarioConfig};
+use s_core::sim::Scenario;
 use s_core::topology::{CanonicalTree, FatTree, Topology};
 use s_core::traffic::TrafficIntensity;
 
@@ -25,17 +24,19 @@ fn paper_topologies_have_the_published_dimensions() {
 #[test]
 #[ignore = "paper-scale run: ~5120 VMs, minutes in debug builds"]
 fn full_scale_canonical_tree_converges() {
-    let scenario = ScenarioConfig::paper_canonical(TrafficIntensity::Sparse, 7);
-    let mut world = build_world(&scenario);
-    let num_vms = world.traffic.num_vms();
+    let scenario = Scenario::paper_canonical(TrafficIntensity::Sparse, 7);
+    let mut session = scenario
+        .session()
+        .expect("paper-scale scenario is feasible");
+    let num_vms = session.traffic().num_vms();
     assert_eq!(num_vms, 5120);
-    let model = CostModel::paper_default();
-    let initial = model.total_cost(world.cluster.allocation(), &world.traffic, world.cluster.topo());
-    let mut ring = TokenRing::new(ScoreEngine::paper_default(), HighestLevelFirst::new(), num_vms);
-    let stats = ring.run_iterations(3, &mut world.cluster, &world.traffic);
-    let final_cost =
-        model.total_cost(world.cluster.allocation(), &world.traffic, world.cluster.topo());
-    assert!(final_cost < initial * 0.5, "{initial:.3e} -> {final_cost:.3e}");
+    let initial = session.initial_cost();
+    let stats = session.run(3);
+    let final_cost = session.current_cost();
+    assert!(
+        final_cost < initial * 0.5,
+        "{initial:.3e} -> {final_cost:.3e}"
+    );
     assert!(stats[0].migration_ratio() > 0.3);
     assert!(stats[2].migration_ratio() < stats[0].migration_ratio() * 0.25);
 }
@@ -43,15 +44,17 @@ fn full_scale_canonical_tree_converges() {
 #[test]
 #[ignore = "paper-scale run: 1024-host fat-tree"]
 fn full_scale_fattree_converges() {
-    let scenario = ScenarioConfig::paper_fattree(TrafficIntensity::Sparse, 7);
-    let mut world = build_world(&scenario);
-    let num_vms = world.traffic.num_vms();
+    let scenario = Scenario::paper_fattree(TrafficIntensity::Sparse, 7);
+    let mut session = scenario
+        .session()
+        .expect("paper-scale scenario is feasible");
+    let num_vms = session.traffic().num_vms();
     assert_eq!(num_vms, 2048);
-    let model = CostModel::paper_default();
-    let initial = model.total_cost(world.cluster.allocation(), &world.traffic, world.cluster.topo());
-    let mut ring = TokenRing::new(ScoreEngine::paper_default(), HighestLevelFirst::new(), num_vms);
-    ring.run_iterations(3, &mut world.cluster, &world.traffic);
-    let final_cost =
-        model.total_cost(world.cluster.allocation(), &world.traffic, world.cluster.topo());
-    assert!(final_cost < initial * 0.6, "{initial:.3e} -> {final_cost:.3e}");
+    let initial = session.initial_cost();
+    session.run(3);
+    let final_cost = session.current_cost();
+    assert!(
+        final_cost < initial * 0.6,
+        "{initial:.3e} -> {final_cost:.3e}"
+    );
 }
