@@ -1,0 +1,153 @@
+//! Cost-sampling microbenchmark: full Eq.-(2) recompute vs `CostLedger`
+//! read, at 128 / 1024 / 2560 hosts.
+//!
+//! `Session::step` samples the network-wide cost at every sample tick;
+//! before the ledger existed each sample re-walked every VM pair
+//! (`O(pairs)`), which at the paper's 2560-host scale dominates the
+//! simulation loop. This bench quantifies the gap and records it in
+//! `BENCH_cost_sampling.json` at the workspace root, so the scaling
+//! claim is pinned to numbers.
+//!
+//! Run with `cargo bench --bench cost_sampling`.
+
+use criterion::{black_box, Criterion};
+use score_sim::{Scenario, TopologySpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Measured timings for one fabric size.
+struct SamplePoint {
+    label: &'static str,
+    hosts: usize,
+    vms: u32,
+    pairs: usize,
+    full_recompute_ns: f64,
+    ledger_sample_ns: f64,
+}
+
+fn scenario_for(topology: TopologySpec) -> Scenario {
+    Scenario::builder()
+        .topology(topology)
+        .sparse_traffic(11)
+        .build()
+}
+
+fn measure(label: &'static str, topology: TopologySpec) -> SamplePoint {
+    let session = scenario_for(topology)
+        .session()
+        .expect("bench scenario is feasible");
+    let model = session.cost_model().clone();
+    let cluster = session.cluster();
+    let traffic = session.traffic();
+    let ledger = model.ledger(cluster.allocation(), traffic, cluster.topo());
+
+    let full_reps = 32u32;
+    let start = Instant::now();
+    for _ in 0..full_reps {
+        black_box(model.total_cost(black_box(cluster.allocation()), traffic, cluster.topo()));
+    }
+    let full_recompute_ns = start.elapsed().as_nanos() as f64 / f64::from(full_reps);
+
+    let ledger_reps = 1_000_000u32;
+    let start = Instant::now();
+    for _ in 0..ledger_reps {
+        black_box(black_box(&ledger).current());
+    }
+    let ledger_sample_ns = start.elapsed().as_nanos() as f64 / f64::from(ledger_reps);
+
+    SamplePoint {
+        label,
+        hosts: session.topo().num_servers(),
+        vms: traffic.num_vms(),
+        pairs: traffic.num_pairs(),
+        full_recompute_ns,
+        ledger_sample_ns,
+    }
+}
+
+fn sizes() -> [(&'static str, TopologySpec); 3] {
+    [
+        ("fat-tree-128", TopologySpec::small_fattree()),
+        ("fat-tree-1024", TopologySpec::paper_fattree()),
+        ("canonical-2560", TopologySpec::paper_canonical()),
+    ]
+}
+
+fn bench_cost_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_sampling");
+    group.sample_size(10);
+    for (label, topology) in sizes() {
+        let session = scenario_for(topology)
+            .session()
+            .expect("bench scenario is feasible");
+        let model = session.cost_model().clone();
+        let ledger = model.ledger(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        group.bench_function(format!("full_recompute/{label}"), |b| {
+            b.iter(|| {
+                model.total_cost(
+                    session.cluster().allocation(),
+                    session.traffic(),
+                    session.cluster().topo(),
+                )
+            })
+        });
+        group.bench_function(format!("ledger_sample/{label}"), |b| {
+            b.iter(|| black_box(&ledger).current())
+        });
+    }
+    group.finish();
+}
+
+/// Writes `BENCH_cost_sampling.json` at the workspace root.
+fn record(points: &[SamplePoint]) {
+    let mut json =
+        String::from("{\n  \"bench\": \"cost_sampling\",\n  \"unit\": \"ns\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"label\": \"{}\", \"hosts\": {}, \"vms\": {}, \"pairs\": {}, \
+             \"full_recompute_ns\": {:.1}, \"ledger_sample_ns\": {:.2}, \"speedup\": {:.1}}}",
+            p.label,
+            p.hosts,
+            p.vms,
+            p.pairs,
+            p.full_recompute_ns,
+            p.ledger_sample_ns,
+            p.full_recompute_ns / p.ledger_sample_ns.max(f64::MIN_POSITIVE),
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .find(|p| p.join("Cargo.toml").exists() && p.join("crates").exists())
+        .map(|p| p.join("BENCH_cost_sampling.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_cost_sampling.json"));
+    std::fs::write(&path, json).expect("write bench record");
+    println!("bench record written to {}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_cost_sampling(&mut criterion);
+    let points: Vec<SamplePoint> = sizes()
+        .into_iter()
+        .map(|(label, topology)| measure(label, topology))
+        .collect();
+    for p in &points {
+        println!(
+            "cost_sampling: {:<15} {:>5} hosts {:>6} pairs  full {:>12.1} ns  ledger {:>6.2} ns  ({:.0}x)",
+            p.label,
+            p.hosts,
+            p.pairs,
+            p.full_recompute_ns,
+            p.ledger_sample_ns,
+            p.full_recompute_ns / p.ledger_sample_ns.max(f64::MIN_POSITIVE),
+        );
+    }
+    record(&points);
+}

@@ -312,6 +312,39 @@ impl Cluster {
         Ok(())
     }
 
+    /// Rebinds the cluster to a new traffic matrix **in place**: the
+    /// allocation, server specs and VM specs carry over untouched, and
+    /// only the NIC side of the resource ledger (per-VM demand estimates
+    /// and per-server load) is re-derived from the new rates. This is
+    /// the cheap path for a traffic-phase shift — no allocation copy, no
+    /// slot/RAM/CPU re-validation (none of those depend on traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::VmCountMismatch`] if the new traffic
+    /// describes a different VM population; the cluster is unchanged on
+    /// error.
+    pub fn rebind_traffic(&mut self, traffic: &PairTraffic) -> Result<(), ClusterError> {
+        if traffic.num_vms() != self.alloc.num_vms() {
+            return Err(ClusterError::VmCountMismatch {
+                allocation: self.alloc.num_vms(),
+                specs: self.vm_specs.len(),
+                traffic: traffic.num_vms(),
+            });
+        }
+        for usage in &mut self.usage {
+            usage.nic_bps = 0.0;
+        }
+        for v in 0..self.alloc.num_vms() {
+            let vm = VmId::new(v);
+            let demand: f64 = traffic.peers(vm).iter().map(|&(_, r)| r).sum();
+            self.vm_nic_demand[vm.index()] = demand;
+            self.usage[self.alloc.server_of(vm).index()].nic_bps += demand;
+        }
+        self.traffic = traffic.clone();
+        Ok(())
+    }
+
     /// Replaces the allocation wholesale (used by centralized baselines),
     /// re-deriving usage.
     ///
@@ -511,6 +544,29 @@ mod tests {
         assert_eq!(c.external_rate(VmId::new(0), ServerId::new(5)), 110.0);
         // vm0 contributes its (0,2) pair; vm1's only peer is on-host.
         assert_eq!(c.host_external_load(ServerId::new(0)), 10.0);
+    }
+
+    #[test]
+    fn rebind_traffic_patches_nic_ledger_in_place() {
+        let mut c = cluster(4, 16);
+        let before_alloc = c.allocation().clone();
+        assert_eq!(c.vm_nic_demand(VmId::new(0)), 100.0);
+        // New matrix: the (0,1) pair disappears, (2,3) appears at 40.
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(2), VmId::new(3), 40.0);
+        c.rebind_traffic(&b.build()).unwrap();
+        // Allocation and slot/RAM usage carry over untouched.
+        assert_eq!(c.allocation(), &before_alloc);
+        assert_eq!(c.usage(ServerId::new(0)).slots, 1);
+        // NIC accounting reflects the new rates.
+        assert_eq!(c.vm_nic_demand(VmId::new(0)), 0.0);
+        assert_eq!(c.vm_nic_demand(VmId::new(2)), 40.0);
+        assert!((c.usage(ServerId::new(2)).nic_bps - 40.0).abs() < 1e-9);
+        assert_eq!(c.usage(ServerId::new(0)).nic_bps, 0.0);
+        // A population mismatch is rejected and leaves the cluster alone.
+        let err = c.rebind_traffic(&traffic(5)).unwrap_err();
+        assert!(matches!(err, ClusterError::VmCountMismatch { .. }));
+        assert_eq!(c.vm_nic_demand(VmId::new(2)), 40.0);
     }
 
     #[test]

@@ -120,6 +120,19 @@ impl CostModel {
         2.0 * delta
     }
 
+    /// Seeds a [`crate::CostLedger`] with this model and one full
+    /// Eq.-(2) pass — after which `C_A` stays observable in `O(1)` by
+    /// folding each accepted migration's [`CostModel::migration_delta`]
+    /// into the ledger instead of recomputing.
+    pub fn ledger<T: Topology + ?Sized>(
+        &self,
+        alloc: &Allocation,
+        traffic: &PairTraffic,
+        topo: &T,
+    ) -> crate::CostLedger {
+        crate::CostLedger::new(self.clone(), alloc, traffic, topo)
+    }
+
     /// Theorem 1: should `u` migrate to `target` given migration cost
     /// `cm`? True iff `ΔC > cm`.
     pub fn should_migrate<T: Topology + ?Sized>(

@@ -85,6 +85,14 @@ impl MigrationDecision {
     pub fn migrates(&self) -> bool {
         self.target.is_some()
     }
+
+    /// The signed change this decision applied to the network-wide cost
+    /// `C_A`: `−gain` for an accepted migration, `0.0` for a declined
+    /// one. This is the quantity an incremental cost accumulator (e.g.
+    /// [`crate::CostLedger`]) folds in instead of recomputing Eq. (2).
+    pub fn applied_delta(&self) -> f64 {
+        -self.gain
+    }
 }
 
 /// The S-CORE decision engine: stateless combination of a cost model and a

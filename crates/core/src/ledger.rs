@@ -1,0 +1,241 @@
+//! Incremental Eq.-(2) cost accounting — the [`CostLedger`].
+//!
+//! The paper's headline claim is *scalability*: each migration decision
+//! needs only the Lemma-3 delta, which is local to the moving VM. The
+//! simulator's observability must match that property — sampling the
+//! network-wide cost `C_A` at every tick by re-walking all VM pairs
+//! (Eq. 2) is `O(pairs)` per sample and dominates the run time at the
+//! paper's 2560-host scale.
+//!
+//! [`CostLedger`] keeps `C_A` as a running total instead:
+//!
+//! * **initialization** — one full Eq.-(2) pass ([`CostLedger::new`]);
+//! * **migration** — every accepted move already computed its Lemma-3
+//!   delta `ΔC`; [`CostLedger::apply_gain`] folds it in, making the
+//!   update `O(1)` on top of the `O(|Vu|)` the decision itself paid;
+//! * **traffic rebind** — when a phase swaps the traffic matrix under an
+//!   unchanged allocation, [`CostLedger::rebind`] merge-joins the two
+//!   canonical pair lists and only re-prices pairs whose rate actually
+//!   changed (`O(changed pairs)` level lookups);
+//! * **sampling** — [`CostLedger::current`] is a field read, `O(1)`.
+//!
+//! Lemma 3 guarantees the delta equals the difference of full
+//! recomputations exactly; the ledger therefore tracks the true cost up
+//! to floating-point rounding (pinned to ≤ 1e-9 relative by the property
+//! suite in `tests/ledger_properties.rs`). When external code mutates
+//! the allocation wholesale (centralized baselines via
+//! `Cluster::set_allocation`), call [`CostLedger::resync`] to restore
+//! the invariant with one full pass.
+
+use score_topology::Topology;
+use score_traffic::PairTraffic;
+
+use crate::allocation::Allocation;
+use crate::cost::CostModel;
+
+/// Incrementally maintained network-wide communication cost `C_A`
+/// (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CostLedger {
+    model: CostModel,
+    total: f64,
+}
+
+impl CostLedger {
+    /// Initializes the ledger with one full Eq.-(2) pass over `traffic`
+    /// under `alloc`.
+    pub fn new<T: Topology + ?Sized>(
+        model: CostModel,
+        alloc: &Allocation,
+        traffic: &PairTraffic,
+        topo: &T,
+    ) -> Self {
+        let total = model.total_cost(alloc, traffic, topo);
+        CostLedger { model, total }
+    }
+
+    /// The current network-wide cost `C_A` — `O(1)`.
+    pub fn current(&self) -> f64 {
+        self.total
+    }
+
+    /// The cost model whose weights price the ledger.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Folds in the Lemma-3 gain of an accepted migration: the move
+    /// reduced `C_A` by exactly `gain`. Passing the `0.0` gain of a
+    /// declined decision is a no-op, so callers can apply every
+    /// `MigrationDecision` unconditionally.
+    pub fn apply_gain(&mut self, gain: f64) {
+        self.total -= gain;
+    }
+
+    /// Re-prices the ledger for a traffic rebind: `old` is replaced by
+    /// `new` while the allocation stays fixed. Merge-joins the two
+    /// canonical (sorted, `u < v`) pair lists and adjusts the total only
+    /// for pairs whose rate changed, appeared, or disappeared — level
+    /// lookups are paid per *changed* pair, not per pair.
+    ///
+    /// Both traffic matrices must describe the same VM population.
+    pub fn rebind<T: Topology + ?Sized>(
+        &mut self,
+        alloc: &Allocation,
+        old: &PairTraffic,
+        new: &PairTraffic,
+        topo: &T,
+    ) {
+        debug_assert_eq!(old.num_vms(), new.num_vms(), "populations must match");
+        let weights = self.model.weights();
+        let price = |u: score_topology::VmId, v: score_topology::VmId, rate: f64| {
+            2.0 * rate * weights.prefix(topo.level(alloc.server_of(u), alloc.server_of(v)))
+        };
+        let (old_pairs, new_pairs) = (old.pairs(), new.pairs());
+        let (mut i, mut j) = (0, 0);
+        let mut delta = 0.0;
+        while i < old_pairs.len() && j < new_pairs.len() {
+            let (ou, ov, or) = old_pairs[i];
+            let (nu, nv, nr) = new_pairs[j];
+            match (ou, ov).cmp(&(nu, nv)) {
+                std::cmp::Ordering::Less => {
+                    delta -= price(ou, ov, or);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    delta += price(nu, nv, nr);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if or != nr {
+                        delta += price(nu, nv, nr - or);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &(u, v, r) in &old_pairs[i..] {
+            delta -= price(u, v, r);
+        }
+        for &(u, v, r) in &new_pairs[j..] {
+            delta += price(u, v, r);
+        }
+        self.total += delta;
+    }
+
+    /// Discards the running total and recomputes it with one full
+    /// Eq.-(2) pass — the escape hatch after wholesale allocation
+    /// replacement (e.g. a centralized baseline rewrote the placement
+    /// behind the ledger's back).
+    pub fn resync<T: Topology + ?Sized>(
+        &mut self,
+        alloc: &Allocation,
+        traffic: &PairTraffic,
+        topo: &T,
+    ) {
+        self.total = self.model.total_cost(alloc, traffic, topo);
+    }
+
+    /// Absolute difference between the ledger and a fresh full
+    /// recomputation — the drift a test pins to (near) zero.
+    pub fn drift<T: Topology + ?Sized>(
+        &self,
+        alloc: &Allocation,
+        traffic: &PairTraffic,
+        topo: &T,
+    ) -> f64 {
+        (self.total - self.model.total_cost(alloc, traffic, topo)).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use score_topology::{CanonicalTree, ServerId, VmId};
+    use score_traffic::PairTrafficBuilder;
+
+    fn topo() -> CanonicalTree {
+        CanonicalTree::small()
+    }
+
+    fn traffic() -> PairTraffic {
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(0), VmId::new(1), 10.0);
+        b.add(VmId::new(0), VmId::new(2), 5.0);
+        b.add(VmId::new(2), VmId::new(3), 1.0);
+        b.build()
+    }
+
+    fn alloc() -> Allocation {
+        let servers = [0u32, 1, 4, 8];
+        Allocation::from_fn(4, 16, |vm| ServerId::new(servers[vm.index()]))
+    }
+
+    #[test]
+    fn initialization_matches_full_pass() {
+        let (a, t, topo) = (alloc(), traffic(), topo());
+        let model = CostModel::paper_default();
+        let ledger = CostLedger::new(model.clone(), &a, &t, &topo);
+        assert_eq!(ledger.current(), model.total_cost(&a, &t, &topo));
+        assert_eq!(ledger.drift(&a, &t, &topo), 0.0);
+    }
+
+    #[test]
+    fn gains_track_migrations() {
+        let (mut a, t, topo) = (alloc(), traffic(), topo());
+        let model = CostModel::paper_default();
+        let mut ledger = CostLedger::new(model.clone(), &a, &t, &topo);
+        // Move vm0 next to vm2 and fold the Lemma-3 delta in.
+        let delta = model.migration_delta(VmId::new(0), ServerId::new(4), &a, &t, &topo);
+        a.move_vm(VmId::new(0), ServerId::new(4));
+        ledger.apply_gain(delta);
+        assert!(ledger.drift(&a, &t, &topo) < 1e-9);
+        // A declined decision's 0.0 gain is a no-op.
+        let before = ledger.current();
+        ledger.apply_gain(0.0);
+        assert_eq!(ledger.current(), before);
+    }
+
+    #[test]
+    fn rebind_reprices_changed_pairs_only() {
+        let (a, t, topo) = (alloc(), traffic(), topo());
+        let model = CostModel::paper_default();
+        let mut ledger = CostLedger::new(model.clone(), &a, &t, &topo);
+        // New matrix: one pair kept, one re-rated, one dropped, one added.
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(0), VmId::new(1), 10.0); // kept
+        b.add(VmId::new(0), VmId::new(2), 7.0); // re-rated
+        b.add(VmId::new(1), VmId::new(3), 4.0); // added; (2,3) dropped
+        let new = b.build();
+        ledger.rebind(&a, &t, &new, &topo);
+        assert!(
+            (ledger.current() - model.total_cost(&a, &new, &topo)).abs() < 1e-9,
+            "rebind must land on the full recomputation"
+        );
+    }
+
+    #[test]
+    fn rebind_to_empty_and_back() {
+        let (a, t, topo) = (alloc(), traffic(), topo());
+        let model = CostModel::paper_default();
+        let mut ledger = CostLedger::new(model.clone(), &a, &t, &topo);
+        let empty = PairTraffic::empty(4);
+        ledger.rebind(&a, &t, &empty, &topo);
+        assert_eq!(ledger.current(), 0.0);
+        ledger.rebind(&a, &empty, &t, &topo);
+        assert!(ledger.drift(&a, &t, &topo) < 1e-9);
+    }
+
+    #[test]
+    fn resync_restores_after_external_mutation() {
+        let (mut a, t, topo) = (alloc(), traffic(), topo());
+        let mut ledger = CostLedger::new(CostModel::paper_default(), &a, &t, &topo);
+        // Mutate the allocation without telling the ledger …
+        a.move_vm(VmId::new(3), ServerId::new(0));
+        assert!(ledger.drift(&a, &t, &topo) > 0.0);
+        // … then resync.
+        ledger.resync(&a, &t, &topo);
+        assert_eq!(ledger.drift(&a, &t, &topo), 0.0);
+    }
+}

@@ -16,6 +16,9 @@
 //!
 //! * [`cost`] — Eq. (1)/(2) communication costs and the Lemma-3 migration
 //!   delta;
+//! * [`ledger`] — [`CostLedger`]: the incrementally maintained Eq.-(2)
+//!   total (`O(1)` sampling, Lemma-3 delta application, `O(changed
+//!   pairs)` traffic rebinds);
 //! * [`allocation`] / [`resources`] / [`cluster`] — VM→server assignments
 //!   with slot/RAM/CPU/bandwidth capacity enforcement;
 //! * [`token`] — the 5-byte-per-entry migration token of §V-B2;
@@ -73,6 +76,7 @@ pub mod allocation;
 pub mod cluster;
 pub mod cost;
 pub mod engine;
+pub mod ledger;
 pub mod netload;
 pub mod policy;
 pub mod resources;
@@ -84,6 +88,7 @@ pub use allocation::Allocation;
 pub use cluster::{Cluster, ClusterError};
 pub use cost::{level_breakdown, CostModel};
 pub use engine::{MigrationDecision, ScoreConfig, ScoreEngine};
+pub use ledger::CostLedger;
 pub use netload::LinkLoadMap;
 pub use policy::{HighestCostFirst, HighestLevelFirst, RandomNext, RoundRobin, TokenPolicy};
 pub use resources::{AdmissionError, CapacityReport, ServerSpec, ServerUsage, VmSpec};

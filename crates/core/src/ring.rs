@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 use crate::engine::{MigrationDecision, ScoreEngine};
+use crate::ledger::CostLedger;
 use crate::policy::TokenPolicy;
 use crate::token::Token;
 use crate::view::LocalView;
@@ -27,6 +28,14 @@ pub struct StepOutcome {
     pub decision: MigrationDecision,
     /// The next token holder (`None` terminates the ring).
     pub next: Option<VmId>,
+}
+
+impl StepOutcome {
+    /// The signed change this step applied to the network-wide cost
+    /// `C_A` (see [`MigrationDecision::applied_delta`]).
+    pub fn applied_delta(&self) -> f64 {
+        self.decision.applied_delta()
+    }
 }
 
 /// Aggregate statistics of one iteration (`|V|` token holds).
@@ -178,6 +187,20 @@ impl TokenRing {
         })
     }
 
+    /// Like [`TokenRing::step`], but folds the step's Lemma-3 delta into
+    /// `ledger` so the network-wide cost stays observable in `O(1)`
+    /// without any Eq.-(2) recomputation.
+    pub fn step_ledgered(
+        &mut self,
+        cluster: &mut Cluster,
+        traffic: &PairTraffic,
+        ledger: &mut CostLedger,
+    ) -> Option<StepOutcome> {
+        let outcome = self.step(cluster, traffic)?;
+        ledger.apply_gain(outcome.decision.gain);
+        Some(outcome)
+    }
+
     /// Runs `|V|` steps — one iteration in the paper's sense.
     pub fn run_iteration(
         &mut self,
@@ -317,6 +340,32 @@ mod tests {
         assert_eq!(o1.next, Some(VmId::new(1)));
         let o2 = ring.step(&mut cluster, &traffic).unwrap();
         assert_eq!(o2.holder, VmId::new(1));
+    }
+
+    #[test]
+    fn ledgered_steps_track_full_recomputation() {
+        let (mut cluster, traffic) = fixture(10);
+        let mut ring = TokenRing::new(ScoreEngine::paper_default(), RoundRobin::new(), 32);
+        let model = ring.engine().cost_model().clone();
+        let mut ledger = crate::CostLedger::new(
+            model.clone(),
+            cluster.allocation(),
+            &traffic,
+            cluster.topo(),
+        );
+        for _ in 0..64 {
+            let Some(outcome) = ring.step_ledgered(&mut cluster, &traffic, &mut ledger) else {
+                break;
+            };
+            assert_eq!(outcome.applied_delta(), -outcome.decision.gain);
+        }
+        let fresh = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        assert!(
+            (ledger.current() - fresh).abs() <= 1e-9 * fresh.max(1.0),
+            "ledger {} vs fresh {}",
+            ledger.current(),
+            fresh
+        );
     }
 
     #[test]

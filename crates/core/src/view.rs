@@ -85,6 +85,10 @@ impl LocalView {
 
     /// Lemma-3 migration delta `ΔC_{u→x̂}` computed from the local view
     /// only: `2 Σ_z λ(z,u) (Σ_{i≤ℓ(z,u)} c_i − Σ_{i≤ℓ'(z,u)} c_i)`.
+    ///
+    /// When the move is accepted, this same value is what a
+    /// [`crate::CostLedger`] absorbs via `apply_gain` — the global cost
+    /// stays tracked without ever recomputing Eq. (2).
     pub fn delta_for<T: Topology + ?Sized>(
         &self,
         target: ServerId,

@@ -219,6 +219,17 @@ fn apply_flags(mut scenario: Scenario, args: &Args) -> Result<Scenario, String> 
                 *seed = s;
             }
         }
+        score_sim::WorkloadSpec::ExplicitPairs { seed, .. } => {
+            if args.vms_per_host.is_some() || args.intensity.is_some() {
+                return Err(
+                    "--vms-per-host/--intensity do not apply to an explicit-pairs workload spec"
+                        .into(),
+                );
+            }
+            if let Some(s) = args.seed {
+                *seed = s;
+            }
+        }
     }
     if let Some(policy) = args.policy {
         scenario.policy = policy;
@@ -293,7 +304,10 @@ fn main() -> ExitCode {
         session.topo().name(),
         session.topo().num_servers(),
         session.traffic().num_vms(),
-        scenario.workload.intensity().name(),
+        scenario
+            .workload
+            .intensity()
+            .map_or("explicit", |i| i.name()),
         scenario.policy.name(),
         scenario.engine.score().migration_cost,
     );

@@ -5,11 +5,11 @@
 //! ablation) against each other on the same scenario, reporting final
 //! cost, convergence speed, and migration churn.
 
-use score_sim::{PolicyKind, Scenario};
+use score_sim::{PolicyKind, Scenario, ScenarioMatrix};
 use score_traffic::TrafficIntensity;
 use std::fmt::Write as _;
 
-use crate::{write_report, write_result};
+use crate::{results_dir, write_result};
 
 /// Outcome for one policy.
 #[derive(Debug, Clone, Copy)]
@@ -25,13 +25,23 @@ pub struct PolicyOutcome {
     pub migrations: usize,
 }
 
-/// Runs the comparison and writes `ext_policy_comparison.csv`.
+/// Runs the comparison (one `ScenarioMatrix` sweep over every policy)
+/// and writes `ext_policy_comparison.csv` plus one collected
+/// `ext_policy_matrix.json`.
 pub fn run(paper_scale: bool) -> (Vec<PolicyOutcome>, String) {
-    let base = if paper_scale {
+    let mut base = if paper_scale {
         Scenario::paper_canonical(TrafficIntensity::Sparse, 17)
     } else {
         Scenario::small_canonical(TrafficIntensity::Sparse, 17)
     };
+    base.timing.t_end_s = 500.0;
+    let results = ScenarioMatrix::new(base)
+        .policies(PolicyKind::all())
+        .run()
+        .expect("preset scenarios are feasible");
+    results
+        .write_json(&results_dir(), "ext_policy_matrix.json")
+        .expect("write matrix report");
 
     let mut outcomes = Vec::new();
     let mut csv = String::from("policy,final_fraction,t90_s,migrations\n");
@@ -41,14 +51,9 @@ pub fn run(paper_scale: bool) -> (Vec<PolicyOutcome>, String) {
         "  {:<8} {:>14} {:>10} {:>11}",
         "policy", "final cost", "t90 (s)", "migrations"
     );
-    for policy in PolicyKind::all() {
-        let mut scenario = base.clone();
-        scenario.policy = policy;
-        scenario.timing.t_end_s = 500.0;
-        let mut session = scenario.session().expect("preset scenario is feasible");
-        session.run_to_horizon();
-        let report = session.report();
-        write_report(&format!("ext_policy_{}.json", policy.name()), &report);
+    for cell in &results.cells {
+        let policy = cell.policy;
+        let report = &cell.report;
         let total_drop = report.initial_cost - report.final_cost;
         let target = report.initial_cost - 0.9 * total_drop;
         let t90 = report

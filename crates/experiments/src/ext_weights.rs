@@ -9,13 +9,12 @@
 //! make more core-relieving moves clear the bar, pushing more traffic mass
 //! down the hierarchy.
 
-use score_core::level_breakdown;
-use score_sim::Scenario;
+use score_sim::{Scenario, ScenarioMatrix};
 use score_topology::LinkWeights;
 use score_traffic::TrafficIntensity;
 use std::fmt::Write as _;
 
-use crate::{write_report, write_result};
+use crate::{results_dir, write_result};
 
 /// Outcome for one weight vector.
 #[derive(Debug, Clone)]
@@ -28,13 +27,19 @@ pub struct WeightOutcome {
     pub above_rack: f64,
 }
 
-/// Runs the sweep and writes `ext_weight_sensitivity.csv`.
+/// Runs the sweep (one `ScenarioMatrix` over the labeled engine axis,
+/// capped at 6 iterations per cell) and writes
+/// `ext_weight_sensitivity.csv` plus one collected
+/// `ext_weights_matrix.json`.
 pub fn run(paper_scale: bool) -> (Vec<WeightOutcome>, String) {
-    let base = if paper_scale {
+    let mut base = if paper_scale {
         Scenario::paper_canonical(TrafficIntensity::Sparse, 29)
     } else {
         Scenario::small_canonical(TrafficIntensity::Sparse, 29)
     };
+    // A horizon that cannot cut the 6 iterations short (the event
+    // queue needs a finite end marker).
+    base.timing.t_end_s = 1e6;
 
     let weightings: Vec<(String, LinkWeights)> = vec![
         (
@@ -45,6 +50,29 @@ pub fn run(paper_scale: bool) -> (Vec<WeightOutcome>, String) {
         ("paper-e".into(), LinkWeights::paper_default()),
         ("base-10".into(), LinkWeights::exponential(3, 10.0).unwrap()),
     ];
+    // Fixed migration cost in cost units: small relative to steep-weight
+    // gains, prohibitive for the flattest weighting's marginal moves.
+    let cm = 5e7;
+    let engines: Vec<(String, score_sim::EngineSpec)> = weightings
+        .into_iter()
+        .map(|(name, weights)| {
+            (
+                name,
+                base.engine
+                    .clone()
+                    .with_migration_cost(cm)
+                    .with_weights(weights),
+            )
+        })
+        .collect();
+    let results = ScenarioMatrix::new(base)
+        .engines(engines)
+        .iterations(6)
+        .run()
+        .expect("preset scenarios are feasible");
+    results
+        .write_json(&results_dir(), "ext_weights_matrix.json")
+        .expect("write matrix report");
 
     let mut outcomes = Vec::new();
     let mut csv = String::from("weighting,level0,level1,level2,level3,above_rack\n");
@@ -54,26 +82,12 @@ pub fn run(paper_scale: bool) -> (Vec<WeightOutcome>, String) {
         "  {:<12} {:>7} {:>7} {:>7} {:>7}   {:>11}",
         "weighting", "L0", "L1", "L2", "L3", "above rack"
     );
-    // Fixed migration cost in cost units: small relative to steep-weight
-    // gains, prohibitive for the flattest weighting's marginal moves.
-    let cm = 5e7;
-    for (name, weights) in weightings {
-        let mut scenario = base.clone();
-        scenario.engine = scenario
-            .engine
-            .with_migration_cost(cm)
-            .with_weights(weights);
-        // A horizon that cannot cut the 6 iterations short (the event
-        // queue needs a finite end marker).
-        scenario.timing.t_end_s = 1e6;
-        let mut session = scenario.session().expect("preset scenario is feasible");
-        session.run(6);
-        write_report(&format!("ext_weights_{name}.json"), &session.report());
-        let breakdown = level_breakdown(
-            session.cluster().allocation(),
-            session.traffic(),
-            session.cluster().topo(),
-        );
+    for cell in &results.cells {
+        let name = cell
+            .engine_label
+            .clone()
+            .expect("the engine axis labels every cell");
+        let breakdown = cell.report.level_breakdown.clone();
         let above_rack: f64 = breakdown.iter().skip(2).sum();
         let _ = writeln!(
             csv,

@@ -9,11 +9,11 @@
 
 use score_baselines::{GaConfig, GeneticOptimizer};
 use score_core::CostModel;
-use score_sim::{ascii_chart, series_to_csv, PolicyKind, Scenario, TopologyKind};
+use score_sim::{ascii_chart, series_to_csv, PolicyKind, Scenario, ScenarioMatrix, TopologyKind};
 use score_traffic::TrafficIntensity;
 use std::fmt::Write as _;
 
-use crate::{write_report, write_result};
+use crate::{results_dir, write_result};
 
 /// Outcome for one (intensity, policy) cell of the figure.
 #[derive(Debug, Clone)]
@@ -33,7 +33,9 @@ pub struct CostRatioCell {
     pub series: Vec<(f64, f64)>,
 }
 
-/// Runs all intensities and policies for one topology.
+/// Runs all intensities and policies for one topology: one
+/// `ScenarioMatrix` sweep (intensity × policy), with the GA-optimal
+/// approximation computed once per intensity as the ratio baseline.
 pub fn run(kind: TopologyKind, paper_scale: bool) -> (Vec<CostRatioCell>, String) {
     let mut cells = Vec::new();
     let letters = match kind {
@@ -48,17 +50,37 @@ pub fn run(kind: TopologyKind, paper_scale: bool) -> (Vec<CostRatioCell>, String
         kind.name()
     );
 
-    for intensity in TrafficIntensity::all() {
-        let scenario = match (kind, paper_scale) {
-            (TopologyKind::CanonicalTree, false) => Scenario::small_canonical(intensity, 11),
-            (TopologyKind::CanonicalTree, true) => Scenario::paper_canonical(intensity, 11),
-            (TopologyKind::FatTree, false) => Scenario::small_fattree(intensity, 11),
-            (TopologyKind::FatTree, true) => Scenario::paper_fattree(intensity, 11),
-            (TopologyKind::Star, _) => unreachable!("the figure plots tree fabrics only"),
-        };
+    let mut base = match (kind, paper_scale) {
+        (TopologyKind::CanonicalTree, false) => {
+            Scenario::small_canonical(TrafficIntensity::Sparse, 11)
+        }
+        (TopologyKind::CanonicalTree, true) => {
+            Scenario::paper_canonical(TrafficIntensity::Sparse, 11)
+        }
+        (TopologyKind::FatTree, false) => Scenario::small_fattree(TrafficIntensity::Sparse, 11),
+        (TopologyKind::FatTree, true) => Scenario::paper_fattree(TrafficIntensity::Sparse, 11),
+        (TopologyKind::Star, _) => unreachable!("the figure plots tree fabrics only"),
+    };
+    base.timing.t_end_s = 700.0;
+    let results = ScenarioMatrix::new(base)
+        .intensities(TrafficIntensity::all())
+        .policies(PolicyKind::paper_policies())
+        .run()
+        .expect("preset scenarios are feasible");
+    results
+        .write_json(&results_dir(), &format!("fig3_{}_matrix.json", kind.name()))
+        .expect("write matrix report");
 
-        // GA-optimal approximation on the same instance.
-        let ga_session = scenario.session().expect("preset scenario is feasible");
+    for intensity in TrafficIntensity::all() {
+        // GA-optimal approximation, once per intensity (the baseline is
+        // policy-independent — it optimizes the same instance).
+        let ga_scenario = results
+            .for_intensity(intensity)
+            .next()
+            .expect("matrix covers every intensity")
+            .scenario
+            .clone();
+        let ga_session = ga_scenario.session().expect("preset scenario is feasible");
         let ga_cfg = if paper_scale {
             GaConfig::paper_default()
         } else {
@@ -74,15 +96,9 @@ pub fn run(kind: TopologyKind, paper_scale: bool) -> (Vec<CostRatioCell>, String
         .run();
 
         let mut chart_series = Vec::new();
-        for policy in PolicyKind::paper_policies() {
-            let mut cell_scenario = scenario.clone();
-            cell_scenario.policy = policy;
-            cell_scenario.timing.t_end_s = 700.0;
-            let mut session = cell_scenario
-                .session()
-                .expect("preset scenario is feasible");
-            session.run_to_horizon();
-            let report = session.report();
+        for matrix_cell in results.for_intensity(intensity) {
+            let policy = matrix_cell.policy;
+            let report = &matrix_cell.report;
             let series = report.ratio_series(ga.best_cost);
             let cell = CostRatioCell {
                 intensity,
@@ -102,15 +118,6 @@ pub fn run(kind: TopologyKind, paper_scale: bool) -> (Vec<CostRatioCell>, String
                     policy.name()
                 ),
                 &csv,
-            );
-            write_report(
-                &format!(
-                    "fig3_{}_{}_{}.json",
-                    kind.name(),
-                    intensity.name(),
-                    policy.name()
-                ),
-                &report,
             );
             let _ = writeln!(
                 summary,

@@ -8,7 +8,11 @@
 //!   `PolicySpec` × `EngineSpec` × `TimingSpec`), with builder and paper
 //!   presets;
 //! * [`session`] — [`Session`]: the materialized cluster + token ring +
-//!   event clock, advanced with `step`/`run`/`run_to_horizon`;
+//!   event clock, advanced with `step`/`run`/`run_to_horizon`; costs are
+//!   sampled from an incremental `CostLedger` in `O(1)`;
+//! * [`matrix`] — [`ScenarioMatrix`]: policy × topology × intensity
+//!   (× engine) sweeps collected into one [`MatrixReport`] with a
+//!   single JSON writer;
 //! * [`report`] — [`RunReport`]: one unified, JSON-serializable result
 //!   format (cost trajectory, migration ratios, link utilization,
 //!   flow-table ops);
@@ -42,16 +46,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod events;
+pub mod matrix;
 pub mod metrics;
 pub mod report;
 pub mod session;
 pub mod spec;
 
 pub use events::{EventQueue, SimEvent};
+pub use matrix::{MatrixCell, MatrixReport, RunLength, ScenarioMatrix};
 pub use metrics::{ascii_chart, jain_fairness, series_to_csv, UtilizationSnapshot};
 pub use report::{FlowTableOps, HypervisorStats, MigrationEvent, RunReport};
 pub use session::{Session, TrafficPhase};
 pub use spec::{
-    EngineSpec, PlacementSpec, PolicyKind, PolicySpec, Scenario, ScenarioBuilder, ScenarioError,
-    TimingSpec, TopologyKind, TopologySpec, WorkloadSpec,
+    EngineSpec, PlacementSpec, PolicyKind, PolicySpec, ResourceSpec, Scenario, ScenarioBuilder,
+    ScenarioError, TimingSpec, TopologyKind, TopologySpec, WorkloadSpec,
 };

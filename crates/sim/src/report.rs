@@ -88,6 +88,11 @@ pub struct RunReport {
     pub migration_ratios: Vec<f64>,
     /// Token holds executed.
     pub token_holds: usize,
+    /// Share of pairwise traffic mass at each communication level under
+    /// the final placement (`level_breakdown[ℓ]`, summing to 1 for
+    /// non-empty traffic) — the mass S-CORE physically pushes down the
+    /// hierarchy.
+    pub level_breakdown: Vec<f64>,
     /// Link-utilization snapshot at report time (Fig. 4a ingredient).
     pub link_utilization: UtilizationSnapshot,
     /// Flow-table operation counts implied by the run.
@@ -231,6 +236,7 @@ mod tests {
             }],
             migration_ratios: vec![0.25],
             token_holds: 8,
+            level_breakdown: vec![0.5, 0.25, 0.15, 0.1],
             link_utilization: UtilizationSnapshot {
                 core: vec![0.1, 0.2],
                 aggregation: vec![0.05],

@@ -11,7 +11,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use score_core::{Cluster, CostModel, IterationStats, ScoreEngine, StepOutcome, TokenRing};
+use score_core::{
+    Cluster, CostLedger, CostModel, IterationStats, ScoreEngine, StepOutcome, TokenRing,
+};
 use score_topology::{Topology, VmId};
 use score_traffic::{CbrLoad, PairTraffic};
 use score_xen::PreCopyModel;
@@ -47,6 +49,14 @@ pub struct Session {
     queue: EventQueue,
     horizon_s: f64,
     finished: bool,
+    /// Incrementally maintained Eq.-(2) cost: initialized with one full
+    /// pass, then fed each accepted migration's Lemma-3 delta, so sample
+    /// ticks read `C_A` in `O(1)` instead of re-walking all VM pairs.
+    ledger: CostLedger,
+    /// Set when external code took `cluster_mut`/`split_mut` and may
+    /// have moved VMs behind the ledger's back; the next sampled read
+    /// resyncs with one full pass.
+    ledger_dirty: bool,
     initial_cost: f64,
     cost_series: Vec<(f64, f64)>,
     migrations: Vec<MigrationEvent>,
@@ -66,7 +76,8 @@ impl Session {
     ) -> Result<Self, ScenarioError> {
         scenario.timing.validate()?;
         scenario.engine.validate()?;
-        let server_spec = score_core::ServerSpec::paper_default();
+        scenario.resources.validate()?;
+        let server_spec = scenario.resources.server;
         let capacity = topo.num_servers() as u64 * u64::from(server_spec.vm_slots);
         if u64::from(traffic.num_vms()) > capacity {
             return Err(ScenarioError::Placement(format!(
@@ -85,7 +96,7 @@ impl Session {
         let cluster = Cluster::new(
             Arc::clone(&topo),
             server_spec,
-            score_core::VmSpec::paper_default(),
+            scenario.resources.vm,
             &traffic,
             alloc,
         )?;
@@ -99,7 +110,8 @@ impl Session {
         let precopy = PreCopyModel::new(scenario.engine.precopy());
         let background = scenario.engine.background();
         let rng = StdRng::seed_from_u64(scenario.seed);
-        let initial_cost = model.total_cost(cluster.allocation(), &traffic, cluster.topo());
+        let ledger = model.ledger(cluster.allocation(), &traffic, cluster.topo());
+        let initial_cost = ledger.current();
 
         let mut session = Session {
             horizon_s: scenario.timing.t_end_s,
@@ -114,6 +126,8 @@ impl Session {
             rng,
             queue: EventQueue::new(),
             finished: false,
+            ledger,
+            ledger_dirty: false,
             initial_cost,
             cost_series: Vec::new(),
             migrations: Vec::new(),
@@ -161,14 +175,18 @@ impl Session {
     }
 
     /// Mutable cluster access (for baselines like Remedy operating on
-    /// the same materialized instance).
+    /// the same materialized instance). Marks the cost ledger stale:
+    /// the next sampled cost pays one full Eq.-(2) resync.
     pub fn cluster_mut(&mut self) -> &mut Cluster {
+        self.ledger_dirty = true;
         &mut self.cluster
     }
 
     /// Mutable cluster access together with the traffic it serves
     /// (borrow-friendly form for `baseline.run(cluster, traffic)`).
+    /// Marks the cost ledger stale, like [`Session::cluster_mut`].
     pub fn split_mut(&mut self) -> (&mut Cluster, &PairTraffic) {
+        self.ledger_dirty = true;
         (&mut self.cluster, &self.traffic)
     }
 
@@ -187,13 +205,33 @@ impl Session {
         self.initial_cost
     }
 
-    /// Eq.-(2) cost of the current placement.
+    /// Eq.-(2) cost of the current placement — read from the
+    /// incremental ledger in `O(1)`. Only if external code mutated the
+    /// cluster (via [`Session::cluster_mut`] / [`Session::split_mut`])
+    /// does this fall back to one full recomputation.
     pub fn current_cost(&self) -> f64 {
-        self.model.total_cost(
-            self.cluster.allocation(),
-            &self.traffic,
-            self.cluster.topo(),
-        )
+        if self.ledger_dirty {
+            self.model.total_cost(
+                self.cluster.allocation(),
+                &self.traffic,
+                self.cluster.topo(),
+            )
+        } else {
+            self.ledger.current()
+        }
+    }
+
+    /// Resyncs the ledger after external cluster mutation; `O(1)` when
+    /// nothing external happened.
+    fn freshen_ledger(&mut self) {
+        if self.ledger_dirty {
+            self.ledger.resync(
+                self.cluster.allocation(),
+                &self.traffic,
+                self.cluster.topo(),
+            );
+            self.ledger_dirty = false;
+        }
     }
 
     /// True once the simulation horizon has been reached.
@@ -215,7 +253,10 @@ impl Session {
                     return None;
                 }
                 SimEvent::Sample => {
-                    let cost = self.current_cost();
+                    // O(1): the ledger already knows C_A — no Eq.-(2)
+                    // walk on the sampling path.
+                    self.freshen_ledger();
+                    let cost = self.ledger.current();
                     self.cost_series.push((t, cost));
                     let next = t + self.scenario.timing.sample_interval_s;
                     if next <= self.horizon_s {
@@ -229,7 +270,11 @@ impl Session {
                     // consumers interested in in-flight counts.
                 }
                 SimEvent::TokenArrive { vm: _ } => {
-                    let Some(outcome) = self.ring.step(&mut self.cluster, &self.traffic) else {
+                    self.freshen_ledger();
+                    let Some(outcome) =
+                        self.ring
+                            .step_ledgered(&mut self.cluster, &self.traffic, &mut self.ledger)
+                    else {
                         continue;
                     };
                     self.token_holds += 1;
@@ -316,6 +361,11 @@ impl Session {
             iterations,
             migration_ratios,
             token_holds: self.token_holds,
+            level_breakdown: score_core::level_breakdown(
+                self.cluster.allocation(),
+                &self.traffic,
+                self.cluster.topo(),
+            ),
             link_utilization: UtilizationSnapshot::capture(&self.cluster, &self.traffic),
             flow_table: FlowTableOps {
                 aggregations: self.token_holds as u64,
@@ -326,28 +376,33 @@ impl Session {
 
     /// Rebinds the session to a new traffic pattern and a fresh
     /// sub-horizon, keeping the current allocation: clock, queue, ring
-    /// and accumulators restart, the cluster carries over. This is the
-    /// paper's "always-on" TM shift.
+    /// and accumulators restart, the cluster carries over **in place**
+    /// (no rebuild — the resource ledger's NIC side is patched and the
+    /// cost ledger is re-priced over the changed pairs only). This is
+    /// the paper's "always-on" TM shift.
     ///
     /// # Errors
     ///
-    /// Returns [`ScenarioError::Cluster`] if the current allocation is
-    /// infeasible under the new traffic's bandwidth demands.
+    /// Returns [`ScenarioError::Cluster`] if the new traffic describes
+    /// a different VM population; the session is unchanged on error.
     pub fn rebind_traffic(
         &mut self,
         traffic: PairTraffic,
         duration_s: f64,
         seed: u64,
     ) -> Result<(), ScenarioError> {
-        let alloc = self.cluster.allocation().clone();
-        self.cluster = Cluster::new(
-            Arc::clone(&self.topo),
-            *self.cluster.server_spec(),
-            score_core::VmSpec::paper_default(),
-            &traffic,
-            alloc,
-        )?;
-        self.traffic = traffic;
+        self.cluster.rebind_traffic(&traffic)?;
+        let old_traffic = std::mem::replace(&mut self.traffic, traffic);
+        if self.ledger_dirty {
+            self.freshen_ledger();
+        } else {
+            self.ledger.rebind(
+                self.cluster.allocation(),
+                &old_traffic,
+                &self.traffic,
+                self.cluster.topo(),
+            );
+        }
         let engine = ScoreEngine::new(self.model.clone(), self.scenario.engine.score());
         self.ring = TokenRing::with_boxed(
             engine,
@@ -358,7 +413,7 @@ impl Session {
         self.queue = EventQueue::new();
         self.horizon_s = duration_s;
         self.finished = false;
-        self.initial_cost = self.current_cost();
+        self.initial_cost = self.ledger.current();
         self.cost_series.clear();
         self.migrations.clear();
         self.iterations.clear();
@@ -600,6 +655,98 @@ mod tests {
             .filter(|m| m.time_s > 200.0)
             .count();
         assert_eq!(late, 0, "migrations continued after convergence");
+    }
+
+    #[test]
+    fn ledger_sampling_matches_full_recomputation() {
+        let mut session = quick_scenario(PolicyKind::HighestLevelFirst, 21)
+            .session()
+            .unwrap();
+        session.run_to_horizon();
+        let fresh = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        let ledgered = session.current_cost();
+        assert!(
+            (ledgered - fresh).abs() <= 1e-9 * fresh.max(1.0),
+            "ledger {ledgered} vs fresh {fresh}"
+        );
+        // The last sample the event loop took agrees too.
+        let report = session.report();
+        let (_, last_sampled) = *report.cost_series.last().unwrap();
+        assert!((last_sampled - fresh).abs() <= 1e-9 * fresh.max(1.0));
+    }
+
+    #[test]
+    fn external_mutation_resyncs_ledger() {
+        use score_topology::ServerId;
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 22)
+            .session()
+            .unwrap();
+        session.run(1);
+        // Mutate the cluster behind the session's back (what a
+        // centralized baseline does via split_mut).
+        let threshold = f64::INFINITY;
+        let (cluster, _) = session.split_mut();
+        let vm = VmId::new(0);
+        let target = ServerId::new(
+            (cluster.allocation().server_of(vm).get() + 1) % cluster.topo().num_servers() as u32,
+        );
+        cluster.migrate(vm, target, threshold).unwrap();
+        // The sampled cost reflects the mutation immediately …
+        let fresh = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        assert!((session.current_cost() - fresh).abs() <= 1e-9 * fresh.max(1.0));
+        // … and the run continues correctly after the resync.
+        session.run_to_horizon();
+        let fresh = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        assert!((session.current_cost() - fresh).abs() <= 1e-9 * fresh.max(1.0));
+    }
+
+    #[test]
+    fn rebind_preserves_resource_specs_and_ledger() {
+        use score_core::{ServerSpec, VmSpec};
+        // A non-default resource spec must survive a phase rebind (the
+        // old implementation rebuilt the cluster with paper defaults).
+        let server = ServerSpec {
+            vm_slots: 8,
+            ..ServerSpec::paper_default()
+        };
+        let vm = VmSpec {
+            ram_mb: 256,
+            cpu_cores: 0.5,
+        };
+        let mut scenario = quick_scenario(PolicyKind::RoundRobin, 23);
+        scenario.resources.server = server;
+        scenario.resources.vm = vm;
+        let mut session = scenario.session().unwrap();
+        let num_vms = session.traffic().num_vms();
+        let shifted = WorkloadConfig::new(num_vms, 4242).generate();
+        session.rebind_traffic(shifted, 60.0, 1).unwrap();
+        assert_eq!(session.cluster().server_spec(), &server);
+        assert_eq!(session.cluster().vm_spec(VmId::new(0)), &vm);
+        // The re-priced ledger lands on the full recomputation.
+        let fresh = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        assert!((session.current_cost() - fresh).abs() <= 1e-9 * fresh.max(1.0));
+        assert_eq!(session.initial_cost(), session.current_cost());
+        // A population mismatch is rejected and leaves the session usable.
+        let bad = WorkloadConfig::new(num_vms + 1, 1).generate();
+        assert!(session.rebind_traffic(bad, 60.0, 2).is_err());
+        session.run_to_horizon();
+        assert!(session.report().final_cost <= session.report().initial_cost + 1e-9);
     }
 
     #[test]

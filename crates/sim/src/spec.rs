@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use score_baselines::{packed_placement, random_placement, striped_placement};
-use score_core::{Allocation, ClusterError, ScoreConfig, TokenPolicy};
+use score_core::{Allocation, ClusterError, ScoreConfig, ServerSpec, TokenPolicy, VmSpec};
 use score_topology::{CanonicalTreeBuilder, FatTreeBuilder, LinkWeights, StarTopology, Topology};
 use score_traffic::{CbrLoad, PairTraffic, TrafficIntensity, WorkloadConfig};
 use score_xen::PreCopyConfig;
@@ -53,6 +53,9 @@ pub enum ScenarioError {
     Topology(String),
     /// The requested placement cannot be represented.
     Placement(String),
+    /// The workload description is unusable (out-of-range VM ids,
+    /// self-pairs, non-positive rates in an explicit pair list).
+    Workload(String),
     /// The timing parameters are unusable (non-finite, non-positive
     /// horizon/interval, negative delays).
     Timing(String),
@@ -66,6 +69,7 @@ impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScenarioError::Topology(msg) => write!(f, "invalid topology spec: {msg}"),
+            ScenarioError::Workload(msg) => write!(f, "invalid workload spec: {msg}"),
             ScenarioError::Placement(msg) => write!(f, "invalid placement spec: {msg}"),
             ScenarioError::Timing(msg) => write!(f, "invalid timing spec: {msg}"),
             ScenarioError::Engine(msg) => write!(f, "invalid engine spec: {msg}"),
@@ -212,7 +216,7 @@ impl TopologySpec {
 }
 
 /// Declarative workload description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// The paper's clustered synthetic workload, sized relative to the
     /// fabric (`vms_per_host × servers` VMs).
@@ -234,22 +238,62 @@ pub enum WorkloadSpec {
         /// RNG seed for workload generation.
         seed: u64,
     },
+    /// A fully explicit communication graph: `(u, v, rate)` entries over
+    /// VMs `0..num_vms` — replayed traces, hand-crafted patterns, or
+    /// matrices imported from measurement. Rates of duplicate pairs
+    /// accumulate, exactly as in `PairTrafficBuilder`.
+    ExplicitPairs {
+        /// VM population (ids in `pairs` must stay below it).
+        num_vms: u32,
+        /// `(u, v, rate)` entries; `u != v`, rates positive and finite.
+        pairs: Vec<(u32, u32, f64)>,
+        /// RNG seed for downstream randomness (initial placement, the
+        /// random token policy) — the pairs themselves are literal.
+        seed: u64,
+    },
 }
 
 impl WorkloadSpec {
     /// The workload's RNG seed.
     pub fn seed(&self) -> u64 {
         match *self {
-            WorkloadSpec::Synthetic { seed, .. } | WorkloadSpec::FixedVms { seed, .. } => seed,
+            WorkloadSpec::Synthetic { seed, .. }
+            | WorkloadSpec::FixedVms { seed, .. }
+            | WorkloadSpec::ExplicitPairs { seed, .. } => seed,
         }
     }
 
-    /// The workload intensity.
-    pub fn intensity(&self) -> TrafficIntensity {
+    /// The workload intensity; `None` for explicit pair lists, which
+    /// have no generator to parameterize.
+    pub fn intensity(&self) -> Option<TrafficIntensity> {
         match *self {
             WorkloadSpec::Synthetic { intensity, .. }
-            | WorkloadSpec::FixedVms { intensity, .. } => intensity,
+            | WorkloadSpec::FixedVms { intensity, .. } => Some(intensity),
+            WorkloadSpec::ExplicitPairs { .. } => None,
         }
+    }
+
+    /// Returns a copy with the given intensity, where the variant has
+    /// one to set (explicit pair lists are returned unchanged).
+    #[must_use]
+    pub fn with_intensity(mut self, new: TrafficIntensity) -> Self {
+        match &mut self {
+            WorkloadSpec::Synthetic { intensity, .. }
+            | WorkloadSpec::FixedVms { intensity, .. } => *intensity = new,
+            WorkloadSpec::ExplicitPairs { .. } => {}
+        }
+        self
+    }
+
+    /// Returns a copy with the given RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, new: u64) -> Self {
+        match &mut self {
+            WorkloadSpec::Synthetic { seed, .. }
+            | WorkloadSpec::FixedVms { seed, .. }
+            | WorkloadSpec::ExplicitPairs { seed, .. } => *seed = new,
+        }
+        self
     }
 
     /// Number of VMs the workload instantiates on `topo`.
@@ -258,15 +302,111 @@ impl WorkloadSpec {
             WorkloadSpec::Synthetic { vms_per_host, .. } => {
                 ((topo.num_servers() as f64) * vms_per_host).round() as u32
             }
-            WorkloadSpec::FixedVms { num_vms, .. } => num_vms,
+            WorkloadSpec::FixedVms { num_vms, .. }
+            | WorkloadSpec::ExplicitPairs { num_vms, .. } => num_vms,
         }
     }
 
+    /// Checks the invariants a deserialized explicit pair list might
+    /// violate (the synthetic variants are valid by construction).
+    pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+        let WorkloadSpec::ExplicitPairs { num_vms, pairs, .. } = self else {
+            return Ok(());
+        };
+        for &(u, v, rate) in pairs {
+            if u == v {
+                return Err(ScenarioError::Workload(format!(
+                    "self-pair ({u}, {v}) is not part of a communication graph"
+                )));
+            }
+            if u >= *num_vms || v >= *num_vms {
+                return Err(ScenarioError::Workload(format!(
+                    "pair ({u}, {v}) exceeds the population of {num_vms} VMs"
+                )));
+            }
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(ScenarioError::Workload(format!(
+                    "pair ({u}, {v}) has non-positive rate {rate}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Generates the pairwise VM traffic for `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid explicit pair list; [`Scenario::session`]
+    /// runs [`WorkloadSpec::validate`] first and reports a
+    /// [`ScenarioError::Workload`] instead.
     pub fn generate(&self, topo: &dyn Topology) -> PairTraffic {
-        WorkloadConfig::new(self.num_vms(topo), self.seed())
-            .with_intensity(self.intensity())
-            .generate()
+        match self {
+            WorkloadSpec::Synthetic { .. } | WorkloadSpec::FixedVms { .. } => {
+                WorkloadConfig::new(self.num_vms(topo), self.seed())
+                    .with_intensity(self.intensity().expect("synthetic workloads have one"))
+                    .generate()
+            }
+            WorkloadSpec::ExplicitPairs { num_vms, pairs, .. } => {
+                let mut b = score_traffic::PairTrafficBuilder::new(*num_vms);
+                for &(u, v, rate) in pairs {
+                    b.add(
+                        score_topology::VmId::new(u),
+                        score_topology::VmId::new(v),
+                        rate,
+                    );
+                }
+                b.build()
+            }
+        }
+    }
+}
+
+/// Declarative server/VM capacity description: what every server offers
+/// and what every VM demands. Until this spec existed the paper defaults
+/// were hardcoded inside session materialization; carrying them on the
+/// [`Scenario`] makes heterogeneous clusters declarable (and
+/// serializable) like every other experiment dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Capacity of each physical server.
+    pub server: ServerSpec,
+    /// Demand of each VM (uniform across the population).
+    pub vm: VmSpec,
+}
+
+impl ResourceSpec {
+    /// The paper's §VI capacities: 16 VM slots on a 1 GbE host, 196 MB
+    /// VMs.
+    pub fn paper_default() -> Self {
+        ResourceSpec {
+            server: ServerSpec::paper_default(),
+            vm: VmSpec::paper_default(),
+        }
+    }
+
+    /// Checks the invariants a deserialized spec might violate: a server
+    /// with zero slots or a non-finite/non-positive NIC capacity can
+    /// never host anything.
+    pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+        if self.server.vm_slots == 0 {
+            return Err(ScenarioError::Placement(
+                "servers with zero VM slots cannot host anything".into(),
+            ));
+        }
+        if !self.server.nic_bps.is_finite() || self.server.nic_bps <= 0.0 {
+            return Err(ScenarioError::Placement(format!(
+                "server NIC capacity must be positive and finite, got {}",
+                self.server.nic_bps
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ResourceSpec {
+    fn default() -> Self {
+        ResourceSpec::paper_default()
     }
 }
 
@@ -588,6 +728,8 @@ pub struct Scenario {
     pub workload: WorkloadSpec,
     /// Initial VM placement.
     pub placement: PlacementSpec,
+    /// Server capacities and VM demands.
+    pub resources: ResourceSpec,
     /// Token-passing policy.
     pub policy: PolicySpec,
     /// Decision engine and migration-overhead model.
@@ -656,6 +798,7 @@ impl Scenario {
     /// Returns [`ScenarioError`] when the topology dimensions are invalid
     /// or the placement violates capacity.
     pub fn session(&self) -> Result<Session, ScenarioError> {
+        self.workload.validate()?;
         let topo = self.topology.build()?;
         let traffic = self.workload.generate(topo.as_ref());
         Session::materialize(self.clone(), topo, traffic)
@@ -704,8 +847,10 @@ pub struct ScenarioBuilder {
     intensity: TrafficIntensity,
     vms_per_host: f64,
     fixed_vms: Option<u32>,
+    explicit_workload: Option<WorkloadSpec>,
     workload_seed: u64,
     placement: PlacementSpec,
+    resources: ResourceSpec,
     policy: PolicySpec,
     engine: EngineSpec,
     timing: TimingSpec,
@@ -719,8 +864,10 @@ impl Default for ScenarioBuilder {
             intensity: TrafficIntensity::Sparse,
             vms_per_host: 2.0,
             fixed_vms: None,
+            explicit_workload: None,
             workload_seed: 42,
             placement: PlacementSpec::random(),
+            resources: ResourceSpec::paper_default(),
             policy: PolicyKind::HighestLevelFirst,
             engine: EngineSpec::Paper,
             timing: TimingSpec::paper_default(),
@@ -752,55 +899,99 @@ impl ScenarioBuilder {
         self.topology(TopologySpec::Star { hosts })
     }
 
-    /// Sets the workload intensity.
+    /// Sets the workload intensity. Order-independent with the other
+    /// workload knobs: an already-set wholesale workload is updated in
+    /// place (a no-op for explicit pair lists, which have no
+    /// intensity).
     pub fn intensity(mut self, intensity: TrafficIntensity) -> Self {
         self.intensity = intensity;
+        if let Some(w) = self.explicit_workload.take() {
+            self.explicit_workload = Some(w.with_intensity(intensity));
+        }
         self
     }
 
     /// Sparse workload with the given seed.
-    pub fn sparse_traffic(mut self, seed: u64) -> Self {
-        self.intensity = TrafficIntensity::Sparse;
-        self.workload_seed = seed;
-        self
+    pub fn sparse_traffic(self, seed: u64) -> Self {
+        self.intensity(TrafficIntensity::Sparse).workload_seed(seed)
     }
 
     /// Medium workload with the given seed.
-    pub fn medium_traffic(mut self, seed: u64) -> Self {
-        self.intensity = TrafficIntensity::Medium;
-        self.workload_seed = seed;
-        self
+    pub fn medium_traffic(self, seed: u64) -> Self {
+        self.intensity(TrafficIntensity::Medium).workload_seed(seed)
     }
 
     /// Dense workload with the given seed.
-    pub fn dense_traffic(mut self, seed: u64) -> Self {
-        self.intensity = TrafficIntensity::Dense;
-        self.workload_seed = seed;
-        self
+    pub fn dense_traffic(self, seed: u64) -> Self {
+        self.intensity(TrafficIntensity::Dense).workload_seed(seed)
     }
 
     /// Sets the mean VMs per host (sizing the synthetic population).
     pub fn vms_per_host(mut self, vms_per_host: f64) -> Self {
         self.vms_per_host = vms_per_host;
         self.fixed_vms = None;
+        self.explicit_workload = None;
         self
     }
 
     /// Fixes the VM population independently of fabric size.
     pub fn num_vms(mut self, num_vms: u32) -> Self {
         self.fixed_vms = Some(num_vms);
+        self.explicit_workload = None;
         self
     }
 
-    /// Sets the workload seed.
+    /// Sets the workload seed. Order-independent with the other
+    /// workload knobs: an already-set wholesale workload is re-seeded
+    /// in place.
     pub fn workload_seed(mut self, seed: u64) -> Self {
         self.workload_seed = seed;
+        if let Some(w) = self.explicit_workload.take() {
+            self.explicit_workload = Some(w.with_seed(seed));
+        }
         self
+    }
+
+    /// Sets the workload spec wholesale — the entry point for
+    /// [`WorkloadSpec::ExplicitPairs`] and other non-synthetic
+    /// workloads (overrides the intensity/population knobs).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.explicit_workload = Some(workload);
+        self
+    }
+
+    /// Sets an explicit `(u, v, rate)` communication graph over
+    /// `num_vms` VMs.
+    pub fn explicit_pairs(self, num_vms: u32, pairs: Vec<(u32, u32, f64)>) -> Self {
+        let seed = self.workload_seed;
+        self.workload(WorkloadSpec::ExplicitPairs {
+            num_vms,
+            pairs,
+            seed,
+        })
     }
 
     /// Sets the initial placement.
     pub fn placement(mut self, placement: PlacementSpec) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Sets the server/VM resource spec wholesale.
+    pub fn resources(mut self, resources: ResourceSpec) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Sets the per-server capacity spec.
+    pub fn server_spec(mut self, server: ServerSpec) -> Self {
+        self.resources.server = server;
+        self
+    }
+
+    /// Sets the per-VM demand spec.
+    pub fn vm_spec(mut self, vm: VmSpec) -> Self {
+        self.resources.vm = vm;
         self
     }
 
@@ -855,13 +1046,14 @@ impl ScenarioBuilder {
 
     /// Finalizes the scenario.
     pub fn build(self) -> Scenario {
-        let workload = match self.fixed_vms {
-            Some(num_vms) => WorkloadSpec::FixedVms {
+        let workload = match (self.explicit_workload, self.fixed_vms) {
+            (Some(workload), _) => workload,
+            (None, Some(num_vms)) => WorkloadSpec::FixedVms {
                 intensity: self.intensity,
                 num_vms,
                 seed: self.workload_seed,
             },
-            None => WorkloadSpec::Synthetic {
+            (None, None) => WorkloadSpec::Synthetic {
                 intensity: self.intensity,
                 vms_per_host: self.vms_per_host,
                 seed: self.workload_seed,
@@ -871,6 +1063,7 @@ impl ScenarioBuilder {
             topology: self.topology,
             workload,
             placement: self.placement,
+            resources: self.resources,
             policy: self.policy,
             engine: self.engine,
             timing: self.timing,
@@ -902,7 +1095,7 @@ mod tests {
             .migration_cost(2e8)
             .build();
         assert_eq!(scenario.topology, TopologySpec::FatTree { k: 4 });
-        assert_eq!(scenario.workload.intensity(), TrafficIntensity::Dense);
+        assert_eq!(scenario.workload.intensity(), Some(TrafficIntensity::Dense));
         assert_eq!(scenario.workload.seed(), 9);
         assert_eq!(scenario.engine.score().migration_cost, 2e8);
         // Everything else stays at paper defaults.
@@ -986,6 +1179,138 @@ mod tests {
             EngineSpec::custom(),
             EngineSpec::Paper.with_migration_cost(0.0)
         );
+    }
+
+    #[test]
+    fn explicit_pairs_round_trip_and_materialize() {
+        let scenario = Scenario::builder()
+            .star(4)
+            .explicit_pairs(3, vec![(0, 1, 100.0), (1, 2, 50.0), (0, 1, 10.0)])
+            .build();
+        // Serde round-trip is identity for the new variant.
+        let back = Scenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back, scenario);
+        // The generated traffic is the literal graph (duplicates
+        // accumulate, builder semantics).
+        let topo = scenario.topology.build().unwrap();
+        let traffic = scenario.workload.generate(topo.as_ref());
+        assert_eq!(traffic.num_vms(), 3);
+        assert_eq!(
+            traffic.rate(score_topology::VmId::new(0), score_topology::VmId::new(1)),
+            110.0
+        );
+        assert_eq!(scenario.workload.intensity(), None);
+        assert_eq!(scenario.workload.num_vms(topo.as_ref()), 3);
+        // And it materializes into a runnable session.
+        let mut session = scenario.session().unwrap();
+        session.run_to_horizon();
+        assert!(session.report().final_cost <= session.report().initial_cost);
+    }
+
+    #[test]
+    fn workload_knobs_are_order_independent() {
+        // Seed set *after* the explicit pair list still lands in the
+        // spec (and therefore in the placement RNG).
+        let after = Scenario::builder()
+            .star(4)
+            .explicit_pairs(3, vec![(0, 1, 1.0)])
+            .workload_seed(7)
+            .build();
+        let before = Scenario::builder()
+            .star(4)
+            .workload_seed(7)
+            .explicit_pairs(3, vec![(0, 1, 1.0)])
+            .build();
+        assert_eq!(after, before);
+        assert_eq!(after.workload.seed(), 7);
+        // sparse_traffic after a wholesale workload re-seeds it too
+        // (intensity is a documented no-op for explicit pairs).
+        let reseeded = Scenario::builder()
+            .explicit_pairs(3, vec![(0, 1, 1.0)])
+            .sparse_traffic(9)
+            .build();
+        assert_eq!(reseeded.workload.seed(), 9);
+        assert_eq!(reseeded.workload.intensity(), None);
+        // On synthetic workloads set wholesale, intensity applies in
+        // either order.
+        let w = WorkloadSpec::FixedVms {
+            intensity: TrafficIntensity::Sparse,
+            num_vms: 8,
+            seed: 1,
+        };
+        let s = Scenario::builder()
+            .workload(w)
+            .intensity(TrafficIntensity::Dense)
+            .workload_seed(3)
+            .build();
+        assert_eq!(s.workload.intensity(), Some(TrafficIntensity::Dense));
+        assert_eq!(s.workload.seed(), 3);
+    }
+
+    #[test]
+    fn invalid_explicit_pairs_are_errors_not_panics() {
+        for (pairs, what) in [
+            (vec![(0u32, 0u32, 1.0f64)], "self-pair"),
+            (vec![(0, 9, 1.0)], "out of range"),
+            (vec![(0, 1, 0.0)], "zero rate"),
+            (vec![(0, 1, f64::NAN)], "NaN rate"),
+        ] {
+            let scenario = Scenario::builder().star(4).explicit_pairs(3, pairs).build();
+            assert!(
+                matches!(scenario.session(), Err(ScenarioError::Workload(_))),
+                "{what} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn resource_spec_reaches_the_cluster() {
+        use score_core::{ServerSpec, VmSpec};
+        let server = ServerSpec {
+            vm_slots: 4,
+            ram_mb: 2048,
+            cpu_cores: 4.0,
+            nic_bps: 10e9,
+        };
+        let vm = VmSpec {
+            ram_mb: 512,
+            cpu_cores: 1.0,
+        };
+        let scenario = Scenario::builder()
+            .server_spec(server)
+            .vm_spec(vm)
+            .num_vms(32)
+            .build();
+        let back = Scenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back, scenario);
+        let session = scenario.session().unwrap();
+        assert_eq!(session.cluster().server_spec(), &server);
+        assert_eq!(session.cluster().vm_spec(score_topology::VmId::new(0)), &vm);
+        // The default stays the paper preset.
+        assert_eq!(
+            Scenario::builder().build().resources,
+            ResourceSpec::paper_default()
+        );
+    }
+
+    #[test]
+    fn degenerate_resource_specs_are_errors() {
+        use score_core::ServerSpec;
+        let mut scenario = Scenario::builder().build();
+        scenario.resources.server = ServerSpec {
+            vm_slots: 0,
+            ..ServerSpec::paper_default()
+        };
+        assert!(matches!(
+            scenario.session(),
+            Err(ScenarioError::Placement(_))
+        ));
+        let mut scenario = Scenario::builder().build();
+        scenario.resources.server.nic_bps = f64::NAN;
+        assert!(matches!(
+            scenario.session(),
+            Err(ScenarioError::Placement(_))
+        ));
     }
 
     #[test]

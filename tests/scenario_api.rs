@@ -40,6 +40,24 @@ fn scenario_json_round_trip_is_identity() {
             .star(16)
             .policy(PolicyKind::Random)
             .build(),
+        // Explicit pair lists and non-default resource specs round-trip
+        // like every other dimension.
+        Scenario::builder()
+            .star(8)
+            .explicit_pairs(6, vec![(0, 1, 2.5e8), (1, 2, 1e7), (4, 5, 3.0)])
+            .build(),
+        Scenario::builder()
+            .server_spec(s_core::core::ServerSpec {
+                vm_slots: 4,
+                ram_mb: 8192,
+                cpu_cores: 16.0,
+                nic_bps: 10e9,
+            })
+            .vm_spec(s_core::core::VmSpec {
+                ram_mb: 1024,
+                cpu_cores: 2.0,
+            })
+            .build(),
     ];
     for scenario in scenarios {
         let json = scenario.to_json();
