@@ -1,0 +1,178 @@
+//! Trace-replay microbenchmark: mid-run traffic deltas applied in place
+//! through `Session::apply_traffic_deltas`, at 128 / 1024 / 2560 hosts.
+//!
+//! Each delta patches the cluster's NIC ledger and re-prices the cost
+//! ledger over the changed pairs only — this bench pins the events/sec
+//! the sparse path sustains (single-pair deltas and whole-TM `ScaleAll`
+//! batches) and records it in `BENCH_trace_replay.json` at the
+//! workspace root.
+//!
+//! Run with `cargo bench --bench trace_replay`.
+
+use criterion::{black_box, Criterion};
+use score_sim::{Scenario, Session, TopologySpec};
+use score_topology::VmId;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Measured timings for one fabric size.
+struct ReplayPoint {
+    label: &'static str,
+    hosts: usize,
+    vms: u32,
+    pairs: usize,
+    sparse_delta_ns: f64,
+    sparse_events_per_sec: f64,
+    scale_all_ns: f64,
+}
+
+fn session_for(topology: TopologySpec) -> Session {
+    Scenario::builder()
+        .topology(topology)
+        .sparse_traffic(11)
+        .build()
+        .session()
+        .expect("bench scenario is feasible")
+}
+
+/// Alternating single-pair re-rates: the sparsest possible delta.
+fn sparse_updates(session: &Session) -> [Vec<(VmId, VmId, f64)>; 2] {
+    let &(u, v, rate) = session
+        .traffic()
+        .pairs()
+        .first()
+        .expect("workload has pairs");
+    [vec![(u, v, rate * 1.5)], vec![(u, v, rate)]]
+}
+
+/// Alternating whole-TM scale batches: every pair changes.
+fn scale_all_updates(session: &Session, factor: f64) -> [Vec<(VmId, VmId, f64)>; 2] {
+    let up: Vec<(VmId, VmId, f64)> = session
+        .traffic()
+        .pairs()
+        .iter()
+        .map(|&(u, v, r)| (u, v, r * factor))
+        .collect();
+    let down: Vec<(VmId, VmId, f64)> = session
+        .traffic()
+        .pairs()
+        .iter()
+        .map(|&(u, v, r)| (u, v, r))
+        .collect();
+    [up, down]
+}
+
+fn measure(label: &'static str, topology: TopologySpec) -> ReplayPoint {
+    let mut session = session_for(topology);
+    let hosts = session.topo().num_servers();
+    let vms = session.traffic().num_vms();
+    let pairs = session.traffic().num_pairs();
+
+    let sparse = sparse_updates(&session);
+    let sparse_reps = 2_000u32;
+    let start = Instant::now();
+    for i in 0..sparse_reps {
+        let batch = &sparse[(i % 2) as usize];
+        black_box(session.apply_traffic_deltas(black_box(batch)).unwrap());
+    }
+    let sparse_delta_ns = start.elapsed().as_nanos() as f64 / f64::from(sparse_reps);
+
+    let scale = scale_all_updates(&session, 1.02);
+    let scale_reps = 64u32;
+    let start = Instant::now();
+    for i in 0..scale_reps {
+        let batch = &scale[(i % 2) as usize];
+        black_box(session.apply_traffic_deltas(black_box(batch)).unwrap());
+    }
+    let scale_all_ns = start.elapsed().as_nanos() as f64 / f64::from(scale_reps);
+
+    ReplayPoint {
+        label,
+        hosts,
+        vms,
+        pairs,
+        sparse_delta_ns,
+        sparse_events_per_sec: 1e9 / sparse_delta_ns.max(f64::MIN_POSITIVE),
+        scale_all_ns,
+    }
+}
+
+fn sizes() -> [(&'static str, TopologySpec); 3] {
+    [
+        ("fat-tree-128", TopologySpec::small_fattree()),
+        ("fat-tree-1024", TopologySpec::paper_fattree()),
+        ("canonical-2560", TopologySpec::paper_canonical()),
+    ]
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    for (label, topology) in sizes() {
+        let mut session = session_for(topology);
+        let sparse = sparse_updates(&session);
+        let mut flip = 0usize;
+        group.bench_function(format!("sparse_delta/{label}"), |b| {
+            b.iter(|| {
+                flip ^= 1;
+                session.apply_traffic_deltas(&sparse[flip]).unwrap()
+            })
+        });
+        let scale = scale_all_updates(&session, 1.02);
+        let mut flip = 0usize;
+        group.bench_function(format!("scale_all/{label}"), |b| {
+            b.iter(|| {
+                flip ^= 1;
+                session.apply_traffic_deltas(&scale[flip]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Writes `BENCH_trace_replay.json` at the workspace root.
+fn record(points: &[ReplayPoint]) {
+    let mut json = String::from(
+        "{\n  \"bench\": \"trace_replay\",\n  \"unit\": \"ns per applied delta\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"label\": \"{}\", \"hosts\": {}, \"vms\": {}, \"pairs\": {}, \
+             \"sparse_delta_ns\": {:.1}, \"sparse_events_per_sec\": {:.0}, \
+             \"scale_all_ns\": {:.1}}}",
+            p.label,
+            p.hosts,
+            p.vms,
+            p.pairs,
+            p.sparse_delta_ns,
+            p.sparse_events_per_sec,
+            p.scale_all_ns,
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .find(|p| p.join("Cargo.toml").exists() && p.join("crates").exists())
+        .map(|p| p.join("BENCH_trace_replay.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_trace_replay.json"));
+    std::fs::write(&path, json).expect("write bench record");
+    println!("bench record written to {}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_trace_replay(&mut criterion);
+    let points: Vec<ReplayPoint> = sizes()
+        .into_iter()
+        .map(|(label, topology)| measure(label, topology))
+        .collect();
+    for p in &points {
+        println!(
+            "trace_replay: {:<15} {:>5} hosts {:>6} pairs  sparse {:>8.1} ns ({:>9.0} events/s)  scale-all {:>11.1} ns",
+            p.label, p.hosts, p.pairs, p.sparse_delta_ns, p.sparse_events_per_sec, p.scale_all_ns,
+        );
+    }
+    record(&points);
+}

@@ -345,6 +345,31 @@ impl Cluster {
         Ok(())
     }
 
+    /// Applies a **sparse** traffic delta in place: each change is
+    /// `(u, v, old_rate, new_rate)` for one pair, where `old_rate` is
+    /// the rate this cluster currently serves. Only the NIC-side ledger
+    /// entries touched by a change are adjusted and the held traffic is
+    /// patched per pair (`O(changed pairs)`, vs
+    /// [`Cluster::rebind_traffic`]'s full re-derivation) — the path
+    /// trace replay takes for each mid-run delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a change names a self-pair, an out-of-range VM, or a
+    /// negative/non-finite new rate.
+    pub fn patch_traffic(&mut self, changes: &[(VmId, VmId, f64, f64)]) {
+        let updates: Vec<(VmId, VmId, f64)> =
+            changes.iter().map(|&(u, v, _, new)| (u, v, new)).collect();
+        self.traffic.apply_updates(&updates);
+        for &(u, v, old, new) in changes {
+            let delta = new - old;
+            for vm in [u, v] {
+                self.vm_nic_demand[vm.index()] += delta;
+                self.usage[self.alloc.server_of(vm).index()].nic_bps += delta;
+            }
+        }
+    }
+
     /// Replaces the allocation wholesale (used by centralized baselines),
     /// re-deriving usage.
     ///
@@ -567,6 +592,33 @@ mod tests {
         let err = c.rebind_traffic(&traffic(5)).unwrap_err();
         assert!(matches!(err, ClusterError::VmCountMismatch { .. }));
         assert_eq!(c.vm_nic_demand(VmId::new(2)), 40.0);
+    }
+
+    #[test]
+    fn patch_traffic_adjusts_only_changed_pairs() {
+        let mut c = cluster(4, 16);
+        assert_eq!(c.vm_nic_demand(VmId::new(0)), 100.0);
+        // (0,1) re-rated to 60, (2,3) appears at 40.
+        let changes = [
+            (VmId::new(0), VmId::new(1), 100.0, 60.0),
+            (VmId::new(2), VmId::new(3), 0.0, 40.0),
+        ];
+        c.patch_traffic(&changes);
+        assert_eq!(c.vm_nic_demand(VmId::new(0)), 60.0);
+        assert_eq!(c.vm_nic_demand(VmId::new(3)), 40.0);
+        assert!((c.usage(ServerId::new(2)).nic_bps - 40.0).abs() < 1e-9);
+        assert!((c.usage(ServerId::new(0)).nic_bps - 60.0).abs() < 1e-9);
+        // The held traffic was patched in place to the same rates …
+        assert_eq!(c.external_rate(VmId::new(2), ServerId::new(5)), 40.0);
+        // … and the patched ledger matches what a full rebind derives.
+        let patched = c.traffic.clone();
+        let mut full = c.clone();
+        full.rebind_traffic(&patched).unwrap();
+        for v in 0..4 {
+            assert!(
+                (c.vm_nic_demand(VmId::new(v)) - full.vm_nic_demand(VmId::new(v))).abs() < 1e-9
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::cost::CostModel;
 pub struct CostLedger {
     model: CostModel,
     total: f64,
+    resyncs: u64,
 }
 
 impl CostLedger {
@@ -51,7 +52,11 @@ impl CostLedger {
         topo: &T,
     ) -> Self {
         let total = model.total_cost(alloc, traffic, topo);
-        CostLedger { model, total }
+        CostLedger {
+            model,
+            total,
+            resyncs: 0,
+        }
     }
 
     /// The current network-wide cost `C_A` — `O(1)`.
@@ -124,6 +129,31 @@ impl CostLedger {
         self.total += delta;
     }
 
+    /// Re-prices the ledger for a **sparse** traffic delta: each entry
+    /// is one changed pair `(u, v, old_rate, new_rate)` under an
+    /// unchanged allocation. Strictly `O(changed pairs)` — unlike
+    /// [`CostLedger::rebind`], the untouched pair lists are never
+    /// walked, which is what makes trace replay (hundreds of mid-run
+    /// deltas) cheap.
+    ///
+    /// The caller is responsible for `old_rate` being the rate the
+    /// ledger last priced for that pair (trace replay reads it off the
+    /// outgoing `PairTraffic` before swapping the new one in).
+    pub fn apply_rate_changes<T: Topology + ?Sized>(
+        &mut self,
+        alloc: &Allocation,
+        changes: &[(score_topology::VmId, score_topology::VmId, f64, f64)],
+        topo: &T,
+    ) {
+        let weights = self.model.weights();
+        let mut delta = 0.0;
+        for &(u, v, old, new) in changes {
+            let level = topo.level(alloc.server_of(u), alloc.server_of(v));
+            delta += 2.0 * (new - old) * weights.prefix(level);
+        }
+        self.total += delta;
+    }
+
     /// Discards the running total and recomputes it with one full
     /// Eq.-(2) pass — the escape hatch after wholesale allocation
     /// replacement (e.g. a centralized baseline rewrote the placement
@@ -135,6 +165,14 @@ impl CostLedger {
         topo: &T,
     ) {
         self.total = self.model.total_cost(alloc, traffic, topo);
+        self.resyncs += 1;
+    }
+
+    /// Number of full-pass resyncs this ledger has paid — the counter a
+    /// trace-replay test pins to zero to prove every delta took the
+    /// sparse path.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// Absolute difference between the ledger and a fresh full
@@ -225,6 +263,36 @@ mod tests {
         assert_eq!(ledger.current(), 0.0);
         ledger.rebind(&a, &empty, &t, &topo);
         assert!(ledger.drift(&a, &t, &topo) < 1e-9);
+    }
+
+    #[test]
+    fn sparse_rate_changes_match_full_recomputation() {
+        let (a, t, topo) = (alloc(), traffic(), topo());
+        let model = CostModel::paper_default();
+        let mut ledger = CostLedger::new(model.clone(), &a, &t, &topo);
+        // Replace (0,1), remove (0,2), add (1,3).
+        let changes = [
+            (VmId::new(0), VmId::new(1), 10.0, 25.0),
+            (VmId::new(0), VmId::new(2), 5.0, 0.0),
+            (VmId::new(1), VmId::new(3), 0.0, 4.0),
+        ];
+        ledger.apply_rate_changes(&a, &changes, &topo);
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(0), VmId::new(1), 25.0);
+        b.add(VmId::new(1), VmId::new(3), 4.0);
+        b.add(VmId::new(2), VmId::new(3), 1.0);
+        let new = b.build();
+        let fresh = model.total_cost(&a, &new, &topo);
+        assert!(
+            (ledger.current() - fresh).abs() <= 1e-9 * fresh.max(1.0),
+            "sparse re-pricing must land on the full recomputation"
+        );
+        // No full pass was paid.
+        assert_eq!(ledger.resyncs(), 0);
+        // An empty change list is a no-op.
+        let before = ledger.current();
+        ledger.apply_rate_changes(&a, &[], &topo);
+        assert_eq!(ledger.current(), before);
     }
 
     #[test]

@@ -39,6 +39,8 @@ fn main() {
     println!("{}", exp::ext_overhead::run(paper).1);
     exp::banner("Extension: oversubscription");
     println!("{}", exp::ext_oversub::run(paper).1);
+    exp::banner("Extension: dynamic traffic");
+    println!("{}", exp::ext_dynamic::run(paper).1);
 
     println!("\nAll experiments finished in {:.1} s.", sw.elapsed_s());
     println!("CSV outputs under: {}", exp::results_dir().display());

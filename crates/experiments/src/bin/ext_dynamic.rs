@@ -1,0 +1,11 @@
+//! Extension — policy rankings under time-varying (trace-driven)
+//! traffic: diurnal drift and flash crowds replayed through the session
+//! event clock.
+
+use score_experiments as exp;
+
+fn main() {
+    exp::banner("Extension: dynamic traffic (trace replay)");
+    let (_, summary) = exp::ext_dynamic::run(exp::paper_scale_requested());
+    println!("{summary}");
+}

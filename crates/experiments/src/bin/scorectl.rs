@@ -6,6 +6,8 @@
 //!          [--policy rr|hlf|hcf|random] [--cm F] [--t-end SECONDS]
 //!          [--seed N] [--csv FILE] [--json FILE]
 //!          [--scenario FILE] [--emit-scenario FILE]
+//! scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl]
+//!          [--num-vms N] [--save-trace FILE.jsonl] [common flags above]
 //! ```
 //!
 //! Every flag edits one field of a [`Scenario`]; the run itself is
@@ -13,13 +15,24 @@
 //! `--scenario FILE` the whole spec is loaded from JSON instead (flags
 //! still apply on top), `--emit-scenario` writes the effective spec back
 //! out, and `--json` writes the full [`score_sim::RunReport`].
+//!
+//! The `trace` subcommand runs a **time-varying** workload instead: a
+//! synthetic trace shape (deterministic from `--seed`) or a JSONL trace
+//! file replayed through the session event clock (`run_trace`), printing
+//! per-segment results and the in-place rebind statistics.
 
-use score_sim::{series_to_csv, PolicyKind, Scenario, TopologySpec};
+use score_sim::{series_to_csv, PolicyKind, Scenario, TopologySpec, TraceSpec, WorkloadSpec};
+use score_trace::{ChurnShape, DiurnalShape, FlashCrowdShape, Trace};
 use score_traffic::TrafficIntensity;
 use std::process::ExitCode;
 
 #[derive(Debug, Default)]
 struct Args {
+    trace_mode: bool,
+    shape: Option<String>,
+    trace_file: Option<String>,
+    save_trace: Option<String>,
+    num_vms: Option<u32>,
     scenario_file: Option<String>,
     topology: Option<String>,
     racks: Option<u32>,
@@ -39,7 +52,11 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().is_some_and(|a| a == "trace") {
+        args.trace_mode = true;
+        it.next();
+    }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
@@ -79,6 +96,12 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown policy {other:?}")),
                 })
             }
+            "--shape" => args.shape = Some(value("--shape")?),
+            "--trace" => args.trace_file = Some(value("--trace")?),
+            "--save-trace" => args.save_trace = Some(value("--save-trace")?),
+            "--num-vms" => {
+                args.num_vms = Some(value("--num-vms")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--cm" => args.cm = Some(value("--cm")?.parse().map_err(|e| format!("{e}"))?),
             "--t-end" => {
                 args.t_end_s = Some(value("--t-end")?.parse().map_err(|e| format!("{e}"))?)
@@ -102,8 +125,68 @@ fn usage() {
          [--hosts-per-rack N] [--k N] [--hosts N] [--vms-per-host F] \
          [--intensity sparse|medium|dense] [--policy rr|hlf|hcf|random] \
          [--cm F] [--t-end SECONDS] [--seed N] [--csv FILE] [--json FILE] \
-         [--scenario FILE] [--emit-scenario FILE]"
+         [--scenario FILE] [--emit-scenario FILE]\n\
+         \x20      scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl] \
+         [--num-vms N] [--save-trace FILE.jsonl] [common flags]"
     );
+}
+
+/// Builds the trace workload for `scorectl trace` from the subcommand
+/// flags: a JSONL file or a deterministic synthetic shape.
+fn trace_workload(args: &Args) -> Result<WorkloadSpec, String> {
+    let seed = args.seed.unwrap_or(42);
+    if let Some(path) = &args.trace_file {
+        if args.shape.is_some() {
+            return Err("--shape and --trace are mutually exclusive".into());
+        }
+        if args.num_vms.is_some() {
+            return Err("--num-vms comes from the trace file with --trace".into());
+        }
+        let trace =
+            Trace::load(std::path::Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+        return Ok(WorkloadSpec::Trace {
+            spec: TraceSpec::Literal { trace, seed },
+        });
+    }
+    let num_vms = args.num_vms.unwrap_or(256);
+    let intensity = args.intensity.unwrap_or(TrafficIntensity::Sparse);
+    let horizon_s = args.t_end_s.unwrap_or(300.0);
+    let spec = match args.shape.as_deref().unwrap_or("diurnal") {
+        "diurnal" => TraceSpec::Diurnal {
+            num_vms,
+            intensity,
+            seed,
+            shape: DiurnalShape {
+                period_s: horizon_s / 2.0,
+                amplitude: 0.5,
+                step_s: (horizon_s / 150.0).max(0.5),
+                horizon_s,
+            },
+        },
+        "flash" => TraceSpec::FlashCrowd {
+            num_vms,
+            intensity,
+            seed,
+            shape: FlashCrowdShape {
+                spikes: 18,
+                fanout: 8,
+                surge_bps: 2e8,
+                hold_s: horizon_s / 8.0,
+                horizon_s,
+            },
+        },
+        "churn" => TraceSpec::Churn {
+            num_vms,
+            intensity,
+            seed,
+            shape: ChurnShape {
+                window_s: horizon_s / 4.0,
+                windows: 4,
+            },
+        },
+        other => return Err(format!("unknown trace shape {other:?}")),
+    };
+    Ok(WorkloadSpec::Trace { spec })
 }
 
 /// Applies the CLI flags on top of a base scenario. A dimension flag
@@ -117,9 +200,11 @@ fn apply_flags(mut scenario: Scenario, args: &Args) -> Result<Scenario, String> 
             }
             "fattree" => TopologySpec::FatTree {
                 k: args.k.unwrap_or(8),
+                capacities: None,
             },
             "star" => TopologySpec::Star {
                 hosts: args.hosts.unwrap_or(64),
+                capacities: None,
             },
             other => return Err(format!("unknown topology {other:?}")),
         };
@@ -155,12 +240,12 @@ fn apply_flags(mut scenario: Scenario, args: &Args) -> Result<Scenario, String> 
                     *hosts_per_rack = h;
                 }
             }
-            TopologySpec::FatTree { k } => {
+            TopologySpec::FatTree { k, .. } => {
                 if let Some(new_k) = args.k {
                     *k = new_k;
                 }
             }
-            TopologySpec::Star { hosts } => {
+            TopologySpec::Star { hosts, .. } => {
                 if let Some(h) = args.hosts {
                     *hosts = h;
                 }
@@ -230,6 +315,20 @@ fn apply_flags(mut scenario: Scenario, args: &Args) -> Result<Scenario, String> 
                 *seed = s;
             }
         }
+        workload @ score_sim::WorkloadSpec::Trace { .. } => {
+            if args.vms_per_host.is_some() {
+                return Err("--vms-per-host does not apply to a trace workload spec".into());
+            }
+            if args.intensity.is_some() && workload.intensity().is_none() {
+                return Err("--intensity does not apply to a literal trace workload spec".into());
+            }
+            if let Some(i) = args.intensity {
+                *workload = workload.clone().with_intensity(i);
+            }
+            if let Some(s) = args.seed {
+                *workload = workload.clone().with_seed(s);
+            }
+        }
     }
     if let Some(policy) = args.policy {
         scenario.policy = policy;
@@ -275,6 +374,41 @@ fn main() -> ExitCode {
             s
         }
     };
+    let base = if args.trace_mode {
+        let mut s = base;
+        // A loaded scenario that already declares a trace workload is
+        // kept unless --shape/--trace explicitly replaces it.
+        let keep_loaded = args.shape.is_none()
+            && args.trace_file.is_none()
+            && matches!(s.workload, WorkloadSpec::Trace { .. });
+        if keep_loaded {
+            if args.num_vms.is_some() {
+                eprintln!("error: --num-vms does not apply to the scenario file's trace workload");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        } else {
+            s.workload = match trace_workload(&args) {
+                Ok(w) => w,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            };
+        }
+        s
+    } else if args.shape.is_some()
+        || args.trace_file.is_some()
+        || args.save_trace.is_some()
+        || args.num_vms.is_some()
+    {
+        eprintln!("error: --shape/--trace/--save-trace/--num-vms need the `trace` subcommand");
+        usage();
+        return ExitCode::FAILURE;
+    } else {
+        base
+    };
     let scenario = match apply_flags(base, &args) {
         Ok(s) => s,
         Err(msg) => {
@@ -283,6 +417,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(path) = &args.save_trace {
+        let Some(trace) = scenario.workload.build_trace() else {
+            eprintln!("error: --save-trace needs a trace workload");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = trace.save(std::path::Path::new(path)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace written to {path} ({} events over {:.0} s)",
+            trace.num_events(),
+            trace.end_s()
+        );
+    }
 
     if let Some(path) = &args.emit_scenario {
         if let Err(e) = std::fs::write(path, scenario.to_json_pretty()) {
@@ -311,6 +461,9 @@ fn main() -> ExitCode {
         scenario.policy.name(),
         scenario.engine.score().migration_cost,
     );
+    if matches!(scenario.workload, WorkloadSpec::Trace { .. }) {
+        return run_trace_session(session, &args);
+    }
     session.run_to_horizon();
     let report = session.report();
     println!(
@@ -343,6 +496,73 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("run report written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Replays a trace session segment by segment and prints per-segment
+/// results plus the in-place rebind statistics.
+fn run_trace_session(mut session: score_sim::Session, args: &Args) -> ExitCode {
+    let reports = match session.run_trace() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut total_deltas = 0u64;
+    let mut total_pairs = 0u64;
+    for (i, report) in reports.iter().enumerate() {
+        println!(
+            "segment {}: cost {:.4e} -> {:.4e} ({:>5.1}%) | {:>4} migrations | \
+             {:>4} deltas re-pricing {:>6} pairs ({:.1} µs/delta)",
+            i + 1,
+            report.initial_cost,
+            report.final_cost,
+            report.cost_reduction() * 100.0,
+            report.migrations.len(),
+            report.trace.events_applied,
+            report.trace.pairs_repriced,
+            report.trace.mean_apply_ns() / 1e3,
+        );
+        total_deltas += report.trace.events_applied;
+        total_pairs += report.trace.pairs_repriced;
+    }
+    println!(
+        "trace replay: {} segment(s), {} traffic deltas applied in place \
+         ({} pairs re-priced, {} full ledger resyncs)",
+        reports.len(),
+        total_deltas,
+        total_pairs,
+        session.ledger_resyncs(),
+    );
+    if let Some(path) = &args.csv {
+        let mut csv = String::from("segment,time_s,cost\n");
+        for (i, report) in reports.iter().enumerate() {
+            for &(t, c) in &report.cost_series {
+                use std::fmt::Write as _;
+                let _ = writeln!(csv, "{},{t:.3},{c:.6}", i + 1);
+            }
+        }
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("cost series written to {path}");
+    }
+    if let Some(path) = &args.json {
+        let json = match serde_json::to_string_pretty(&reports) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: cannot serialize reports: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("run reports written to {path}");
     }
     ExitCode::SUCCESS
 }

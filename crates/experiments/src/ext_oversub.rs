@@ -6,13 +6,15 @@
 //! tree and measures how much congestion S-CORE removes at each design
 //! point — quantifying the claim that traffic localization buys operators
 //! "network capacity headroom".
+//!
+//! The capacity axis is declared, not hand-rolled: each ratio is one
+//! `TopologySpec` carrying `LinkCapacities` overrides, and the whole
+//! sweep is a `ScenarioMatrix` over those specs (the last experiment to
+//! migrate off bespoke topology loops).
 
-use score_core::{Cluster, LinkLoadMap};
-use score_sim::{jain_fairness, PolicyKind, Scenario};
-use score_topology::{CanonicalTreeBuilder, Level, LinkCapacities, Topology};
-use score_traffic::{PairTraffic, WorkloadConfig};
+use score_sim::{jain_fairness, PolicyKind, Scenario, ScenarioMatrix, UtilizationSnapshot};
+use score_topology::LinkCapacities;
 use std::fmt::Write as _;
-use std::sync::Arc;
 
 use crate::{write_report, write_result};
 
@@ -29,10 +31,51 @@ pub struct OversubPoint {
     pub fairness_after: f64,
 }
 
-/// Runs the sweep and writes `ext_oversubscription.csv`.
+/// Highest upper-layer (aggregation + core) utilization in a snapshot.
+fn upper_max(snapshot: &UtilizationSnapshot) -> f64 {
+    snapshot
+        .aggregation
+        .iter()
+        .chain(snapshot.core.iter())
+        .copied()
+        .fold(0.0, f64::max)
+}
+
+/// Runs the sweep and writes `ext_oversubscription.csv` plus the
+/// collected `ext_oversub_matrix.json`.
 pub fn run(paper_scale: bool) -> (Vec<OversubPoint>, String) {
     let (racks, hosts_per_rack) = if paper_scale { (128, 20) } else { (32, 5) };
     let ratios = [1.0f64, 2.0, 4.0, 8.0];
+    // Downlink: hosts x 1 GbE; uplink sized for the requested ratio —
+    // one TopologySpec per design point, expanded by the matrix.
+    let host_bps = 1e9;
+    let topologies: Vec<_> = ratios
+        .iter()
+        .map(|&ratio| {
+            let uplink = (f64::from(hosts_per_rack) * host_bps / ratio).max(1e8);
+            score_sim::TopologySpec::canonical(racks, hosts_per_rack).with_capacities(
+                LinkCapacities {
+                    host_bps,
+                    tor_agg_bps: uplink,
+                    agg_core_bps: uplink,
+                },
+            )
+        })
+        .collect();
+    let base = Scenario::builder()
+        .policy(PolicyKind::HighestLevelFirst)
+        .vms_per_host(2.0)
+        .workload_seed(37)
+        .horizon(400.0)
+        .build();
+    let results = ScenarioMatrix::new(base)
+        .topologies(topologies)
+        .run()
+        .expect("sweep dimensions are valid");
+    results
+        .write_json(&crate::results_dir(), "ext_oversub_matrix.json")
+        .expect("write matrix report");
+
     let mut points = Vec::new();
     let mut csv = String::from("ratio,max_util_before,max_util_after,fairness_after\n");
     let mut summary = String::from("Extension — ToR oversubscription sweep (HLF, sparse TM)\n");
@@ -41,50 +84,20 @@ pub fn run(paper_scale: bool) -> (Vec<OversubPoint>, String) {
         "  {:>6} {:>17} {:>16} {:>15}",
         "ratio", "max util before", "max util after", "fairness after"
     );
-    for &ratio in &ratios {
-        // Downlink: hosts x 1 GbE; uplink sized for the requested ratio.
-        let host_bps = 1e9;
-        let uplink = (hosts_per_rack as f64 * host_bps / ratio).max(1e8);
-        let topo = CanonicalTreeBuilder::new()
-            .racks(racks)
-            .hosts_per_rack(hosts_per_rack)
-            .racks_per_agg((racks / 4).max(1))
-            .cores(2)
-            .capacities(LinkCapacities {
-                host_bps,
-                tor_agg_bps: uplink,
-                agg_core_bps: uplink,
-            })
-            .build()
-            .expect("sweep dimensions are valid");
-        let topo: Arc<dyn Topology> = Arc::new(topo);
-        let num_vms = (topo.num_servers() * 2) as u32;
-        let traffic = WorkloadConfig::new(num_vms, 37).generate();
-        let scenario = Scenario::builder()
-            .policy(PolicyKind::HighestLevelFirst)
-            .workload_seed(37)
-            .horizon(400.0)
-            .build();
-        let mut session = scenario
-            .session_with(Arc::clone(&topo), traffic)
-            .expect("random placement fits");
-
-        let upper_max = |cluster: &Cluster, traffic: &PairTraffic| {
-            LinkLoadMap::compute(cluster.allocation(), traffic, cluster.topo())
-                .max_utilization(Level::AGGREGATION)
-                .map_or(0.0, |(_, u)| u)
-        };
-        let before = upper_max(session.cluster(), session.traffic());
-        session.run_to_horizon();
-        write_report(&format!("ext_oversub_{ratio:.0}x.json"), &session.report());
-        let after = upper_max(session.cluster(), session.traffic());
-        let map = LinkLoadMap::compute(
-            session.cluster().allocation(),
-            session.traffic(),
-            session.cluster().topo(),
-        );
-        let mut upper = map.utilizations_at_level(Level::AGGREGATION);
-        upper.extend(map.utilizations_at_level(Level::CORE));
+    for (cell, &ratio) in results.cells.iter().zip(&ratios) {
+        // "Before": the same scenario freshly materialized, not run.
+        let initial = cell
+            .scenario
+            .session()
+            .expect("matrix cell re-materializes");
+        let before = upper_max(&UtilizationSnapshot::capture(
+            initial.cluster(),
+            initial.traffic(),
+        ));
+        let after = upper_max(&cell.report.link_utilization);
+        write_report(&format!("ext_oversub_{ratio:.0}x.json"), &cell.report);
+        let mut upper = cell.report.link_utilization.aggregation.clone();
+        upper.extend_from_slice(&cell.report.link_utilization.core);
         let point = OversubPoint {
             ratio,
             max_util_before: before,

@@ -19,6 +19,10 @@ pub enum SimEvent {
     },
     /// Periodic cost sampling tick.
     Sample,
+    /// A trace-driven traffic delta fires: the session applies the next
+    /// pending update batch in place (sparse ledger re-pricing), between
+    /// token holds and cost samples.
+    TrafficShift,
     /// A live migration finished moving a VM.
     MigrationComplete {
         /// The migrated VM.

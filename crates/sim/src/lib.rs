@@ -55,9 +55,9 @@ pub mod spec;
 pub use events::{EventQueue, SimEvent};
 pub use matrix::{MatrixCell, MatrixReport, RunLength, ScenarioMatrix};
 pub use metrics::{ascii_chart, jain_fairness, series_to_csv, UtilizationSnapshot};
-pub use report::{FlowTableOps, HypervisorStats, MigrationEvent, RunReport};
+pub use report::{FlowTableOps, HypervisorStats, MigrationEvent, RunReport, TraceReplayStats};
 pub use session::{Session, TrafficPhase};
 pub use spec::{
     EngineSpec, PlacementSpec, PolicyKind, PolicySpec, ResourceSpec, Scenario, ScenarioBuilder,
-    ScenarioError, TimingSpec, TopologyKind, TopologySpec, WorkloadSpec,
+    ScenarioError, TimingSpec, TopologyKind, TopologySpec, TraceSpec, WorkloadSpec,
 };

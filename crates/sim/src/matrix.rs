@@ -63,6 +63,11 @@ pub struct ScenarioMatrix {
 }
 
 /// One materialized-and-run cell of a [`ScenarioMatrix`].
+///
+/// For trace workloads with phase markers, a `ToHorizon` run replays
+/// the whole trace and `report` covers its final segment; collect
+/// per-segment reports through [`crate::Session::run_trace`] directly
+/// when you need them all.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatrixCell {
     /// The policy this cell ran.
@@ -219,7 +224,16 @@ impl ScenarioMatrix {
         for (engine_label, scenario) in self.scenarios() {
             let mut session = scenario.session()?;
             match self.run_length {
-                RunLength::ToHorizon => session.run_to_horizon(),
+                RunLength::ToHorizon => {
+                    // Trace workloads with phase markers replay *every*
+                    // segment (the report then covers the final one) —
+                    // stopping at the first marker would silently
+                    // truncate the trace.
+                    session.run_to_horizon();
+                    while session.advance_trace_segment()? {
+                        session.run_to_horizon();
+                    }
+                }
                 RunLength::Iterations(n) => {
                     session.run(n);
                 }
@@ -313,8 +327,14 @@ mod tests {
     fn matrix_expands_all_axes_in_order() {
         let matrix = ScenarioMatrix::new(quick_base())
             .topologies([
-                TopologySpec::Star { hosts: 8 },
-                TopologySpec::FatTree { k: 4 },
+                TopologySpec::Star {
+                    hosts: 8,
+                    capacities: None,
+                },
+                TopologySpec::FatTree {
+                    k: 4,
+                    capacities: None,
+                },
             ])
             .intensities([TrafficIntensity::Sparse, TrafficIntensity::Medium])
             .policies(PolicyKind::paper_policies());
@@ -322,8 +342,20 @@ mod tests {
         let scenarios = matrix.scenarios();
         assert_eq!(scenarios.len(), 8);
         // Topology-major, then intensity, then policy.
-        assert_eq!(scenarios[0].1.topology, TopologySpec::Star { hosts: 8 });
-        assert_eq!(scenarios[4].1.topology, TopologySpec::FatTree { k: 4 });
+        assert_eq!(
+            scenarios[0].1.topology,
+            TopologySpec::Star {
+                hosts: 8,
+                capacities: None
+            }
+        );
+        assert_eq!(
+            scenarios[4].1.topology,
+            TopologySpec::FatTree {
+                k: 4,
+                capacities: None
+            }
+        );
         assert_eq!(
             scenarios[0].1.workload.intensity(),
             Some(TrafficIntensity::Sparse)
@@ -416,9 +448,38 @@ mod tests {
     }
 
     #[test]
+    fn marked_traces_replay_every_segment() {
+        use crate::spec::TraceSpec;
+        // A two-segment trace: the second segment rescales the TM. The
+        // matrix must replay past the marker, so the cell's report is
+        // the *final* segment's (its initial cost reflects the rescale),
+        // not a silent truncation at the first boundary.
+        let trace = score_trace::Trace::builder(8, 60.0)
+            .base_pair(0, 1, 1e6)
+            .base_pair(2, 3, 2e6)
+            .marker(30.0, "late")
+            .scale_all(30.0, 10.0)
+            .build()
+            .unwrap();
+        let mut base = quick_base();
+        base.workload = crate::spec::WorkloadSpec::Trace {
+            spec: TraceSpec::Literal { trace, seed: 1 },
+        };
+        let results = ScenarioMatrix::new(base.clone()).run().unwrap();
+        let cell_report = &results.cells[0].report;
+        // Reference: the same scenario driven segment-by-segment.
+        let reports = base.session().unwrap().run_trace().unwrap();
+        assert_eq!(reports.len(), 2, "the marker splits the trace in two");
+        assert_eq!(cell_report, reports.last().unwrap());
+    }
+
+    #[test]
     fn cell_errors_propagate() {
         let mut base = quick_base();
-        base.topology = TopologySpec::FatTree { k: 3 };
+        base.topology = TopologySpec::FatTree {
+            k: 3,
+            capacities: None,
+        };
         assert!(matches!(
             ScenarioMatrix::new(base).run(),
             Err(ScenarioError::Topology(_))

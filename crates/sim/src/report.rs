@@ -65,6 +65,45 @@ impl FlowTableOps {
     }
 }
 
+/// Bookkeeping of trace-driven traffic deltas applied during a run:
+/// how many event batches fired, how many pairs they re-priced, and how
+/// long each in-place rebind took (wall clock). All zeros for static
+/// workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceReplayStats {
+    /// Trace delta batches applied mid-run.
+    pub events_applied: u64,
+    /// Changed pairs re-priced across all batches (the ledger work is
+    /// `O(this)`, not `O(all pairs × events)`).
+    pub pairs_repriced: u64,
+    /// Total wall-clock nanoseconds spent applying batches. Wall-clock
+    /// noise: compare counts, not latencies, when asserting determinism.
+    pub apply_ns_total: u64,
+    /// Slowest single batch in nanoseconds.
+    pub apply_ns_max: u64,
+}
+
+impl TraceReplayStats {
+    /// Mean nanoseconds per applied batch (0 when none fired).
+    pub fn mean_apply_ns(&self) -> f64 {
+        if self.events_applied == 0 {
+            0.0
+        } else {
+            self.apply_ns_total as f64 / self.events_applied as f64
+        }
+    }
+
+    /// Applied batches per wall-clock second of rebind work
+    /// (`f64::INFINITY` when no time was measured but events fired).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.events_applied == 0 {
+            0.0
+        } else {
+            self.events_applied as f64 / (self.apply_ns_total as f64 * 1e-9)
+        }
+    }
+}
+
 /// Unified result of one [`crate::Session`] run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -97,6 +136,8 @@ pub struct RunReport {
     pub link_utilization: UtilizationSnapshot,
     /// Flow-table operation counts implied by the run.
     pub flow_table: FlowTableOps,
+    /// Trace-replay bookkeeping (all zeros for static workloads).
+    pub trace: TraceReplayStats,
 }
 
 impl RunReport {
@@ -246,7 +287,22 @@ mod tests {
                 aggregations: 8,
                 rule_updates: 4,
             },
+            trace: TraceReplayStats::default(),
         }
+    }
+
+    #[test]
+    fn trace_stats_aggregates() {
+        let stats = TraceReplayStats {
+            events_applied: 4,
+            pairs_repriced: 40,
+            apply_ns_total: 2_000,
+            apply_ns_max: 900,
+        };
+        assert_eq!(stats.mean_apply_ns(), 500.0);
+        assert!((stats.events_per_sec() - 2e6).abs() < 1.0);
+        assert_eq!(TraceReplayStats::default().mean_apply_ns(), 0.0);
+        assert_eq!(TraceReplayStats::default().events_per_sec(), 0.0);
     }
 
     #[test]

@@ -15,14 +15,17 @@ use score_core::{
     Cluster, CostLedger, CostModel, IterationStats, ScoreEngine, StepOutcome, TokenRing,
 };
 use score_topology::{Topology, VmId};
+use score_trace::{CompiledTrace, DeltaBatch, TraceSegment};
 use score_traffic::{CbrLoad, PairTraffic};
 use score_xen::PreCopyModel;
 
 use crate::events::{EventQueue, SimEvent};
 use crate::metrics::UtilizationSnapshot;
-use crate::report::{FlowTableOps, MigrationEvent, RunReport};
+use crate::report::{FlowTableOps, MigrationEvent, RunReport, TraceReplayStats};
 use crate::spec::{Scenario, ScenarioError};
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One phase of a dynamic workload: a traffic pattern active for a
 /// duration.
@@ -63,6 +66,17 @@ pub struct Session {
     iterations: Vec<IterationStats>,
     current_iter: IterationStats,
     token_holds: usize,
+    /// In-segment trace delta batches not yet fired, FIFO-aligned with
+    /// the `TrafficShift` events in the queue.
+    pending_shifts: VecDeque<Vec<(VmId, VmId, f64)>>,
+    /// Trace segments after the current one (`WorkloadSpec::Trace` with
+    /// phase markers); advanced by [`Session::advance_trace_segment`].
+    trace_segments: VecDeque<TraceSegment>,
+    /// Index of the current segment (seeds segment reseeding like
+    /// `run_phases` numbers its phases).
+    segment_index: u64,
+    /// Rebind bookkeeping for the current segment's report.
+    trace_stats: TraceReplayStats,
 }
 
 impl Session {
@@ -74,9 +88,40 @@ impl Session {
         topo: Arc<dyn Topology>,
         traffic: PairTraffic,
     ) -> Result<Self, ScenarioError> {
+        Session::materialize_inner(scenario, topo, traffic, None)
+    }
+
+    /// Builds a session for a compiled time-varying trace: the first
+    /// segment's TM and duration become the session's workload and
+    /// horizon, its delta batches are scheduled on the event clock, and
+    /// the remaining segments queue up behind
+    /// [`Session::advance_trace_segment`].
+    pub(crate) fn materialize_trace(
+        scenario: Scenario,
+        topo: Arc<dyn Topology>,
+        compiled: CompiledTrace,
+    ) -> Result<Self, ScenarioError> {
+        let mut segments: VecDeque<TraceSegment> = compiled.segments.into();
+        let Some(first) = segments.pop_front() else {
+            return Err(ScenarioError::Workload(
+                "trace compiles to no segments".into(),
+            ));
+        };
+        let mut session =
+            Session::materialize_inner(scenario, topo, first.initial.clone(), Some(&first))?;
+        session.trace_segments = segments;
+        Ok(session)
+    }
+
+    fn materialize_inner(
+        scenario: Scenario,
+        topo: Arc<dyn Topology>,
+        traffic: PairTraffic,
+        segment: Option<&TraceSegment>,
+    ) -> Result<Self, ScenarioError> {
         scenario.timing.validate()?;
         scenario.engine.validate()?;
-        scenario.resources.validate()?;
+        scenario.resources.validate(traffic.num_vms())?;
         let server_spec = scenario.resources.server;
         let capacity = topo.num_servers() as u64 * u64::from(server_spec.vm_slots);
         if u64::from(traffic.num_vms()) > capacity {
@@ -93,10 +138,10 @@ impl Session {
             server_spec.vm_slots,
             scenario.workload.seed(),
         );
-        let cluster = Cluster::new(
+        let cluster = Cluster::with_vm_specs(
             Arc::clone(&topo),
             server_spec,
-            scenario.resources.vm,
+            scenario.resources.vm_specs(traffic.num_vms()),
             &traffic,
             alloc,
         )?;
@@ -114,7 +159,7 @@ impl Session {
         let initial_cost = ledger.current();
 
         let mut session = Session {
-            horizon_s: scenario.timing.t_end_s,
+            horizon_s: segment.map_or(scenario.timing.t_end_s, |s| s.duration_s),
             scenario,
             topo,
             traffic,
@@ -138,9 +183,35 @@ impl Session {
                 total_gain: 0.0,
             },
             token_holds: 0,
+            pending_shifts: VecDeque::new(),
+            trace_segments: VecDeque::new(),
+            segment_index: 0,
+            trace_stats: TraceReplayStats::default(),
         };
         session.prime_queue();
+        if let Some(seg) = segment {
+            session.load_shifts(&seg.shifts);
+        }
         Ok(session)
+    }
+
+    /// Schedules a segment's delta batches on the event clock (segment
+    /// time starts at the queue's current zero). Batches at or past the
+    /// horizon never fire and are dropped here.
+    fn load_shifts(&mut self, shifts: &[DeltaBatch]) {
+        for batch in shifts {
+            if batch.at_s >= self.horizon_s {
+                continue;
+            }
+            self.queue.schedule_at(batch.at_s, SimEvent::TrafficShift);
+            self.pending_shifts.push_back(
+                batch
+                    .updates
+                    .iter()
+                    .map(|&(u, v, rate)| (VmId::new(u), VmId::new(v), rate))
+                    .collect(),
+            );
+        }
     }
 
     fn prime_queue(&mut self) {
@@ -269,6 +340,12 @@ impl Session {
                     // completion event only orders bookkeeping for
                     // consumers interested in in-flight counts.
                 }
+                SimEvent::TrafficShift => {
+                    if let Some(updates) = self.pending_shifts.pop_front() {
+                        self.apply_traffic_deltas(&updates)
+                            .expect("trace deltas are validated at materialization");
+                    }
+                }
                 SimEvent::TokenArrive { vm: _ } => {
                     self.freshen_ledger();
                     let Some(outcome) =
@@ -371,6 +448,7 @@ impl Session {
                 aggregations: self.token_holds as u64,
                 rule_updates: 2 * self.migrations.len() as u64,
             },
+            trace: self.trace_stats,
         }
     }
 
@@ -423,8 +501,150 @@ impl Session {
             total_gain: 0.0,
         };
         self.token_holds = 0;
+        self.pending_shifts.clear();
+        self.trace_stats = TraceReplayStats::default();
         self.prime_queue();
         Ok(())
+    }
+
+    /// Applies a batch of absolute-rate traffic updates **in place**,
+    /// without resetting the clock, ring, or report accumulators: each
+    /// `(u, v, new_rate)` entry replaces λ(u, v) (`0` removes the pair;
+    /// duplicates within one batch: the later entry wins). The cluster's
+    /// NIC ledger is patched per changed pair and the cost ledger is
+    /// re-priced per changed pair — no full Eq.-(2) pass, no cluster
+    /// rebuild — so `C_A(t)` reacts to traffic *between* samples at
+    /// O(changed-pairs) cost. This is the path every trace event takes;
+    /// external callers (benches, custom drivers) may invoke it
+    /// directly.
+    ///
+    /// Returns the number of pairs whose rate actually changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Workload`] on self-pairs, out-of-range
+    /// VM ids, or negative/non-finite rates; the session is unchanged on
+    /// error.
+    pub fn apply_traffic_deltas(
+        &mut self,
+        updates: &[(VmId, VmId, f64)],
+    ) -> Result<usize, ScenarioError> {
+        let start = Instant::now();
+        let num_vms = self.traffic.num_vms();
+        for &(u, v, rate) in updates {
+            if u == v {
+                return Err(ScenarioError::Workload(format!(
+                    "traffic delta names the self-pair ({u}, {v})"
+                )));
+            }
+            if u.get() >= num_vms || v.get() >= num_vms {
+                return Err(ScenarioError::Workload(format!(
+                    "traffic delta pair ({u}, {v}) exceeds the population of {num_vms} VMs"
+                )));
+            }
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(ScenarioError::Workload(format!(
+                    "traffic delta pair ({u}, {v}) has invalid rate {rate}"
+                )));
+            }
+        }
+        // External cluster mutation first resyncs the baseline the
+        // sparse re-pricing builds on.
+        self.freshen_ledger();
+        // Canonicalize, later-entry-wins, and drop no-ops.
+        let mut canon: Vec<(VmId, VmId, f64)> = updates
+            .iter()
+            .map(|&(u, v, r)| if u < v { (u, v, r) } else { (v, u, r) })
+            .collect();
+        canon.sort_by_key(|&(u, v, _)| (u, v));
+        canon.dedup_by(|later, earlier| {
+            let dup = (later.0, later.1) == (earlier.0, earlier.1);
+            if dup {
+                earlier.2 = later.2;
+            }
+            dup
+        });
+        let changes: Vec<(VmId, VmId, f64, f64)> = canon
+            .iter()
+            .filter_map(|&(u, v, new)| {
+                let old = self.traffic.rate(u, v);
+                (old != new).then_some((u, v, old, new))
+            })
+            .collect();
+        if !changes.is_empty() {
+            self.cluster.patch_traffic(&changes);
+            self.ledger.apply_rate_changes(
+                self.cluster.allocation(),
+                &changes,
+                self.cluster.topo(),
+            );
+            self.traffic.apply_updates(&canon);
+        }
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.trace_stats.events_applied += 1;
+        self.trace_stats.pairs_repriced += changes.len() as u64;
+        self.trace_stats.apply_ns_total += ns;
+        self.trace_stats.apply_ns_max = self.trace_stats.apply_ns_max.max(ns);
+        Ok(changes.len())
+    }
+
+    /// Trace-replay bookkeeping for the current segment (all zeros for
+    /// static workloads).
+    pub fn trace_stats(&self) -> TraceReplayStats {
+        self.trace_stats
+    }
+
+    /// Number of full-pass ledger resyncs paid so far — stays 0 when
+    /// every mid-run delta took the sparse O(changed-pairs) path.
+    pub fn ledger_resyncs(&self) -> u64 {
+        self.ledger.resyncs()
+    }
+
+    /// Trace segments still queued behind the current one.
+    pub fn trace_segments_remaining(&self) -> usize {
+        self.trace_segments.len()
+    }
+
+    /// Advances a trace-driven session to its next segment (phase-marker
+    /// boundary): rebinds to the segment's initial TM with `run_phases`
+    /// semantics — clock, ring and accumulators restart, the allocation
+    /// carries over, the segment is reseeded as phase *i* — and
+    /// schedules the segment's delta batches. Returns `false` when no
+    /// segments remain (including on static workloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Cluster`] if the segment's TM cannot be
+    /// bound (impossible for traces validated at materialization).
+    pub fn advance_trace_segment(&mut self) -> Result<bool, ScenarioError> {
+        let Some(seg) = self.trace_segments.pop_front() else {
+            return Ok(false);
+        };
+        self.segment_index += 1;
+        let seed = self.scenario.seed.wrapping_add(self.segment_index);
+        self.rebind_traffic(seg.initial.clone(), seg.duration_s, seed)?;
+        self.load_shifts(&seg.shifts);
+        Ok(true)
+    }
+
+    /// Runs a trace-driven session to the end of its trace: each
+    /// segment runs to its horizon and yields one report (exactly like
+    /// [`Session::run_phases`] yields one report per phase — a
+    /// piecewise-constant trace reproduces it verbatim). On a static
+    /// workload this is `run_to_horizon` plus a single report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if a segment fails to bind.
+    pub fn run_trace(&mut self) -> Result<Vec<RunReport>, ScenarioError> {
+        let mut reports = Vec::new();
+        loop {
+            self.run_to_horizon();
+            reports.push(self.report());
+            if !self.advance_trace_segment()? {
+                return Ok(reports);
+            }
+        }
     }
 
     /// Runs S-CORE across a sequence of traffic phases — when the TM
@@ -745,6 +965,157 @@ mod tests {
         // A population mismatch is rejected and leaves the session usable.
         let bad = WorkloadConfig::new(num_vms + 1, 1).generate();
         assert!(session.rebind_traffic(bad, 60.0, 2).is_err());
+        session.run_to_horizon();
+        assert!(session.report().final_cost <= session.report().initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn trace_workload_applies_deltas_mid_run() {
+        use crate::spec::TraceSpec;
+        use score_trace::DiurnalShape;
+        // 120 s of diurnal drift re-rated every second: 119 mid-run
+        // deltas, each through the sparse ledger path.
+        let mut scenario = quick_scenario(PolicyKind::HighestLevelFirst, 31);
+        scenario.workload = crate::spec::WorkloadSpec::Trace {
+            spec: TraceSpec::Diurnal {
+                num_vms: 64,
+                intensity: TrafficIntensity::Sparse,
+                seed: 31,
+                shape: DiurnalShape {
+                    period_s: 60.0,
+                    amplitude: 0.5,
+                    step_s: 1.0,
+                    horizon_s: 120.0,
+                },
+            },
+        };
+        let mut session = scenario.session().unwrap();
+        assert_eq!(session.trace_segments_remaining(), 0);
+        session.run_to_horizon();
+        let report = session.report();
+        assert_eq!(report.trace.events_applied, 119);
+        assert!(report.trace.pairs_repriced > 0);
+        assert!(report.trace.apply_ns_max >= 1);
+        // Every delta took the sparse path: zero full resyncs, and the
+        // ledger still agrees with a fresh recomputation.
+        assert_eq!(session.ledger_resyncs(), 0);
+        let fresh = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        assert!(
+            (session.current_cost() - fresh).abs() <= 1e-9 * fresh.max(1.0),
+            "ledger {} vs fresh {fresh}",
+            session.current_cost()
+        );
+        // The offered traffic at the horizon is the drifted TM, not the
+        // base one.
+        let base_total = scenario
+            .workload
+            .generate(session.topo().as_ref())
+            .total_rate();
+        assert_ne!(session.traffic().total_rate(), base_total);
+    }
+
+    #[test]
+    fn piecewise_constant_trace_equals_run_phases() {
+        use score_trace::Trace;
+        // Phases: workload A for 60 s, then workload B for 60 s.
+        let scenario = quick_scenario(PolicyKind::HighestLevelFirst, 17);
+        let num_vms = 64u32;
+        let a = WorkloadConfig::new(num_vms, 1717).generate();
+        let b = WorkloadConfig::new(num_vms, 2525).generate();
+
+        // Path 1: explicit phases over a session bound to A.
+        let mut phase_scenario = scenario.clone();
+        phase_scenario.workload = crate::spec::WorkloadSpec::ExplicitPairs {
+            num_vms,
+            pairs: a
+                .pairs()
+                .iter()
+                .map(|&(u, v, r)| (u.get(), v.get(), r))
+                .collect(),
+            seed: scenario.workload.seed(),
+        };
+        let mut phase_session = phase_scenario.session().unwrap();
+        let phase_reports = phase_session
+            .run_phases(&[
+                TrafficPhase {
+                    duration_s: 60.0,
+                    traffic: a.clone(),
+                },
+                TrafficPhase {
+                    duration_s: 60.0,
+                    traffic: b.clone(),
+                },
+            ])
+            .unwrap();
+
+        // Path 2: the same schedule as a piecewise-constant trace — a
+        // marker at 60 s with the full A→B re-rate folded into the
+        // second segment's initial TM.
+        let mut builder = Trace::builder(num_vms, 120.0)
+            .base_traffic(&a)
+            .marker(60.0, "phase-2");
+        for &(u, v, _) in a.pairs() {
+            builder = builder.set_rate(60.0, u.get(), v.get(), b.rate(u, v));
+        }
+        for &(u, v, r) in b.pairs() {
+            if a.rate(u, v) == 0.0 {
+                builder = builder.set_rate(60.0, u.get(), v.get(), r);
+            }
+        }
+        let trace = builder.build().unwrap();
+        let mut trace_scenario = scenario;
+        trace_scenario.workload = crate::spec::WorkloadSpec::Trace {
+            spec: crate::spec::TraceSpec::Literal {
+                trace,
+                seed: trace_scenario.workload.seed(),
+            },
+        };
+        let mut trace_session = trace_scenario.session().unwrap();
+        assert_eq!(trace_session.trace_segments_remaining(), 1);
+        let trace_reports = trace_session.run_trace().unwrap();
+
+        assert_eq!(phase_reports.len(), 2);
+        assert_eq!(trace_reports, phase_reports, "trace ≡ run_phases");
+    }
+
+    #[test]
+    fn apply_traffic_deltas_validates_and_reprices() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 41)
+            .session()
+            .unwrap();
+        session.run(1);
+        let (u, v) = (VmId::new(0), VmId::new(1));
+        // Invalid updates are rejected without touching the session.
+        let before = session.current_cost();
+        assert!(session.apply_traffic_deltas(&[(u, u, 1.0)]).is_err());
+        assert!(session
+            .apply_traffic_deltas(&[(u, VmId::new(9999), 1.0)])
+            .is_err());
+        assert!(session.apply_traffic_deltas(&[(u, v, -1.0)]).is_err());
+        assert!(session.apply_traffic_deltas(&[(u, v, f64::NAN)]).is_err());
+        assert_eq!(session.current_cost(), before);
+        // A real delta re-prices and matches a fresh recomputation;
+        // duplicate entries in one batch: the later wins.
+        let changed = session
+            .apply_traffic_deltas(&[(u, v, 123.0), (v, u, 456.0)])
+            .unwrap();
+        assert_eq!(changed, 1);
+        assert_eq!(session.traffic().rate(u, v), 456.0);
+        let fresh = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        assert!((session.current_cost() - fresh).abs() <= 1e-9 * fresh.max(1.0));
+        assert_eq!(session.trace_stats().events_applied, 1);
+        // Setting the same rate again is a counted no-op batch.
+        assert_eq!(session.apply_traffic_deltas(&[(u, v, 456.0)]).unwrap(), 0);
+        assert_eq!(session.trace_stats().events_applied, 2);
+        // And the run continues normally afterwards.
         session.run_to_horizon();
         assert!(session.report().final_cost <= session.report().initial_cost + 1e-9);
     }

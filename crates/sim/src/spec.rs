@@ -14,7 +14,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use score_baselines::{packed_placement, random_placement, striped_placement};
 use score_core::{Allocation, ClusterError, ScoreConfig, ServerSpec, TokenPolicy, VmSpec};
-use score_topology::{CanonicalTreeBuilder, FatTreeBuilder, LinkWeights, StarTopology, Topology};
+use score_topology::{
+    CanonicalTreeBuilder, FatTreeBuilder, LinkCapacities, LinkWeights, StarTopology, Topology,
+};
+use score_trace::{ChurnShape, DiurnalShape, FlashCrowdShape, Trace};
 use score_traffic::{CbrLoad, PairTraffic, TrafficIntensity, WorkloadConfig};
 use score_xen::PreCopyConfig;
 use serde::{Deserialize, Serialize};
@@ -87,7 +90,13 @@ impl From<ClusterError> for ScenarioError {
 }
 
 /// Declarative fabric description.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Every variant can carry per-tier [`LinkCapacities`] overrides
+/// (`None` = the family's defaults: 1 GbE edge with 10 GbE uplinks on
+/// the canonical tree, uniform 1 GbE on fat-tree and star) — this is
+/// what lets capacity sweeps like the oversubscription experiment run
+/// through `ScenarioMatrix` instead of hand-rolled topology loops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TopologySpec {
     /// Canonical layered tree (paper Fig. 1a).
     CanonicalTree {
@@ -99,16 +108,22 @@ pub enum TopologySpec {
         racks_per_agg: u32,
         /// Core switches.
         cores: u32,
+        /// Per-tier link-capacity overrides (`None` = family default).
+        capacities: Option<LinkCapacities>,
     },
     /// k-ary fat-tree (paper Fig. 1b).
     FatTree {
         /// Fat-tree arity (must be even and positive).
         k: u32,
+        /// Per-tier link-capacity overrides (`None` = uniform 1 GbE).
+        capacities: Option<LinkCapacities>,
     },
     /// Single-switch star.
     Star {
         /// Number of hosts on the switch.
         hosts: u32,
+        /// Capacity overrides; only `host_bps` applies (`None` = 1 GbE).
+        capacities: Option<LinkCapacities>,
     },
 }
 
@@ -142,6 +157,7 @@ impl TopologySpec {
             hosts_per_rack,
             racks_per_agg,
             cores: 2,
+            capacities: None,
         }
     }
 
@@ -153,6 +169,7 @@ impl TopologySpec {
             hosts_per_rack: 5,
             racks_per_agg: 8,
             cores: 2,
+            capacities: None,
         }
     }
 
@@ -164,52 +181,104 @@ impl TopologySpec {
             hosts_per_rack: 20,
             racks_per_agg: 16,
             cores: 2,
+            capacities: None,
         }
     }
 
     /// Scaled-down fat-tree (k = 8: 128 hosts).
     pub fn small_fattree() -> Self {
-        TopologySpec::FatTree { k: 8 }
+        TopologySpec::FatTree {
+            k: 8,
+            capacities: None,
+        }
     }
 
     /// The paper's full-scale fat-tree: k = 16 (1024 hosts).
     pub fn paper_fattree() -> Self {
-        TopologySpec::FatTree { k: 16 }
+        TopologySpec::FatTree {
+            k: 16,
+            capacities: None,
+        }
+    }
+
+    /// The capacity overrides carried by the spec, if any.
+    pub fn capacities(&self) -> Option<LinkCapacities> {
+        match *self {
+            TopologySpec::CanonicalTree { capacities, .. }
+            | TopologySpec::FatTree { capacities, .. }
+            | TopologySpec::Star { capacities, .. } => capacities,
+        }
+    }
+
+    /// Returns a copy with per-tier capacity overrides.
+    #[must_use]
+    pub fn with_capacities(mut self, caps: LinkCapacities) -> Self {
+        match &mut self {
+            TopologySpec::CanonicalTree { capacities, .. }
+            | TopologySpec::FatTree { capacities, .. }
+            | TopologySpec::Star { capacities, .. } => *capacities = Some(caps),
+        }
+        self
     }
 
     /// Materializes the fabric.
     ///
     /// # Errors
     ///
-    /// Returns [`ScenarioError::Topology`] when the dimensions are
-    /// invalid.
+    /// Returns [`ScenarioError::Topology`] when the dimensions or the
+    /// capacity overrides are invalid.
     pub fn build(&self) -> Result<Arc<dyn Topology>, ScenarioError> {
+        if let Some(caps) = self.capacities() {
+            for (name, bps) in [
+                ("host_bps", caps.host_bps),
+                ("tor_agg_bps", caps.tor_agg_bps),
+                ("agg_core_bps", caps.agg_core_bps),
+            ] {
+                if !bps.is_finite() || bps <= 0.0 {
+                    return Err(ScenarioError::Topology(format!(
+                        "link capacity {name} must be positive and finite, got {bps}"
+                    )));
+                }
+            }
+        }
         match *self {
             TopologySpec::CanonicalTree {
                 racks,
                 hosts_per_rack,
                 racks_per_agg,
                 cores,
-            } => CanonicalTreeBuilder::new()
-                .racks(racks)
-                .hosts_per_rack(hosts_per_rack)
-                .racks_per_agg(racks_per_agg)
-                .cores(cores)
-                .build()
-                .map(|t| Arc::new(t) as Arc<dyn Topology>)
-                .map_err(|e| ScenarioError::Topology(e.to_string())),
-            TopologySpec::FatTree { k } => FatTreeBuilder::new()
-                .k(k)
-                .build()
-                .map(|t| Arc::new(t) as Arc<dyn Topology>)
-                .map_err(|e| ScenarioError::Topology(e.to_string())),
-            TopologySpec::Star { hosts } => {
+                capacities,
+            } => {
+                let mut b = CanonicalTreeBuilder::new();
+                b.racks(racks)
+                    .hosts_per_rack(hosts_per_rack)
+                    .racks_per_agg(racks_per_agg)
+                    .cores(cores);
+                if let Some(caps) = capacities {
+                    b.capacities(caps);
+                }
+                b.build()
+                    .map(|t| Arc::new(t) as Arc<dyn Topology>)
+                    .map_err(|e| ScenarioError::Topology(e.to_string()))
+            }
+            TopologySpec::FatTree { k, capacities } => {
+                let mut b = FatTreeBuilder::new();
+                b.k(k);
+                if let Some(caps) = capacities {
+                    b.capacities(caps);
+                }
+                b.build()
+                    .map(|t| Arc::new(t) as Arc<dyn Topology>)
+                    .map_err(|e| ScenarioError::Topology(e.to_string()))
+            }
+            TopologySpec::Star { hosts, capacities } => {
                 if hosts == 0 {
                     return Err(ScenarioError::Topology(
                         "star needs at least one host".into(),
                     ));
                 }
-                Ok(Arc::new(StarTopology::new(hosts, 1e9)))
+                let bps = capacities.map_or(1e9, |c| c.host_bps);
+                Ok(Arc::new(StarTopology::new(hosts, bps)))
             }
         }
     }
@@ -251,36 +320,189 @@ pub enum WorkloadSpec {
         /// random token policy) — the pairs themselves are literal.
         seed: u64,
     },
+    /// A **time-varying** workload: a stream of traffic deltas replayed
+    /// against the session's event clock (`score_trace`). The session
+    /// starts on the trace's initial TM and applies each delta in place
+    /// mid-run — O(changed-pairs) ledger re-pricing, no cluster rebuild.
+    Trace {
+        /// Where the trace comes from (inline literal or a seeded
+        /// synthetic generator).
+        spec: TraceSpec,
+    },
+}
+
+/// Source of a [`WorkloadSpec::Trace`] workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceSpec {
+    /// A literal, fully explicit trace (e.g. loaded from JSONL).
+    Literal {
+        /// The trace itself (validated at materialization).
+        trace: Trace,
+        /// RNG seed for downstream randomness (initial placement, the
+        /// random token policy) — the trace events are literal.
+        seed: u64,
+    },
+    /// Diurnal sine drift over a synthetic base workload.
+    Diurnal {
+        /// VM population of the base workload.
+        num_vms: u32,
+        /// Base workload intensity.
+        intensity: TrafficIntensity,
+        /// Seed for base-workload generation and downstream randomness.
+        seed: u64,
+        /// Envelope shape.
+        shape: DiurnalShape,
+    },
+    /// Flash-crowd spikes onto hot VM sets over a synthetic base.
+    FlashCrowd {
+        /// VM population of the base workload.
+        num_vms: u32,
+        /// Base workload intensity.
+        intensity: TrafficIntensity,
+        /// Seed for base-workload generation, spike placement, and
+        /// downstream randomness.
+        seed: u64,
+        /// Spike shape.
+        shape: FlashCrowdShape,
+    },
+    /// Mice/elephant flow churn (via `score_traffic::FlowSampler`) over
+    /// a synthetic base.
+    Churn {
+        /// VM population of the base workload.
+        num_vms: u32,
+        /// Base workload intensity.
+        intensity: TrafficIntensity,
+        /// Seed for base-workload generation, flow sampling, and
+        /// downstream randomness.
+        seed: u64,
+        /// Churn shape.
+        shape: ChurnShape,
+    },
+}
+
+impl TraceSpec {
+    /// The spec's RNG seed.
+    pub fn seed(&self) -> u64 {
+        match *self {
+            TraceSpec::Literal { seed, .. }
+            | TraceSpec::Diurnal { seed, .. }
+            | TraceSpec::FlashCrowd { seed, .. }
+            | TraceSpec::Churn { seed, .. } => seed,
+        }
+    }
+
+    /// The base-workload intensity; `None` for literal traces.
+    pub fn intensity(&self) -> Option<TrafficIntensity> {
+        match *self {
+            TraceSpec::Literal { .. } => None,
+            TraceSpec::Diurnal { intensity, .. }
+            | TraceSpec::FlashCrowd { intensity, .. }
+            | TraceSpec::Churn { intensity, .. } => Some(intensity),
+        }
+    }
+
+    /// The VM population the trace plays over.
+    pub fn num_vms(&self) -> u32 {
+        match self {
+            TraceSpec::Literal { trace, .. } => trace.num_vms(),
+            TraceSpec::Diurnal { num_vms, .. }
+            | TraceSpec::FlashCrowd { num_vms, .. }
+            | TraceSpec::Churn { num_vms, .. } => *num_vms,
+        }
+    }
+
+    /// Checks a deserialized spec: the literal trace's own invariants,
+    /// or the generator shape's.
+    pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+        let shape_err = |e: String| ScenarioError::Workload(format!("invalid trace shape: {e}"));
+        match self {
+            TraceSpec::Literal { trace, .. } => trace
+                .validate()
+                .map_err(|e| ScenarioError::Workload(format!("invalid trace: {e}"))),
+            TraceSpec::Diurnal { shape, .. } => shape.validate().map_err(shape_err),
+            TraceSpec::FlashCrowd { shape, .. } => shape.validate().map_err(shape_err),
+            TraceSpec::Churn { shape, .. } => shape.validate().map_err(shape_err),
+        }
+    }
+
+    /// Materializes the trace: clones the literal or runs the seeded
+    /// generator over its synthetic base workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid spec; [`Scenario::session`] runs
+    /// [`TraceSpec::validate`] first and reports a
+    /// [`ScenarioError::Workload`] instead.
+    pub fn build_trace(&self) -> Trace {
+        let base = |num_vms: u32, intensity: TrafficIntensity, seed: u64| {
+            WorkloadConfig::new(num_vms, seed)
+                .with_intensity(intensity)
+                .generate()
+        };
+        match self {
+            TraceSpec::Literal { trace, .. } => trace.clone(),
+            TraceSpec::Diurnal {
+                num_vms,
+                intensity,
+                seed,
+                shape,
+            } => score_trace::diurnal_trace(&base(*num_vms, *intensity, *seed), shape)
+                .expect("validated shape generates"),
+            TraceSpec::FlashCrowd {
+                num_vms,
+                intensity,
+                seed,
+                shape,
+            } => score_trace::flash_crowd_trace(&base(*num_vms, *intensity, *seed), shape, *seed)
+                .expect("validated shape generates"),
+            TraceSpec::Churn {
+                num_vms,
+                intensity,
+                seed,
+                shape,
+            } => score_trace::churn_trace(&base(*num_vms, *intensity, *seed), shape, *seed)
+                .expect("validated shape generates"),
+        }
+    }
 }
 
 impl WorkloadSpec {
     /// The workload's RNG seed.
     pub fn seed(&self) -> u64 {
-        match *self {
+        match self {
             WorkloadSpec::Synthetic { seed, .. }
             | WorkloadSpec::FixedVms { seed, .. }
-            | WorkloadSpec::ExplicitPairs { seed, .. } => seed,
+            | WorkloadSpec::ExplicitPairs { seed, .. } => *seed,
+            WorkloadSpec::Trace { spec } => spec.seed(),
         }
     }
 
-    /// The workload intensity; `None` for explicit pair lists, which
-    /// have no generator to parameterize.
+    /// The workload intensity; `None` for explicit pair lists and
+    /// literal traces, which have no generator to parameterize.
     pub fn intensity(&self) -> Option<TrafficIntensity> {
-        match *self {
+        match self {
             WorkloadSpec::Synthetic { intensity, .. }
-            | WorkloadSpec::FixedVms { intensity, .. } => Some(intensity),
+            | WorkloadSpec::FixedVms { intensity, .. } => Some(*intensity),
             WorkloadSpec::ExplicitPairs { .. } => None,
+            WorkloadSpec::Trace { spec } => spec.intensity(),
         }
     }
 
     /// Returns a copy with the given intensity, where the variant has
-    /// one to set (explicit pair lists are returned unchanged).
+    /// one to set (explicit pair lists and literal traces are returned
+    /// unchanged).
     #[must_use]
     pub fn with_intensity(mut self, new: TrafficIntensity) -> Self {
         match &mut self {
             WorkloadSpec::Synthetic { intensity, .. }
             | WorkloadSpec::FixedVms { intensity, .. } => *intensity = new,
             WorkloadSpec::ExplicitPairs { .. } => {}
+            WorkloadSpec::Trace { spec } => match spec {
+                TraceSpec::Literal { .. } => {}
+                TraceSpec::Diurnal { intensity, .. }
+                | TraceSpec::FlashCrowd { intensity, .. }
+                | TraceSpec::Churn { intensity, .. } => *intensity = new,
+            },
         }
         self
     }
@@ -292,24 +514,43 @@ impl WorkloadSpec {
             WorkloadSpec::Synthetic { seed, .. }
             | WorkloadSpec::FixedVms { seed, .. }
             | WorkloadSpec::ExplicitPairs { seed, .. } => *seed = new,
+            WorkloadSpec::Trace { spec } => match spec {
+                TraceSpec::Literal { seed, .. }
+                | TraceSpec::Diurnal { seed, .. }
+                | TraceSpec::FlashCrowd { seed, .. }
+                | TraceSpec::Churn { seed, .. } => *seed = new,
+            },
         }
         self
     }
 
     /// Number of VMs the workload instantiates on `topo`.
     pub fn num_vms(&self, topo: &dyn Topology) -> u32 {
-        match *self {
+        match self {
             WorkloadSpec::Synthetic { vms_per_host, .. } => {
                 ((topo.num_servers() as f64) * vms_per_host).round() as u32
             }
             WorkloadSpec::FixedVms { num_vms, .. }
-            | WorkloadSpec::ExplicitPairs { num_vms, .. } => num_vms,
+            | WorkloadSpec::ExplicitPairs { num_vms, .. } => *num_vms,
+            WorkloadSpec::Trace { spec } => spec.num_vms(),
         }
     }
 
-    /// Checks the invariants a deserialized explicit pair list might
-    /// violate (the synthetic variants are valid by construction).
+    /// The materialized trace for time-varying workloads; `None` for
+    /// static ones. Validate first (an invalid generator shape panics).
+    pub fn build_trace(&self) -> Option<Trace> {
+        match self {
+            WorkloadSpec::Trace { spec } => Some(spec.build_trace()),
+            _ => None,
+        }
+    }
+
+    /// Checks the invariants a deserialized explicit pair list or trace
+    /// might violate (the synthetic variants are valid by construction).
     pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+        if let WorkloadSpec::Trace { spec } = self {
+            return spec.validate();
+        }
         let WorkloadSpec::ExplicitPairs { num_vms, pairs, .. } = self else {
             return Ok(());
         };
@@ -358,6 +599,9 @@ impl WorkloadSpec {
                 }
                 b.build()
             }
+            // The *initial* TM; the deltas replay through the session's
+            // event clock.
+            WorkloadSpec::Trace { spec } => spec.build_trace().base_traffic(),
         }
     }
 }
@@ -367,12 +611,20 @@ impl WorkloadSpec {
 /// were hardcoded inside session materialization; carrying them on the
 /// [`Scenario`] makes heterogeneous clusters declarable (and
 /// serializable) like every other experiment dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `vm_overrides` makes the population heterogeneous: every VM demands
+/// `vm` except the listed ids, which materialize through
+/// `Cluster::with_vm_specs` with their own spec (a memory-hungry
+/// database VM among mice, say).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceSpec {
     /// Capacity of each physical server.
     pub server: ServerSpec,
-    /// Demand of each VM (uniform across the population).
+    /// Demand of each VM not listed in `vm_overrides`.
     pub vm: VmSpec,
+    /// Per-VM exceptions as `(vm_id, spec)`; ids must be unique and
+    /// within the workload population.
+    pub vm_overrides: Vec<(u32, VmSpec)>,
 }
 
 impl ResourceSpec {
@@ -382,13 +634,29 @@ impl ResourceSpec {
         ResourceSpec {
             server: ServerSpec::paper_default(),
             vm: VmSpec::paper_default(),
+            vm_overrides: Vec::new(),
         }
+    }
+
+    /// The per-VM spec vector this description expands to over a
+    /// population of `num_vms` (the argument `Cluster::with_vm_specs`
+    /// consumes). Call [`ResourceSpec::validate`] first on untrusted
+    /// input — out-of-range overrides are skipped here.
+    pub fn vm_specs(&self, num_vms: u32) -> Vec<VmSpec> {
+        let mut specs = vec![self.vm; num_vms as usize];
+        for &(vm, spec) in &self.vm_overrides {
+            if vm < num_vms {
+                specs[vm as usize] = spec;
+            }
+        }
+        specs
     }
 
     /// Checks the invariants a deserialized spec might violate: a server
     /// with zero slots or a non-finite/non-positive NIC capacity can
-    /// never host anything.
-    pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+    /// never host anything, and VM overrides must name each VM at most
+    /// once, inside the population of `num_vms`.
+    pub(crate) fn validate(&self, num_vms: u32) -> Result<(), ScenarioError> {
         if self.server.vm_slots == 0 {
             return Err(ScenarioError::Placement(
                 "servers with zero VM slots cannot host anything".into(),
@@ -399,6 +667,19 @@ impl ResourceSpec {
                 "server NIC capacity must be positive and finite, got {}",
                 self.server.nic_bps
             )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &(vm, _) in &self.vm_overrides {
+            if vm >= num_vms {
+                return Err(ScenarioError::Placement(format!(
+                    "vm override {vm} exceeds the population of {num_vms} VMs"
+                )));
+            }
+            if !seen.insert(vm) {
+                return Err(ScenarioError::Placement(format!(
+                    "vm {vm} has more than one resource override"
+                )));
+            }
         }
         Ok(())
     }
@@ -800,6 +1081,9 @@ impl Scenario {
     pub fn session(&self) -> Result<Session, ScenarioError> {
         self.workload.validate()?;
         let topo = self.topology.build()?;
+        if let Some(trace) = self.workload.build_trace() {
+            return Session::materialize_trace(self.clone(), topo, trace.compile());
+        }
         let traffic = self.workload.generate(topo.as_ref());
         Session::materialize(self.clone(), topo, traffic)
     }
@@ -891,12 +1175,24 @@ impl ScenarioBuilder {
 
     /// Selects a k-ary fat-tree.
     pub fn fat_tree(self, k: u32) -> Self {
-        self.topology(TopologySpec::FatTree { k })
+        self.topology(TopologySpec::FatTree {
+            k,
+            capacities: None,
+        })
     }
 
     /// Selects a single-switch star.
     pub fn star(self, hosts: u32) -> Self {
-        self.topology(TopologySpec::Star { hosts })
+        self.topology(TopologySpec::Star {
+            hosts,
+            capacities: None,
+        })
+    }
+
+    /// Overrides the current topology's per-tier link capacities.
+    pub fn capacities(mut self, caps: LinkCapacities) -> Self {
+        self.topology = self.topology.with_capacities(caps);
+        self
     }
 
     /// Sets the workload intensity. Order-independent with the other
@@ -969,6 +1265,24 @@ impl ScenarioBuilder {
             pairs,
             seed,
         })
+    }
+
+    /// Sets a time-varying trace workload from a [`TraceSpec`].
+    pub fn trace(self, spec: TraceSpec) -> Self {
+        self.workload(WorkloadSpec::Trace { spec })
+    }
+
+    /// Sets a literal time-varying trace workload (the placement seed is
+    /// the current workload seed).
+    pub fn literal_trace(self, trace: Trace) -> Self {
+        let seed = self.workload_seed;
+        self.trace(TraceSpec::Literal { trace, seed })
+    }
+
+    /// Adds a per-VM resource override (heterogeneous populations).
+    pub fn vm_override(mut self, vm: u32, spec: VmSpec) -> Self {
+        self.resources.vm_overrides.push((vm, spec));
+        self
     }
 
     /// Sets the initial placement.
@@ -1094,7 +1408,13 @@ mod tests {
             .policy(PolicyKind::HighestLevelFirst)
             .migration_cost(2e8)
             .build();
-        assert_eq!(scenario.topology, TopologySpec::FatTree { k: 4 });
+        assert_eq!(
+            scenario.topology,
+            TopologySpec::FatTree {
+                k: 4,
+                capacities: None
+            }
+        );
         assert_eq!(scenario.workload.intensity(), Some(TrafficIntensity::Dense));
         assert_eq!(scenario.workload.seed(), 9);
         assert_eq!(scenario.engine.score().migration_cost, 2e8);
@@ -1106,7 +1426,11 @@ mod tests {
     #[test]
     fn invalid_topologies_are_errors_not_panics() {
         assert!(matches!(
-            TopologySpec::FatTree { k: 3 }.build(),
+            TopologySpec::FatTree {
+                k: 3,
+                capacities: None
+            }
+            .build(),
             Err(ScenarioError::Topology(_))
         ));
         assert!(matches!(
@@ -1114,13 +1438,18 @@ mod tests {
                 racks: 0,
                 hosts_per_rack: 1,
                 racks_per_agg: 1,
-                cores: 1
+                cores: 1,
+                capacities: None
             }
             .build(),
             Err(ScenarioError::Topology(_))
         ));
         assert!(matches!(
-            TopologySpec::Star { hosts: 0 }.build(),
+            TopologySpec::Star {
+                hosts: 0,
+                capacities: None
+            }
+            .build(),
             Err(ScenarioError::Topology(_))
         ));
     }
@@ -1311,6 +1640,197 @@ mod tests {
             scenario.session(),
             Err(ScenarioError::Placement(_))
         ));
+    }
+
+    #[test]
+    fn capacities_round_trip_and_reach_the_fabric() {
+        let caps = LinkCapacities {
+            host_bps: 1e9,
+            tor_agg_bps: 2.5e9,
+            agg_core_bps: 2.5e9,
+        };
+        let scenario = Scenario::builder()
+            .topology(TopologySpec::small_canonical())
+            .capacities(caps)
+            .build();
+        assert_eq!(scenario.topology.capacities(), Some(caps));
+        let back = Scenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back, scenario);
+        // The override reaches the materialized graph: a ToR uplink
+        // carries the new capacity.
+        let topo = scenario.topology.build().unwrap();
+        let has_override = topo
+            .graph()
+            .links()
+            .iter()
+            .any(|l| (l.capacity_bps - 2.5e9).abs() < 1.0);
+        assert!(has_override, "override must reach the link graph");
+        // Star capacity applies to the single host tier.
+        let star = TopologySpec::Star {
+            hosts: 4,
+            capacities: Some(caps),
+        }
+        .build()
+        .unwrap();
+        assert!(star.graph().links().iter().all(|l| l.capacity_bps == 1e9));
+        // None keeps the family default (oversubscribed canonical tree).
+        let default_topo = TopologySpec::small_canonical().build().unwrap();
+        assert!(default_topo
+            .graph()
+            .links()
+            .iter()
+            .any(|l| l.capacity_bps == 10e9));
+    }
+
+    #[test]
+    fn invalid_capacities_are_errors() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let spec = TopologySpec::small_canonical().with_capacities(LinkCapacities {
+                host_bps: bad,
+                tor_agg_bps: 1e9,
+                agg_core_bps: 1e9,
+            });
+            assert!(
+                matches!(spec.build(), Err(ScenarioError::Topology(_))),
+                "capacity {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn vm_overrides_reach_the_cluster() {
+        use score_core::VmSpec;
+        let heavy = VmSpec {
+            ram_mb: 512,
+            cpu_cores: 1.0,
+        };
+        let scenario = Scenario::builder()
+            .star(8)
+            .num_vms(16)
+            .vm_override(3, heavy)
+            .build();
+        let back = Scenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back, scenario);
+        let session = scenario.session().unwrap();
+        assert_eq!(
+            session.cluster().vm_spec(score_topology::VmId::new(3)),
+            &heavy
+        );
+        assert_eq!(
+            session.cluster().vm_spec(score_topology::VmId::new(0)),
+            &VmSpec::paper_default()
+        );
+        // Expansion helper agrees.
+        let specs = scenario.resources.vm_specs(16);
+        assert_eq!(specs[3], heavy);
+        assert_eq!(specs[0], VmSpec::paper_default());
+    }
+
+    #[test]
+    fn invalid_vm_overrides_are_errors() {
+        use score_core::VmSpec;
+        // Out of range.
+        let scenario = Scenario::builder()
+            .star(8)
+            .num_vms(4)
+            .vm_override(9, VmSpec::paper_default())
+            .build();
+        assert!(matches!(
+            scenario.session(),
+            Err(ScenarioError::Placement(_))
+        ));
+        // Duplicate override.
+        let scenario = Scenario::builder()
+            .star(8)
+            .num_vms(4)
+            .vm_override(1, VmSpec::paper_default())
+            .vm_override(1, VmSpec::paper_default())
+            .build();
+        assert!(matches!(
+            scenario.session(),
+            Err(ScenarioError::Placement(_))
+        ));
+    }
+
+    #[test]
+    fn trace_specs_round_trip_and_validate() {
+        use score_trace::{DiurnalShape, Trace};
+        // Synthetic generator spec round-trips inside a Scenario.
+        let scenario = Scenario::builder()
+            .star(16)
+            .trace(TraceSpec::Diurnal {
+                num_vms: 24,
+                intensity: TrafficIntensity::Medium,
+                seed: 5,
+                shape: DiurnalShape::default_shape(),
+            })
+            .build();
+        let back = Scenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back, scenario);
+        assert_eq!(
+            scenario.workload.intensity(),
+            Some(TrafficIntensity::Medium)
+        );
+        assert_eq!(scenario.workload.seed(), 5);
+        let topo = scenario.topology.build().unwrap();
+        assert_eq!(scenario.workload.num_vms(topo.as_ref()), 24);
+        // Literal traces round-trip too.
+        let trace = Trace::builder(4, 50.0)
+            .base_pair(0, 1, 1e6)
+            .set_rate(10.0, 0, 1, 2e6)
+            .build()
+            .unwrap();
+        let literal = Scenario::builder().star(4).literal_trace(trace).build();
+        let back = Scenario::from_json(&literal.to_json()).unwrap();
+        assert_eq!(back, literal);
+        assert_eq!(literal.workload.intensity(), None);
+        // Invalid generator shapes are Workload errors, not panics.
+        let mut bad = scenario;
+        bad.workload = WorkloadSpec::Trace {
+            spec: TraceSpec::Diurnal {
+                num_vms: 24,
+                intensity: TrafficIntensity::Sparse,
+                seed: 5,
+                shape: DiurnalShape {
+                    amplitude: 2.0,
+                    ..DiurnalShape::default_shape()
+                },
+            },
+        };
+        assert!(matches!(bad.session(), Err(ScenarioError::Workload(_))));
+        // An invalid literal trace (tampered after construction) too.
+        let broken = Trace::new(4, 10.0, vec![(0, 0, 1.0)], vec![]);
+        assert!(broken.is_err());
+    }
+
+    #[test]
+    fn trace_workload_knobs_compose() {
+        use score_trace::ChurnShape;
+        let spec = WorkloadSpec::Trace {
+            spec: TraceSpec::Churn {
+                num_vms: 8,
+                intensity: TrafficIntensity::Sparse,
+                seed: 1,
+                shape: ChurnShape::default_shape(),
+            },
+        };
+        let reseeded = spec
+            .clone()
+            .with_seed(9)
+            .with_intensity(TrafficIntensity::Dense);
+        assert_eq!(reseeded.seed(), 9);
+        assert_eq!(reseeded.intensity(), Some(TrafficIntensity::Dense));
+        // Literal traces ignore intensity but take seeds.
+        let trace = score_trace::Trace::builder(2, 10.0)
+            .base_pair(0, 1, 5.0)
+            .build()
+            .unwrap();
+        let literal = WorkloadSpec::Trace {
+            spec: TraceSpec::Literal { trace, seed: 0 },
+        };
+        let literal = literal.with_seed(4).with_intensity(TrafficIntensity::Dense);
+        assert_eq!(literal.seed(), 4);
+        assert_eq!(literal.intensity(), None);
     }
 
     #[test]

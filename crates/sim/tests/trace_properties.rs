@@ -1,0 +1,179 @@
+//! Property-based tests for trace replay semantics.
+//!
+//! Two invariants pin the trace subsystem to the pre-existing machinery:
+//!
+//! 1. **Piecewise-constant equivalence** — a trace that only changes the
+//!    TM at phase markers must reproduce `Session::run_phases` *exactly*
+//!    (bit-identical `RunReport`s): the trace path is a strict
+//!    generalization, not a reimplementation drifting on its own.
+//! 2. **Sparse re-pricing exactness** — any interleaving of mid-run
+//!    traffic deltas and token iterations leaves the incremental ledger
+//!    within 1e-9 relative of a fresh full Eq.-(2) recomputation, with
+//!    zero full-pass resyncs.
+
+use proptest::prelude::*;
+use score_sim::{PolicyKind, Scenario, Session, TraceSpec, TrafficPhase, WorkloadSpec};
+use score_topology::VmId;
+use score_trace::Trace;
+use score_traffic::{PairTraffic, WorkloadConfig};
+
+const NUM_VMS: u32 = 48;
+
+fn quick_scenario(policy: PolicyKind, seed: u64) -> Scenario {
+    let mut s = Scenario::builder()
+        .canonical_tree(16, 4)
+        .sparse_traffic(seed)
+        .policy(policy)
+        .build();
+    s.seed = seed;
+    s.timing.t_end_s = 90.0;
+    s.timing.sample_interval_s = 5.0;
+    s.timing.token_hold_s = 0.05;
+    s.timing.token_pass_s = 0.01;
+    s
+}
+
+/// The `(u, v, rate)` updates that turn TM `from` into TM `to`.
+fn switch_updates(from: &PairTraffic, to: &PairTraffic) -> Vec<(u32, u32, f64)> {
+    let mut updates = Vec::new();
+    for &(u, v, _) in from.pairs() {
+        updates.push((u.get(), v.get(), to.rate(u, v)));
+    }
+    for &(u, v, r) in to.pairs() {
+        if from.rate(u, v) == 0.0 {
+            updates.push((u.get(), v.get(), r));
+        }
+    }
+    updates
+}
+
+fn run_phase_session(scenario: &Scenario, tms: &[(f64, PairTraffic)]) -> Vec<score_sim::RunReport> {
+    let mut s = scenario.clone();
+    s.workload = WorkloadSpec::ExplicitPairs {
+        num_vms: NUM_VMS,
+        pairs: tms[0]
+            .1
+            .pairs()
+            .iter()
+            .map(|&(u, v, r)| (u.get(), v.get(), r))
+            .collect(),
+        seed: scenario.workload.seed(),
+    };
+    let mut session = s.session().expect("phase scenario materializes");
+    let phases: Vec<TrafficPhase> = tms
+        .iter()
+        .map(|(d, tm)| TrafficPhase {
+            duration_s: *d,
+            traffic: tm.clone(),
+        })
+        .collect();
+    session.run_phases(&phases).expect("phases bind")
+}
+
+fn run_trace_session(scenario: &Scenario, tms: &[(f64, PairTraffic)]) -> Vec<score_sim::RunReport> {
+    let end_s: f64 = tms.iter().map(|(d, _)| d).sum();
+    let mut builder = Trace::builder(NUM_VMS, end_s).base_traffic(&tms[0].1);
+    let mut t = 0.0;
+    for (i, (duration, tm)) in tms.iter().enumerate() {
+        if i > 0 {
+            builder = builder.marker(t, format!("phase-{i}"));
+            for (u, v, rate) in switch_updates(&tms[i - 1].1, tm) {
+                builder = builder.set_rate(t, u, v, rate);
+            }
+        }
+        t += duration;
+    }
+    let trace = builder.build().expect("piecewise trace is valid");
+    let mut s = scenario.clone();
+    s.workload = WorkloadSpec::Trace {
+        spec: TraceSpec::Literal {
+            trace,
+            seed: scenario.workload.seed(),
+        },
+    };
+    let mut session = s.session().expect("trace scenario materializes");
+    session.run_trace().expect("trace replays")
+}
+
+/// Applies one update batch and checks the ledger against a fresh
+/// recomputation.
+fn check_ledger(session: &Session) -> Result<(), String> {
+    let fresh = session.cost_model().total_cost(
+        session.cluster().allocation(),
+        session.traffic(),
+        session.cluster().topo(),
+    );
+    let ledgered = session.current_cost();
+    prop_assert!(
+        (ledgered - fresh).abs() <= 1e-9 * fresh.abs().max(1.0),
+        "ledger {ledgered} vs fresh {fresh}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariant 1: piecewise-constant traces ≡ `run_phases`, exactly.
+    #[test]
+    fn piecewise_trace_reproduces_run_phases(
+        seed in 0u64..200,
+        tm_seeds in prop::collection::vec(0u64..10_000, 2..4),
+        durations in prop::collection::vec(20u32..60, 2..4),
+        hlf in 0u8..2,
+    ) {
+        let policy = if hlf == 1 { PolicyKind::HighestLevelFirst } else { PolicyKind::RoundRobin };
+        let scenario = quick_scenario(policy, seed);
+        let n = tm_seeds.len().min(durations.len());
+        let tms: Vec<(f64, PairTraffic)> = tm_seeds
+            .iter()
+            .zip(&durations)
+            .take(n)
+            .map(|(&s, &d)| (f64::from(d), WorkloadConfig::new(NUM_VMS, s).generate()))
+            .collect();
+        let phase_reports = run_phase_session(&scenario, &tms);
+        let trace_reports = run_trace_session(&scenario, &tms);
+        prop_assert_eq!(trace_reports, phase_reports);
+    }
+
+    /// Invariant 2: sparse deltas interleaved with token holds keep the
+    /// ledger exact, with zero full resyncs.
+    #[test]
+    fn sparse_deltas_stay_exact_under_interleaving(
+        seed in 0u64..200,
+        ops in prop::collection::vec((0u32..2000, 0u32..2000, 0u32..3, 1.0f64..1e12), 1..24),
+    ) {
+        let mut session = quick_scenario(PolicyKind::HighestLevelFirst, seed)
+            .session()
+            .expect("scenario materializes");
+        for &(a, b, kind, raw_rate) in &ops {
+            let u = VmId::new(a % NUM_VMS);
+            let mut v = VmId::new(b % NUM_VMS);
+            if u == v {
+                v = VmId::new((b + 1) % NUM_VMS);
+                if u == v { continue; }
+            }
+            match kind {
+                // Re-rate.
+                0 => {
+                    session.apply_traffic_deltas(&[(u, v, raw_rate)]).unwrap();
+                }
+                // Remove.
+                1 => {
+                    session.apply_traffic_deltas(&[(u, v, 0.0)]).unwrap();
+                }
+                // Let the token circulate for one iteration.
+                _ => {
+                    session.run(1);
+                }
+            }
+            check_ledger(&session)?;
+        }
+        prop_assert_eq!(session.ledger_resyncs(), 0);
+        let stats = session.trace_stats();
+        prop_assert_eq!(
+            stats.events_applied as usize,
+            ops.iter().filter(|&&(_, _, k, _)| k < 2).count()
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! JSONL persistence for traces: one header line (population, duration,
+//! base TM) followed by one JSON object per event. The line-oriented
+//! format appends cleanly (a recorder can stream events as they happen)
+//! and diffs readably, unlike a single nested document.
+//!
+//! ```text
+//! {"num_vms":4,"end_s":100.0,"base":[[0,1,2000000.0]]}
+//! {"time_s":25.0,"event":{"SetRate":{"u":0,"v":1,"rate":8000000.0}}}
+//! {"time_s":50.0,"event":{"Marker":{"label":"evening"}}}
+//! ```
+
+use crate::trace::{TimedEvent, Trace, TraceError};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The first line of a JSONL trace stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TraceHeader {
+    num_vms: u32,
+    end_s: f64,
+    base: Vec<(u32, u32, f64)>,
+}
+
+impl Trace {
+    /// Serializes the trace to JSONL (header line + one line per event).
+    pub fn to_jsonl(&self) -> String {
+        let header = TraceHeader {
+            num_vms: self.num_vms(),
+            end_s: self.end_s(),
+            base: self.base().to_vec(),
+        };
+        let mut out =
+            serde_json::to_string(&header).expect("trace header serialization is infallible");
+        out.push('\n');
+        for ev in self.events() {
+            out.push_str(&serde_json::to_string(ev).expect("event serialization is infallible"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace from JSONL, validating the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] on malformed lines and the usual
+    /// validation errors on semantically invalid streams. Blank lines
+    /// are skipped.
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (line, header_text) = lines.next().ok_or(TraceError::Parse {
+            line: 1,
+            reason: "empty stream".into(),
+        })?;
+        let header: TraceHeader =
+            serde_json::from_str(header_text).map_err(|e| TraceError::Parse {
+                line: line + 1,
+                reason: e.to_string(),
+            })?;
+        let mut events = Vec::new();
+        for (line, text) in lines {
+            let ev: TimedEvent = serde_json::from_str(text).map_err(|e| TraceError::Parse {
+                line: line + 1,
+                reason: e.to_string(),
+            })?;
+            events.push(ev);
+        }
+        Trace::new(header.num_vms, header.end_s, header.base, events)
+    }
+
+    /// Writes the trace as JSONL to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Loads and validates a JSONL trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error as `TraceError::Parse` on unreadable files,
+    /// and the usual parse/validation errors otherwise.
+    pub fn load(path: &Path) -> Result<Self, TraceError> {
+        let text = std::fs::read_to_string(path).map_err(|e| TraceError::Parse {
+            line: 0,
+            reason: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Trace::from_jsonl(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::builder(6, 300.0)
+            .base_pair(0, 1, 2e6)
+            .base_pair(3, 4, 5e5)
+            .set_rate(50.0, 0, 1, 8e6)
+            .scale_pair(100.0, 3, 4, 2.0)
+            .marker(150.0, "evening")
+            .scale_all(200.0, 0.25)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_identity() {
+        let t = sample();
+        let text = t.to_jsonl();
+        assert_eq!(text.lines().count(), 1 + t.num_events());
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let t = sample();
+        let padded = t.to_jsonl().replace('\n', "\n\n");
+        assert_eq!(Trace::from_jsonl(&padded).unwrap(), t);
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let mut text = sample().to_jsonl();
+        text.push_str("not json\n");
+        match Trace::from_jsonl(&text) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 6),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(matches!(
+            Trace::from_jsonl(""),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_streams_fail_validation() {
+        // Duration tampered to zero.
+        let text = sample().to_jsonl().replacen("300.0", "0.0", 1);
+        assert!(matches!(
+            Trace::from_jsonl(&text),
+            Err(TraceError::BadDuration(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load() {
+        let t = sample();
+        let path = std::env::temp_dir().join("score_trace_test.jsonl");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+        assert!(Trace::load(&path).is_err());
+    }
+}

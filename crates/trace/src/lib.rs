@@ -1,0 +1,66 @@
+//! Trace-driven time-varying workloads for the S-CORE reproduction.
+//!
+//! The paper evaluates S-CORE "under realistic DC load patterns at
+//! increasing intensities" — but real DC load is not a static snapshot:
+//! it drifts diurnally, spikes under flash crowds, and churns at flow
+//! granularity. This crate models such workloads as a **time-ordered
+//! stream of traffic deltas** instead of one fixed matrix:
+//!
+//! * [`Trace`] / [`TraceEvent`] — the event stream: absolute re-rates
+//!   (`SetRate`), multiplicative drift (`ScaleAll` / `ScalePair`) and
+//!   phase markers over an initial base TM;
+//! * [`Trace::to_jsonl`] / [`Trace::from_jsonl`] — a line-oriented
+//!   persistence format (header line + one JSON object per event) that
+//!   appends and diffs cleanly;
+//! * [`Trace::compile`] — folds the stream into [`CompiledTrace`]
+//!   segments: per marker interval, the exact `PairTraffic` at segment
+//!   start plus in-segment [`DeltaBatch`]es of canonical
+//!   `(u, v, new_rate)` updates, ready for a sparse O(changed-pairs)
+//!   rebind path;
+//! * [`diurnal_trace`] / [`flash_crowd_trace`] / [`churn_trace`] —
+//!   deterministic synthetic generators for the three canonical
+//!   time-varying patterns (sine drift, hot-set spikes, and
+//!   mice/elephant flow churn built on `score_traffic::FlowSampler`).
+//!
+//! The simulator counterpart lives in `score_sim`: a
+//! `WorkloadSpec::Trace` scenario materializes into a session whose
+//! event clock interleaves these deltas with token holds, re-pricing
+//! the cost ledger per changed pair.
+//!
+//! # Example
+//!
+//! ```
+//! use score_trace::{diurnal_trace, DiurnalShape, Trace, TraceEvent};
+//! use score_traffic::sparse_workload;
+//!
+//! // A day/night cycle over a synthetic base TM, deterministic.
+//! let base = sparse_workload(64, 42);
+//! let shape = DiurnalShape { period_s: 200.0, amplitude: 0.4, step_s: 10.0, horizon_s: 400.0 };
+//! let trace = diurnal_trace(&base, &shape).unwrap();
+//! assert_eq!(trace.num_events(), 39);
+//!
+//! // Traces persist as JSONL and round-trip exactly.
+//! let back = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+//! assert_eq!(back, trace);
+//!
+//! // Compilation yields replayable segments of sparse delta batches.
+//! let compiled = back.compile();
+//! assert_eq!(compiled.segments.len(), 1);
+//! assert_eq!(compiled.num_shifts(), 39);
+//! assert_eq!(compiled.segments[0].initial, base);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod jsonl;
+pub mod synth;
+pub mod trace;
+
+pub use synth::{
+    churn_trace, diurnal_trace, flash_crowd_trace, ChurnShape, DiurnalShape, FlashCrowdShape,
+};
+pub use trace::{
+    CompiledTrace, DeltaBatch, TimedEvent, Trace, TraceBuilder, TraceError, TraceEvent,
+    TraceSegment,
+};

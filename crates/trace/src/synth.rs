@@ -1,0 +1,440 @@
+//! Synthetic trace generators — deterministic from a seed.
+//!
+//! Three canonical time-varying DC load patterns from the measurement
+//! literature, each produced as a [`Trace`] over a caller-supplied base
+//! TM:
+//!
+//! * [`diurnal_trace`] — smooth sinusoidal drift of the whole TM (the
+//!   day/night cycle every DC study reports), as a stream of
+//!   [`TraceEvent::ScaleAll`] increments tracking the envelope;
+//! * [`flash_crowd_trace`] — sudden rate surges onto a small hot VM set
+//!   that later subside (news spikes, job launches), as paired
+//!   [`TraceEvent::SetRate`] surge/restore events;
+//! * [`churn_trace`] — flow-level mice/elephant churn built on
+//!   [`score_traffic::FlowSampler`]: each sampled flow contributes its
+//!   throughput for its lifetime, so the instantaneous TM flickers the
+//!   way per-flow measurements do.
+//!
+//! All three are pure functions of `(base, shape, seed)`; replaying the
+//! same inputs yields the identical event stream.
+
+use crate::trace::{Trace, TraceBuilder, TraceError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use score_traffic::{FlowSampler, PairTraffic};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::trace::TraceEvent;
+
+/// Shape of a [`diurnal_trace`]: a sine envelope
+/// `1 + amplitude · sin(2πt / period_s)` sampled every `step_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalShape {
+    /// Period of one day/night cycle in seconds.
+    pub period_s: f64,
+    /// Peak-to-mean swing, in `(0, 1)`.
+    pub amplitude: f64,
+    /// Interval between `ScaleAll` increments.
+    pub step_s: f64,
+    /// Total trace duration.
+    pub horizon_s: f64,
+}
+
+impl DiurnalShape {
+    /// A CI-friendly default: one full cycle over the paper's 700 s
+    /// horizon, ±50 % swing, re-rated every 5 s (139 events).
+    pub fn default_shape() -> Self {
+        DiurnalShape {
+            period_s: 700.0,
+            amplitude: 0.5,
+            step_s: 5.0,
+            horizon_s: 700.0,
+        }
+    }
+
+    /// Checks a deserialized shape: positive finite durations, amplitude
+    /// strictly inside `(0, 1)` so the envelope stays positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("period_s", self.period_s),
+            ("step_s", self.step_s),
+            ("horizon_s", self.horizon_s),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if !self.amplitude.is_finite() || self.amplitude <= 0.0 || self.amplitude >= 1.0 {
+            return Err(format!(
+                "amplitude must lie in (0, 1), got {}",
+                self.amplitude
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builds a diurnal-drift trace over `base` (deterministic; the sine
+/// envelope needs no randomness).
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if the shape is invalid.
+pub fn diurnal_trace(base: &PairTraffic, shape: &DiurnalShape) -> Result<Trace, TraceError> {
+    shape
+        .validate()
+        .map_err(|reason| TraceError::BadEvent { index: 0, reason })?;
+    let envelope =
+        |t: f64| 1.0 + shape.amplitude * (std::f64::consts::TAU * t / shape.period_s).sin();
+    let mut b = Trace::builder(base.num_vms(), shape.horizon_s).base_traffic(base);
+    let mut prev = envelope(0.0);
+    let mut k = 1u64;
+    loop {
+        let t = shape.step_s * k as f64;
+        if t >= shape.horizon_s {
+            break;
+        }
+        let now = envelope(t);
+        b = b.scale_all(t, now / prev);
+        prev = now;
+        k += 1;
+    }
+    b.build()
+}
+
+/// Shape of a [`flash_crowd_trace`]: `spikes` surges, each raising the
+/// rates between one hot hub VM and `fanout` partners by `surge_bps`
+/// for `hold_s` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdShape {
+    /// Number of surges over the horizon.
+    pub spikes: u32,
+    /// Partners each hub VM surges towards.
+    pub fanout: u32,
+    /// Extra rate per hub–partner pair while the spike holds, b/s.
+    pub surge_bps: f64,
+    /// How long each spike lasts.
+    pub hold_s: f64,
+    /// Total trace duration.
+    pub horizon_s: f64,
+}
+
+impl FlashCrowdShape {
+    /// A CI-friendly default: 6 spikes of 8-way 200 Mb/s surges holding
+    /// 60 s inside a 700 s horizon.
+    pub fn default_shape() -> Self {
+        FlashCrowdShape {
+            spikes: 6,
+            fanout: 8,
+            surge_bps: 2e8,
+            hold_s: 60.0,
+            horizon_s: 700.0,
+        }
+    }
+
+    /// Checks a deserialized shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.spikes == 0 || self.fanout == 0 {
+            return Err("spikes and fanout must be positive".into());
+        }
+        if !self.surge_bps.is_finite() || self.surge_bps <= 0.0 {
+            return Err(format!(
+                "surge_bps must be positive and finite, got {}",
+                self.surge_bps
+            ));
+        }
+        for (name, v) in [("hold_s", self.hold_s), ("horizon_s", self.horizon_s)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if self.hold_s >= self.horizon_s {
+            return Err("hold_s must be shorter than horizon_s".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builds a flash-crowd trace over `base`, deterministic from `seed`.
+/// Overlapping spikes stack additively; every surge is fully restored,
+/// so the TM returns to `base` after the last spike subsides.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if the shape is invalid or `base` has fewer
+/// than two VMs.
+pub fn flash_crowd_trace(
+    base: &PairTraffic,
+    shape: &FlashCrowdShape,
+    seed: u64,
+) -> Result<Trace, TraceError> {
+    shape
+        .validate()
+        .map_err(|reason| TraceError::BadEvent { index: 0, reason })?;
+    let n = base.num_vms();
+    if n < 2 {
+        return Err(TraceError::BadEvent {
+            index: 0,
+            reason: "flash crowds need at least two VMs".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf1a5_4c20_3d91_77e3);
+    // (time, pair, signed surge) edges of every spike, then replayed in
+    // time order against a running surge overlay so overlapping spikes
+    // emit correct absolute rates.
+    let mut edges: Vec<(f64, u32, u32, f64)> = Vec::new();
+    let fanout = shape.fanout.min(n - 1);
+    for _ in 0..shape.spikes {
+        let start = rng.gen_range(0.0..(shape.horizon_s - shape.hold_s));
+        let hub = rng.gen_range(0..n);
+        let mut partners = Vec::with_capacity(fanout as usize);
+        while (partners.len() as u32) < fanout {
+            let p = rng.gen_range(0..n);
+            if p != hub && !partners.contains(&p) {
+                partners.push(p);
+            }
+        }
+        for &p in &partners {
+            edges.push((start, hub, p, shape.surge_bps));
+            edges.push((start + shape.hold_s, hub, p, -shape.surge_bps));
+        }
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+    let mut overlay: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    let mut b = Trace::builder(n, shape.horizon_s).base_traffic(base);
+    for (t, u, v, surge) in edges {
+        let key = canon(u, v);
+        let extra = overlay.entry(key).or_insert(0.0);
+        *extra += surge;
+        if extra.abs() < 1e-9 {
+            *extra = 0.0;
+        }
+        let rate = base.rate(
+            score_topology::VmId::new(key.0),
+            score_topology::VmId::new(key.1),
+        ) + *extra;
+        b = b.event(
+            t,
+            TraceEvent::SetRate {
+                u: key.0,
+                v: key.1,
+                rate: rate.max(0.0),
+            },
+        );
+    }
+    b.build()
+}
+
+/// Shape of a [`churn_trace`]: `windows` consecutive measurement windows
+/// of `window_s` seconds, each instantiated into discrete flows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnShape {
+    /// Length of one flow-sampling window.
+    pub window_s: f64,
+    /// Number of consecutive windows (total horizon =
+    /// `windows × window_s`).
+    pub windows: u32,
+}
+
+impl ChurnShape {
+    /// A CI-friendly default: four 60 s windows.
+    pub fn default_shape() -> Self {
+        ChurnShape {
+            window_s: 60.0,
+            windows: 4,
+        }
+    }
+
+    /// Checks a deserialized shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.window_s.is_finite() || self.window_s <= 0.0 {
+            return Err(format!(
+                "window_s must be positive and finite, got {}",
+                self.window_s
+            ));
+        }
+        if self.windows == 0 {
+            return Err("windows must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builds a mice/elephant churn trace from `base`, deterministic from
+/// `seed`: every pair's average rate is instantiated into discrete
+/// flows per window ([`FlowSampler`]), and the trace's instantaneous TM
+/// is the sum of the flows alive at each instant (the base TM itself is
+/// only the long-run average — the trace starts empty and flickers).
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if the shape is invalid.
+pub fn churn_trace(base: &PairTraffic, shape: &ChurnShape, seed: u64) -> Result<Trace, TraceError> {
+    shape
+        .validate()
+        .map_err(|reason| TraceError::BadEvent { index: 0, reason })?;
+    let horizon = shape.window_s * f64::from(shape.windows);
+    // (time, pair, signed throughput) edges from every flow's lifetime.
+    let mut edges: Vec<(f64, u32, u32, f64)> = Vec::new();
+    for w in 0..shape.windows {
+        let sampler = FlowSampler::new(shape.window_s, seed.wrapping_add(u64::from(w)));
+        let offset = shape.window_s * f64::from(w);
+        for flow in sampler.sample(base) {
+            let thr = flow.throughput_bps();
+            let start = offset + flow.start_s;
+            let end = (start + flow.duration_s).min(horizon);
+            edges.push((start, flow.src.get(), flow.dst.get(), thr));
+            if end < horizon {
+                edges.push((end, flow.src.get(), flow.dst.get(), -thr));
+            }
+        }
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+    let mut rates: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    let mut b = TraceBuilder::new(base.num_vms(), horizon);
+    for (t, u, v, delta) in edges {
+        let key = canon(u, v);
+        let rate = rates.entry(key).or_insert(0.0);
+        *rate += delta;
+        if *rate < 1e-9 {
+            *rate = 0.0;
+        }
+        let new = *rate;
+        // A flow drawn at exactly t = 0 still becomes an event (nudged
+        // off zero) so the base TM stays empty and duplicate same-pair
+        // starts cannot double-count.
+        b = b.event(
+            t.max(1e-9),
+            TraceEvent::SetRate {
+                u: key.0,
+                v: key.1,
+                rate: new,
+            },
+        );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use score_topology::VmId;
+    use score_traffic::PairTrafficBuilder;
+
+    fn base() -> PairTraffic {
+        let mut b = PairTrafficBuilder::new(16);
+        b.add(VmId::new(0), VmId::new(1), 4e6);
+        b.add(VmId::new(2), VmId::new(3), 2e5);
+        b.add(VmId::new(4), VmId::new(5), 9e6);
+        b.build()
+    }
+
+    #[test]
+    fn diurnal_tracks_the_envelope() {
+        let shape = DiurnalShape {
+            period_s: 100.0,
+            amplitude: 0.5,
+            step_s: 5.0,
+            horizon_s: 200.0,
+        };
+        let t = diurnal_trace(&base(), &shape).unwrap();
+        assert_eq!(t.num_events(), 39); // steps at 5, 10, …, 195
+                                        // Compound all factors: after exactly two periods the envelope
+                                        // returns to 1 at t = 195 relative to... the product of ratios
+                                        // telescopes to envelope(195)/envelope(0).
+        let mut product = 1.0f64;
+        for ev in t.events() {
+            match ev.event {
+                TraceEvent::ScaleAll { factor } => product *= factor,
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        let expected = 1.0 + 0.5 * (std::f64::consts::TAU * 195.0 / 100.0).sin();
+        assert!((product - expected).abs() < 1e-9, "{product} vs {expected}");
+        // Deterministic: identical on regeneration.
+        assert_eq!(diurnal_trace(&base(), &shape).unwrap(), t);
+    }
+
+    #[test]
+    fn diurnal_rejects_bad_shapes() {
+        let mut shape = DiurnalShape::default_shape();
+        shape.amplitude = 1.5;
+        assert!(diurnal_trace(&base(), &shape).is_err());
+        shape = DiurnalShape::default_shape();
+        shape.step_s = 0.0;
+        assert!(diurnal_trace(&base(), &shape).is_err());
+    }
+
+    #[test]
+    fn flash_crowd_surges_and_restores() {
+        let shape = FlashCrowdShape {
+            spikes: 3,
+            fanout: 4,
+            surge_bps: 1e8,
+            hold_s: 50.0,
+            horizon_s: 500.0,
+        };
+        let t = flash_crowd_trace(&base(), &shape, 7).unwrap();
+        // 3 spikes × 4 partners × (surge + restore).
+        assert_eq!(t.num_events(), 24);
+        assert_eq!(flash_crowd_trace(&base(), &shape, 7).unwrap(), t);
+        assert_ne!(flash_crowd_trace(&base(), &shape, 8).unwrap(), t);
+        // Replaying the compiled trace ends back on the base TM.
+        let compiled = t.compile();
+        assert_eq!(compiled.segments.len(), 1);
+        let mut rates: std::collections::BTreeMap<(u32, u32), f64> =
+            t.base().iter().map(|&(u, v, r)| ((u, v), r)).collect();
+        for batch in &compiled.segments[0].shifts {
+            for &(u, v, r) in &batch.updates {
+                if r == 0.0 {
+                    rates.remove(&(u, v));
+                } else {
+                    rates.insert((u, v), r);
+                }
+            }
+        }
+        let final_tm: Vec<(u32, u32, f64)> = rates.iter().map(|(&(u, v), &r)| (u, v, r)).collect();
+        assert_eq!(final_tm, t.base().to_vec(), "surges must fully subside");
+    }
+
+    #[test]
+    fn churn_conserves_flow_structure() {
+        let shape = ChurnShape {
+            window_s: 10.0,
+            windows: 3,
+        };
+        let t = churn_trace(&base(), &shape, 21).unwrap();
+        assert_eq!(t.end_s(), 30.0);
+        assert!(t.num_events() > 0);
+        assert_eq!(churn_trace(&base(), &shape, 21).unwrap(), t);
+        // All rates stay non-negative by construction; validation agrees.
+        t.validate().unwrap();
+        // The trace starts empty: flows begin strictly after t = 0.
+        assert!(t.base().is_empty());
+    }
+
+    #[test]
+    fn default_shapes_are_valid() {
+        DiurnalShape::default_shape().validate().unwrap();
+        FlashCrowdShape::default_shape().validate().unwrap();
+        ChurnShape::default_shape().validate().unwrap();
+        assert!(diurnal_trace(&base(), &DiurnalShape::default_shape()).is_ok());
+        assert!(flash_crowd_trace(&base(), &FlashCrowdShape::default_shape(), 1).is_ok());
+        assert!(churn_trace(&base(), &ChurnShape::default_shape(), 1).is_ok());
+    }
+}

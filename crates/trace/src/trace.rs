@@ -1,0 +1,721 @@
+//! The trace model: a time-ordered stream of traffic deltas over a base
+//! TM, and its compilation into replayable segments.
+//!
+//! A [`Trace`] is the time-varying analogue of a single
+//! `score_traffic::PairTraffic`: it fixes the VM population, an initial
+//! communication graph (`base`), a total duration (`end_s`), and a
+//! time-sorted list of [`TraceEvent`]s mutating the pairwise rates —
+//! absolute re-rates ([`TraceEvent::SetRate`]), multiplicative drift
+//! ([`TraceEvent::ScaleAll`] / [`TraceEvent::ScalePair`]), and
+//! [`TraceEvent::Marker`]s splitting the stream into coarse phases.
+//!
+//! Consumers never walk the raw events: [`Trace::compile`] folds the
+//! stream into a [`CompiledTrace`] — one [`TraceSegment`] per marker
+//! interval, each carrying the exact `PairTraffic` active at its start
+//! plus the in-segment [`DeltaBatch`]es (absolute rates, ready to feed a
+//! sparse rebind path such as `Session::apply_traffic_deltas`).
+
+use score_topology::VmId;
+use score_traffic::{PairTraffic, PairTrafficBuilder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One mutation of the offered traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Sets λ(u, v) to an absolute rate in bits per second; `0` removes
+    /// the pair from the communication graph.
+    SetRate {
+        /// First endpoint VM id.
+        u: u32,
+        /// Second endpoint VM id.
+        v: u32,
+        /// New absolute rate (b/s), `>= 0`.
+        rate: f64,
+    },
+    /// Multiplies λ(u, v) by a factor (`0` removes the pair; a factor on
+    /// a non-communicating pair is a no-op).
+    ScalePair {
+        /// First endpoint VM id.
+        u: u32,
+        /// Second endpoint VM id.
+        v: u32,
+        /// Multiplicative factor, `>= 0`.
+        factor: f64,
+    },
+    /// Multiplies every current pair rate by a factor — diurnal drift,
+    /// load ramps.
+    ScaleAll {
+        /// Multiplicative factor, `> 0`.
+        factor: f64,
+    },
+    /// Phase boundary: closes the current segment (report barrier with
+    /// `run_phases` semantics) and labels the next one.
+    Marker {
+        /// Human-readable phase label.
+        label: String,
+    },
+}
+
+/// A [`TraceEvent`] with its firing time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Absolute trace time in seconds, in `[0, end_s]`.
+    pub time_s: f64,
+    /// The mutation firing at that time.
+    pub event: TraceEvent,
+}
+
+/// Error validating a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The duration is non-positive or non-finite.
+    BadDuration(f64),
+    /// A base pair is invalid (self-pair, out-of-range id, bad rate).
+    BadBasePair(u32, u32, f64),
+    /// An event fires outside `[0, end_s]` or at a non-finite time.
+    BadEventTime(f64),
+    /// Events are not sorted by time.
+    Unsorted {
+        /// Index of the first out-of-order event.
+        index: usize,
+    },
+    /// An event payload is invalid (self-pair, out-of-range id,
+    /// negative/non-finite rate or factor).
+    BadEvent {
+        /// Index of the offending event.
+        index: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A line of a JSONL stream failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying parse error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadDuration(d) => {
+                write!(f, "trace duration must be positive and finite, got {d}")
+            }
+            TraceError::BadBasePair(u, v, r) => {
+                write!(f, "invalid base pair ({u}, {v}) with rate {r}")
+            }
+            TraceError::BadEventTime(t) => {
+                write!(f, "event time {t} outside the trace window")
+            }
+            TraceError::Unsorted { index } => {
+                write!(f, "event {index} fires before its predecessor")
+            }
+            TraceError::BadEvent { index, reason } => write!(f, "invalid event {index}: {reason}"),
+            TraceError::Parse { line, reason } => write!(f, "JSONL line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A complete time-varying workload: initial TM plus a delta stream
+/// (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use score_trace::{Trace, TraceEvent};
+///
+/// let trace = Trace::builder(4, 100.0)
+///     .base_pair(0, 1, 2e6)
+///     .base_pair(2, 3, 1e6)
+///     .set_rate(25.0, 0, 1, 8e6) // flash crowd on (0, 1)
+///     .scale_all(50.0, 0.5)      // off-peak dip
+///     .marker(75.0, "evening")
+///     .build()
+///     .unwrap();
+/// assert_eq!(trace.num_vms(), 4);
+/// assert_eq!(trace.num_events(), 3);
+/// let compiled = trace.compile();
+/// assert_eq!(compiled.segments.len(), 2); // the marker splits the run
+/// assert_eq!(compiled.segments[0].shifts.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    num_vms: u32,
+    end_s: f64,
+    base: Vec<(u32, u32, f64)>,
+    events: Vec<TimedEvent>,
+}
+
+impl Trace {
+    /// Starts a builder for a trace over `num_vms` VMs lasting `end_s`
+    /// seconds.
+    pub fn builder(num_vms: u32, end_s: f64) -> TraceBuilder {
+        TraceBuilder::new(num_vms, end_s)
+    }
+
+    /// Builds a trace from parts, validating everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] on any invariant violation (see
+    /// [`Trace::validate`]).
+    pub fn new(
+        num_vms: u32,
+        end_s: f64,
+        base: Vec<(u32, u32, f64)>,
+        events: Vec<TimedEvent>,
+    ) -> Result<Self, TraceError> {
+        let trace = Trace {
+            num_vms,
+            end_s,
+            base,
+            events,
+        };
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// The VM population (ids are dense `0..num_vms`).
+    pub fn num_vms(&self) -> u32 {
+        self.num_vms
+    }
+
+    /// Total trace duration in seconds.
+    pub fn end_s(&self) -> f64 {
+        self.end_s
+    }
+
+    /// The initial `(u, v, rate)` communication graph.
+    pub fn base(&self) -> &[(u32, u32, f64)] {
+        &self.base
+    }
+
+    /// The delta stream in firing order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of events (markers included).
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of phase markers in the stream.
+    pub fn num_markers(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Marker { .. }))
+            .count()
+    }
+
+    /// The initial TM as a [`PairTraffic`].
+    pub fn base_traffic(&self) -> PairTraffic {
+        let mut b = PairTrafficBuilder::new(self.num_vms);
+        for &(u, v, rate) in &self.base {
+            b.add(VmId::new(u), VmId::new(v), rate);
+        }
+        b.build()
+    }
+
+    /// Checks every invariant a deserialized trace might violate:
+    /// positive finite duration, valid base pairs, time-sorted events
+    /// inside the window, valid event payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if !self.end_s.is_finite() || self.end_s <= 0.0 {
+            return Err(TraceError::BadDuration(self.end_s));
+        }
+        for &(u, v, rate) in &self.base {
+            let ok =
+                u != v && u < self.num_vms && v < self.num_vms && rate.is_finite() && rate > 0.0;
+            if !ok {
+                return Err(TraceError::BadBasePair(u, v, rate));
+            }
+        }
+        let mut prev = 0.0f64;
+        for (index, ev) in self.events.iter().enumerate() {
+            if !ev.time_s.is_finite() || ev.time_s < 0.0 || ev.time_s > self.end_s {
+                return Err(TraceError::BadEventTime(ev.time_s));
+            }
+            if ev.time_s < prev {
+                return Err(TraceError::Unsorted { index });
+            }
+            prev = ev.time_s;
+            let bad = |reason: String| TraceError::BadEvent { index, reason };
+            match &ev.event {
+                TraceEvent::SetRate { u, v, rate } => {
+                    if u == v || *u >= self.num_vms || *v >= self.num_vms {
+                        return Err(bad(format!(
+                            "pair ({u}, {v}) invalid for {} VMs",
+                            self.num_vms
+                        )));
+                    }
+                    if !rate.is_finite() || *rate < 0.0 {
+                        return Err(bad(format!("rate {rate} must be finite and >= 0")));
+                    }
+                }
+                TraceEvent::ScalePair { u, v, factor } => {
+                    if u == v || *u >= self.num_vms || *v >= self.num_vms {
+                        return Err(bad(format!(
+                            "pair ({u}, {v}) invalid for {} VMs",
+                            self.num_vms
+                        )));
+                    }
+                    if !factor.is_finite() || *factor < 0.0 {
+                        return Err(bad(format!("factor {factor} must be finite and >= 0")));
+                    }
+                }
+                TraceEvent::ScaleAll { factor } => {
+                    if !factor.is_finite() || *factor <= 0.0 {
+                        return Err(bad(format!("factor {factor} must be finite and > 0")));
+                    }
+                }
+                TraceEvent::Marker { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the event stream into replayable segments: one
+    /// [`TraceSegment`] per marker interval, each with the exact TM
+    /// active at its start and the in-segment delta batches at
+    /// segment-relative times. Rate events landing exactly on a segment
+    /// boundary fold into the *next* segment's initial TM (they carry no
+    /// in-run duration in the closing one).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) on an unvalidated trace; run
+    /// [`Trace::validate`] on untrusted input first.
+    pub fn compile(&self) -> CompiledTrace {
+        debug_assert!(self.validate().is_ok(), "compile needs a valid trace");
+        let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+        let mut rates: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        for &(u, v, rate) in &self.base {
+            *rates.entry(canon(u, v)).or_insert(0.0) += rate;
+        }
+        let snapshot = |rates: &BTreeMap<(u32, u32), f64>| {
+            let mut b = PairTrafficBuilder::new(self.num_vms);
+            for (&(u, v), &rate) in rates {
+                b.add(VmId::new(u), VmId::new(v), rate);
+            }
+            b.build()
+        };
+
+        let mut segments = Vec::new();
+        let mut seg_start = 0.0f64;
+        let mut seg_label: Option<String> = None;
+        let mut seg_initial = snapshot(&rates);
+        let mut shifts: Vec<DeltaBatch> = Vec::new();
+
+        for ev in &self.events {
+            match &ev.event {
+                TraceEvent::Marker { label } => {
+                    if ev.time_s > seg_start {
+                        let duration_s = ev.time_s - seg_start;
+                        shifts.retain(|b| b.at_s < duration_s);
+                        segments.push(TraceSegment {
+                            label: seg_label.take(),
+                            duration_s,
+                            initial: seg_initial,
+                            shifts: std::mem::take(&mut shifts),
+                        });
+                        seg_start = ev.time_s;
+                        seg_initial = snapshot(&rates);
+                    }
+                    seg_label = Some(label.clone());
+                }
+                event => {
+                    let updates = Self::event_updates(&rates, event);
+                    if updates.is_empty() {
+                        continue;
+                    }
+                    for &(u, v, rate) in &updates {
+                        if rate == 0.0 {
+                            rates.remove(&(u, v));
+                        } else {
+                            rates.insert((u, v), rate);
+                        }
+                    }
+                    if ev.time_s <= seg_start {
+                        // Boundary fold: part of the segment's initial TM.
+                        seg_initial = snapshot(&rates);
+                    } else {
+                        shifts.push(DeltaBatch {
+                            at_s: ev.time_s - seg_start,
+                            updates,
+                        });
+                    }
+                }
+            }
+        }
+        if self.end_s > seg_start {
+            let duration_s = self.end_s - seg_start;
+            shifts.retain(|b| b.at_s < duration_s);
+            segments.push(TraceSegment {
+                label: seg_label,
+                duration_s,
+                initial: seg_initial,
+                shifts,
+            });
+        }
+        CompiledTrace {
+            num_vms: self.num_vms,
+            segments,
+        }
+    }
+
+    /// The absolute-rate updates one rate event implies under the
+    /// current rates (no-ops dropped; canonical `u < v`; `ScaleAll`
+    /// expands to every pair it actually changes).
+    fn event_updates(
+        rates: &BTreeMap<(u32, u32), f64>,
+        event: &TraceEvent,
+    ) -> Vec<(u32, u32, f64)> {
+        let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+        // Per-event values are validated finite, but a *composed* rate
+        // (rate × factor × factor …) can still overflow; saturate so a
+        // valid trace always compiles to finite, applicable updates.
+        let scale = |rate: f64, factor: f64| (rate * factor).min(f64::MAX);
+        match *event {
+            TraceEvent::SetRate { u, v, rate } => {
+                let key = canon(u, v);
+                let old = rates.get(&key).copied().unwrap_or(0.0);
+                if old == rate {
+                    Vec::new()
+                } else {
+                    vec![(key.0, key.1, rate)]
+                }
+            }
+            TraceEvent::ScalePair { u, v, factor } => {
+                let key = canon(u, v);
+                match rates.get(&key) {
+                    Some(&old) if scale(old, factor) != old => {
+                        vec![(key.0, key.1, scale(old, factor))]
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            TraceEvent::ScaleAll { factor } => {
+                if factor == 1.0 {
+                    return Vec::new();
+                }
+                rates
+                    .iter()
+                    .filter(|&(_, &r)| scale(r, factor) != r)
+                    .map(|(&(u, v), &r)| (u, v, scale(r, factor)))
+                    .collect()
+            }
+            TraceEvent::Marker { .. } => Vec::new(),
+        }
+    }
+}
+
+/// Incremental construction of a [`Trace`] (times may be pushed in any
+/// order; [`TraceBuilder::build`] sorts stably and validates).
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    num_vms: u32,
+    end_s: f64,
+    base: Vec<(u32, u32, f64)>,
+    events: Vec<TimedEvent>,
+}
+
+impl TraceBuilder {
+    /// Starts an empty trace over `num_vms` VMs lasting `end_s` seconds.
+    pub fn new(num_vms: u32, end_s: f64) -> Self {
+        TraceBuilder {
+            num_vms,
+            end_s,
+            base: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds one pair to the initial TM.
+    pub fn base_pair(mut self, u: u32, v: u32, rate: f64) -> Self {
+        self.base.push((u, v, rate));
+        self
+    }
+
+    /// Seeds the initial TM from an existing [`PairTraffic`].
+    pub fn base_traffic(mut self, traffic: &PairTraffic) -> Self {
+        self.base.extend(
+            traffic
+                .pairs()
+                .iter()
+                .map(|&(u, v, r)| (u.get(), v.get(), r)),
+        );
+        self
+    }
+
+    /// Pushes an arbitrary event.
+    pub fn event(mut self, time_s: f64, event: TraceEvent) -> Self {
+        self.events.push(TimedEvent { time_s, event });
+        self
+    }
+
+    /// Pushes a [`TraceEvent::SetRate`].
+    pub fn set_rate(self, time_s: f64, u: u32, v: u32, rate: f64) -> Self {
+        self.event(time_s, TraceEvent::SetRate { u, v, rate })
+    }
+
+    /// Pushes a [`TraceEvent::ScalePair`].
+    pub fn scale_pair(self, time_s: f64, u: u32, v: u32, factor: f64) -> Self {
+        self.event(time_s, TraceEvent::ScalePair { u, v, factor })
+    }
+
+    /// Pushes a [`TraceEvent::ScaleAll`].
+    pub fn scale_all(self, time_s: f64, factor: f64) -> Self {
+        self.event(time_s, TraceEvent::ScaleAll { factor })
+    }
+
+    /// Pushes a [`TraceEvent::Marker`] phase boundary.
+    pub fn marker(self, time_s: f64, label: impl Into<String>) -> Self {
+        self.event(
+            time_s,
+            TraceEvent::Marker {
+                label: label.into(),
+            },
+        )
+    }
+
+    /// Sorts the events stably by time and validates the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] on any invariant violation.
+    pub fn build(mut self) -> Result<Trace, TraceError> {
+        self.events.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+        Trace::new(self.num_vms, self.end_s, self.base, self.events)
+    }
+}
+
+/// The replayable form of a [`Trace`]: marker-delimited segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTrace {
+    /// The VM population.
+    pub num_vms: u32,
+    /// Segments in play order; never empty for a valid trace.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl CompiledTrace {
+    /// Total number of in-segment delta batches across all segments.
+    pub fn num_shifts(&self) -> usize {
+        self.segments.iter().map(|s| s.shifts.len()).sum()
+    }
+}
+
+/// One marker-delimited interval of a compiled trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSegment {
+    /// The label of the marker that opened this segment (`None` for the
+    /// unlabeled head segment).
+    pub label: Option<String>,
+    /// Segment duration in seconds (always positive).
+    pub duration_s: f64,
+    /// The exact TM active when the segment starts.
+    pub initial: PairTraffic,
+    /// In-segment delta batches at segment-relative times in
+    /// `(0, duration_s)`, each a list of canonical `(u, v, new_rate)`
+    /// absolute updates.
+    pub shifts: Vec<DeltaBatch>,
+}
+
+/// One batch of absolute-rate updates firing at a single instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaBatch {
+    /// Firing time relative to the segment start.
+    pub at_s: f64,
+    /// Canonical `(u, v, new_rate)` updates; a rate of `0` removes the
+    /// pair.
+    pub updates: Vec<(u32, u32, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_trace() -> TraceBuilder {
+        Trace::builder(4, 100.0)
+            .base_pair(0, 1, 10.0)
+            .base_pair(2, 3, 20.0)
+    }
+
+    #[test]
+    fn builder_sorts_and_validates() {
+        let t = base_trace()
+            .scale_all(60.0, 2.0)
+            .set_rate(30.0, 0, 2, 5.0)
+            .build()
+            .unwrap();
+        assert_eq!(t.num_events(), 2);
+        assert!(t.events()[0].time_s < t.events()[1].time_s);
+        assert_eq!(t.base_traffic().total_rate(), 30.0);
+    }
+
+    #[test]
+    fn invalid_traces_are_rejected() {
+        assert!(matches!(
+            Trace::builder(4, 0.0).build(),
+            Err(TraceError::BadDuration(_))
+        ));
+        assert!(matches!(
+            Trace::builder(4, 10.0).base_pair(0, 0, 1.0).build(),
+            Err(TraceError::BadBasePair(0, 0, _))
+        ));
+        assert!(matches!(
+            base_trace().set_rate(200.0, 0, 1, 1.0).build(),
+            Err(TraceError::BadEventTime(_))
+        ));
+        assert!(matches!(
+            base_trace().set_rate(5.0, 0, 9, 1.0).build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+        assert!(matches!(
+            base_trace().set_rate(5.0, 0, 1, -1.0).build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+        assert!(matches!(
+            base_trace().scale_all(5.0, 0.0).build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+        // Unsorted events reach Trace::new directly.
+        let events = vec![
+            TimedEvent {
+                time_s: 50.0,
+                event: TraceEvent::ScaleAll { factor: 2.0 },
+            },
+            TimedEvent {
+                time_s: 10.0,
+                event: TraceEvent::ScaleAll { factor: 2.0 },
+            },
+        ];
+        assert!(matches!(
+            Trace::new(4, 100.0, vec![], events),
+            Err(TraceError::Unsorted { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn compile_single_segment() {
+        let t = base_trace()
+            .set_rate(25.0, 0, 1, 50.0)
+            .scale_pair(75.0, 2, 3, 0.5)
+            .build()
+            .unwrap();
+        let c = t.compile();
+        assert_eq!(c.segments.len(), 1);
+        let seg = &c.segments[0];
+        assert_eq!(seg.duration_s, 100.0);
+        assert_eq!(seg.initial, t.base_traffic());
+        assert_eq!(seg.shifts.len(), 2);
+        assert_eq!(seg.shifts[0].updates, vec![(0, 1, 50.0)]);
+        assert_eq!(seg.shifts[1].updates, vec![(2, 3, 10.0)]);
+        assert_eq!(c.num_shifts(), 2);
+    }
+
+    #[test]
+    fn compile_splits_at_markers_and_folds_boundary_events() {
+        // SetRate exactly at the marker time lands in the next segment's
+        // initial TM, regardless of list order.
+        let t = base_trace()
+            .set_rate(40.0, 0, 1, 99.0)
+            .marker(40.0, "shift")
+            .build()
+            .unwrap();
+        let c = t.compile();
+        assert_eq!(c.segments.len(), 2);
+        assert_eq!(c.segments[0].duration_s, 40.0);
+        assert!(c.segments[0].shifts.is_empty(), "boundary event folded");
+        assert_eq!(c.segments[1].label.as_deref(), Some("shift"));
+        assert_eq!(c.segments[1].duration_s, 60.0);
+        assert_eq!(c.segments[1].initial.rate(VmId::new(0), VmId::new(1)), 99.0);
+    }
+
+    #[test]
+    fn compile_marker_at_zero_relabels_without_empty_segment() {
+        let t = base_trace().marker(0.0, "head").build().unwrap();
+        let c = t.compile();
+        assert_eq!(c.segments.len(), 1);
+        assert_eq!(c.segments[0].label.as_deref(), Some("head"));
+    }
+
+    #[test]
+    fn compile_drops_noop_events() {
+        let t = base_trace()
+            .scale_all(10.0, 1.0) // identity
+            .set_rate(20.0, 0, 1, 10.0) // already the rate
+            .scale_pair(30.0, 0, 2, 3.0) // pair does not communicate
+            .build()
+            .unwrap();
+        assert_eq!(t.compile().num_shifts(), 0);
+    }
+
+    #[test]
+    fn scale_all_expands_to_every_pair() {
+        let t = base_trace().scale_all(50.0, 2.0).build().unwrap();
+        let c = t.compile();
+        assert_eq!(c.segments[0].shifts.len(), 1);
+        let batch = &c.segments[0].shifts[0];
+        assert_eq!(batch.updates, vec![(0, 1, 20.0), (2, 3, 40.0)]);
+    }
+
+    #[test]
+    fn set_rate_zero_removes_pair_from_next_snapshot() {
+        let t = base_trace()
+            .set_rate(10.0, 0, 1, 0.0)
+            .marker(20.0, "after")
+            .build()
+            .unwrap();
+        let c = t.compile();
+        assert_eq!(c.segments[1].initial.num_pairs(), 1);
+        assert_eq!(c.segments[1].initial.total_rate(), 20.0);
+    }
+
+    #[test]
+    fn composed_rate_overflow_saturates() {
+        // Each value is individually finite and passes validation, but
+        // the composed rate overflows — compile must saturate instead
+        // of emitting an unapplicable infinite update.
+        let t = Trace::builder(2, 10.0)
+            .base_pair(0, 1, 1e300)
+            .scale_all(2.0, 1e10)
+            .scale_pair(4.0, 0, 1, 1e10)
+            .build()
+            .unwrap();
+        let c = t.compile();
+        for batch in &c.segments[0].shifts {
+            for &(_, _, rate) in &batch.updates {
+                assert!(rate.is_finite(), "compiled rate {rate} must stay finite");
+            }
+        }
+        assert_eq!(c.segments[0].shifts[0].updates, vec![(0, 1, f64::MAX)]);
+        // Saturated-to-MAX rates are a fixpoint: the second scale is a
+        // no-op, not a fresh overflow.
+        assert_eq!(c.num_shifts(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = base_trace()
+            .set_rate(10.0, 0, 2, 5.0)
+            .marker(50.0, "phase-2")
+            .scale_all(60.0, 3.0)
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        back.validate().unwrap();
+    }
+}

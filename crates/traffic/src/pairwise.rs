@@ -232,6 +232,87 @@ impl PairTraffic {
         }
     }
 
+    /// Applies absolute-rate updates **in place**: each `(u, v, rate)`
+    /// entry *replaces* λ(u, v) (a rate of `0` removes the pair).
+    /// Updates are canonicalized and applied in order, so when the same
+    /// pair appears twice the later entry wins. Each touched pair costs
+    /// one binary search in the pair list and one per endpoint adjacency
+    /// — no map rebuild, no reallocation of untouched state — which is
+    /// what keeps trace replay at O(changed pairs) per event. The
+    /// running total is adjusted incrementally (it can drift from a
+    /// fresh summation by ordinary float rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an update names a self-pair, an out-of-range VM, or a
+    /// negative/non-finite rate.
+    pub fn apply_updates(&mut self, updates: &[(VmId, VmId, f64)]) {
+        fn set_peer(peers: &mut Vec<(VmId, f64)>, peer: VmId, rate: f64) {
+            match peers.binary_search_by_key(&peer, |&(p, _)| p) {
+                Ok(i) if rate == 0.0 => {
+                    peers.remove(i);
+                }
+                Ok(i) => peers[i].1 = rate,
+                Err(_) if rate == 0.0 => {}
+                Err(i) => peers.insert(i, (peer, rate)),
+            }
+        }
+        for &(u, v, rate) in updates {
+            assert_ne!(u, v, "self-traffic is not part of the communication graph");
+            assert!(
+                u.get() < self.num_vms && v.get() < self.num_vms,
+                "vm out of range"
+            );
+            assert!(
+                rate.is_finite() && rate >= 0.0,
+                "rate must be finite and >= 0"
+            );
+            let (u, v) = if u < v { (u, v) } else { (v, u) };
+            match self
+                .pairs
+                .binary_search_by_key(&(u, v), |&(a, b, _)| (a, b))
+            {
+                Ok(i) => {
+                    let old = self.pairs[i].2;
+                    if old == rate {
+                        continue;
+                    }
+                    if rate == 0.0 {
+                        self.pairs.remove(i);
+                    } else {
+                        self.pairs[i].2 = rate;
+                    }
+                    set_peer(&mut self.adjacency[u.index()], v, rate);
+                    set_peer(&mut self.adjacency[v.index()], u, rate);
+                    self.total += rate - old;
+                }
+                Err(i) => {
+                    if rate == 0.0 {
+                        continue;
+                    }
+                    self.pairs.insert(i, (u, v, rate));
+                    set_peer(&mut self.adjacency[u.index()], v, rate);
+                    set_peer(&mut self.adjacency[v.index()], u, rate);
+                    self.total += rate;
+                }
+            }
+        }
+    }
+
+    /// Returns a copy with the given absolute-rate updates applied —
+    /// [`PairTraffic::apply_updates`] on a clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid updates as
+    /// [`PairTraffic::apply_updates`].
+    #[must_use]
+    pub fn updated(&self, updates: &[(VmId, VmId, f64)]) -> PairTraffic {
+        let mut next = self.clone();
+        next.apply_updates(updates);
+        next
+    }
+
     /// Merges another communication graph over the same VM population into
     /// this one, accumulating rates of shared pairs.
     ///
@@ -302,6 +383,54 @@ mod tests {
         assert_eq!(t.rate(VmId::new(0), VmId::new(1)), 100.0);
         assert_eq!(t.total_rate(), 600.0);
         assert_eq!(t.num_pairs(), 3); // pure scaling preserves the pattern
+    }
+
+    #[test]
+    fn updated_replaces_inserts_and_removes() {
+        let t = triangle();
+        let next = t.updated(&[
+            (VmId::new(1), VmId::new(0), 99.0), // replace (canonicalized)
+            (VmId::new(2), VmId::new(0), 0.0),  // remove
+            (VmId::new(1), VmId::new(3), 7.0),  // insert
+        ]);
+        assert_eq!(next.rate(VmId::new(0), VmId::new(1)), 99.0);
+        assert_eq!(next.rate(VmId::new(0), VmId::new(2)), 0.0);
+        assert_eq!(next.rate(VmId::new(1), VmId::new(3)), 7.0);
+        assert_eq!(next.rate(VmId::new(1), VmId::new(2)), 20.0); // untouched
+        assert_eq!(next.num_pairs(), 3);
+        assert_eq!(next.total_rate(), 99.0 + 7.0 + 20.0);
+        // Adjacency stays consistent with the pair list.
+        assert_eq!(next.peers(VmId::new(0)), &[(VmId::new(1), 99.0)]);
+        assert_eq!(next.degree(VmId::new(3)), 1);
+        // The original is untouched.
+        assert_eq!(t.num_pairs(), 3);
+    }
+
+    #[test]
+    fn updated_matches_builder_equivalent() {
+        let t = triangle();
+        let next = t.updated(&[(VmId::new(0), VmId::new(3), 5.0)]);
+        let mut b = PairTrafficBuilder::new(4);
+        b.add(VmId::new(0), VmId::new(1), 10.0);
+        b.add(VmId::new(1), VmId::new(2), 20.0);
+        b.add(VmId::new(2), VmId::new(0), 30.0);
+        b.add(VmId::new(0), VmId::new(3), 5.0);
+        assert_eq!(next, b.build());
+        // Later duplicate update wins; empty updates are identity.
+        let twice = t.updated(&[
+            (VmId::new(0), VmId::new(1), 1.0),
+            (VmId::new(0), VmId::new(1), 2.0),
+        ]);
+        assert_eq!(twice.rate(VmId::new(0), VmId::new(1)), 2.0);
+        assert_eq!(t.updated(&[]), t);
+        // Removing a pair that does not exist is a no-op.
+        assert_eq!(t.updated(&[(VmId::new(0), VmId::new(3), 0.0)]), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn updated_rejects_negative_rates() {
+        let _ = triangle().updated(&[(VmId::new(0), VmId::new(1), -1.0)]);
     }
 
     #[test]

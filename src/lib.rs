@@ -14,6 +14,8 @@
 //! * [`baselines`] — GA approximate-optimal, Remedy, naive placements, the
 //!   NP-completeness reduction;
 //! * [`xen`] — pre-copy live-migration model and dom0 control plane;
+//! * [`trace`] — trace-driven time-varying workloads: traffic-delta
+//!   event streams, JSONL persistence, synthetic generators;
 //! * [`sim`] — the flow-level discrete-event simulator and the
 //!   `Scenario`/`Session` experiment API.
 //!
@@ -59,5 +61,6 @@ pub use score_core as core;
 pub use score_flowtable as flowtable;
 pub use score_sim as sim;
 pub use score_topology as topology;
+pub use score_trace as trace;
 pub use score_traffic as traffic;
 pub use score_xen as xen;
