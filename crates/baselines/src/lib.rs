@@ -7,7 +7,7 @@
 //!   edge-assembly crossover, tournament selection, rack-swap mutation,
 //!   stopping below 1% improvement over 10 generations —
 //!   [`GeneticOptimizer`];
-//! * **Remedy** (§VI-B, ref. [15]): a centralized, OpenFlow-based,
+//! * **Remedy** (§VI-B, ref. \[15\]): a centralized, OpenFlow-based,
 //!   utilization-balancing VM manager — [`Remedy`];
 //! * traffic-agnostic initial placements (random / striped / packed) —
 //!   [`placement`].

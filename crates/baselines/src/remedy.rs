@@ -1,5 +1,5 @@
 //! Re-implementation of Remedy (Mann et al., IFIP Networking 2012 — the
-//! paper's reference [15]), the centralized comparator of §VI-B.
+//! paper's reference \[15\]), the centralized comparator of §VI-B.
 //!
 //! Remedy is "network-aware steady state VM management": an OpenFlow
 //! controller monitors link utilization globally, detects congested links,

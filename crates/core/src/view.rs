@@ -106,7 +106,7 @@ impl LocalView {
         2.0 * delta
     }
 
-    /// Candidate target servers, "rank[ed] … from highest to lowest
+    /// Candidate target servers, "rank\[ed\] … from highest to lowest
     /// communication levels" (§V-B5), ties broken towards heavier peers.
     /// The holder's own server is excluded; duplicates are removed keeping
     /// the best rank.

@@ -8,8 +8,9 @@ fn main() {
     let paper = exp::paper_scale_requested();
     let sw = exp::Stopwatch::start();
     println!(
-        "S-CORE reproduction — full experiment suite ({} scale)",
-        if paper { "paper" } else { "CI" }
+        "S-CORE reproduction — full experiment suite ({} scale, sweeps on {} thread(s))",
+        if paper { "paper" } else { "CI" },
+        exp::sweep_threads()
     );
 
     exp::banner("Fig. 2");

@@ -3,7 +3,8 @@
 //! ```text
 //! scorectl [--topology canonical|fattree|star] [--racks N] [--hosts-per-rack N]
 //!          [--k N] [--hosts N] [--vms-per-host F] [--intensity sparse|medium|dense]
-//!          [--policy rr|hlf|hcf|random] [--cm F] [--t-end SECONDS]
+//!          [--policy rr|hlf|hcf|random|all|P1,P2,…] [--threads N]
+//!          [--cm F] [--t-end SECONDS]
 //!          [--seed N] [--csv FILE] [--json FILE]
 //!          [--scenario FILE] [--emit-scenario FILE]
 //! scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl]
@@ -16,12 +17,22 @@
 //! still apply on top), `--emit-scenario` writes the effective spec back
 //! out, and `--json` writes the full [`score_sim::RunReport`].
 //!
+//! `--policy` also accepts a comma-separated list (or `all`): the run
+//! becomes a `ScenarioMatrix` policy sweep executed on the
+//! work-stealing [`score_sim::MatrixRunner`] — `--threads N` sets the
+//! pool width (default: every core; results are bit-identical at any
+//! width, except that trace-workload reports embed wall-clock
+//! `apply_ns_*` rebind diagnostics that vary between any two runs) and
+//! `--json` then writes the collected [`score_sim::MatrixReport`].
+//!
 //! The `trace` subcommand runs a **time-varying** workload instead: a
 //! synthetic trace shape (deterministic from `--seed`) or a JSONL trace
 //! file replayed through the session event clock (`run_trace`), printing
 //! per-segment results and the in-place rebind statistics.
 
-use score_sim::{series_to_csv, PolicyKind, Scenario, TopologySpec, TraceSpec, WorkloadSpec};
+use score_sim::{
+    series_to_csv, PolicyKind, Scenario, ScenarioMatrix, TopologySpec, TraceSpec, WorkloadSpec,
+};
 use score_trace::{ChurnShape, DiurnalShape, FlashCrowdShape, Trace};
 use score_traffic::TrafficIntensity;
 use std::process::ExitCode;
@@ -41,7 +52,8 @@ struct Args {
     hosts: Option<u32>,
     vms_per_host: Option<f64>,
     intensity: Option<TrafficIntensity>,
-    policy: Option<PolicyKind>,
+    policies: Vec<PolicyKind>,
+    threads: Option<usize>,
     cm: Option<f64>,
     t_end_s: Option<f64>,
     seed: Option<u64>,
@@ -88,13 +100,31 @@ fn parse_args() -> Result<Args, String> {
                 })
             }
             "--policy" => {
-                args.policy = Some(match value("--policy")?.as_str() {
-                    "rr" => PolicyKind::RoundRobin,
-                    "hlf" => PolicyKind::HighestLevelFirst,
-                    "hcf" => PolicyKind::HighestCostFirst,
-                    "random" => PolicyKind::Random,
-                    other => return Err(format!("unknown policy {other:?}")),
-                })
+                // Last --policy wins (like every other flag); duplicate
+                // names within one list are dropped, not run twice.
+                let spec = value("--policy")?;
+                let mut policies = Vec::new();
+                if spec == "all" {
+                    policies = PolicyKind::all().to_vec();
+                } else {
+                    for name in spec.split(',') {
+                        let policy = match name {
+                            "rr" => PolicyKind::RoundRobin,
+                            "hlf" => PolicyKind::HighestLevelFirst,
+                            "hcf" => PolicyKind::HighestCostFirst,
+                            "random" => PolicyKind::Random,
+                            other => return Err(format!("unknown policy {other:?}")),
+                        };
+                        if !policies.contains(&policy) {
+                            policies.push(policy);
+                        }
+                    }
+                }
+                args.policies = policies;
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?.parse().map_err(|e| format!("{e}"))?;
+                args.threads = Some(n.max(1));
             }
             "--shape" => args.shape = Some(value("--shape")?),
             "--trace" => args.trace_file = Some(value("--trace")?),
@@ -123,7 +153,8 @@ fn usage() {
     eprintln!(
         "usage: scorectl [--topology canonical|fattree|star] [--racks N] \
          [--hosts-per-rack N] [--k N] [--hosts N] [--vms-per-host F] \
-         [--intensity sparse|medium|dense] [--policy rr|hlf|hcf|random] \
+         [--intensity sparse|medium|dense] [--policy rr|hlf|hcf|random|all|P1,P2,...] \
+         [--threads N (policy sweeps; default all cores)] \
          [--cm F] [--t-end SECONDS] [--seed N] [--csv FILE] [--json FILE] \
          [--scenario FILE] [--emit-scenario FILE]\n\
          \x20      scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl] \
@@ -330,7 +361,10 @@ fn apply_flags(mut scenario: Scenario, args: &Args) -> Result<Scenario, String> 
             }
         }
     }
-    if let Some(policy) = args.policy {
+    // A single --policy edits the scenario; a multi-policy list becomes
+    // a sweep axis in `main` instead (the base policy is irrelevant
+    // there — every cell overrides it).
+    if let [policy] = args.policies[..] {
         scenario.policy = policy;
     }
     if let Some(cm) = args.cm {
@@ -442,6 +476,10 @@ fn main() -> ExitCode {
         println!("scenario spec written to {path}");
     }
 
+    if args.policies.len() > 1 {
+        return run_policy_sweep(scenario, &args);
+    }
+
     let mut session = match scenario.session() {
         Ok(s) => s,
         Err(e) => {
@@ -496,6 +534,58 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("run report written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs a multi-policy sweep on the work-stealing `MatrixRunner`:
+/// every `--policy` entry becomes one cell over the same scenario,
+/// `--threads` sets the pool width (default: every core), and `--json`
+/// writes the collected `MatrixReport`. Results are bit-identical at
+/// any width.
+fn run_policy_sweep(scenario: Scenario, args: &Args) -> ExitCode {
+    if args.csv.is_some() {
+        eprintln!("error: --csv needs a single --policy (use --json for sweep output)");
+        return ExitCode::FAILURE;
+    }
+    // Same default chain as every other sweep binary: explicit flag,
+    // then SCORE_THREADS, then all cores.
+    let threads = args
+        .threads
+        .unwrap_or_else(score_experiments::sweep_threads);
+    let runner = ScenarioMatrix::new(scenario)
+        .policies(args.policies.iter().copied())
+        .runner()
+        .threads(threads);
+    println!(
+        "policy sweep: {} cells on {} thread(s)",
+        runner.matrix().len(),
+        runner.thread_count()
+    );
+    let results = match runner.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for cell in &results.cells {
+        println!(
+            "  {:<7} cost {:.4e} -> {:.4e} ({:>5.1}% reduction) | {:>4} migrations | {:>6} token holds",
+            cell.policy.name(),
+            cell.report.initial_cost,
+            cell.report.final_cost,
+            cell.report.cost_reduction() * 100.0,
+            cell.report.migrations.len(),
+            cell.report.token_holds,
+        );
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, results.to_json_pretty()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("matrix report written to {path}");
     }
     ExitCode::SUCCESS
 }

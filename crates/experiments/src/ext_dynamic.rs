@@ -62,9 +62,7 @@ fn run_shape(
     summary: &mut String,
 ) {
     let base = Scenario::builder().trace(spec).seed(97).build();
-    let results = ScenarioMatrix::new(base)
-        .policies(policies())
-        .run()
+    let results = crate::run_matrix(ScenarioMatrix::new(base).policies(policies()))
         .expect("trace scenarios materialize");
     results
         .write_json(

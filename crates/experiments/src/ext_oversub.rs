@@ -68,9 +68,7 @@ pub fn run(paper_scale: bool) -> (Vec<OversubPoint>, String) {
         .workload_seed(37)
         .horizon(400.0)
         .build();
-    let results = ScenarioMatrix::new(base)
-        .topologies(topologies)
-        .run()
+    let results = crate::run_matrix(ScenarioMatrix::new(base).topologies(topologies))
         .expect("sweep dimensions are valid");
     results
         .write_json(&crate::results_dir(), "ext_oversub_matrix.json")

@@ -35,9 +35,7 @@ pub fn run(paper_scale: bool) -> (Vec<PolicyOutcome>, String) {
         Scenario::small_canonical(TrafficIntensity::Sparse, 17)
     };
     base.timing.t_end_s = 500.0;
-    let results = ScenarioMatrix::new(base)
-        .policies(PolicyKind::all())
-        .run()
+    let results = crate::run_matrix(ScenarioMatrix::new(base).policies(PolicyKind::all()))
         .expect("preset scenarios are feasible");
     results
         .write_json(&results_dir(), "ext_policy_matrix.json")

@@ -65,10 +65,7 @@ pub fn run(paper_scale: bool) -> (Vec<WeightOutcome>, String) {
             )
         })
         .collect();
-    let results = ScenarioMatrix::new(base)
-        .engines(engines)
-        .iterations(6)
-        .run()
+    let results = crate::run_matrix(ScenarioMatrix::new(base).engines(engines).iterations(6))
         .expect("preset scenarios are feasible");
     results
         .write_json(&results_dir(), "ext_weights_matrix.json")

@@ -62,11 +62,12 @@ pub fn run(kind: TopologyKind, paper_scale: bool) -> (Vec<CostRatioCell>, String
         (TopologyKind::Star, _) => unreachable!("the figure plots tree fabrics only"),
     };
     base.timing.t_end_s = 700.0;
-    let results = ScenarioMatrix::new(base)
-        .intensities(TrafficIntensity::all())
-        .policies(PolicyKind::paper_policies())
-        .run()
-        .expect("preset scenarios are feasible");
+    let results = crate::run_matrix(
+        ScenarioMatrix::new(base)
+            .intensities(TrafficIntensity::all())
+            .policies(PolicyKind::paper_policies()),
+    )
+    .expect("preset scenarios are feasible");
     results
         .write_json(&results_dir(), &format!("fig3_{}_matrix.json", kind.name()))
         .expect("write matrix report");

@@ -95,6 +95,56 @@ pub fn paper_scale_requested() -> bool {
         || std::env::var("SCORE_PAPER_SCALE").is_ok_and(|v| v == "1")
 }
 
+/// Worker count for `ScenarioMatrix` sweeps: the `--threads N` (or
+/// `--threads=N`) flag, or the `SCORE_THREADS` env var, or every
+/// available core. `--threads 1` forces the plain serial loop. Sweep
+/// results are bit-identical at any width (pinned by
+/// `crates/sim/tests/matrix_parallel.rs`), so the flag only trades
+/// wall-clock. A malformed value is a loud exit, not a silent
+/// fall-back to all cores (experiment binaries want loud failures).
+pub fn sweep_threads() -> usize {
+    let parse = |value: &str, source: &str| -> usize {
+        match value.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!("error: {source} wants a thread count, got {value:?}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let Some(value) = args.next() else {
+                eprintln!("error: missing value for --threads");
+                std::process::exit(2);
+            };
+            return parse(&value, "--threads");
+        }
+        if let Some(value) = arg.strip_prefix("--threads=") {
+            return parse(value, "--threads");
+        }
+    }
+    if let Ok(value) = std::env::var("SCORE_THREADS") {
+        return parse(&value, "SCORE_THREADS");
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs a sweep on the work-stealing [`score_sim::MatrixRunner`] at
+/// [`sweep_threads`] width — the one execution path every experiment
+/// module's matrix goes through, so `--threads` reaches all of them.
+///
+/// # Errors
+///
+/// Propagates the earliest cell's [`score_sim::ScenarioError`], exactly
+/// like the serial `ScenarioMatrix::run`.
+pub fn run_matrix(
+    matrix: score_sim::ScenarioMatrix,
+) -> Result<score_sim::MatrixReport, score_sim::ScenarioError> {
+    matrix.runner().threads(sweep_threads()).run()
+}
+
 /// Prints a section header to stdout.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");

@@ -12,7 +12,8 @@
 //!   sampled from an incremental `CostLedger` in `O(1)`;
 //! * [`matrix`] — [`ScenarioMatrix`]: policy × topology × intensity
 //!   (× engine) sweeps collected into one [`MatrixReport`] with a
-//!   single JSON writer;
+//!   single JSON writer; [`MatrixRunner`] fans the cells out onto a
+//!   work-stealing pool with bit-identical results;
 //! * [`report`] — [`RunReport`]: one unified, JSON-serializable result
 //!   format (cost trajectory, migration ratios, link utilization,
 //!   flow-table ops);
@@ -53,7 +54,7 @@ pub mod session;
 pub mod spec;
 
 pub use events::{EventQueue, SimEvent};
-pub use matrix::{MatrixCell, MatrixReport, RunLength, ScenarioMatrix};
+pub use matrix::{MatrixCell, MatrixReport, MatrixRunner, RunLength, ScenarioMatrix};
 pub use metrics::{ascii_chart, jain_fairness, series_to_csv, UtilizationSnapshot};
 pub use report::{FlowTableOps, HypervisorStats, MigrationEvent, RunReport, TraceReplayStats};
 pub use session::{Session, TrafficPhase};

@@ -10,6 +10,25 @@
 //! declare — placements, resources, explicit workloads — sweeps for
 //! free.
 //!
+//! # Parallel sweeps
+//!
+//! Cells are independent — each builds its own `Session` (cluster,
+//! token ring, RNG) from its own `Scenario`, so a sweep fans out onto a
+//! work-stealing pool with no shared mutable state. [`MatrixRunner`]
+//! (via [`ScenarioMatrix::runner`]) runs the same cells on `rayon`'s
+//! pool: [`MatrixRunner::threads`] picks the width,
+//! [`MatrixRunner::parallel`] uses every available core, and the
+//! resulting [`MatrixReport`] is **bit-identical** to the serial
+//! [`ScenarioMatrix::run`] — same cell order, same per-cell seeds, same
+//! JSON — at any thread count (pinned by the proptests in
+//! `tests/matrix_parallel.rs`). One carve-out: trace-workload cells
+//! measure their in-place rebinds, so `RunReport.trace` carries the
+//! wall-clock diagnostics `apply_ns_total`/`apply_ns_max`, which vary
+//! between *any* two runs (serial ones included). Trace sweeps are
+//! therefore identical modulo those two fields — everything the
+//! simulation computes (costs, migrations, events applied, pairs
+//! re-priced) still matches exactly.
+//!
 //! # Example
 //!
 //! ```
@@ -212,8 +231,9 @@ impl ScenarioMatrix {
         false
     }
 
-    /// Materializes and runs every cell, collecting one [`RunReport`]
-    /// per cell.
+    /// Materializes and runs every cell serially, collecting one
+    /// [`RunReport`] per cell. For multi-core sweeps see
+    /// [`ScenarioMatrix::runner`].
     ///
     /// # Errors
     ///
@@ -222,31 +242,152 @@ impl ScenarioMatrix {
     pub fn run(&self) -> Result<MatrixReport, ScenarioError> {
         let mut cells = Vec::with_capacity(self.len());
         for (engine_label, scenario) in self.scenarios() {
-            let mut session = scenario.session()?;
-            match self.run_length {
-                RunLength::ToHorizon => {
-                    // Trace workloads with phase markers replay *every*
-                    // segment (the report then covers the final one) —
-                    // stopping at the first marker would silently
-                    // truncate the trace.
-                    session.run_to_horizon();
-                    while session.advance_trace_segment()? {
-                        session.run_to_horizon();
-                    }
-                }
-                RunLength::Iterations(n) => {
-                    session.run(n);
-                }
+            cells.push(run_cell(engine_label, scenario, self.run_length)?);
+        }
+        Ok(MatrixReport { cells })
+    }
+
+    /// Wraps the sweep in a [`MatrixRunner`] for multi-core execution.
+    /// The runner defaults to serial (one thread); chain
+    /// [`MatrixRunner::threads`] or [`MatrixRunner::parallel`].
+    pub fn runner(self) -> MatrixRunner {
+        MatrixRunner {
+            matrix: self,
+            threads: 1,
+        }
+    }
+}
+
+/// Materializes and runs one cell — the unit of work both the serial
+/// loop and the parallel runner schedule. Everything a cell touches
+/// (session, ring, RNG) is built here from the cell's own `Scenario`,
+/// which is what makes parallel execution trivially deterministic.
+fn run_cell(
+    engine_label: Option<String>,
+    scenario: Scenario,
+    run_length: RunLength,
+) -> Result<MatrixCell, ScenarioError> {
+    let mut session = scenario.session()?;
+    match run_length {
+        RunLength::ToHorizon => {
+            // Trace workloads with phase markers replay *every* segment
+            // (the report then covers the final one) — stopping at the
+            // first marker would silently truncate the trace.
+            session.run_to_horizon();
+            while session.advance_trace_segment()? {
+                session.run_to_horizon();
             }
-            let report = session.report();
-            cells.push(MatrixCell {
-                policy: scenario.policy,
-                topology: scenario.topology,
-                intensity: scenario.workload.intensity(),
-                engine_label,
-                scenario,
-                report,
-            });
+        }
+        RunLength::Iterations(n) => {
+            session.run(n);
+        }
+    }
+    let report = session.report();
+    Ok(MatrixCell {
+        policy: scenario.policy,
+        topology: scenario.topology,
+        intensity: scenario.workload.intensity(),
+        engine_label,
+        scenario,
+        report,
+    })
+}
+
+/// Work-stealing parallel executor for a [`ScenarioMatrix`].
+///
+/// Cells are dealt onto a `rayon` pool ([`MatrixRunner::threads`] wide)
+/// and stolen by idle workers, so a sweep's wall-clock approaches
+/// `serial_time / threads` even when cell durations are skewed (dense
+/// cells migrate more and run longer than sparse ones). Each worker
+/// materializes its cell's `Session` from scratch — nothing is shared
+/// across cells but the immutable `ScenarioMatrix` — and results are
+/// collected in cell order, so the [`MatrixReport`] (and its JSON) is
+/// bit-identical to [`ScenarioMatrix::run`] at any thread count (for
+/// trace workloads: modulo the wall-clock `apply_ns_*` diagnostics in
+/// `RunReport.trace`, which differ between any two runs — see the
+/// module docs).
+///
+/// # Example
+///
+/// ```
+/// use score_sim::{PolicyKind, Scenario, ScenarioMatrix};
+///
+/// let base = Scenario::builder().star(8).num_vms(12).horizon(30.0).build();
+/// let parallel = ScenarioMatrix::new(base.clone())
+///     .policies(PolicyKind::paper_policies())
+///     .runner()
+///     .threads(4)
+///     .run()
+///     .unwrap();
+/// let serial = ScenarioMatrix::new(base)
+///     .policies(PolicyKind::paper_policies())
+///     .run()
+///     .unwrap();
+/// assert_eq!(parallel, serial);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixRunner {
+    matrix: ScenarioMatrix,
+    /// Pool width; `1` short-circuits to the serial path.
+    threads: usize,
+}
+
+impl MatrixRunner {
+    /// Sets the worker-pool width (clamped to at least 1). Width 1 runs
+    /// the plain serial loop with no pool at all.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Uses every core the host offers.
+    #[must_use]
+    pub fn parallel(self) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.threads(cores)
+    }
+
+    /// The configured pool width.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The sweep this runner executes.
+    pub fn matrix(&self) -> &ScenarioMatrix {
+        &self.matrix
+    }
+
+    /// Runs every cell across the pool, collecting results in cell
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioError`] of the *earliest* failing cell in
+    /// cell order — exactly the error the serial [`ScenarioMatrix::run`]
+    /// would return (the serial loop stops there; the parallel runner
+    /// may have run later cells already, but their results are
+    /// discarded, so the observable outcome is identical).
+    pub fn run(&self) -> Result<MatrixReport, ScenarioError> {
+        if self.threads == 1 {
+            return self.matrix.run();
+        }
+        let run_length = self.matrix.run_length;
+        let scenarios = self.matrix.scenarios();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("shim pool construction is infallible");
+        let outcomes: Vec<Result<MatrixCell, ScenarioError>> = pool.install(|| {
+            use rayon::prelude::*;
+            scenarios
+                .into_par_iter()
+                .map(|(engine_label, scenario)| run_cell(engine_label, scenario, run_length))
+                .collect()
+        });
+        let mut cells = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            cells.push(outcome?);
         }
         Ok(MatrixReport { cells })
     }
@@ -471,6 +612,58 @@ mod tests {
         let reports = base.session().unwrap().run_trace().unwrap();
         assert_eq!(reports.len(), 2, "the marker splits the trace in two");
         assert_eq!(cell_report, reports.last().unwrap());
+    }
+
+    #[test]
+    fn sweep_units_are_send_and_sync() {
+        // The Send/Sync audit behind the parallel runner: everything
+        // that crosses a worker-thread boundary is plain data. Sessions
+        // themselves are NOT sent anywhere — each worker materializes
+        // its own (`Box<dyn TokenPolicy>` is built per cell inside
+        // `run_cell`), which is why this list needs no `Session` entry.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Scenario>();
+        assert_send_sync::<ScenarioError>();
+        assert_send_sync::<ScenarioMatrix>();
+        assert_send_sync::<MatrixRunner>();
+        assert_send_sync::<MatrixCell>();
+        assert_send_sync::<MatrixReport>();
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial_bitwise() {
+        let matrix = ScenarioMatrix::new(quick_base())
+            .intensities([TrafficIntensity::Sparse, TrafficIntensity::Dense])
+            .policies(PolicyKind::paper_policies());
+        let serial = matrix.clone().run().unwrap();
+        for threads in [1, 2, 4, 7] {
+            let parallel = matrix.clone().runner().threads(threads).run().unwrap();
+            assert_eq!(parallel, serial, "{threads} threads diverged");
+            assert_eq!(parallel.to_json(), serial.to_json());
+        }
+        let auto = matrix.clone().runner().parallel();
+        assert!(auto.thread_count() >= 1);
+        assert_eq!(auto.run().unwrap(), serial);
+    }
+
+    #[test]
+    fn parallel_runner_returns_earliest_cell_error() {
+        // First topology cell is infeasible; the serial loop stops
+        // there. The parallel runner runs other cells too but must
+        // surface the very same earliest-cell error.
+        let matrix = ScenarioMatrix::new(quick_base()).topologies([
+            TopologySpec::FatTree {
+                k: 3,
+                capacities: None,
+            },
+            TopologySpec::Star {
+                hosts: 8,
+                capacities: None,
+            },
+        ]);
+        let serial_err = matrix.clone().run().unwrap_err();
+        let parallel_err = matrix.runner().threads(2).run().unwrap_err();
+        assert_eq!(format!("{parallel_err}"), format!("{serial_err}"));
     }
 
     #[test]

@@ -1,4 +1,12 @@
 //! Measurement helpers shared by the experiment binaries.
+//!
+//! * [`UtilizationSnapshot`] — per-tier link-utilization CDFs of a
+//!   cluster's current allocation (the Fig. 4a comparison), with
+//!   overload counting and [`jain_fairness`] over the busiest links;
+//! * [`series_to_csv`] — `(t, value)` series in the two-column CSV
+//!   format every figure binary writes under `results/`;
+//! * [`ascii_chart`] — quick multi-series terminal plots for the
+//!   human-readable experiment summaries.
 
 use score_core::{Cluster, LinkLoadMap};
 use score_topology::Level;

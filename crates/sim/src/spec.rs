@@ -431,7 +431,7 @@ impl TraceSpec {
     /// # Panics
     ///
     /// Panics on an invalid spec; [`Scenario::session`] runs
-    /// [`TraceSpec::validate`] first and reports a
+    /// `TraceSpec::validate` first and reports a
     /// [`ScenarioError::Workload`] instead.
     pub fn build_trace(&self) -> Trace {
         let base = |num_vms: u32, intensity: TrafficIntensity, seed: u64| {
@@ -579,7 +579,7 @@ impl WorkloadSpec {
     /// # Panics
     ///
     /// Panics on an invalid explicit pair list; [`Scenario::session`]
-    /// runs [`WorkloadSpec::validate`] first and reports a
+    /// runs `WorkloadSpec::validate` first and reports a
     /// [`ScenarioError::Workload`] instead.
     pub fn generate(&self, topo: &dyn Topology) -> PairTraffic {
         match self {
@@ -640,7 +640,7 @@ impl ResourceSpec {
 
     /// The per-VM spec vector this description expands to over a
     /// population of `num_vms` (the argument `Cluster::with_vm_specs`
-    /// consumes). Call [`ResourceSpec::validate`] first on untrusted
+    /// consumes). Call `ResourceSpec::validate` first on untrusted
     /// input — out-of-range overrides are skipped here.
     pub fn vm_specs(&self, num_vms: u32) -> Vec<VmSpec> {
         let mut specs = vec![self.vm; num_vms as usize];

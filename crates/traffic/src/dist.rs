@@ -1,7 +1,7 @@
 //! Random distributions used by the traffic generator.
 //!
 //! DC measurement studies (Kandula et al. IMC'09, Benson et al. IMC'10 —
-//! the paper's refs [18][19][23]) report long-tailed flow populations:
+//! the paper's refs \[18\]\[19\]\[23\]) report long-tailed flow populations:
 //! *mice* flows dominate in number while a small set of *elephants* carries
 //! most bytes. We model rates with a log-normal body and a bounded-Pareto
 //! tail. The `rand` crate ships only uniform sampling, so the transforms are

@@ -3,8 +3,8 @@
 //! S-CORE does not act on instantaneous rates: "traffic load λ(u, v) can be
 //! captured dynamically by monitoring incoming and outgoing traffic …
 //! averaged over a given time interval", with the window sized "on the
-//! order of minutes to hours" so the algorithm "capture[s] steady-state and
-//! avoid[s] reacting to instantaneous fluctuations". This module provides
+//! order of minutes to hours" so the algorithm "capture\[s\] steady-state and
+//! avoid\[s\] reacting to instantaneous fluctuations". This module provides
 //! that estimator: per-pair byte accounting over a sliding window, plus the
 //! conversion into the [`PairTraffic`] snapshot the decision engine
 //! consumes.

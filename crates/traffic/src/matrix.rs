@@ -2,7 +2,7 @@
 //!
 //! A [`TrafficMatrix`] aggregates pairwise VM rates to rack granularity
 //! given a placement. The paper characterises its generated TMs as *sparse*
-//! with "only a handful of ToRs [becoming] hotspots", in accordance with
+//! with "only a handful of ToRs \[becoming\] hotspots", in accordance with
 //! published DC measurements.
 
 use score_topology::{RackId, VmId};

@@ -224,7 +224,7 @@ pub mod prop {
             BTreeSetStrategy { element, size }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S, Z> {
             element: S,

@@ -1,0 +1,221 @@
+//! Parallel iterators (the `rayon::iter` subset the workspace uses).
+//!
+//! [`ParallelIterator`] supports `map`, `for_each`, `count`, and an
+//! order-preserving `collect` into any [`FromParallelIterator`]
+//! collection. [`IntoParallelIterator`] is implemented for `Vec<T>`,
+//! slices, and `Range<usize>`/`Range<u64>`;
+//! [`IntoParallelRefIterator`] provides `par_iter()` on slices and
+//! `Vec`s. Execution happens in the final consuming call through the
+//! crate's work-stealing executor at [`crate::current_num_threads`]
+//! width (see the crate docs for the determinism contract).
+
+use crate::parallel_map_ordered;
+
+/// A parallel iterator: items are produced in a deterministic input
+/// order and consumed on the work-stealing pool.
+pub trait ParallelIterator: Sized + Send {
+    /// The type of item this iterator produces.
+    type Item: Send;
+
+    /// Materializes the items in input order.
+    ///
+    /// Adapters override how this executes; the outermost consuming
+    /// call is where the parallel fan-out happens. Not part of the
+    /// upstream API (hidden from docs) — shim plumbing only.
+    #[doc(hidden)]
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        self.map(f).drive();
+    }
+
+    /// Number of items produced.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+
+    /// Collects the items, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered_items(self.drive())
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (by value).
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` — borrowing conversion into a [`ParallelIterator`].
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a shared reference).
+    type Item: Send + 'data;
+
+    /// Iterates `self`'s items by reference, in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Collections buildable from a parallel iterator's ordered items.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from items already in input order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over owned `Vec` items.
+#[derive(Debug)]
+pub struct VecIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// Parallel iterator over shared slice references.
+#[derive(Debug)]
+pub struct SliceIter<'data, T: Sync> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn drive(self) -> Vec<&'data T> {
+        self.slice.iter().collect()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+#[derive(Debug)]
+pub struct RangeIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for RangeIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter<usize>;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter<usize> {
+        RangeIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Iter = RangeIter<u64>;
+    type Item = u64;
+
+    fn into_par_iter(self) -> RangeIter<u64> {
+        RangeIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Adapter returned by [`ParallelIterator::map`] — the stage where the
+/// work-stealing fan-out actually executes.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map_ordered(self.base.drive(), &self.f)
+    }
+}

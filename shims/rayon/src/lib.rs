@@ -1,0 +1,595 @@
+//! Workspace-local stand-in for the `rayon` crate (crates.io is
+//! unreachable in this build environment).
+//!
+//! Provides the API subset the workspace schedules on — enough to run
+//! `ScenarioMatrix` sweeps and similar coarse-grained fan-outs in
+//! parallel with deterministic, input-ordered results:
+//!
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] — a pool of a fixed logical
+//!   width; [`ThreadPool::install`] scopes the width onto the calling
+//!   thread so nested parallel iterators and scopes inherit it;
+//! * [`scope`] / [`Scope::spawn`] — structured fan-out: spawned tasks
+//!   may borrow from the enclosing stack frame and may spawn further
+//!   tasks; all complete before `scope` returns;
+//! * [`prelude`] — `par_iter()` on slices and `Vec`s,
+//!   `into_par_iter()` on `Vec`s and ranges, with `map`, `for_each`,
+//!   and order-preserving `collect()`.
+//!
+//! # Scheduling model
+//!
+//! The upstream keeps a registry of persistent worker threads; this
+//! shim instead spawns scoped OS threads per parallel call and
+//! schedules over `crossbeam::deque` work-stealing deques: every task
+//! starts on a per-worker [`crossbeam::deque::Worker`], idle workers
+//! steal from the other workers' [`crossbeam::deque::Stealer`]s (and,
+//! in [`scope`], from a shared [`crossbeam::deque::Injector`]). For the
+//! coarse-grained tasks the workspace runs — whole simulation cells,
+//! seconds each — the per-call thread spawn (~tens of µs) is noise.
+//!
+//! # Determinism
+//!
+//! `par_iter().map(f).collect::<Vec<_>>()` returns results in **input
+//! order** regardless of which worker computed what, and `f` receives
+//! exactly the same items as the serial iterator would produce — so a
+//! pure `f` yields byte-identical output at any thread count. The
+//! equivalence proptests in `crates/sim/tests/matrix_parallel.rs` pin
+//! this property for the matrix runner.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+
+pub mod iter;
+
+/// `use rayon::prelude::*` — the parallel-iterator traits.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+thread_local! {
+    /// The pool width [`ThreadPool::install`] put in effect on this
+    /// thread; `None` means the global default.
+    static CURRENT_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel calls on this thread will use: the
+/// innermost [`ThreadPool::install`]'s width, or all available cores.
+pub fn current_num_threads() -> usize {
+    CURRENT_WIDTH
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Restores the previous pool width when an `install` frame unwinds.
+struct WidthGuard {
+    previous: Option<usize>,
+}
+
+impl Drop for WidthGuard {
+    fn drop(&mut self) {
+        CURRENT_WIDTH.with(|width| width.set(self.previous));
+    }
+}
+
+/// Error building a [`ThreadPool`].
+///
+/// The shim's build never fails; the type exists so callers written
+/// against the upstream's fallible `build()` compile unchanged.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default width (all available cores).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool width; `0` means all available cores.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim (the result type mirrors the upstream).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = match self.num_threads {
+            0 => default_num_threads(),
+            n => n,
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// A thread pool of a fixed logical width.
+///
+/// The shim pool holds no persistent threads (see the module docs); it
+/// carries the width that parallel calls made under
+/// [`ThreadPool::install`] fan out to.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's width in effect: parallel iterators
+    /// and scopes inside `op` fan out to `self.current_num_threads()`
+    /// workers. Nested installs restore the outer width on exit, even
+    /// on panic.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let _guard = WidthGuard {
+            previous: CURRENT_WIDTH.with(|width| width.replace(Some(self.num_threads))),
+        };
+        op()
+    }
+
+    /// [`scope`] at this pool's width.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        scope_with(self.num_threads, op)
+    }
+}
+
+/// A task spawned into a [`Scope`].
+type ScopeJob<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// Handle for spawning tasks inside a [`scope`].
+pub struct Scope<'scope> {
+    /// Global queue all scope workers steal from.
+    injector: Injector<ScopeJob<'scope>>,
+    /// Tasks queued or running; the scope is quiescent at zero.
+    pending: AtomicUsize,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("pending", &self.pending.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task into the scope. The task may borrow anything that
+    /// outlives the scope and may spawn further tasks through the
+    /// `&Scope` it receives.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.injector.push(Box::new(f));
+    }
+
+    /// Steals and runs one queued task; true if one ran.
+    fn run_one(&self) -> bool {
+        match self.injector.steal().success() {
+            Some(job) => {
+                // Count down via a drop guard so a *panicking* task
+                // still counts: the scope stays terminable and the
+                // panic propagates when `std::thread::scope` joins the
+                // unwound worker, instead of deadlocking the drain
+                // loops on a pending count that never reaches zero.
+                struct PendingGuard<'a>(&'a AtomicUsize);
+                impl Drop for PendingGuard<'_> {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                let _guard = PendingGuard(&self.pending);
+                job(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True once no task is queued or running.
+    fn quiescent(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// Creates a scope at [`current_num_threads`] width: `op` may spawn
+/// borrowing tasks through the scope handle; every spawned task (and
+/// every task those tasks spawn) completes before `scope` returns.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    scope_with(current_num_threads(), op)
+}
+
+/// Idle-worker backoff: yield for the first few misses, then sleep in
+/// short naps so an idle worker stops burning its core while another
+/// worker chews on a long task.
+struct Backoff(u32);
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff(0)
+    }
+
+    fn idle(&mut self) {
+        if self.0 < 8 {
+            self.0 += 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+
+    fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+/// Sets `done` even when the guarded frame unwinds, so helper threads
+/// always observe completion and `std::thread::scope` can join them
+/// (and propagate the panic) instead of hanging.
+struct DoneGuard<'a>(&'a AtomicBool);
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+fn scope_with<'scope, OP, R>(threads: usize, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        injector: Injector::new(),
+        pending: AtomicUsize::new(0),
+    };
+    let done = AtomicBool::new(false);
+    std::thread::scope(|threads_scope| {
+        let scope_ref = &scope;
+        let done_ref = &done;
+        // Set before any unwind can leave the closure: a panic in `op`,
+        // the drain loop, or a task must still release the helpers.
+        let _done_guard = DoneGuard(done_ref);
+        // The calling thread runs `op` and drains tasks at the scope's
+        // width, like the helpers below — nested parallel calls see the
+        // same width no matter which worker picked the task up.
+        let _width = WidthGuard {
+            previous: CURRENT_WIDTH.with(|width| width.replace(Some(threads))),
+        };
+        // threads - 1 helpers; the calling thread is the last worker.
+        // Helpers run nested parallel calls at this scope's width.
+        for _ in 1..threads.max(1) {
+            threads_scope.spawn(move || {
+                let _width = WidthGuard {
+                    previous: CURRENT_WIDTH.with(|width| width.replace(Some(threads))),
+                };
+                // Helpers drain until the scope creator declared the
+                // fan-out complete AND the queue ran dry. Even after
+                // `done`, queued tasks keep executing here — `done`
+                // alone never strands work.
+                let mut backoff = Backoff::new();
+                loop {
+                    if scope_ref.run_one() {
+                        backoff.reset();
+                    } else {
+                        if done_ref.load(Ordering::SeqCst) && scope_ref.quiescent() {
+                            break;
+                        }
+                        backoff.idle();
+                    }
+                }
+            });
+        }
+        let result = op(scope_ref);
+        // The calling thread helps drain; `pending` only reaches zero
+        // once every spawned task (and its transitive spawns) finished
+        // — `run_one` counts down even for tasks that panicked.
+        let mut backoff = Backoff::new();
+        loop {
+            if scope_ref.run_one() {
+                backoff.reset();
+            } else {
+                if scope_ref.quiescent() {
+                    break;
+                }
+                backoff.idle();
+            }
+        }
+        // `_done_guard` drops on closure exit (normal or unwinding);
+        // `std::thread::scope` then joins the helpers.
+        result
+    })
+}
+
+/// Runs `f` over `items` on `threads` work-stealing workers, returning
+/// results in input order. The scheduling backbone of the parallel
+/// iterators: indices are dealt round-robin onto per-worker LIFO
+/// deques; an idle worker steals FIFO from its peers.
+pub(crate) fn parallel_map_ordered<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    let deques: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<usize>> = deques.iter().map(Worker::stealer).collect();
+    for index in 0..tasks.len() {
+        deques[index % threads].push(index);
+    }
+    // Worker threads see the caller's installed width, so nested
+    // parallel calls inside `f` honor `ThreadPool::install` instead of
+    // silently falling back to all cores.
+    let inherited_width = CURRENT_WIDTH.with(Cell::get);
+    std::thread::scope(|threads_scope| {
+        let mut deques = deques.into_iter().enumerate();
+        // Worker 0 runs on the calling thread (spawned last, below).
+        let (_, own) = deques.next().expect("threads >= 2");
+        let tasks_ref = &tasks;
+        let slots_ref = &slots;
+        let stealers_ref = &stealers;
+        for (worker_index, deque) in deques {
+            threads_scope.spawn(move || {
+                let _width = WidthGuard {
+                    previous: CURRENT_WIDTH.with(|width| width.replace(inherited_width)),
+                };
+                run_worker(worker_index, &deque, stealers_ref, tasks_ref, slots_ref, f);
+            });
+        }
+        run_worker(0, &own, stealers_ref, tasks_ref, slots_ref, f);
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every index was executed exactly once")
+        })
+        .collect()
+}
+
+/// One worker's loop: drain the own deque, then steal from peers until
+/// every deque is dry. `parallel_map_ordered` tasks never spawn tasks,
+/// so globally-empty deques mean the map is complete.
+fn run_worker<T, R, F>(
+    own_index: usize,
+    own: &Worker<usize>,
+    stealers: &[Stealer<usize>],
+    tasks: &[Mutex<Option<T>>],
+    slots: &[Mutex<Option<R>>],
+    f: &F,
+) where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let take = |index: usize| {
+        tasks[index]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    };
+    let store = |index: usize, value: R| {
+        *slots[index]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+    };
+    loop {
+        let next = own.pop().or_else(|| {
+            // Steal scan: start past our own position so thieves spread
+            // out instead of all hammering worker 0's deque.
+            (1..stealers.len())
+                .map(|offset| &stealers[(own_index + offset) % stealers.len()])
+                .find_map(|stealer| stealer.steal().success())
+        });
+        match next {
+            Some(index) => {
+                if let Some(item) = take(index) {
+                    store(index, f(item));
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+/// Spawns a fire-and-forget task on a fresh thread.
+///
+/// The upstream queues onto the global registry; the shim spawns a
+/// detached OS thread — same semantics (the task may outlive the
+/// caller, hence `'static`), acceptable cost at workspace granularity.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::spawn(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_explicit_width() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn install_scopes_the_width_and_restores_it() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 5);
+        assert_eq!(current_num_threads(), outer);
+        // Nested installs restore the enclosing width.
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(inner.install(current_num_threads), 2);
+            assert_eq!(current_num_threads(), 5);
+        });
+    }
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..257).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        let serial: Vec<u64> = input.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, serial);
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let input: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+        let expected = input.clone();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<String> = pool.install(|| input.into_par_iter().map(|s| s + "!").collect());
+        for (got, want) in out.iter().zip(&expected) {
+            assert_eq!(got, &format!("{want}!"));
+        }
+    }
+
+    #[test]
+    fn range_par_iter_and_for_each() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0u64..100).into_par_iter().for_each(|x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn scope_joins_all_tasks_including_nested_spawns() {
+        let counter = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.scope(|s| {
+            assert_eq!(current_num_threads(), 4, "op runs at the scope width");
+            for _ in 0..16 {
+                s.spawn(|inner| {
+                    assert_eq!(current_num_threads(), 4, "tasks run at the scope width");
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    inner.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn scope_returns_op_result() {
+        let data = [1u64, 2, 3];
+        let got = scope(|s| {
+            s.spawn(|_| {
+                // Borrowing spawn runs to completion before scope ends.
+                assert_eq!(data.iter().sum::<u64>(), 6);
+            });
+            42u64
+        });
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_instead_of_hanging() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            pool.scope(|s| {
+                s.spawn(|_| panic!("task boom"));
+            });
+        }));
+        assert!(result.is_err(), "the task's panic must reach the caller");
+        // And the machinery still works afterwards.
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn workers_inherit_installed_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let widths: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            widths.iter().all(|&w| w == 3),
+            "nested calls on worker threads must see the installed width: {widths:?}"
+        );
+    }
+
+    #[test]
+    fn count_matches_input_len() {
+        let items = vec![0u8; 37];
+        assert_eq!(items.par_iter().count(), 37);
+    }
+
+    #[test]
+    fn single_thread_width_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<u32> =
+            pool.install(|| vec![3u32, 1, 2].into_par_iter().map(|x| x + 10).collect());
+        assert_eq!(out, vec![13, 11, 12]);
+    }
+}
