@@ -17,18 +17,23 @@
 //! * [`exhaustive`] provides a provably optimal branch-and-bound search for
 //!   tiny instances, used to validate the GA and S-CORE;
 //! * [`reduction`] implements the paper's appendix — the Graph-Partitioning
-//!   → OVMA NP-completeness reduction — as executable, tested code.
+//!   → OVMA NP-completeness reduction — as executable, tested code;
+//! * [`forecast`] runs the centralized baselines on the *predicted* TM
+//!   (`score_traffic::predicted_traffic`), mirroring the token ring's
+//!   forecast-aware decision pipeline.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod exhaustive;
+pub mod forecast;
 pub mod ga;
 pub mod placement;
 pub mod reduction;
 pub mod remedy;
 
 pub use exhaustive::{exhaustive_optimal, ExhaustiveResult, MAX_STATES};
+pub use forecast::remedy_on_forecast;
 pub use ga::{GaConfig, GaResult, GeneticOptimizer};
 pub use placement::{
     packed_placement, random_placement, respects_slots, shuffled_packed_placement,

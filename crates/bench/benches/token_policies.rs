@@ -2,7 +2,7 @@
 //! both paper policies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use score_core::{HighestLevelFirst, LocalView, RoundRobin, Token, TokenPolicy};
+use score_core::{HighestLevelFirst, LocalView, RoundRobin, Token, TokenPolicy, TrafficOutlook};
 use score_topology::{Level, ServerId, VmId};
 
 fn synthetic_view(vm: VmId, peers: usize) -> LocalView {
@@ -35,16 +35,16 @@ fn bench_token(c: &mut Criterion) {
             b.iter(|| Token::decode(&wire).unwrap())
         });
 
-        let view = synthetic_view(VmId::new(0), 8);
+        let outlook = TrafficOutlook::reactive(synthetic_view(VmId::new(0), 8));
         group.bench_with_input(BenchmarkId::new("rr_next", n), &n, |b, _| {
             let mut policy = RoundRobin::new();
             let mut t = token.clone();
-            b.iter(|| policy.next_holder(&mut t, VmId::new(0), &view))
+            b.iter(|| policy.next_holder(&mut t, VmId::new(0), &outlook))
         });
         group.bench_with_input(BenchmarkId::new("hlf_next", n), &n, |b, _| {
             let mut policy = HighestLevelFirst::new();
             let mut t = token.clone();
-            b.iter(|| policy.next_holder(&mut t, VmId::new(0), &view))
+            b.iter(|| policy.next_holder(&mut t, VmId::new(0), &outlook))
         });
     }
     group.finish();

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
+use crate::outlook::{OutlookContext, TrafficOutlook};
 use crate::view::LocalView;
 
 /// Tunables of the S-CORE migration decision.
@@ -72,8 +73,20 @@ pub struct MigrationDecision {
     pub vm: VmId,
     /// Chosen target server, if the Theorem-1 condition was met.
     pub target: Option<ServerId>,
-    /// `ΔC` of the chosen target (0.0 when no move).
+    /// `ΔC` of the chosen target under the *current* TM (0.0 when no
+    /// move). This is the quantity the cost ledger absorbs — for a
+    /// pre-emptive move it can be at or below `c_m` (even negative):
+    /// the payoff is expected at the horizon, not now.
     pub gain: f64,
+    /// `ΔC` of the chosen target under the outlook's *expected* rates —
+    /// what the decision was actually ranked on. Equals `gain` for
+    /// reactive (no-forecast) decisions.
+    pub predicted_gain: f64,
+    /// True when the move was accepted on forecasted rates alone, i.e.
+    /// the current-TM gain would not have cleared Theorem 1 — the
+    /// migration pre-empts a predicted shift instead of reacting to a
+    /// landed one.
+    pub preemptive: bool,
     /// Candidate servers evaluated.
     pub evaluated: usize,
     /// Candidates rejected by the capacity/bandwidth probe.
@@ -125,13 +138,47 @@ impl ScoreEngine {
     }
 
     /// Makes the migration decision for the holder described by `view`,
-    /// without mutating anything.
+    /// without mutating anything — the reactive (current-TM) pipeline.
     ///
     /// Candidates are the servers hosting the holder's peers, in descending
     /// communication-level order; each is capacity-probed; among the
     /// feasible ones the largest `ΔC` wins, provided it exceeds `c_m`.
     pub fn decide(&self, view: &LocalView, cluster: &Cluster) -> MigrationDecision {
-        let mut candidates = view.candidate_servers();
+        self.decide_scored(view, None, cluster)
+    }
+
+    /// Makes the migration decision for an outlook, without mutating
+    /// anything — the one decision procedure every pipeline step runs.
+    ///
+    /// Candidates come from the outlook's *decision view* (the current
+    /// view for reactive outlooks, the forecast-re-rated view
+    /// otherwise), ranked "from highest to lowest communication levels"
+    /// with ties towards heavier *expected* pairs. Each is
+    /// capacity-probed against the live cluster; among the feasible
+    /// ones the largest expected `ΔC` wins, provided it exceeds `c_m`.
+    ///
+    /// For a reactive outlook this is bit-for-bit the paper's §V-B5
+    /// procedure. With a forecast, selection and acceptance run on
+    /// expected rates while `MigrationDecision::gain` still reports the
+    /// current-TM delta of the chosen move (what the cost ledger must
+    /// absorb); `preemptive` flags moves only the forecast justified.
+    pub fn decide_outlook(&self, outlook: &TrafficOutlook, cluster: &Cluster) -> MigrationDecision {
+        let decision_view = outlook.decision_view();
+        let current = outlook.has_forecast().then(|| outlook.view());
+        self.decide_scored(&decision_view, current, cluster)
+    }
+
+    /// The §V-B5 core over the scoring view. `current` is `Some` when
+    /// `decision_view` carries forecasted rates — it then supplies the
+    /// actual current-TM gain and the pre-emptive flag; `None` is the
+    /// reactive path (scoring view *is* the current view, no copies).
+    fn decide_scored(
+        &self,
+        decision_view: &LocalView,
+        current: Option<&LocalView>,
+        cluster: &Cluster,
+    ) -> MigrationDecision {
+        let mut candidates = decision_view.candidate_servers();
         if let Some(cap) = self.config.max_candidates {
             candidates.truncate(cap);
         }
@@ -141,42 +188,72 @@ impl ScoreEngine {
         for target in candidates {
             evaluated += 1;
             if cluster
-                .can_host(target, view.vm, self.config.bandwidth_threshold)
+                .can_host(target, decision_view.vm, self.config.bandwidth_threshold)
                 .is_err()
             {
                 rejected += 1;
                 continue;
             }
-            let delta = view.delta_for(target, self.cost.weights(), cluster.topo());
+            let delta = decision_view.delta_for(target, self.cost.weights(), cluster.topo());
             if delta > self.config.migration_cost && best.is_none_or(|(_, b)| delta > b) {
                 best = Some((target, delta));
             }
         }
+        let (gain, preemptive) = match (best, current) {
+            (Some((target, _)), Some(view)) => {
+                // The ledger needs the *actual* delta of the accepted
+                // move; whether the current TM alone would have
+                // justified it decides pre-emptive vs reactive.
+                let actual = view.delta_for(target, self.cost.weights(), cluster.topo());
+                (actual, actual <= self.config.migration_cost)
+            }
+            (Some((_, predicted)), None) => (predicted, false),
+            (None, _) => (0.0, false),
+        };
         MigrationDecision {
-            vm: view.vm,
+            vm: decision_view.vm,
             target: best.map(|(s, _)| s),
-            gain: best.map_or(0.0, |(_, g)| g),
+            gain,
+            predicted_gain: best.map_or(0.0, |(_, g)| g),
+            preemptive,
             evaluated,
             rejected_capacity: rejected,
         }
     }
 
     /// Observes, decides, and applies the migration if warranted. Returns
-    /// the decision and the (pre-migration) local view.
+    /// the decision and the (pre-migration) local view — the reactive
+    /// pipeline ([`ScoreEngine::step_outlook`] with a reactive context).
     pub fn step(
         &self,
         u: VmId,
         cluster: &mut Cluster,
         traffic: &PairTraffic,
     ) -> (MigrationDecision, LocalView) {
+        let (decision, outlook) =
+            self.step_outlook(u, cluster, traffic, &OutlookContext::reactive());
+        (decision, outlook.into_view())
+    }
+
+    /// Observes, wraps the view into the context's outlook, decides, and
+    /// applies the migration if warranted. Returns the decision and the
+    /// (pre-migration) outlook.
+    pub fn step_outlook(
+        &self,
+        u: VmId,
+        cluster: &mut Cluster,
+        traffic: &PairTraffic,
+        ctx: &OutlookContext<'_>,
+    ) -> (MigrationDecision, TrafficOutlook) {
         let view = LocalView::observe(u, cluster.allocation(), traffic, cluster.topo());
-        let decision = self.decide(&view, cluster);
+        let outlook = ctx.outlook_for(view);
+        let decision = self.decide_outlook(&outlook, cluster);
         if let Some(target) = decision.target {
             cluster
                 .migrate(u, target, self.config.bandwidth_threshold)
-                .expect("decide() validated admission for the chosen target");
+                .expect("decide_outlook() validated admission for the chosen target");
         }
-        (decision, view)
+        (decision, outlook)
     }
 }
 

@@ -24,8 +24,10 @@
 //! * [`token`] — the 5-byte-per-entry migration token of §V-B2;
 //! * [`policy`] — Round-Robin and Highest-Level-First (Algorithm 1) token
 //!   policies;
-//! * [`view`] — the holder's local knowledge ([`LocalView`]), the only
-//!   input the decision engine is allowed to read;
+//! * [`view`] — the holder's local knowledge ([`LocalView`]);
+//! * [`outlook`] — [`TrafficOutlook`], the decision input proper: the
+//!   local view plus an optional short-horizon per-peer rate forecast
+//!   (reactive outlooks reproduce the paper pipeline bit for bit);
 //! * [`engine`] — the §V-B5 decision procedure (rank peers, probe
 //!   capacity, apply Theorem 1);
 //! * [`ring`] — iteration driver producing the paper's per-iteration
@@ -78,6 +80,7 @@ pub mod cost;
 pub mod engine;
 pub mod ledger;
 pub mod netload;
+pub mod outlook;
 pub mod policy;
 pub mod resources;
 pub mod ring;
@@ -90,7 +93,10 @@ pub use cost::{level_breakdown, CostModel};
 pub use engine::{MigrationDecision, ScoreConfig, ScoreEngine};
 pub use ledger::CostLedger;
 pub use netload::LinkLoadMap;
-pub use policy::{HighestCostFirst, HighestLevelFirst, RandomNext, RoundRobin, TokenPolicy};
+pub use outlook::{OutlookContext, TrafficOutlook};
+pub use policy::{
+    ForecastCostFirst, HighestCostFirst, HighestLevelFirst, RandomNext, RoundRobin, TokenPolicy,
+};
 pub use resources::{AdmissionError, CapacityReport, ServerSpec, ServerUsage, VmSpec};
 pub use ring::{IterationStats, StepOutcome, TokenRing};
 pub use token::{Token, TokenCodecError, TokenEntry};

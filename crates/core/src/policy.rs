@@ -10,22 +10,33 @@ use rand::{Rng, SeedableRng};
 use score_topology::{Level, VmId};
 use std::fmt;
 
+use crate::outlook::TrafficOutlook;
 use crate::token::Token;
-use crate::view::LocalView;
 
 /// A token-passing policy.
 ///
 /// `next_holder` is invoked while `holder` still owns the token, *after*
-/// its migration decision; `view` reflects the holder's post-decision local
-/// state. Implementations may update the token's level entries (HLF does,
-/// RR does not need to). Returning `None` means no next holder exists
-/// (empty or singleton token).
+/// its migration decision; `outlook` carries the holder's post-decision
+/// [`crate::LocalView`] plus, when the pipeline forecasts, the predicted
+/// per-peer rates at the lookahead horizon. Implementations may update
+/// the token's level entries (HLF does, RR does not need to). Returning
+/// `None` means no next holder exists (empty or singleton token).
+///
+/// Reactive outlooks ([`TrafficOutlook::reactive`]) carry no forecast;
+/// policies that only read `outlook.view()` behave exactly as they did
+/// before the outlook existed — the compatibility invariant the
+/// forecast refactor preserves bit for bit.
 pub trait TokenPolicy: fmt::Debug + Send {
     /// Short policy name for logs and CSV columns (e.g. `"rr"`, `"hlf"`).
     fn name(&self) -> &'static str;
 
     /// Picks the next token holder and updates token state.
-    fn next_holder(&mut self, token: &mut Token, holder: VmId, view: &LocalView) -> Option<VmId>;
+    fn next_holder(
+        &mut self,
+        token: &mut Token,
+        holder: VmId,
+        outlook: &TrafficOutlook,
+    ) -> Option<VmId>;
 
     /// Discards any policy-internal state (visit sets, estimates) — called
     /// when a lost token is regenerated and the distributed state restarts
@@ -38,8 +49,13 @@ impl<P: TokenPolicy + ?Sized> TokenPolicy for Box<P> {
         (**self).name()
     }
 
-    fn next_holder(&mut self, token: &mut Token, holder: VmId, view: &LocalView) -> Option<VmId> {
-        (**self).next_holder(token, holder, view)
+    fn next_holder(
+        &mut self,
+        token: &mut Token,
+        holder: VmId,
+        outlook: &TrafficOutlook,
+    ) -> Option<VmId> {
+        (**self).next_holder(token, holder, outlook)
     }
 
     fn reset(&mut self) {
@@ -65,7 +81,12 @@ impl TokenPolicy for RoundRobin {
         "rr"
     }
 
-    fn next_holder(&mut self, token: &mut Token, holder: VmId, _view: &LocalView) -> Option<VmId> {
+    fn next_holder(
+        &mut self,
+        token: &mut Token,
+        holder: VmId,
+        _outlook: &TrafficOutlook,
+    ) -> Option<VmId> {
         let next = token.next_after(holder)?;
         if next == holder {
             None
@@ -154,7 +175,13 @@ impl TokenPolicy for HighestLevelFirst {
         self.checked.clear();
     }
 
-    fn next_holder(&mut self, token: &mut Token, holder: VmId, view: &LocalView) -> Option<VmId> {
+    fn next_holder(
+        &mut self,
+        token: &mut Token,
+        holder: VmId,
+        outlook: &TrafficOutlook,
+    ) -> Option<VmId> {
+        let view = outlook.view();
         // Line 1 and the preceding text: the holder refreshes its own entry
         // (it knows ℓ_A(u) exactly) …
         token.set_level(holder, view.own_level());
@@ -199,41 +226,29 @@ impl TokenPolicy for HighestLevelFirst {
     }
 }
 
-/// Highest-Cost-First: prioritise VMs by their estimated *communication
-/// cost* contribution instead of their level.
-///
-/// One of the "number of distinct token passing policies" the paper's
-/// companion technical report (TR-2013-338) explores beyond RR and HLF: a
-/// VM at core level with negligible traffic matters less than one at
-/// aggregation level moving gigabits. The policy tracks per-VM cost
-/// estimates the same way HLF tracks levels — exact for VMs that held the
-/// token, partial (from observed pairs) for their peers — plus the same
-/// per-round checked set to guarantee coverage.
-#[derive(Debug, Clone)]
-pub struct HighestCostFirst {
-    weights: score_topology::LinkWeights,
+/// The shared mechanics of the cost-routed policies ([`HighestCostFirst`]
+/// and [`ForecastCostFirst`]): per-VM cost estimates tracked the same
+/// way HLF tracks levels — exact for VMs that held the token, partial
+/// (from observed pairs) for their peers — plus the per-round checked
+/// set that guarantees coverage. The two public policies differ *only*
+/// in which rate each pair is priced at (current vs expected), which is
+/// what keeps "fcf ≡ hcf under a reactive outlook" true by
+/// construction.
+#[derive(Debug, Clone, Default)]
+struct CostFirstCore {
     estimates: std::collections::HashMap<VmId, f64>,
     checked: std::collections::HashSet<VmId>,
 }
 
-impl HighestCostFirst {
-    /// Creates the policy with the cost weights used for estimates.
-    pub fn new(weights: score_topology::LinkWeights) -> Self {
-        HighestCostFirst {
-            weights,
-            estimates: std::collections::HashMap::new(),
-            checked: std::collections::HashSet::new(),
-        }
-    }
-
-    /// Creates the policy with the paper's default weights.
-    pub fn paper_default() -> Self {
-        HighestCostFirst::new(score_topology::LinkWeights::paper_default())
-    }
-
+impl CostFirstCore {
     /// The current cost estimate for a VM (0 when unobserved).
-    pub fn estimate(&self, vm: VmId) -> f64 {
+    fn estimate(&self, vm: VmId) -> f64 {
         self.estimates.get(&vm).copied().unwrap_or(0.0)
+    }
+
+    fn reset(&mut self) {
+        self.checked.clear();
+        self.estimates.clear();
     }
 
     /// Picks the unchecked VM (≠ `exclude`) with the highest estimate,
@@ -252,31 +267,33 @@ impl HighestCostFirst {
         }
         best.map(|(_, id)| id)
     }
-}
 
-impl TokenPolicy for HighestCostFirst {
-    fn name(&self) -> &'static str {
-        "hcf"
-    }
-
-    fn reset(&mut self) {
-        self.checked.clear();
-        self.estimates.clear();
-    }
-
-    fn next_holder(&mut self, token: &mut Token, holder: VmId, view: &LocalView) -> Option<VmId> {
+    /// One holder visit: refresh estimates (Eq. 1 with each pair priced
+    /// by `rate_of(peer_index)`), keep token levels fresh, mark the
+    /// holder checked, and pick the next holder — restarting the round
+    /// at the globally highest-estimate VM when everyone was checked.
+    fn next_holder(
+        &mut self,
+        weights: &score_topology::LinkWeights,
+        token: &mut Token,
+        holder: VmId,
+        outlook: &TrafficOutlook,
+        rate_of: impl Fn(&TrafficOutlook, usize) -> f64,
+    ) -> Option<VmId> {
+        let view = outlook.view();
         // Exact cost for the holder (Eq. 1 over its local view) …
         let own: f64 = 2.0
             * view
                 .peers
                 .iter()
-                .map(|p| p.rate * self.weights.prefix(p.level))
+                .enumerate()
+                .map(|(i, p)| rate_of(outlook, i) * weights.prefix(p.level))
                 .sum::<f64>();
         self.estimates.insert(holder, own);
         // … and a partial lower-bound estimate for each peer: the pair the
         // holder can see. Keep the max across observations.
-        for p in &view.peers {
-            let pair_cost = 2.0 * p.rate * self.weights.prefix(p.level);
+        for (i, p) in view.peers.iter().enumerate() {
+            let pair_cost = 2.0 * rate_of(outlook, i) * weights.prefix(p.level);
             let entry = self.estimates.entry(p.vm).or_insert(0.0);
             if *entry < pair_cost {
                 *entry = pair_cost;
@@ -301,6 +318,119 @@ impl TokenPolicy for HighestCostFirst {
     }
 }
 
+/// Highest-Cost-First: prioritise VMs by their estimated *communication
+/// cost* contribution instead of their level.
+///
+/// One of the "number of distinct token passing policies" the paper's
+/// companion technical report (TR-2013-338) explores beyond RR and HLF: a
+/// VM at core level with negligible traffic matters less than one at
+/// aggregation level moving gigabits. Pairs are priced at their
+/// *current* rates; see [`ForecastCostFirst`] for the variant priced at
+/// the outlook's expected rates.
+#[derive(Debug, Clone)]
+pub struct HighestCostFirst {
+    weights: score_topology::LinkWeights,
+    core: CostFirstCore,
+}
+
+impl HighestCostFirst {
+    /// Creates the policy with the cost weights used for estimates.
+    pub fn new(weights: score_topology::LinkWeights) -> Self {
+        HighestCostFirst {
+            weights,
+            core: CostFirstCore::default(),
+        }
+    }
+
+    /// Creates the policy with the paper's default weights.
+    pub fn paper_default() -> Self {
+        HighestCostFirst::new(score_topology::LinkWeights::paper_default())
+    }
+
+    /// The current cost estimate for a VM (0 when unobserved).
+    pub fn estimate(&self, vm: VmId) -> f64 {
+        self.core.estimate(vm)
+    }
+}
+
+impl TokenPolicy for HighestCostFirst {
+    fn name(&self) -> &'static str {
+        "hcf"
+    }
+
+    fn reset(&mut self) {
+        self.core.reset();
+    }
+
+    fn next_holder(
+        &mut self,
+        token: &mut Token,
+        holder: VmId,
+        outlook: &TrafficOutlook,
+    ) -> Option<VmId> {
+        self.core
+            .next_holder(&self.weights, token, holder, outlook, |o, i| {
+                o.view().peers[i].rate
+            })
+    }
+}
+
+/// Forecast-Cost-First: the forecast-aware variant of
+/// [`HighestCostFirst`] — prioritise VMs by the communication cost they
+/// are *expected* to incur at the outlook's horizon, so the token
+/// reaches tomorrow's elephants before their spike lands.
+///
+/// Same cost-first mechanics; only the pair pricing differs
+/// ([`TrafficOutlook::expected_rate`] instead of the current rate), so
+/// with a reactive outlook this is exactly [`HighestCostFirst`].
+#[derive(Debug, Clone)]
+pub struct ForecastCostFirst {
+    weights: score_topology::LinkWeights,
+    core: CostFirstCore,
+}
+
+impl ForecastCostFirst {
+    /// Creates the policy with the cost weights used for estimates.
+    pub fn new(weights: score_topology::LinkWeights) -> Self {
+        ForecastCostFirst {
+            weights,
+            core: CostFirstCore::default(),
+        }
+    }
+
+    /// Creates the policy with the paper's default weights.
+    pub fn paper_default() -> Self {
+        ForecastCostFirst::new(score_topology::LinkWeights::paper_default())
+    }
+
+    /// The current expected-cost estimate for a VM (0 when unobserved).
+    pub fn estimate(&self, vm: VmId) -> f64 {
+        self.core.estimate(vm)
+    }
+}
+
+impl TokenPolicy for ForecastCostFirst {
+    fn name(&self) -> &'static str {
+        "fcf"
+    }
+
+    fn reset(&mut self) {
+        self.core.reset();
+    }
+
+    fn next_holder(
+        &mut self,
+        token: &mut Token,
+        holder: VmId,
+        outlook: &TrafficOutlook,
+    ) -> Option<VmId> {
+        self.core
+            .next_holder(&self.weights, token, holder, outlook, |o, i| {
+                o.expected_rate(i)
+            })
+    }
+}
+
 /// Uniform-random next holder (ablation baseline; not in the paper).
 #[derive(Debug)]
 pub struct RandomNext {
@@ -321,7 +451,12 @@ impl TokenPolicy for RandomNext {
         "random"
     }
 
-    fn next_holder(&mut self, token: &mut Token, holder: VmId, _view: &LocalView) -> Option<VmId> {
+    fn next_holder(
+        &mut self,
+        token: &mut Token,
+        holder: VmId,
+        _outlook: &TrafficOutlook,
+    ) -> Option<VmId> {
         let entries = token.entries();
         let others: Vec<VmId> = entries
             .iter()
@@ -339,7 +474,14 @@ impl TokenPolicy for RandomNext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::view::LocalView;
     use score_topology::ServerId;
+
+    /// Wraps a view in a reactive outlook (what every pre-forecast test
+    /// exercised).
+    fn o(view: &LocalView) -> TrafficOutlook {
+        TrafficOutlook::reactive(view.clone())
+    }
 
     fn view_with_level(vm: VmId, own: Level, peers: Vec<(VmId, Level)>) -> LocalView {
         // Build a synthetic view: the engine fields not used by the
@@ -372,15 +514,15 @@ mod tests {
         let mut rr = RoundRobin::new();
         let v = view_with_level(VmId::new(2), Level::ZERO, vec![]);
         assert_eq!(
-            rr.next_holder(&mut token, VmId::new(2), &v),
+            rr.next_holder(&mut token, VmId::new(2), &o(&v)),
             Some(VmId::new(5))
         );
         assert_eq!(
-            rr.next_holder(&mut token, VmId::new(5), &v),
+            rr.next_holder(&mut token, VmId::new(5), &o(&v)),
             Some(VmId::new(9))
         );
         assert_eq!(
-            rr.next_holder(&mut token, VmId::new(9), &v),
+            rr.next_holder(&mut token, VmId::new(9), &o(&v)),
             Some(VmId::new(2))
         );
     }
@@ -390,7 +532,7 @@ mod tests {
         let mut token = Token::for_vms([VmId::new(4)]);
         let mut rr = RoundRobin::new();
         let v = view_with_level(VmId::new(4), Level::ZERO, vec![]);
-        assert_eq!(rr.next_holder(&mut token, VmId::new(4), &v), None);
+        assert_eq!(rr.next_holder(&mut token, VmId::new(4), &o(&v)), None);
     }
 
     #[test]
@@ -402,7 +544,7 @@ mod tests {
             Level::CORE,
             vec![(VmId::new(1), Level::AGGREGATION)],
         );
-        let _ = hlf.next_holder(&mut token, VmId::new(0), &v);
+        let _ = hlf.next_holder(&mut token, VmId::new(0), &o(&v));
         assert_eq!(token.level_of(VmId::new(0)), Some(Level::CORE));
         assert_eq!(token.level_of(VmId::new(1)), Some(Level::AGGREGATION));
         assert_eq!(token.level_of(VmId::new(2)), Some(Level::ZERO));
@@ -417,7 +559,7 @@ mod tests {
         // Holder 2 at core level: scan starts after 2, finds 3 before 1.
         let v = view_with_level(VmId::new(2), Level::CORE, vec![]);
         assert_eq!(
-            hlf.next_holder(&mut token, VmId::new(2), &v),
+            hlf.next_holder(&mut token, VmId::new(2), &o(&v)),
             Some(VmId::new(3))
         );
     }
@@ -432,7 +574,7 @@ mod tests {
         // level and take the lowest id (1).
         let v = view_with_level(VmId::new(2), Level::AGGREGATION, vec![]);
         assert_eq!(
-            hlf.next_holder(&mut token, VmId::new(2), &v),
+            hlf.next_holder(&mut token, VmId::new(2), &o(&v)),
             Some(VmId::new(1))
         );
     }
@@ -454,7 +596,7 @@ mod tests {
         };
         let _ = v;
         assert_eq!(
-            hlf.next_holder(&mut token, VmId::new(0), &v0),
+            hlf.next_holder(&mut token, VmId::new(0), &o(&v0)),
             Some(VmId::new(1))
         );
     }
@@ -468,7 +610,7 @@ mod tests {
             server: ServerId::new(0),
             peers: vec![],
         };
-        assert_eq!(hlf.next_holder(&mut token, VmId::new(7), &v), None);
+        assert_eq!(hlf.next_holder(&mut token, VmId::new(7), &o(&v)), None);
     }
 
     #[test]
@@ -486,7 +628,7 @@ mod tests {
             // Holders report their stored level as their true level.
             let own = token.level_of(holder).unwrap();
             let v = view_with_level(holder, own, vec![]);
-            match hlf.next_holder(&mut token, holder, &v) {
+            match hlf.next_holder(&mut token, holder, &o(&v)) {
                 Some(next) => holder = next,
                 None => break,
             }
@@ -507,14 +649,14 @@ mod tests {
             peers: vec![],
         };
         assert_eq!(
-            hlf.next_holder(&mut token, VmId::new(0), &v0),
+            hlf.next_holder(&mut token, VmId::new(0), &o(&v0)),
             Some(VmId::new(1))
         );
         let v1 = view_with_level(VmId::new(1), Level::CORE, vec![]);
         // Round over: restart. Max level is 1's own CORE, but 1 is the
         // holder, so 0 gets it.
         assert_eq!(
-            hlf.next_holder(&mut token, VmId::new(1), &v1),
+            hlf.next_holder(&mut token, VmId::new(1), &o(&v1)),
             Some(VmId::new(0))
         );
     }
@@ -530,7 +672,7 @@ mod tests {
         let picks: Vec<Option<VmId>> = {
             let mut p = RandomNext::new(9);
             (0..16)
-                .map(|_| p.next_holder(&mut token, VmId::new(0), &v))
+                .map(|_| p.next_holder(&mut token, VmId::new(0), &o(&v)))
                 .collect()
         };
         assert!(picks
@@ -538,7 +680,7 @@ mod tests {
             .all(|p| p.is_some() && p.unwrap() != VmId::new(0)));
         let mut p2 = RandomNext::new(9);
         let picks2: Vec<Option<VmId>> = (0..16)
-            .map(|_| p2.next_holder(&mut token, VmId::new(0), &v))
+            .map(|_| p2.next_holder(&mut token, VmId::new(0), &o(&v)))
             .collect();
         assert_eq!(picks, picks2, "seeded policy must be deterministic");
     }
@@ -575,7 +717,7 @@ mod tests {
                 },
             ],
         };
-        let next = hcf.next_holder(&mut token, VmId::new(0), &view);
+        let next = hcf.next_holder(&mut token, VmId::new(0), &o(&view));
         assert_eq!(next, Some(VmId::new(2)));
         assert!(hcf.estimate(VmId::new(2)) > hcf.estimate(VmId::new(1)));
         // The holder's own (exact) estimate covers both pairs.
@@ -595,7 +737,7 @@ mod tests {
                 server: ServerId::new(0),
                 peers: vec![],
             };
-            match hcf.next_holder(&mut token, holder, &view) {
+            match hcf.next_holder(&mut token, holder, &o(&view)) {
                 Some(next) => holder = next,
                 None => break,
             }
@@ -612,6 +754,6 @@ mod tests {
             server: ServerId::new(0),
             peers: vec![],
         };
-        assert_eq!(hcf.next_holder(&mut token, VmId::new(3), &view), None);
+        assert_eq!(hcf.next_holder(&mut token, VmId::new(3), &o(&view)), None);
     }
 }

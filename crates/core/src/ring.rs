@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::cluster::Cluster;
 use crate::engine::{MigrationDecision, ScoreEngine};
 use crate::ledger::CostLedger;
+use crate::outlook::OutlookContext;
 use crate::policy::TokenPolicy;
 use crate::token::Token;
 use crate::view::LocalView;
@@ -171,17 +172,41 @@ impl TokenRing {
 
     /// Performs one token-holder step: decide, migrate if warranted, pass
     /// the token. Returns `None` when no holder remains.
+    ///
+    /// This is the reactive pipeline — [`TokenRing::step_outlook`] with
+    /// a no-forecast context.
     pub fn step(&mut self, cluster: &mut Cluster, traffic: &PairTraffic) -> Option<StepOutcome> {
+        self.step_outlook(cluster, traffic, &OutlookContext::reactive())
+    }
+
+    /// Performs one token-holder step with the given outlook context:
+    /// both the migration decision and the next-holder choice consume a
+    /// `TrafficOutlook` built by `ctx` (the holder's local view plus,
+    /// when the context forecasts, the predicted per-peer rates at the
+    /// lookahead horizon).
+    ///
+    /// With [`OutlookContext::reactive`] this reproduces the paper
+    /// pipeline bit for bit; the context only ever *reads* its
+    /// forecaster, so stepping with one cannot dirty any ledger.
+    pub fn step_outlook(
+        &mut self,
+        cluster: &mut Cluster,
+        traffic: &PairTraffic,
+        ctx: &OutlookContext<'_>,
+    ) -> Option<StepOutcome> {
         let holder = self.holder?;
-        let (decision, pre_view) = self.engine.step(holder, cluster, traffic);
+        let (decision, pre_outlook) = self.engine.step_outlook(holder, cluster, traffic, ctx);
         // The policy sees the *post-migration* state: if the holder moved,
         // its levels (and those of its peers) changed.
         let post_view = LocalView::observe(holder, cluster.allocation(), traffic, cluster.topo());
-        let next = self.policy.next_holder(&mut self.token, holder, &post_view);
+        let post_outlook = ctx.outlook_for(post_view);
+        let next = self
+            .policy
+            .next_holder(&mut self.token, holder, &post_outlook);
         self.holder = next;
         Some(StepOutcome {
             holder,
-            source: pre_view.server,
+            source: pre_outlook.view().server,
             decision,
             next,
         })
@@ -196,7 +221,22 @@ impl TokenRing {
         traffic: &PairTraffic,
         ledger: &mut CostLedger,
     ) -> Option<StepOutcome> {
-        let outcome = self.step(cluster, traffic)?;
+        self.step_ledgered_outlook(cluster, traffic, ledger, &OutlookContext::reactive())
+    }
+
+    /// Like [`TokenRing::step_outlook`], but folds the step's applied
+    /// cost delta into `ledger`. For a pre-emptive migration the
+    /// decision's `gain` is its *current-TM* delta (possibly ≤ 0), so
+    /// the ledger stays exact even when the move only pays off at the
+    /// forecast horizon.
+    pub fn step_ledgered_outlook(
+        &mut self,
+        cluster: &mut Cluster,
+        traffic: &PairTraffic,
+        ledger: &mut CostLedger,
+        ctx: &OutlookContext<'_>,
+    ) -> Option<StepOutcome> {
+        let outcome = self.step_outlook(cluster, traffic, ctx)?;
         ledger.apply_gain(outcome.decision.gain);
         Some(outcome)
     }

@@ -133,6 +133,36 @@ impl LocalView {
         self.peers.iter().map(|p| p.rate).sum()
     }
 
+    /// The current rate towards one peer (0 for non-peers).
+    pub fn rate_to(&self, vm: VmId) -> f64 {
+        self.peers
+            .iter()
+            .find(|p| p.vm == vm)
+            .map_or(0.0, |p| p.rate)
+    }
+
+    /// A copy of the view with every peer's rate replaced
+    /// (index-aligned) — how a `TrafficOutlook` materializes its
+    /// *forecasted* decision view: same peers, same locations and
+    /// levels, predicted rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is not aligned with the peer list.
+    pub fn with_rates(&self, rates: &[f64]) -> LocalView {
+        assert_eq!(rates.len(), self.peers.len(), "rates must cover every peer");
+        LocalView {
+            vm: self.vm,
+            server: self.server,
+            peers: self
+                .peers
+                .iter()
+                .zip(rates)
+                .map(|(p, &rate)| PeerInfo { rate, ..*p })
+                .collect(),
+        }
+    }
+
     /// Peer levels as `(vm, level)` pairs — what the HLF token policy
     /// needs to refresh token entries.
     pub fn peer_levels(&self) -> Vec<(VmId, Level)> {
@@ -169,6 +199,8 @@ mod tests {
         assert_eq!(view.peers[2].level, Level::CORE);
         assert_eq!(view.own_level(), Level::CORE);
         assert_eq!(view.total_rate(), 16.0);
+        assert_eq!(view.rate_to(VmId::new(1)), 10.0);
+        assert_eq!(view.rate_to(VmId::new(9)), 0.0);
     }
 
     #[test]

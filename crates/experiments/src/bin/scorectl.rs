@@ -3,8 +3,9 @@
 //! ```text
 //! scorectl [--topology canonical|fattree|star] [--racks N] [--hosts-per-rack N]
 //!          [--k N] [--hosts N] [--vms-per-host F] [--intensity sparse|medium|dense]
-//!          [--policy rr|hlf|hcf|random|all|P1,P2,…] [--threads N]
+//!          [--policy rr|hlf|hcf|fcf|random|all|P1,P2,…] [--threads N]
 //!          [--cm F] [--t-end SECONDS]
+//!          [--horizon SECONDS] [--forecast none|ewma|oracle] [--alpha F]
 //!          [--seed N] [--csv FILE] [--json FILE]
 //!          [--scenario FILE] [--emit-scenario FILE]
 //! scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl]
@@ -31,7 +32,8 @@
 //! per-segment results and the in-place rebind statistics.
 
 use score_sim::{
-    series_to_csv, PolicyKind, Scenario, ScenarioMatrix, TopologySpec, TraceSpec, WorkloadSpec,
+    series_to_csv, ForecastSpec, PolicyKind, Scenario, ScenarioMatrix, TopologySpec, TraceSpec,
+    WorkloadSpec,
 };
 use score_trace::{ChurnShape, DiurnalShape, FlashCrowdShape, Trace};
 use score_traffic::TrafficIntensity;
@@ -55,6 +57,9 @@ struct Args {
     policies: Vec<PolicyKind>,
     threads: Option<usize>,
     cm: Option<f64>,
+    horizon: Option<f64>,
+    forecast: Option<String>,
+    alpha: Option<f64>,
     t_end_s: Option<f64>,
     seed: Option<u64>,
     csv: Option<String>,
@@ -112,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
                             "rr" => PolicyKind::RoundRobin,
                             "hlf" => PolicyKind::HighestLevelFirst,
                             "hcf" => PolicyKind::HighestCostFirst,
+                            "fcf" => PolicyKind::ForecastCostFirst,
                             "random" => PolicyKind::Random,
                             other => return Err(format!("unknown policy {other:?}")),
                         };
@@ -133,6 +139,11 @@ fn parse_args() -> Result<Args, String> {
                 args.num_vms = Some(value("--num-vms")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--cm" => args.cm = Some(value("--cm")?.parse().map_err(|e| format!("{e}"))?),
+            "--horizon" => {
+                args.horizon = Some(value("--horizon")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--forecast" => args.forecast = Some(value("--forecast")?),
+            "--alpha" => args.alpha = Some(value("--alpha")?.parse().map_err(|e| format!("{e}"))?),
             "--t-end" => {
                 args.t_end_s = Some(value("--t-end")?.parse().map_err(|e| format!("{e}"))?)
             }
@@ -153,9 +164,10 @@ fn usage() {
     eprintln!(
         "usage: scorectl [--topology canonical|fattree|star] [--racks N] \
          [--hosts-per-rack N] [--k N] [--hosts N] [--vms-per-host F] \
-         [--intensity sparse|medium|dense] [--policy rr|hlf|hcf|random|all|P1,P2,...] \
+         [--intensity sparse|medium|dense] [--policy rr|hlf|hcf|fcf|random|all|P1,P2,...] \
          [--threads N (policy sweeps; default all cores)] \
          [--cm F] [--t-end SECONDS] [--seed N] [--csv FILE] [--json FILE] \
+         [--horizon SECONDS] [--forecast none|ewma|oracle] [--alpha F] \
          [--scenario FILE] [--emit-scenario FILE]\n\
          \x20      scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl] \
          [--num-vms N] [--save-trace FILE.jsonl] [common flags]"
@@ -218,6 +230,68 @@ fn trace_workload(args: &Args) -> Result<WorkloadSpec, String> {
         other => return Err(format!("unknown trace shape {other:?}")),
     };
     Ok(WorkloadSpec::Trace { spec })
+}
+
+/// Builds the [`ForecastSpec`] the `--horizon`/`--forecast`/`--alpha`
+/// flags describe, *editing* the (possibly loaded) scenario's forecast:
+/// each omitted flag inherits from the scenario, so `--alpha 0.5` alone
+/// re-tunes an already-active EWMA and `--horizon 60` alone re-times the
+/// active estimator. `--horizon 0` is the reactive pipeline; a fresh
+/// estimator defaults to the exact trace oracle on trace workloads and
+/// the online EWMA otherwise.
+fn forecast_spec(scenario: &Scenario, args: &Args) -> Result<ForecastSpec, String> {
+    let current = scenario.forecast;
+    let horizon_s = args.horizon.unwrap_or_else(|| current.horizon_s());
+    if !(horizon_s.is_finite() && horizon_s >= 0.0) {
+        return Err(format!("--horizon must be non-negative, got {horizon_s}"));
+    }
+    if horizon_s == 0.0 {
+        if args.forecast.is_some() || args.alpha.is_some() {
+            return Err("--forecast/--alpha need --horizon SECONDS > 0                         (or a scenario with an active forecast)"
+                .into());
+        }
+        return Ok(ForecastSpec::None);
+    }
+    let is_trace = matches!(scenario.workload, WorkloadSpec::Trace { .. });
+    let kind = match args.forecast.as_deref() {
+        Some(k) => k,
+        None => match current {
+            ForecastSpec::Ewma { .. } => "ewma",
+            ForecastSpec::TraceOracle { .. } => "oracle",
+            ForecastSpec::None if is_trace => "oracle",
+            ForecastSpec::None => "ewma",
+        },
+    };
+    match kind {
+        "none" => {
+            if args.alpha.is_some() {
+                return Err("--alpha does not apply to --forecast none".into());
+            }
+            Ok(ForecastSpec::None)
+        }
+        "ewma" => {
+            let inherited = match current {
+                ForecastSpec::Ewma { alpha, .. } => alpha,
+                _ => 0.3,
+            };
+            Ok(ForecastSpec::Ewma {
+                alpha: args.alpha.unwrap_or(inherited),
+                horizon_s,
+            })
+        }
+        "oracle" => {
+            if args.alpha.is_some() {
+                return Err("--alpha does not apply to --forecast oracle".into());
+            }
+            if !is_trace {
+                return Err(
+                    "--forecast oracle needs a trace workload (use the trace subcommand)".into(),
+                );
+            }
+            Ok(ForecastSpec::TraceOracle { horizon_s })
+        }
+        other => Err(format!("unknown forecast estimator {other:?}")),
+    }
 }
 
 /// Applies the CLI flags on top of a base scenario. A dimension flag
@@ -370,6 +444,9 @@ fn apply_flags(mut scenario: Scenario, args: &Args) -> Result<Scenario, String> 
     if let Some(cm) = args.cm {
         scenario.engine = scenario.engine.with_migration_cost(cm);
     }
+    if args.horizon.is_some() || args.forecast.is_some() || args.alpha.is_some() {
+        scenario.forecast = forecast_spec(&scenario, args)?;
+    }
     if let Some(t) = args.t_end_s {
         scenario.timing.t_end_s = t;
     }
@@ -488,7 +565,7 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "scenario: {} | servers {} | VMs {} | {} workload | policy {} | cm {:.3e}",
+        "scenario: {} | servers {} | VMs {} | {} workload | policy {} | cm {:.3e} | forecast {}",
         session.topo().name(),
         session.topo().num_servers(),
         session.traffic().num_vms(),
@@ -498,6 +575,15 @@ fn main() -> ExitCode {
             .map_or("explicit", |i| i.name()),
         scenario.policy.name(),
         scenario.engine.score().migration_cost,
+        if scenario.forecast.is_active() {
+            format!(
+                "{} @ {:.0} s",
+                scenario.forecast.name(),
+                scenario.forecast.horizon_s()
+            )
+        } else {
+            "off".to_string()
+        },
     );
     if matches!(scenario.workload, WorkloadSpec::Trace { .. }) {
         return run_trace_session(session, &args);
@@ -602,21 +688,32 @@ fn run_trace_session(mut session: score_sim::Session, args: &Args) -> ExitCode {
     };
     let mut total_deltas = 0u64;
     let mut total_pairs = 0u64;
+    let mut preempted = 0u64;
+    let mut reactive = 0u64;
     for (i, report) in reports.iter().enumerate() {
         println!(
-            "segment {}: cost {:.4e} -> {:.4e} ({:>5.1}%) | {:>4} migrations | \
-             {:>4} deltas re-pricing {:>6} pairs ({:.1} µs/delta)",
+            "segment {}: cost {:.4e} -> {:.4e} ({:>5.1}%) | {:>4} migrations \
+             ({} pre-empted) | {:>4} deltas re-pricing {:>6} pairs ({:.1} µs/delta)",
             i + 1,
             report.initial_cost,
             report.final_cost,
             report.cost_reduction() * 100.0,
             report.migrations.len(),
+            report.forecast.preempted,
             report.trace.events_applied,
             report.trace.pairs_repriced,
             report.trace.mean_apply_ns() / 1e3,
         );
         total_deltas += report.trace.events_applied;
         total_pairs += report.trace.pairs_repriced;
+        preempted += report.forecast.preempted;
+        reactive += report.forecast.reactive;
+    }
+    if preempted + reactive > 0 {
+        println!(
+            "migrations: {} pre-empted (decided on forecasted rates) vs {} reactive",
+            preempted, reactive,
+        );
     }
     println!(
         "trace replay: {} segment(s), {} traffic deltas applied in place \

@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn all_policies_converge_to_similar_cost() {
         let (outcomes, summary) = run(false);
-        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes.len(), PolicyKind::all().len());
         for o in &outcomes {
             assert!(
                 o.final_fraction < 0.5,

@@ -17,7 +17,7 @@
 //! | `fig5a_flowtable_ops` | Fig. 5a — flow-table op timings |
 //! | `fig5b_migrated_bytes` | Fig. 5b — migrated-bytes distribution |
 //! | `fig5cd_migration_time_downtime` | Fig. 5c/5d — time & downtime vs load |
-//! | `ext_policy_comparison` | extension — all four token policies |
+//! | `ext_policy_comparison` | extension — every token policy |
 //! | `ext_weight_sensitivity` | extension — link-weight sweep |
 //! | `ext_oversubscription` | extension — ToR oversubscription sweep |
 //! | `ext_dynamic` | extension — policies under time-varying (trace) traffic |

@@ -5,8 +5,8 @@
 //!
 //! * [`spec`] — [`Scenario`]: a fully serde-round-trippable experiment
 //!   description (`TopologySpec` × `WorkloadSpec` × `PlacementSpec` ×
-//!   `PolicySpec` × `EngineSpec` × `TimingSpec`), with builder and paper
-//!   presets;
+//!   `PolicySpec` × `EngineSpec` × `ForecastSpec` × `TimingSpec`), with
+//!   builder and paper presets;
 //! * [`session`] — [`Session`]: the materialized cluster + token ring +
 //!   event clock, advanced with `step`/`run`/`run_to_horizon`; costs are
 //!   sampled from an incremental `CostLedger` in `O(1)`;
@@ -56,9 +56,12 @@ pub mod spec;
 pub use events::{EventQueue, SimEvent};
 pub use matrix::{MatrixCell, MatrixReport, MatrixRunner, RunLength, ScenarioMatrix};
 pub use metrics::{ascii_chart, jain_fairness, series_to_csv, UtilizationSnapshot};
-pub use report::{FlowTableOps, HypervisorStats, MigrationEvent, RunReport, TraceReplayStats};
+pub use report::{
+    FlowTableOps, ForecastStats, HypervisorStats, MigrationEvent, RunReport, TraceReplayStats,
+};
 pub use session::{Session, TrafficPhase};
 pub use spec::{
-    EngineSpec, PlacementSpec, PolicyKind, PolicySpec, ResourceSpec, Scenario, ScenarioBuilder,
-    ScenarioError, TimingSpec, TopologyKind, TopologySpec, TraceSpec, WorkloadSpec,
+    EngineSpec, ForecastSpec, PlacementSpec, PolicyKind, PolicySpec, ResourceSpec, Scenario,
+    ScenarioBuilder, ScenarioError, TimingSpec, TopologyKind, TopologySpec, TraceSpec,
+    WorkloadSpec,
 };

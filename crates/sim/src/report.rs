@@ -26,8 +26,13 @@ pub struct MigrationEvent {
     pub from: ServerId,
     /// Destination server.
     pub to: ServerId,
-    /// Lemma-3 gain of the move.
+    /// Lemma-3 gain of the move under the TM at decision time (what
+    /// the cost ledger absorbed; ≤ 0 for pre-emptive moves).
     pub gain: f64,
+    /// The gain the decision was ranked on — expected rates under the
+    /// outlook (equals `gain` for reactive decisions). The per-move
+    /// predicted-vs-actual spread is the forecaster's scorecard.
+    pub predicted_gain: f64,
     /// Bytes moved by pre-copy.
     pub bytes: f64,
     /// Total migration duration in seconds.
@@ -104,6 +109,32 @@ impl TraceReplayStats {
     }
 }
 
+/// Pre-empted-vs-reactive migration counts under a forecasting
+/// pipeline: a *pre-emptive* migration cleared Theorem 1 only on the
+/// outlook's predicted rates (the current TM alone would not have
+/// justified it — the move anticipates a shift instead of chasing one);
+/// a *reactive* migration cleared it on current rates. Without an
+/// active `ForecastSpec` every migration is reactive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForecastStats {
+    /// Migrations justified by the forecast alone.
+    pub preempted: u64,
+    /// Migrations the current TM already justified.
+    pub reactive: u64,
+}
+
+impl ForecastStats {
+    /// Fraction of migrations that were pre-emptive (0 when none ran).
+    pub fn preempted_ratio(&self) -> f64 {
+        let total = self.preempted + self.reactive;
+        if total == 0 {
+            0.0
+        } else {
+            self.preempted as f64 / total as f64
+        }
+    }
+}
+
 /// Unified result of one [`crate::Session`] run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -138,6 +169,9 @@ pub struct RunReport {
     pub flow_table: FlowTableOps,
     /// Trace-replay bookkeeping (all zeros for static workloads).
     pub trace: TraceReplayStats,
+    /// Pre-empted-vs-reactive migration counts (all migrations are
+    /// reactive without an active forecast).
+    pub forecast: ForecastStats,
 }
 
 impl RunReport {
@@ -255,6 +289,7 @@ mod tests {
                     from: ServerId::new(0),
                     to: ServerId::new(1),
                     gain: 20.0,
+                    predicted_gain: 20.0,
                     bytes: 1e8,
                     duration_s: 3.0,
                     downtime_s: 0.01,
@@ -265,6 +300,7 @@ mod tests {
                     from: ServerId::new(1),
                     to: ServerId::new(2),
                     gain: 30.0,
+                    predicted_gain: 35.0,
                     bytes: 2e8,
                     duration_s: 4.0,
                     downtime_s: 0.02,
@@ -288,7 +324,17 @@ mod tests {
                 rule_updates: 4,
             },
             trace: TraceReplayStats::default(),
+            forecast: ForecastStats {
+                preempted: 1,
+                reactive: 1,
+            },
         }
+    }
+
+    #[test]
+    fn forecast_stats_ratio() {
+        assert_eq!(sample_report().forecast.preempted_ratio(), 0.5);
+        assert_eq!(ForecastStats::default().preempted_ratio(), 0.0);
     }
 
     #[test]

@@ -12,20 +12,66 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use score_core::{
-    Cluster, CostLedger, CostModel, IterationStats, ScoreEngine, StepOutcome, TokenRing,
+    Cluster, CostLedger, CostModel, IterationStats, OutlookContext, ScoreEngine, StepOutcome,
+    TokenRing,
 };
 use score_topology::{Topology, VmId};
-use score_trace::{CompiledTrace, DeltaBatch, TraceSegment};
-use score_traffic::{CbrLoad, PairTraffic};
+use score_trace::{
+    CompiledTrace, DeltaBatch, OracleForecaster, Trace, TraceRecorder, TraceSegment,
+};
+use score_traffic::{CbrLoad, EwmaForecaster, PairTraffic, RateForecaster};
 use score_xen::PreCopyModel;
 
 use crate::events::{EventQueue, SimEvent};
 use crate::metrics::UtilizationSnapshot;
-use crate::report::{FlowTableOps, MigrationEvent, RunReport, TraceReplayStats};
-use crate::spec::{Scenario, ScenarioError};
+use crate::report::{FlowTableOps, ForecastStats, MigrationEvent, RunReport, TraceReplayStats};
+use crate::spec::{ForecastSpec, Scenario, ScenarioError, WorkloadSpec};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The session-owned forecaster: one of the two `RateForecaster`
+/// implementations, kept as a concrete enum so the trace-driven variant
+/// can be fed compiled segments (the trait has no lookahead-loading
+/// surface — measurement-driven forecasters have nothing to load).
+#[derive(Debug)]
+enum SessionForecaster {
+    /// Online EWMA linear-trend estimation over applied deltas.
+    Ewma(EwmaForecaster),
+    /// Exact lookahead into the compiled trace delta stream.
+    Oracle(OracleForecaster),
+}
+
+impl SessionForecaster {
+    fn as_dyn(&self) -> &dyn RateForecaster {
+        match self {
+            SessionForecaster::Ewma(f) => f,
+            SessionForecaster::Oracle(f) => f,
+        }
+    }
+
+    fn prime(&mut self, traffic: &PairTraffic, now_s: f64) {
+        match self {
+            SessionForecaster::Ewma(f) => f.prime(traffic, now_s),
+            SessionForecaster::Oracle(f) => f.prime(traffic, now_s),
+        }
+    }
+
+    fn observe_updates(&mut self, updates: &[(VmId, VmId, f64)], now_s: f64) {
+        match self {
+            SessionForecaster::Ewma(f) => f.observe_updates(updates, now_s),
+            SessionForecaster::Oracle(f) => f.observe_updates(updates, now_s),
+        }
+    }
+
+    /// Hands a freshly bound trace segment to the oracle's lookahead
+    /// index (no-op for measurement-driven forecasters).
+    fn load_segment(&mut self, segment: &TraceSegment) {
+        if let SessionForecaster::Oracle(f) = self {
+            f.load_segment(segment);
+        }
+    }
+}
 
 /// One phase of a dynamic workload: a traffic pattern active for a
 /// duration.
@@ -77,6 +123,20 @@ pub struct Session {
     segment_index: u64,
     /// Rebind bookkeeping for the current segment's report.
     trace_stats: TraceReplayStats,
+    /// The short-horizon rate forecaster feeding every decision
+    /// outlook (`None` = reactive pipeline).
+    forecaster: Option<SessionForecaster>,
+    /// Lookahead horizon in seconds (0 when reactive).
+    forecast_horizon_s: f64,
+    /// Pre-empted-vs-reactive migration counts for the current report.
+    forecast_stats: ForecastStats,
+    /// Captures applied TM deltas back into a replayable trace when
+    /// recording is on.
+    recorder: Option<TraceRecorder>,
+    /// Recording clock: simulated seconds elapsed before the current
+    /// segment/phase (the event clock restarts per rebind; the
+    /// recorder's must not).
+    recorder_offset_s: f64,
 }
 
 impl Session {
@@ -121,6 +181,14 @@ impl Session {
     ) -> Result<Self, ScenarioError> {
         scenario.timing.validate()?;
         scenario.engine.validate()?;
+        scenario.forecast.validate()?;
+        if matches!(scenario.forecast, ForecastSpec::TraceOracle { .. })
+            && !matches!(scenario.workload, WorkloadSpec::Trace { .. })
+        {
+            return Err(ScenarioError::Engine(
+                "the trace-oracle forecast needs a trace workload to read ahead into".into(),
+            ));
+        }
         scenario.resources.validate(traffic.num_vms())?;
         let server_spec = scenario.resources.server;
         let capacity = topo.num_servers() as u64 * u64::from(server_spec.vm_slots);
@@ -158,6 +226,27 @@ impl Session {
         let ledger = model.ledger(cluster.allocation(), &traffic, cluster.topo());
         let initial_cost = ledger.current();
 
+        // An inactive spec (None or zero horizon) builds no forecaster
+        // at all — the bit-compatibility contract, not an optimization.
+        let forecast_horizon_s = scenario.forecast.horizon_s();
+        let forecaster = match scenario.forecast {
+            _ if !scenario.forecast.is_active() => None,
+            ForecastSpec::Ewma { alpha, .. } => {
+                let mut f = EwmaForecaster::new(alpha);
+                f.prime(&traffic, 0.0);
+                Some(SessionForecaster::Ewma(f))
+            }
+            ForecastSpec::TraceOracle { .. } => {
+                let mut f = OracleForecaster::new();
+                match segment {
+                    Some(seg) => f.load_segment(seg),
+                    None => f.prime(&traffic, 0.0),
+                }
+                Some(SessionForecaster::Oracle(f))
+            }
+            ForecastSpec::None => unreachable!("None is never active"),
+        };
+
         let mut session = Session {
             horizon_s: segment.map_or(scenario.timing.t_end_s, |s| s.duration_s),
             scenario,
@@ -187,6 +276,11 @@ impl Session {
             trace_segments: VecDeque::new(),
             segment_index: 0,
             trace_stats: TraceReplayStats::default(),
+            forecaster,
+            forecast_horizon_s,
+            forecast_stats: ForecastStats::default(),
+            recorder: None,
+            recorder_offset_s: 0.0,
         };
         session.prime_queue();
         if let Some(seg) = segment {
@@ -348,15 +442,31 @@ impl Session {
                 }
                 SimEvent::TokenArrive { vm: _ } => {
                     self.freshen_ledger();
-                    let Some(outcome) =
-                        self.ring
-                            .step_ledgered(&mut self.cluster, &self.traffic, &mut self.ledger)
-                    else {
+                    // Every decision flows through an outlook; without a
+                    // forecaster it is the reactive one and this is the
+                    // paper pipeline, bit for bit. Building the outlook
+                    // only *reads* the forecaster — the ledger cannot be
+                    // dirtied from here.
+                    let ctx = match &self.forecaster {
+                        Some(f) => OutlookContext::forecast(f.as_dyn(), t, self.forecast_horizon_s),
+                        None => OutlookContext::reactive(),
+                    };
+                    let Some(outcome) = self.ring.step_ledgered_outlook(
+                        &mut self.cluster,
+                        &self.traffic,
+                        &mut self.ledger,
+                        &ctx,
+                    ) else {
                         continue;
                     };
                     self.token_holds += 1;
                     self.current_iter.steps += 1;
                     if let Some(target) = outcome.decision.target {
+                        if outcome.decision.preemptive {
+                            self.forecast_stats.preempted += 1;
+                        } else {
+                            self.forecast_stats.reactive += 1;
+                        }
                         let sample = self.precopy.migrate(self.background, &mut self.rng);
                         self.migrations.push(MigrationEvent {
                             time_s: t,
@@ -364,6 +474,7 @@ impl Session {
                             from: outcome.source,
                             to: target,
                             gain: outcome.decision.gain,
+                            predicted_gain: outcome.decision.predicted_gain,
                             bytes: sample.migrated_bytes,
                             duration_s: sample.total_time_s,
                             downtime_s: sample.downtime_s,
@@ -449,6 +560,7 @@ impl Session {
                 rule_updates: 2 * self.migrations.len() as u64,
             },
             trace: self.trace_stats,
+            forecast: self.forecast_stats,
         }
     }
 
@@ -470,7 +582,15 @@ impl Session {
         seed: u64,
     ) -> Result<(), ScenarioError> {
         self.cluster.rebind_traffic(&traffic)?;
+        // The recording clock keeps running across the rebind even
+        // though the event clock restarts; the wholesale re-rate is
+        // captured as a marker + per-pair deltas at the boundary.
+        let rebind_at_s = self.recorder_offset_s + self.queue.now_s();
         let old_traffic = std::mem::replace(&mut self.traffic, traffic);
+        if let Some(rec) = &mut self.recorder {
+            rec.record_rebind(rebind_at_s, "rebind", &old_traffic, &self.traffic);
+        }
+        self.recorder_offset_s = rebind_at_s;
         if self.ledger_dirty {
             self.freshen_ledger();
         } else {
@@ -480,6 +600,11 @@ impl Session {
                 &self.traffic,
                 self.cluster.topo(),
             );
+        }
+        // Forecaster state restarts with the segment, like ring and
+        // policy state do (the new clock starts at 0).
+        if let Some(f) = &mut self.forecaster {
+            f.prime(&self.traffic, 0.0);
         }
         let engine = ScoreEngine::new(self.model.clone(), self.scenario.engine.score());
         self.ring = TokenRing::with_boxed(
@@ -503,6 +628,7 @@ impl Session {
         self.token_holds = 0;
         self.pending_shifts.clear();
         self.trace_stats = TraceReplayStats::default();
+        self.forecast_stats = ForecastStats::default();
         self.prime_queue();
         Ok(())
     }
@@ -579,6 +705,21 @@ impl Session {
                 self.cluster.topo(),
             );
             self.traffic.apply_updates(&canon);
+            let now_s = self.queue.now_s();
+            // The forecaster observes exactly the stream the cluster
+            // absorbed — O(changed pairs), like everything else here.
+            if let Some(f) = &mut self.forecaster {
+                let observed: Vec<(VmId, VmId, f64)> =
+                    changes.iter().map(|&(u, v, _, new)| (u, v, new)).collect();
+                f.observe_updates(&observed, now_s);
+            }
+            if let Some(rec) = &mut self.recorder {
+                let recorded: Vec<(u32, u32, f64)> = changes
+                    .iter()
+                    .map(|&(u, v, _, new)| (u.get(), v.get(), new))
+                    .collect();
+                rec.record_updates(self.recorder_offset_s + now_s, &recorded);
+            }
         }
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.trace_stats.events_applied += 1;
@@ -595,9 +736,68 @@ impl Session {
     }
 
     /// Number of full-pass ledger resyncs paid so far — stays 0 when
-    /// every mid-run delta took the sparse O(changed-pairs) path.
+    /// every mid-run delta took the sparse O(changed-pairs) path (and
+    /// when forecasters read ahead: building outlooks never dirties the
+    /// ledger).
     pub fn ledger_resyncs(&self) -> u64 {
         self.ledger.resyncs()
+    }
+
+    /// True when decisions consume forecasted outlooks (an active
+    /// [`ForecastSpec`] materialized a forecaster).
+    pub fn forecasting(&self) -> bool {
+        self.forecaster.is_some()
+    }
+
+    /// Pre-empted-vs-reactive migration counts accumulated since the
+    /// last rebind (all-reactive without an active forecast).
+    pub fn forecast_stats(&self) -> ForecastStats {
+        self.forecast_stats
+    }
+
+    /// Starts capturing every applied TM delta into a replayable
+    /// [`Trace`] seeded with the *current* TM; the recording clock
+    /// starts at 0 now and keeps running across phase/segment rebinds
+    /// (each recorded as a marker + boundary re-rates). Restarting
+    /// recording discards the previous capture.
+    pub fn start_trace_recording(&mut self) {
+        self.recorder = Some(TraceRecorder::new(&self.traffic));
+        self.recorder_offset_s = -self.queue.now_s();
+    }
+
+    /// True while applied deltas are being captured.
+    pub fn recording_trace(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The recorder itself, for incremental JSONL streaming
+    /// ([`TraceRecorder::append_jsonl`]).
+    pub fn trace_recorder_mut(&mut self) -> Option<&mut TraceRecorder> {
+        self.recorder.as_mut()
+    }
+
+    /// Closes the active recording into a validated [`Trace`] lasting
+    /// until the current simulated instant. Recording continues; call
+    /// [`Session::stop_trace_recording`] to drop the recorder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Workload`] when nothing is recording or
+    /// no simulated time has elapsed yet (a zero-length trace cannot
+    /// exist).
+    pub fn recorded_trace(&self) -> Result<Trace, ScenarioError> {
+        let rec = self
+            .recorder
+            .as_ref()
+            .ok_or_else(|| ScenarioError::Workload("the session is not recording".into()))?;
+        rec.finish(self.recorder_offset_s + self.queue.now_s())
+            .map_err(|e| ScenarioError::Workload(format!("recorded trace is unusable: {e}")))
+    }
+
+    /// Stops recording, returning the recorder (with everything it
+    /// captured) to the caller.
+    pub fn stop_trace_recording(&mut self) -> Option<TraceRecorder> {
+        self.recorder.take()
     }
 
     /// Trace segments still queued behind the current one.
@@ -624,6 +824,11 @@ impl Session {
         let seed = self.scenario.seed.wrapping_add(self.segment_index);
         self.rebind_traffic(seg.initial.clone(), seg.duration_s, seed)?;
         self.load_shifts(&seg.shifts);
+        // The oracle reads ahead into the freshly bound segment
+        // (rebinding primed it on the segment's initial TM already).
+        if let Some(f) = &mut self.forecaster {
+            f.load_segment(&seg);
+        }
         Ok(true)
     }
 
@@ -682,7 +887,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{PolicyKind, Scenario, TimingSpec};
+    use crate::spec::{PolicyKind, Scenario, TimingSpec, TraceSpec};
     use score_traffic::{TrafficIntensity, WorkloadConfig};
 
     fn quick_scenario(policy: PolicyKind, seed: u64) -> Scenario {
@@ -1118,6 +1323,223 @@ mod tests {
         // And the run continues normally afterwards.
         session.run_to_horizon();
         assert!(session.report().final_cost <= session.report().initial_cost + 1e-9);
+    }
+
+    /// A small flash-crowd trace scenario (fast token timing so the
+    /// lookahead spans several iterations).
+    fn flash_scenario(forecast: crate::spec::ForecastSpec) -> Scenario {
+        use score_trace::FlashCrowdShape;
+        let mut scenario = quick_scenario(PolicyKind::HighestLevelFirst, 51);
+        scenario.workload = crate::spec::WorkloadSpec::Trace {
+            spec: TraceSpec::FlashCrowd {
+                num_vms: 64,
+                intensity: TrafficIntensity::Sparse,
+                seed: 51,
+                shape: FlashCrowdShape {
+                    spikes: 6,
+                    fanout: 4,
+                    surge_bps: 2e8,
+                    hold_s: 20.0,
+                    horizon_s: 120.0,
+                },
+            },
+        };
+        scenario.forecast = forecast;
+        scenario
+    }
+
+    #[test]
+    fn zero_horizon_forecast_is_bit_identical_to_none() {
+        use crate::spec::ForecastSpec;
+        // The compatibility invariant, at the session level: an
+        // inactive forecast spec (zero horizon) must reproduce the
+        // reactive pipeline's report byte for byte — for the online
+        // estimator on a static workload and the oracle on a trace.
+        let run = |forecast: ForecastSpec, trace: bool| {
+            let mut scenario = if trace {
+                flash_scenario(forecast)
+            } else {
+                let mut s = quick_scenario(PolicyKind::HighestCostFirst, 33);
+                s.forecast = forecast;
+                s
+            };
+            scenario.timing.t_end_s = 120.0;
+            let mut session = scenario.session().unwrap();
+            session.run_to_horizon();
+            let mut report = session.report();
+            // Wall-clock rebind latencies differ between any two runs.
+            report.trace.apply_ns_total = 0;
+            report.trace.apply_ns_max = 0;
+            report.to_json()
+        };
+        let reactive = run(ForecastSpec::None, false);
+        let zero_ewma = run(
+            ForecastSpec::Ewma {
+                alpha: 0.4,
+                horizon_s: 0.0,
+            },
+            false,
+        );
+        assert_eq!(reactive, zero_ewma);
+        let reactive_trace = run(ForecastSpec::None, true);
+        let zero_oracle = run(ForecastSpec::TraceOracle { horizon_s: 0.0 }, true);
+        assert_eq!(reactive_trace, zero_oracle);
+    }
+
+    #[test]
+    fn oracle_forecast_preempts_flash_crowds_and_keeps_the_ledger_exact() {
+        use crate::spec::ForecastSpec;
+        let mut session = flash_scenario(ForecastSpec::TraceOracle { horizon_s: 30.0 })
+            .session()
+            .unwrap();
+        assert!(session.forecasting());
+        session.run_to_horizon();
+        let report = session.report();
+        assert!(
+            report.forecast.preempted > 0,
+            "the oracle should act ahead of at least one spike"
+        );
+        assert_eq!(
+            report.forecast.preempted + report.forecast.reactive,
+            report.migrations.len() as u64
+        );
+        assert!(report.forecast.preempted_ratio() > 0.0);
+        // Reading ahead never dirties the ledger (regression guard for
+        // the outlook path) and the incrementally tracked cost still
+        // agrees with a fresh Eq.-(2) pass even though pre-emptive
+        // moves applied non-positive current-TM gains.
+        assert_eq!(session.ledger_resyncs(), 0);
+        let fresh = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        assert!(
+            (session.current_cost() - fresh).abs() <= 1e-9 * fresh.max(1.0),
+            "ledger {} vs fresh {fresh}",
+            session.current_cost()
+        );
+    }
+
+    #[test]
+    fn ewma_forecast_runs_on_time_varying_workloads() {
+        use crate::spec::ForecastSpec;
+        let mut session = flash_scenario(ForecastSpec::Ewma {
+            alpha: 0.5,
+            horizon_s: 20.0,
+        })
+        .session()
+        .unwrap();
+        session.run_to_horizon();
+        // The estimator must not corrupt anything; pre-emption is
+        // possible but not guaranteed for a trend model on square
+        // spikes.
+        assert_eq!(session.ledger_resyncs(), 0);
+        let report = session.report();
+        assert_eq!(
+            report.forecast.preempted + report.forecast.reactive,
+            report.migrations.len() as u64
+        );
+        let fresh = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        assert!((session.current_cost() - fresh).abs() <= 1e-9 * fresh.max(1.0));
+    }
+
+    #[test]
+    fn oracle_forecast_requires_a_trace_workload() {
+        use crate::spec::ForecastSpec;
+        let mut scenario = quick_scenario(PolicyKind::RoundRobin, 1);
+        scenario.forecast = ForecastSpec::TraceOracle { horizon_s: 10.0 };
+        assert!(matches!(scenario.session(), Err(ScenarioError::Engine(_))));
+        // Invalid forecast parameters are errors, not panics.
+        let mut scenario = quick_scenario(PolicyKind::RoundRobin, 1);
+        scenario.forecast = ForecastSpec::Ewma {
+            alpha: 1.5,
+            horizon_s: 10.0,
+        };
+        assert!(matches!(scenario.session(), Err(ScenarioError::Engine(_))));
+        let mut scenario = quick_scenario(PolicyKind::RoundRobin, 1);
+        scenario.forecast = ForecastSpec::Ewma {
+            alpha: 0.5,
+            horizon_s: f64::NAN,
+        };
+        assert!(matches!(scenario.session(), Err(ScenarioError::Engine(_))));
+    }
+
+    #[test]
+    fn recorded_trace_replays_the_same_run() {
+        // Record a trace-driven run's applied deltas, then replay the
+        // recording as a literal trace: decisions must match exactly.
+        let scenario = flash_scenario(crate::spec::ForecastSpec::None);
+        let mut original = scenario.clone().session().unwrap();
+        original.start_trace_recording();
+        assert!(original.recording_trace());
+        assert!(original.recorded_trace().is_err(), "no time elapsed yet");
+        original.run_to_horizon();
+        let recorded = original.recorded_trace().unwrap();
+        assert!(recorded.num_events() > 0);
+
+        let mut replay_scenario = scenario.clone();
+        replay_scenario.workload = crate::spec::WorkloadSpec::Trace {
+            spec: TraceSpec::Literal {
+                trace: recorded,
+                seed: scenario.workload.seed(),
+            },
+        };
+        let mut replayed = replay_scenario.session().unwrap();
+        replayed.run_to_horizon();
+
+        let strip = |mut r: RunReport| {
+            r.trace.apply_ns_total = 0;
+            r.trace.apply_ns_max = 0;
+            r
+        };
+        assert_eq!(
+            strip(original.report()),
+            strip(replayed.report()),
+            "record → replay must reproduce the run"
+        );
+        assert_eq!(original.traffic(), replayed.traffic());
+        // Stopping hands the recorder back.
+        assert!(original.stop_trace_recording().is_some());
+        assert!(!original.recording_trace());
+    }
+
+    #[test]
+    fn recording_spans_phase_rebinds() {
+        // run_phases rebinds wholesale; the recording captures the
+        // boundary as marker + re-rates and replays to the same final
+        // TM.
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 61)
+            .session()
+            .unwrap();
+        let num_vms = session.traffic().num_vms();
+        session.start_trace_recording();
+        let a = session.traffic().clone();
+        let b = WorkloadConfig::new(num_vms, 717).generate();
+        session
+            .run_phases(&[
+                TrafficPhase {
+                    duration_s: 60.0,
+                    traffic: a,
+                },
+                TrafficPhase {
+                    duration_s: 60.0,
+                    traffic: b.clone(),
+                },
+            ])
+            .unwrap();
+        let recorded = session.recorded_trace().unwrap();
+        assert_eq!(recorded.num_markers(), 2, "one marker per rebind");
+        let compiled = recorded.compile();
+        assert_eq!(
+            compiled.segments.last().unwrap().initial,
+            b,
+            "the recorded boundary re-rates reproduce the phase TM"
+        );
     }
 
     #[test]

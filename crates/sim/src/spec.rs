@@ -733,6 +733,86 @@ impl PlacementSpec {
     }
 }
 
+/// Declarative short-horizon forecasting description: whether (and how)
+/// the decision pipeline looks ahead of the current TM.
+///
+/// The forecaster feeds every `TrafficOutlook` the session builds; see
+/// `score_core::outlook`. The compatibility contract is strict:
+/// `ForecastSpec::None` — and any variant with a zero horizon — runs
+/// the reactive pipeline bit for bit (pinned by the proptests in
+/// `crates/sim/tests/forecast_properties.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum ForecastSpec {
+    /// No lookahead: decisions read current rates only (the paper
+    /// pipeline).
+    #[default]
+    None,
+    /// Online EWMA linear-trend estimation
+    /// (`score_traffic::EwmaForecaster`) over the applied traffic
+    /// deltas — works on any workload, static ones included (where it
+    /// predicts "no change" and changes nothing).
+    Ewma {
+        /// Trend-smoothing weight in `(0, 1]`.
+        alpha: f64,
+        /// Lookahead horizon in seconds (0 disables forecasting).
+        horizon_s: f64,
+    },
+    /// Exact lookahead into the compiled trace delta stream
+    /// (`score_trace::OracleForecaster`) — requires a
+    /// [`WorkloadSpec::Trace`] workload.
+    TraceOracle {
+        /// Lookahead horizon in seconds (0 disables forecasting).
+        horizon_s: f64,
+    },
+}
+
+impl ForecastSpec {
+    /// Lowercase name for CSV columns (`none` / `ewma` / `oracle`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ForecastSpec::None => "none",
+            ForecastSpec::Ewma { .. } => "ewma",
+            ForecastSpec::TraceOracle { .. } => "oracle",
+        }
+    }
+
+    /// The lookahead horizon in seconds (0 for `None`).
+    pub fn horizon_s(&self) -> f64 {
+        match *self {
+            ForecastSpec::None => 0.0,
+            ForecastSpec::Ewma { horizon_s, .. } | ForecastSpec::TraceOracle { horizon_s } => {
+                horizon_s
+            }
+        }
+    }
+
+    /// True when the spec actually forecasts: a variant other than
+    /// `None` *and* a positive horizon. Zero-horizon lookahead and no
+    /// lookahead are the same pipeline, by construction.
+    pub fn is_active(&self) -> bool {
+        self.horizon_s() > 0.0
+    }
+
+    /// Checks the invariants a deserialized spec might violate: a
+    /// finite non-negative horizon, and `alpha` in `(0, 1]`.
+    pub(crate) fn validate(&self) -> Result<(), ScenarioError> {
+        let horizon = self.horizon_s();
+        if !horizon.is_finite() || horizon < 0.0 {
+            return Err(ScenarioError::Engine(format!(
+                "forecast horizon must be finite and non-negative, got {horizon}"
+            )));
+        }
+        if let ForecastSpec::Ewma { alpha, .. } = *self {
+            if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+                return Err(ScenarioError::Engine(format!(
+                    "forecast alpha must be in (0, 1], got {alpha}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Token policy selector for configuration files and CSV columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PolicyKind {
@@ -742,6 +822,11 @@ pub enum PolicyKind {
     HighestLevelFirst,
     /// Highest-Cost-First (TR-2013-338-inspired extension).
     HighestCostFirst,
+    /// Forecast-Cost-First: Highest-Cost-First over the outlook's
+    /// *expected* rates — routes the token to predicted elephants
+    /// (identical to `HighestCostFirst` without an active
+    /// [`ForecastSpec`]).
+    ForecastCostFirst,
     /// Uniform random (ablation).
     Random,
 }
@@ -757,6 +842,7 @@ impl PolicyKind {
             PolicyKind::RoundRobin => "rr",
             PolicyKind::HighestLevelFirst => "hlf",
             PolicyKind::HighestCostFirst => "hcf",
+            PolicyKind::ForecastCostFirst => "fcf",
             PolicyKind::Random => "random",
         }
     }
@@ -768,6 +854,9 @@ impl PolicyKind {
             PolicyKind::RoundRobin => Box::new(score_core::RoundRobin::new()),
             PolicyKind::HighestLevelFirst => Box::new(score_core::HighestLevelFirst::new()),
             PolicyKind::HighestCostFirst => Box::new(score_core::HighestCostFirst::paper_default()),
+            PolicyKind::ForecastCostFirst => {
+                Box::new(score_core::ForecastCostFirst::paper_default())
+            }
             PolicyKind::Random => Box::new(score_core::RandomNext::new(seed)),
         }
     }
@@ -778,11 +867,12 @@ impl PolicyKind {
     }
 
     /// Every implemented policy (paper pair + extensions/ablations).
-    pub fn all() -> [PolicyKind; 4] {
+    pub fn all() -> [PolicyKind; 5] {
         [
             PolicyKind::HighestLevelFirst,
             PolicyKind::RoundRobin,
             PolicyKind::HighestCostFirst,
+            PolicyKind::ForecastCostFirst,
             PolicyKind::Random,
         ]
     }
@@ -1001,7 +1091,7 @@ impl Default for TimingSpec {
 /// session.run_to_horizon();
 /// assert!(session.report().final_cost <= session.report().initial_cost);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Scenario {
     /// Fabric to simulate.
     pub topology: TopologySpec,
@@ -1015,11 +1105,41 @@ pub struct Scenario {
     pub policy: PolicySpec,
     /// Decision engine and migration-overhead model.
     pub engine: EngineSpec,
+    /// Short-horizon rate forecasting feeding every decision outlook
+    /// (`ForecastSpec::None` = the reactive paper pipeline).
+    pub forecast: ForecastSpec,
     /// Simulation timing.
     pub timing: TimingSpec,
     /// Master seed for simulation randomness (migration-model noise, the
     /// random policy). Workload and placement seeds live in their specs.
     pub seed: u64,
+}
+
+// Hand-written (instead of derived) so that scenario JSON written
+// before the forecast layer existed — with no `forecast` key — still
+// loads, defaulting to the reactive pipeline. The offline serde shim's
+// derive has no `#[serde(default)]`.
+impl serde::Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for Scenario"))?;
+        let req = |name: &str| serde::field(obj, name);
+        Ok(Scenario {
+            topology: serde::Deserialize::from_value(req("topology")?)?,
+            workload: serde::Deserialize::from_value(req("workload")?)?,
+            placement: serde::Deserialize::from_value(req("placement")?)?,
+            resources: serde::Deserialize::from_value(req("resources")?)?,
+            policy: serde::Deserialize::from_value(req("policy")?)?,
+            engine: serde::Deserialize::from_value(req("engine")?)?,
+            forecast: match serde::field(obj, "forecast") {
+                Ok(v) => serde::Deserialize::from_value(v)?,
+                Err(_) => ForecastSpec::None,
+            },
+            timing: serde::Deserialize::from_value(req("timing")?)?,
+            seed: serde::Deserialize::from_value(req("seed")?)?,
+        })
+    }
 }
 
 impl Scenario {
@@ -1137,6 +1257,7 @@ pub struct ScenarioBuilder {
     resources: ResourceSpec,
     policy: PolicySpec,
     engine: EngineSpec,
+    forecast: ForecastSpec,
     timing: TimingSpec,
     seed: u64,
 }
@@ -1154,6 +1275,7 @@ impl Default for ScenarioBuilder {
             resources: ResourceSpec::paper_default(),
             policy: PolicyKind::HighestLevelFirst,
             engine: EngineSpec::Paper,
+            forecast: ForecastSpec::None,
             timing: TimingSpec::paper_default(),
             seed: 42,
         }
@@ -1321,6 +1443,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the forecast spec (how far and by what estimator the
+    /// decision pipeline looks ahead).
+    pub fn forecast(mut self, forecast: ForecastSpec) -> Self {
+        self.forecast = forecast;
+        self
+    }
+
     /// Sets the migration cost `c_m` (Theorem 1's knob).
     pub fn migration_cost(mut self, cm: f64) -> Self {
         self.engine = self.engine.with_migration_cost(cm);
@@ -1380,6 +1509,7 @@ impl ScenarioBuilder {
             resources: self.resources,
             policy: self.policy,
             engine: self.engine,
+            forecast: self.forecast,
             timing: self.timing,
             seed: self.seed,
         }
@@ -1495,8 +1625,9 @@ mod tests {
         assert_eq!(PolicyKind::RoundRobin.name(), "rr");
         assert_eq!(PolicyKind::HighestLevelFirst.name(), "hlf");
         assert_eq!(PolicyKind::Random.name(), "random");
+        assert_eq!(PolicyKind::ForecastCostFirst.name(), "fcf");
         assert_eq!(PolicyKind::paper_policies().len(), 2);
-        assert_eq!(PolicyKind::all().len(), 4);
+        assert_eq!(PolicyKind::all().len(), 5);
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn topology_pool() -> [TopologySpec; 3] {
     ]
 }
 
-fn policy_pool() -> [PolicyKind; 4] {
+fn policy_pool() -> [PolicyKind; 5] {
     PolicyKind::all()
 }
 

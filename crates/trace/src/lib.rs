@@ -20,7 +20,12 @@
 //! * [`diurnal_trace`] / [`flash_crowd_trace`] / [`churn_trace`] —
 //!   deterministic synthetic generators for the three canonical
 //!   time-varying patterns (sine drift, hot-set spikes, and
-//!   mice/elephant flow churn built on `score_traffic::FlowSampler`).
+//!   mice/elephant flow churn built on `score_traffic::FlowSampler`);
+//! * [`OracleForecaster`] — exact short-horizon lookahead into the
+//!   compiled delta stream (the `score_traffic::RateForecaster` every
+//!   online estimator is judged against);
+//! * [`TraceRecorder`] — captures the deltas a live run applied back
+//!   into a replayable trace (incremental JSONL append included).
 //!
 //! The simulator counterpart lives in `score_sim`: a
 //! `WorkloadSpec::Trace` scenario materializes into a session whose
@@ -54,9 +59,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod jsonl;
+pub mod oracle;
+pub mod recorder;
 pub mod synth;
 pub mod trace;
 
+pub use oracle::OracleForecaster;
+pub use recorder::TraceRecorder;
 pub use synth::{
     churn_trace, diurnal_trace, flash_crowd_trace, ChurnShape, DiurnalShape, FlashCrowdShape,
 };

@@ -14,6 +14,8 @@
 //!   ([`TrafficMatrix`]);
 //! * discrete flow instantiation with long-tail mice/elephant structure
 //!   ([`FlowSampler`], [`Flow`]);
+//! * short-horizon per-pair rate forecasting for the forecast-aware
+//!   decision pipeline ([`RateForecaster`], [`EwmaForecaster`]);
 //! * CBR background load for the migration experiments ([`CbrLoad`]);
 //! * hand-rolled distributions (log-normal, bounded Pareto, exponential) in
 //!   [`dist`].
@@ -38,6 +40,7 @@ pub mod cbr;
 pub mod dist;
 pub mod estimator;
 pub mod flows;
+pub mod forecast;
 pub mod generator;
 pub mod matrix;
 pub mod pairwise;
@@ -45,6 +48,7 @@ pub mod pairwise;
 pub use cbr::{residual_bandwidth, CbrLoad};
 pub use estimator::RateEstimator;
 pub use flows::{Flow, FlowClass, FlowSampler, ELEPHANT_THRESHOLD_BPS};
+pub use forecast::{predicted_traffic, EwmaForecaster, RateForecaster};
 pub use generator::{
     dense_workload, medium_workload, sparse_workload, TrafficIntensity, WorkloadConfig,
 };
