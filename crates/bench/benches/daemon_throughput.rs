@@ -1,0 +1,196 @@
+//! Daemon throughput microbenchmark: what the `scored` serving path
+//! costs at the paper-canonical fabric (2560 hosts, §V scale).
+//!
+//! Three numbers are pinned and recorded in `BENCH_daemon.json` at the
+//! workspace root:
+//!
+//! * **place-decision latency** — `TenantEngine::place` (drain to a
+//!   boundary, deterministic most-free-slots choose, ledger-exact
+//!   admission, audit append) in µs;
+//! * **traffic-request latency** — one `SetRate` lowered and applied
+//!   through the live sparse re-pricing path;
+//! * **socket requests/s** — end-to-end line-protocol round trips
+//!   (request parse → worker dispatch → response write) over a real
+//!   Unix socket connection to a running daemon.
+//!
+//! Run with `cargo bench --bench daemon_throughput`.
+
+use criterion::{black_box, Criterion};
+use score_scored::{Daemon, DaemonConfig, TenantEngine};
+use score_sim::{Scenario, TopologySpec};
+use score_trace::TraceEvent;
+use std::fmt::Write as _;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::time::Instant;
+
+fn paper_scenario() -> Scenario {
+    let mut s = Scenario::builder()
+        .topology(TopologySpec::paper_canonical())
+        .sparse_traffic(11)
+        .build();
+    s.timing.t_end_s = 1e6; // long-lived daemon horizon
+    s
+}
+
+struct DaemonPoint {
+    hosts: usize,
+    vms: u32,
+    place_us: f64,
+    traffic_us: f64,
+    socket_requests_per_sec: f64,
+}
+
+fn measure() -> DaemonPoint {
+    let mut engine = TenantEngine::new("bench", paper_scenario(), 1.0, None).unwrap();
+    let hosts = engine.session().topo().num_servers();
+    let vms = engine.session().traffic().num_vms();
+
+    // Place-decision latency: admit a batch, then retire it so the
+    // population stays at the paper's scale across reps.
+    let reps = 64u32;
+    let mut placed = Vec::with_capacity(reps as usize);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let (vm, _server, _at) = black_box(engine.place(None).unwrap());
+        placed.push(vm);
+    }
+    let place_us = start.elapsed().as_nanos() as f64 / f64::from(reps) / 1e3;
+    for vm in placed {
+        engine.remove(vm).unwrap();
+    }
+
+    // Traffic-request latency: alternate one pair between two rates.
+    let &(u, v, rate) = engine.session().traffic().pairs().first().unwrap();
+    let (u, v) = (u.get(), v.get());
+    let updates = [
+        TraceEvent::SetRate {
+            u,
+            v,
+            rate: rate * 1.5,
+        },
+        TraceEvent::SetRate { u, v, rate },
+    ];
+    let reps = 2_000u32;
+    let start = Instant::now();
+    for i in 0..reps {
+        black_box(
+            engine
+                .traffic(&updates[(i % 2) as usize..=(i % 2) as usize])
+                .unwrap(),
+        );
+    }
+    let traffic_us = start.elapsed().as_nanos() as f64 / f64::from(reps) / 1e3;
+
+    // End-to-end socket round trips against a live daemon.
+    let socket = std::env::temp_dir().join(format!("scored_bench_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let daemon = Daemon::bind(DaemonConfig {
+        scenario: paper_scenario(),
+        unix_socket: Some(socket.clone()),
+        tcp_addr: None,
+        rate: 1.0,
+        record_dir: None,
+    })
+    .unwrap();
+    let server = std::thread::spawn(move || daemon.run());
+    let stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut roundtrip = |req: &str| {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+    };
+    let reqs = [
+        format!(
+            r#"{{"Traffic": {{"events": [{{"SetRate": {{"u": {u}, "v": {v}, "rate": {}}}}}]}}}}"#,
+            rate * 1.5
+        ),
+        format!(
+            r#"{{"Traffic": {{"events": [{{"SetRate": {{"u": {u}, "v": {v}, "rate": {rate}}}}}]}}}}"#
+        ),
+    ];
+    roundtrip(&reqs[0]); // warm the tenant up outside the timed window
+    let reps = 400u32;
+    let start = Instant::now();
+    for i in 0..reps {
+        roundtrip(&reqs[(i % 2) as usize]);
+    }
+    let socket_requests_per_sec = f64::from(reps) / start.elapsed().as_secs_f64();
+    roundtrip("\"Shutdown\"");
+    server.join().unwrap();
+
+    DaemonPoint {
+        hosts,
+        vms,
+        place_us,
+        traffic_us,
+        socket_requests_per_sec,
+    }
+}
+
+fn bench_daemon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("daemon_throughput");
+    group.sample_size(10);
+    let mut engine = TenantEngine::new("crit", paper_scenario(), 1.0, None).unwrap();
+    group.bench_function("place_remove/canonical-2560", |b| {
+        b.iter(|| {
+            let (vm, _, _) = engine.place(None).unwrap();
+            engine.remove(vm).unwrap();
+        })
+    });
+    let &(u, v, rate) = engine.session().traffic().pairs().first().unwrap();
+    let updates = [
+        TraceEvent::SetRate {
+            u: u.get(),
+            v: v.get(),
+            rate: rate * 1.5,
+        },
+        TraceEvent::SetRate {
+            u: u.get(),
+            v: v.get(),
+            rate,
+        },
+    ];
+    let mut flip = 0usize;
+    group.bench_function("traffic_request/canonical-2560", |b| {
+        b.iter(|| {
+            flip ^= 1;
+            engine.traffic(&updates[flip..=flip]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Writes `BENCH_daemon.json` at the workspace root.
+fn record(p: &DaemonPoint) {
+    let mut json = String::from("{\n  \"bench\": \"daemon_throughput\",\n");
+    let _ = writeln!(
+        json,
+        "  \"point\": {{\"hosts\": {}, \"vms\": {}, \"place_us\": {:.2}, \
+         \"traffic_us\": {:.2}, \"socket_requests_per_sec\": {:.0}}}",
+        p.hosts, p.vms, p.place_us, p.traffic_us, p.socket_requests_per_sec,
+    );
+    json.push_str("}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .find(|p| p.join("Cargo.toml").exists() && p.join("crates").exists())
+        .map(|p| p.join("BENCH_daemon.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_daemon.json"));
+    std::fs::write(&path, json).expect("write bench record");
+    println!("bench record written to {}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_daemon(&mut criterion);
+    let p = measure();
+    println!(
+        "daemon_throughput: {} hosts {} vms  place {:.2} µs  traffic {:.2} µs  socket {:.0} req/s",
+        p.hosts, p.vms, p.place_us, p.traffic_us, p.socket_requests_per_sec,
+    );
+    record(&p);
+}

@@ -125,6 +125,23 @@ impl Allocation {
         self.vm_server[vm.index()] = target;
     }
 
+    /// Appends a new VM (the next dense id) on `server`, returning its
+    /// id — the arrival half of live cluster churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn push_vm(&mut self, server: ServerId) -> VmId {
+        assert!(
+            server.index() < self.server_vms.len(),
+            "server {server} out of range"
+        );
+        let vm = VmId::new(self.vm_server.len() as u32);
+        self.vm_server.push(server);
+        self.server_vms[server.index()].push(vm);
+        vm
+    }
+
     /// The raw VM→server vector.
     pub fn as_slice(&self) -> &[ServerId] {
         &self.vm_server

@@ -39,6 +39,20 @@ pub enum ClusterError {
         /// The violated resource.
         source: AdmissionError,
     },
+    /// A requested placement target refused the VM.
+    PlacementRejected {
+        /// The refusing server.
+        server: ServerId,
+        /// The violated resource.
+        source: AdmissionError,
+    },
+    /// No server in the cluster can host the VM.
+    NoCapacity,
+    /// The VM does not exist (out of range, or already departed).
+    UnknownVm {
+        /// The offending id.
+        vm: VmId,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -62,6 +76,13 @@ impl fmt::Display for ClusterError {
             ClusterError::InitialOverCommit { server, source } => {
                 write!(f, "initial allocation overcommits {server}: {source}")
             }
+            ClusterError::PlacementRejected { server, source } => {
+                write!(f, "placement on {server} rejected: {source}")
+            }
+            ClusterError::NoCapacity => write!(f, "no server can host the VM"),
+            ClusterError::UnknownVm { vm } => {
+                write!(f, "{vm} does not exist (out of range or departed)")
+            }
         }
     }
 }
@@ -81,6 +102,11 @@ pub struct Cluster {
     traffic: PairTraffic,
     alloc: Allocation,
     usage: Vec<ServerUsage>,
+    /// Liveness per VM id. Departed VMs are tombstoned (kept in the
+    /// allocation with zero traffic and zero resource usage) rather than
+    /// compacted, so ids stay dense and stable for audit logs and
+    /// replay.
+    active: Vec<bool>,
 }
 
 impl fmt::Debug for Cluster {
@@ -104,6 +130,7 @@ impl Clone for Cluster {
             traffic: self.traffic.clone(),
             alloc: self.alloc.clone(),
             usage: self.usage.clone(),
+            active: self.active.clone(),
         }
     }
 }
@@ -168,6 +195,7 @@ impl Cluster {
             }
             u.admit(&vm_specs[vm.index()], vm_nic_demand[vm.index()]);
         }
+        let active = vec![true; alloc.num_vms() as usize];
         Ok(Cluster {
             topo,
             server_spec,
@@ -176,6 +204,7 @@ impl Cluster {
             traffic: traffic.clone(),
             alloc,
             usage,
+            active,
         })
     }
 
@@ -310,6 +339,120 @@ impl Cluster {
         self.usage[target.index()].admit(&spec, nic);
         self.alloc.move_vm(vm, target);
         Ok(())
+    }
+
+    /// Whether `vm` is live (placed and not yet removed). Out-of-range
+    /// ids are simply not live.
+    pub fn is_active(&self, vm: VmId) -> bool {
+        self.active.get(vm.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of live VMs (total ids minus tombstones).
+    pub fn num_active(&self) -> u32 {
+        self.active.iter().filter(|&&a| a).count() as u32
+    }
+
+    /// Deterministically picks the server a newly arriving VM of `spec`
+    /// should land on: the admissible server with the most free slots,
+    /// lowest id winning ties — the §V-A "centralized VM instance
+    /// placement manager" choice, reproducible from cluster state alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoCapacity`] when no server passes the
+    /// static admission check.
+    pub fn choose_server(&self, spec: &VmSpec) -> Result<ServerId, ClusterError> {
+        let mut best: Option<(u32, ServerId)> = None;
+        for (i, usage) in self.usage.iter().enumerate() {
+            if usage
+                .admission_check(&self.server_spec, spec, 0.0, f64::INFINITY)
+                .is_ok()
+            {
+                let free = self.server_spec.vm_slots.saturating_sub(usage.slots);
+                if best.is_none_or(|(best_free, _)| free > best_free) {
+                    best = Some((free, ServerId::new(i as u32)));
+                }
+            }
+        }
+        best.map(|(_, s)| s).ok_or(ClusterError::NoCapacity)
+    }
+
+    /// Places a newly arriving VM on `server` (or the
+    /// [`Cluster::choose_server`] pick when `None`), growing the
+    /// population by one dense id. The newcomer starts with zero traffic
+    /// — its communication cost contribution is exactly 0 until rates
+    /// arrive as ordinary traffic deltas — so placement never touches
+    /// existing pairs and any external cost ledger stays exact without
+    /// repricing anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::PlacementRejected`] when the explicit
+    /// target refuses the VM, or [`ClusterError::NoCapacity`] when no
+    /// target was given and no server can host it. The cluster is
+    /// unchanged on error.
+    pub fn place_vm(
+        &mut self,
+        spec: VmSpec,
+        server: Option<ServerId>,
+    ) -> Result<(VmId, ServerId), ClusterError> {
+        let target = match server {
+            Some(s) => {
+                if s.index() >= self.usage.len() {
+                    return Err(ClusterError::NoCapacity);
+                }
+                self.usage[s.index()]
+                    .admission_check(&self.server_spec, &spec, 0.0, f64::INFINITY)
+                    .map_err(|source| ClusterError::PlacementRejected { server: s, source })?;
+                s
+            }
+            None => self.choose_server(&spec)?,
+        };
+        self.usage[target.index()].admit(&spec, 0.0);
+        self.vm_specs.push(spec);
+        self.vm_nic_demand.push(0.0);
+        let vm = self.traffic.push_vm();
+        let placed = self.alloc.push_vm(target);
+        debug_assert_eq!(vm, placed, "traffic and allocation ids diverged");
+        self.active.push(true);
+        Ok((vm, target))
+    }
+
+    /// Removes a live VM from the cluster: zeroes all its pair rates
+    /// through the sparse [`Cluster::patch_traffic`] path, releases its
+    /// server resources, and tombstones the id (see the `active` field —
+    /// ids stay dense and stable). Returns the `(u, v, old, new)` rate
+    /// changes applied, so callers keeping an incremental cost ledger
+    /// can reprice exactly the departed pairs — `O(degree)`, no resync.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownVm`] for an out-of-range or
+    /// already-removed id; the cluster is unchanged on error.
+    pub fn remove_vm(&mut self, vm: VmId) -> Result<Vec<(VmId, VmId, f64, f64)>, ClusterError> {
+        if !self.is_active(vm) {
+            return Err(ClusterError::UnknownVm { vm });
+        }
+        let changes: Vec<(VmId, VmId, f64, f64)> = self
+            .traffic
+            .peers(vm)
+            .iter()
+            .map(|&(peer, rate)| {
+                let (u, v) = if vm < peer { (vm, peer) } else { (peer, vm) };
+                (u, v, rate, 0.0)
+            })
+            .collect();
+        self.patch_traffic(&changes);
+        let server = self.alloc.server_of(vm);
+        let spec = self.vm_specs[vm.index()];
+        // The zeroing above already drained the VM's NIC demand from the
+        // per-server ledger; evict what (if any) float residue is left
+        // alongside the slot/RAM/CPU release.
+        let nic_residue = self.vm_nic_demand[vm.index()];
+        self.usage[server.index()].evict(&spec, nic_residue);
+        self.vm_nic_demand[vm.index()] = 0.0;
+        self.active[vm.index()] = false;
+        Ok(changes)
     }
 
     /// Rebinds the cluster to a new traffic matrix **in place**: the
@@ -619,6 +762,75 @@ mod tests {
                 (c.vm_nic_demand(VmId::new(v)) - full.vm_nic_demand(VmId::new(v))).abs() < 1e-9
             );
         }
+    }
+
+    #[test]
+    fn place_vm_appends_with_zero_traffic() {
+        let mut c = cluster(4, 16);
+        assert_eq!(c.num_active(), 4);
+        let (vm, server) = c.place_vm(VmSpec::paper_default(), None).unwrap();
+        assert_eq!(vm, VmId::new(4));
+        assert_eq!(c.num_vms(), 5);
+        assert_eq!(c.num_active(), 5);
+        assert!(c.is_active(vm));
+        assert_eq!(c.allocation().server_of(vm), server);
+        assert_eq!(c.vm_nic_demand(vm), 0.0);
+        // Chooses an empty server (most free slots, lowest id wins): the
+        // base cluster packs VMs 0..4 onto servers 0..4.
+        assert_eq!(server, ServerId::new(4));
+        assert_eq!(c.usage(server).slots, 1);
+        // Explicit target honoured.
+        let (vm2, s2) = c
+            .place_vm(VmSpec::paper_default(), Some(ServerId::new(7)))
+            .unwrap();
+        assert_eq!(vm2, VmId::new(5));
+        assert_eq!(s2, ServerId::new(7));
+    }
+
+    #[test]
+    fn place_vm_respects_capacity() {
+        let mut c = cluster(16, 1); // one slot per server, all 16 full
+        assert!(matches!(
+            c.place_vm(VmSpec::paper_default(), None),
+            Err(ClusterError::NoCapacity)
+        ));
+        assert!(matches!(
+            c.place_vm(VmSpec::paper_default(), Some(ServerId::new(3))),
+            Err(ClusterError::PlacementRejected {
+                server: _,
+                source: AdmissionError::NoSlot
+            })
+        ));
+        assert_eq!(c.num_vms(), 16, "cluster unchanged on error");
+    }
+
+    #[test]
+    fn remove_vm_zeroes_pairs_and_tombstones() {
+        let mut c = cluster(4, 16);
+        // vm0 ↔ vm1 at 100.0; removing vm0 must zero the pair and free
+        // its slot, and report the change for ledger repricing.
+        let changes = c.remove_vm(VmId::new(0)).unwrap();
+        assert_eq!(changes, vec![(VmId::new(0), VmId::new(1), 100.0, 0.0)]);
+        assert!(!c.is_active(VmId::new(0)));
+        assert_eq!(c.num_active(), 3);
+        assert_eq!(c.usage(ServerId::new(0)).slots, 0);
+        assert_eq!(c.usage(ServerId::new(0)).nic_bps, 0.0);
+        assert_eq!(c.vm_nic_demand(VmId::new(1)), 0.0);
+        assert_eq!(c.external_rate(VmId::new(1), ServerId::new(5)), 0.0);
+        // Double removal and unknown ids are rejected.
+        assert!(matches!(
+            c.remove_vm(VmId::new(0)),
+            Err(ClusterError::UnknownVm { .. })
+        ));
+        assert!(matches!(
+            c.remove_vm(VmId::new(99)),
+            Err(ClusterError::UnknownVm { .. })
+        ));
+        // The freed slot is reusable by a later arrival.
+        let (vm, _) = c
+            .place_vm(VmSpec::paper_default(), Some(ServerId::new(0)))
+            .unwrap();
+        assert_eq!(vm, VmId::new(4), "ids stay dense; tombstones are kept");
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!          [--scenario FILE] [--emit-scenario FILE]
 //! scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl]
 //!          [--num-vms N] [--save-trace FILE.jsonl] [common flags above]
+//! scorectl serve [--socket PATH] [--tcp ADDR] [--rate SIM_S_PER_WALL_S]
+//!          [--record-dir DIR] [scenario flags above]
+//! scorectl client (--socket PATH | --tcp ADDR) [-e REQUEST]... [--follow]
+//! scorectl replay --dir DIR [--expect FILE]
 //! ```
 //!
 //! Every flag edits one field of a [`Scenario`]; the run itself is
@@ -30,6 +34,15 @@
 //! synthetic trace shape (deterministic from `--seed`) or a JSONL trace
 //! file replayed through the session event clock (`run_trace`), printing
 //! per-segment results and the in-place rebind statistics.
+//!
+//! The `serve` subcommand starts the [`score_scored::Daemon`] on a Unix
+//! socket and/or TCP address, serving the scenario the usual flags
+//! describe as a *live* cluster; `client` drives a running daemon with
+//! protocol request lines (`-e` per request, or stdin); `replay`
+//! re-executes a recorded tenant directory (`scenario.json` +
+//! `trace.jsonl`) and prints the canonical report — with `--expect` it
+//! diffs against the daemon's persisted `report.json` byte for byte and
+//! fails on any mismatch.
 
 use score_sim::{
     series_to_csv, ForecastSpec, PolicyKind, Scenario, ScenarioMatrix, TopologySpec, TraceSpec,
@@ -42,6 +55,17 @@ use std::process::ExitCode;
 #[derive(Debug, Default)]
 struct Args {
     trace_mode: bool,
+    serve_mode: bool,
+    client_mode: bool,
+    replay_mode: bool,
+    socket: Option<String>,
+    tcp: Option<String>,
+    rate: Option<f64>,
+    record_dir: Option<String>,
+    requests: Vec<String>,
+    follow: bool,
+    dir: Option<String>,
+    expect: Option<String>,
     shape: Option<String>,
     trace_file: Option<String>,
     save_trace: Option<String>,
@@ -70,9 +94,24 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().is_some_and(|a| a == "trace") {
-        args.trace_mode = true;
-        it.next();
+    match it.peek().map(String::as_str) {
+        Some("trace") => {
+            args.trace_mode = true;
+            it.next();
+        }
+        Some("serve") => {
+            args.serve_mode = true;
+            it.next();
+        }
+        Some("client") => {
+            args.client_mode = true;
+            it.next();
+        }
+        Some("replay") => {
+            args.replay_mode = true;
+            it.next();
+        }
+        _ => {}
     }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -148,6 +187,14 @@ fn parse_args() -> Result<Args, String> {
                 args.t_end_s = Some(value("--t-end")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
+            "--socket" => args.socket = Some(value("--socket")?),
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--rate" => args.rate = Some(value("--rate")?.parse().map_err(|e| format!("{e}"))?),
+            "--record-dir" => args.record_dir = Some(value("--record-dir")?),
+            "-e" | "--exec" => args.requests.push(value("-e")?),
+            "--follow" => args.follow = true,
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--expect" => args.expect = Some(value("--expect")?),
             "--csv" => args.csv = Some(value("--csv")?),
             "--json" => args.json = Some(value("--json")?),
             "--emit-scenario" => args.emit_scenario = Some(value("--emit-scenario")?),
@@ -156,6 +203,18 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if !(args.serve_mode || args.client_mode) && (args.socket.is_some() || args.tcp.is_some()) {
+        return Err("--socket/--tcp need the `serve` or `client` subcommand".into());
+    }
+    if !args.serve_mode && (args.rate.is_some() || args.record_dir.is_some()) {
+        return Err("--rate/--record-dir need the `serve` subcommand".into());
+    }
+    if !args.client_mode && (!args.requests.is_empty() || args.follow) {
+        return Err("-e/--follow need the `client` subcommand".into());
+    }
+    if !args.replay_mode && (args.dir.is_some() || args.expect.is_some()) {
+        return Err("--dir/--expect need the `replay` subcommand".into());
     }
     Ok(args)
 }
@@ -170,7 +229,11 @@ fn usage() {
          [--horizon SECONDS] [--forecast none|ewma|oracle] [--alpha F] \
          [--scenario FILE] [--emit-scenario FILE]\n\
          \x20      scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl] \
-         [--num-vms N] [--save-trace FILE.jsonl] [common flags]"
+         [--num-vms N] [--save-trace FILE.jsonl] [common flags]\n\
+         \x20      scorectl serve [--socket PATH] [--tcp ADDR] [--rate SIM_S_PER_WALL_S] \
+         [--record-dir DIR] [scenario flags]\n\
+         \x20      scorectl client (--socket PATH | --tcp ADDR) [-e REQUEST]... [--follow]\n\
+         \x20      scorectl replay --dir DIR [--expect FILE]"
     );
 }
 
@@ -468,6 +531,13 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.client_mode {
+        return run_client(&args);
+    }
+    if args.replay_mode {
+        return run_replay(&args);
+    }
+
     let base = match &args.scenario_file {
         Some(path) => match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
@@ -551,6 +621,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("scenario spec written to {path}");
+    }
+
+    if args.serve_mode {
+        if args.policies.len() > 1 {
+            eprintln!("error: `serve` takes a single --policy (the live cluster's)");
+            return ExitCode::FAILURE;
+        }
+        return run_serve(scenario, &args);
     }
 
     if args.policies.len() > 1 {
@@ -750,6 +828,154 @@ fn run_trace_session(mut session: score_sim::Session, args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("run reports written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Starts the `scored` daemon serving the flag-built scenario as a live
+/// cluster; blocks until a client sends `Shutdown`.
+fn run_serve(scenario: Scenario, args: &Args) -> ExitCode {
+    let config = score_scored::DaemonConfig {
+        scenario,
+        unix_socket: args.socket.as_ref().map(std::path::PathBuf::from),
+        tcp_addr: args.tcp.clone(),
+        rate: args.rate.unwrap_or(60.0),
+        record_dir: args.record_dir.as_ref().map(std::path::PathBuf::from),
+    };
+    let daemon = match score_scored::Daemon::bind(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.socket {
+        println!("scored: listening on unix socket {path}");
+    }
+    if let Some(addr) = daemon.tcp_addr() {
+        println!("scored: listening on tcp {addr}");
+    }
+    if let Some(dir) = &args.record_dir {
+        println!("scored: recording replayable sessions under {dir}/<tenant>/");
+    }
+    daemon.run();
+    println!("scored: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+/// Sends request lines to a running daemon and prints its responses:
+/// one `-e REQUEST` per line (or stdin when none are given); with
+/// `--follow` the connection then streams (e.g. after `Subscribe`)
+/// until the daemon closes it.
+fn run_client(args: &Args) -> ExitCode {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let (reader, mut writer): (Box<dyn Read>, Box<dyn Write>) = match (&args.socket, &args.tcp) {
+        (Some(path), None) => match std::os::unix::net::UnixStream::connect(path) {
+            Ok(s) => match s.try_clone() {
+                Ok(w) => (Box::new(s), Box::new(w)),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: connecting to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(addr)) => match std::net::TcpStream::connect(addr) {
+            Ok(s) => match s.try_clone() {
+                Ok(w) => (Box::new(s), Box::new(w)),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: connecting to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("error: `client` needs exactly one of --socket PATH or --tcp ADDR");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = BufReader::new(reader);
+    let send_one = |writer: &mut dyn Write, reader: &mut BufReader<Box<dyn Read>>, req: &str| {
+        writer
+            .write_all(req.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("sending request: {e}"))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading response: {e}"))?;
+        if line.is_empty() {
+            return Err("daemon closed the connection".into());
+        }
+        print!("{line}");
+        Ok::<(), String>(())
+    };
+    if args.requests.is_empty() {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = send_one(&mut writer, &mut reader, &line) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for req in &args.requests {
+            if let Err(e) = send_one(&mut writer, &mut reader, req) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.follow {
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            println!("{line}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Replays a recorded daemon tenant directory and prints the canonical
+/// report; `--expect FILE` diffs it byte for byte against the live
+/// run's persisted report and fails on any divergence.
+fn run_replay(args: &Args) -> ExitCode {
+    let Some(dir) = &args.dir else {
+        eprintln!("error: `replay` needs --dir DIR (a recorded tenant directory)");
+        return ExitCode::FAILURE;
+    };
+    let replayed = match score_scored::replay_dir(std::path::Path::new(dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{replayed}");
+    if let Some(expect) = &args.expect {
+        let live = match std::fs::read_to_string(expect) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: reading {expect}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if live.trim_end() != replayed.trim_end() {
+            eprintln!("error: replayed report diverges from {expect}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("replay matches {expect} byte for byte");
     }
     ExitCode::SUCCESS
 }

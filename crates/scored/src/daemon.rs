@@ -1,0 +1,483 @@
+//! The `scored` daemon: an always-on event loop serving live clusters
+//! over line-delimited JSON sockets (Unix and/or TCP).
+//!
+//! One [`crate::TenantEngine`] per tenant namespace, each pinned to a
+//! named persistent worker thread from the `rayon` shim's
+//! [`rayon::registry::WorkerRegistry`] — every request for a tenant
+//! runs on that tenant's worker, so tenant state is single-writer by
+//! construction and tenants never block each other. Between requests a
+//! pacing thread keeps each tenant's token ring circulating on the
+//! event clock at `rate` simulated seconds per wall second.
+//!
+//! Connections are plain sockets carrying one request per line; any
+//! number may attach to the same tenant. `Subscribe` turns a
+//! connection into an observer: every later mutation response, audit
+//! trace line, and refreshed canonical report for that tenant is
+//! streamed to it.
+
+use crate::engine::TenantEngine;
+use crate::proto::{parse_request, response_line, Request, Response};
+use rayon::registry::{registry, WorkerHandle};
+use score_sim::Scenario;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Token holds one pacing slice may execute per tenant — keeps a
+/// hot tenant from starving its own request queue.
+const PUMP_SLICE_STEPS: usize = 512;
+
+/// How the daemon binds, paces, and persists.
+pub struct DaemonConfig {
+    /// The scenario every tenant materializes (trace workloads are
+    /// rejected — see [`TenantEngine::new`]).
+    pub scenario: Scenario,
+    /// Unix socket path to serve on (removed and re-bound if stale).
+    pub unix_socket: Option<PathBuf>,
+    /// TCP address to serve on (e.g. `127.0.0.1:7045`).
+    pub tcp_addr: Option<String>,
+    /// Simulated seconds advanced per wall-clock second.
+    pub rate: f64,
+    /// When set, each tenant persists `scenario.json`, `trace.jsonl`,
+    /// and `report.json` under `<dir>/<tenant>/` — a replayable audit
+    /// trail (`scorectl replay`).
+    pub record_dir: Option<PathBuf>,
+}
+
+/// One live tenant: its engine, its dedicated worker, its observers.
+struct Tenant {
+    engine: Arc<Mutex<TenantEngine>>,
+    worker: WorkerHandle,
+    subscribers: Arc<Mutex<Vec<Box<dyn Write + Send>>>>,
+}
+
+struct DaemonState {
+    config: DaemonConfig,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    shutdown: AtomicBool,
+}
+
+/// A bound-but-not-yet-serving daemon (see [`Daemon::bind`]).
+pub struct Daemon {
+    state: Arc<DaemonState>,
+    unix: Option<UnixListener>,
+    tcp: Option<TcpListener>,
+}
+
+/// Writes one response line, best-effort.
+fn write_line(w: &mut dyn Write, resp: &Response) -> std::io::Result<()> {
+    let mut line = response_line(resp);
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+impl DaemonState {
+    /// The tenant for `name`, created (engine + worker) on first use.
+    fn tenant(self: &Arc<Self>, name: &str) -> Result<Arc<Tenant>, String> {
+        let mut table = self.tenants.lock().expect("tenant table poisoned");
+        if let Some(t) = table.get(name) {
+            return Ok(Arc::clone(t));
+        }
+        let engine = TenantEngine::new(
+            name,
+            self.config.scenario.clone(),
+            self.config.rate,
+            self.config.record_dir.as_deref(),
+        )?;
+        let tenant = Arc::new(Tenant {
+            engine: Arc::new(Mutex::new(engine)),
+            worker: registry().worker(&format!("scored-{name}")),
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+        });
+        table.insert(name.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Streams `lines` then `resp` (and a fresh report) to the
+    /// tenant's subscribers, dropping any that hung up.
+    fn broadcast(tenant: &Tenant, resp: &Response, trace_lines: &[String], report: &str) {
+        let mut subs = tenant.subscribers.lock().expect("subscriber list poisoned");
+        subs.retain_mut(|w| {
+            for line in trace_lines {
+                let t = Response::Trace { line: line.clone() };
+                if write_line(w.as_mut(), &t).is_err() {
+                    return false;
+                }
+            }
+            if write_line(w.as_mut(), resp).is_err() {
+                return false;
+            }
+            write_line(
+                w.as_mut(),
+                &Response::Report {
+                    json: report.to_string(),
+                },
+            )
+            .is_ok()
+        });
+    }
+
+    /// Runs one mutating request on the tenant's worker: mutate, flush
+    /// the audit log, notify subscribers.
+    fn mutate<F>(self: &Arc<Self>, tenant: &Arc<Tenant>, op: F) -> Response
+    where
+        F: FnOnce(&mut TenantEngine) -> Result<Response, Response> + Send + 'static,
+    {
+        let t = Arc::clone(tenant);
+        tenant.worker.run(move || {
+            let mut engine = t.engine.lock().expect("engine poisoned");
+            match op(&mut engine) {
+                Ok(resp) => {
+                    if let Err(e) = engine.flush_trace() {
+                        return Response::error("internal", e);
+                    }
+                    // Serializing the stream (and a fresh report, which
+                    // is large at scale) is only worth it when someone
+                    // is listening; an observer arriving later catches
+                    // up from the cursor.
+                    let observed = !t
+                        .subscribers
+                        .lock()
+                        .expect("subscriber list poisoned")
+                        .is_empty();
+                    if observed {
+                        let lines = engine.fresh_trace_lines();
+                        let report = engine.report_json();
+                        drop(engine);
+                        DaemonState::broadcast(&t, &resp, &lines, &report);
+                    }
+                    resp
+                }
+                Err(resp) => resp,
+            }
+        })
+    }
+
+    fn handle(
+        self: &Arc<Self>,
+        conn_tenant: &mut Option<String>,
+        subscriber_writer: &mut Option<Box<dyn Write + Send>>,
+        req: Request,
+    ) -> Response {
+        // Connections that never attach land in the "default" tenant.
+        let tenant_name =
+            |conn: &Option<String>| conn.clone().unwrap_or_else(|| "default".to_string());
+        match req {
+            Request::Attach { tenant } => {
+                if tenant.is_empty()
+                    || !tenant
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '-' || c == '_')
+                {
+                    return Response::error(
+                        "bad-request",
+                        "tenant names are non-empty [alphanumeric, '-', '_']",
+                    );
+                }
+                let t = match self.tenant(&tenant) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                *conn_tenant = Some(tenant.clone());
+                let engine = Arc::clone(&t.engine);
+                t.worker.run(move || {
+                    let engine = engine.lock().expect("engine poisoned");
+                    Response::Attached {
+                        tenant,
+                        num_vms: engine.session().cluster().num_active(),
+                        now_s: engine.session().now_s(),
+                    }
+                })
+            }
+            Request::Place { server } => {
+                let t = match self.tenant(&tenant_name(conn_tenant)) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                self.mutate(&t, move |engine| {
+                    engine
+                        .place(server)
+                        .map(|(vm, server, at_s)| Response::Placed { vm, server, at_s })
+                        .map_err(|e| Response::error("placement", e))
+                })
+            }
+            Request::Remove { vm } => {
+                let t = match self.tenant(&tenant_name(conn_tenant)) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                self.mutate(&t, move |engine| {
+                    engine
+                        .remove(vm)
+                        .map(|at_s| Response::Removed { vm, at_s })
+                        .map_err(|e| Response::error("unknown-vm", e))
+                })
+            }
+            Request::Traffic { events } => {
+                let t = match self.tenant(&tenant_name(conn_tenant)) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                let count = events.len() as u32;
+                self.mutate(&t, move |engine| {
+                    engine
+                        .traffic(&events)
+                        .map(|a| Response::Applied {
+                            events: count,
+                            pairs_changed: a.pairs_changed,
+                            at_s: a.at_s,
+                        })
+                        .map_err(|e| Response::error("bad-event", e))
+                })
+            }
+            Request::Report => {
+                let t = match self.tenant(&tenant_name(conn_tenant)) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                let engine = Arc::clone(&t.engine);
+                t.worker.run(move || {
+                    let engine = engine.lock().expect("engine poisoned");
+                    Response::Report {
+                        json: engine.report_json(),
+                    }
+                })
+            }
+            Request::Pause => {
+                let t = match self.tenant(&tenant_name(conn_tenant)) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                let engine = Arc::clone(&t.engine);
+                t.worker.run(move || {
+                    let mut engine = engine.lock().expect("engine poisoned");
+                    Response::Paused {
+                        at_s: engine.pause(),
+                    }
+                })
+            }
+            Request::Resume => {
+                let t = match self.tenant(&tenant_name(conn_tenant)) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                let engine = Arc::clone(&t.engine);
+                t.worker.run(move || {
+                    let mut engine = engine.lock().expect("engine poisoned");
+                    Response::Resumed {
+                        at_s: engine.resume(),
+                    }
+                })
+            }
+            Request::Subscribe => {
+                let name = tenant_name(conn_tenant);
+                let t = match self.tenant(&name) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                match subscriber_writer.take() {
+                    Some(w) => {
+                        t.subscribers
+                            .lock()
+                            .expect("subscriber list poisoned")
+                            .push(w);
+                        Response::Subscribed { tenant: name }
+                    }
+                    None => Response::error(
+                        "bad-request",
+                        "this connection cannot subscribe (already subscribed, or the \
+                         stream cannot be cloned)",
+                    ),
+                }
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                let tenants: Vec<Arc<Tenant>> = self
+                    .tenants
+                    .lock()
+                    .expect("tenant table poisoned")
+                    .values()
+                    .cloned()
+                    .collect();
+                for t in tenants {
+                    let engine = Arc::clone(&t.engine);
+                    let final_resp = t.worker.run(move || {
+                        let mut engine = engine.lock().expect("engine poisoned");
+                        match engine.finish() {
+                            Ok(report) => Response::Report { json: report },
+                            Err(e) => Response::error("internal", e),
+                        }
+                    });
+                    DaemonState::broadcast(&t, &Response::ShuttingDown, &[], "");
+                    if let Response::Error { message, .. } = final_resp {
+                        return Response::error("internal", message);
+                    }
+                }
+                Response::ShuttingDown
+            }
+        }
+    }
+}
+
+/// Serves one accepted connection until EOF or shutdown. Malformed
+/// lines produce `parse` errors and the loop continues — a protocol
+/// guarantee, pinned by tests.
+fn serve_connection<S>(state: Arc<DaemonState>, stream: S)
+where
+    S: Read + Write + Send + CloneWriter + 'static,
+{
+    let mut writer_for_subscribe = stream.clone_writer();
+    let mut writer = match stream.clone_writer() {
+        Some(w) => w,
+        None => return,
+    };
+    let reader = BufReader::new(stream);
+    let mut conn_tenant: Option<String> = None;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match parse_request(&line) {
+            Ok(req) => state.handle(&mut conn_tenant, &mut writer_for_subscribe, req),
+            Err(err_resp) => err_resp,
+        };
+        let done = matches!(resp, Response::ShuttingDown);
+        if write_line(writer.as_mut(), &resp).is_err() {
+            break;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+/// Streams that can hand out an independent writer half (both socket
+/// families can; `BufReader` then owns the read half).
+trait CloneWriter {
+    fn clone_writer(&self) -> Option<Box<dyn Write + Send>>;
+}
+
+impl CloneWriter for UnixStream {
+    fn clone_writer(&self) -> Option<Box<dyn Write + Send>> {
+        self.try_clone().ok().map(|s| Box::new(s) as _)
+    }
+}
+
+impl CloneWriter for TcpStream {
+    fn clone_writer(&self) -> Option<Box<dyn Write + Send>> {
+        self.try_clone().ok().map(|s| Box::new(s) as _)
+    }
+}
+
+impl Daemon {
+    /// Binds the configured listeners (at least one must be given).
+    /// A stale Unix socket file is removed first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and an all-`None` listener config.
+    pub fn bind(config: DaemonConfig) -> Result<Self, String> {
+        if config.unix_socket.is_none() && config.tcp_addr.is_none() {
+            return Err("scored needs a Unix socket path or a TCP address to serve on".into());
+        }
+        let unix = match &config.unix_socket {
+            Some(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)
+                    .map_err(|e| format!("binding {}: {e}", path.display()))?;
+                l.set_nonblocking(true)
+                    .map_err(|e| format!("unix listener: {e}"))?;
+                Some(l)
+            }
+            None => None,
+        };
+        let tcp = match &config.tcp_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+                l.set_nonblocking(true)
+                    .map_err(|e| format!("tcp listener: {e}"))?;
+                Some(l)
+            }
+            None => None,
+        };
+        Ok(Daemon {
+            state: Arc::new(DaemonState {
+                config,
+                tenants: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+            }),
+            unix,
+            tcp,
+        })
+    }
+
+    /// The TCP address actually bound (useful with port 0).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tcp.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Serves until a `Shutdown` request lands: accepts connections on
+    /// every bound listener, paces every tenant's event clock, and
+    /// returns once all tenants have drained and persisted their
+    /// artifacts.
+    pub fn run(self) {
+        let state = Arc::clone(&self.state);
+        // The pacing thread: round-robins tenants, advancing each on
+        // its own worker so pacing never races a request.
+        let pacer = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                while !state.shutdown.load(Ordering::SeqCst) {
+                    let tenants: Vec<Arc<Tenant>> = state
+                        .tenants
+                        .lock()
+                        .expect("tenant table poisoned")
+                        .values()
+                        .cloned()
+                        .collect();
+                    for t in tenants {
+                        let engine = Arc::clone(&t.engine);
+                        t.worker.run(move || {
+                            engine
+                                .lock()
+                                .expect("engine poisoned")
+                                .pump(PUMP_SLICE_STEPS);
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        while !state.shutdown.load(Ordering::SeqCst) {
+            let mut accepted = false;
+            if let Some(l) = &self.unix {
+                if let Ok((stream, _)) = l.accept() {
+                    accepted = true;
+                    let state = Arc::clone(&state);
+                    rayon::spawn(move || serve_connection(state, stream));
+                }
+            }
+            if let Some(l) = &self.tcp {
+                if let Ok((stream, _)) = l.accept() {
+                    accepted = true;
+                    let state = Arc::clone(&state);
+                    rayon::spawn(move || serve_connection(state, stream));
+                }
+            }
+            if !accepted {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let _ = pacer.join();
+        if let Some(path) = &state.config.unix_socket {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

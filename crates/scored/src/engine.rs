@@ -1,0 +1,446 @@
+//! The per-tenant engine: one live [`Session`] advanced in wall-clock
+//! pace, mutated only at drained event boundaries, and recorded into a
+//! replayable audit log.
+//!
+//! # Replayability contract
+//!
+//! Every mutating request (placement, removal, traffic delta) is
+//! applied at a **drained boundary** — an instant where every pending
+//! event lies strictly in the future ([`Session::drain_to_boundary`])
+//! — and appended to the session's [`score_trace::TraceRecorder`] at
+//! that instant. Replaying the recorded raw event stream against a
+//! fresh session of the same scenario ([`replay_trace`]) therefore
+//! pops exactly the event prefix the live run popped before each
+//! mutation, and the final [`RunReport`]s agree **byte for byte** once
+//! serialized canonically ([`canonical_report_json`] zeroes the two
+//! wall-clock-measurement fields, which are the only nondeterministic
+//! ones).
+//!
+//! Call-count parity is part of the contract: the engine lowers every
+//! traffic request to one [`Session::apply_traffic_deltas`] call per
+//! pair whose rate actually changes (no-ops are skipped before the
+//! call), so the live apply-call count, the recorded `SetRate` count,
+//! and the replay apply-call count are all the same number and the
+//! `events_applied` statistic survives the round trip.
+
+use score_sim::{RunReport, Scenario, Session, WorkloadSpec};
+use score_topology::{ServerId, VmId};
+use score_trace::{Trace, TraceEvent};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Serializes a report canonically: the two wall-clock measurement
+/// fields (`trace.apply_ns_total` / `trace.apply_ns_max`) are zeroed —
+/// they measure *this host's* nanoseconds, not simulated state — and
+/// everything else is byte-stable under record → replay.
+pub fn canonical_report_json(report: &RunReport) -> String {
+    let mut r = report.clone();
+    r.trace.apply_ns_total = 0;
+    r.trace.apply_ns_max = 0;
+    serde_json::to_string(&r).expect("reports always serialize")
+}
+
+/// What one engine mutation changed, for responses and subscribers.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// Pairs whose rate actually changed.
+    pub pairs_changed: u64,
+    /// The drained-boundary time the mutation landed at.
+    pub at_s: f64,
+}
+
+/// A named tenant's live cluster: a recording [`Session`] plus the
+/// wall-clock pacing state that advances it between requests.
+pub struct TenantEngine {
+    name: String,
+    scenario: Scenario,
+    session: Session,
+    paused: bool,
+    /// Simulated seconds advanced per wall-clock second while running.
+    rate: f64,
+    /// Wall instant the current run-span started.
+    anchor_wall: Instant,
+    /// Event-clock time at that instant.
+    anchor_virtual: f64,
+    /// Artifact directory (`scenario.json`, `trace.jsonl`,
+    /// `report.json`) when persistence is on.
+    record_dir: Option<PathBuf>,
+    /// Recorder events already handed to subscribers.
+    streamed: usize,
+}
+
+impl TenantEngine {
+    /// Materializes a tenant from `scenario`, starts its audit
+    /// recording, and (with `record_dir`) persists `scenario.json`
+    /// immediately so a crashed daemon still leaves a replayable pair
+    /// behind.
+    ///
+    /// # Errors
+    ///
+    /// Rejects trace-driven scenarios (their scheduled shifts would be
+    /// recorded *and* replayed, double-applying every delta) and
+    /// propagates materialization and I/O failures as strings.
+    pub fn new(
+        name: &str,
+        scenario: Scenario,
+        rate: f64,
+        record_dir: Option<&Path>,
+    ) -> Result<Self, String> {
+        if matches!(scenario.workload, WorkloadSpec::Trace { .. }) {
+            return Err(
+                "scored serves live clusters; trace workloads already script their own \
+                 deltas — replay them with `scorectl trace` instead"
+                    .to_string(),
+            );
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(format!(
+                "pacing rate must be positive and finite, got {rate}"
+            ));
+        }
+        let mut session = scenario.session().map_err(|e| e.to_string())?;
+        session.start_trace_recording();
+        let record_dir = match record_dir {
+            Some(base) => {
+                let dir = base.join(name);
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| format!("creating record dir {}: {e}", dir.display()))?;
+                std::fs::write(dir.join("scenario.json"), scenario.to_json_pretty())
+                    .map_err(|e| format!("writing scenario.json: {e}"))?;
+                Some(dir)
+            }
+            None => None,
+        };
+        Ok(TenantEngine {
+            name: name.to_string(),
+            scenario,
+            session,
+            paused: false,
+            rate,
+            anchor_wall: Instant::now(),
+            anchor_virtual: 0.0,
+            record_dir,
+            streamed: 0,
+        })
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scenario this tenant materialized.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The live session (for reports and inspection).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// True while the event clock is frozen.
+    pub fn paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Advances the session toward wall-clock pace: steps until the
+    /// event clock catches up with `rate ×` elapsed run time, but at
+    /// most `max_steps` token holds per call so one tenant never
+    /// monopolizes its worker. No-op while paused or past the horizon.
+    pub fn pump(&mut self, max_steps: usize) {
+        if self.paused || self.session.horizon_reached() {
+            return;
+        }
+        let target = self.anchor_virtual + self.rate * self.anchor_wall.elapsed().as_secs_f64();
+        let mut steps = 0;
+        while steps < max_steps && self.session.now_s() < target {
+            if self.session.step().is_none() {
+                break;
+            }
+            steps += 1;
+        }
+    }
+
+    /// Freezes the event clock (mutations still apply, at the frozen
+    /// boundary). Returns the freeze time.
+    pub fn pause(&mut self) -> f64 {
+        self.paused = true;
+        self.session.now_s()
+    }
+
+    /// Unfreezes the event clock; pacing resumes from the current
+    /// instant, so paused wall time never has to be caught up.
+    pub fn resume(&mut self) -> f64 {
+        self.paused = false;
+        self.anchor_wall = Instant::now();
+        self.anchor_virtual = self.session.now_s();
+        self.session.now_s()
+    }
+
+    /// Admits a new VM at the next drained boundary. Returns
+    /// `(vm, server, boundary time)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the cluster's admission verdict.
+    pub fn place(&mut self, server: Option<u32>) -> Result<(u32, u32, f64), String> {
+        let at_s = self.session.drain_to_boundary();
+        let (vm, host) = self
+            .session
+            .place_vm(server.map(ServerId::new))
+            .map_err(|e| e.to_string())?;
+        Ok((vm.get(), host.get(), at_s))
+    }
+
+    /// Retires a live VM at the next drained boundary. Returns the
+    /// boundary time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `unknown VM` for dead or out-of-range ids.
+    pub fn remove(&mut self, vm: u32) -> Result<f64, String> {
+        let at_s = self.session.drain_to_boundary();
+        self.session
+            .remove_vm(VmId::new(vm))
+            .map_err(|e| e.to_string())?;
+        Ok(at_s)
+    }
+
+    /// Applies traffic events at the next drained boundary, lowering
+    /// each to per-pair absolute re-rates applied one call per
+    /// actually-changing pair (see the module docs for why).
+    ///
+    /// # Errors
+    ///
+    /// Rejects churn and marker events (`Place`/`Remove` requests are
+    /// the churn path) and propagates delta validation failures; events
+    /// before the failing one stay applied, exactly as they were
+    /// recorded.
+    pub fn traffic(&mut self, events: &[TraceEvent]) -> Result<Applied, String> {
+        for ev in events {
+            match ev {
+                TraceEvent::PlaceVm { .. } | TraceEvent::RemoveVm { .. } => {
+                    return Err(
+                        "churn events are not traffic; send Place / Remove requests".to_string()
+                    )
+                }
+                TraceEvent::Marker { .. } => {
+                    return Err("markers have no live meaning; send rate events".to_string())
+                }
+                TraceEvent::SetRate { .. }
+                | TraceEvent::ScalePair { .. }
+                | TraceEvent::ScaleAll { .. } => {}
+            }
+        }
+        let at_s = self.session.drain_to_boundary();
+        let mut pairs_changed = 0u64;
+        for ev in events {
+            let updates: Vec<(VmId, VmId, f64)> = match *ev {
+                TraceEvent::SetRate { u, v, rate } => {
+                    vec![(VmId::new(u), VmId::new(v), rate)]
+                }
+                TraceEvent::ScalePair { u, v, factor } => {
+                    if !(factor.is_finite() && factor >= 0.0) {
+                        return Err(format!("invalid scale factor {factor}"));
+                    }
+                    let (u, v) = (VmId::new(u), VmId::new(v));
+                    if u.get() >= self.session.traffic().num_vms()
+                        || v.get() >= self.session.traffic().num_vms()
+                        || u == v
+                    {
+                        return Err(format!("ScalePair names an invalid pair ({u}, {v})"));
+                    }
+                    vec![(u, v, self.session.traffic().rate(u, v) * factor)]
+                }
+                TraceEvent::ScaleAll { factor } => {
+                    if !(factor.is_finite() && factor >= 0.0) {
+                        return Err(format!("invalid scale factor {factor}"));
+                    }
+                    self.session
+                        .traffic()
+                        .pairs()
+                        .iter()
+                        .map(|&(u, v, r)| (u, v, r * factor))
+                        .collect()
+                }
+                TraceEvent::PlaceVm { .. }
+                | TraceEvent::RemoveVm { .. }
+                | TraceEvent::Marker { .. } => unreachable!("rejected above"),
+            };
+            for (u, v, rate) in updates {
+                // Skip no-ops *before* the call: the recorded stream
+                // then contains one SetRate per apply call, and replay
+                // makes exactly as many calls as the live run did.
+                if u.get() < self.session.traffic().num_vms()
+                    && v.get() < self.session.traffic().num_vms()
+                    && u != v
+                    && self.session.traffic().rate(u, v) == rate
+                {
+                    continue;
+                }
+                self.session
+                    .apply_traffic_deltas(&[(u, v, rate)])
+                    .map_err(|e| e.to_string())?;
+                pairs_changed += 1;
+            }
+        }
+        Ok(Applied {
+            pairs_changed,
+            at_s,
+        })
+    }
+
+    /// Audit-log lines recorded since the last call — the subscriber
+    /// stream (each line is one serialized `TimedEvent`, identical to
+    /// what `trace.jsonl` receives).
+    pub fn fresh_trace_lines(&mut self) -> Vec<String> {
+        let Some(events) = self
+            .session
+            .trace_recorder_mut()
+            .map(|r| r.events().to_vec())
+        else {
+            return Vec::new();
+        };
+        let lines = events[self.streamed.min(events.len())..]
+            .iter()
+            .map(|ev| serde_json::to_string(ev).expect("events always serialize"))
+            .collect();
+        self.streamed = events.len();
+        lines
+    }
+
+    /// The tenant's canonical report JSON (see
+    /// [`canonical_report_json`]).
+    pub fn report_json(&self) -> String {
+        canonical_report_json(&self.session.report())
+    }
+
+    /// Flushes the audit log to `trace.jsonl` when persisting (cheap;
+    /// the recorder streams incrementally, stamping the *planned*
+    /// horizon into the header so a crashed daemon still leaves a
+    /// loadable stream). Call after mutations; [`TenantEngine::finish`]
+    /// rewrites the file with the true end time.
+    pub fn flush_trace(&mut self) -> Result<(), String> {
+        let Some(dir) = self.record_dir.clone() else {
+            return Ok(());
+        };
+        let end_s = self.scenario.timing.t_end_s;
+        if let Some(rec) = self.session.trace_recorder_mut() {
+            rec.append_jsonl(&dir.join("trace.jsonl"), end_s)
+                .map_err(|e| format!("flushing trace.jsonl: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Drains to a final boundary, persists `report.json` (canonical)
+    /// and the full audit log (rewritten with the true end time), and
+    /// returns the final canonical report JSON. The recorded `end_s`
+    /// is that drained boundary, so [`replay_trace`] stops at exactly
+    /// the same instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact I/O failures.
+    pub fn finish(&mut self) -> Result<String, String> {
+        self.session.drain_to_boundary();
+        let report = self.report_json();
+        if let Some(dir) = self.record_dir.clone() {
+            let end_s = self.session.now_s().max(1e-6);
+            let trace = self
+                .session
+                .trace_recorder_mut()
+                .expect("daemon sessions always record")
+                .finish(end_s)
+                .map_err(|e| format!("closing the audit log: {e}"))?;
+            trace
+                .save(&dir.join("trace.jsonl"))
+                .map_err(|e| format!("writing trace.jsonl: {e}"))?;
+            std::fs::write(dir.join("report.json"), &report)
+                .map_err(|e| format!("writing report.json: {e}"))?;
+        }
+        Ok(report)
+    }
+}
+
+/// Replays a recorded daemon audit log against a fresh session of the
+/// same scenario: drain to each event's boundary, apply it, then drain
+/// to the recorded end. Returns the final report — canonically
+/// serialized, it is byte-identical to the live run's (the module
+/// docs' contract).
+///
+/// # Errors
+///
+/// Fails when the trace does not look like a daemon recording (wrong
+/// base population, scale/marker events) or an event fails to apply.
+pub fn replay_trace(scenario: &Scenario, trace: &Trace) -> Result<RunReport, String> {
+    let mut session = scenario.session().map_err(|e| e.to_string())?;
+    if trace.num_vms() != session.traffic().num_vms() {
+        return Err(format!(
+            "trace population {} does not match the scenario's {}",
+            trace.num_vms(),
+            session.traffic().num_vms()
+        ));
+    }
+    let drain_to = |session: &mut Session, at_s: f64| {
+        while session.next_event_time().is_some_and(|t| t <= at_s) {
+            if session.step().is_none() {
+                break;
+            }
+        }
+    };
+    for ev in trace.events() {
+        drain_to(&mut session, ev.time_s);
+        match ev.event {
+            TraceEvent::SetRate { u, v, rate } => {
+                session
+                    .apply_traffic_deltas(&[(VmId::new(u), VmId::new(v), rate)])
+                    .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
+            }
+            TraceEvent::PlaceVm { vm, server } => {
+                let (placed, _) = session
+                    .place_vm(Some(ServerId::new(server)))
+                    .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
+                if placed.get() != vm {
+                    return Err(format!(
+                        "replay placed vm{} where the recording placed vm{vm}",
+                        placed.get()
+                    ));
+                }
+            }
+            TraceEvent::RemoveVm { vm } => {
+                session
+                    .remove_vm(VmId::new(vm))
+                    .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
+            }
+            TraceEvent::ScalePair { .. } | TraceEvent::ScaleAll { .. } => {
+                return Err(
+                    "daemon recordings contain only absolute re-rates; this trace does not \
+                     look like one"
+                        .to_string(),
+                );
+            }
+            TraceEvent::Marker { .. } => {}
+        }
+    }
+    drain_to(&mut session, trace.end_s());
+    Ok(session.report())
+}
+
+/// Replays the artifact pair a recorded daemon tenant leaves behind
+/// (`scenario.json` + `trace.jsonl` in `dir`) and returns the
+/// canonical report JSON, ready to diff against `report.json`.
+///
+/// # Errors
+///
+/// Propagates artifact loading and replay failures.
+pub fn replay_dir(dir: &Path) -> Result<String, String> {
+    let scenario_text = std::fs::read_to_string(dir.join("scenario.json"))
+        .map_err(|e| format!("reading {}/scenario.json: {e}", dir.display()))?;
+    let scenario =
+        Scenario::from_json(&scenario_text).map_err(|e| format!("parsing scenario.json: {e}"))?;
+    let trace = Trace::load(&dir.join("trace.jsonl"))
+        .map_err(|e| format!("loading {}/trace.jsonl: {e}", dir.display()))?;
+    let report = replay_trace(&scenario, &trace)?;
+    Ok(canonical_report_json(&report))
+}

@@ -1,0 +1,341 @@
+//! The `scored` wire protocol: line-delimited JSON over a Unix or TCP
+//! socket.
+//!
+//! Every line a client sends is one [`Request`]; every line the daemon
+//! writes back is one [`Response`]. Both are externally tagged
+//! (`{"Place": {...}}`, `"Report"`), the same serde convention the
+//! trace JSONL format uses — so a `Traffic` request embeds
+//! [`score_trace::TraceEvent`]s verbatim, and the audit log a daemon
+//! session records is *the same encoding* a synthetic churn trace uses.
+//!
+//! Malformed input never tears a connection down: a line that fails to
+//! parse produces a structured [`Response::Error`] (code `parse`) and
+//! the connection keeps serving.
+
+use score_trace::TraceEvent;
+use serde::{Deserialize, Serialize, Value};
+
+/// One client request line.
+///
+/// | request     | payload                                   | effect |
+/// |-------------|-------------------------------------------|--------|
+/// | `Attach`    | `{"tenant": "name"}`                      | bind the connection to a tenant namespace (created on first attach) |
+/// | `Place`     | `{"server": 3}` or `{}`                   | admit a new VM (daemon picks the host when `server` is omitted) |
+/// | `Remove`    | `{"vm": 7}`                               | retire a live VM |
+/// | `Traffic`   | `{"events": [{"SetRate": {...}}, ...]}`   | apply rate deltas (`SetRate` / `ScalePair` / `ScaleAll`) |
+/// | `Report`    | —                                         | canonical `RunReport` JSON of the tenant |
+/// | `Pause`     | —                                         | freeze the tenant's event clock |
+/// | `Resume`    | —                                         | unfreeze it |
+/// | `Subscribe` | —                                         | stream every later mutation + trace line to this connection |
+/// | `Shutdown`  | —                                         | drain, persist artifacts, stop the daemon |
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Request {
+    /// Bind this connection to the named tenant (created on first use).
+    Attach {
+        /// Tenant namespace; one independent cluster/session each.
+        tenant: String,
+    },
+    /// Admit a new VM, on `server` or the daemon's deterministic pick.
+    Place {
+        /// Explicit host, or `None`/omitted for the placement manager's
+        /// most-free-slots choice.
+        server: Option<u32>,
+    },
+    /// Retire a live VM.
+    Remove {
+        /// The VM to remove.
+        vm: u32,
+    },
+    /// Apply traffic deltas, encoded as trace events.
+    Traffic {
+        /// `SetRate` / `ScalePair` / `ScaleAll` events; churn and
+        /// markers are rejected (churn arrives as `Place` / `Remove`).
+        events: Vec<TraceEvent>,
+    },
+    /// Take the tenant's canonical report.
+    Report,
+    /// Freeze the tenant's event clock (mutations still apply).
+    Pause,
+    /// Unfreeze the tenant's event clock.
+    Resume,
+    /// Stream subsequent mutations and trace lines to this connection.
+    Subscribe,
+    /// Gracefully drain every tenant and stop the daemon.
+    Shutdown,
+}
+
+// Deserialization is hand-written (instead of derived) so optional
+// payload fields may simply be *omitted* — `{"Place": {}}` — which the
+// field-exact derive would reject.
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        if let Some(tag) = v.as_str() {
+            return match tag {
+                "Report" => Ok(Request::Report),
+                "Pause" => Ok(Request::Pause),
+                "Resume" => Ok(Request::Resume),
+                "Subscribe" => Ok(Request::Subscribe),
+                "Shutdown" => Ok(Request::Shutdown),
+                other => Err(serde::Error::custom(format!("unknown request `{other}`"))),
+            };
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected a request string or object"))?;
+        if obj.len() != 1 {
+            return Err(serde::Error::custom(
+                "expected exactly one request tag per line",
+            ));
+        }
+        let (tag, inner) = &obj[0];
+        match tag.as_str() {
+            "Attach" => Ok(Request::Attach {
+                tenant: Deserialize::from_value(serde::field(
+                    inner
+                        .as_object()
+                        .ok_or_else(|| serde::Error::custom("Attach payload must be an object"))?,
+                    "tenant",
+                )?)?,
+            }),
+            "Place" => {
+                let server = match inner.as_object() {
+                    Some(fields) => match serde::field(fields, "server") {
+                        Ok(val) => Deserialize::from_value(val)?,
+                        Err(_) => None,
+                    },
+                    None => None,
+                };
+                Ok(Request::Place { server })
+            }
+            "Remove" => Ok(Request::Remove {
+                vm: Deserialize::from_value(serde::field(
+                    inner
+                        .as_object()
+                        .ok_or_else(|| serde::Error::custom("Remove payload must be an object"))?,
+                    "vm",
+                )?)?,
+            }),
+            "Traffic" => Ok(Request::Traffic {
+                events: Deserialize::from_value(serde::field(
+                    inner
+                        .as_object()
+                        .ok_or_else(|| serde::Error::custom("Traffic payload must be an object"))?,
+                    "events",
+                )?)?,
+            }),
+            "Report" | "Pause" | "Resume" | "Subscribe" | "Shutdown" => Err(serde::Error::custom(
+                format!("request `{tag}` carries no payload; send the bare string"),
+            )),
+            other => Err(serde::Error::custom(format!("unknown request `{other}`"))),
+        }
+    }
+}
+
+/// One daemon response (or subscriber stream) line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The connection is bound to a tenant.
+    Attached {
+        /// The tenant namespace.
+        tenant: String,
+        /// Live VMs in the tenant's cluster.
+        num_vms: u32,
+        /// The tenant's event-clock time.
+        now_s: f64,
+    },
+    /// A VM was admitted.
+    Placed {
+        /// The new VM's id (dense, stable for the tenant's lifetime).
+        vm: u32,
+        /// The host it landed on.
+        server: u32,
+        /// Event-clock time of the mutation (a drained boundary).
+        at_s: f64,
+    },
+    /// A VM was retired.
+    Removed {
+        /// The removed VM.
+        vm: u32,
+        /// Event-clock time of the mutation.
+        at_s: f64,
+    },
+    /// Traffic deltas were applied.
+    Applied {
+        /// Events accepted from the request.
+        events: u32,
+        /// Pairs whose rate actually changed.
+        pairs_changed: u64,
+        /// Event-clock time of the mutation.
+        at_s: f64,
+    },
+    /// The canonical report (wall-clock-free, byte-stable under
+    /// replay), embedded as a JSON string so its bytes survive
+    /// re-serialization untouched.
+    Report {
+        /// Canonical `RunReport` JSON.
+        json: String,
+    },
+    /// The tenant clock froze.
+    Paused {
+        /// Time it froze at.
+        at_s: f64,
+    },
+    /// The tenant clock resumed.
+    Resumed {
+        /// Time it resumed at.
+        at_s: f64,
+    },
+    /// This connection now streams the tenant's mutations.
+    Subscribed {
+        /// The tenant being observed.
+        tenant: String,
+    },
+    /// One recorded audit-log line, streamed to subscribers — exactly
+    /// the JSONL the tenant's trace file receives.
+    Trace {
+        /// A serialized `TimedEvent` line.
+        line: String,
+    },
+    /// The daemon is draining and will exit.
+    ShuttingDown,
+    /// A request failed; the connection stays open.
+    Error {
+        /// Machine-readable class: `parse`, `detached`, `placement`,
+        /// `unknown-vm`, `bad-event`, `bad-request`.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Builds the structured error response for `code`/`message`.
+    pub fn error(code: &str, message: impl Into<String>) -> Self {
+        Response::Error {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line; a failure becomes the `parse` error
+/// response the daemon writes back (the connection survives).
+pub fn parse_request(line: &str) -> Result<Request, Response> {
+    serde_json::from_str::<Request>(line.trim())
+        .map_err(|e| Response::error("parse", format!("bad request line: {e}")))
+}
+
+/// Serializes one response as a protocol line (no trailing newline).
+pub fn response_line(resp: &Response) -> String {
+    serde_json::to_string(resp).expect("responses always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(req: &Request) {
+        let line = serde_json::to_string(req).unwrap();
+        let back = parse_request(&line).unwrap();
+        assert_eq!(&back, req, "request line: {line}");
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        round_trip(&Request::Attach {
+            tenant: "edge-pod".into(),
+        });
+        round_trip(&Request::Place { server: Some(3) });
+        round_trip(&Request::Place { server: None });
+        round_trip(&Request::Remove { vm: 7 });
+        round_trip(&Request::Traffic {
+            events: vec![
+                TraceEvent::SetRate {
+                    u: 0,
+                    v: 1,
+                    rate: 2.5e6,
+                },
+                TraceEvent::ScalePair {
+                    u: 1,
+                    v: 2,
+                    factor: 0.5,
+                },
+                TraceEvent::ScaleAll { factor: 1.25 },
+            ],
+        });
+        round_trip(&Request::Report);
+        round_trip(&Request::Pause);
+        round_trip(&Request::Resume);
+        round_trip(&Request::Subscribe);
+        round_trip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn omitted_optional_fields_parse() {
+        assert_eq!(
+            parse_request(r#"{"Place": {}}"#).unwrap(),
+            Request::Place { server: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"Place": {"server": null}}"#).unwrap(),
+            Request::Place { server: None }
+        );
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let responses = vec![
+            Response::Attached {
+                tenant: "t".into(),
+                num_vms: 64,
+                now_s: 1.5,
+            },
+            Response::Placed {
+                vm: 64,
+                server: 3,
+                at_s: 2.0,
+            },
+            Response::Removed { vm: 2, at_s: 2.5 },
+            Response::Applied {
+                events: 3,
+                pairs_changed: 2,
+                at_s: 3.0,
+            },
+            Response::Report {
+                json: "{\"x\":1}".into(),
+            },
+            Response::Paused { at_s: 4.0 },
+            Response::Resumed { at_s: 5.0 },
+            Response::Subscribed { tenant: "t".into() },
+            Response::Trace {
+                line: "{\"time_s\":1.0}".into(),
+            },
+            Response::ShuttingDown,
+            Response::error("parse", "nope"),
+        ];
+        for resp in responses {
+            let line = response_line(&resp);
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp, "response line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_become_structured_errors() {
+        for bad in [
+            "",
+            "not json",
+            "42",
+            r#"{"Nope": {}}"#,
+            r#"{"Place": {}, "Remove": {}}"#,
+            r#"{"Remove": {}}"#,
+            r#"{"Report": {}}"#,
+            "\"Nope\"",
+        ] {
+            match parse_request(bad) {
+                Err(Response::Error { code, .. }) => assert_eq!(code, "parse", "line: {bad}"),
+                other => panic!("line {bad:?} must fail as a parse error, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Integration tests for the `scored` daemon stack.
+//!
+//! Three layers are pinned here:
+//!
+//! 1. **Replayability** — a live engine session with churn, traffic,
+//!    and pacing noise leaves artifacts whose replay reproduces the
+//!    final canonical report **byte for byte**.
+//! 2. **Pause → mutate → resume determinism** (proptest) — arbitrary
+//!    interleavings of pacing, pauses, and mutations stay equivalent to
+//!    a batch replay of the recorded stream, with zero ledger resyncs.
+//! 3. **The socket protocol** — a real daemon on a Unix socket serves
+//!    place / traffic / report / subscribe / shutdown, survives
+//!    malformed lines, and its recorded artifacts replay to the exact
+//!    report the live daemon handed out.
+
+use proptest::prelude::*;
+use score_scored::proto::{response_line, Request, Response};
+use score_scored::{replay_dir, Daemon, DaemonConfig, TenantEngine};
+use score_sim::{PolicyKind, Scenario};
+use score_trace::TraceEvent;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+fn quick_scenario(seed: u64) -> Scenario {
+    let mut s = Scenario::builder()
+        .canonical_tree(8, 4)
+        .sparse_traffic(seed)
+        .policy(PolicyKind::HighestLevelFirst)
+        .build();
+    s.seed = seed;
+    s.timing.t_end_s = 60.0;
+    s.timing.sample_interval_s = 5.0;
+    s.timing.token_hold_s = 0.05;
+    s.timing.token_pass_s = 0.01;
+    s
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scored_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Live churn + traffic + wall pacing, then replay the artifacts: the
+/// canonical reports must agree byte for byte (the tentpole contract).
+#[test]
+fn recorded_engine_session_replays_byte_for_byte() {
+    let dir = temp_dir("engine_replay");
+    let mut engine = TenantEngine::new("t0", quick_scenario(7), 2000.0, Some(&dir)).unwrap();
+
+    // Let real wall time leak into the event clock between mutations —
+    // replay must be immune to however far the ring got.
+    for round in 0..4u32 {
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        engine.pump(10_000);
+        let (vm, _server, _at) = engine.place(None).unwrap();
+        engine
+            .traffic(&[
+                TraceEvent::SetRate {
+                    u: 0,
+                    v: vm,
+                    rate: 1e6 * f64::from(round + 1),
+                },
+                TraceEvent::ScaleAll { factor: 1.1 },
+            ])
+            .unwrap();
+        engine.flush_trace().unwrap();
+        if round % 2 == 1 {
+            engine.remove(vm).unwrap();
+        }
+    }
+    let live_report = engine.finish().unwrap();
+    assert_eq!(engine.session().ledger_resyncs(), 0, "live run resynced");
+
+    let replayed = replay_dir(&dir.join("t0")).unwrap();
+    assert_eq!(replayed, live_report, "replay diverged from the live run");
+    // The persisted report is the same bytes.
+    let on_disk = std::fs::read_to_string(dir.join("t0").join("report.json")).unwrap();
+    assert_eq!(on_disk, live_report);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drives one request line and returns the response line.
+fn roundtrip(reader: &mut BufReader<UnixStream>, writer: &mut UnixStream, req: &str) -> Response {
+    writer.write_all(req.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    serde_json::from_str(&line).unwrap()
+}
+
+/// End to end over a Unix socket: malformed lines get structured errors
+/// without dropping the connection, mutations flow, a subscriber sees
+/// the stream, shutdown drains, and the recorded artifacts replay to
+/// the daemon's own final report.
+#[test]
+fn daemon_serves_mutations_and_replays_over_a_unix_socket() {
+    let dir = temp_dir("daemon_e2e");
+    let socket = dir.join("scored.sock");
+    let record_dir = dir.join("records");
+    let daemon = Daemon::bind(DaemonConfig {
+        scenario: quick_scenario(11),
+        unix_socket: Some(socket.clone()),
+        tcp_addr: None,
+        rate: 500.0,
+        record_dir: Some(record_dir.clone()),
+    })
+    .unwrap();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let stream = UnixStream::connect(&socket).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // A subscriber on its own connection, same (default) tenant.
+    let sub_stream = UnixStream::connect(&socket).unwrap();
+    let mut sub_writer = sub_stream.try_clone().unwrap();
+    let mut sub_reader = BufReader::new(sub_stream);
+    match roundtrip(&mut sub_reader, &mut sub_writer, "\"Subscribe\"") {
+        Response::Subscribed { tenant } => assert_eq!(tenant, "default"),
+        other => panic!("expected Subscribed, got {other:?}"),
+    }
+
+    // Malformed input: structured error, connection survives.
+    match roundtrip(&mut reader, &mut writer, "this is not json") {
+        Response::Error { code, .. } => assert_eq!(code, "parse"),
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+
+    let vm = match roundtrip(&mut reader, &mut writer, r#"{"Place": {}}"#) {
+        Response::Placed { vm, .. } => vm,
+        other => panic!("expected Placed, got {other:?}"),
+    };
+    let traffic = serde_json::to_string(&Request::Traffic {
+        events: vec![TraceEvent::SetRate {
+            u: 0,
+            v: vm,
+            rate: 5e6,
+        }],
+    })
+    .unwrap();
+    match roundtrip(&mut reader, &mut writer, &traffic) {
+        Response::Applied { pairs_changed, .. } => assert_eq!(pairs_changed, 1),
+        other => panic!("expected Applied, got {other:?}"),
+    }
+    // A traffic event naming a dead pair: structured error, connection
+    // survives and keeps serving.
+    let bad = serde_json::to_string(&Request::Traffic {
+        events: vec![TraceEvent::ScalePair {
+            u: 0,
+            v: 0,
+            factor: 2.0,
+        }],
+    })
+    .unwrap();
+    match roundtrip(&mut reader, &mut writer, &bad) {
+        Response::Error { code, .. } => assert_eq!(code, "bad-event"),
+        other => panic!("expected bad-event, got {other:?}"),
+    }
+    match roundtrip(&mut reader, &mut writer, "\"Report\"") {
+        Response::Report { json } => assert!(json.contains("\"final_cost\"") || !json.is_empty()),
+        other => panic!("expected Report, got {other:?}"),
+    }
+
+    // The subscriber saw the placement: trace line(s), the mutation
+    // response, then a refreshed report.
+    let mut saw_trace = false;
+    let mut saw_placed = false;
+    for _ in 0..8 {
+        let mut line = String::new();
+        sub_reader.read_line(&mut line).unwrap();
+        match serde_json::from_str::<Response>(&line).unwrap() {
+            Response::Trace { .. } => saw_trace = true,
+            Response::Placed { vm: v, .. } => {
+                assert_eq!(v, vm);
+                saw_placed = true;
+                break;
+            }
+            Response::Report { .. } | Response::Applied { .. } => {}
+            other => panic!("unexpected subscriber line: {other:?}"),
+        }
+    }
+    assert!(
+        saw_trace && saw_placed,
+        "subscriber missed the mutation stream"
+    );
+
+    let final_report = match roundtrip(&mut reader, &mut writer, "\"Shutdown\"") {
+        Response::ShuttingDown => {
+            // The daemon's persisted report is the authority.
+            server.join().unwrap();
+            std::fs::read_to_string(record_dir.join("default").join("report.json")).unwrap()
+        }
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    };
+    let replayed = replay_dir(&record_dir.join("default")).unwrap();
+    assert_eq!(
+        replayed, final_report,
+        "replaying the daemon's recorded session diverged from its own final report"
+    );
+    assert!(!socket.exists(), "shutdown must remove the socket file");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `response_line` is what the daemon writes; sanity-pin the shape once
+/// at the integration level too.
+#[test]
+fn responses_serialize_as_single_lines() {
+    let line = response_line(&Response::Paused { at_s: 1.25 });
+    assert!(!line.contains('\n'));
+    assert!(line.contains("Paused"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite: pause → mutate → resume determinism. Arbitrary
+    /// interleavings of pacing noise, pauses, and mutations on a live
+    /// engine must stay equivalent to a batch replay of the recorded
+    /// stream — byte-for-byte report equality, zero resyncs on both
+    /// sides.
+    #[test]
+    fn paused_and_paced_mutations_replay_identically(
+        seed in 0u64..1_000,
+        ops in prop::collection::vec((0u8..5, 0u32..40, 1u32..100), 1..16),
+    ) {
+        let dir = temp_dir(&format!("prop_{seed}"));
+        let mut engine =
+            TenantEngine::new("p", quick_scenario(seed), 5_000.0, Some(&dir)).unwrap();
+        let mut live = Vec::new();
+        for (kind, vm_pick, rate_pick) in ops {
+            match kind {
+                0 => {
+                    if let Ok((vm, _, _)) = engine.place(None) {
+                        live.push(vm);
+                    }
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let vm = live.remove(vm_pick as usize % live.len());
+                        engine.remove(vm).unwrap();
+                    }
+                }
+                2 => {
+                    if let Some(&vm) = live.first() {
+                        engine.traffic(&[TraceEvent::SetRate {
+                            u: 0,
+                            v: vm,
+                            rate: f64::from(rate_pick) * 1e5,
+                        }]).unwrap_or_else(|e| panic!("traffic: {e}"));
+                    }
+                }
+                3 => { engine.pause(); }
+                _ => {
+                    engine.resume();
+                    engine.pump(rate_pick as usize * 8);
+                }
+            }
+            prop_assert_eq!(engine.session().ledger_resyncs(), 0);
+        }
+        let live_report = engine.finish().unwrap();
+        prop_assert_eq!(engine.session().ledger_resyncs(), 0);
+        let replayed = replay_dir(&dir.join("p")).unwrap();
+        prop_assert_eq!(replayed, live_report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -119,6 +119,11 @@ impl EventQueue {
         self.schedule_at(self.now_s + delay_s, event);
     }
 
+    /// Timestamp of the earliest pending event, without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time_s)
+    }
+
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(f64, SimEvent)> {
         let s = self.heap.pop()?;

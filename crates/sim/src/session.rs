@@ -12,10 +12,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use score_core::{
-    Cluster, CostLedger, CostModel, IterationStats, OutlookContext, ScoreEngine, StepOutcome,
-    TokenRing,
+    Cluster, ClusterError, CostLedger, CostModel, IterationStats, OutlookContext, ScoreEngine,
+    StepOutcome, TokenRing,
 };
-use score_topology::{Topology, VmId};
+use score_topology::{ServerId, Topology, VmId};
 use score_trace::{
     CompiledTrace, DeltaBatch, OracleForecaster, Trace, TraceRecorder, TraceSegment,
 };
@@ -137,6 +137,12 @@ pub struct Session {
     /// segment/phase (the event clock restarts per rebind; the
     /// recorder's must not).
     recorder_offset_s: f64,
+    /// True while a `TokenArrive` event sits in the queue (or is being
+    /// handled). The token chain dies when the ring empties; a live
+    /// placement into an empty ring must revive it with a fresh event —
+    /// but only if no stale one is still in flight, or the ring would
+    /// circulate twice per hold ever after.
+    token_event_pending: bool,
 }
 
 impl Session {
@@ -281,6 +287,7 @@ impl Session {
             forecast_stats: ForecastStats::default(),
             recorder: None,
             recorder_offset_s: 0.0,
+            token_event_pending: false,
         };
         session.prime_queue();
         if let Some(seg) = segment {
@@ -316,6 +323,7 @@ impl Session {
                 vm: self.ring.holder().unwrap_or(VmId::new(0)),
             },
         );
+        self.token_event_pending = true;
         self.queue.schedule_at(self.horizon_s, SimEvent::End);
     }
 
@@ -441,6 +449,7 @@ impl Session {
                     }
                 }
                 SimEvent::TokenArrive { vm: _ } => {
+                    self.token_event_pending = false;
                     self.freshen_ledger();
                     // Every decision flows through an outlook; without a
                     // forecaster it is the reactive one and this is the
@@ -503,6 +512,7 @@ impl Session {
                             self.scenario.timing.token_hold_s + self.scenario.timing.token_pass_s,
                             SimEvent::TokenArrive { vm: next },
                         );
+                        self.token_event_pending = true;
                     }
                     return Some(outcome);
                 }
@@ -666,6 +676,11 @@ impl Session {
             if u.get() >= num_vms || v.get() >= num_vms {
                 return Err(ScenarioError::Workload(format!(
                     "traffic delta pair ({u}, {v}) exceeds the population of {num_vms} VMs"
+                )));
+            }
+            if !self.cluster.is_active(u) || !self.cluster.is_active(v) {
+                return Err(ScenarioError::Workload(format!(
+                    "traffic delta pair ({u}, {v}) names a departed VM"
                 )));
             }
             if !rate.is_finite() || rate < 0.0 {
@@ -881,6 +896,109 @@ impl Session {
                 Ok(self.report())
             })
             .collect()
+    }
+
+    /// Timestamp of the next pending event, if any — the boundary a
+    /// live driver (the `scored` daemon) drains to before applying
+    /// cluster mutations, so a recorded mutation at `t` replays against
+    /// exactly the event prefix `<= t`.
+    pub fn next_event_time(&self) -> Option<f64> {
+        self.queue.peek_time()
+    }
+
+    /// Steps until every pending event lies **strictly after** the
+    /// current instant, returning that instant — the only clock states
+    /// where a live driver may apply cluster mutations. A mutation
+    /// recorded at such a drained boundary `t` replays exactly: the
+    /// events a replayer pops with `next_event_time() <= t` are
+    /// precisely the events the live run popped before mutating, ties
+    /// included (same-timestamp events can never straddle the
+    /// boundary, because none are left pending at it).
+    pub fn drain_to_boundary(&mut self) -> f64 {
+        while self
+            .queue
+            .peek_time()
+            .is_some_and(|t| t <= self.queue.now_s())
+        {
+            if self.step().is_none() {
+                break;
+            }
+        }
+        self.queue.now_s()
+    }
+
+    /// Places a newly arriving VM on `server` (or the deterministic
+    /// [`Cluster::choose_server`] pick when `None`) **live**, without
+    /// resetting the clock, ring, or accumulators: the newcomer gets the
+    /// next dense id, joins the token ring, and starts with zero traffic
+    /// — so `C_A` is untouched and the incremental ledger stays exact
+    /// with no repricing at all. If the ring was empty (every prior VM
+    /// departed), the token chain is revived: a fresh `TokenArrive`
+    /// fires one hold+pass from now. Recorded as a
+    /// [`score_trace::TraceEvent::PlaceVm`] when recording is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Cluster`] when the explicit target
+    /// rejects the VM or no server has capacity; the session is
+    /// unchanged on error.
+    pub fn place_vm(
+        &mut self,
+        server: Option<ServerId>,
+    ) -> Result<(VmId, ServerId), ScenarioError> {
+        let spec = self.scenario.resources.vm;
+        let (vm, host) = self.cluster.place_vm(spec, server)?;
+        let mirrored = self.traffic.push_vm();
+        debug_assert_eq!(vm, mirrored, "session and cluster ids diverged");
+        self.ring.add_vm(vm);
+        if !self.token_event_pending && !self.finished {
+            self.queue.schedule_in(
+                self.scenario.timing.token_hold_s + self.scenario.timing.token_pass_s,
+                SimEvent::TokenArrive { vm },
+            );
+            self.token_event_pending = true;
+        }
+        if let Some(rec) = &mut self.recorder {
+            rec.record_place(
+                self.recorder_offset_s + self.queue.now_s(),
+                vm.get(),
+                host.get(),
+            );
+        }
+        Ok((vm, host))
+    }
+
+    /// Removes a live VM **in place**: its surviving pair rates are
+    /// zeroed through the ordinary sparse delta path (one
+    /// [`Session::apply_traffic_deltas`] call per pair, so the recorded
+    /// `SetRate` stream replays with the same number of apply calls and
+    /// the cost ledger re-prices exactly `O(degree)` pairs — no resync),
+    /// its server resources are released, the id is tombstoned (ids stay
+    /// dense and stable), and it leaves the token ring — if it held the
+    /// token, the pending pass simply finds the successor. Recorded as a
+    /// [`score_trace::TraceEvent::RemoveVm`] when recording is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Cluster`] for an out-of-range or
+    /// already-removed id; the session is unchanged on error.
+    pub fn remove_vm(&mut self, vm: VmId) -> Result<(), ScenarioError> {
+        if !self.cluster.is_active(vm) {
+            return Err(ClusterError::UnknownVm { vm }.into());
+        }
+        let peers: Vec<VmId> = self.traffic.peers(vm).iter().map(|&(p, _)| p).collect();
+        for peer in peers {
+            self.apply_traffic_deltas(&[(vm, peer, 0.0)])?;
+        }
+        // All pairs are quiet now, so this only releases resources and
+        // tombstones — the returned change set is empty by construction.
+        let residual = self.cluster.remove_vm(vm)?;
+        debug_assert!(residual.is_empty(), "zeroing left live pairs behind");
+        self.ring.remove_vm(vm);
+        if let Some(rec) = &mut self.recorder {
+            rec.record_remove(self.recorder_offset_s + self.queue.now_s(), vm.get());
+        }
+        Ok(())
     }
 }
 
@@ -1564,5 +1682,201 @@ mod tests {
             scenario.session(),
             Err(ScenarioError::Placement(_))
         ));
+    }
+
+    #[test]
+    fn live_churn_keeps_the_ledger_exact_without_resyncs() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 21)
+            .session()
+            .unwrap();
+        session.run(1);
+        let before = session.current_cost();
+        let (vm, host) = session.place_vm(None).unwrap();
+        assert_eq!(vm.get(), session.cluster().num_vms() - 1);
+        assert_eq!(session.cluster().allocation().server_of(vm), host);
+        // A newcomer idles at zero rate: C_A is untouched.
+        assert_eq!(session.current_cost(), before);
+        session
+            .apply_traffic_deltas(&[(vm, VmId::new(0), 4e6)])
+            .unwrap();
+        session.run(1);
+        session.remove_vm(VmId::new(1)).unwrap();
+        assert!(!session.cluster().is_active(VmId::new(1)));
+        session.run(1);
+        assert_eq!(
+            session.ledger_resyncs(),
+            0,
+            "churn must stay on the sparse repricing path"
+        );
+        let exact = session.cost_model().total_cost(
+            session.cluster().allocation(),
+            session.traffic(),
+            session.cluster().topo(),
+        );
+        let got = session.current_cost();
+        assert!(
+            (got - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+            "incremental {got} vs full recompute {exact}"
+        );
+    }
+
+    #[test]
+    fn churn_rejects_dead_or_unknown_vms() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 22)
+            .session()
+            .unwrap();
+        let n = session.cluster().num_vms();
+        session.remove_vm(VmId::new(0)).unwrap();
+        assert!(session.remove_vm(VmId::new(0)).is_err(), "double remove");
+        assert!(session.remove_vm(VmId::new(n + 7)).is_err(), "out of range");
+        assert!(
+            session
+                .apply_traffic_deltas(&[(VmId::new(0), VmId::new(1), 1e6)])
+                .is_err(),
+            "deltas must not resurrect a departed VM"
+        );
+    }
+
+    #[test]
+    fn removing_every_vm_drains_the_run_cleanly() {
+        let mut session = quick_scenario(PolicyKind::RoundRobin, 23)
+            .session()
+            .unwrap();
+        let n = session.cluster().num_vms();
+        for v in 0..n {
+            session.remove_vm(VmId::new(v)).unwrap();
+        }
+        assert_eq!(session.cluster().num_active(), 0);
+        // The ledger is a running sum; zeroing every pair leaves only
+        // floating-point residue behind.
+        assert!(session.current_cost().abs() <= 1e-9 * session.initial_cost().abs().max(1.0));
+        session.run_to_horizon();
+        assert!(session.horizon_reached());
+        assert_eq!(session.ledger_resyncs(), 0);
+        // The cluster keeps accepting arrivals after the horizon (the
+        // daemon mutates state between runs); ids stay dense.
+        let (vm, _) = session.place_vm(None).unwrap();
+        assert_eq!(vm.get(), n);
+    }
+
+    #[test]
+    fn recorded_churn_replays_identically() {
+        use score_trace::TraceEvent;
+
+        let mut live = quick_scenario(PolicyKind::HighestLevelFirst, 31)
+            .session()
+            .unwrap();
+        live.start_trace_recording();
+        live.run(1);
+        live.drain_to_boundary();
+        let (vm, _) = live.place_vm(None).unwrap();
+        live.apply_traffic_deltas(&[(vm, VmId::new(2), 8e6)])
+            .unwrap();
+        live.run(1);
+        live.drain_to_boundary();
+        live.remove_vm(VmId::new(0)).unwrap();
+        live.run_to_horizon();
+        let trace = live.recorded_trace().unwrap();
+        let live_report = live.report();
+
+        // Replay the raw event stream against a fresh session: drain to
+        // each event's boundary, then apply the same mutation.
+        let mut replay = quick_scenario(PolicyKind::HighestLevelFirst, 31)
+            .session()
+            .unwrap();
+        for ev in trace.events() {
+            while replay.next_event_time().is_some_and(|t| t <= ev.time_s) {
+                if replay.step().is_none() {
+                    break;
+                }
+            }
+            match ev.event {
+                TraceEvent::SetRate { u, v, rate } => {
+                    replay
+                        .apply_traffic_deltas(&[(VmId::new(u), VmId::new(v), rate)])
+                        .unwrap();
+                }
+                TraceEvent::PlaceVm { server, .. } => {
+                    replay.place_vm(Some(ServerId::new(server))).unwrap();
+                }
+                TraceEvent::RemoveVm { vm } => {
+                    replay.remove_vm(VmId::new(vm)).unwrap();
+                }
+                TraceEvent::ScalePair { .. }
+                | TraceEvent::ScaleAll { .. }
+                | TraceEvent::Marker { .. } => {}
+            }
+        }
+        replay.run_to_horizon();
+        let strip = |mut r: RunReport| {
+            r.trace.apply_ns_total = 0;
+            r.trace.apply_ns_max = 0;
+            r
+        };
+        assert_eq!(
+            strip(live_report),
+            strip(replay.report()),
+            "a recorded churn session must replay byte-for-byte"
+        );
+        assert_eq!(replay.ledger_resyncs(), 0);
+    }
+
+    mod churn_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Satellite regression pin: across arbitrary interleavings
+            /// of placements, departures, live deltas and token holds,
+            /// the cost ledger never pays a full resync and still agrees
+            /// with a from-scratch Eq.-(2) recomputation.
+            #[test]
+            fn churn_never_resyncs_and_stays_exact(
+                ops in prop::collection::vec((0u8..4, 0u32..64, 0u32..64, 1u32..100), 1..24),
+            ) {
+                let mut session = quick_scenario(PolicyKind::RoundRobin, 17)
+                    .session()
+                    .unwrap();
+                for &(kind, a, b, r) in &ops {
+                    let n = session.cluster().num_vms();
+                    match kind {
+                        0 => {
+                            let _ = session.place_vm(None);
+                        }
+                        1 => {
+                            let _ = session.remove_vm(VmId::new(a % n));
+                        }
+                        2 => {
+                            let u = VmId::new(a % n);
+                            let v = VmId::new(b % n);
+                            if u != v
+                                && session.cluster().is_active(u)
+                                && session.cluster().is_active(v)
+                            {
+                                session
+                                    .apply_traffic_deltas(&[(u, v, f64::from(r) * 1e5)])
+                                    .unwrap();
+                            }
+                        }
+                        _ => {
+                            let _ = session.step();
+                        }
+                    }
+                    prop_assert_eq!(session.ledger_resyncs(), 0);
+                }
+                let exact = session.cost_model().total_cost(
+                    session.cluster().allocation(),
+                    session.traffic(),
+                    session.cluster().topo(),
+                );
+                let got = session.current_cost();
+                prop_assert!(
+                    (got - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+                    "ledger {} vs exact {}", got, exact
+                );
+            }
+        }
     }
 }

@@ -61,6 +61,12 @@ impl TraceRecorder {
         self.events.len()
     }
 
+    /// The events captured so far, in recording order — live consumers
+    /// (daemon subscribers) read the tail incrementally by index.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
     /// True when nothing has been captured yet.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -75,6 +81,30 @@ impl TraceRecorder {
                 event: TraceEvent::SetRate { u, v, rate },
             });
         }
+    }
+
+    /// Records a VM arrival at `at_s` (a [`TraceEvent::PlaceVm`]): `vm`
+    /// must be the next dense id of the recorded population at that
+    /// point in the stream, and `server` the host the placement manager
+    /// chose — recording the decision keeps replay deterministic even
+    /// if the choice heuristic changes.
+    pub fn record_place(&mut self, at_s: f64, vm: u32, server: u32) {
+        self.events.push(TimedEvent {
+            time_s: at_s,
+            event: TraceEvent::PlaceVm { vm, server },
+        });
+    }
+
+    /// Records a VM departure at `at_s` (a [`TraceEvent::RemoveVm`]).
+    /// Callers record the zeroing re-rates of the VM's surviving pairs
+    /// *before* this (the session's remove path applies them as an
+    /// ordinary delta batch), so a recorded stream always removes an
+    /// already-quiet VM.
+    pub fn record_remove(&mut self, at_s: f64, vm: u32) {
+        self.events.push(TimedEvent {
+            time_s: at_s,
+            event: TraceEvent::RemoveVm { vm },
+        });
     }
 
     /// Records a phase boundary at `at_s`: a [`TraceEvent::Marker`]

@@ -56,6 +56,26 @@ pub enum TraceEvent {
         /// Human-readable phase label.
         label: String,
     },
+    /// A VM arrives: the population grows by one dense id (`vm` must be
+    /// the next unused id) on the given server. The newcomer starts with
+    /// zero traffic; its rates arrive as later [`TraceEvent::SetRate`]s.
+    /// Churn events make a trace an *audit log* (a `scored` daemon
+    /// session, or a churn workload): they replay through the raw event
+    /// stream, not through [`Trace::compile`].
+    PlaceVm {
+        /// The arriving VM's id — exactly the current population.
+        vm: u32,
+        /// The hosting server id.
+        server: u32,
+    },
+    /// A VM departs: `vm` must be live (placed or initial, not yet
+    /// removed). Any rates it still has are implicitly zeroed; recorded
+    /// audit logs emit the explicit zeroing [`TraceEvent::SetRate`]s
+    /// just before this event.
+    RemoveVm {
+        /// The departing VM's id.
+        vm: u32,
+    },
 }
 
 /// A [`TraceEvent`] with its firing time.
@@ -240,6 +260,10 @@ impl Trace {
                 return Err(TraceError::BadBasePair(u, v, rate));
             }
         }
+        // Churn events change the live population as the stream plays,
+        // so endpoint checks run against the *running* liveness, not the
+        // initial `num_vms`.
+        let mut live = vec![true; self.num_vms as usize];
         let mut prev = 0.0f64;
         for (index, ev) in self.events.iter().enumerate() {
             if !ev.time_s.is_finite() || ev.time_s < 0.0 || ev.time_s > self.end_s {
@@ -250,12 +274,16 @@ impl Trace {
             }
             prev = ev.time_s;
             let bad = |reason: String| TraceError::BadEvent { index, reason };
+            let pair_live = |u: u32, v: u32, live: &[bool]| {
+                u != v
+                    && live.get(u as usize).copied().unwrap_or(false)
+                    && live.get(v as usize).copied().unwrap_or(false)
+            };
             match &ev.event {
                 TraceEvent::SetRate { u, v, rate } => {
-                    if u == v || *u >= self.num_vms || *v >= self.num_vms {
+                    if !pair_live(*u, *v, &live) {
                         return Err(bad(format!(
-                            "pair ({u}, {v}) invalid for {} VMs",
-                            self.num_vms
+                            "pair ({u}, {v}) names a dead or out-of-range VM"
                         )));
                     }
                     if !rate.is_finite() || *rate < 0.0 {
@@ -263,10 +291,9 @@ impl Trace {
                     }
                 }
                 TraceEvent::ScalePair { u, v, factor } => {
-                    if u == v || *u >= self.num_vms || *v >= self.num_vms {
+                    if !pair_live(*u, *v, &live) {
                         return Err(bad(format!(
-                            "pair ({u}, {v}) invalid for {} VMs",
-                            self.num_vms
+                            "pair ({u}, {v}) names a dead or out-of-range VM"
                         )));
                     }
                     if !factor.is_finite() || *factor < 0.0 {
@@ -279,9 +306,38 @@ impl Trace {
                     }
                 }
                 TraceEvent::Marker { .. } => {}
+                TraceEvent::PlaceVm { vm, .. } => {
+                    if *vm as usize != live.len() {
+                        return Err(bad(format!(
+                            "PlaceVm id {vm} must be the next dense id {}",
+                            live.len()
+                        )));
+                    }
+                    live.push(true);
+                }
+                TraceEvent::RemoveVm { vm } => {
+                    if !live.get(*vm as usize).copied().unwrap_or(false) {
+                        return Err(bad(format!("RemoveVm names dead or out-of-range VM {vm}")));
+                    }
+                    live[*vm as usize] = false;
+                }
             }
         }
         Ok(())
+    }
+
+    /// True when the stream contains population churn
+    /// ([`TraceEvent::PlaceVm`] / [`TraceEvent::RemoveVm`]). Churn
+    /// traces replay through the raw event stream (the `scored` daemon
+    /// replay path) — they cannot be compiled into fixed-population
+    /// segments.
+    pub fn has_churn(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.event,
+                TraceEvent::PlaceVm { .. } | TraceEvent::RemoveVm { .. }
+            )
+        })
     }
 
     /// Folds the event stream into replayable segments: one
@@ -294,9 +350,16 @@ impl Trace {
     /// # Panics
     ///
     /// Panics (debug assertion) on an unvalidated trace; run
-    /// [`Trace::validate`] on untrusted input first.
+    /// [`Trace::validate`] on untrusted input first. Panics on a churn
+    /// trace ([`Trace::has_churn`]) — segments have a fixed population;
+    /// churn traces replay through the raw event stream instead.
     pub fn compile(&self) -> CompiledTrace {
         debug_assert!(self.validate().is_ok(), "compile needs a valid trace");
+        assert!(
+            !self.has_churn(),
+            "churn traces (PlaceVm/RemoveVm) cannot be compiled into \
+             fixed-population segments; replay the raw event stream instead"
+        );
         let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
         let mut rates: BTreeMap<(u32, u32), f64> = BTreeMap::new();
         for &(u, v, rate) in &self.base {
@@ -415,6 +478,9 @@ impl Trace {
                     .collect()
             }
             TraceEvent::Marker { .. } => Vec::new(),
+            TraceEvent::PlaceVm { .. } | TraceEvent::RemoveVm { .. } => {
+                unreachable!("compile rejects churn traces up front")
+            }
         }
     }
 }
@@ -476,6 +542,16 @@ impl TraceBuilder {
     /// Pushes a [`TraceEvent::ScaleAll`].
     pub fn scale_all(self, time_s: f64, factor: f64) -> Self {
         self.event(time_s, TraceEvent::ScaleAll { factor })
+    }
+
+    /// Pushes a [`TraceEvent::PlaceVm`] arrival.
+    pub fn place_vm(self, time_s: f64, vm: u32, server: u32) -> Self {
+        self.event(time_s, TraceEvent::PlaceVm { vm, server })
+    }
+
+    /// Pushes a [`TraceEvent::RemoveVm`] departure.
+    pub fn remove_vm(self, time_s: f64, vm: u32) -> Self {
+        self.event(time_s, TraceEvent::RemoveVm { vm })
     }
 
     /// Pushes a [`TraceEvent::Marker`] phase boundary.
@@ -703,6 +779,76 @@ mod tests {
         // Saturated-to-MAX rates are a fixpoint: the second scale is a
         // no-op, not a fresh overflow.
         assert_eq!(c.num_shifts(), 1);
+    }
+
+    #[test]
+    fn churn_events_validate_against_running_population() {
+        // Place 4 (next id), rate it up, remove 1, then remove 4 again.
+        let t = base_trace()
+            .place_vm(10.0, 4, 7)
+            .set_rate(20.0, 0, 4, 5.0)
+            .remove_vm(30.0, 1)
+            .set_rate(35.0, 0, 4, 0.0)
+            .remove_vm(40.0, 4)
+            .build()
+            .unwrap();
+        assert!(t.has_churn());
+        assert!(!base_trace().build().unwrap().has_churn());
+
+        // PlaceVm must use the next dense id …
+        assert!(matches!(
+            base_trace().place_vm(10.0, 9, 0).build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+        // … removing a dead or unknown VM is rejected …
+        assert!(matches!(
+            base_trace().remove_vm(10.0, 1).remove_vm(20.0, 1).build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+        assert!(matches!(
+            base_trace().remove_vm(10.0, 99).build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+        // … and rating a departed VM is rejected.
+        assert!(matches!(
+            base_trace()
+                .remove_vm(10.0, 1)
+                .set_rate(20.0, 0, 1, 5.0)
+                .build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+        // A placed VM becomes a legal endpoint only after its arrival.
+        assert!(matches!(
+            base_trace()
+                .set_rate(5.0, 0, 4, 1.0)
+                .place_vm(10.0, 4, 0)
+                .build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "churn traces")]
+    fn compile_rejects_churn_traces() {
+        let t = base_trace().place_vm(10.0, 4, 0).build().unwrap();
+        let _ = t.compile();
+    }
+
+    #[test]
+    fn churn_trace_jsonl_round_trip() {
+        let t = base_trace()
+            .place_vm(10.0, 4, 3)
+            .set_rate(20.0, 1, 4, 2.5)
+            .set_rate(30.0, 1, 4, 0.0)
+            .remove_vm(30.0, 4)
+            .build()
+            .unwrap();
+        let jsonl = t.to_jsonl();
+        let back = Trace::from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, t);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

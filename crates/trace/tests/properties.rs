@@ -62,6 +62,10 @@ fn naive_final_tm(trace: &Trace) -> BTreeMap<(u32, u32), f64> {
                 }
             }
             score_trace::TraceEvent::Marker { .. } => {}
+            // The generator produces no churn; churn traces are not
+            // compilable, so the compile-equivalence property never
+            // sees these.
+            score_trace::TraceEvent::PlaceVm { .. } | score_trace::TraceEvent::RemoveVm { .. } => {}
         }
     }
     rates

@@ -313,6 +313,18 @@ impl PairTraffic {
         next
     }
 
+    /// Grows the population by one VM (the next dense id), returning the
+    /// new VM's id. The newcomer starts with an empty peer set — rates
+    /// involving it arrive later through
+    /// [`PairTraffic::apply_updates`] — so growth never touches existing
+    /// pairs and costs O(1).
+    pub fn push_vm(&mut self) -> VmId {
+        let vm = VmId::new(self.num_vms);
+        self.num_vms += 1;
+        self.adjacency.push(Vec::new());
+        vm
+    }
+
     /// Merges another communication graph over the same VM population into
     /// this one, accumulating rates of shared pairs.
     ///

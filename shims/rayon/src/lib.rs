@@ -42,6 +42,9 @@ use std::sync::Mutex;
 use crossbeam::deque::{Injector, Stealer, Worker};
 
 pub mod iter;
+pub mod registry;
+
+pub use registry::{registry, WorkerHandle, WorkerRegistry};
 
 /// `use rayon::prelude::*` — the parallel-iterator traits.
 pub mod prelude {

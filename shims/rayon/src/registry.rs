@@ -1,0 +1,208 @@
+//! Named, persistent worker threads — the long-lived half of the shim.
+//!
+//! The per-call scoped threads of [`crate::scope`] fit batch fan-outs,
+//! but a daemon serving many tenants needs workers that *outlive*
+//! individual requests: one thread per tenant namespace, created on
+//! first use, reused for every later request, each draining its own
+//! FIFO job queue so all of a tenant's work is serialized on one thread
+//! (single-writer state needs no further locking discipline).
+//!
+//! [`registry()`] returns the process-wide [`WorkerRegistry`];
+//! [`WorkerRegistry::worker`] hands out a cloneable [`WorkerHandle`]
+//! for a name, spawning the thread on first request. Jobs are either
+//! fire-and-forget ([`WorkerHandle::execute`]) or synchronous
+//! ([`WorkerHandle::run`], which parks the caller until the closure's
+//! result comes back). Panics inside a job are contained: the worker
+//! catches the unwind, stays alive for the next job, and `run`
+//! surfaces the panic to the submitter.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A handle to one named persistent worker thread. Cloning is cheap;
+/// all clones feed the same FIFO queue.
+#[derive(Clone)]
+pub struct WorkerHandle {
+    name: String,
+    queue: Sender<Job>,
+}
+
+impl WorkerHandle {
+    /// The worker's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Enqueues `job` and returns immediately; jobs on one worker run
+    /// strictly in submission order.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.queue
+            .send(Box::new(job))
+            .expect("registry workers never exit while the registry lives");
+    }
+
+    /// Runs `job` on the worker and blocks for its result, preserving
+    /// FIFO order with previously enqueued [`WorkerHandle::execute`]
+    /// jobs.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic that escaped `job` on the calling thread.
+    pub fn run<R, F>(&self, job: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (tx, rx) = channel();
+        self.execute(move || {
+            let result = catch_unwind(AssertUnwindSafe(job));
+            // A dropped receiver means the submitter went away; the
+            // result (or panic) has nowhere to go either way.
+            let _ = tx.send(result);
+        });
+        match rx.recv().expect("worker dropped a synchronous job") {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// The process-wide table of named persistent workers (see the module
+/// docs). Obtain it through [`registry()`].
+pub struct WorkerRegistry {
+    workers: Mutex<HashMap<String, WorkerHandle>>,
+}
+
+impl WorkerRegistry {
+    fn new() -> Self {
+        WorkerRegistry {
+            workers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The handle for `name`, spawning the worker thread on first use.
+    pub fn worker(&self, name: &str) -> WorkerHandle {
+        let mut table = self.workers.lock().expect("registry lock poisoned");
+        if let Some(h) = table.get(name) {
+            return h.clone();
+        }
+        let (tx, rx) = channel::<Job>();
+        let thread_name = format!("score-worker-{name}");
+        std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                // The loop ends when every handle (and the registry
+                // entry) is gone — i.e. effectively at process exit.
+                while let Ok(job) = rx.recv() {
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }
+            })
+            .expect("spawning a registry worker");
+        let handle = WorkerHandle {
+            name: name.to_string(),
+            queue: tx,
+        };
+        table.insert(name.to_string(), handle.clone());
+        handle
+    }
+
+    /// Names of all workers spawned so far, sorted.
+    pub fn worker_names(&self) -> Vec<String> {
+        let table = self.workers.lock().expect("registry lock poisoned");
+        let mut names: Vec<String> = table.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of workers spawned so far.
+    pub fn len(&self) -> usize {
+        self.workers.lock().expect("registry lock poisoned").len()
+    }
+
+    /// True when no worker has been spawned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The global [`WorkerRegistry`], created on first use.
+pub fn registry() -> &'static WorkerRegistry {
+    static REGISTRY: OnceLock<WorkerRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(WorkerRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn same_name_reuses_one_thread() {
+        let reg = registry();
+        let a = reg.worker("reuse-test");
+        let b = reg.worker("reuse-test");
+        let ta = a.run(|| std::thread::current().id());
+        let tb = b.run(|| std::thread::current().id());
+        assert_eq!(ta, tb, "one name, one thread");
+        assert_ne!(ta, std::thread::current().id());
+        assert!(reg.worker_names().contains(&"reuse-test".to_string()));
+    }
+
+    #[test]
+    fn jobs_on_one_worker_run_in_submission_order() {
+        let w = registry().worker("fifo-test");
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..32 {
+            let seen = Arc::clone(&seen);
+            w.execute(move || seen.lock().unwrap().push(i));
+        }
+        // `run` serializes behind the queued jobs.
+        let final_len = w.run({
+            let seen = Arc::clone(&seen);
+            move || seen.lock().unwrap().len()
+        });
+        assert_eq!(final_len, 32);
+        assert_eq!(*seen.lock().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_names_run_concurrently() {
+        let w1 = registry().worker("conc-a");
+        let w2 = registry().worker("conc-b");
+        let (tx, rx) = channel();
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let blocked_gate = Arc::clone(&gate);
+        w1.execute(move || {
+            let _guard = blocked_gate.lock().unwrap();
+        });
+        // conc-b makes progress while conc-a is blocked on the gate.
+        w2.execute(move || tx.send(42).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
+            42
+        );
+        drop(held);
+    }
+
+    #[test]
+    fn a_panicking_job_leaves_the_worker_alive() {
+        let w = registry().worker("panic-test");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            w.run(|| panic!("job blew up"));
+        }));
+        assert!(result.is_err(), "run re-raises the job's panic");
+        let hits2 = Arc::clone(&hits);
+        w.run(move || hits2.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "worker survived");
+    }
+}
