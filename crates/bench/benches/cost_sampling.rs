@@ -1,12 +1,18 @@
 //! Cost-sampling microbenchmark: full Eq.-(2) recompute vs `CostLedger`
-//! read, at 128 / 1024 / 2560 hosts.
+//! read, from 128 up to 101,306 hosts, plus per-token-hold decision
+//! latency.
 //!
 //! `Session::step` samples the network-wide cost at every sample tick;
 //! before the ledger existed each sample re-walked every VM pair
 //! (`O(pairs)`), which at the paper's 2560-host scale dominates the
-//! simulation loop. This bench quantifies the gap and records it in
-//! `BENCH_cost_sampling.json` at the workspace root, so the scaling
-//! claim is pinned to numbers.
+//! simulation loop. This bench quantifies the gap — and pins the
+//! end-to-end decision latency (one token hold: LocalView, candidate
+//! evaluation, Lemma-3 delta, ledger fold) that must stay at
+//! microseconds even on the 100k-host fabrics — and records both in
+//! `BENCH_cost_sampling.json` at the workspace root.
+//!
+//! The 27,648- and 101,306-host fat-tree points (k = 48 / 74) are only
+//! measured by the JSON recorder, not the interactive criterion groups.
 //!
 //! Run with `cargo bench --bench cost_sampling`.
 
@@ -23,6 +29,8 @@ struct SamplePoint {
     pairs: usize,
     full_recompute_ns: f64,
     ledger_sample_ns: f64,
+    /// One `Session::step` — a complete token-hold decision.
+    decision_ns: f64,
 }
 
 fn scenario_for(topology: TopologySpec) -> Scenario {
@@ -33,7 +41,9 @@ fn scenario_for(topology: TopologySpec) -> Scenario {
 }
 
 fn measure(label: &'static str, topology: TopologySpec) -> SamplePoint {
-    let session = scenario_for(topology)
+    let scenario = scenario_for(topology);
+    let session = scenario
+        .clone()
         .session()
         .expect("bench scenario is feasible");
     let model = session.cost_model().clone();
@@ -41,7 +51,11 @@ fn measure(label: &'static str, topology: TopologySpec) -> SamplePoint {
     let traffic = session.traffic();
     let ledger = model.ledger(cluster.allocation(), traffic, cluster.topo());
 
-    let full_reps = 32u32;
+    let full_reps = if traffic.num_pairs() > 100_000 {
+        8u32
+    } else {
+        32u32
+    };
     let start = Instant::now();
     for _ in 0..full_reps {
         black_box(model.total_cost(black_box(cluster.allocation()), traffic, cluster.topo()));
@@ -55,6 +69,19 @@ fn measure(label: &'static str, topology: TopologySpec) -> SamplePoint {
     }
     let ledger_sample_ns = start.elapsed().as_nanos() as f64 / f64::from(ledger_reps);
 
+    // Decision latency: step a fresh session through real token holds.
+    let mut driven = scenario.session().expect("bench scenario is feasible");
+    let decision_reps = 500u32;
+    let mut holds = 0u32;
+    let start = Instant::now();
+    while holds < decision_reps {
+        if driven.step().is_none() {
+            break;
+        }
+        holds += 1;
+    }
+    let decision_ns = start.elapsed().as_nanos() as f64 / f64::from(holds.max(1));
+
     SamplePoint {
         label,
         hosts: session.topo().num_servers(),
@@ -62,14 +89,40 @@ fn measure(label: &'static str, topology: TopologySpec) -> SamplePoint {
         pairs: traffic.num_pairs(),
         full_recompute_ns,
         ledger_sample_ns,
+        decision_ns,
     }
 }
 
+/// Sizes the interactive criterion groups run (kept small).
 fn sizes() -> [(&'static str, TopologySpec); 3] {
     [
         ("fat-tree-128", TopologySpec::small_fattree()),
         ("fat-tree-1024", TopologySpec::paper_fattree()),
         ("canonical-2560", TopologySpec::paper_canonical()),
+    ]
+}
+
+/// Sizes the JSON recorder measures — the criterion trio plus the
+/// mega-scale fat-trees (k = 48: 27,648 hosts; k = 74: 101,306 hosts).
+fn record_sizes() -> [(&'static str, TopologySpec); 5] {
+    [
+        ("fat-tree-128", TopologySpec::small_fattree()),
+        ("fat-tree-1024", TopologySpec::paper_fattree()),
+        ("canonical-2560", TopologySpec::paper_canonical()),
+        (
+            "fat-tree-27648",
+            TopologySpec::FatTree {
+                k: 48,
+                capacities: None,
+            },
+        ),
+        (
+            "fat-tree-101306",
+            TopologySpec::FatTree {
+                k: 74,
+                capacities: None,
+            },
+        ),
     ]
 }
 
@@ -110,7 +163,8 @@ fn record(points: &[SamplePoint]) {
         let _ = write!(
             json,
             "    {{\"label\": \"{}\", \"hosts\": {}, \"vms\": {}, \"pairs\": {}, \
-             \"full_recompute_ns\": {:.1}, \"ledger_sample_ns\": {:.2}, \"speedup\": {:.1}}}",
+             \"full_recompute_ns\": {:.1}, \"ledger_sample_ns\": {:.2}, \"speedup\": {:.1}, \
+             \"decision_ns\": {:.1}}}",
             p.label,
             p.hosts,
             p.vms,
@@ -118,6 +172,7 @@ fn record(points: &[SamplePoint]) {
             p.full_recompute_ns,
             p.ledger_sample_ns,
             p.full_recompute_ns / p.ledger_sample_ns.max(f64::MIN_POSITIVE),
+            p.decision_ns,
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
@@ -134,20 +189,30 @@ fn record(points: &[SamplePoint]) {
 fn main() {
     let mut criterion = Criterion::default();
     bench_cost_sampling(&mut criterion);
-    let points: Vec<SamplePoint> = sizes()
+    let points: Vec<SamplePoint> = record_sizes()
         .into_iter()
         .map(|(label, topology)| measure(label, topology))
         .collect();
     for p in &points {
         println!(
-            "cost_sampling: {:<15} {:>5} hosts {:>6} pairs  full {:>12.1} ns  ledger {:>6.2} ns  ({:.0}x)",
+            "cost_sampling: {:<16} {:>6} hosts {:>6} pairs  full {:>12.1} ns  ledger {:>6.2} ns  \
+             ({:.0}x)  decision {:>9.1} ns",
             p.label,
             p.hosts,
             p.pairs,
             p.full_recompute_ns,
             p.ledger_sample_ns,
             p.full_recompute_ns / p.ledger_sample_ns.max(f64::MIN_POSITIVE),
+            p.decision_ns,
         );
+        // The headline gate: decisions must stay at microseconds even
+        // on the 100k-host fabrics.
+        if p.decision_ns > 100_000.0 {
+            eprintln!(
+                "warning: {}: decision latency {:.1} ns exceeds the 100 us budget",
+                p.label, p.decision_ns
+            );
+        }
     }
     record(&points);
 }

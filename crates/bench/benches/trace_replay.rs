@@ -1,11 +1,17 @@
 //! Trace-replay microbenchmark: mid-run traffic deltas applied in place
-//! through `Session::apply_traffic_deltas`, at 128 / 1024 / 2560 hosts.
+//! through `Session::apply_traffic_deltas`, from 128 up to 101,306
+//! hosts.
 //!
 //! Each delta patches the cluster's NIC ledger and re-prices the cost
 //! ledger over the changed pairs only — this bench pins the events/sec
 //! the sparse path sustains (single-pair deltas and whole-TM `ScaleAll`
-//! batches) and records it in `BENCH_trace_replay.json` at the
-//! workspace root.
+//! batches, both the expanded per-pair form a compiled trace emits and
+//! the dense `Session::apply_traffic_scale` sweep) and records it in
+//! `BENCH_trace_replay.json` at the workspace root.
+//!
+//! The 27,648- and 101,306-host fat-tree points (k = 48 / 74) are only
+//! measured by the JSON recorder, not the interactive criterion groups,
+//! so `cargo bench --bench trace_replay` stays minutes, not hours.
 //!
 //! Run with `cargo bench --bench trace_replay`.
 
@@ -23,7 +29,14 @@ struct ReplayPoint {
     pairs: usize,
     sparse_delta_ns: f64,
     sparse_events_per_sec: f64,
+    /// Whole-TM scale expanded to per-pair deltas (the compiled-trace
+    /// path).
     scale_all_ns: f64,
+    scale_all_events_per_sec: f64,
+    /// The dense `apply_traffic_scale` sweep (three contiguous passes,
+    /// no per-pair lookups).
+    dense_scale_ns: f64,
+    dense_scale_events_per_sec: f64,
 }
 
 fn session_for(topology: TopologySpec) -> Session {
@@ -78,13 +91,25 @@ fn measure(label: &'static str, topology: TopologySpec) -> ReplayPoint {
     let sparse_delta_ns = start.elapsed().as_nanos() as f64 / f64::from(sparse_reps);
 
     let scale = scale_all_updates(&session, 1.02);
-    let scale_reps = 64u32;
+    // The expanded batch re-prices every pair; cap the wall budget on
+    // the 100k-host fabrics.
+    let scale_reps = if pairs > 100_000 { 16u32 } else { 64u32 };
     let start = Instant::now();
     for i in 0..scale_reps {
         let batch = &scale[(i % 2) as usize];
         black_box(session.apply_traffic_deltas(black_box(batch)).unwrap());
     }
     let scale_all_ns = start.elapsed().as_nanos() as f64 / f64::from(scale_reps);
+
+    // Dense fast path: three contiguous sweeps, no per-pair lookups.
+    let dense_reps = 256u32;
+    let factor = 1.02f64;
+    let start = Instant::now();
+    for i in 0..dense_reps {
+        let f = if i % 2 == 0 { factor } else { 1.0 / factor };
+        black_box(session.apply_traffic_scale(black_box(f)).unwrap());
+    }
+    let dense_scale_ns = start.elapsed().as_nanos() as f64 / f64::from(dense_reps);
 
     ReplayPoint {
         label,
@@ -94,14 +119,42 @@ fn measure(label: &'static str, topology: TopologySpec) -> ReplayPoint {
         sparse_delta_ns,
         sparse_events_per_sec: 1e9 / sparse_delta_ns.max(f64::MIN_POSITIVE),
         scale_all_ns,
+        scale_all_events_per_sec: 1e9 / scale_all_ns.max(f64::MIN_POSITIVE),
+        dense_scale_ns,
+        dense_scale_events_per_sec: 1e9 / dense_scale_ns.max(f64::MIN_POSITIVE),
     }
 }
 
+/// Sizes the interactive criterion groups run (kept small).
 fn sizes() -> [(&'static str, TopologySpec); 3] {
     [
         ("fat-tree-128", TopologySpec::small_fattree()),
         ("fat-tree-1024", TopologySpec::paper_fattree()),
         ("canonical-2560", TopologySpec::paper_canonical()),
+    ]
+}
+
+/// Sizes the JSON recorder measures — the criterion trio plus the
+/// mega-scale fat-trees (k = 48: 27,648 hosts; k = 74: 101,306 hosts).
+fn record_sizes() -> [(&'static str, TopologySpec); 5] {
+    [
+        ("fat-tree-128", TopologySpec::small_fattree()),
+        ("fat-tree-1024", TopologySpec::paper_fattree()),
+        ("canonical-2560", TopologySpec::paper_canonical()),
+        (
+            "fat-tree-27648",
+            TopologySpec::FatTree {
+                k: 48,
+                capacities: None,
+            },
+        ),
+        (
+            "fat-tree-101306",
+            TopologySpec::FatTree {
+                k: 74,
+                capacities: None,
+            },
+        ),
     ]
 }
 
@@ -126,6 +179,14 @@ fn bench_trace_replay(c: &mut Criterion) {
                 session.apply_traffic_deltas(&scale[flip]).unwrap()
             })
         });
+        let mut flip = 0usize;
+        group.bench_function(format!("dense_scale/{label}"), |b| {
+            b.iter(|| {
+                flip ^= 1;
+                let f = if flip == 0 { 1.02 } else { 1.0 / 1.02 };
+                session.apply_traffic_scale(f).unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -140,7 +201,8 @@ fn record(points: &[ReplayPoint]) {
             json,
             "    {{\"label\": \"{}\", \"hosts\": {}, \"vms\": {}, \"pairs\": {}, \
              \"sparse_delta_ns\": {:.1}, \"sparse_events_per_sec\": {:.0}, \
-             \"scale_all_ns\": {:.1}}}",
+             \"scale_all_ns\": {:.1}, \"scale_all_events_per_sec\": {:.1}, \
+             \"dense_scale_ns\": {:.1}, \"dense_scale_events_per_sec\": {:.0}}}",
             p.label,
             p.hosts,
             p.vms,
@@ -148,6 +210,9 @@ fn record(points: &[ReplayPoint]) {
             p.sparse_delta_ns,
             p.sparse_events_per_sec,
             p.scale_all_ns,
+            p.scale_all_events_per_sec,
+            p.dense_scale_ns,
+            p.dense_scale_events_per_sec,
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
@@ -164,15 +229,33 @@ fn record(points: &[ReplayPoint]) {
 fn main() {
     let mut criterion = Criterion::default();
     bench_trace_replay(&mut criterion);
-    let points: Vec<ReplayPoint> = sizes()
+    let points: Vec<ReplayPoint> = record_sizes()
         .into_iter()
         .map(|(label, topology)| measure(label, topology))
         .collect();
     for p in &points {
         println!(
-            "trace_replay: {:<15} {:>5} hosts {:>6} pairs  sparse {:>8.1} ns ({:>9.0} events/s)  scale-all {:>11.1} ns",
-            p.label, p.hosts, p.pairs, p.sparse_delta_ns, p.sparse_events_per_sec, p.scale_all_ns,
+            "trace_replay: {:<16} {:>6} hosts {:>6} pairs  sparse {:>8.1} ns ({:>9.0} events/s)  \
+             scale-all {:>12.1} ns  dense {:>11.1} ns",
+            p.label,
+            p.hosts,
+            p.pairs,
+            p.sparse_delta_ns,
+            p.sparse_events_per_sec,
+            p.scale_all_ns,
+            p.dense_scale_ns,
         );
+        // Regression tripwire: a dense batch re-prices `pairs` pairs;
+        // its per-pair cost should sit well below one sparse event's
+        // fixed cost. 10× above it means the dense path degenerated.
+        let per_pair_ns = p.scale_all_ns / (p.pairs.max(1) as f64);
+        if per_pair_ns > 10.0 * p.sparse_delta_ns {
+            eprintln!(
+                "warning: {}: dense ScaleAll throughput degenerated — {:.1} ns/pair is more \
+                 than 10x the sparse per-event cost of {:.1} ns",
+                p.label, per_pair_ns, p.sparse_delta_ns
+            );
+        }
     }
     record(&points);
 }

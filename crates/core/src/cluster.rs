@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crate::allocation::Allocation;
 use crate::resources::{AdmissionError, CapacityReport, ServerSpec, ServerUsage, VmSpec};
+use crate::slotindex::FreeSlotIndex;
 
 /// Error constructing a [`Cluster`].
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +108,10 @@ pub struct Cluster {
     /// compacted, so ids stay dense and stable for audit logs and
     /// replay.
     active: Vec<bool>,
+    /// Max-free-slots segment tree over the fleet, kept in lockstep with
+    /// `usage[*].slots` so [`Cluster::choose_server`] resolves in
+    /// O(log servers) instead of a fleet scan.
+    slot_index: FreeSlotIndex,
 }
 
 impl fmt::Debug for Cluster {
@@ -131,6 +136,7 @@ impl Clone for Cluster {
             alloc: self.alloc.clone(),
             usage: self.usage.clone(),
             active: self.active.clone(),
+            slot_index: self.slot_index.clone(),
         }
     }
 }
@@ -196,6 +202,11 @@ impl Cluster {
             u.admit(&vm_specs[vm.index()], vm_nic_demand[vm.index()]);
         }
         let active = vec![true; alloc.num_vms() as usize];
+        let slot_index = FreeSlotIndex::new(
+            usage
+                .iter()
+                .map(|u| server_spec.vm_slots.saturating_sub(u.slots)),
+        );
         Ok(Cluster {
             topo,
             server_spec,
@@ -205,7 +216,18 @@ impl Cluster {
             alloc,
             usage,
             active,
+            slot_index,
         })
+    }
+
+    /// Repairs the free-slot index entry of one server after its slot
+    /// count changed.
+    fn refresh_slot_index(&mut self, server: ServerId) {
+        let free = self
+            .server_spec
+            .vm_slots
+            .saturating_sub(self.usage[server.index()].slots);
+        self.slot_index.set(server.index(), free);
     }
 
     /// The topology.
@@ -337,6 +359,8 @@ impl Cluster {
         let nic = self.vm_nic_demand[vm.index()];
         self.usage[current.index()].evict(&spec, nic);
         self.usage[target.index()].admit(&spec, nic);
+        self.refresh_slot_index(current);
+        self.refresh_slot_index(target);
         self.alloc.move_vm(vm, target);
         Ok(())
     }
@@ -357,24 +381,25 @@ impl Cluster {
     /// lowest id winning ties — the §V-A "centralized VM instance
     /// placement manager" choice, reproducible from cluster state alone.
     ///
+    /// Resolved through the max-free-slots segment tree in O(log
+    /// servers) best-first descents (each candidate leaf still runs the
+    /// full slots/RAM/CPU admission check), which is what keeps arrival
+    /// decisions at µs latency on 100k-host fleets. The pick is
+    /// bit-identical to the linear fleet scan it replaced.
+    ///
     /// # Errors
     ///
     /// Returns [`ClusterError::NoCapacity`] when no server passes the
     /// static admission check.
     pub fn choose_server(&self, spec: &VmSpec) -> Result<ServerId, ClusterError> {
-        let mut best: Option<(u32, ServerId)> = None;
-        for (i, usage) in self.usage.iter().enumerate() {
-            if usage
-                .admission_check(&self.server_spec, spec, 0.0, f64::INFINITY)
-                .is_ok()
-            {
-                let free = self.server_spec.vm_slots.saturating_sub(usage.slots);
-                if best.is_none_or(|(best_free, _)| free > best_free) {
-                    best = Some((free, ServerId::new(i as u32)));
-                }
-            }
-        }
-        best.map(|(_, s)| s).ok_or(ClusterError::NoCapacity)
+        self.slot_index
+            .best(|i| {
+                self.usage[i]
+                    .admission_check(&self.server_spec, spec, 0.0, f64::INFINITY)
+                    .is_ok()
+            })
+            .map(|(_, i)| ServerId::new(i as u32))
+            .ok_or(ClusterError::NoCapacity)
     }
 
     /// Places a newly arriving VM on `server` (or the
@@ -409,6 +434,7 @@ impl Cluster {
             None => self.choose_server(&spec)?,
         };
         self.usage[target.index()].admit(&spec, 0.0);
+        self.refresh_slot_index(target);
         self.vm_specs.push(spec);
         self.vm_nic_demand.push(0.0);
         let vm = self.traffic.push_vm();
@@ -450,6 +476,7 @@ impl Cluster {
         // alongside the slot/RAM/CPU release.
         let nic_residue = self.vm_nic_demand[vm.index()];
         self.usage[server.index()].evict(&spec, nic_residue);
+        self.refresh_slot_index(server);
         self.vm_nic_demand[vm.index()] = 0.0;
         self.active[vm.index()] = false;
         Ok(changes)
@@ -536,7 +563,39 @@ impl Cluster {
         }
         self.alloc = alloc;
         self.usage = usage;
+        self.slot_index = FreeSlotIndex::new(
+            self.usage
+                .iter()
+                .map(|u| self.server_spec.vm_slots.saturating_sub(u.slots)),
+        );
         Ok(())
+    }
+
+    /// Rescales every pair rate by `factor` **in place** — the dense
+    /// (`ScaleAll`) fast path. The held traffic takes one contiguous
+    /// sweep ([`score_traffic::PairTraffic::scale_all_in_place`]) and
+    /// the NIC-side ledger (per-VM demand estimates, per-server load) is
+    /// rescaled directly instead of being re-derived pair by pair:
+    /// O(VMs + servers + pairs) with a vectorizable inner loop, versus
+    /// the O(pairs) search-cascade the expanded per-pair delta path
+    /// costs. Slot/RAM/CPU state is untouched (none of it depends on
+    /// traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scale_traffic(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
+        self.traffic.scale_all_in_place(factor);
+        for d in &mut self.vm_nic_demand {
+            *d = (*d * factor).min(f64::MAX);
+        }
+        for u in &mut self.usage {
+            u.nic_bps = (u.nic_bps * factor).min(f64::MAX);
+        }
     }
 }
 
@@ -831,6 +890,26 @@ mod tests {
             .place_vm(VmSpec::paper_default(), Some(ServerId::new(0)))
             .unwrap();
         assert_eq!(vm, VmId::new(4), "ids stay dense; tombstones are kept");
+    }
+
+    #[test]
+    fn scale_traffic_matches_patched_rates() {
+        let mut scaled = cluster(4, 16);
+        scaled.scale_traffic(10.0);
+        assert_eq!(scaled.vm_nic_demand(VmId::new(0)), 1000.0);
+        assert_eq!(scaled.external_rate(VmId::new(0), ServerId::new(5)), 1000.0);
+        assert!((scaled.usage(ServerId::new(0)).nic_bps - 1000.0).abs() < 1e-9);
+        // Matches the sparse patch path applying the same rates.
+        let mut patched = cluster(4, 16);
+        patched.patch_traffic(&[(VmId::new(0), VmId::new(1), 100.0, 1000.0)]);
+        for v in 0..4 {
+            assert!(
+                (scaled.vm_nic_demand(VmId::new(v)) - patched.vm_nic_demand(VmId::new(v))).abs()
+                    < 1e-9
+            );
+        }
+        // Slot/RAM state is untouched.
+        assert_eq!(scaled.usage(ServerId::new(0)).slots, 1);
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl CostModel {
         topo: &T,
     ) -> f64 {
         let mut cost = 0.0;
-        for &(u, v, rate) in traffic.pairs() {
+        for (u, v, rate) in traffic.pairs() {
             let level = topo.level(alloc.server_of(u), alloc.server_of(v));
             cost += rate * self.weights.prefix(level);
         }
@@ -186,7 +186,7 @@ pub fn level_breakdown<T: Topology + ?Sized>(
     topo: &T,
 ) -> Vec<f64> {
     let mut mass = vec![0.0; topo.max_level().index() + 1];
-    for &(u, v, rate) in traffic.pairs() {
+    for (u, v, rate) in traffic.pairs() {
         let level = topo.level(alloc.server_of(u), alloc.server_of(v));
         mass[level.index()] += rate;
     }

@@ -84,6 +84,7 @@ pub mod outlook;
 pub mod policy;
 pub mod resources;
 pub mod ring;
+pub mod slotindex;
 pub mod token;
 pub mod view;
 
@@ -99,5 +100,6 @@ pub use policy::{
 };
 pub use resources::{AdmissionError, CapacityReport, ServerSpec, ServerUsage, VmSpec};
 pub use ring::{IterationStats, StepOutcome, TokenRing};
+pub use slotindex::FreeSlotIndex;
 pub use token::{Token, TokenCodecError, TokenEntry};
 pub use view::{LocalView, PeerInfo};

@@ -51,7 +51,7 @@ impl LinkLoadMap {
     ) -> Self {
         let links = topo.graph().links();
         let mut load_bps = vec![0.0; links.len()];
-        for &(u, v, rate) in traffic.pairs() {
+        for (u, v, rate) in traffic.pairs() {
             let (su, sv) = (alloc.server_of(u), alloc.server_of(v));
             for share in topo.route_shares(su, sv) {
                 load_bps[share.link.index()] += rate * share.fraction;
@@ -145,7 +145,7 @@ impl LinkLoadMap {
         topo: &T,
     ) -> Vec<(VmId, f64)> {
         let mut contrib: Vec<f64> = vec![0.0; traffic.num_vms() as usize];
-        for &(u, v, rate) in traffic.pairs() {
+        for (u, v, rate) in traffic.pairs() {
             let (su, sv) = (alloc.server_of(u), alloc.server_of(v));
             for share in topo.route_shares(su, sv) {
                 if share.link == link {

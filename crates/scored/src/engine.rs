@@ -98,6 +98,26 @@ impl TenantEngine {
                 "pacing rate must be positive and finite, got {rate}"
             ));
         }
+        // A crashed daemon leaves `scenario.json` + `trace.jsonl` behind;
+        // when the same tenant is re-created over them, rebuild the live
+        // session from its own audit log instead of starting over.
+        if let Some(base) = record_dir {
+            let dir = base.join(name);
+            if dir.join("trace.jsonl").is_file() {
+                match Self::recover(name, &scenario, rate, &dir) {
+                    Ok(engine) => return Ok(engine),
+                    Err(_) => {
+                        // Unrecoverable artifacts (corrupt stream, or a
+                        // different scenario under the same name): keep
+                        // the stream aside for forensics and fall
+                        // through to a fresh start.
+                        let _ =
+                            std::fs::rename(dir.join("trace.jsonl"), dir.join("trace.jsonl.stale"));
+                        let _ = std::fs::remove_file(dir.join("report.json"));
+                    }
+                }
+            }
+        }
         let mut session = scenario.session().map_err(|e| e.to_string())?;
         session.start_trace_recording();
         let record_dir = match record_dir {
@@ -121,6 +141,115 @@ impl TenantEngine {
             anchor_virtual: 0.0,
             record_dir,
             streamed: 0,
+        })
+    }
+
+    /// Rebuilds a tenant from the artifact pair a previous daemon
+    /// incarnation left in `dir`: replays `trace.jsonl` against a fresh
+    /// session of the (verified identical) scenario **with recording
+    /// active**, so the rebuilt audit log re-records every mutation at
+    /// its original drained-boundary time, bit for bit. The event clock
+    /// resumes from the last recorded boundary; wall-clock pacing
+    /// re-anchors there, so crashed wall time is never "caught up".
+    ///
+    /// # Errors
+    ///
+    /// Fails when `scenario.json` does not match the requested
+    /// scenario, the stream is not a daemon recording, an event fails
+    /// to re-apply, or the re-recorded stream diverges from the loaded
+    /// one (any of which sends the caller down the fresh-start path).
+    fn recover(name: &str, scenario: &Scenario, rate: f64, dir: &Path) -> Result<Self, String> {
+        let on_disk = std::fs::read_to_string(dir.join("scenario.json"))
+            .map_err(|e| format!("reading scenario.json: {e}"))?;
+        if on_disk != scenario.to_json_pretty() {
+            return Err("scenario.json differs from the requested scenario".to_string());
+        }
+        let trace = Trace::load(&dir.join("trace.jsonl"))
+            .map_err(|e| format!("loading trace.jsonl: {e}"))?;
+        let mut session = scenario.session().map_err(|e| e.to_string())?;
+        if trace.num_vms() != session.traffic().num_vms() {
+            return Err(format!(
+                "trace population {} does not match the scenario's {}",
+                trace.num_vms(),
+                session.traffic().num_vms()
+            ));
+        }
+        session.start_trace_recording();
+        let drain_to = |session: &mut Session, at_s: f64| {
+            while session.next_event_time().is_some_and(|t| t <= at_s) {
+                if session.step().is_none() {
+                    break;
+                }
+            }
+        };
+        for ev in trace.events() {
+            drain_to(&mut session, ev.time_s);
+            match ev.event {
+                TraceEvent::SetRate { u, v, rate } => {
+                    session
+                        .apply_traffic_deltas(&[(VmId::new(u), VmId::new(v), rate)])
+                        .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
+                }
+                TraceEvent::PlaceVm { vm, server } => {
+                    let (placed, _) = session
+                        .place_vm(Some(ServerId::new(server)))
+                        .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
+                    if placed.get() != vm {
+                        return Err(format!(
+                            "recovery placed vm{} where the recording placed vm{vm}",
+                            placed.get()
+                        ));
+                    }
+                }
+                TraceEvent::RemoveVm { vm } => {
+                    session
+                        .remove_vm(VmId::new(vm))
+                        .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
+                }
+                TraceEvent::ScalePair { .. }
+                | TraceEvent::ScaleAll { .. }
+                | TraceEvent::Marker { .. } => {
+                    return Err(
+                        "daemon recordings contain only absolute re-rates and churn; this \
+                         trace does not look like one"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        // The rebuilt recording must be the loaded stream, event for
+        // event — the proof the tenant is exactly where it crashed.
+        let rerecorded = session
+            .trace_recorder_mut()
+            .expect("recording was just started")
+            .events()
+            .to_vec();
+        if rerecorded != trace.events() {
+            return Err("re-recorded stream diverges from the loaded audit log".to_string());
+        }
+        let streamed = rerecorded.len();
+        // Rewrite the audit log from the fresh recorder so its flush
+        // cursor owns the file again (append-only flushing would
+        // otherwise duplicate the history).
+        std::fs::remove_file(dir.join("trace.jsonl"))
+            .map_err(|e| format!("rewriting trace.jsonl: {e}"))?;
+        let end_s = scenario.timing.t_end_s;
+        session
+            .trace_recorder_mut()
+            .expect("recording was just started")
+            .append_jsonl(&dir.join("trace.jsonl"), end_s)
+            .map_err(|e| format!("rewriting trace.jsonl: {e}"))?;
+        let anchor_virtual = session.now_s();
+        Ok(TenantEngine {
+            name: name.to_string(),
+            scenario: scenario.clone(),
+            session,
+            paused: false,
+            rate,
+            anchor_wall: Instant::now(),
+            anchor_virtual,
+            record_dir: Some(dir.to_path_buf()),
+            streamed,
         })
     }
 

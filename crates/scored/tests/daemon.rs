@@ -82,6 +82,66 @@ fn recorded_engine_session_replays_byte_for_byte() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Crash recovery: a tenant killed mid-run (artifacts flushed, no
+/// `finish`) is rebuilt from its own `trace.jsonl` when re-created over
+/// the same record dir, resumes live from the crash boundary, and the
+/// continued run still replays byte for byte.
+#[test]
+fn crashed_tenant_recovers_from_its_own_trace() {
+    let dir = temp_dir("crash_recovery");
+    let scenario = quick_scenario(13);
+    let mut engine = TenantEngine::new("t0", scenario.clone(), 2000.0, Some(&dir)).unwrap();
+    let mut placed = Vec::new();
+    for round in 0..3u32 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        engine.pump(10_000);
+        let (vm, _server, _at) = engine.place(None).unwrap();
+        placed.push(vm);
+        engine
+            .traffic(&[TraceEvent::SetRate {
+                u: 0,
+                v: vm,
+                rate: 5e5 * f64::from(round + 1),
+            }])
+            .unwrap();
+        engine.flush_trace().unwrap();
+    }
+    let pre_crash_cost = engine.session().current_cost();
+    let pre_crash_now = engine.session().now_s();
+    // "Crash": drop the engine without finish(); artifacts stay behind.
+    drop(engine);
+
+    let mut revived = TenantEngine::new("t0", scenario.clone(), 2000.0, Some(&dir)).unwrap();
+    assert_eq!(revived.session().now_s(), pre_crash_now, "clock re-anchors");
+    assert_eq!(
+        revived.session().current_cost(),
+        pre_crash_cost,
+        "recovered state must be the crashed state, bit for bit"
+    );
+    assert_eq!(revived.session().ledger_resyncs(), 0);
+    // The tenant keeps running and its full (pre+post crash) audit log
+    // still replays to the continued run's exact report.
+    revived.pump(10_000);
+    revived
+        .traffic(&[TraceEvent::SetRate {
+            u: 0,
+            v: placed[0],
+            rate: 9e6,
+        }])
+        .unwrap();
+    revived.flush_trace().unwrap();
+    let live_report = revived.finish().unwrap();
+    let replayed = replay_dir(&dir.join("t0")).unwrap();
+    assert_eq!(replayed, live_report, "post-recovery replay diverged");
+
+    // A different scenario under the same name must NOT inherit the old
+    // stream: the stale log is set aside and a fresh tenant starts.
+    let fresh = TenantEngine::new("t0", quick_scenario(14), 2000.0, Some(&dir)).unwrap();
+    assert_eq!(fresh.session().now_s(), 0.0);
+    assert!(dir.join("t0").join("trace.jsonl.stale").is_file());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Drives one request line and returns the response line.
 fn roundtrip(reader: &mut BufReader<UnixStream>, writer: &mut UnixStream, req: &str) -> Response {
     writer.write_all(req.as_bytes()).unwrap();

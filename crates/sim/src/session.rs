@@ -229,7 +229,11 @@ impl Session {
         let precopy = PreCopyModel::new(scenario.engine.precopy());
         let background = scenario.engine.background();
         let rng = StdRng::seed_from_u64(scenario.seed);
-        let ledger = model.ledger(cluster.allocation(), &traffic, cluster.topo());
+        let mut ledger = model.ledger(cluster.allocation(), &traffic, cluster.topo());
+        // Per-rack/zone cost partials ride along for hierarchical
+        // observability; the ledger's authoritative total (and thus
+        // every reported cost) keeps its own byte-identical arithmetic.
+        ledger.enable_sharding(cluster.allocation(), &traffic, cluster.topo());
         let initial_cost = ledger.current();
 
         // An inactive spec (None or zero horizon) builds no forecaster
@@ -744,6 +748,58 @@ impl Session {
         Ok(changes.len())
     }
 
+    /// Applies a dense `ScaleAll`-style traffic shift: every live
+    /// pair's rate is multiplied by `factor`, saturating at
+    /// `f64::MAX`. On the fast path this is three contiguous sweeps
+    /// (traffic store, cluster NIC accounting, ledger/shard rescale —
+    /// `C_A` is linear in `λ`) with **no** per-pair canonicalization,
+    /// lookup, or level pricing, which is what keeps 100k-host dense
+    /// drift events off the O(pairs·log) path.
+    ///
+    /// When a trace recorder or forecaster is attached the shift
+    /// instead falls back to the expanded per-pair
+    /// [`Session::apply_traffic_deltas`] — the recorded stream and the
+    /// forecaster's observations must see the same per-pair updates a
+    /// compiled trace would, byte for byte.
+    ///
+    /// Returns the number of live pairs swept (or, on the fallback
+    /// path, the number of pairs whose rate actually changed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Workload`] unless `factor` is positive
+    /// and finite; the session is unchanged on error.
+    pub fn apply_traffic_scale(&mut self, factor: f64) -> Result<usize, ScenarioError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(ScenarioError::Workload(format!(
+                "traffic scale factor must be positive and finite, got {factor}"
+            )));
+        }
+        if self.recorder.is_some() || self.forecaster.is_some() {
+            let updates: Vec<(VmId, VmId, f64)> = self
+                .traffic
+                .pairs()
+                .iter()
+                .map(|&(u, v, r)| (u, v, (r * factor).min(f64::MAX)))
+                .collect();
+            return self.apply_traffic_deltas(&updates);
+        }
+        let start = Instant::now();
+        self.freshen_ledger();
+        let swept = self.traffic.num_pairs();
+        if factor != 1.0 {
+            self.traffic.scale_all_in_place(factor);
+            self.cluster.scale_traffic(factor);
+            self.ledger.scale(factor);
+        }
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.trace_stats.events_applied += 1;
+        self.trace_stats.pairs_repriced += swept as u64;
+        self.trace_stats.apply_ns_total += ns;
+        self.trace_stats.apply_ns_max = self.trace_stats.apply_ns_max.max(ns);
+        Ok(swept)
+    }
+
     /// Trace-replay bookkeeping for the current segment (all zeros for
     /// static workloads).
     pub fn trace_stats(&self) -> TraceReplayStats {
@@ -756,6 +812,19 @@ impl Session {
     /// ledger).
     pub fn ledger_resyncs(&self) -> u64 {
         self.ledger.resyncs()
+    }
+
+    /// Cost mass the sharded ledger currently attributes to topology
+    /// zone `zone` (aggregation group / pod) — the hierarchical rollup
+    /// a per-subtree dashboard reads without any pair walk.
+    pub fn zone_cost(&self, zone: u32) -> f64 {
+        self.ledger.zone_cost(zone)
+    }
+
+    /// Absolute drift between the merged shard sample and the
+    /// authoritative ledger total (pinned ≤ 1e-9 relative by tests).
+    pub fn shard_drift(&self) -> f64 {
+        self.ledger.shard_drift()
     }
 
     /// True when decisions consume forecasted outlooks (an active
@@ -1223,6 +1292,25 @@ mod tests {
     }
 
     #[test]
+    fn shard_rollups_stay_coherent_through_a_run() {
+        // The sharded ledger's per-zone partials must keep summing to
+        // the authoritative total through migrations and sampling.
+        let mut session = quick_scenario(PolicyKind::HighestLevelFirst, 23)
+            .session()
+            .unwrap();
+        session.run_to_horizon();
+        let total = session.current_cost();
+        assert!(
+            session.shard_drift() <= 1e-9 * total.abs().max(1.0),
+            "shard drift {} after a full run (total {total})",
+            session.shard_drift()
+        );
+        let zones = session.cluster().topo().num_zones() as u32;
+        let zone_sum: f64 = (0..zones).map(|z| session.zone_cost(z)).sum();
+        assert!((zone_sum - total).abs() <= 1e-9 * total.abs().max(1.0));
+    }
+
+    #[test]
     fn external_mutation_resyncs_ledger() {
         use score_topology::ServerId;
         let mut session = quick_scenario(PolicyKind::RoundRobin, 22)
@@ -1381,10 +1469,10 @@ mod tests {
         let mut builder = Trace::builder(num_vms, 120.0)
             .base_traffic(&a)
             .marker(60.0, "phase-2");
-        for &(u, v, _) in a.pairs() {
+        for (u, v, _) in a.pairs() {
             builder = builder.set_rate(60.0, u.get(), v.get(), b.rate(u, v));
         }
-        for &(u, v, r) in b.pairs() {
+        for (u, v, r) in b.pairs() {
             if a.rate(u, v) == 0.0 {
                 builder = builder.set_rate(60.0, u.get(), v.get(), r);
             }
@@ -1441,6 +1529,53 @@ mod tests {
         // And the run continues normally afterwards.
         session.run_to_horizon();
         assert!(session.report().final_cost <= session.report().initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn dense_scale_fast_path_matches_expanded_deltas() {
+        // Two identical sessions; one takes the dense sweep, the other
+        // the expanded per-pair path the trace compiler would emit.
+        let mut fast = quick_scenario(PolicyKind::RoundRobin, 43)
+            .session()
+            .unwrap();
+        let mut slow = quick_scenario(PolicyKind::RoundRobin, 43)
+            .session()
+            .unwrap();
+        fast.run(1);
+        slow.run(1);
+        let factor = 2.5;
+        let swept = fast.apply_traffic_scale(factor).unwrap();
+        assert_eq!(swept, fast.traffic().num_pairs());
+        let updates: Vec<(VmId, VmId, f64)> = slow
+            .traffic()
+            .pairs()
+            .iter()
+            .map(|&(u, v, r)| (u, v, (r * factor).min(f64::MAX)))
+            .collect();
+        slow.apply_traffic_deltas(&updates).unwrap();
+        // Rates agree exactly; costs and NIC accounting to 1e-9.
+        for (u, v, r) in slow.traffic().pairs() {
+            assert_eq!(fast.traffic().rate(u, v), r);
+        }
+        let (cf, cs) = (fast.current_cost(), slow.current_cost());
+        assert!((cf - cs).abs() <= 1e-9 * cs.abs().max(1.0), "{cf} vs {cs}");
+        assert!(fast.shard_drift() <= 1e-9 * cf.abs().max(1.0));
+        assert_eq!(fast.ledger_resyncs(), 0);
+        // Invalid factors are rejected without touching the session.
+        assert!(fast.apply_traffic_scale(0.0).is_err());
+        assert!(fast.apply_traffic_scale(f64::NAN).is_err());
+        assert!(fast.apply_traffic_scale(-2.0).is_err());
+        // Identity factor sweeps nothing but counts as an event.
+        let events_before = fast.trace_stats().events_applied;
+        fast.apply_traffic_scale(1.0).unwrap();
+        assert_eq!(fast.trace_stats().events_applied, events_before + 1);
+        // Both sessions keep running normally.
+        fast.run_to_horizon();
+        slow.run_to_horizon();
+        assert_eq!(
+            fast.report().migrations.len(),
+            slow.report().migrations.len()
+        );
     }
 
     /// A small flash-crowd trace scenario (fast token timing so the

@@ -36,10 +36,10 @@ fn quick_scenario(policy: PolicyKind, seed: u64) -> Scenario {
 /// The `(u, v, rate)` updates that turn TM `from` into TM `to`.
 fn switch_updates(from: &PairTraffic, to: &PairTraffic) -> Vec<(u32, u32, f64)> {
     let mut updates = Vec::new();
-    for &(u, v, _) in from.pairs() {
+    for (u, v, _) in from.pairs() {
         updates.push((u.get(), v.get(), to.rate(u, v)));
     }
-    for &(u, v, r) in to.pairs() {
+    for (u, v, r) in to.pairs() {
         if from.rate(u, v) == 0.0 {
             updates.push((u.get(), v.get(), r));
         }

@@ -104,6 +104,35 @@ pub trait Topology: fmt::Debug + Send + Sync {
         Level::from_hops(self.hops(a, b))
     }
 
+    /// Number of aggregation *zones* — the subtrees one level above
+    /// racks (aggregation groups in the canonical tree, pods in the
+    /// fat-tree). Zones key hierarchical rollups (sharded cost ledgers,
+    /// per-subtree rate aggregates) so large-cluster bookkeeping can
+    /// touch O(zones-on-path) state instead of O(cluster). Topologies
+    /// without an aggregation layer report a single zone.
+    fn num_zones(&self) -> usize {
+        1
+    }
+
+    /// The zone containing rack `r` (see [`Topology::num_zones`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    fn zone_of_rack(&self, r: RackId) -> u32 {
+        assert!((r.get() as usize) < self.num_racks(), "rack out of range");
+        0
+    }
+
+    /// The zone containing server `s` (derived via its rack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    fn zone_of(&self, s: ServerId) -> u32 {
+        self.zone_of_rack(self.rack_of(s))
+    }
+
     /// Iterator over all server ids.
     fn servers(&self) -> Box<dyn Iterator<Item = ServerId> + '_> {
         Box::new((0..self.num_servers() as u32).map(ServerId::new))

@@ -251,6 +251,15 @@ impl Topology for FatTree {
         start..start + self.half()
     }
 
+    fn num_zones(&self) -> usize {
+        self.k as usize
+    }
+
+    fn zone_of_rack(&self, r: RackId) -> u32 {
+        assert!((r.index()) < self.num_racks(), "rack {r} out of range");
+        r.get() / self.half()
+    }
+
     fn hops(&self, a: ServerId, b: ServerId) -> u32 {
         self.assert_server(a);
         self.assert_server(b);

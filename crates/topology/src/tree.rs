@@ -360,6 +360,14 @@ impl Topology for CanonicalTree {
         start..start + self.hosts_per_rack
     }
 
+    fn num_zones(&self) -> usize {
+        self.num_aggs() as usize
+    }
+
+    fn zone_of_rack(&self, r: RackId) -> u32 {
+        self.agg_of_rack(r)
+    }
+
     fn hops(&self, a: ServerId, b: ServerId) -> u32 {
         self.assert_server(a);
         self.assert_server(b);

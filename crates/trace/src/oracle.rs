@@ -70,7 +70,7 @@ impl OracleForecaster {
     pub fn load_segment(&mut self, segment: &TraceSegment) {
         self.breakpoints.clear();
         self.current.clear();
-        for &(u, v, rate) in segment.initial.pairs() {
+        for (u, v, rate) in segment.initial.pairs() {
             self.current.insert(Self::key(u, v), rate);
         }
         for batch in &segment.shifts {
@@ -113,7 +113,7 @@ impl RateForecaster for OracleForecaster {
         // known about the future until `load_segment` indexes it.
         self.breakpoints.clear();
         self.current.clear();
-        for &(u, v, rate) in traffic.pairs() {
+        for (u, v, rate) in traffic.pairs() {
             self.current.insert(Self::key(u, v), rate);
         }
     }

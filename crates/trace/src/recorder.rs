@@ -125,7 +125,7 @@ impl TraceRecorder {
                 label: label.into(),
             },
         });
-        for &(u, v, old_rate) in old.pairs() {
+        for (u, v, old_rate) in old.pairs() {
             let new_rate = new.rate(u, v);
             if new_rate != old_rate {
                 self.events.push(TimedEvent {
@@ -138,7 +138,7 @@ impl TraceRecorder {
                 });
             }
         }
-        for &(u, v, rate) in new.pairs() {
+        for (u, v, rate) in new.pairs() {
             if old.rate(u, v) == 0.0 {
                 self.events.push(TimedEvent {
                     time_s: at_s,

@@ -96,7 +96,7 @@ impl FlowSampler {
     pub fn sample(&self, traffic: &PairTraffic) -> Vec<Flow> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut flows = Vec::new();
-        for &(u, v, rate) in traffic.pairs() {
+        for (u, v, rate) in traffic.pairs() {
             let pair_bytes = rate / 8.0 * self.window_s;
             let n_flows = if rate >= ELEPHANT_THRESHOLD_BPS {
                 // One to three long-lived elephant flows.

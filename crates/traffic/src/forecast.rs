@@ -188,7 +188,7 @@ impl RateForecaster for EwmaForecaster {
 
     fn prime(&mut self, traffic: &PairTraffic, now_s: f64) {
         self.pairs.clear();
-        for &(u, v, rate) in traffic.pairs() {
+        for (u, v, rate) in traffic.pairs() {
             self.pairs.insert(
                 Self::key(u, v),
                 PairTrend {

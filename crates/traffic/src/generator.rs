@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn rates_respect_line_rate_cap() {
         for t in [sparse_workload(300, 9), dense_workload(300, 9)] {
-            for &(_, _, rate) in t.pairs() {
+            for (_, _, rate) in t.pairs() {
                 assert!(rate <= 250e6 + 1e-6, "pair rate {rate} above cap");
             }
         }

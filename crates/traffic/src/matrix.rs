@@ -51,7 +51,7 @@ impl TrafficMatrix {
         F: FnMut(VmId) -> RackId,
     {
         let mut m = TrafficMatrix::zeros(racks);
-        for &(u, v, rate) in traffic.pairs() {
+        for (u, v, rate) in traffic.pairs() {
             let ru = rack_of(u).index();
             let rv = rack_of(v).index();
             assert!(ru < racks && rv < racks, "rack out of range");

@@ -6,6 +6,31 @@
 //! per-VM adjacency (`Vu`, "the set of VMs that exchange data with VM u"),
 //! which is exactly the local information S-CORE consults when a VM holds
 //! the migration token.
+//!
+//! # Storage layout (struct of arrays)
+//!
+//! Rates live in flat parallel arrays — `ep_u[h]`, `ep_v[h]`, `rates[h]`
+//! — indexed by a stable integer [`PairHandle`] `h`. Removing a pair
+//! tombstones its slot (rate 0) and recycles the handle through a free
+//! list; nothing else moves, so every other handle stays valid. A dense
+//! per-VM adjacency index (`Vu` sorted by peer id, position-aligned with
+//! the owning handles) resolves `(u, v)` → handle in O(log degree) —
+//! *degree*, not cluster size, which is what keeps sparse trace deltas
+//! flat as pair counts grow into the millions. Dense rescales
+//! ([`PairTraffic::scale_all_in_place`]) are a single sweep over the one
+//! contiguous rate array plus the adjacency mirror — a vectorizable loop
+//! instead of a per-pair search cascade.
+//!
+//! ## Handle stability contract
+//!
+//! A [`PairHandle`] obtained from [`PairTraffic::handle`] stays valid —
+//! same pair, O(1) access — for as long as the pair is live. Setting a
+//! pair's rate to 0 removes it and *invalidates* its handle; the slot may
+//! be recycled for a future insertion. Accessing a stale handle panics
+//! (the slot is either tombstoned or owned by a different pair).
+//! Canonical iteration order ([`PairTraffic::pairs`]) is by `(u, v)`,
+//! independent of handle numbering, so cost summation order — and with
+//! it byte-identical reports — survives any churn history.
 
 use score_topology::VmId;
 use serde::{Deserialize, Serialize};
@@ -60,30 +85,57 @@ impl PairTrafficBuilder {
 
     /// Freezes the builder into an immutable [`PairTraffic`].
     pub fn build(&self) -> PairTraffic {
-        let mut adjacency: Vec<Vec<(VmId, f64)>> = vec![Vec::new(); self.num_vms as usize];
+        let n = self.rates.len();
+        let mut ep_u = Vec::with_capacity(n);
+        let mut ep_v = Vec::with_capacity(n);
+        let mut rates = Vec::with_capacity(n);
+        // (peer, rate, handle) staging rows, sorted by peer id below.
+        let mut adj: Vec<Vec<(VmId, f64, u32)>> = vec![Vec::new(); self.num_vms as usize];
         let mut total = 0.0;
-        for (&(u, v), &rate) in &self.rates {
-            adjacency[u as usize].push((VmId::new(v), rate));
-            adjacency[v as usize].push((VmId::new(u), rate));
+        for (h, (&(u, v), &rate)) in self.rates.iter().enumerate() {
+            ep_u.push(VmId::new(u));
+            ep_v.push(VmId::new(v));
+            rates.push(rate);
+            adj[u as usize].push((VmId::new(v), rate, h as u32));
+            adj[v as usize].push((VmId::new(u), rate, h as u32));
             total += rate;
         }
-        for peers in &mut adjacency {
-            peers.sort_by_key(|&(vm, _)| vm);
+        let mut adjacency = Vec::with_capacity(adj.len());
+        let mut adj_handles = Vec::with_capacity(adj.len());
+        for mut rows in adj {
+            rows.sort_by_key(|&(vm, _, _)| vm);
+            adjacency.push(rows.iter().map(|&(vm, r, _)| (vm, r)).collect());
+            adj_handles.push(rows.iter().map(|&(_, _, h)| h).collect());
         }
         PairTraffic {
             num_vms: self.num_vms,
-            pairs: self
-                .rates
-                .iter()
-                .map(|(&(u, v), &r)| (VmId::new(u), VmId::new(v), r))
-                .collect(),
+            ep_u,
+            ep_v,
+            rates,
+            free: Vec::new(),
+            live: n,
+            canonical: true,
             adjacency,
+            adj_handles,
             total,
         }
     }
 }
 
-/// Immutable pairwise VM traffic: rates λ(u, v) and per-VM peer sets `Vu`.
+/// A stable integer handle naming one live communicating pair inside a
+/// [`PairTraffic`] (see the module docs for the stability contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PairHandle(u32);
+
+impl PairHandle {
+    /// The handle's slot index into the flat rate array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Pairwise VM traffic: rates λ(u, v) and per-VM peer sets `Vu`, stored
+/// struct-of-arrays with stable pair handles (see the module docs).
 ///
 /// # Examples
 ///
@@ -98,15 +150,69 @@ impl PairTrafficBuilder {
 /// assert_eq!(traffic.rate(VmId::new(1), VmId::new(0)), 100.0);
 /// assert_eq!(traffic.peers(VmId::new(1)).len(), 2);
 /// assert_eq!(traffic.total_rate(), 150.0);
+/// let h = traffic.handle(VmId::new(0), VmId::new(1)).unwrap();
+/// assert_eq!(traffic.rate_of(h), 100.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairTraffic {
     num_vms: u32,
-    /// Canonical (u < v) pair list.
-    pairs: Vec<(VmId, VmId, f64)>,
+    /// Slot arrays: endpoint `u < v` and the rate, indexed by handle.
+    /// Tombstoned slots carry rate 0 and sit on the free list.
+    ep_u: Vec<VmId>,
+    ep_v: Vec<VmId>,
+    rates: Vec<f64>,
+    /// Recycled slot indices (tombstones).
+    free: Vec<u32>,
+    /// Number of live pairs.
+    live: usize,
+    /// True while iterating slots `0..len` in index order (skipping
+    /// tombstones) yields pairs in canonical `(u, v)` order. Builders
+    /// emit canonical layouts; re-rates and removals preserve the
+    /// property (a subsequence of a sorted sequence stays sorted);
+    /// insertions clear it.
+    canonical: bool,
     /// `adjacency[u]` = Vu with rates, sorted by peer id.
     adjacency: Vec<Vec<(VmId, f64)>>,
+    /// `adj_handles[u][i]` = slot of the pair `(u, adjacency[u][i].0)`.
+    adj_handles: Vec<Vec<u32>>,
     total: f64,
+}
+
+impl PartialEq for PairTraffic {
+    /// Semantic equality: same population and same live `(u, v, λ)` set
+    /// (and identical running total). Slot numbering, tombstones and
+    /// free-list state are storage details two equal graphs may differ
+    /// in — a builder-built graph equals its churned-into twin.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_vms == other.num_vms
+            && self.live == other.live
+            && self.total == other.total
+            && self.pairs() == other.pairs()
+    }
+}
+
+impl Serialize for PairTraffic {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("num_vms".to_string(), self.num_vms.to_value()),
+            ("pairs".to_string(), self.pairs().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PairTraffic {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected PairTraffic object"))?;
+        let num_vms = u32::from_value(serde::field(obj, "num_vms")?)?;
+        let pairs = Vec::<(VmId, VmId, f64)>::from_value(serde::field(obj, "pairs")?)?;
+        let mut b = PairTrafficBuilder::new(num_vms);
+        for (u, v, r) in pairs {
+            b.add(u, v, r);
+        }
+        Ok(b.build())
+    }
 }
 
 impl PairTraffic {
@@ -122,7 +228,7 @@ impl PairTraffic {
 
     /// Number of communicating pairs.
     pub fn num_pairs(&self) -> usize {
-        self.pairs.len()
+        self.live
     }
 
     /// Rate λ(u, v); zero if the pair does not communicate.
@@ -145,6 +251,56 @@ impl PairTraffic {
         }
     }
 
+    /// The stable handle of a live pair, or `None` if the pair does not
+    /// communicate. Costs one O(log degree) search; the returned handle
+    /// then gives O(1) access ([`PairTraffic::rate_of`],
+    /// [`PairTraffic::endpoints`]) until the pair is removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn handle(&self, u: VmId, v: VmId) -> Option<PairHandle> {
+        assert!(
+            u.get() < self.num_vms && v.get() < self.num_vms,
+            "vm out of range"
+        );
+        if u == v {
+            return None;
+        }
+        let (u, v) = if u < v { (u, v) } else { (v, u) };
+        self.adjacency[u.index()]
+            .binary_search_by_key(&v, |&(p, _)| p)
+            .ok()
+            .map(|i| PairHandle(self.adj_handles[u.index()][i]))
+    }
+
+    /// The canonical `(u, v)` endpoints of a live pair (`u < v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle (the pair was removed).
+    pub fn endpoints(&self, h: PairHandle) -> (VmId, VmId) {
+        self.check_live(h);
+        (self.ep_u[h.index()], self.ep_v[h.index()])
+    }
+
+    /// The current rate of a live pair — an O(1) array read.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle (the pair was removed).
+    pub fn rate_of(&self, h: PairHandle) -> f64 {
+        self.check_live(h);
+        self.rates[h.index()]
+    }
+
+    fn check_live(&self, h: PairHandle) {
+        assert!(
+            h.index() < self.rates.len() && self.rates[h.index()] > 0.0,
+            "stale pair handle {h:?} (pair was removed)"
+        );
+    }
+
     /// The peer set `Vu` of a VM, with rates, sorted by peer id.
     ///
     /// # Panics
@@ -160,9 +316,20 @@ impl PairTraffic {
         self.peers(u).len()
     }
 
-    /// All pairs `(u, v, λ)` with `u < v`.
-    pub fn pairs(&self) -> &[(VmId, VmId, f64)] {
-        &self.pairs
+    /// All live pairs `(u, v, λ)` with `u < v`, in canonical `(u, v)`
+    /// order — the iteration order every cost summation uses, which is
+    /// why it is independent of slot numbering and churn history.
+    pub fn pairs(&self) -> Vec<(VmId, VmId, f64)> {
+        let mut out = Vec::with_capacity(self.live);
+        for h in 0..self.rates.len() {
+            if self.rates[h] > 0.0 {
+                out.push((self.ep_u[h], self.ep_v[h], self.rates[h]));
+            }
+        }
+        if !self.canonical {
+            out.sort_by_key(|&(u, v, _)| (u, v));
+        }
+        out
     }
 
     /// Sum of λ over all pairs.
@@ -175,7 +342,7 @@ impl PairTraffic {
         if self.num_vms == 0 {
             return 0.0;
         }
-        2.0 * self.pairs.len() as f64 / self.num_vms as f64
+        2.0 * self.live as f64 / self.num_vms as f64
     }
 
     /// Returns a copy with every rate multiplied by `factor` — the paper's
@@ -189,20 +356,46 @@ impl PairTraffic {
             factor.is_finite() && factor > 0.0,
             "factor must be positive"
         );
-        PairTraffic {
-            num_vms: self.num_vms,
-            pairs: self
-                .pairs
-                .iter()
-                .map(|&(u, v, r)| (u, v, r * factor))
-                .collect(),
-            adjacency: self
-                .adjacency
-                .iter()
-                .map(|peers| peers.iter().map(|&(p, r)| (p, r * factor)).collect())
-                .collect(),
-            total: self.total * factor,
+        let mut next = self.clone();
+        for r in &mut next.rates {
+            *r *= factor;
         }
+        for peers in &mut next.adjacency {
+            for p in peers {
+                p.1 *= factor;
+            }
+        }
+        next.total = self.total * factor;
+        next
+    }
+
+    /// Rescales every rate **in place** by `factor` — the dense
+    /// (`ScaleAll`) fast path: one saturating sweep over the contiguous
+    /// rate array plus the adjacency mirror, no per-pair searches. Rates
+    /// saturate at `f64::MAX` exactly as the trace compiler's expanded
+    /// per-pair updates do. The running total is rescaled directly
+    /// (Eq. (2) is linear in λ, so downstream ledgers may do the same);
+    /// it can drift from a fresh summation by ordinary float rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scale_all_in_place(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
+        // Tombstones hold 0.0, which rescales to 0.0 — the sweep can
+        // stay branch-free over the whole slot array.
+        for r in &mut self.rates {
+            *r = (*r * factor).min(f64::MAX);
+        }
+        for peers in &mut self.adjacency {
+            for p in peers {
+                p.1 = (p.1 * factor).min(f64::MAX);
+            }
+        }
+        self.total = (self.total * factor).min(f64::MAX);
     }
 
     /// Returns a copy with every pair rate clamped to at most `cap` —
@@ -213,32 +406,27 @@ impl PairTraffic {
     /// Panics if `cap` is not positive and finite.
     pub fn capped(&self, cap: f64) -> PairTraffic {
         assert!(cap.is_finite() && cap > 0.0, "cap must be positive");
-        let pairs: Vec<(VmId, VmId, f64)> = self
-            .pairs
-            .iter()
-            .map(|&(u, v, r)| (u, v, r.min(cap)))
-            .collect();
-        let adjacency: Vec<Vec<(VmId, f64)>> = self
-            .adjacency
-            .iter()
-            .map(|peers| peers.iter().map(|&(p, r)| (p, r.min(cap))).collect())
-            .collect();
-        let total = pairs.iter().map(|&(_, _, r)| r).sum();
-        PairTraffic {
-            num_vms: self.num_vms,
-            pairs,
-            adjacency,
-            total,
+        let mut next = self.clone();
+        for r in &mut next.rates {
+            *r = r.min(cap);
         }
+        for peers in &mut next.adjacency {
+            for p in peers {
+                p.1 = p.1.min(cap);
+            }
+        }
+        next.total = next.pairs().iter().map(|&(_, _, r)| r).sum();
+        next
     }
 
     /// Applies absolute-rate updates **in place**: each `(u, v, rate)`
     /// entry *replaces* λ(u, v) (a rate of `0` removes the pair).
     /// Updates are canonicalized and applied in order, so when the same
     /// pair appears twice the later entry wins. Each touched pair costs
-    /// one binary search in the pair list and one per endpoint adjacency
-    /// — no map rebuild, no reallocation of untouched state — which is
-    /// what keeps trace replay at O(changed pairs) per event. The
+    /// one O(log degree) adjacency probe to resolve its slot handle and
+    /// then O(1) flat-array writes — no global pair-list search, no map
+    /// rebuild, no reallocation of untouched state — which is what keeps
+    /// trace replay flat as clusters grow to millions of pairs. The
     /// running total is adjusted incrementally (it can drift from a
     /// fresh summation by ordinary float rounding).
     ///
@@ -247,16 +435,6 @@ impl PairTraffic {
     /// Panics if an update names a self-pair, an out-of-range VM, or a
     /// negative/non-finite rate.
     pub fn apply_updates(&mut self, updates: &[(VmId, VmId, f64)]) {
-        fn set_peer(peers: &mut Vec<(VmId, f64)>, peer: VmId, rate: f64) {
-            match peers.binary_search_by_key(&peer, |&(p, _)| p) {
-                Ok(i) if rate == 0.0 => {
-                    peers.remove(i);
-                }
-                Ok(i) => peers[i].1 = rate,
-                Err(_) if rate == 0.0 => {}
-                Err(i) => peers.insert(i, (peer, rate)),
-            }
-        }
         for &(u, v, rate) in updates {
             assert_ne!(u, v, "self-traffic is not part of the communication graph");
             assert!(
@@ -268,35 +446,115 @@ impl PairTraffic {
                 "rate must be finite and >= 0"
             );
             let (u, v) = if u < v { (u, v) } else { (v, u) };
-            match self
-                .pairs
-                .binary_search_by_key(&(u, v), |&(a, b, _)| (a, b))
-            {
+            match self.adjacency[u.index()].binary_search_by_key(&v, |&(p, _)| p) {
                 Ok(i) => {
-                    let old = self.pairs[i].2;
+                    let h = self.adj_handles[u.index()][i] as usize;
+                    let old = self.rates[h];
                     if old == rate {
                         continue;
                     }
                     if rate == 0.0 {
-                        self.pairs.remove(i);
+                        self.remove_slot(h, u, v, i);
                     } else {
-                        self.pairs[i].2 = rate;
+                        self.rates[h] = rate;
+                        self.adjacency[u.index()][i].1 = rate;
+                        let j = self.adjacency[v.index()]
+                            .binary_search_by_key(&u, |&(p, _)| p)
+                            .expect("adjacency is symmetric");
+                        self.adjacency[v.index()][j].1 = rate;
                     }
-                    set_peer(&mut self.adjacency[u.index()], v, rate);
-                    set_peer(&mut self.adjacency[v.index()], u, rate);
                     self.total += rate - old;
                 }
                 Err(i) => {
                     if rate == 0.0 {
                         continue;
                     }
-                    self.pairs.insert(i, (u, v, rate));
-                    set_peer(&mut self.adjacency[u.index()], v, rate);
-                    set_peer(&mut self.adjacency[v.index()], u, rate);
+                    self.insert_slot(u, v, rate, i);
                     self.total += rate;
                 }
             }
         }
+    }
+
+    /// Re-rates a live pair through its handle: the O(1)-slot variant of
+    /// a single-pair [`PairTraffic::apply_updates`] (a rate of `0`
+    /// removes the pair and invalidates the handle). The two adjacency
+    /// mirror entries still cost one O(log degree) probe each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle or a negative/non-finite rate.
+    pub fn set_rate(&mut self, h: PairHandle, rate: f64) {
+        self.check_live(h);
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be finite and >= 0"
+        );
+        let (u, v) = (self.ep_u[h.index()], self.ep_v[h.index()]);
+        let old = self.rates[h.index()];
+        if old == rate {
+            return;
+        }
+        let i = self.adjacency[u.index()]
+            .binary_search_by_key(&v, |&(p, _)| p)
+            .expect("adjacency is symmetric");
+        if rate == 0.0 {
+            self.remove_slot(h.index(), u, v, i);
+        } else {
+            self.rates[h.index()] = rate;
+            self.adjacency[u.index()][i].1 = rate;
+            let j = self.adjacency[v.index()]
+                .binary_search_by_key(&u, |&(p, _)| p)
+                .expect("adjacency is symmetric");
+            self.adjacency[v.index()][j].1 = rate;
+        }
+        self.total += rate - old;
+    }
+
+    /// Tombstones slot `h` for canonical pair `(u, v)` whose entry in
+    /// `adjacency[u]` sits at position `i`.
+    fn remove_slot(&mut self, h: usize, u: VmId, v: VmId, i: usize) {
+        self.adjacency[u.index()].remove(i);
+        self.adj_handles[u.index()].remove(i);
+        let j = self.adjacency[v.index()]
+            .binary_search_by_key(&u, |&(p, _)| p)
+            .expect("adjacency is symmetric");
+        self.adjacency[v.index()].remove(j);
+        self.adj_handles[v.index()].remove(j);
+        self.rates[h] = 0.0;
+        self.free.push(h as u32);
+        self.live -= 1;
+        // A subsequence of a canonically ordered slot walk stays
+        // canonically ordered: `canonical` is preserved.
+    }
+
+    /// Inserts canonical pair `(u, v)` at rate `rate > 0`, with `i` the
+    /// insertion position in `adjacency[u]`, reusing a tombstoned slot
+    /// when one is free.
+    fn insert_slot(&mut self, u: VmId, v: VmId, rate: f64, i: usize) {
+        let h = match self.free.pop() {
+            Some(h) => {
+                self.ep_u[h as usize] = u;
+                self.ep_v[h as usize] = v;
+                self.rates[h as usize] = rate;
+                h
+            }
+            None => {
+                self.ep_u.push(u);
+                self.ep_v.push(v);
+                self.rates.push(rate);
+                (self.rates.len() - 1) as u32
+            }
+        };
+        self.adjacency[u.index()].insert(i, (v, rate));
+        self.adj_handles[u.index()].insert(i, h);
+        let j = self.adjacency[v.index()]
+            .binary_search_by_key(&u, |&(p, _)| p)
+            .expect_err("pair missing from one side must be missing from both");
+        self.adjacency[v.index()].insert(j, (u, rate));
+        self.adj_handles[v.index()].insert(j, h);
+        self.live += 1;
+        self.canonical = false;
     }
 
     /// Returns a copy with the given absolute-rate updates applied —
@@ -322,6 +580,7 @@ impl PairTraffic {
         let vm = VmId::new(self.num_vms);
         self.num_vms += 1;
         self.adjacency.push(Vec::new());
+        self.adj_handles.push(Vec::new());
         vm
     }
 
@@ -334,7 +593,7 @@ impl PairTraffic {
     pub fn merged(&self, other: &PairTraffic) -> PairTraffic {
         assert_eq!(self.num_vms, other.num_vms, "VM populations differ");
         let mut b = PairTrafficBuilder::new(self.num_vms);
-        for &(u, v, r) in self.pairs.iter().chain(other.pairs.iter()) {
+        for &(u, v, r) in self.pairs().iter().chain(other.pairs().iter()) {
             b.add(u, v, r);
         }
         b.build()
@@ -398,6 +657,18 @@ mod tests {
     }
 
     #[test]
+    fn scale_all_in_place_matches_scaled() {
+        let mut t = triangle();
+        t.scale_all_in_place(10.0);
+        assert_eq!(t, triangle().scaled(10.0));
+        // Saturation mirrors the trace compiler's expanded updates.
+        let mut hot = triangle().scaled(f64::MAX / 40.0);
+        hot.scale_all_in_place(4.0);
+        assert_eq!(hot.rate(VmId::new(2), VmId::new(0)), f64::MAX);
+        assert!(hot.total_rate().is_finite());
+    }
+
+    #[test]
     fn updated_replaces_inserts_and_removes() {
         let t = triangle();
         let next = t.updated(&[
@@ -437,6 +708,82 @@ mod tests {
         assert_eq!(t.updated(&[]), t);
         // Removing a pair that does not exist is a no-op.
         assert_eq!(t.updated(&[(VmId::new(0), VmId::new(3), 0.0)]), t);
+    }
+
+    #[test]
+    fn canonical_order_survives_churn() {
+        // Remove then insert: the recycled slot sits out of (u, v) order
+        // in the flat arrays, but pairs() re-canonicalizes.
+        let mut t = triangle();
+        t.apply_updates(&[(VmId::new(1), VmId::new(2), 0.0)]); // tombstone
+        t.apply_updates(&[(VmId::new(0), VmId::new(3), 5.0)]); // recycles slot
+        assert_eq!(
+            t.pairs(),
+            vec![
+                (VmId::new(0), VmId::new(1), 10.0),
+                (VmId::new(0), VmId::new(2), 30.0),
+                (VmId::new(0), VmId::new(3), 5.0),
+            ]
+        );
+        assert_eq!(t.num_pairs(), 3);
+    }
+
+    #[test]
+    fn handles_are_stable_across_unrelated_churn() {
+        let mut t = triangle();
+        let h01 = t.handle(VmId::new(0), VmId::new(1)).unwrap();
+        assert_eq!(t.endpoints(h01), (VmId::new(0), VmId::new(1)));
+        assert_eq!(t.rate_of(h01), 10.0);
+        // Reversed endpoint order resolves to the same handle.
+        assert_eq!(t.handle(VmId::new(1), VmId::new(0)), Some(h01));
+        assert_eq!(t.handle(VmId::new(0), VmId::new(3)), None);
+        assert_eq!(t.handle(VmId::new(2), VmId::new(2)), None);
+
+        // Unrelated removals and insertions leave the handle intact.
+        t.apply_updates(&[
+            (VmId::new(1), VmId::new(2), 0.0),
+            (VmId::new(2), VmId::new(3), 8.0),
+        ]);
+        assert_eq!(t.rate_of(h01), 10.0);
+        t.set_rate(h01, 42.0);
+        assert_eq!(t.rate(VmId::new(0), VmId::new(1)), 42.0);
+        assert_eq!(t.total_rate(), 42.0 + 30.0 + 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale pair handle")]
+    fn stale_handle_panics() {
+        let mut t = triangle();
+        let h = t.handle(VmId::new(0), VmId::new(1)).unwrap();
+        t.set_rate(h, 0.0); // removes the pair, invalidating h
+        let _ = t.rate_of(h);
+    }
+
+    #[test]
+    fn set_rate_matches_apply_updates() {
+        let mut by_handle = triangle();
+        let h = by_handle.handle(VmId::new(1), VmId::new(2)).unwrap();
+        by_handle.set_rate(h, 7.5);
+        let by_update = triangle().updated(&[(VmId::new(1), VmId::new(2), 7.5)]);
+        assert_eq!(by_handle, by_update);
+        assert_eq!(by_handle.total_rate(), by_update.total_rate());
+        // Identical-rate writes are no-ops on the running total.
+        by_handle.set_rate(h, 7.5);
+        assert_eq!(by_handle.total_rate(), by_update.total_rate());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_semantics() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut t = triangle();
+        // Churn so the slot layout differs from a fresh build.
+        t.apply_updates(&[
+            (VmId::new(1), VmId::new(2), 0.0),
+            (VmId::new(0), VmId::new(3), 5.0),
+        ]);
+        let back = PairTraffic::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.peers(VmId::new(0)), t.peers(VmId::new(0)));
     }
 
     #[test]
