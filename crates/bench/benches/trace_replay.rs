@@ -125,6 +125,56 @@ fn measure(label: &'static str, topology: TopologySpec) -> ReplayPoint {
     }
 }
 
+/// Instrumentation cost at the 2,560-host bench point: sparse-delta
+/// latency with a fully live `ObsHandle` attached versus bare. The
+/// per-delta path publishes no atomics (session/ledger counters update
+/// per batch and at sample cadence), so the two must stay within a few
+/// percent; the acceptance bar is 5%.
+struct OverheadPoint {
+    label: &'static str,
+    bare_sparse_delta_ns: f64,
+    obs_sparse_delta_ns: f64,
+    overhead_pct: f64,
+}
+
+fn measure_metrics_overhead() -> OverheadPoint {
+    let run = |attach: bool| -> f64 {
+        let mut session = session_for(TopologySpec::paper_canonical());
+        if attach {
+            session.attach_obs(&score_obs::ObsHandle::new());
+        }
+        let sparse = sparse_updates(&session);
+        for i in 0..500u32 {
+            black_box(
+                session
+                    .apply_traffic_deltas(&sparse[(i % 2) as usize])
+                    .unwrap(),
+            );
+        }
+        let reps = 20_000u32;
+        let start = Instant::now();
+        for i in 0..reps {
+            let batch = &sparse[(i % 2) as usize];
+            black_box(session.apply_traffic_deltas(black_box(batch)).unwrap());
+        }
+        start.elapsed().as_nanos() as f64 / f64::from(reps)
+    };
+    // Best-of-three per variant, interleaved, to shrug off scheduler
+    // noise — this point gates a 5% bound, not a trend line.
+    let mut bare = f64::INFINITY;
+    let mut obs = f64::INFINITY;
+    for _ in 0..3 {
+        bare = bare.min(run(false));
+        obs = obs.min(run(true));
+    }
+    OverheadPoint {
+        label: "canonical-2560",
+        bare_sparse_delta_ns: bare,
+        obs_sparse_delta_ns: obs,
+        overhead_pct: (obs - bare) / bare * 100.0,
+    }
+}
+
 /// Sizes the interactive criterion groups run (kept small).
 fn sizes() -> [(&'static str, TopologySpec); 3] {
     [
@@ -192,7 +242,7 @@ fn bench_trace_replay(c: &mut Criterion) {
 }
 
 /// Writes `BENCH_trace_replay.json` at the workspace root.
-fn record(points: &[ReplayPoint]) {
+fn record(points: &[ReplayPoint], overhead: &OverheadPoint) {
     let mut json = String::from(
         "{\n  \"bench\": \"trace_replay\",\n  \"unit\": \"ns per applied delta\",\n  \"points\": [\n",
     );
@@ -216,7 +266,17 @@ fn record(points: &[ReplayPoint]) {
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"metrics_overhead\": {{\"label\": \"{}\", \"bare_sparse_delta_ns\": {:.1}, \
+         \"obs_sparse_delta_ns\": {:.1}, \"overhead_pct\": {:.2}}}",
+        overhead.label,
+        overhead.bare_sparse_delta_ns,
+        overhead.obs_sparse_delta_ns,
+        overhead.overhead_pct,
+    );
+    json.push_str("}\n");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .find(|p| p.join("Cargo.toml").exists() && p.join("crates").exists())
@@ -257,5 +317,23 @@ fn main() {
             );
         }
     }
-    record(&points);
+    let overhead = measure_metrics_overhead();
+    println!(
+        "trace_replay: metrics overhead @ {}: bare {:.1} ns vs obs {:.1} ns ({:+.2}%)",
+        overhead.label,
+        overhead.bare_sparse_delta_ns,
+        overhead.obs_sparse_delta_ns,
+        overhead.overhead_pct,
+    );
+    // Acceptance tripwire: instrumented sparse-delta throughput must
+    // stay within 5% of bare — more means an atomic or a lock crept
+    // onto the per-delta path.
+    if overhead.overhead_pct > 5.0 {
+        eprintln!(
+            "warning: metrics overhead degenerated — an obs-attached session pays {:.2}% \
+             on the sparse-delta path (bound: 5%)",
+            overhead.overhead_pct
+        );
+    }
+    record(&points, &overhead);
 }

@@ -106,6 +106,32 @@ pub struct CostLedger {
     resyncs: u64,
     /// Optional per-rack/zone partials (see [`LedgerShards`]).
     shards: Option<LedgerShards>,
+    obs: Option<LedgerObs>,
+}
+
+/// Pre-resolved instruments attached via [`CostLedger::attach_obs`].
+///
+/// The delta hot path only bumps the plain `pending_*` fields (no atomics —
+/// an attached ledger must stay within a few percent of bare sparse-delta
+/// throughput); the shared counters, the cost gauge, and the O(zones)
+/// shard-drift gauge are all settled when the driver calls
+/// [`CostLedger::publish_obs`] at its sampling cadence.
+#[derive(Debug, Clone)]
+struct LedgerObs {
+    /// `score_ledger_cost`: the current authoritative `C_A`.
+    cost: std::sync::Arc<score_obs::Gauge>,
+    /// `score_ledger_delta_batches_total`: sparse delta batches applied.
+    delta_batches: std::sync::Arc<score_obs::Counter>,
+    /// `score_ledger_pairs_repriced_total`: pair rates re-priced.
+    pairs_repriced: std::sync::Arc<score_obs::Counter>,
+    /// `score_ledger_resyncs_total`: full-pass escape hatches paid.
+    resyncs: std::sync::Arc<score_obs::Counter>,
+    /// `score_ledger_shard_drift`: |sharded sum − authoritative total|.
+    shard_drift: std::sync::Arc<score_obs::Gauge>,
+    /// Delta batches applied since the last [`CostLedger::publish_obs`].
+    pending_batches: u64,
+    /// Pairs re-priced since the last [`CostLedger::publish_obs`].
+    pending_pairs: u64,
 }
 
 impl CostLedger {
@@ -123,6 +149,50 @@ impl CostLedger {
             total,
             resyncs: 0,
             shards: None,
+            obs: None,
+        }
+    }
+
+    /// Attaches observability: delta/resync counters plus cost and
+    /// shard-drift gauges. Purely a side channel — the ledger's arithmetic
+    /// (and therefore `total`) is bit-identical with or without it.
+    /// Passing a disabled handle detaches.
+    pub fn attach_obs(&mut self, handle: &score_obs::ObsHandle) {
+        self.obs = if handle.is_enabled() {
+            let obs = LedgerObs {
+                cost: handle.gauge("score_ledger_cost").unwrap(),
+                delta_batches: handle.counter("score_ledger_delta_batches_total").unwrap(),
+                pairs_repriced: handle.counter("score_ledger_pairs_repriced_total").unwrap(),
+                resyncs: handle.counter("score_ledger_resyncs_total").unwrap(),
+                shard_drift: handle.gauge("score_ledger_shard_drift").unwrap(),
+                pending_batches: 0,
+                pending_pairs: 0,
+            };
+            obs.cost.set(self.total);
+            Some(obs)
+        } else {
+            None
+        };
+    }
+
+    /// Settles the instruments the delta hot path deliberately defers: the
+    /// pending batch/pair counts are flushed into their shared counters, the
+    /// cost gauge is refreshed, and (when sharded) the O(zones) shard-drift
+    /// merge runs. Called by the simulation driver at its sampling cadence,
+    /// never on the delta hot path. No-op when detached.
+    pub fn publish_obs(&mut self) {
+        let drift = self.shards.is_some().then(|| self.shard_drift());
+        if let Some(obs) = &mut self.obs {
+            if obs.pending_batches > 0 {
+                obs.delta_batches.add(obs.pending_batches);
+                obs.pairs_repriced.add(obs.pending_pairs);
+                obs.pending_batches = 0;
+                obs.pending_pairs = 0;
+            }
+            obs.cost.set(self.total);
+            if let Some(d) = drift {
+                obs.shard_drift.set(d);
+            }
         }
     }
 
@@ -237,6 +307,9 @@ impl CostLedger {
     /// `MigrationDecision` unconditionally.
     pub fn apply_gain(&mut self, gain: f64) {
         self.total -= gain;
+        if let Some(obs) = &self.obs {
+            obs.cost.set(self.total);
+        }
     }
 
     /// Re-attributes a performed migration's cost mass across the rack
@@ -403,6 +476,12 @@ impl CostLedger {
         }
         self.total += delta;
         self.shards = shards;
+        // Hot path: two plain adds, no atomics — the shared counters and the
+        // cost gauge are settled at the publish_obs cadence instead.
+        if let Some(obs) = &mut self.obs {
+            obs.pending_batches += 1;
+            obs.pending_pairs += changes.len() as u64;
+        }
     }
 
     /// Discards the running total and recomputes it with one full
@@ -420,6 +499,10 @@ impl CostLedger {
             self.shards = Some(Self::build_shards(&self.model, alloc, traffic, topo));
         }
         self.resyncs += 1;
+        if let Some(obs) = &self.obs {
+            obs.resyncs.inc();
+            obs.cost.set(self.total);
+        }
     }
 
     /// Number of full-pass resyncs this ledger has paid — the counter a

@@ -6,9 +6,11 @@
 //! it plummeting after the second one — [`TokenRing::run_iteration`]
 //! produces exactly that statistic.
 
+use score_obs::{Counter, DecisionTrace, Histogram, ObsEvent, ObsHandle};
 use score_topology::VmId;
 use score_traffic::PairTraffic;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::cluster::Cluster;
 use crate::engine::{MigrationDecision, ScoreEngine};
@@ -73,6 +75,42 @@ pub struct TokenRing {
     policy: Box<dyn TokenPolicy>,
     token: Token,
     holder: Option<VmId>,
+    obs: Option<RingObs>,
+}
+
+/// Pre-resolved instruments for the decision hot path, built once at
+/// [`TokenRing::attach_obs`] time so a step costs a few relaxed atomic adds.
+/// All series carry a `policy="<name>"` label.
+#[derive(Debug)]
+struct RingObs {
+    handle: ObsHandle,
+    /// Event-clock time published by the driver (see
+    /// [`TokenRing::set_obs_clock`]); journal entries are stamped with it.
+    clock_s: f64,
+    /// `score_decision_latency_ns`: wall time of one token-holder step.
+    decision_ns: Arc<Histogram>,
+    /// `score_token_hops_total`: token holds performed.
+    hops: Arc<Counter>,
+    /// `score_migrations_total{kind="reactive"|"preemptive"}`.
+    migrations_reactive: Arc<Counter>,
+    migrations_preemptive: Arc<Counter>,
+}
+
+impl RingObs {
+    fn build(handle: &ObsHandle, policy: &'static str) -> Option<Self> {
+        if !handle.is_enabled() {
+            return None;
+        }
+        let handle = handle.with_label("policy", policy);
+        Some(RingObs {
+            decision_ns: handle.histogram("score_decision_latency_ns")?,
+            hops: handle.counter("score_token_hops_total")?,
+            migrations_reactive: handle.counter("score_migrations_total{kind=\"reactive\"}")?,
+            migrations_preemptive: handle.counter("score_migrations_total{kind=\"preemptive\"}")?,
+            clock_s: 0.0,
+            handle,
+        })
+    }
 }
 
 impl TokenRing {
@@ -95,6 +133,24 @@ impl TokenRing {
             policy,
             token,
             holder,
+            obs: None,
+        }
+    }
+
+    /// Attaches observability: decision latency, token hops and migration
+    /// counters (labelled by policy name) plus a journal entry per hold.
+    ///
+    /// Purely a side channel — an attached ring takes bit-identical
+    /// decisions to a bare one. Passing a disabled handle detaches.
+    pub fn attach_obs(&mut self, handle: &ObsHandle) {
+        self.obs = RingObs::build(handle, self.policy.name());
+    }
+
+    /// Publishes the driver's event-clock time (seconds) so journal entries
+    /// carry simulation time rather than wall time. No-op when detached.
+    pub fn set_obs_clock(&mut self, at_s: f64) {
+        if let Some(o) = &mut self.obs {
+            o.clock_s = at_s;
         }
     }
 
@@ -195,6 +251,7 @@ impl TokenRing {
         ctx: &OutlookContext<'_>,
     ) -> Option<StepOutcome> {
         let holder = self.holder?;
+        let sw = self.obs.as_ref().map(|o| o.handle.stopwatch());
         let (decision, pre_outlook) = self.engine.step_outlook(holder, cluster, traffic, ctx);
         // The policy sees the *post-migration* state: if the holder moved,
         // its levels (and those of its peers) changed.
@@ -204,6 +261,28 @@ impl TokenRing {
             .policy
             .next_holder(&mut self.token, holder, &post_outlook);
         self.holder = next;
+        if let Some(o) = &self.obs {
+            o.hops.inc();
+            if let Some(ns) = sw.and_then(|s| s.elapsed_ns()) {
+                o.decision_ns.record(ns);
+            }
+            if decision.migrates() {
+                if decision.preemptive {
+                    o.migrations_preemptive.inc();
+                } else {
+                    o.migrations_reactive.inc();
+                }
+            }
+            o.handle.journal_push(ObsEvent::Decision(DecisionTrace {
+                at_s: o.clock_s,
+                holder: holder.get() as u64,
+                candidates: decision.evaluated as u32,
+                accepted: decision.migrates(),
+                gain: decision.gain,
+                ledger_delta: decision.applied_delta(),
+                preemptive: decision.preemptive,
+            }));
+        }
         Some(StepOutcome {
             holder,
             source: pre_outlook.view().server,

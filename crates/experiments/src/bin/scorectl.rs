@@ -13,6 +13,8 @@
 //! scorectl serve [--socket PATH] [--tcp ADDR] [--rate SIM_S_PER_WALL_S]
 //!          [--record-dir DIR] [scenario flags above]
 //! scorectl client (--socket PATH | --tcp ADDR) [-e REQUEST]... [--follow]
+//! scorectl top (--socket PATH | --tcp ADDR) [--tenant NAME]
+//!          [--interval SECONDS] [--once]
 //! scorectl replay --dir DIR [--expect FILE]
 //! ```
 //!
@@ -43,6 +45,14 @@
 //! `trace.jsonl`) and prints the canonical report — with `--expect` it
 //! diffs against the daemon's persisted `report.json` byte for byte and
 //! fails on any mismatch.
+//!
+//! The `top` subcommand is a terminal dashboard over the daemon's
+//! `Stats` verb: every `--interval` seconds it polls the live metrics
+//! snapshot, derives per-second rates from successive counter readings,
+//! and renders counters, gauges, latency-histogram percentiles, and the
+//! tail of the decision journal. `--once` prints a single frame and
+//! exits (useful in scripts and CI); `--tenant` attaches the polling
+//! connection so tenant creation is on-demand, exactly like a client.
 
 use score_sim::{
     series_to_csv, ForecastSpec, PolicyKind, Scenario, ScenarioMatrix, TopologySpec, TraceSpec,
@@ -58,12 +68,16 @@ struct Args {
     serve_mode: bool,
     client_mode: bool,
     replay_mode: bool,
+    top_mode: bool,
     socket: Option<String>,
     tcp: Option<String>,
     rate: Option<f64>,
     record_dir: Option<String>,
     requests: Vec<String>,
     follow: bool,
+    tenant: Option<String>,
+    interval: Option<f64>,
+    once: bool,
     dir: Option<String>,
     expect: Option<String>,
     shape: Option<String>,
@@ -109,6 +123,10 @@ fn parse_args() -> Result<Args, String> {
         }
         Some("replay") => {
             args.replay_mode = true;
+            it.next();
+        }
+        Some("top") => {
+            args.top_mode = true;
             it.next();
         }
         _ => {}
@@ -193,6 +211,11 @@ fn parse_args() -> Result<Args, String> {
             "--record-dir" => args.record_dir = Some(value("--record-dir")?),
             "-e" | "--exec" => args.requests.push(value("-e")?),
             "--follow" => args.follow = true,
+            "--tenant" => args.tenant = Some(value("--tenant")?),
+            "--interval" => {
+                args.interval = Some(value("--interval")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--once" => args.once = true,
             "--dir" => args.dir = Some(value("--dir")?),
             "--expect" => args.expect = Some(value("--expect")?),
             "--csv" => args.csv = Some(value("--csv")?),
@@ -204,8 +227,13 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if !(args.serve_mode || args.client_mode) && (args.socket.is_some() || args.tcp.is_some()) {
-        return Err("--socket/--tcp need the `serve` or `client` subcommand".into());
+    if !(args.serve_mode || args.client_mode || args.top_mode)
+        && (args.socket.is_some() || args.tcp.is_some())
+    {
+        return Err("--socket/--tcp need the `serve`, `client` or `top` subcommand".into());
+    }
+    if !args.top_mode && (args.tenant.is_some() || args.interval.is_some() || args.once) {
+        return Err("--tenant/--interval/--once need the `top` subcommand".into());
     }
     if !args.serve_mode && (args.rate.is_some() || args.record_dir.is_some()) {
         return Err("--rate/--record-dir need the `serve` subcommand".into());
@@ -233,6 +261,8 @@ fn usage() {
          \x20      scorectl serve [--socket PATH] [--tcp ADDR] [--rate SIM_S_PER_WALL_S] \
          [--record-dir DIR] [scenario flags]\n\
          \x20      scorectl client (--socket PATH | --tcp ADDR) [-e REQUEST]... [--follow]\n\
+         \x20      scorectl top (--socket PATH | --tcp ADDR) [--tenant NAME] \
+         [--interval SECONDS] [--once]\n\
          \x20      scorectl replay --dir DIR [--expect FILE]"
     );
 }
@@ -533,6 +563,9 @@ fn main() -> ExitCode {
 
     if args.client_mode {
         return run_client(&args);
+    }
+    if args.top_mode {
+        return run_top(&args);
     }
     if args.replay_mode {
         return run_replay(&args);
@@ -945,6 +978,251 @@ fn run_client(args: &Args) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Buffered read half of a daemon connection (Unix socket or TCP).
+type DaemonReader = std::io::BufReader<Box<dyn std::io::Read>>;
+
+/// Connects to a running daemon (Unix socket or TCP), returning a
+/// buffered reader over the read half and the write half.
+fn connect_daemon(args: &Args) -> Result<(DaemonReader, Box<dyn std::io::Write>), String> {
+    use std::io::{BufReader, Read, Write};
+    let (reader, writer): (Box<dyn Read>, Box<dyn Write>) = match (&args.socket, &args.tcp) {
+        (Some(path), None) => {
+            let s = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("connecting to {path}: {e}"))?;
+            let w = s.try_clone().map_err(|e| e.to_string())?;
+            (Box::new(s), Box::new(w))
+        }
+        (None, Some(addr)) => {
+            let s = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("connecting to {addr}: {e}"))?;
+            let w = s.try_clone().map_err(|e| e.to_string())?;
+            (Box::new(s), Box::new(w))
+        }
+        _ => return Err("need exactly one of --socket PATH or --tcp ADDR".into()),
+    };
+    Ok((BufReader::new(reader), writer))
+}
+
+/// One request → one [`score_scored::proto::Response`] over an open
+/// daemon connection.
+fn request_response(
+    reader: &mut DaemonReader,
+    writer: &mut dyn std::io::Write,
+    req: &str,
+) -> Result<score_scored::proto::Response, String> {
+    use std::io::BufRead;
+    writer
+        .write_all(req.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading response: {e}"))?;
+    if line.is_empty() {
+        return Err("daemon closed the connection".into());
+    }
+    serde_json::from_str(&line).map_err(|e| format!("bad response line: {e}"))
+}
+
+/// Formats a nanosecond reading for the dashboard (`1.2µs`, `3.4ms`).
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "-".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Formats a gauge/counter reading compactly (integers plain, large or
+/// tiny magnitudes in scientific notation).
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v == v.trunc() && v.abs() < 1e12 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1e6 || (v != 0.0 && v.abs() < 1e-3) {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders one `top` frame from a parsed `Stats` snapshot. `prev`
+/// holds the previous frame's counter readings for rate derivation.
+fn render_top_frame(
+    stats: &serde_json::Value,
+    prev: &mut std::collections::HashMap<String, f64>,
+    elapsed_s: f64,
+    frame: u64,
+) {
+    let empty = Vec::new();
+    let section = |name: &str| -> &[(String, serde_json::Value)] {
+        stats
+            .get("metrics")
+            .and_then(|m| m.get(name))
+            .and_then(|v| v.as_object())
+            .unwrap_or(&empty)
+    };
+    println!("scored top — frame {frame}");
+    let counters = section("counters");
+    if !counters.is_empty() {
+        println!("\n  {:<58} {:>12} {:>10}", "counter", "total", "per-s");
+        for (name, v) in counters {
+            let total = v.as_f64().unwrap_or(0.0);
+            let rate = match prev.insert(name.clone(), total) {
+                Some(last) if elapsed_s > 0.0 => format!("{:.1}", (total - last) / elapsed_s),
+                _ => "-".to_string(),
+            };
+            println!("  {:<58} {:>12} {:>10}", name, fmt_value(total), rate);
+        }
+    }
+    let gauges = section("gauges");
+    if !gauges.is_empty() {
+        println!("\n  {:<58} {:>12}", "gauge", "value");
+        for (name, v) in gauges {
+            println!(
+                "  {:<58} {:>12}",
+                name,
+                fmt_value(v.as_f64().unwrap_or(f64::NAN))
+            );
+        }
+    }
+    let hists = section("histograms");
+    if !hists.is_empty() {
+        println!(
+            "\n  {:<50} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "histogram (ns)", "count", "mean", "p50", "p95", "p99"
+        );
+        for (name, v) in hists {
+            let field = |k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or(f64::NAN);
+            println!(
+                "  {:<50} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                name,
+                fmt_value(field("count")),
+                fmt_ns(field("mean")),
+                fmt_ns(field("p50")),
+                fmt_ns(field("p95")),
+                fmt_ns(field("p99")),
+            );
+        }
+    }
+    let journal = stats
+        .get("journal")
+        .and_then(|j| j.as_array())
+        .unwrap_or(&[]);
+    if !journal.is_empty() {
+        println!("\n  recent decisions");
+        for entry in journal.iter().rev().take(8) {
+            let kind = entry.get("kind").and_then(|k| k.as_str()).unwrap_or("?");
+            let at_s = entry.get("at_s").and_then(|t| t.as_f64()).unwrap_or(0.0);
+            match kind {
+                "decision" => {
+                    let f = |k: &str| entry.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+                    let accepted = entry
+                        .get("accepted")
+                        .and_then(|a| a.as_bool())
+                        .unwrap_or(false);
+                    let preemptive = entry
+                        .get("preemptive")
+                        .and_then(|p| p.as_bool())
+                        .unwrap_or(false);
+                    println!(
+                        "    t={at_s:>8.1}s  vm{:<5} scored {:>3} candidates → {}{}",
+                        f("holder"),
+                        f("candidates"),
+                        if accepted {
+                            format!("migrate (gain {})", fmt_value(f("gain")))
+                        } else {
+                            "hold".to_string()
+                        },
+                        if preemptive { " [preemptive]" } else { "" },
+                    );
+                }
+                other => println!("    t={at_s:>8.1}s  {other}"),
+            }
+        }
+    }
+}
+
+/// The `top` dashboard: polls `Stats` at `--interval`, rendering live
+/// counters (with derived rates), gauges, histogram percentiles, and
+/// the decision-journal tail. `--once` prints one frame and exits.
+fn run_top(args: &Args) -> ExitCode {
+    let interval = args.interval.unwrap_or(2.0);
+    if !(interval.is_finite() && interval > 0.0) {
+        eprintln!("error: --interval must be positive, got {interval}");
+        return ExitCode::FAILURE;
+    }
+    let (mut reader, mut writer) = match connect_daemon(args) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(tenant) = &args.tenant {
+        let attach = format!("{{\"Attach\": {{\"tenant\": \"{tenant}\"}}}}");
+        match request_response(&mut reader, &mut writer, &attach) {
+            Ok(score_scored::proto::Response::Attached { .. }) => {}
+            Ok(score_scored::proto::Response::Error { code, message }) => {
+                eprintln!("error: attach failed ({code}): {message}");
+                return ExitCode::FAILURE;
+            }
+            Ok(other) => {
+                eprintln!("error: unexpected attach response: {other:?}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut prev = std::collections::HashMap::new();
+    let mut last_poll: Option<std::time::Instant> = None;
+    let mut frame = 0u64;
+    loop {
+        let stats = match request_response(&mut reader, &mut writer, "\"Stats\"") {
+            Ok(score_scored::proto::Response::Stats { json }) => json,
+            Ok(other) => {
+                eprintln!("error: unexpected Stats response: {other:?}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = match serde_json::parse_value_str(&stats) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: malformed Stats snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed_s = last_poll.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        last_poll = Some(std::time::Instant::now());
+        frame += 1;
+        if !args.once {
+            // Clear the screen between frames, like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top_frame(&parsed, &mut prev, elapsed_s, frame);
+        if args.once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
 }
 
 /// Replays a recorded daemon tenant directory and prints the canonical

@@ -18,6 +18,7 @@
 use crate::engine::TenantEngine;
 use crate::proto::{parse_request, response_line, Request, Response};
 use rayon::registry::{registry, WorkerHandle};
+use score_obs::{Counter, Gauge, ObsHandle};
 use score_sim::Scenario;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -51,15 +52,24 @@ pub struct DaemonConfig {
 
 /// One live tenant: its engine, its dedicated worker, its observers.
 struct Tenant {
+    name: String,
     engine: Arc<Mutex<TenantEngine>>,
     worker: WorkerHandle,
     subscribers: Arc<Mutex<Vec<Box<dyn Write + Send>>>>,
+    /// Live observer connections (`scored_subscribers{tenant=..}`).
+    subscriber_gauge: Arc<Gauge>,
+    /// Observers dropped because their socket hung up mid-stream
+    /// (`scored_subscribers_dropped_total{tenant=..}`).
+    subscribers_dropped: Arc<Counter>,
 }
 
 struct DaemonState {
     config: DaemonConfig,
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
     shutdown: AtomicBool,
+    /// The daemon-wide registry + decision journal; tenants get
+    /// label-scoped clones of this handle.
+    obs: ObsHandle,
 }
 
 /// A bound-but-not-yet-serving daemon (see [`Daemon::bind`]).
@@ -84,25 +94,35 @@ impl DaemonState {
         if let Some(t) = table.get(name) {
             return Ok(Arc::clone(t));
         }
-        let engine = TenantEngine::new(
+        let mut engine = TenantEngine::new(
             name,
             self.config.scenario.clone(),
             self.config.rate,
             self.config.record_dir.as_deref(),
         )?;
+        let scoped = self.obs.with_label("tenant", name);
+        engine.attach_obs(&scoped);
         let tenant = Arc::new(Tenant {
+            name: name.to_string(),
             engine: Arc::new(Mutex::new(engine)),
             worker: registry().worker(&format!("scored-{name}")),
             subscribers: Arc::new(Mutex::new(Vec::new())),
+            subscriber_gauge: scoped.gauge("scored_subscribers").expect("obs enabled"),
+            subscribers_dropped: scoped
+                .counter("scored_subscribers_dropped_total")
+                .expect("obs enabled"),
         });
         table.insert(name.to_string(), Arc::clone(&tenant));
         Ok(tenant)
     }
 
     /// Streams `lines` then `resp` (and a fresh report) to the
-    /// tenant's subscribers, dropping any that hung up.
+    /// tenant's subscribers. Any that hang up (closed socket, dead
+    /// pipe) are dropped from the list — counted, gauged, and logged,
+    /// never silently.
     fn broadcast(tenant: &Tenant, resp: &Response, trace_lines: &[String], report: &str) {
         let mut subs = tenant.subscribers.lock().expect("subscriber list poisoned");
+        let before = subs.len();
         subs.retain_mut(|w| {
             for line in trace_lines {
                 let t = Response::Trace { line: line.clone() };
@@ -121,6 +141,17 @@ impl DaemonState {
             )
             .is_ok()
         });
+        let dropped = before - subs.len();
+        if dropped > 0 {
+            tenant.subscribers_dropped.add(dropped as u64);
+            tenant.subscriber_gauge.set(subs.len() as f64);
+            eprintln!(
+                "scored: tenant {} dropped {dropped} hung-up subscriber{} ({} left)",
+                tenant.name,
+                if dropped == 1 { "" } else { "s" },
+                subs.len()
+            );
+        }
     }
 
     /// Runs one mutating request on the tenant's worker: mutate, flush
@@ -249,6 +280,17 @@ impl DaemonState {
                     }
                 })
             }
+            Request::Stats => {
+                let metrics = self.obs.snapshot_json().unwrap_or_else(|| "{}".to_string());
+                let journal = self
+                    .obs
+                    .journal()
+                    .map(|j| j.recent_json(64))
+                    .unwrap_or_else(|| "[]".to_string());
+                Response::Stats {
+                    json: format!("{{\"metrics\":{metrics},\"journal\":{journal}}}"),
+                }
+            }
             Request::Pause => {
                 let t = match self.tenant(&tenant_name(conn_tenant)) {
                     Ok(t) => t,
@@ -283,10 +325,9 @@ impl DaemonState {
                 };
                 match subscriber_writer.take() {
                     Some(w) => {
-                        t.subscribers
-                            .lock()
-                            .expect("subscriber list poisoned")
-                            .push(w);
+                        let mut subs = t.subscribers.lock().expect("subscriber list poisoned");
+                        subs.push(w);
+                        t.subscriber_gauge.set(subs.len() as f64);
                         Response::Subscribed { tenant: name }
                     }
                     None => Response::error(
@@ -325,9 +366,30 @@ impl DaemonState {
     }
 }
 
+/// The label value for a request's latency/count series.
+fn verb_of(req: &Request) -> &'static str {
+    match req {
+        Request::Attach { .. } => "attach",
+        Request::Place { .. } => "place",
+        Request::Remove { .. } => "remove",
+        Request::Traffic { .. } => "traffic",
+        Request::Report => "report",
+        Request::Stats => "stats",
+        Request::Pause => "pause",
+        Request::Resume => "resume",
+        Request::Subscribe => "subscribe",
+        Request::Shutdown => "shutdown",
+    }
+}
+
 /// Serves one accepted connection until EOF or shutdown. Malformed
 /// lines produce `parse` errors and the loop continues — a protocol
-/// guarantee, pinned by tests.
+/// guarantee, pinned by tests. One convenience exception to the JSON
+/// framing: a line starting with `GET ` (an HTTP request line, as sent
+/// by `curl http://addr/metrics` or a Prometheus scraper pointed at
+/// the TCP listener) gets a one-shot HTTP response carrying the
+/// registry in Prometheus text exposition format, then the connection
+/// closes — plain sockets and scrapers share one port.
 fn serve_connection<S>(state: Arc<DaemonState>, stream: S)
 where
     S: Read + Write + Send + CloneWriter + 'static,
@@ -344,8 +406,36 @@ where
         if line.trim().is_empty() {
             continue;
         }
+        if line.starts_with("GET ") {
+            let body = state.obs.prometheus().unwrap_or_default();
+            let head = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            let _ = writer.write_all(head.as_bytes());
+            let _ = writer.write_all(body.as_bytes());
+            let _ = writer.flush();
+            break;
+        }
         let resp = match parse_request(&line) {
-            Ok(req) => state.handle(&mut conn_tenant, &mut writer_for_subscribe, req),
+            Ok(req) => {
+                let verb = verb_of(&req);
+                let sw = state.obs.stopwatch();
+                let resp = state.handle(&mut conn_tenant, &mut writer_for_subscribe, req);
+                sw.observe(
+                    &state
+                        .obs
+                        .histogram(&format!("scored_request_latency_ns{{verb=\"{verb}\"}}")),
+                );
+                if let Some(c) = state
+                    .obs
+                    .counter(&format!("scored_requests_total{{verb=\"{verb}\"}}"))
+                {
+                    c.inc();
+                }
+                resp
+            }
             Err(err_resp) => err_resp,
         };
         let done = matches!(resp, Response::ShuttingDown);
@@ -412,6 +502,7 @@ impl Daemon {
                 config,
                 tenants: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
+                obs: ObsHandle::new(),
             }),
             unix,
             tcp,
@@ -434,7 +525,19 @@ impl Daemon {
         let pacer = {
             let state = Arc::clone(&state);
             std::thread::spawn(move || {
+                // How late each 5ms pacing tick actually fires — the
+                // daemon's scheduling-health signal (a loaded box or a
+                // slow tenant pump stretches the interval).
+                let jitter = state.obs.histogram("scored_pump_pacing_jitter_ns");
+                let period = Duration::from_millis(5);
+                let mut last_tick: Option<score_obs::Stopwatch> = None;
                 while !state.shutdown.load(Ordering::SeqCst) {
+                    if let (Some(ns), Some(h)) =
+                        (last_tick.and_then(|sw| sw.elapsed_ns()), jitter.as_ref())
+                    {
+                        h.record(ns.saturating_sub(period.as_nanos() as u64));
+                    }
+                    last_tick = Some(state.obs.stopwatch());
                     let tenants: Vec<Arc<Tenant>> = state
                         .tenants
                         .lock()
@@ -451,7 +554,7 @@ impl Daemon {
                                 .pump(PUMP_SLICE_STEPS);
                         });
                     }
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(period);
                 }
             })
         };

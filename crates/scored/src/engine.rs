@@ -23,10 +23,12 @@
 //! and the replay apply-call count are all the same number and the
 //! `events_applied` statistic survives the round trip.
 
+use score_obs::{Counter, Gauge, ObsHandle};
 use score_sim::{RunReport, Scenario, Session, WorkloadSpec};
 use score_topology::{ServerId, VmId};
 use score_trace::{Trace, TraceEvent};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Serializes a report canonically: the two wall-clock measurement
@@ -67,6 +69,18 @@ pub struct TenantEngine {
     record_dir: Option<PathBuf>,
     /// Recorder events already handed to subscribers.
     streamed: usize,
+    /// Pre-resolved pacing instruments, when observability is attached.
+    obs: Option<EngineObs>,
+}
+
+/// The engine's own instruments (the session carries its own set).
+struct EngineObs {
+    /// How far the event clock trails its wall-pace target, in
+    /// simulated seconds — the daemon's "is this tenant keeping up"
+    /// signal.
+    clock_lag: Arc<Gauge>,
+    /// Token holds the pacer has executed for this tenant.
+    pump_steps: Arc<Counter>,
 }
 
 impl TenantEngine {
@@ -141,7 +155,27 @@ impl TenantEngine {
             anchor_virtual: 0.0,
             record_dir,
             streamed: 0,
+            obs: None,
         })
+    }
+
+    /// Attaches observability: the session's decision/ledger/forecast
+    /// instruments plus the engine's own pacing gauges. The handle is
+    /// usually tenant-labeled (`with_label("tenant", ..)`), so every
+    /// series this engine touches is scoped to it. The determinism
+    /// contract holds here exactly as in the simulator: reports and
+    /// audit logs are byte-identical with or without a handle attached.
+    pub fn attach_obs(&mut self, handle: &ObsHandle) {
+        if !handle.is_enabled() {
+            return;
+        }
+        self.session.attach_obs(handle);
+        self.obs = Some(EngineObs {
+            clock_lag: handle.gauge("scored_clock_lag_s").expect("handle enabled"),
+            pump_steps: handle
+                .counter("scored_pump_steps_total")
+                .expect("handle enabled"),
+        });
     }
 
     /// Rebuilds a tenant from the artifact pair a previous daemon
@@ -250,6 +284,7 @@ impl TenantEngine {
             anchor_virtual,
             record_dir: Some(dir.to_path_buf()),
             streamed,
+            obs: None,
         })
     }
 
@@ -288,6 +323,10 @@ impl TenantEngine {
                 break;
             }
             steps += 1;
+        }
+        if let Some(obs) = &self.obs {
+            obs.pump_steps.add(steps as u64);
+            obs.clock_lag.set((target - self.session.now_s()).max(0.0));
         }
     }
 

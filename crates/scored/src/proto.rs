@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize, Value};
 /// | `Remove`    | `{"vm": 7}`                               | retire a live VM |
 /// | `Traffic`   | `{"events": [{"SetRate": {...}}, ...]}`   | apply rate deltas (`SetRate` / `ScalePair` / `ScaleAll`) |
 /// | `Report`    | —                                         | canonical `RunReport` JSON of the tenant |
+/// | `Stats`     | —                                         | live metrics snapshot (registry JSON + decision-journal tail) |
 /// | `Pause`     | —                                         | freeze the tenant's event clock |
 /// | `Resume`    | —                                         | unfreeze it |
 /// | `Subscribe` | —                                         | stream every later mutation + trace line to this connection |
@@ -54,6 +55,11 @@ pub enum Request {
     },
     /// Take the tenant's canonical report.
     Report,
+    /// Take a live metrics snapshot: every counter/gauge/histogram in
+    /// the daemon's registry plus the tail of the decision journal.
+    /// Unlike `Report`, the snapshot is wall-clock flavored and daemon
+    /// wide (per-tenant series are label-scoped, not table-scoped).
+    Stats,
     /// Freeze the tenant's event clock (mutations still apply).
     Pause,
     /// Unfreeze the tenant's event clock.
@@ -72,6 +78,7 @@ impl Deserialize for Request {
         if let Some(tag) = v.as_str() {
             return match tag {
                 "Report" => Ok(Request::Report),
+                "Stats" => Ok(Request::Stats),
                 "Pause" => Ok(Request::Pause),
                 "Resume" => Ok(Request::Resume),
                 "Subscribe" => Ok(Request::Subscribe),
@@ -123,9 +130,11 @@ impl Deserialize for Request {
                     "events",
                 )?)?,
             }),
-            "Report" | "Pause" | "Resume" | "Subscribe" | "Shutdown" => Err(serde::Error::custom(
-                format!("request `{tag}` carries no payload; send the bare string"),
-            )),
+            "Report" | "Stats" | "Pause" | "Resume" | "Subscribe" | "Shutdown" => {
+                Err(serde::Error::custom(format!(
+                    "request `{tag}` carries no payload; send the bare string"
+                )))
+            }
             other => Err(serde::Error::custom(format!("unknown request `{other}`"))),
         }
     }
@@ -173,6 +182,13 @@ pub enum Response {
     /// re-serialization untouched.
     Report {
         /// Canonical `RunReport` JSON.
+        json: String,
+    },
+    /// A live metrics snapshot, embedded as a JSON string (same
+    /// convention as `Report`): `{"metrics": {...}, "journal": [...]}`
+    /// with the registry snapshot and the decision-journal tail.
+    Stats {
+        /// Snapshot JSON (`metrics` + `journal` keys).
         json: String,
     },
     /// The tenant clock froze.
@@ -264,6 +280,7 @@ mod tests {
             ],
         });
         round_trip(&Request::Report);
+        round_trip(&Request::Stats);
         round_trip(&Request::Pause);
         round_trip(&Request::Resume);
         round_trip(&Request::Subscribe);
@@ -304,6 +321,9 @@ mod tests {
             Response::Report {
                 json: "{\"x\":1}".into(),
             },
+            Response::Stats {
+                json: "{\"metrics\":{},\"journal\":[]}".into(),
+            },
             Response::Paused { at_s: 4.0 },
             Response::Resumed { at_s: 5.0 },
             Response::Subscribed { tenant: "t".into() },
@@ -330,6 +350,7 @@ mod tests {
             r#"{"Place": {}, "Remove": {}}"#,
             r#"{"Remove": {}}"#,
             r#"{"Report": {}}"#,
+            r#"{"Stats": {}}"#,
             "\"Nope\"",
         ] {
             match parse_request(bad) {

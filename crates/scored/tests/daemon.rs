@@ -265,6 +265,124 @@ fn daemon_serves_mutations_and_replays_over_a_unix_socket() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Observability end to end: a paced daemon answers `Stats` with a
+/// live registry snapshot (nonzero decision-latency histogram, journal
+/// tail), exposes the same registry in Prometheus text format to an
+/// HTTP `GET` line on the same listener, and a hung-up subscriber is
+/// counted — not silently forgotten.
+#[test]
+fn daemon_serves_stats_and_prometheus_metrics() {
+    let dir = temp_dir("daemon_obs");
+    let socket = dir.join("scored.sock");
+    let daemon = Daemon::bind(DaemonConfig {
+        scenario: quick_scenario(23),
+        unix_socket: Some(socket.clone()),
+        tcp_addr: None,
+        rate: 2000.0,
+        record_dir: None,
+    })
+    .unwrap();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let stream = UnixStream::connect(&socket).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // A subscriber that hangs up immediately: its next broadcast must
+    // land in the dropped counter.
+    {
+        let sub = UnixStream::connect(&socket).unwrap();
+        let mut sub_writer = sub.try_clone().unwrap();
+        let mut sub_reader = BufReader::new(sub);
+        match roundtrip(&mut sub_reader, &mut sub_writer, "\"Subscribe\"") {
+            Response::Subscribed { .. } => {}
+            other => panic!("expected Subscribed, got {other:?}"),
+        }
+        // Dropping both halves closes the socket.
+    }
+
+    match roundtrip(&mut reader, &mut writer, r#"{"Place": {}}"#) {
+        Response::Placed { .. } => {}
+        other => panic!("expected Placed, got {other:?}"),
+    }
+    // Let the pacer advance the ring so decisions accumulate.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let stats = match roundtrip(&mut reader, &mut writer, "\"Stats\"") {
+        Response::Stats { json } => json,
+        other => panic!("expected Stats, got {other:?}"),
+    };
+    let v = serde_json::parse_value_str(&stats).expect("stats is valid JSON");
+    let metrics = serde::field(v.as_object().unwrap(), "metrics").unwrap();
+    let hists = serde::field(metrics.as_object().unwrap(), "histograms").unwrap();
+    let decision = hists
+        .as_object()
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k.starts_with("score_decision_latency_ns"))
+        .map(|(_, v)| v)
+        .expect("decision-latency histogram in the snapshot");
+    let count = serde::field(decision.as_object().unwrap(), "count")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(count > 0.0, "no decisions recorded: {stats}");
+    let p50 = serde::field(decision.as_object().unwrap(), "p50")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(p50 > 0.0, "decision latency p50 must be nonzero: {stats}");
+    assert!(
+        serde::field(v.as_object().unwrap(), "journal")
+            .unwrap()
+            .as_array()
+            .is_some_and(|j| !j.is_empty()),
+        "journal tail missing from Stats"
+    );
+    // The dead subscriber was dropped and counted during the Place
+    // broadcast (counters live in the same snapshot).
+    let counters = serde::field(metrics.as_object().unwrap(), "counters").unwrap();
+    let dropped: f64 = counters
+        .as_object()
+        .unwrap()
+        .iter()
+        .filter(|(k, _)| k.starts_with("scored_subscribers_dropped_total"))
+        .filter_map(|(_, v)| v.as_f64())
+        .sum();
+    assert!(
+        dropped >= 1.0,
+        "hung-up subscriber was not counted: {stats}"
+    );
+
+    // Prometheus exposition: an HTTP GET line on the same listener.
+    {
+        let http = UnixStream::connect(&socket).unwrap();
+        let mut http_writer = http.try_clone().unwrap();
+        http_writer
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .unwrap();
+        http_writer.flush().unwrap();
+        let mut body = String::new();
+        use std::io::Read as _;
+        BufReader::new(http).read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "bad status: {body}");
+        assert!(body.contains("# TYPE"), "no TYPE lines: {body}");
+        assert!(
+            body.contains("score_decision_latency_ns_count"),
+            "histogram family missing from exposition: {body}"
+        );
+        assert!(
+            body.contains("scored_requests_total"),
+            "request counters missing from exposition: {body}"
+        );
+    }
+
+    match roundtrip(&mut reader, &mut writer, "\"Shutdown\"") {
+        Response::ShuttingDown => server.join().unwrap(),
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `response_line` is what the daemon writes; sanity-pin the shape once
 /// at the integration level too.
 #[test]

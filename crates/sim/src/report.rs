@@ -115,12 +115,23 @@ impl TraceReplayStats {
 /// justified it — the move anticipates a shift instead of chasing one);
 /// a *reactive* migration cleared it on current rates. Without an
 /// active `ForecastSpec` every migration is reactive.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ForecastStats {
     /// Migrations justified by the forecast alone.
     pub preempted: u64,
     /// Migrations the current TM already justified.
     pub reactive: u64,
+    /// Per-pair forecast evaluations scored this segment: each predicted
+    /// rate at the lookahead horizon that came due and was compared
+    /// against the realized rate (0 without an active nonzero-horizon
+    /// forecast).
+    pub error_samples: u64,
+    /// Mean absolute error of predicted vs realized pair rates over
+    /// `error_samples` (0 when none were scored).
+    pub mae: f64,
+    /// Mean signed error (predicted − realized) over `error_samples`:
+    /// positive means the forecaster overshoots, negative undershoots.
+    pub bias: f64,
 }
 
 impl ForecastStats {
@@ -327,6 +338,7 @@ mod tests {
             forecast: ForecastStats {
                 preempted: 1,
                 reactive: 1,
+                ..ForecastStats::default()
             },
         }
     }

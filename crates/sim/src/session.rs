@@ -15,6 +15,7 @@ use score_core::{
     Cluster, ClusterError, CostLedger, CostModel, IterationStats, OutlookContext, ScoreEngine,
     StepOutcome, TokenRing,
 };
+use score_obs::ObsHandle;
 use score_topology::{ServerId, Topology, VmId};
 use score_trace::{
     CompiledTrace, DeltaBatch, OracleForecaster, Trace, TraceRecorder, TraceSegment,
@@ -143,6 +144,68 @@ pub struct Session {
     /// but only if no stale one is still in flight, or the ring would
     /// circulate twice per hold ever after.
     token_event_pending: bool,
+    /// Pending horizon evaluations of the forecaster: `(due_s, u, v,
+    /// predicted)` queued when a delta batch landed, settled against the
+    /// realized rate once the clock passes `due_s`. Empty without an
+    /// active nonzero-horizon forecast.
+    forecast_evals: VecDeque<(f64, VmId, VmId, f64)>,
+    /// Running error sums behind `ForecastStats::{mae,bias}`:
+    /// `(samples, Σ|err|, Σ err)`, reset per segment like the rest of
+    /// the report accumulators.
+    forecast_err: (u64, f64, f64),
+    /// Attached observability (disabled by default); see
+    /// [`Session::attach_obs`].
+    obs: Option<SessionObs>,
+}
+
+/// Pre-resolved session-level instruments. Counters mirror the in-state
+/// accumulators (`trace_stats`, `forecast_err`) and are published at the
+/// sampling cadence — the delta hot path itself never touches an atomic.
+#[derive(Debug)]
+struct SessionObs {
+    handle: ObsHandle,
+    /// `score_clock_s`: current event-clock position.
+    clock: std::sync::Arc<score_obs::Gauge>,
+    /// `score_trace_events_total`: applied delta batches.
+    events: std::sync::Arc<score_obs::Counter>,
+    /// `score_pairs_repriced_total`: pair rates re-priced.
+    pairs: std::sync::Arc<score_obs::Counter>,
+    /// `score_segment_advances_total`: trace-segment boundaries crossed.
+    segments: std::sync::Arc<score_obs::Counter>,
+    /// `score_segment_rebind_ns`: wall time of each phase rebind.
+    rebind_ns: std::sync::Arc<score_obs::Histogram>,
+    /// `score_forecast_evals_total`, `score_forecast_mae`,
+    /// `score_forecast_bias`: the per-pair forecast-error surface.
+    forecast_evals: std::sync::Arc<score_obs::Counter>,
+    forecast_mae: std::sync::Arc<score_obs::Gauge>,
+    forecast_bias: std::sync::Arc<score_obs::Gauge>,
+    /// Counter values already published (counters are monotonic; the
+    /// in-state accumulators reset per segment, so we track the diff).
+    published_events: u64,
+    published_pairs: u64,
+    published_evals: u64,
+}
+
+impl SessionObs {
+    fn build(handle: &ObsHandle) -> Option<Self> {
+        if !handle.is_enabled() {
+            return None;
+        }
+        Some(SessionObs {
+            clock: handle.gauge("score_clock_s")?,
+            events: handle.counter("score_trace_events_total")?,
+            pairs: handle.counter("score_pairs_repriced_total")?,
+            segments: handle.counter("score_segment_advances_total")?,
+            rebind_ns: handle.histogram("score_segment_rebind_ns")?,
+            forecast_evals: handle.counter("score_forecast_evals_total")?,
+            forecast_mae: handle.gauge("score_forecast_mae")?,
+            forecast_bias: handle.gauge("score_forecast_bias")?,
+            published_events: 0,
+            published_pairs: 0,
+            published_evals: 0,
+            handle: handle.clone(),
+        })
+    }
 }
 
 impl Session {
@@ -292,6 +355,9 @@ impl Session {
             recorder: None,
             recorder_offset_s: 0.0,
             token_event_pending: false,
+            forecast_evals: VecDeque::new(),
+            forecast_err: (0, 0.0, 0.0),
+            obs: None,
         };
         session.prime_queue();
         if let Some(seg) = segment {
@@ -433,6 +499,8 @@ impl Session {
                     // O(1): the ledger already knows C_A — no Eq.-(2)
                     // walk on the sampling path.
                     self.freshen_ledger();
+                    self.settle_forecast_evals(t);
+                    self.publish_obs(t);
                     let cost = self.ledger.current();
                     self.cost_series.push((t, cost));
                     let next = t + self.scenario.timing.sample_interval_s;
@@ -455,6 +523,7 @@ impl Session {
                 SimEvent::TokenArrive { vm: _ } => {
                     self.token_event_pending = false;
                     self.freshen_ledger();
+                    self.ring.set_obs_clock(t);
                     // Every decision flows through an outlook; without a
                     // forecaster it is the reactive one and this is the
                     // paper pipeline, bit for bit. Building the outlook
@@ -574,7 +643,7 @@ impl Session {
                 rule_updates: 2 * self.migrations.len() as u64,
             },
             trace: self.trace_stats,
-            forecast: self.forecast_stats,
+            forecast: self.forecast_stats(),
         }
     }
 
@@ -595,6 +664,15 @@ impl Session {
         duration_s: f64,
         seed: u64,
     ) -> Result<(), ScenarioError> {
+        let sw = self
+            .obs
+            .as_ref()
+            .map(|o| o.handle.stopwatch())
+            .unwrap_or_default();
+        // Counters mirror per-segment accumulators about to reset; flush
+        // the unpublished tail first so totals stay monotonic.
+        let flush_at = self.queue.now_s();
+        self.publish_obs(flush_at);
         self.cluster.rebind_traffic(&traffic)?;
         // The recording clock keeps running across the rebind even
         // though the event clock restarts; the wholesale re-rate is
@@ -643,7 +721,22 @@ impl Session {
         self.pending_shifts.clear();
         self.trace_stats = TraceReplayStats::default();
         self.forecast_stats = ForecastStats::default();
+        self.forecast_evals.clear();
+        self.forecast_err = (0, 0.0, 0.0);
         self.prime_queue();
+        if let Some(obs) = &mut self.obs {
+            // The per-segment accumulators restarted; realign the
+            // published-counter watermarks with them.
+            obs.published_events = 0;
+            obs.published_pairs = 0;
+            obs.published_evals = 0;
+            if let Some(ns) = sw.elapsed_ns() {
+                obs.rebind_ns.record(ns);
+            }
+            let handle = obs.handle.clone();
+            // The ring was rebuilt for the new segment; re-attach it.
+            self.ring.attach_obs(&handle);
+        }
         Ok(())
     }
 
@@ -723,14 +816,34 @@ impl Session {
                 &changes,
                 self.cluster.topo(),
             );
-            self.traffic.apply_updates(&canon);
+            // Settle forecast evaluations that came due *before* the new
+            // rates land: the realized rate at any passed due time is
+            // the pre-batch rate (piecewise-constant between batches).
             let now_s = self.queue.now_s();
+            self.settle_forecast_evals(now_s);
+            self.traffic.apply_updates(&canon);
             // The forecaster observes exactly the stream the cluster
             // absorbed — O(changed pairs), like everything else here.
             if let Some(f) = &mut self.forecaster {
                 let observed: Vec<(VmId, VmId, f64)> =
                     changes.iter().map(|&(u, v, _, new)| (u, v, new)).collect();
                 f.observe_updates(&observed, now_s);
+                // Queue this batch's pairs for scoring at the horizon:
+                // what the (just-updated) forecaster predicts for t+h
+                // will be compared against the rate realized then. The
+                // queue is bounded; overflow drops the newest entries
+                // (deterministically) rather than growing without bound.
+                if self.forecast_horizon_s > 0.0 {
+                    let f = f.as_dyn();
+                    let due = now_s + self.forecast_horizon_s;
+                    for &(u, v, _, _) in &changes {
+                        if self.forecast_evals.len() >= 65_536 {
+                            break;
+                        }
+                        let predicted = f.predict(u, v, now_s, self.forecast_horizon_s);
+                        self.forecast_evals.push_back((due, u, v, predicted));
+                    }
+                }
             }
             if let Some(rec) = &mut self.recorder {
                 let recorded: Vec<(u32, u32, f64)> = changes
@@ -834,9 +947,81 @@ impl Session {
     }
 
     /// Pre-empted-vs-reactive migration counts accumulated since the
-    /// last rebind (all-reactive without an active forecast).
+    /// last rebind (all-reactive without an active forecast), plus the
+    /// per-pair forecast-error surface (MAE/bias of predicted vs
+    /// realized rates).
     pub fn forecast_stats(&self) -> ForecastStats {
-        self.forecast_stats
+        let mut stats = self.forecast_stats;
+        let (n, abs_sum, sum) = self.forecast_err;
+        stats.error_samples = n;
+        if n > 0 {
+            stats.mae = abs_sum / n as f64;
+            stats.bias = sum / n as f64;
+        }
+        stats
+    }
+
+    /// Attaches observability to the session and its inner layers (ring,
+    /// ledger): event-clock gauge, deltas/pairs counters, trace-segment
+    /// rebind timings and the forecast-error gauges, published at the
+    /// sampling cadence. Survives phase/segment rebinds.
+    ///
+    /// Strictly a side channel: the attached run's `RunReport` is
+    /// byte-identical to a bare run (pinned by proptest) — instruments
+    /// are never read back, and wall-clock reads happen only inside
+    /// `score_obs`. Passing a disabled handle detaches.
+    pub fn attach_obs(&mut self, handle: &ObsHandle) {
+        self.obs = SessionObs::build(handle);
+        self.ring.attach_obs(handle);
+        self.ledger.attach_obs(handle);
+    }
+
+    /// True when an enabled [`ObsHandle`] is attached.
+    pub fn obs_attached(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Publishes the sampled gauges/counters (clock, deltas, forecast
+    /// error, ledger drift). Runs on every `Sample` tick; cheap no-op
+    /// when detached.
+    fn publish_obs(&mut self, t: f64) {
+        let Some(obs) = &mut self.obs else {
+            return;
+        };
+        obs.clock.set(t);
+        obs.events
+            .add(self.trace_stats.events_applied - obs.published_events);
+        obs.published_events = self.trace_stats.events_applied;
+        obs.pairs
+            .add(self.trace_stats.pairs_repriced - obs.published_pairs);
+        obs.published_pairs = self.trace_stats.pairs_repriced;
+        let (n, abs_sum, sum) = self.forecast_err;
+        obs.forecast_evals.add(n - obs.published_evals);
+        obs.published_evals = n;
+        if n > 0 {
+            obs.forecast_mae.set(abs_sum / n as f64);
+            obs.forecast_bias.set(sum / n as f64);
+        }
+        self.ledger.publish_obs();
+    }
+
+    /// Settles every pending forecast evaluation whose due time has
+    /// passed: the rate predicted at `due − horizon` for `due` is
+    /// compared against the realized rate (pair rates are
+    /// piecewise-constant between batches, so the current rate *is* the
+    /// realized rate at any already-passed due time).
+    fn settle_forecast_evals(&mut self, now_s: f64) {
+        while let Some(&(due, u, v, predicted)) = self.forecast_evals.front() {
+            if due > now_s {
+                break;
+            }
+            self.forecast_evals.pop_front();
+            let realized = self.traffic.rate(u, v);
+            let err = predicted - realized;
+            self.forecast_err.0 += 1;
+            self.forecast_err.1 += err.abs();
+            self.forecast_err.2 += err;
+        }
     }
 
     /// Starts capturing every applied TM delta into a replayable
@@ -905,6 +1090,13 @@ impl Session {
             return Ok(false);
         };
         self.segment_index += 1;
+        if let Some(obs) = &self.obs {
+            obs.segments.inc();
+            obs.handle
+                .journal_push(score_obs::ObsEvent::SegmentAdvance {
+                    at_s: self.queue.now_s(),
+                });
+        }
         let seed = self.scenario.seed.wrapping_add(self.segment_index);
         self.rebind_traffic(seg.initial.clone(), seg.duration_s, seed)?;
         self.load_shifts(&seg.shifts);

@@ -16,6 +16,8 @@
 //! * [`xen`] — pre-copy live-migration model and dom0 control plane;
 //! * [`trace`] — trace-driven time-varying workloads: traffic-delta
 //!   event streams, JSONL persistence, synthetic generators;
+//! * [`obs`] — metrics + decision-journal telemetry, attachable to any
+//!   session or daemon without perturbing results;
 //! * [`sim`] — the flow-level discrete-event simulator and the
 //!   `Scenario`/`Session` experiment API.
 //!
@@ -59,6 +61,7 @@
 pub use score_baselines as baselines;
 pub use score_core as core;
 pub use score_flowtable as flowtable;
+pub use score_obs as obs;
 pub use score_sim as sim;
 pub use score_topology as topology;
 pub use score_trace as trace;
