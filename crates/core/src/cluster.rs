@@ -110,8 +110,20 @@ pub struct Cluster {
     active: Vec<bool>,
     /// Max-free-slots segment tree over the fleet, kept in lockstep with
     /// `usage[*].slots` so [`Cluster::choose_server`] resolves in
-    /// O(log servers) instead of a fleet scan.
+    /// O(log servers) instead of a fleet scan. Down hosts are pinned to
+    /// zero free slots so the index never descends into them.
     slot_index: FreeSlotIndex,
+    /// Liveness per server. A down host admits nothing
+    /// ([`AdmissionError::HostDown`]) and is excluded from
+    /// [`Cluster::choose_server`]; its VMs stay bound until the fault
+    /// pipeline evacuates them (migrations *off* a down host are legal).
+    host_up: Vec<bool>,
+    /// Hosts currently down, cached so recovery accounting is O(1).
+    hosts_down: u32,
+    /// Access-tier capacity scale from `LinkDegrade { tier: 0 }` events:
+    /// the dynamic NIC admission check runs against
+    /// `factor × nic_bps`. 1.0 when undegraded.
+    nic_capacity_factor: f64,
 }
 
 impl fmt::Debug for Cluster {
@@ -137,6 +149,9 @@ impl Clone for Cluster {
             usage: self.usage.clone(),
             active: self.active.clone(),
             slot_index: self.slot_index.clone(),
+            host_up: self.host_up.clone(),
+            hosts_down: self.hosts_down,
+            nic_capacity_factor: self.nic_capacity_factor,
         }
     }
 }
@@ -207,6 +222,7 @@ impl Cluster {
                 .iter()
                 .map(|u| server_spec.vm_slots.saturating_sub(u.slots)),
         );
+        let host_up = vec![true; topo.num_servers()];
         Ok(Cluster {
             topo,
             server_spec,
@@ -217,16 +233,22 @@ impl Cluster {
             usage,
             active,
             slot_index,
+            host_up,
+            hosts_down: 0,
+            nic_capacity_factor: 1.0,
         })
     }
 
     /// Repairs the free-slot index entry of one server after its slot
-    /// count changed.
+    /// count changed. Down hosts stay pinned at zero free slots.
     fn refresh_slot_index(&mut self, server: ServerId) {
-        let free = self
-            .server_spec
-            .vm_slots
-            .saturating_sub(self.usage[server.index()].slots);
+        let free = if self.host_up[server.index()] {
+            self.server_spec
+                .vm_slots
+                .saturating_sub(self.usage[server.index()].slots)
+        } else {
+            0
+        };
         self.slot_index.set(server.index(), free);
     }
 
@@ -313,6 +335,9 @@ impl Cluster {
         vm: VmId,
         bandwidth_threshold: f64,
     ) -> Result<(), AdmissionError> {
+        if !self.host_up[server.index()] {
+            return Err(AdmissionError::HostDown);
+        }
         // Slots / RAM / CPU via the static ledger (NIC handled below).
         self.usage[server.index()].admission_check(
             &self.server_spec,
@@ -332,7 +357,8 @@ impl Cluster {
                 .map(|&(_, rate)| rate)
                 .sum();
             let new_load = self.host_external_load(server) + incoming - internalised;
-            if new_load > bandwidth_threshold * self.server_spec.nic_bps + 1e-9 {
+            let capacity = self.nic_capacity_factor * self.server_spec.nic_bps;
+            if new_load > bandwidth_threshold * capacity + 1e-9 {
                 return Err(AdmissionError::Bandwidth);
             }
         }
@@ -394,9 +420,10 @@ impl Cluster {
     pub fn choose_server(&self, spec: &VmSpec) -> Result<ServerId, ClusterError> {
         self.slot_index
             .best(|i| {
-                self.usage[i]
-                    .admission_check(&self.server_spec, spec, 0.0, f64::INFINITY)
-                    .is_ok()
+                self.host_up[i]
+                    && self.usage[i]
+                        .admission_check(&self.server_spec, spec, 0.0, f64::INFINITY)
+                        .is_ok()
             })
             .map(|(_, i)| ServerId::new(i as u32))
             .ok_or(ClusterError::NoCapacity)
@@ -425,6 +452,12 @@ impl Cluster {
             Some(s) => {
                 if s.index() >= self.usage.len() {
                     return Err(ClusterError::NoCapacity);
+                }
+                if !self.host_up[s.index()] {
+                    return Err(ClusterError::PlacementRejected {
+                        server: s,
+                        source: AdmissionError::HostDown,
+                    });
                 }
                 self.usage[s.index()]
                     .admission_check(&self.server_spec, &spec, 0.0, f64::INFINITY)
@@ -596,6 +629,68 @@ impl Cluster {
         for u in &mut self.usage {
             u.nic_bps = (u.nic_bps * factor).min(f64::MAX);
         }
+    }
+
+    /// Whether `server` is up. Out-of-range ids are not up.
+    pub fn host_is_up(&self, server: ServerId) -> bool {
+        self.host_up.get(server.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of hosts currently marked down.
+    pub fn num_hosts_down(&self) -> u32 {
+        self.hosts_down
+    }
+
+    /// Current access-tier NIC capacity factor (1.0 when undegraded).
+    pub fn nic_capacity_factor(&self) -> f64 {
+        self.nic_capacity_factor
+    }
+
+    /// Sets the access-tier NIC capacity factor applied by
+    /// [`Cluster::can_host`]'s dynamic bandwidth check — the
+    /// `LinkDegrade { tier: 0 }` / `LinkRestore` consequence. Degraded
+    /// capacity only constrains *future* admissions; standing placements
+    /// are never forcibly shed (the SLO accounting upstream records the
+    /// violation seconds instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and in `(0, 1]`.
+    pub fn set_nic_capacity_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "NIC capacity factor must be in (0, 1]"
+        );
+        self.nic_capacity_factor = factor;
+    }
+
+    /// Marks `server` as crashed and returns its live VMs in ascending
+    /// id order — the deterministic evacuation worklist. The host drops
+    /// out of [`Cluster::choose_server`] immediately (its free-slot
+    /// index entry is pinned to zero) and refuses all future admissions
+    /// with [`AdmissionError::HostDown`]; the returned victims stay
+    /// bound to it until the caller migrates them off (allowed) or
+    /// retires them as unplaceable via [`Cluster::remove_vm`].
+    ///
+    /// Idempotent: failing an already-down host returns an empty
+    /// worklist. Out-of-range servers also return an empty worklist (a
+    /// fault trace may be replayed against a smaller topology probe).
+    pub fn fail_host(&mut self, server: ServerId) -> Vec<VmId> {
+        if server.index() >= self.host_up.len() || !self.host_up[server.index()] {
+            return Vec::new();
+        }
+        self.host_up[server.index()] = false;
+        self.hosts_down += 1;
+        self.slot_index.set(server.index(), 0);
+        let mut victims: Vec<VmId> = self
+            .alloc
+            .vms_on(server)
+            .iter()
+            .copied()
+            .filter(|&vm| self.is_active(vm))
+            .collect();
+        victims.sort_unstable();
+        victims
     }
 }
 
@@ -910,6 +1005,72 @@ mod tests {
         }
         // Slot/RAM state is untouched.
         assert_eq!(scaled.usage(ServerId::new(0)).slots, 1);
+    }
+
+    #[test]
+    fn failed_host_rejects_admissions_and_is_skipped() {
+        let mut c = cluster(4, 16);
+        assert!(c.host_is_up(ServerId::new(0)));
+        assert_eq!(c.num_hosts_down(), 0);
+        let victims = c.fail_host(ServerId::new(0));
+        assert_eq!(victims, vec![VmId::new(0)]);
+        assert!(!c.host_is_up(ServerId::new(0)));
+        assert_eq!(c.num_hosts_down(), 1);
+        // Idempotent; out-of-range is an empty worklist, not a panic.
+        assert!(c.fail_host(ServerId::new(0)).is_empty());
+        assert!(c.fail_host(ServerId::new(999)).is_empty());
+        assert_eq!(c.num_hosts_down(), 1);
+        // No admission path reaches a down host …
+        assert_eq!(
+            c.migrate(VmId::new(1), ServerId::new(0), f64::INFINITY),
+            Err(AdmissionError::HostDown)
+        );
+        assert!(matches!(
+            c.place_vm(VmSpec::paper_default(), Some(ServerId::new(0))),
+            Err(ClusterError::PlacementRejected {
+                source: AdmissionError::HostDown,
+                ..
+            })
+        ));
+        assert_ne!(
+            c.choose_server(&VmSpec::paper_default()).unwrap(),
+            ServerId::new(0)
+        );
+        // … but evacuating the victim *off* it is legal, and its slot
+        // accounting follows.
+        c.migrate(VmId::new(0), ServerId::new(5), f64::INFINITY)
+            .unwrap();
+        assert_eq!(c.usage(ServerId::new(0)).slots, 0);
+        assert_eq!(c.allocation().server_of(VmId::new(0)), ServerId::new(5));
+    }
+
+    #[test]
+    fn nic_capacity_factor_scales_admission() {
+        let topo: Arc<dyn Topology> = Arc::new(CanonicalTree::small());
+        let mut b = PairTrafficBuilder::new(2);
+        b.add(VmId::new(0), VmId::new(1), 0.6e9);
+        let traffic = b.build();
+        let alloc = Allocation::from_fn(2, 16, |vm| ServerId::new(vm.get()));
+        let mut c = Cluster::new(
+            topo,
+            ServerSpec::paper_default(),
+            VmSpec::paper_default(),
+            &traffic,
+            alloc,
+        )
+        .unwrap();
+        // 0.6 Gb/s external demand fits a healthy 1 GbE NIC at threshold
+        // 1.0 …
+        assert!(c.can_host(ServerId::new(5), VmId::new(0), 1.0).is_ok());
+        // … but not one degraded to half capacity.
+        c.set_nic_capacity_factor(0.5);
+        assert_eq!(
+            c.can_host(ServerId::new(5), VmId::new(0), 1.0),
+            Err(AdmissionError::Bandwidth)
+        );
+        // LinkRestore resets it.
+        c.set_nic_capacity_factor(1.0);
+        assert!(c.can_host(ServerId::new(5), VmId::new(0), 1.0).is_ok());
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub enum AdmissionError {
     /// accommodate the requesting VM, the next best choice with adequate
     /// bandwidth will be considered").
     Bandwidth,
+    /// The host is marked down (crashed) — it admits nothing until the
+    /// cluster is rebuilt; evacuations only ever move VMs *off* it.
+    HostDown,
 }
 
 impl fmt::Display for AdmissionError {
@@ -92,6 +95,7 @@ impl fmt::Display for AdmissionError {
             AdmissionError::Ram => write!(f, "insufficient residual RAM"),
             AdmissionError::Cpu => write!(f, "insufficient residual CPU"),
             AdmissionError::Bandwidth => write!(f, "insufficient residual host bandwidth"),
+            AdmissionError::HostDown => write!(f, "host is down"),
         }
     }
 }

@@ -42,6 +42,8 @@ fn main() {
     println!("{}", exp::ext_oversub::run(paper).1);
     exp::banner("Extension: dynamic traffic");
     println!("{}", exp::ext_dynamic::run(paper).1);
+    exp::banner("Extension: failure storms");
+    println!("{}", exp::ext_faults::run(paper).1);
 
     println!("\nAll experiments finished in {:.1} s.", sw.elapsed_s());
     println!("CSV outputs under: {}", exp::results_dir().display());

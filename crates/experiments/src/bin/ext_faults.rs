@@ -1,0 +1,11 @@
+//! Extension — recovery under seeded failure storms: host crashes,
+//! correlated rack failures, and link degradations replayed
+//! deterministically through the live event clock.
+
+use score_experiments as exp;
+
+fn main() {
+    exp::banner("Extension: failure storms (deterministic fault replay)");
+    let (_, summary) = exp::ext_faults::run(exp::paper_scale_requested());
+    println!("{summary}");
+}

@@ -8,6 +8,9 @@
 //!          [--horizon SECONDS] [--forecast none|ewma|oracle] [--alpha F]
 //!          [--seed N] [--csv FILE] [--json FILE]
 //!          [--scenario FILE] [--emit-scenario FILE]
+//!          [--fault-crashes N] [--fault-rack-fails N] [--fault-degradations N]
+//!          [--fault-degrade-factor F] [--fault-hold S] [--fault-seed N]
+//!          [--fault-replay FILE.jsonl] [--record-trace FILE.jsonl]
 //! scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl]
 //!          [--num-vms N] [--save-trace FILE.jsonl] [common flags above]
 //! scorectl serve [--socket PATH] [--tcp ADDR] [--rate SIM_S_PER_WALL_S]
@@ -31,6 +34,15 @@
 //! width, except that trace-workload reports embed wall-clock
 //! `apply_ns_*` rebind diagnostics that vary between any two runs) and
 //! `--json` then writes the collected [`score_sim::MatrixReport`].
+//!
+//! The `--fault-*` flags inject a deterministic **failure storm** into a
+//! batch run: a seeded [`FaultSpec`] generator (host crashes, correlated
+//! rack failures, per-tier link degradations) sized to the scenario's
+//! fabric, applied at drained event boundaries through the Lemma-3
+//! evacuation path. `--record-trace` appends every fault to a JSONL
+//! audit log whose replay (`--fault-replay`) re-derives the evacuations
+//! and reproduces the `--json` report byte for byte — the CI
+//! fault-replay job diffs exactly that pair.
 //!
 //! The `trace` subcommand runs a **time-varying** workload instead: a
 //! synthetic trace shape (deterministic from `--seed`) or a JSONL trace
@@ -58,7 +70,9 @@ use score_sim::{
     series_to_csv, ForecastSpec, PolicyKind, Scenario, ScenarioMatrix, TopologySpec, TraceSpec,
     WorkloadSpec,
 };
-use score_trace::{ChurnShape, DiurnalShape, FlashCrowdShape, Trace};
+use score_trace::{
+    fault_storm_events, ChurnShape, DiurnalShape, FaultSpec, FlashCrowdShape, TimedEvent, Trace,
+};
 use score_traffic::TrafficIntensity;
 use std::process::ExitCode;
 
@@ -103,6 +117,25 @@ struct Args {
     csv: Option<String>,
     json: Option<String>,
     emit_scenario: Option<String>,
+    fault_crashes: Option<u32>,
+    fault_rack_fails: Option<u32>,
+    fault_degradations: Option<u32>,
+    fault_degrade_factor: Option<f64>,
+    fault_hold: Option<f64>,
+    fault_seed: Option<u64>,
+    fault_replay: Option<String>,
+    record_trace: Option<String>,
+}
+
+impl Args {
+    /// True when any adversity flag asks for a storm (generated or
+    /// replayed from a recorded trace).
+    fn fault_mode(&self) -> bool {
+        self.fault_replay.is_some()
+            || self.fault_crashes.is_some()
+            || self.fault_rack_fails.is_some()
+            || self.fault_degradations.is_some()
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -221,6 +254,42 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => args.csv = Some(value("--csv")?),
             "--json" => args.json = Some(value("--json")?),
             "--emit-scenario" => args.emit_scenario = Some(value("--emit-scenario")?),
+            "--fault-crashes" => {
+                args.fault_crashes = Some(
+                    value("--fault-crashes")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--fault-rack-fails" => {
+                args.fault_rack_fails = Some(
+                    value("--fault-rack-fails")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--fault-degradations" => {
+                args.fault_degradations = Some(
+                    value("--fault-degradations")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--fault-degrade-factor" => {
+                args.fault_degrade_factor = Some(
+                    value("--fault-degrade-factor")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--fault-hold" => {
+                args.fault_hold = Some(value("--fault-hold")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(value("--fault-seed")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--fault-replay" => args.fault_replay = Some(value("--fault-replay")?),
+            "--record-trace" => args.record_trace = Some(value("--record-trace")?),
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage
             }
@@ -244,6 +313,40 @@ fn parse_args() -> Result<Args, String> {
     if !args.replay_mode && (args.dir.is_some() || args.expect.is_some()) {
         return Err("--dir/--expect need the `replay` subcommand".into());
     }
+    if (args.fault_mode() || args.record_trace.is_some())
+        && (args.trace_mode
+            || args.serve_mode
+            || args.client_mode
+            || args.replay_mode
+            || args.top_mode)
+    {
+        return Err(
+            "--fault-*/--record-trace drive a batch run (no subcommand); the daemon \
+             takes faults over the socket (`Fault` request) instead"
+                .into(),
+        );
+    }
+    if args.fault_replay.is_some()
+        && (args.fault_crashes.is_some()
+            || args.fault_rack_fails.is_some()
+            || args.fault_degradations.is_some()
+            || args.fault_seed.is_some())
+    {
+        return Err(
+            "--fault-replay replays a recorded storm; drop the storm-generator flags".into(),
+        );
+    }
+    if !args.fault_mode()
+        && (args.fault_degrade_factor.is_some()
+            || args.fault_hold.is_some()
+            || args.fault_seed.is_some())
+    {
+        return Err(
+            "--fault-degrade-factor/--fault-hold/--fault-seed need a storm \
+             (--fault-crashes/--fault-rack-fails/--fault-degradations)"
+                .into(),
+        );
+    }
     Ok(args)
 }
 
@@ -256,6 +359,9 @@ fn usage() {
          [--cm F] [--t-end SECONDS] [--seed N] [--csv FILE] [--json FILE] \
          [--horizon SECONDS] [--forecast none|ewma|oracle] [--alpha F] \
          [--scenario FILE] [--emit-scenario FILE]\n\
+         \x20              [--fault-crashes N] [--fault-rack-fails N] \
+         [--fault-degradations N] [--fault-degrade-factor F] [--fault-hold S] \
+         [--fault-seed N] [--fault-replay FILE.jsonl] [--record-trace FILE.jsonl]\n\
          \x20      scorectl trace [--shape diurnal|flash|churn | --trace FILE.jsonl] \
          [--num-vms N] [--save-trace FILE.jsonl] [common flags]\n\
          \x20      scorectl serve [--socket PATH] [--tcp ADDR] [--rate SIM_S_PER_WALL_S] \
@@ -665,6 +771,10 @@ fn main() -> ExitCode {
     }
 
     if args.policies.len() > 1 {
+        if args.fault_mode() || args.record_trace.is_some() {
+            eprintln!("error: --fault-*/--record-trace need a single --policy run");
+            return ExitCode::FAILURE;
+        }
         return run_policy_sweep(scenario, &args);
     }
 
@@ -699,6 +809,32 @@ fn main() -> ExitCode {
     if matches!(scenario.workload, WorkloadSpec::Trace { .. }) {
         return run_trace_session(session, &args);
     }
+    if args.record_trace.is_some() {
+        session.start_trace_recording();
+    }
+    if args.fault_mode() {
+        let storm = match build_storm(&session, &args) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "storm: {} fault event(s) over {:.0} s ({})",
+            storm.len(),
+            scenario.timing.t_end_s,
+            if args.fault_replay.is_some() {
+                "replayed from recorded trace"
+            } else {
+                "seeded generator"
+            },
+        );
+        if let Err(e) = session.run_storm(&storm) {
+            eprintln!("error: applying storm: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     session.run_to_horizon();
     let report = session.report();
     println!(
@@ -717,6 +853,37 @@ fn main() -> ExitCode {
     for (i, ratio) in report.migration_ratios.iter().take(5).enumerate() {
         println!("iteration {}: {:.1}% of VMs migrated", i + 1, ratio * 100.0);
     }
+    if !report.recovery.is_clean() {
+        let r = &report.recovery;
+        println!(
+            "recovery: {} fault(s) | {} host(s) down | {} evacuation(s) \
+             ({} unplaceable) | stable {:.1} s after last fault | {:.1} s degraded \
+             | {} ledger resyncs",
+            r.faults_injected,
+            r.hosts_down,
+            r.evacuations,
+            r.unplaceable_vms,
+            r.time_to_stable_s,
+            r.slo_violating_s,
+            session.ledger_resyncs(),
+        );
+    }
+    if let Some(path) = &args.record_trace {
+        let saved = session
+            .recorded_trace()
+            .map_err(|e| e.to_string())
+            .and_then(|t| {
+                t.save(std::path::Path::new(path))
+                    .map_err(|e| e.to_string())
+            });
+        match saved {
+            Ok(()) => println!("recorded trace written to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(path) = args.csv {
         let csv = series_to_csv(&report.cost_series, "time_s", "cost");
         if let Err(e) = std::fs::write(&path, csv) {
@@ -733,6 +900,32 @@ fn main() -> ExitCode {
         println!("run report written to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// Builds the timed fault stream the `--fault-*` flags describe: a
+/// recorded trace's raw events (`--fault-replay`), or a seeded
+/// [`FaultSpec`] storm sized to the live session's fabric with the
+/// scenario horizon as the storm window.
+fn build_storm(session: &score_sim::Session, args: &Args) -> Result<Vec<TimedEvent>, String> {
+    if let Some(path) = &args.fault_replay {
+        let trace =
+            Trace::load(std::path::Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+        return Ok(trace.events().to_vec());
+    }
+    let t_end_s = session.scenario().timing.t_end_s;
+    let spec = FaultSpec {
+        num_servers: session.topo().num_servers() as u32,
+        num_racks: session.topo().num_racks() as u32,
+        host_crashes: args.fault_crashes.unwrap_or(0),
+        rack_fails: args.fault_rack_fails.unwrap_or(0),
+        degradations: args.fault_degradations.unwrap_or(0),
+        degrade_factor: args.fault_degrade_factor.unwrap_or(0.4),
+        degrade_hold_s: args.fault_hold.unwrap_or(t_end_s / 8.0),
+        max_tier: 0,
+        horizon_s: t_end_s,
+    };
+    fault_storm_events(&spec, args.fault_seed.unwrap_or(session.scenario().seed))
+        .map_err(|e| format!("{e}"))
 }
 
 /// Runs a multi-policy sweep on the work-stealing `MatrixRunner`:

@@ -21,6 +21,7 @@
 //! | `ext_weight_sensitivity` | extension — link-weight sweep |
 //! | `ext_oversubscription` | extension — ToR oversubscription sweep |
 //! | `ext_dynamic` | extension — policies under time-varying (trace) traffic |
+//! | `ext_faults` | extension — recovery under seeded failure storms |
 //! | `ext_control_overhead` | extension — control-plane overhead |
 //! | `scorectl` | ad-hoc scenarios from CLI flags or JSON specs |
 //! | `all` | runs everything and summarises paper-vs-measured |
@@ -32,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ext_dynamic;
+pub mod ext_faults;
 pub mod ext_overhead;
 pub mod ext_oversub;
 pub mod ext_policies;

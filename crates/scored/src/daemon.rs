@@ -267,6 +267,25 @@ impl DaemonState {
                         .map_err(|e| Response::error("bad-event", e))
                 })
             }
+            Request::Fault { events } => {
+                let t = match self.tenant(&tenant_name(conn_tenant)) {
+                    Ok(t) => t,
+                    Err(e) => return Response::error("bad-request", e),
+                };
+                let count = events.len() as u32;
+                self.mutate(&t, move |engine| {
+                    engine
+                        .fault(&events)
+                        .map(|f| Response::Faulted {
+                            events: count,
+                            hosts_failed: f.hosts_failed,
+                            evacuations: f.evacuations,
+                            unplaceable: f.unplaceable,
+                            at_s: f.at_s,
+                        })
+                        .map_err(|e| Response::error("bad-event", e))
+                })
+            }
             Request::Report => {
                 let t = match self.tenant(&tenant_name(conn_tenant)) {
                     Ok(t) => t,
@@ -373,6 +392,7 @@ fn verb_of(req: &Request) -> &'static str {
         Request::Place { .. } => "place",
         Request::Remove { .. } => "remove",
         Request::Traffic { .. } => "traffic",
+        Request::Fault { .. } => "fault",
         Request::Report => "report",
         Request::Stats => "stats",
         Request::Pause => "pause",

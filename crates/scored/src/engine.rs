@@ -51,6 +51,20 @@ pub struct Applied {
     pub at_s: f64,
 }
 
+/// What one fault batch did to the tenant, for responses and
+/// subscribers.
+#[derive(Debug, Clone, Default)]
+pub struct Faulted {
+    /// Hosts newly marked down across the batch.
+    pub hosts_failed: u32,
+    /// VMs force-evacuated to surviving hosts.
+    pub evacuations: u64,
+    /// VMs retired because no live host could admit them.
+    pub unplaceable: u64,
+    /// The drained-boundary time the batch landed at.
+    pub at_s: f64,
+}
+
 /// A named tenant's live cluster: a recording [`Session`] plus the
 /// wall-clock pacing state that advances it between requests.
 pub struct TenantEngine {
@@ -240,12 +254,22 @@ impl TenantEngine {
                         .remove_vm(VmId::new(vm))
                         .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
                 }
+                ref fault @ (TraceEvent::HostCrash { .. }
+                | TraceEvent::RackFail { .. }
+                | TraceEvent::LinkDegrade { .. }
+                | TraceEvent::LinkRestore { .. }) => {
+                    // The log holds only the fault; its consequences
+                    // (evacuations, retirements) re-derive exactly.
+                    session
+                        .apply_fault(fault)
+                        .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
+                }
                 TraceEvent::ScalePair { .. }
                 | TraceEvent::ScaleAll { .. }
                 | TraceEvent::Marker { .. } => {
                     return Err(
-                        "daemon recordings contain only absolute re-rates and churn; this \
-                         trace does not look like one"
+                        "daemon recordings contain only absolute re-rates, churn, and \
+                         faults; this trace does not look like one"
                             .to_string(),
                     );
                 }
@@ -396,6 +420,12 @@ impl TenantEngine {
                 TraceEvent::Marker { .. } => {
                     return Err("markers have no live meaning; send rate events".to_string())
                 }
+                TraceEvent::HostCrash { .. }
+                | TraceEvent::RackFail { .. }
+                | TraceEvent::LinkDegrade { .. }
+                | TraceEvent::LinkRestore { .. } => {
+                    return Err("fault events are not traffic; send a Fault request".to_string())
+                }
                 TraceEvent::SetRate { .. }
                 | TraceEvent::ScalePair { .. }
                 | TraceEvent::ScaleAll { .. } => {}
@@ -434,7 +464,11 @@ impl TenantEngine {
                 }
                 TraceEvent::PlaceVm { .. }
                 | TraceEvent::RemoveVm { .. }
-                | TraceEvent::Marker { .. } => unreachable!("rejected above"),
+                | TraceEvent::Marker { .. }
+                | TraceEvent::HostCrash { .. }
+                | TraceEvent::RackFail { .. }
+                | TraceEvent::LinkDegrade { .. }
+                | TraceEvent::LinkRestore { .. } => unreachable!("rejected above"),
             };
             for (u, v, rate) in updates {
                 // Skip no-ops *before* the call: the recorded stream
@@ -457,6 +491,39 @@ impl TenantEngine {
             pairs_changed,
             at_s,
         })
+    }
+
+    /// Injects fault events at the next drained boundary — the
+    /// adversity path of the protocol. Each event goes through
+    /// [`Session::apply_fault`]: crashed hosts are evacuated through
+    /// the deterministic re-planning pipeline, and only the fault
+    /// events land in the audit log (their consequences are re-derived
+    /// on replay, which keeps crash recovery byte-stable).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-fault events up front (nothing is applied) and
+    /// propagates fault validation failures; events before the failing
+    /// one stay applied, exactly as they were recorded.
+    pub fn fault(&mut self, events: &[TraceEvent]) -> Result<Faulted, String> {
+        if let Some(bad) = events.iter().find(|ev| !ev.is_fault()) {
+            return Err(format!(
+                "only fault events may be injected here, got {bad:?}; \
+                 send Traffic / Place / Remove for ordinary mutations"
+            ));
+        }
+        let at_s = self.session.drain_to_boundary();
+        let mut result = Faulted {
+            at_s,
+            ..Faulted::default()
+        };
+        for ev in events {
+            let outcome = self.session.apply_fault(ev).map_err(|e| e.to_string())?;
+            result.hosts_failed += outcome.hosts_failed.len() as u32;
+            result.evacuations += outcome.evacuated.len() as u64;
+            result.unplaceable += outcome.unplaceable.len() as u64;
+        }
+        Ok(result)
     }
 
     /// Audit-log lines recorded since the last call — the subscriber
@@ -579,6 +646,14 @@ pub fn replay_trace(scenario: &Scenario, trace: &Trace) -> Result<RunReport, Str
             TraceEvent::RemoveVm { vm } => {
                 session
                     .remove_vm(VmId::new(vm))
+                    .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
+            }
+            ref fault @ (TraceEvent::HostCrash { .. }
+            | TraceEvent::RackFail { .. }
+            | TraceEvent::LinkDegrade { .. }
+            | TraceEvent::LinkRestore { .. }) => {
+                session
+                    .apply_fault(fault)
                     .map_err(|e| format!("at {}s: {e}", ev.time_s))?;
             }
             TraceEvent::ScalePair { .. } | TraceEvent::ScaleAll { .. } => {

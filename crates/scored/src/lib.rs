@@ -28,5 +28,5 @@ pub mod engine;
 pub mod proto;
 
 pub use daemon::{Daemon, DaemonConfig};
-pub use engine::{canonical_report_json, replay_dir, replay_trace, Applied, TenantEngine};
+pub use engine::{canonical_report_json, replay_dir, replay_trace, Applied, Faulted, TenantEngine};
 pub use proto::{parse_request, response_line, Request, Response};

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize, Value};
 /// | `Place`     | `{"server": 3}` or `{}`                   | admit a new VM (daemon picks the host when `server` is omitted) |
 /// | `Remove`    | `{"vm": 7}`                               | retire a live VM |
 /// | `Traffic`   | `{"events": [{"SetRate": {...}}, ...]}`   | apply rate deltas (`SetRate` / `ScalePair` / `ScaleAll`) |
+/// | `Fault`     | `{"events": [{"HostCrash": {...}}, ...]}` | inject fault events (`HostCrash` / `RackFail` / `LinkDegrade` / `LinkRestore`); the daemon re-plans around them |
 /// | `Report`    | —                                         | canonical `RunReport` JSON of the tenant |
 /// | `Stats`     | —                                         | live metrics snapshot (registry JSON + decision-journal tail) |
 /// | `Pause`     | —                                         | freeze the tenant's event clock |
@@ -51,6 +52,14 @@ pub enum Request {
     Traffic {
         /// `SetRate` / `ScalePair` / `ScaleAll` events; churn and
         /// markers are rejected (churn arrives as `Place` / `Remove`).
+        events: Vec<TraceEvent>,
+    },
+    /// Inject fault events at the next drained boundary: the tenant
+    /// evacuates crashed hosts through the deterministic re-planning
+    /// pipeline and records only the faults in its audit log.
+    Fault {
+        /// `HostCrash` / `RackFail` / `LinkDegrade` / `LinkRestore`
+        /// events; anything else is rejected.
         events: Vec<TraceEvent>,
     },
     /// Take the tenant's canonical report.
@@ -130,6 +139,14 @@ impl Deserialize for Request {
                     "events",
                 )?)?,
             }),
+            "Fault" => Ok(Request::Fault {
+                events: Deserialize::from_value(serde::field(
+                    inner
+                        .as_object()
+                        .ok_or_else(|| serde::Error::custom("Fault payload must be an object"))?,
+                    "events",
+                )?)?,
+            }),
             "Report" | "Stats" | "Pause" | "Resume" | "Subscribe" | "Shutdown" => {
                 Err(serde::Error::custom(format!(
                     "request `{tag}` carries no payload; send the bare string"
@@ -166,6 +183,19 @@ pub enum Response {
         /// The removed VM.
         vm: u32,
         /// Event-clock time of the mutation.
+        at_s: f64,
+    },
+    /// Fault events were injected and re-planned around.
+    Faulted {
+        /// Fault events accepted from the request.
+        events: u32,
+        /// Hosts newly marked down across the batch.
+        hosts_failed: u32,
+        /// VMs force-evacuated to surviving hosts.
+        evacuations: u64,
+        /// VMs retired because no live host could admit them.
+        unplaceable: u64,
+        /// Event-clock time of the mutation (a drained boundary).
         at_s: f64,
     },
     /// Traffic deltas were applied.
@@ -279,6 +309,17 @@ mod tests {
                 TraceEvent::ScaleAll { factor: 1.25 },
             ],
         });
+        round_trip(&Request::Fault {
+            events: vec![
+                TraceEvent::HostCrash { server: 12 },
+                TraceEvent::RackFail { rack: 3 },
+                TraceEvent::LinkDegrade {
+                    tier: 0,
+                    factor: 0.5,
+                },
+                TraceEvent::LinkRestore { tier: 0 },
+            ],
+        });
         round_trip(&Request::Report);
         round_trip(&Request::Stats);
         round_trip(&Request::Pause);
@@ -313,6 +354,13 @@ mod tests {
                 at_s: 2.0,
             },
             Response::Removed { vm: 2, at_s: 2.5 },
+            Response::Faulted {
+                events: 2,
+                hosts_failed: 6,
+                evacuations: 11,
+                unplaceable: 1,
+                at_s: 2.75,
+            },
             Response::Applied {
                 events: 3,
                 pairs_changed: 2,

@@ -383,6 +383,229 @@ fn daemon_serves_stats_and_prometheus_metrics() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Adversity at the engine level: a tenant that took a host crash and a
+/// link degradation, then "crashed" itself (no `finish`), is rebuilt
+/// from its own `trace.jsonl` bit for bit — the audit log holds only
+/// the fault events, and recovery re-derives every evacuation.
+#[test]
+fn crashed_tenant_with_faults_recovers_byte_for_byte() {
+    let dir = temp_dir("fault_crash_recovery");
+    let scenario = quick_scenario(29);
+    let mut engine = TenantEngine::new("t0", scenario.clone(), 2000.0, Some(&dir)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    engine.pump(10_000);
+    let (vm, _server, _at) = engine.place(None).unwrap();
+    engine
+        .traffic(&[TraceEvent::SetRate {
+            u: 0,
+            v: vm,
+            rate: 4e6,
+        }])
+        .unwrap();
+    // Crash the server hosting vm0 plus a tier-0 degradation.
+    let victim = engine
+        .session()
+        .cluster()
+        .allocation()
+        .server_of(score_topology::VmId::new(0))
+        .get();
+    let faulted = engine
+        .fault(&[
+            TraceEvent::HostCrash { server: victim },
+            TraceEvent::LinkDegrade {
+                tier: 0,
+                factor: 0.5,
+            },
+        ])
+        .unwrap();
+    assert_eq!(faulted.hosts_failed, 1);
+    assert!(faulted.evacuations >= 1, "vm0's host held at least vm0");
+    // Non-fault events on the fault path are rejected up front.
+    assert!(engine
+        .fault(&[TraceEvent::ScaleAll { factor: 2.0 }])
+        .is_err());
+    engine.flush_trace().unwrap();
+
+    let pre_crash_cost = engine.session().current_cost();
+    let pre_crash_now = engine.session().now_s();
+    drop(engine); // "crash": artifacts flushed, no finish()
+
+    let mut revived = TenantEngine::new("t0", scenario, 2000.0, Some(&dir)).unwrap();
+    assert_eq!(revived.session().now_s(), pre_crash_now);
+    assert_eq!(
+        revived.session().current_cost(),
+        pre_crash_cost,
+        "recovered adversity state must be the crashed state, bit for bit"
+    );
+    assert_eq!(revived.session().ledger_resyncs(), 0);
+    assert!(!revived
+        .session()
+        .cluster()
+        .host_is_up(score_topology::ServerId::new(victim)));
+    assert_eq!(revived.session().degraded_tiers(), vec![(0, 0.5)]);
+
+    // The continued run (including the recovery stats) still replays
+    // byte for byte from the combined audit log.
+    let live_report = revived.finish().unwrap();
+    assert!(live_report.contains("\"recovery\""));
+    let replayed = replay_dir(&dir.join("t0")).unwrap();
+    assert_eq!(replayed, live_report, "post-fault replay diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Adversity over the socket: a `Fault` request crashes a rack at a
+/// drained boundary, the subscriber sees the fault line and the
+/// `Faulted` broadcast, `Stats` carries nonzero `score_recovery_*`
+/// series, and the recorded artifacts (faults included) replay to the
+/// daemon's own final report byte for byte.
+#[test]
+fn daemon_injects_faults_and_replays_them() {
+    let dir = temp_dir("daemon_faults");
+    let socket = dir.join("scored.sock");
+    let record_dir = dir.join("records");
+    let daemon = Daemon::bind(DaemonConfig {
+        scenario: quick_scenario(31),
+        unix_socket: Some(socket.clone()),
+        tcp_addr: None,
+        rate: 500.0,
+        record_dir: Some(record_dir.clone()),
+    })
+    .unwrap();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let stream = UnixStream::connect(&socket).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let sub_stream = UnixStream::connect(&socket).unwrap();
+    let mut sub_writer = sub_stream.try_clone().unwrap();
+    let mut sub_reader = BufReader::new(sub_stream);
+    match roundtrip(&mut sub_reader, &mut sub_writer, "\"Subscribe\"") {
+        Response::Subscribed { .. } => {}
+        other => panic!("expected Subscribed, got {other:?}"),
+    }
+
+    // A whole-rack failure: with the initial placement spread over the
+    // fabric, rack 0 is guaranteed to carry VMs to evacuate.
+    let fault = serde_json::to_string(&Request::Fault {
+        events: vec![TraceEvent::RackFail { rack: 0 }],
+    })
+    .unwrap();
+    let (hosts_failed, evacuations) = match roundtrip(&mut reader, &mut writer, &fault) {
+        Response::Faulted {
+            events,
+            hosts_failed,
+            evacuations,
+            unplaceable,
+            ..
+        } => {
+            assert_eq!(events, 1);
+            assert_eq!(
+                evacuations + unplaceable,
+                evacuations,
+                "small rack never fills the fabric"
+            );
+            (hosts_failed, evacuations)
+        }
+        other => panic!("expected Faulted, got {other:?}"),
+    };
+    assert!(hosts_failed >= 1, "rack 0 has live hosts");
+    assert!(evacuations >= 1, "rack 0 carried VMs");
+
+    // Mixing fault and non-fault events is a structured error.
+    let bad = serde_json::to_string(&Request::Fault {
+        events: vec![TraceEvent::ScaleAll { factor: 2.0 }],
+    })
+    .unwrap();
+    match roundtrip(&mut reader, &mut writer, &bad) {
+        Response::Error { code, .. } => assert_eq!(code, "bad-event"),
+        other => panic!("expected bad-event, got {other:?}"),
+    }
+
+    // The subscriber saw the fault's audit line and the broadcast.
+    let mut saw_fault_line = false;
+    let mut saw_faulted = false;
+    for _ in 0..8 {
+        let mut line = String::new();
+        sub_reader.read_line(&mut line).unwrap();
+        match serde_json::from_str::<Response>(&line).unwrap() {
+            Response::Trace { line } => {
+                if line.contains("RackFail") {
+                    saw_fault_line = true;
+                }
+            }
+            Response::Faulted { .. } => {
+                saw_faulted = true;
+                break;
+            }
+            Response::Report { .. } => {}
+            other => panic!("unexpected subscriber line: {other:?}"),
+        }
+    }
+    assert!(
+        saw_fault_line && saw_faulted,
+        "subscriber missed the fault stream"
+    );
+
+    // Let the pacer cross Sample ticks so the recovery series publish.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let stats = match roundtrip(&mut reader, &mut writer, "\"Stats\"") {
+        Response::Stats { json } => json,
+        other => panic!("expected Stats, got {other:?}"),
+    };
+    let v = serde_json::parse_value_str(&stats).expect("stats is valid JSON");
+    let metrics = serde::field(v.as_object().unwrap(), "metrics").unwrap();
+    let counters = serde::field(metrics.as_object().unwrap(), "counters").unwrap();
+    let faults_total: f64 = counters
+        .as_object()
+        .unwrap()
+        .iter()
+        .filter(|(k, _)| k.starts_with("score_recovery_faults_total"))
+        .filter_map(|(_, v)| v.as_f64())
+        .sum();
+    assert!(faults_total >= 1.0, "no recovery faults in Stats: {stats}");
+    let evac_total: f64 = counters
+        .as_object()
+        .unwrap()
+        .iter()
+        .filter(|(k, _)| k.starts_with("score_recovery_evacuations_total"))
+        .filter_map(|(_, v)| v.as_f64())
+        .sum();
+    assert!(
+        evac_total >= 1.0,
+        "no recovery evacuations in Stats: {stats}"
+    );
+    let gauges = serde::field(metrics.as_object().unwrap(), "gauges").unwrap();
+    let hosts_down: f64 = gauges
+        .as_object()
+        .unwrap()
+        .iter()
+        .filter(|(k, _)| k.starts_with("score_recovery_hosts_down"))
+        .filter_map(|(_, v)| v.as_f64())
+        .sum();
+    assert!(
+        hosts_down as u32 == hosts_failed,
+        "hosts_down gauge {hosts_down} != {hosts_failed} failed hosts: {stats}"
+    );
+
+    // Shutdown: the persisted artifacts (fault included) replay to the
+    // daemon's own final report.
+    let final_report = match roundtrip(&mut reader, &mut writer, "\"Shutdown\"") {
+        Response::ShuttingDown => {
+            server.join().unwrap();
+            std::fs::read_to_string(record_dir.join("default").join("report.json")).unwrap()
+        }
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    };
+    assert!(final_report.contains("\"recovery\""));
+    let replayed = replay_dir(&record_dir.join("default")).unwrap();
+    assert_eq!(
+        replayed, final_report,
+        "replaying the daemon's adversity session diverged from its own final report"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `response_line` is what the daemon writes; sanity-pin the shape once
 /// at the integration level too.
 #[test]

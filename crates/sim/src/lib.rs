@@ -57,9 +57,10 @@ pub use events::{EventQueue, SimEvent};
 pub use matrix::{MatrixCell, MatrixReport, MatrixRunner, RunLength, ScenarioMatrix};
 pub use metrics::{ascii_chart, jain_fairness, series_to_csv, UtilizationSnapshot};
 pub use report::{
-    FlowTableOps, ForecastStats, HypervisorStats, MigrationEvent, RunReport, TraceReplayStats,
+    FlowTableOps, ForecastStats, HypervisorStats, MigrationEvent, RecoveryStats, RunReport,
+    TraceReplayStats,
 };
-pub use session::{Session, TrafficPhase};
+pub use session::{FaultOutcome, Session, TrafficPhase};
 pub use spec::{
     EngineSpec, ForecastSpec, PlacementSpec, PolicyKind, PolicySpec, ResourceSpec, Scenario,
     ScenarioBuilder, ScenarioError, TimingSpec, TopologyKind, TopologySpec, TraceSpec,

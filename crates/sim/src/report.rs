@@ -146,6 +146,39 @@ impl ForecastStats {
     }
 }
 
+/// Recovery accounting of the adversity engine: what faults hit the
+/// run and how the re-planning pipeline absorbed them. All zeros for a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Fault events applied: one per `HostCrash` / `RackFail` /
+    /// `LinkDegrade` / `LinkRestore` (a `RackFail` counts once, however
+    /// many hosts it takes down).
+    pub faults_injected: u64,
+    /// Hosts marked down at report time.
+    pub hosts_down: u32,
+    /// Evacuation migrations forced by host/rack failures (distinct
+    /// from Theorem-1 migrations: these preserve liveness, not cost).
+    pub evacuations: u64,
+    /// VMs retired because no live server could admit them during an
+    /// evacuation.
+    pub unplaceable_vms: u64,
+    /// Seconds from the last injected fault to the last migration at or
+    /// after it — the time the placement needed to stop moving again.
+    /// 0 when no fault fired or nothing migrated afterwards.
+    pub time_to_stable_s: f64,
+    /// Simulated seconds sampled while the cluster was in a degraded
+    /// state (any host down, or any link tier degraded).
+    pub slo_violating_s: f64,
+}
+
+impl RecoveryStats {
+    /// True when no fault ever touched the run.
+    pub fn is_clean(&self) -> bool {
+        self.faults_injected == 0
+    }
+}
+
 /// Unified result of one [`crate::Session`] run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -183,6 +216,9 @@ pub struct RunReport {
     /// Pre-empted-vs-reactive migration counts (all migrations are
     /// reactive without an active forecast).
     pub forecast: ForecastStats,
+    /// Recovery accounting of the adversity engine (all zeros for a
+    /// fault-free run).
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {
@@ -340,7 +376,25 @@ mod tests {
                 reactive: 1,
                 ..ForecastStats::default()
             },
+            recovery: RecoveryStats::default(),
         }
+    }
+
+    #[test]
+    fn recovery_stats_round_trip() {
+        let mut r = sample_report();
+        r.recovery = RecoveryStats {
+            faults_injected: 4,
+            hosts_down: 2,
+            evacuations: 7,
+            unplaceable_vms: 1,
+            time_to_stable_s: 12.5,
+            slo_violating_s: 40.0,
+        };
+        assert!(!r.recovery.is_clean());
+        assert!(RecoveryStats::default().is_clean());
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

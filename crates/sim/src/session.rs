@@ -16,18 +16,21 @@ use score_core::{
     StepOutcome, TokenRing,
 };
 use score_obs::ObsHandle;
-use score_topology::{ServerId, Topology, VmId};
+use score_topology::{RackId, ServerId, Topology, VmId};
 use score_trace::{
-    CompiledTrace, DeltaBatch, OracleForecaster, Trace, TraceRecorder, TraceSegment,
+    CompiledTrace, DeltaBatch, OracleForecaster, TimedEvent, Trace, TraceEvent, TraceRecorder,
+    TraceSegment,
 };
 use score_traffic::{CbrLoad, EwmaForecaster, PairTraffic, RateForecaster};
 use score_xen::PreCopyModel;
 
 use crate::events::{EventQueue, SimEvent};
 use crate::metrics::UtilizationSnapshot;
-use crate::report::{FlowTableOps, ForecastStats, MigrationEvent, RunReport, TraceReplayStats};
+use crate::report::{
+    FlowTableOps, ForecastStats, MigrationEvent, RecoveryStats, RunReport, TraceReplayStats,
+};
 use crate::spec::{ForecastSpec, Scenario, ScenarioError, WorkloadSpec};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -153,9 +156,41 @@ pub struct Session {
     /// `(samples, Σ|err|, Σ err)`, reset per segment like the rest of
     /// the report accumulators.
     forecast_err: (u64, f64, f64),
+    /// Recovery accumulators of the adversity engine (fault counts,
+    /// evacuations, SLO seconds); `hosts_down` and `time_to_stable_s`
+    /// are derived live at [`Session::report`] time.
+    recovery: RecoveryStats,
+    /// Event-clock time of the most recent injected fault.
+    last_fault_s: Option<f64>,
+    /// Event-clock time of the last migration (forced or Theorem-1) at
+    /// or after the last fault — `time_to_stable_s`'s right edge.
+    last_post_fault_migration_s: Option<f64>,
+    /// Link tiers currently degraded (`tier → factor`). Tier 0 also
+    /// scales the cluster's NIC admission capacity; higher tiers are
+    /// tracked for SLO accounting only (re-weighting the cost model
+    /// mid-run would force a ledger resync, which the adversity engine
+    /// refuses to pay).
+    degraded_tiers: BTreeMap<u32, f64>,
     /// Attached observability (disabled by default); see
     /// [`Session::attach_obs`].
     obs: Option<SessionObs>,
+}
+
+/// What one fault event did to the session (see
+/// [`Session::apply_fault`]): which hosts went down, who was evacuated
+/// where, and who could not be rehomed. Consequences are deterministic —
+/// replaying the same fault against the same state reproduces this
+/// outcome exactly, which is why traces record only the fault itself.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultOutcome {
+    /// Servers newly marked down by this event (ascending id for rack
+    /// sweeps; empty for link events and already-down hosts).
+    pub hosts_failed: Vec<ServerId>,
+    /// Forced evacuation migrations `(vm, target)` in the order they
+    /// were applied (ascending VM id per failed host).
+    pub evacuated: Vec<(VmId, ServerId)>,
+    /// VMs retired because no live server could admit them.
+    pub unplaceable: Vec<VmId>,
 }
 
 /// Pre-resolved session-level instruments. Counters mirror the in-state
@@ -179,11 +214,23 @@ struct SessionObs {
     forecast_evals: std::sync::Arc<score_obs::Counter>,
     forecast_mae: std::sync::Arc<score_obs::Gauge>,
     forecast_bias: std::sync::Arc<score_obs::Gauge>,
+    /// The `score_recovery_*` adversity series: fault/evacuation/
+    /// unplaceable counters plus hosts-down, SLO-seconds and
+    /// time-to-stable gauges.
+    recovery_faults: std::sync::Arc<score_obs::Counter>,
+    recovery_evacuations: std::sync::Arc<score_obs::Counter>,
+    recovery_unplaceable: std::sync::Arc<score_obs::Counter>,
+    recovery_hosts_down: std::sync::Arc<score_obs::Gauge>,
+    recovery_slo: std::sync::Arc<score_obs::Gauge>,
+    recovery_tts: std::sync::Arc<score_obs::Gauge>,
     /// Counter values already published (counters are monotonic; the
     /// in-state accumulators reset per segment, so we track the diff).
     published_events: u64,
     published_pairs: u64,
     published_evals: u64,
+    published_faults: u64,
+    published_evacuations: u64,
+    published_unplaceable: u64,
 }
 
 impl SessionObs {
@@ -200,9 +247,18 @@ impl SessionObs {
             forecast_evals: handle.counter("score_forecast_evals_total")?,
             forecast_mae: handle.gauge("score_forecast_mae")?,
             forecast_bias: handle.gauge("score_forecast_bias")?,
+            recovery_faults: handle.counter("score_recovery_faults_total")?,
+            recovery_evacuations: handle.counter("score_recovery_evacuations_total")?,
+            recovery_unplaceable: handle.counter("score_recovery_unplaceable_total")?,
+            recovery_hosts_down: handle.gauge("score_recovery_hosts_down")?,
+            recovery_slo: handle.gauge("score_recovery_slo_violating_s")?,
+            recovery_tts: handle.gauge("score_recovery_time_to_stable_s")?,
             published_events: 0,
             published_pairs: 0,
             published_evals: 0,
+            published_faults: 0,
+            published_evacuations: 0,
+            published_unplaceable: 0,
             handle: handle.clone(),
         })
     }
@@ -357,6 +413,10 @@ impl Session {
             token_event_pending: false,
             forecast_evals: VecDeque::new(),
             forecast_err: (0, 0.0, 0.0),
+            recovery: RecoveryStats::default(),
+            last_fault_s: None,
+            last_post_fault_migration_s: None,
+            degraded_tiers: BTreeMap::new(),
             obs: None,
         };
         session.prime_queue();
@@ -500,6 +560,12 @@ impl Session {
                     // walk on the sampling path.
                     self.freshen_ledger();
                     self.settle_forecast_evals(t);
+                    // SLO accounting: a tick taken while any host is
+                    // down or any link tier degraded charges one sample
+                    // interval of violation time.
+                    if self.cluster.num_hosts_down() > 0 || !self.degraded_tiers.is_empty() {
+                        self.recovery.slo_violating_s += self.scenario.timing.sample_interval_s;
+                    }
                     self.publish_obs(t);
                     let cost = self.ledger.current();
                     self.cost_series.push((t, cost));
@@ -548,6 +614,9 @@ impl Session {
                             self.forecast_stats.preempted += 1;
                         } else {
                             self.forecast_stats.reactive += 1;
+                        }
+                        if self.last_fault_s.is_some() {
+                            self.last_post_fault_migration_s = Some(t);
                         }
                         let sample = self.precopy.migrate(self.background, &mut self.rng);
                         self.migrations.push(MigrationEvent {
@@ -644,7 +713,22 @@ impl Session {
             },
             trace: self.trace_stats,
             forecast: self.forecast_stats(),
+            recovery: self.recovery_stats(),
         }
+    }
+
+    /// Recovery accounting so far: the session's fault/evacuation
+    /// accumulators plus the live hosts-down count and the
+    /// time-to-stable derived from the last fault and the last
+    /// migration at or after it. All zeros for a fault-free run.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut stats = self.recovery;
+        stats.hosts_down = self.cluster.num_hosts_down();
+        stats.time_to_stable_s = match (self.last_fault_s, self.last_post_fault_migration_s) {
+            (Some(fault), Some(migration)) => (migration - fault).max(0.0),
+            _ => 0.0,
+        };
+        stats
     }
 
     /// Rebinds the session to a new traffic pattern and a fresh
@@ -723,6 +807,12 @@ impl Session {
         self.forecast_stats = ForecastStats::default();
         self.forecast_evals.clear();
         self.forecast_err = (0, 0.0, 0.0);
+        // Recovery *accumulators* restart per segment like every other
+        // report accumulator; the physical fault state (down hosts,
+        // degraded tiers) carries over with the cluster.
+        self.recovery = RecoveryStats::default();
+        self.last_fault_s = None;
+        self.last_post_fault_migration_s = None;
         self.prime_queue();
         if let Some(obs) = &mut self.obs {
             // The per-segment accumulators restarted; realign the
@@ -730,6 +820,9 @@ impl Session {
             obs.published_events = 0;
             obs.published_pairs = 0;
             obs.published_evals = 0;
+            obs.published_faults = 0;
+            obs.published_evacuations = 0;
+            obs.published_unplaceable = 0;
             if let Some(ns) = sw.elapsed_ns() {
                 obs.rebind_ns.record(ns);
             }
@@ -1002,6 +1095,23 @@ impl Session {
             obs.forecast_mae.set(abs_sum / n as f64);
             obs.forecast_bias.set(sum / n as f64);
         }
+        obs.recovery_faults
+            .add(self.recovery.faults_injected - obs.published_faults);
+        obs.published_faults = self.recovery.faults_injected;
+        obs.recovery_evacuations
+            .add(self.recovery.evacuations - obs.published_evacuations);
+        obs.published_evacuations = self.recovery.evacuations;
+        obs.recovery_unplaceable
+            .add(self.recovery.unplaceable_vms - obs.published_unplaceable);
+        obs.published_unplaceable = self.recovery.unplaceable_vms;
+        obs.recovery_hosts_down
+            .set(f64::from(self.cluster.num_hosts_down()));
+        obs.recovery_slo.set(self.recovery.slo_violating_s);
+        let tts = match (self.last_fault_s, self.last_post_fault_migration_s) {
+            (Some(fault), Some(migration)) => (migration - fault).max(0.0),
+            _ => 0.0,
+        };
+        obs.recovery_tts.set(tts);
         self.ledger.publish_obs();
     }
 
@@ -1258,6 +1368,269 @@ impl Session {
         self.ring.remove_vm(vm);
         if let Some(rec) = &mut self.recorder {
             rec.record_remove(self.recorder_offset_s + self.queue.now_s(), vm.get());
+        }
+        Ok(())
+    }
+
+    /// Applies one fault event to the running session and re-plans
+    /// around it — the adversity engine's entry point:
+    ///
+    /// * `HostCrash` marks the server down and **evacuates** its live
+    ///   VMs in ascending id order: each victim is rehomed on the
+    ///   deterministic [`Cluster::choose_server`] pick (down hosts are
+    ///   excluded) and the cost ledger absorbs the move through the
+    ///   same Lemma-3 delta path an ordinary migration takes — exact,
+    ///   `O(degree)` per victim, zero resyncs. Victims no live server
+    ///   can admit are retired (pairs zeroed through the sparse path,
+    ///   id tombstoned, ring membership dropped via the survivor
+    ///   election) and counted as unplaceable.
+    /// * `RackFail` is a correlated sweep: every server of the rack
+    ///   crashes, in ascending server-id order.
+    /// * `LinkDegrade { tier: 0 }` scales the cluster's NIC admission
+    ///   capacity by `factor`; higher tiers are tracked for SLO
+    ///   accounting only. `LinkRestore` lifts the tier's degradation.
+    ///
+    /// Only the fault event itself is recorded when trace recording is
+    /// on — its consequences are deterministic functions of session
+    /// state and are re-derived on replay, which is what keeps an
+    /// adversity log byte-stable.
+    ///
+    /// Live drivers must call this at drained boundaries only
+    /// ([`Session::drain_to_boundary`]), like every other mutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Workload`] for a non-fault event, an
+    /// out-of-range rack, or an invalid degradation factor; the session
+    /// is unchanged on error.
+    pub fn apply_fault(&mut self, event: &TraceEvent) -> Result<FaultOutcome, ScenarioError> {
+        if !event.is_fault() {
+            return Err(ScenarioError::Workload(format!(
+                "apply_fault takes fault events only, got {event:?}"
+            )));
+        }
+        let now_s = self.queue.now_s();
+        self.freshen_ledger();
+        let outcome = match event {
+            TraceEvent::HostCrash { server } => self.crash_hosts(&[ServerId::new(*server)])?,
+            TraceEvent::RackFail { rack } => {
+                if *rack as usize >= self.topo.num_racks() {
+                    return Err(ScenarioError::Workload(format!(
+                        "rack {rack} out of range ({} racks)",
+                        self.topo.num_racks()
+                    )));
+                }
+                let servers: Vec<ServerId> = self
+                    .topo
+                    .servers_in_rack(RackId::new(*rack))
+                    .map(ServerId::new)
+                    .collect();
+                self.crash_hosts(&servers)?
+            }
+            TraceEvent::LinkDegrade { tier, factor } => {
+                if !factor.is_finite() || *factor <= 0.0 || *factor > 1.0 {
+                    return Err(ScenarioError::Workload(format!(
+                        "link degradation factor must be in (0, 1], got {factor}"
+                    )));
+                }
+                if *tier == 0 {
+                    self.cluster.set_nic_capacity_factor(*factor);
+                }
+                self.degraded_tiers.insert(*tier, *factor);
+                FaultOutcome::default()
+            }
+            TraceEvent::LinkRestore { tier } => {
+                if *tier == 0 {
+                    self.cluster.set_nic_capacity_factor(1.0);
+                }
+                self.degraded_tiers.remove(tier);
+                FaultOutcome::default()
+            }
+            _ => unreachable!("is_fault() admitted a non-fault event"),
+        };
+        self.recovery.faults_injected += 1;
+        self.last_fault_s = Some(now_s);
+        if !outcome.evacuated.is_empty() {
+            self.last_post_fault_migration_s = Some(now_s);
+        }
+        if let Some(rec) = &mut self.recorder {
+            rec.record_fault(self.recorder_offset_s + now_s, event.clone());
+        }
+        Ok(outcome)
+    }
+
+    /// Crashes `servers` in the given order, evacuating or retiring
+    /// every victim (see [`Session::apply_fault`]).
+    fn crash_hosts(&mut self, servers: &[ServerId]) -> Result<FaultOutcome, ScenarioError> {
+        let now_s = self.queue.now_s();
+        let mut outcome = FaultOutcome::default();
+        for &server in servers {
+            if !self.cluster.host_is_up(server) {
+                continue; // out of range / already down: nothing to fail
+            }
+            let victims = self.cluster.fail_host(server);
+            outcome.hosts_failed.push(server);
+            for vm in victims {
+                match self.cluster.choose_server(self.cluster.vm_spec(vm)) {
+                    Ok(target) => {
+                        // Forced evacuation reprices through the exact
+                        // Lemma-3 path an ordinary migration takes; the
+                        // bandwidth threshold is waived (liveness over
+                        // NIC headroom — the SLO clock records the
+                        // degradation instead).
+                        let from = self.cluster.allocation().server_of(vm);
+                        let gain = self.model.migration_delta(
+                            vm,
+                            target,
+                            self.cluster.allocation(),
+                            &self.traffic,
+                            self.cluster.topo(),
+                        );
+                        self.cluster
+                            .migrate(vm, target, f64::INFINITY)
+                            .map_err(|source| ClusterError::PlacementRejected {
+                                server: target,
+                                source,
+                            })?;
+                        self.ledger.apply_migration_shards(
+                            vm,
+                            from,
+                            target,
+                            self.cluster.allocation(),
+                            &self.traffic,
+                            self.cluster.topo(),
+                        );
+                        self.ledger.apply_gain(gain);
+                        self.recovery.evacuations += 1;
+                        outcome.evacuated.push((vm, target));
+                    }
+                    Err(_) => {
+                        // No live server can admit it: retire in place.
+                        // Pairs are zeroed through the sparse repricing
+                        // path, bypassing the recorder — the removal is
+                        // a fault consequence, re-derived on replay.
+                        self.settle_forecast_evals(now_s);
+                        let changes = self.cluster.remove_vm(vm)?;
+                        self.ledger.apply_rate_changes(
+                            self.cluster.allocation(),
+                            &changes,
+                            self.cluster.topo(),
+                        );
+                        let updates: Vec<(VmId, VmId, f64)> =
+                            changes.iter().map(|&(u, v, _, new)| (u, v, new)).collect();
+                        self.traffic.apply_updates(&updates);
+                        if let Some(f) = &mut self.forecaster {
+                            f.observe_updates(&updates, now_s);
+                        }
+                        self.recovery.unplaceable_vms += 1;
+                        outcome.unplaceable.push(vm);
+                    }
+                }
+            }
+        }
+        if !outcome.unplaceable.is_empty() {
+            // Crashed VMs vanish without a departure protocol; the ring
+            // elects the deterministic survivor if the holder died.
+            self.ring.fail_vms(&outcome.unplaceable);
+        }
+        Ok(outcome)
+    }
+
+    /// Replays one raw trace event against the live session — the
+    /// single dispatch point shared by fault-trace replay (fault traces
+    /// cannot compile; see [`score_trace::Trace::compile`]) and the
+    /// daemon's socket protocol:
+    ///
+    /// * traffic events take the sparse delta paths
+    ///   ([`Session::apply_traffic_deltas`] /
+    ///   [`Session::apply_traffic_scale`]);
+    /// * churn events take [`Session::place_vm`] /
+    ///   [`Session::remove_vm`];
+    /// * fault events take [`Session::apply_fault`];
+    /// * markers are no-ops (segment semantics belong to the compiled
+    ///   path).
+    ///
+    /// `ScalePair` on a pair with a dead or out-of-range endpoint is a
+    /// **validated no-op**: scaling what no longer exists must not
+    /// resurrect the pair (`SetRate` on the same pair stays an error —
+    /// an absolute re-rate of a dead VM is a driver bug).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying path's validation errors; the session
+    /// is unchanged on error.
+    pub fn apply_trace_event(&mut self, event: &TraceEvent) -> Result<(), ScenarioError> {
+        match event {
+            TraceEvent::SetRate { u, v, rate } => {
+                self.apply_traffic_deltas(&[(VmId::new(*u), VmId::new(*v), *rate)])?;
+            }
+            TraceEvent::ScalePair { u, v, factor } => {
+                if !factor.is_finite() || *factor < 0.0 {
+                    return Err(ScenarioError::Workload(format!(
+                        "pair scale factor must be finite and >= 0, got {factor}"
+                    )));
+                }
+                let num_vms = self.traffic.num_vms();
+                if *u >= num_vms || *v >= num_vms {
+                    return Ok(());
+                }
+                let (u, v) = (VmId::new(*u), VmId::new(*v));
+                if !self.cluster.is_active(u) || !self.cluster.is_active(v) {
+                    return Ok(()); // validated no-op: never resurrect
+                }
+                let old = self.traffic.rate(u, v);
+                if old != 0.0 {
+                    self.apply_traffic_deltas(&[(u, v, (old * factor).min(f64::MAX))])?;
+                }
+            }
+            TraceEvent::ScaleAll { factor } => {
+                self.apply_traffic_scale(*factor)?;
+            }
+            TraceEvent::Marker { .. } => {}
+            TraceEvent::PlaceVm { server, .. } => {
+                self.place_vm(Some(ServerId::new(*server)))?;
+            }
+            TraceEvent::RemoveVm { vm } => {
+                self.remove_vm(VmId::new(*vm))?;
+            }
+            TraceEvent::HostCrash { .. }
+            | TraceEvent::RackFail { .. }
+            | TraceEvent::LinkDegrade { .. }
+            | TraceEvent::LinkRestore { .. } => {
+                self.apply_fault(event)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Link tiers currently degraded, as `(tier, factor)` pairs in
+    /// ascending tier order.
+    pub fn degraded_tiers(&self) -> Vec<(u32, f64)> {
+        self.degraded_tiers.iter().map(|(&t, &f)| (t, f)).collect()
+    }
+
+    /// Drives a timed event stream (typically a
+    /// [`score_trace::fault_storm_events`] storm, or the events of a
+    /// recorded adversity trace) against the live run: the clock
+    /// advances through pending ring/sample events up to each entry's
+    /// firing time, the boundary is drained, and the entry is applied
+    /// via [`Session::apply_trace_event`]. The caller usually follows
+    /// with [`Session::run_to_horizon`] to let the survivors
+    /// re-converge. Entries must be sorted by `time_s` (storm
+    /// generators and recorded traces both are).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first event's validation error; earlier events
+    /// stay applied (matching a live driver that dies mid-storm).
+    pub fn run_storm(&mut self, events: &[TimedEvent]) -> Result<(), ScenarioError> {
+        for ev in events {
+            while self.next_event_time().is_some_and(|t| t <= ev.time_s) {
+                if self.step().is_none() {
+                    break;
+                }
+            }
+            self.apply_trace_event(&ev.event)?;
         }
         Ok(())
     }
@@ -2132,6 +2505,12 @@ mod tests {
                 TraceEvent::ScalePair { .. }
                 | TraceEvent::ScaleAll { .. }
                 | TraceEvent::Marker { .. } => {}
+                ref fault @ (TraceEvent::HostCrash { .. }
+                | TraceEvent::RackFail { .. }
+                | TraceEvent::LinkDegrade { .. }
+                | TraceEvent::LinkRestore { .. }) => {
+                    replay.apply_fault(fault).unwrap();
+                }
             }
         }
         replay.run_to_horizon();
@@ -2146,6 +2525,318 @@ mod tests {
             "a recorded churn session must replay byte-for-byte"
         );
         assert_eq!(replay.ledger_resyncs(), 0);
+    }
+
+    mod fault_tests {
+        use super::*;
+        use score_trace::{fault_storm_events, FaultSpec, TraceEvent};
+
+        /// From-scratch Eq.-(2) recomputation, the exactness oracle.
+        fn recomputed(session: &Session) -> f64 {
+            session.cost_model().total_cost(
+                session.cluster().allocation(),
+                session.traffic(),
+                session.cluster().topo(),
+            )
+        }
+
+        fn assert_ledger_exact(session: &Session) {
+            let truth = recomputed(session);
+            assert!(
+                (session.current_cost() - truth).abs() <= 1e-9 * truth.abs().max(1.0),
+                "ledger drifted: {} vs {truth}",
+                session.current_cost()
+            );
+            assert_eq!(session.ledger_resyncs(), 0, "fault paths must not resync");
+        }
+
+        #[test]
+        fn host_crash_evacuates_with_exact_repricing() {
+            let mut session = quick_scenario(PolicyKind::RoundRobin, 41)
+                .session()
+                .unwrap();
+            session.run(1);
+            session.drain_to_boundary();
+            let server = session.cluster().allocation().server_of(VmId::new(0));
+            let victims = session.cluster().allocation().vms_on(server).len();
+            assert!(victims > 0);
+
+            let outcome = session
+                .apply_fault(&TraceEvent::HostCrash {
+                    server: server.get(),
+                })
+                .unwrap();
+            assert_eq!(outcome.hosts_failed, vec![server]);
+            assert_eq!(outcome.evacuated.len() + outcome.unplaceable.len(), victims);
+            assert!(!session.cluster().host_is_up(server));
+            // Every live VM sits on a live host, including the evacuees.
+            for v in 0..session.cluster().num_vms() {
+                let vm = VmId::new(v);
+                if session.cluster().is_active(vm) {
+                    let host = session.cluster().allocation().server_of(vm);
+                    assert!(
+                        session.cluster().host_is_up(host),
+                        "{vm} left on dead {host}"
+                    );
+                }
+            }
+            assert_ledger_exact(&session);
+
+            // A second crash of the same host is a recorded no-op fault.
+            let again = session
+                .apply_fault(&TraceEvent::HostCrash {
+                    server: server.get(),
+                })
+                .unwrap();
+            assert!(again.hosts_failed.is_empty());
+
+            session.run_to_horizon();
+            assert_ledger_exact(&session);
+            let recovery = session.report().recovery;
+            assert!(!recovery.is_clean());
+            assert_eq!(recovery.faults_injected, 2);
+            assert_eq!(recovery.hosts_down, 1);
+            assert_eq!(recovery.evacuations, outcome.evacuated.len() as u64);
+            assert!(
+                recovery.slo_violating_s > 0.0,
+                "down host must charge the SLO clock"
+            );
+            assert!(recovery.time_to_stable_s >= 0.0);
+        }
+
+        #[test]
+        fn rack_fail_is_a_correlated_sweep() {
+            let mut session = quick_scenario(PolicyKind::HighestLevelFirst, 43)
+                .session()
+                .unwrap();
+            session.run(1);
+            session.drain_to_boundary();
+            let rack = session
+                .topo()
+                .rack_of(session.cluster().allocation().server_of(VmId::new(1)));
+            let outcome = session
+                .apply_fault(&TraceEvent::RackFail { rack: rack.get() })
+                .unwrap();
+            let servers: Vec<_> = session.topo().servers_in_rack(rack).collect();
+            assert_eq!(
+                outcome.hosts_failed.len(),
+                servers.len(),
+                "every server of the rack fails"
+            );
+            for s in servers {
+                assert!(!session.cluster().host_is_up(ServerId::new(s)));
+            }
+            assert_ledger_exact(&session);
+
+            // Out-of-range racks are rejected, session unchanged.
+            let down_before = session.cluster().num_hosts_down();
+            assert!(matches!(
+                session.apply_fault(&TraceEvent::RackFail { rack: 9999 }),
+                Err(ScenarioError::Workload(_))
+            ));
+            assert_eq!(session.cluster().num_hosts_down(), down_before);
+        }
+
+        #[test]
+        fn link_degrade_charges_the_slo_clock_until_restored() {
+            let mut session = quick_scenario(PolicyKind::RoundRobin, 47)
+                .session()
+                .unwrap();
+            session
+                .apply_fault(&TraceEvent::LinkDegrade {
+                    tier: 0,
+                    factor: 0.5,
+                })
+                .unwrap();
+            assert_eq!(session.degraded_tiers(), vec![(0, 0.5)]);
+            assert_eq!(session.cluster().nic_capacity_factor(), 0.5);
+            session.run_to_horizon();
+            let degraded = session.report().recovery;
+            assert!(degraded.slo_violating_s > 0.0);
+            assert_eq!(degraded.hosts_down, 0);
+
+            // Restore lifts the degradation and the clock stops.
+            session
+                .apply_fault(&TraceEvent::LinkRestore { tier: 0 })
+                .unwrap();
+            assert!(session.degraded_tiers().is_empty());
+            assert_eq!(session.cluster().nic_capacity_factor(), 1.0);
+
+            // Invalid factors are rejected before any state changes.
+            for bad in [0.0, -0.25, 1.5, f64::NAN] {
+                assert!(matches!(
+                    session.apply_fault(&TraceEvent::LinkDegrade {
+                        tier: 0,
+                        factor: bad,
+                    }),
+                    Err(ScenarioError::Workload(_))
+                ));
+            }
+            assert!(matches!(
+                session.apply_fault(&TraceEvent::Marker {
+                    label: "not a fault".into(),
+                }),
+                Err(ScenarioError::Workload(_))
+            ));
+        }
+
+        #[test]
+        fn losing_every_rack_degrades_gracefully() {
+            let mut session = quick_scenario(PolicyKind::RoundRobin, 53)
+                .session()
+                .unwrap();
+            session.run(1);
+            session.drain_to_boundary();
+            let racks = session.topo().num_racks() as u32;
+            for rack in 0..racks {
+                session.apply_fault(&TraceEvent::RackFail { rack }).unwrap();
+            }
+            // No live server remains: every VM was retired as unplaceable
+            // (earlier racks' victims evacuate; the last survivors can't).
+            assert_eq!(session.cluster().num_active(), 0);
+            let recovery = session.recovery_stats();
+            assert!(recovery.unplaceable_vms > 0);
+            assert!(
+                session.current_cost().abs() <= 1e-9 * session.initial_cost().abs().max(1.0),
+                "an empty cluster carries no communication cost"
+            );
+            // The dead ring terminates instead of spinning.
+            session.run_to_horizon();
+            assert!(session.horizon_reached());
+            assert_eq!(session.ledger_resyncs(), 0);
+        }
+
+        #[test]
+        fn fault_storm_keeps_the_ledger_exact() {
+            let spec = FaultSpec {
+                num_servers: 160,
+                num_racks: 32,
+                host_crashes: 3,
+                rack_fails: 1,
+                degradations: 2,
+                degrade_factor: 0.4,
+                degrade_hold_s: 20.0,
+                max_tier: 1,
+                horizon_s: 100.0,
+            };
+            let storm = fault_storm_events(&spec, 7).unwrap();
+            assert!(!storm.is_empty());
+            let mut session = quick_scenario(PolicyKind::HighestLevelFirst, 59)
+                .session()
+                .unwrap();
+            for ev in &storm {
+                while session.next_event_time().is_some_and(|t| t <= ev.time_s) {
+                    if session.step().is_none() {
+                        break;
+                    }
+                }
+                session.apply_fault(&ev.event).unwrap();
+                assert_ledger_exact(&session);
+            }
+            session.run_to_horizon();
+            assert_ledger_exact(&session);
+            assert_eq!(
+                session.report().recovery.faults_injected,
+                storm.len() as u64
+            );
+        }
+
+        #[test]
+        fn recorded_fault_run_replays_identically() {
+            let spec = FaultSpec {
+                num_servers: 160,
+                num_racks: 32,
+                host_crashes: 2,
+                rack_fails: 1,
+                degradations: 1,
+                degrade_factor: 0.6,
+                degrade_hold_s: 30.0,
+                max_tier: 0,
+                horizon_s: 90.0,
+            };
+            let storm = fault_storm_events(&spec, 11).unwrap();
+
+            let mut live = quick_scenario(PolicyKind::HighestLevelFirst, 61)
+                .session()
+                .unwrap();
+            live.start_trace_recording();
+            for ev in &storm {
+                while live.next_event_time().is_some_and(|t| t <= ev.time_s) {
+                    if live.step().is_none() {
+                        break;
+                    }
+                }
+                live.apply_fault(&ev.event).unwrap();
+            }
+            live.run_to_horizon();
+            let trace = live.recorded_trace().unwrap();
+            assert!(trace.has_faults());
+            let live_report = live.report();
+            assert!(!live_report.recovery.is_clean());
+
+            // Only the fault events are in the log — their consequences
+            // (evacuations, retirements) are re-derived on replay.
+            assert_eq!(trace.events().len(), storm.len());
+
+            let mut replay = quick_scenario(PolicyKind::HighestLevelFirst, 61)
+                .session()
+                .unwrap();
+            for ev in trace.events() {
+                while replay.next_event_time().is_some_and(|t| t <= ev.time_s) {
+                    if replay.step().is_none() {
+                        break;
+                    }
+                }
+                replay.apply_trace_event(&ev.event).unwrap();
+            }
+            replay.run_to_horizon();
+            let strip = |mut r: RunReport| {
+                r.trace.apply_ns_total = 0;
+                r.trace.apply_ns_max = 0;
+                r
+            };
+            assert_eq!(
+                strip(live_report),
+                strip(replay.report()),
+                "a recorded adversity log must replay byte-for-byte"
+            );
+            assert_eq!(replay.ledger_resyncs(), 0);
+        }
+
+        #[test]
+        fn scale_pair_on_dead_endpoint_is_a_validated_noop() {
+            let mut session = quick_scenario(PolicyKind::RoundRobin, 67)
+                .session()
+                .unwrap();
+            session.remove_vm(VmId::new(0)).unwrap();
+            let cost = session.current_cost();
+            // Scaling a pair whose endpoint departed must not resurrect it…
+            session
+                .apply_trace_event(&TraceEvent::ScalePair {
+                    u: 0,
+                    v: 1,
+                    factor: 2.0,
+                })
+                .unwrap();
+            assert_eq!(session.traffic().rate(VmId::new(0), VmId::new(1)), 0.0);
+            assert_eq!(session.current_cost(), cost);
+            // …and out-of-range endpoints are equally inert.
+            session
+                .apply_trace_event(&TraceEvent::ScalePair {
+                    u: 10_000,
+                    v: 1,
+                    factor: 0.5,
+                })
+                .unwrap();
+            // An absolute re-rate of a dead VM stays a hard error.
+            assert!(session
+                .apply_trace_event(&TraceEvent::SetRate {
+                    u: 0,
+                    v: 1,
+                    rate: 1e6,
+                })
+                .is_err());
+        }
     }
 
     mod churn_props {

@@ -67,7 +67,8 @@ pub mod trace;
 pub use oracle::OracleForecaster;
 pub use recorder::TraceRecorder;
 pub use synth::{
-    churn_trace, diurnal_trace, flash_crowd_trace, ChurnShape, DiurnalShape, FlashCrowdShape,
+    churn_trace, diurnal_trace, fault_storm_events, fault_storm_trace, flash_crowd_trace,
+    ChurnShape, DiurnalShape, FaultSpec, FlashCrowdShape,
 };
 pub use trace::{
     CompiledTrace, DeltaBatch, TimedEvent, Trace, TraceBuilder, TraceError, TraceEvent,

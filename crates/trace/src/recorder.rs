@@ -107,6 +107,25 @@ impl TraceRecorder {
         });
     }
 
+    /// Records one applied fault event at `at_s` (`HostCrash` /
+    /// `RackFail` / `LinkDegrade` / `LinkRestore`). The fault's
+    /// *consequences* — evacuation migrations, unplaceable-VM
+    /// retirements — are deterministic functions of the session state
+    /// and are deliberately **not** recorded: replaying the fault
+    /// re-derives them, which is what keeps an adversity log byte-stable
+    /// without encoding the placement manager's choices twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is not a fault variant.
+    pub fn record_fault(&mut self, at_s: f64, event: TraceEvent) {
+        assert!(event.is_fault(), "record_fault takes fault events only");
+        self.events.push(TimedEvent {
+            time_s: at_s,
+            event,
+        });
+    }
+
     /// Records a phase boundary at `at_s`: a [`TraceEvent::Marker`]
     /// followed by the per-pair re-rates turning `old` into `new`
     /// (pairs vanishing from `new` are set to 0). Replaying the

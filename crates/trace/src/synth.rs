@@ -330,6 +330,160 @@ pub fn churn_trace(base: &PairTraffic, shape: &ChurnShape, seed: u64) -> Result<
     b.build()
 }
 
+/// Shape of a seeded failure storm ([`fault_storm_trace`]): how many of
+/// each fault kind land inside the horizon, and how long degradations
+/// hold before their matching restore.
+///
+/// The generator draws fault *times and targets* from the seed but the
+/// stream itself is a pure function of `(spec, seed)` — the adversity
+/// analogue of [`flash_crowd_trace`], and the input the CI fault-replay
+/// job regenerates to byte-compare a recorded run against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Servers in the target fabric (crash targets are drawn below it).
+    pub num_servers: u32,
+    /// Racks in the target fabric (rack-failure targets stay below it;
+    /// `0` disables rack failures).
+    pub num_racks: u32,
+    /// Independent single-host crashes over the horizon.
+    pub host_crashes: u32,
+    /// Correlated whole-rack failures over the horizon.
+    pub rack_fails: u32,
+    /// Link-degradation episodes (each paired with a restore).
+    pub degradations: u32,
+    /// Remaining capacity fraction while degraded, in `(0, 1]`.
+    pub degrade_factor: f64,
+    /// How long each degradation holds before its restore.
+    pub degrade_hold_s: f64,
+    /// Highest tier a degradation may hit (0 = host NIC tier only).
+    pub max_tier: u32,
+    /// Total storm duration.
+    pub horizon_s: f64,
+}
+
+impl FaultSpec {
+    /// A CI-friendly default storm against a fabric of `num_servers`
+    /// hosts in `num_racks` racks: 3 host crashes, 1 rack failure and 2
+    /// edge-tier degradations to 40 % holding 60 s, inside a 700 s
+    /// horizon.
+    pub fn default_storm(num_servers: u32, num_racks: u32) -> Self {
+        FaultSpec {
+            num_servers,
+            num_racks,
+            host_crashes: 3,
+            rack_fails: 1,
+            degradations: 2,
+            degrade_factor: 0.4,
+            degrade_hold_s: 60.0,
+            max_tier: 0,
+            horizon_s: 700.0,
+        }
+    }
+
+    /// Checks a deserialized spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_servers == 0 {
+            return Err("num_servers must be positive".into());
+        }
+        if self.rack_fails > 0 && self.num_racks == 0 {
+            return Err("rack failures need num_racks > 0".into());
+        }
+        if !self.degrade_factor.is_finite()
+            || self.degrade_factor <= 0.0
+            || self.degrade_factor > 1.0
+        {
+            return Err(format!(
+                "degrade_factor must lie in (0, 1], got {}",
+                self.degrade_factor
+            ));
+        }
+        for (name, v) in [
+            ("degrade_hold_s", self.degrade_hold_s),
+            ("horizon_s", self.horizon_s),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if self.degradations > 0 && self.degrade_hold_s >= self.horizon_s {
+            return Err("degrade_hold_s must be shorter than horizon_s".into());
+        }
+        Ok(())
+    }
+}
+
+/// The timed fault events of a seeded storm, sorted by firing time —
+/// deterministic from `(spec, seed)`. Crash times are drawn strictly
+/// inside the horizon; each degradation's restore lands `degrade_hold_s`
+/// later (clamped inside the window).
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if the spec is invalid.
+pub fn fault_storm_events(
+    spec: &FaultSpec,
+    seed: u64,
+) -> Result<Vec<crate::trace::TimedEvent>, TraceError> {
+    spec.validate()
+        .map_err(|reason| TraceError::BadEvent { index: 0, reason })?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xad5e_11f0_57a2_b6c4);
+    let mut events: Vec<crate::trace::TimedEvent> = Vec::new();
+    let mut push = |time_s: f64, event: TraceEvent| {
+        events.push(crate::trace::TimedEvent { time_s, event });
+    };
+    for _ in 0..spec.host_crashes {
+        let t = rng.gen_range(0.0..spec.horizon_s);
+        let server = rng.gen_range(0..spec.num_servers);
+        push(t, TraceEvent::HostCrash { server });
+    }
+    for _ in 0..spec.rack_fails {
+        let t = rng.gen_range(0.0..spec.horizon_s);
+        let rack = rng.gen_range(0..spec.num_racks);
+        push(t, TraceEvent::RackFail { rack });
+    }
+    for _ in 0..spec.degradations {
+        let t = rng.gen_range(0.0..(spec.horizon_s - spec.degrade_hold_s));
+        let tier = if spec.max_tier == 0 {
+            0
+        } else {
+            rng.gen_range(0..=spec.max_tier)
+        };
+        push(
+            t,
+            TraceEvent::LinkDegrade {
+                tier,
+                factor: spec.degrade_factor,
+            },
+        );
+        push(t + spec.degrade_hold_s, TraceEvent::LinkRestore { tier });
+    }
+    events.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+    Ok(events)
+}
+
+/// Builds a full adversity trace: the storm of [`fault_storm_events`]
+/// played over `base` as the initial TM. The result replays through the
+/// raw event stream ([`Trace::has_faults`] is true).
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if the spec is invalid.
+pub fn fault_storm_trace(
+    base: &PairTraffic,
+    spec: &FaultSpec,
+    seed: u64,
+) -> Result<Trace, TraceError> {
+    let mut b = Trace::builder(base.num_vms(), spec.horizon_s).base_traffic(base);
+    for ev in fault_storm_events(spec, seed)? {
+        b = b.event(ev.time_s, ev.event);
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +580,52 @@ mod tests {
         t.validate().unwrap();
         // The trace starts empty: flows begin strictly after t = 0.
         assert!(t.base().is_empty());
+    }
+
+    #[test]
+    fn fault_storm_is_deterministic_and_bounded() {
+        let spec = FaultSpec::default_storm(160, 32);
+        let t = fault_storm_trace(&base(), &spec, 9).unwrap();
+        assert!(t.has_faults());
+        assert_eq!(fault_storm_trace(&base(), &spec, 9).unwrap(), t);
+        assert_ne!(fault_storm_trace(&base(), &spec, 10).unwrap(), t);
+        // 3 crashes + 1 rack fail + 2 × (degrade + restore).
+        assert_eq!(t.num_events(), 8);
+        let mut degrades = 0;
+        for ev in t.events() {
+            assert!(ev.time_s >= 0.0 && ev.time_s <= spec.horizon_s);
+            match ev.event {
+                TraceEvent::HostCrash { server } => assert!(server < spec.num_servers),
+                TraceEvent::RackFail { rack } => assert!(rack < spec.num_racks),
+                TraceEvent::LinkDegrade { tier, factor } => {
+                    assert_eq!(tier, 0);
+                    assert_eq!(factor, spec.degrade_factor);
+                    degrades += 1;
+                }
+                TraceEvent::LinkRestore { tier } => assert_eq!(tier, 0),
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(degrades, 2);
+        // JSONL round trip survives.
+        assert_eq!(Trace::from_jsonl(&t.to_jsonl()).unwrap(), t);
+    }
+
+    #[test]
+    fn fault_storm_rejects_bad_specs() {
+        let mut spec = FaultSpec::default_storm(160, 32);
+        spec.degrade_factor = 1.5;
+        assert!(fault_storm_events(&spec, 1).is_err());
+        spec = FaultSpec::default_storm(160, 0);
+        assert!(
+            fault_storm_events(&spec, 1).is_err(),
+            "rack fails need racks"
+        );
+        spec = FaultSpec::default_storm(0, 32);
+        assert!(fault_storm_events(&spec, 1).is_err());
+        spec = FaultSpec::default_storm(160, 32);
+        spec.degrade_hold_s = spec.horizon_s;
+        assert!(fault_storm_events(&spec, 1).is_err());
     }
 
     #[test]

@@ -76,6 +76,53 @@ pub enum TraceEvent {
         /// The departing VM's id.
         vm: u32,
     },
+    /// A host fails abruptly: every VM it carries is force-evacuated by
+    /// the deterministic placement manager (VMs with no feasible target
+    /// are retired and counted as unplaceable). Fault events make a
+    /// trace an *adversity log*: like churn, they replay through the
+    /// raw event stream, never through [`Trace::compile`]. The consumer
+    /// (a `Session`) owns the server-id space; the trace only records
+    /// the fault.
+    HostCrash {
+        /// The failing server's id.
+        server: u32,
+    },
+    /// A whole rack fails: a correlated [`TraceEvent::HostCrash`] sweep
+    /// over every server in the rack, in ascending server-id order.
+    RackFail {
+        /// The failing rack's id.
+        rack: u32,
+    },
+    /// Link capacity at one topology tier degrades to a fraction of
+    /// nominal (tier 0 = host NICs, 1 = ToR–aggregation uplinks, 2 =
+    /// aggregation–core). Admission checks see the reduced capacity
+    /// until a matching [`TraceEvent::LinkRestore`].
+    LinkDegrade {
+        /// The affected tier index.
+        tier: u32,
+        /// Remaining capacity fraction, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Restores the named tier to its nominal capacity.
+    LinkRestore {
+        /// The tier to restore.
+        tier: u32,
+    },
+}
+
+impl TraceEvent {
+    /// True for the adversity events ([`TraceEvent::HostCrash`],
+    /// [`TraceEvent::RackFail`], [`TraceEvent::LinkDegrade`],
+    /// [`TraceEvent::LinkRestore`]).
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::HostCrash { .. }
+                | TraceEvent::RackFail { .. }
+                | TraceEvent::LinkDegrade { .. }
+                | TraceEvent::LinkRestore { .. }
+        )
+    }
 }
 
 /// A [`TraceEvent`] with its firing time.
@@ -291,11 +338,15 @@ impl Trace {
                     }
                 }
                 TraceEvent::ScalePair { u, v, factor } => {
-                    if !pair_live(*u, *v, &live) {
-                        return Err(bad(format!(
-                            "pair ({u}, {v}) names a dead or out-of-range VM"
-                        )));
-                    }
+                    // A dead or out-of-range endpoint makes the scale a
+                    // validated *no-op* rather than an error: a factor on
+                    // a non-communicating pair was always a no-op, and a
+                    // departed (or crash-evicted) VM has no rate left to
+                    // scale — erroring here would reject otherwise-sound
+                    // recorded adversity logs, while applying it could
+                    // silently resurrect the pair. Self-pairs stay no-ops
+                    // for the same reason; only the factor is checked.
+                    let _ = pair_live(*u, *v, &live);
                     if !factor.is_finite() || *factor < 0.0 {
                         return Err(bad(format!("factor {factor} must be finite and >= 0")));
                     }
@@ -321,6 +372,18 @@ impl Trace {
                     }
                     live[*vm as usize] = false;
                 }
+                // Server/rack ids live in the consumer's topology, which
+                // the trace does not know — they are bound at apply time.
+                // Which VMs a crash retires (the unplaceable ones) is a
+                // consumer decision too, so crashes do not alter `live`.
+                TraceEvent::HostCrash { .. } | TraceEvent::RackFail { .. } => {}
+                TraceEvent::LinkDegrade { tier, factor } => {
+                    if !factor.is_finite() || *factor <= 0.0 || *factor > 1.0 {
+                        return Err(bad(format!("degrade factor {factor} must lie in (0, 1]")));
+                    }
+                    let _ = tier;
+                }
+                TraceEvent::LinkRestore { .. } => {}
             }
         }
         Ok(())
@@ -338,6 +401,14 @@ impl Trace {
                 TraceEvent::PlaceVm { .. } | TraceEvent::RemoveVm { .. }
             )
         })
+    }
+
+    /// True when the stream contains adversity events
+    /// ([`TraceEvent::is_fault`]). Like churn traces, fault traces
+    /// replay through the raw event stream — a crash's evacuation
+    /// rewrites the allocation, which fixed-TM segments cannot express.
+    pub fn has_faults(&self) -> bool {
+        self.events.iter().any(|e| e.event.is_fault())
     }
 
     /// Folds the event stream into replayable segments: one
@@ -359,6 +430,12 @@ impl Trace {
             !self.has_churn(),
             "churn traces (PlaceVm/RemoveVm) cannot be compiled into \
              fixed-population segments; replay the raw event stream instead"
+        );
+        assert!(
+            !self.has_faults(),
+            "fault traces (HostCrash/RackFail/LinkDegrade/LinkRestore) cannot \
+             be compiled into fixed-allocation segments; replay the raw event \
+             stream instead"
         );
         let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
         let mut rates: BTreeMap<(u32, u32), f64> = BTreeMap::new();
@@ -481,6 +558,12 @@ impl Trace {
             TraceEvent::PlaceVm { .. } | TraceEvent::RemoveVm { .. } => {
                 unreachable!("compile rejects churn traces up front")
             }
+            TraceEvent::HostCrash { .. }
+            | TraceEvent::RackFail { .. }
+            | TraceEvent::LinkDegrade { .. }
+            | TraceEvent::LinkRestore { .. } => {
+                unreachable!("compile rejects fault traces up front")
+            }
         }
     }
 }
@@ -552,6 +635,26 @@ impl TraceBuilder {
     /// Pushes a [`TraceEvent::RemoveVm`] departure.
     pub fn remove_vm(self, time_s: f64, vm: u32) -> Self {
         self.event(time_s, TraceEvent::RemoveVm { vm })
+    }
+
+    /// Pushes a [`TraceEvent::HostCrash`] fault.
+    pub fn host_crash(self, time_s: f64, server: u32) -> Self {
+        self.event(time_s, TraceEvent::HostCrash { server })
+    }
+
+    /// Pushes a [`TraceEvent::RackFail`] fault.
+    pub fn rack_fail(self, time_s: f64, rack: u32) -> Self {
+        self.event(time_s, TraceEvent::RackFail { rack })
+    }
+
+    /// Pushes a [`TraceEvent::LinkDegrade`] fault.
+    pub fn link_degrade(self, time_s: f64, tier: u32, factor: f64) -> Self {
+        self.event(time_s, TraceEvent::LinkDegrade { tier, factor })
+    }
+
+    /// Pushes a [`TraceEvent::LinkRestore`] recovery.
+    pub fn link_restore(self, time_s: f64, tier: u32) -> Self {
+        self.event(time_s, TraceEvent::LinkRestore { tier })
     }
 
     /// Pushes a [`TraceEvent::Marker`] phase boundary.
@@ -849,6 +952,70 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn fault_events_validate_and_round_trip() {
+        let t = base_trace()
+            .host_crash(10.0, 3)
+            .link_degrade(20.0, 1, 0.25)
+            .rack_fail(30.0, 2)
+            .link_restore(40.0, 1)
+            .build()
+            .unwrap();
+        assert!(t.has_faults());
+        assert!(!t.has_churn());
+        assert!(!base_trace().build().unwrap().has_faults());
+        let jsonl = t.to_jsonl();
+        assert_eq!(Trace::from_jsonl(&jsonl).unwrap(), t);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+
+        // Degrade factors outside (0, 1] are rejected.
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                base_trace().link_degrade(5.0, 0, bad).build(),
+                Err(TraceError::BadEvent { .. })
+            ));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault traces")]
+    fn compile_rejects_fault_traces() {
+        let t = base_trace().host_crash(10.0, 0).build().unwrap();
+        let _ = t.compile();
+    }
+
+    #[test]
+    fn scale_pair_on_dead_endpoint_is_validated_noop() {
+        // ScalePair naming a removed or out-of-range VM validates as a
+        // no-op (the pair has no rate left to scale) …
+        let t = base_trace()
+            .remove_vm(10.0, 1)
+            .scale_pair(20.0, 0, 1, 2.0)
+            .scale_pair(25.0, 0, 99, 2.0)
+            .build()
+            .unwrap();
+        assert_eq!(t.num_events(), 3);
+        // … while SetRate on the same endpoints still errors (it would
+        // silently resurrect the pair).
+        assert!(matches!(
+            base_trace()
+                .remove_vm(10.0, 1)
+                .set_rate(20.0, 0, 1, 5.0)
+                .build(),
+            Err(TraceError::BadEvent { .. })
+        ));
+        // The factor is still checked even on a dead pair.
+        assert!(matches!(
+            base_trace()
+                .remove_vm(10.0, 1)
+                .scale_pair(20.0, 0, 1, -1.0)
+                .build(),
+            Err(TraceError::BadEvent { .. })
+        ));
     }
 
     #[test]

@@ -62,10 +62,15 @@ fn naive_final_tm(trace: &Trace) -> BTreeMap<(u32, u32), f64> {
                 }
             }
             score_trace::TraceEvent::Marker { .. } => {}
-            // The generator produces no churn; churn traces are not
-            // compilable, so the compile-equivalence property never
-            // sees these.
-            score_trace::TraceEvent::PlaceVm { .. } | score_trace::TraceEvent::RemoveVm { .. } => {}
+            // The generator produces no churn or faults; neither trace
+            // kind is compilable, so the compile-equivalence property
+            // never sees these.
+            score_trace::TraceEvent::PlaceVm { .. }
+            | score_trace::TraceEvent::RemoveVm { .. }
+            | score_trace::TraceEvent::HostCrash { .. }
+            | score_trace::TraceEvent::RackFail { .. }
+            | score_trace::TraceEvent::LinkDegrade { .. }
+            | score_trace::TraceEvent::LinkRestore { .. } => {}
         }
     }
     rates
