@@ -8,6 +8,7 @@
 use score_topology::{ServerId, Topology, VmId};
 use score_traffic::PairTraffic;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::allocation::Allocation;
@@ -90,6 +91,66 @@ impl fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Lazy per-host cache of [`Cluster::host_external_load`].
+///
+/// The dynamic bandwidth probe reads the target's external load on every
+/// candidate, and computing it is O(hosted VMs × their degrees) — the
+/// single most expensive part of a decision at 100k hosts. The cache
+/// memoizes it per host under `&self` (atomics, not locks): a slot is a
+/// `(stamp, f64 bits)` pair, filled on first read and invalidated in O(1)
+/// by every mutator that changes the quantity.
+///
+/// Why racing readers are sound: the load is a pure function of the
+/// allocation and the traffic matrix, both of which only change under
+/// `&mut Cluster`. Within any `&self` borrow the true value is therefore
+/// constant — concurrent fillers compute bit-identical values, so
+/// whichever `put` lands last rewrites the same bits. The value store is
+/// ordered before the stamp store (Release) and readers load the stamp
+/// with Acquire, so a stamped slot always yields a fully-written value.
+/// Cached reads are bit-identical to recomputation by construction.
+#[derive(Debug, Default)]
+struct ExtLoadCache {
+    /// 1 = the matching `values` slot holds the host's current load.
+    stamps: Vec<AtomicU64>,
+    /// `f64::to_bits` of the cached load, meaningful only when stamped.
+    values: Vec<AtomicU64>,
+}
+
+impl ExtLoadCache {
+    fn new(servers: usize) -> Self {
+        ExtLoadCache {
+            stamps: (0..servers).map(|_| AtomicU64::new(0)).collect(),
+            values: (0..servers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Option<f64> {
+        if self.stamps[i].load(Ordering::Acquire) == 1 {
+            Some(f64::from_bits(self.values[i].load(Ordering::Relaxed)))
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn put(&self, i: usize, v: f64) {
+        self.values[i].store(v.to_bits(), Ordering::Relaxed);
+        self.stamps[i].store(1, Ordering::Release);
+    }
+
+    #[inline]
+    fn invalidate(&self, i: usize) {
+        self.stamps[i].store(0, Ordering::Relaxed);
+    }
+
+    fn invalidate_all(&self) {
+        for s in &self.stamps {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Topology + allocation + resource ledger.
 pub struct Cluster {
     topo: Arc<dyn Topology>,
@@ -124,6 +185,8 @@ pub struct Cluster {
     /// the dynamic NIC admission check runs against
     /// `factor × nic_bps`. 1.0 when undegraded.
     nic_capacity_factor: f64,
+    /// Memoized per-host external loads (see [`ExtLoadCache`]).
+    ext_load: ExtLoadCache,
 }
 
 impl fmt::Debug for Cluster {
@@ -152,6 +215,9 @@ impl Clone for Cluster {
             host_up: self.host_up.clone(),
             hosts_down: self.hosts_down,
             nic_capacity_factor: self.nic_capacity_factor,
+            // Clones start with a cold cache: atomics are not `Clone`,
+            // and the copy re-fills lazily from its own state anyway.
+            ext_load: ExtLoadCache::new(self.usage.len()),
         }
     }
 }
@@ -223,7 +289,8 @@ impl Cluster {
                 .map(|u| server_spec.vm_slots.saturating_sub(u.slots)),
         );
         let host_up = vec![true; topo.num_servers()];
-        Ok(Cluster {
+        let ext_load = ExtLoadCache::new(topo.num_servers());
+        let cluster = Cluster {
             topo,
             server_spec,
             vm_specs,
@@ -236,7 +303,16 @@ impl Cluster {
             host_up,
             hosts_down: 0,
             nic_capacity_factor: 1.0,
-        })
+            ext_load,
+        };
+        // Pre-fill the external-load cache through the ordinary read path
+        // (so cached values are bit-identical to lazy fills): one O(pairs)
+        // sweep at build time means the first decisions of a fresh
+        // cluster don't each pay a cold per-host compute.
+        for s in 0..cluster.usage.len() {
+            let _ = cluster.host_external_load(ServerId::new(s as u32));
+        }
+        Ok(cluster)
     }
 
     /// Repairs the free-slot index entry of one server after its slot
@@ -310,12 +386,24 @@ impl Cluster {
 
     /// Current NIC load of a server: traffic its hosted VMs exchange with
     /// VMs on other servers.
+    ///
+    /// Memoized per host (see `ExtLoadCache`): the first read after a
+    /// mutation touching the host pays the O(hosted VMs × degree) sweep,
+    /// repeat reads are O(1). Cached reads are bit-identical to fresh
+    /// computation — the cache only ever serves values produced by the
+    /// sweep below against the current allocation/traffic state.
     pub fn host_external_load(&self, host: ServerId) -> f64 {
-        self.alloc
+        if let Some(v) = self.ext_load.get(host.index()) {
+            return v;
+        }
+        let v: f64 = self
+            .alloc
             .vms_on(host)
             .iter()
             .map(|&u| self.external_rate(u, host))
-            .sum()
+            .sum();
+        self.ext_load.put(host.index(), v);
+        v
     }
 
     /// Can `server` host `vm` right now, honouring the bandwidth threshold
@@ -388,6 +476,10 @@ impl Cluster {
         self.refresh_slot_index(current);
         self.refresh_slot_index(target);
         self.alloc.move_vm(vm, target);
+        // Only the two endpoints' external loads change: for any third
+        // server, `vm`'s pairs were external before and stay external.
+        self.ext_load.invalidate(current.index());
+        self.ext_load.invalidate(target.index());
         Ok(())
     }
 
@@ -468,6 +560,10 @@ impl Cluster {
         };
         self.usage[target.index()].admit(&spec, 0.0);
         self.refresh_slot_index(target);
+        // A zero-traffic newcomer contributes 0 to the target's external
+        // load; invalidate anyway so the invariant stays local to reason
+        // about (every allocation change drops the touched hosts).
+        self.ext_load.invalidate(target.index());
         self.vm_specs.push(spec);
         self.vm_nic_demand.push(0.0);
         let vm = self.traffic.push_vm();
@@ -545,6 +641,7 @@ impl Cluster {
             self.usage[self.alloc.server_of(vm).index()].nic_bps += demand;
         }
         self.traffic = traffic.clone();
+        self.ext_load.invalidate_all();
         Ok(())
     }
 
@@ -568,7 +665,11 @@ impl Cluster {
             let delta = new - old;
             for vm in [u, v] {
                 self.vm_nic_demand[vm.index()] += delta;
-                self.usage[self.alloc.server_of(vm).index()].nic_bps += delta;
+                let server = self.alloc.server_of(vm);
+                self.usage[server.index()].nic_bps += delta;
+                // A pair-rate change moves both endpoints' hosts' external
+                // loads (a no-op when they share a host, but harmless).
+                self.ext_load.invalidate(server.index());
             }
         }
     }
@@ -601,6 +702,7 @@ impl Cluster {
                 .iter()
                 .map(|u| self.server_spec.vm_slots.saturating_sub(u.slots)),
         );
+        self.ext_load.invalidate_all();
         Ok(())
     }
 
@@ -629,6 +731,7 @@ impl Cluster {
         for u in &mut self.usage {
             u.nic_bps = (u.nic_bps * factor).min(f64::MAX);
         }
+        self.ext_load.invalidate_all();
     }
 
     /// Whether `server` is up. Out-of-range ids are not up.
@@ -866,6 +969,55 @@ mod tests {
         assert_eq!(c.external_rate(VmId::new(0), ServerId::new(5)), 110.0);
         // vm0 contributes its (0,2) pair; vm1's only peer is on-host.
         assert_eq!(c.host_external_load(ServerId::new(0)), 10.0);
+    }
+
+    #[test]
+    fn ext_load_cache_matches_fresh_compute_after_each_mutator() {
+        // Warm every host's cache slot, mutate, then compare against a
+        // clone — clones start cold, so the clone recomputes from state.
+        fn warm(c: &Cluster) {
+            for s in 0..16 {
+                let _ = c.host_external_load(ServerId::new(s));
+            }
+        }
+        fn check(c: &Cluster) {
+            let cold = c.clone();
+            for s in 0..16 {
+                let sid = ServerId::new(s);
+                assert_eq!(
+                    c.host_external_load(sid).to_bits(),
+                    cold.host_external_load(sid).to_bits(),
+                    "stale cached load on server {s}"
+                );
+            }
+        }
+        let mut c = cluster(32, 16);
+        warm(&c);
+        c.migrate(VmId::new(0), ServerId::new(3), f64::INFINITY)
+            .unwrap();
+        check(&c);
+        warm(&c);
+        c.patch_traffic(&[(VmId::new(2), VmId::new(7), 0.0, 55.0)]);
+        check(&c);
+        warm(&c);
+        c.scale_traffic(1.5);
+        check(&c);
+        warm(&c);
+        let (vm, _) = c.place_vm(VmSpec::paper_default(), None).unwrap();
+        c.patch_traffic(&[(VmId::new(1), vm, 0.0, 10.0)]);
+        check(&c);
+        warm(&c);
+        c.remove_vm(vm).unwrap();
+        check(&c);
+        warm(&c);
+        let spread = Allocation::from_fn(c.num_vms(), 16, |v| ServerId::new((v.get() * 3) % 16));
+        c.set_allocation(spread).unwrap();
+        check(&c);
+        warm(&c);
+        let mut b = PairTrafficBuilder::new(c.num_vms());
+        b.add(VmId::new(4), VmId::new(9), 77.0);
+        c.rebind_traffic(&b.build()).unwrap();
+        check(&c);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use serde::{Deserialize, Serialize};
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::outlook::{OutlookContext, TrafficOutlook};
-use crate::view::LocalView;
+use crate::scratch::KernelScratch;
+use crate::view::{combine_bucketed, LocalView};
 
 /// Tunables of the S-CORE migration decision.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -172,7 +173,12 @@ impl ScoreEngine {
     /// `decision_view` carries forecasted rates — it then supplies the
     /// actual current-TM gain and the pre-emptive flag; `None` is the
     /// reactive path (scoring view *is* the current view, no copies).
-    fn decide_scored(
+    ///
+    /// This is the *reference* implementation: allocate the ranked
+    /// candidate list, then sweep `delta_for` per candidate. The hot
+    /// path is [`ScoreEngine::decide_scored_with`], which is pinned
+    /// bit-identical to this by proptest.
+    pub fn decide_scored(
         &self,
         decision_view: &LocalView,
         current: Option<&LocalView>,
@@ -199,6 +205,149 @@ impl ScoreEngine {
                 best = Some((target, delta));
             }
         }
+        self.finish_decision(best, evaluated, rejected, decision_view, current, cluster)
+    }
+
+    /// The single-pass level-bucketed kernel (§V-B5, restructured).
+    ///
+    /// The Lemma-3 delta decomposes as `2·(before − after(x̂))`:
+    /// `before = Σ_z λ(z,u)·prefix(ℓ(z,u))` is candidate-independent,
+    /// and on topologies exposing [`score_topology::LevelBuckets`] the
+    /// `after` term only depends on how much peer rate sits on the
+    /// candidate's host, rack and zone. So one pass over the peers
+    /// accumulates `before` plus per-host/rack/zone rate sums into the
+    /// epoch-stamped [`KernelScratch`], and each candidate is then
+    /// scored from ≤ L bucket reads — O(peers + candidates·L) instead
+    /// of O(peers·candidates) — with zero heap allocations.
+    ///
+    /// Per-bucket sums accumulate the same peer subsequences in the
+    /// same order as the decomposed `delta_for`, and both paths share
+    /// `combine_bucketed`, so the scores (and therefore
+    /// the decision) are bit-identical to [`ScoreEngine::decide_scored`].
+    /// Topologies without buckets fall back to the `delta_for` sweep,
+    /// still allocation-free.
+    pub fn decide_scored_with(
+        &self,
+        decision_view: &LocalView,
+        current: Option<&LocalView>,
+        cluster: &Cluster,
+        scratch: &mut KernelScratch,
+    ) -> MigrationDecision {
+        self.decide_scored_inner(decision_view, current, cluster, scratch, false)
+    }
+
+    /// [`ScoreEngine::decide_scored_with`] with the bucketed path forced
+    /// on (when the topology has buckets at all), bypassing the
+    /// candidate-count heuristic — for equivalence tests and benches.
+    #[doc(hidden)]
+    pub fn decide_scored_bucketed(
+        &self,
+        decision_view: &LocalView,
+        current: Option<&LocalView>,
+        cluster: &Cluster,
+        scratch: &mut KernelScratch,
+    ) -> MigrationDecision {
+        self.decide_scored_inner(decision_view, current, cluster, scratch, true)
+    }
+
+    fn decide_scored_inner(
+        &self,
+        decision_view: &LocalView,
+        current: Option<&LocalView>,
+        cluster: &Cluster,
+        scratch: &mut KernelScratch,
+        force_bucketed: bool,
+    ) -> MigrationDecision {
+        /// Minimum candidate count for the bucketed path. Below it the
+        /// per-candidate `delta_for` sweep is faster: accumulating into
+        /// the (large, mostly cold) per-host/rack/zone arrays costs a
+        /// cache miss or two per peer, which only amortizes once enough
+        /// candidates reuse the sums. The two paths score bit-identically,
+        /// so the cutoff is a pure latency knob — it can never change a
+        /// decision.
+        const KERNEL_MIN_CANDIDATES: usize = 12;
+        let topo = cluster.topo();
+        let mut candidates = std::mem::take(&mut scratch.candidates);
+        decision_view.rank_candidates_into(&mut candidates);
+        if let Some(cap) = self.config.max_candidates {
+            candidates.truncate(cap);
+        }
+        let weights = self.cost.weights();
+        let mut best: Option<(ServerId, f64)> = None;
+        let mut evaluated = 0;
+        let mut rejected = 0;
+        let buckets = topo
+            .level_buckets()
+            .filter(|_| force_bucketed || candidates.len() >= KERNEL_MIN_CANDIDATES);
+        if let Some(buckets) = buckets {
+            scratch.ensure_topology(topo);
+            scratch.begin();
+            let mut before = 0.0;
+            let mut total = 0.0;
+            for p in &decision_view.peers {
+                before += p.rate * weights.prefix(p.level);
+                let pc = topo.coords_of(p.server);
+                scratch.add_host(p.server, p.rate);
+                scratch.add_rack(pc.rack, p.rate);
+                scratch.add_zone(pc.zone, p.rate);
+                total += p.rate;
+            }
+            let max_level = topo.max_level();
+            for &(target, ..) in &candidates {
+                evaluated += 1;
+                if cluster
+                    .can_host(target, decision_view.vm, self.config.bandwidth_threshold)
+                    .is_err()
+                {
+                    rejected += 1;
+                    continue;
+                }
+                let tc = topo.coords_of(target);
+                let delta = combine_bucketed(
+                    before,
+                    scratch.host_sum(target),
+                    scratch.rack_sum(tc.rack),
+                    scratch.zone_sum(tc.zone),
+                    total,
+                    weights,
+                    buckets,
+                    max_level,
+                );
+                if delta > self.config.migration_cost && best.is_none_or(|(_, b)| delta > b) {
+                    best = Some((target, delta));
+                }
+            }
+        } else {
+            for &(target, ..) in &candidates {
+                evaluated += 1;
+                if cluster
+                    .can_host(target, decision_view.vm, self.config.bandwidth_threshold)
+                    .is_err()
+                {
+                    rejected += 1;
+                    continue;
+                }
+                let delta = decision_view.delta_for(target, weights, topo);
+                if delta > self.config.migration_cost && best.is_none_or(|(_, b)| delta > b) {
+                    best = Some((target, delta));
+                }
+            }
+        }
+        scratch.candidates = candidates;
+        self.finish_decision(best, evaluated, rejected, decision_view, current, cluster)
+    }
+
+    /// Shared tail of both decision paths: current-TM gain, pre-emptive
+    /// flag and the assembled [`MigrationDecision`].
+    fn finish_decision(
+        &self,
+        best: Option<(ServerId, f64)>,
+        evaluated: usize,
+        rejected: usize,
+        decision_view: &LocalView,
+        current: Option<&LocalView>,
+        cluster: &Cluster,
+    ) -> MigrationDecision {
         let (gain, preemptive) = match (best, current) {
             (Some((target, _)), Some(view)) => {
                 // The ledger needs the *actual* delta of the accepted

@@ -29,7 +29,10 @@
 //!   local view plus an optional short-horizon per-peer rate forecast
 //!   (reactive outlooks reproduce the paper pipeline bit for bit);
 //! * [`engine`] — the §V-B5 decision procedure (rank peers, probe
-//!   capacity, apply Theorem 1);
+//!   capacity, apply Theorem 1), including the single-pass
+//!   level-bucketed kernel;
+//! * [`scratch`] — [`DecisionScratch`]: reusable buffers so the
+//!   steady-state decision path performs zero heap allocations;
 //! * [`ring`] — iteration driver producing the paper's per-iteration
 //!   migration statistics.
 //!
@@ -84,6 +87,7 @@ pub mod outlook;
 pub mod policy;
 pub mod resources;
 pub mod ring;
+pub mod scratch;
 pub mod slotindex;
 pub mod token;
 pub mod view;
@@ -100,6 +104,7 @@ pub use policy::{
 };
 pub use resources::{AdmissionError, CapacityReport, ServerSpec, ServerUsage, VmSpec};
 pub use ring::{IterationStats, StepOutcome, TokenRing};
+pub use scratch::{DecisionScratch, KernelScratch};
 pub use slotindex::FreeSlotIndex;
 pub use token::{Token, TokenCodecError, TokenEntry};
 pub use view::{LocalView, PeerInfo};

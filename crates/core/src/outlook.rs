@@ -82,6 +82,13 @@ impl TrafficOutlook {
         self.view
     }
 
+    /// Consumes the outlook, returning its buffers — how the ring's
+    /// scratch reclaims the view (and predicted-rate slab) it lent to a
+    /// policy via an owned outlook.
+    pub fn into_parts(self) -> (LocalView, Option<Vec<f64>>) {
+        (self.view, self.predicted)
+    }
+
     /// The observing VM.
     pub fn vm(&self) -> VmId {
         self.view.vm
@@ -219,6 +226,25 @@ impl<'a> OutlookContext<'a> {
     /// The lookahead horizon (0 when reactive).
     pub fn horizon_s(&self) -> f64 {
         self.horizon_s
+    }
+
+    /// Fills `out` with the forecasted per-peer rates for `view`
+    /// (index-aligned), reusing the buffer. Returns `false` without
+    /// touching `out` when the context is reactive — the zero-alloc
+    /// form of [`OutlookContext::outlook_for`]'s prediction step.
+    pub fn predict_into(&self, view: &LocalView, out: &mut Vec<f64>) -> bool {
+        match self.forecaster {
+            Some(f) => {
+                out.clear();
+                out.extend(
+                    view.peers
+                        .iter()
+                        .map(|p| f.predict(view.vm, p.vm, self.now_s, self.horizon_s)),
+                );
+                true
+            }
+            None => false,
+        }
     }
 
     /// Wraps an observed view into the outlook the decision pipeline

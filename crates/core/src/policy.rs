@@ -42,6 +42,15 @@ pub trait TokenPolicy: fmt::Debug + Send {
     /// when a lost token is regenerated and the distributed state restarts
     /// from scratch. Stateless policies need not override this.
     fn reset(&mut self) {}
+
+    /// Builds any derived acceleration state for `token` ahead of the first
+    /// hold, so construction (not the steady-state decision path) pays the
+    /// one-time O(n) cost. Purely an optimisation hook: `next_holder` must
+    /// behave identically whether or not this was called. Stateless
+    /// policies need not override it.
+    fn prepare(&mut self, token: &Token) {
+        let _ = token;
+    }
 }
 
 impl<P: TokenPolicy + ?Sized> TokenPolicy for Box<P> {
@@ -60,6 +69,259 @@ impl<P: TokenPolicy + ?Sized> TokenPolicy for Box<P> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn prepare(&mut self, token: &Token) {
+        (**self).prepare(token)
+    }
+}
+
+/// A per-round "already checked" membership set, epoch-stamped so that
+/// clearing a round is O(1) (bump the epoch) and queries are a single
+/// indexed load — the policies sit on the steady-state decision path and
+/// must not hash or allocate per step (the backing vector only grows
+/// when the VM population does).
+#[derive(Debug, Clone)]
+struct CheckedSet {
+    /// Stamp meaning "checked this round". Entries with any other value
+    /// are unchecked.
+    epoch: u32,
+    /// vm id → epoch stamp of its last check.
+    mark: Vec<u32>,
+}
+
+impl Default for CheckedSet {
+    fn default() -> Self {
+        // Epoch 0 would make the zero-initialised marks read as checked.
+        CheckedSet {
+            epoch: 1,
+            mark: Vec::new(),
+        }
+    }
+}
+
+impl CheckedSet {
+    fn insert(&mut self, vm: VmId) {
+        let i = vm.index();
+        if self.mark.len() <= i {
+            self.mark.resize(i + 1, 0);
+        }
+        self.mark[i] = self.epoch;
+    }
+
+    fn contains(&self, vm: VmId) -> bool {
+        self.mark.get(vm.index()) == Some(&self.epoch)
+    }
+
+    fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+}
+
+/// A two-level bitset over VM ids: one bit per id plus a summary bit per
+/// 64-bit word, giving O(1)-ish `min`/successor queries (at most a
+/// couple of word scans through the summary) over populations of
+/// hundreds of thousands of VMs. Backing storage grows only when the id
+/// space does — steady-state operations never allocate.
+#[derive(Debug, Clone, Default)]
+struct IdBitSet {
+    words: Vec<u64>,
+    /// Bit `w` set iff `words[g*64 + w]` of group `g` is non-zero.
+    summary: Vec<u64>,
+}
+
+impl IdBitSet {
+    fn insert(&mut self, i: usize) {
+        let w = i / 64;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+            self.summary.resize((w + 1).div_ceil(64), 0);
+        }
+        self.words[w] |= 1 << (i % 64);
+        self.summary[w / 64] |= 1 << (w % 64);
+    }
+
+    /// Clears bit `i`; returns whether it was set.
+    fn remove(&mut self, i: usize) -> bool {
+        let w = i / 64;
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        let bit = 1u64 << (i % 64);
+        if *word & bit == 0 {
+            return false;
+        }
+        *word &= !bit;
+        if *word == 0 {
+            self.summary[w / 64] &= !(1 << (w % 64));
+        }
+        true
+    }
+
+    /// Recomputes the summary from scratch after a bulk word rewrite.
+    fn rebuild_summary(&mut self) {
+        self.summary.clear();
+        self.summary.resize(self.words.len().div_ceil(64), 0);
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                self.summary[w / 64] |= 1 << (w % 64);
+            }
+        }
+    }
+
+    /// Lowest set id ≥ `from`, if any.
+    fn succ_from(&self, from: usize) -> Option<usize> {
+        let mut w = from / 64;
+        if w >= self.words.len() {
+            return None;
+        }
+        let masked = self.words[w] & (!0u64 << (from % 64));
+        if masked != 0 {
+            return Some(w * 64 + masked.trailing_zeros() as usize);
+        }
+        // Next non-empty word via the summary.
+        let mut g = w / 64;
+        let gmask = if w % 64 == 63 {
+            0
+        } else {
+            !0u64 << (w % 64 + 1)
+        };
+        let mut bits = self.summary[g] & gmask;
+        loop {
+            if bits != 0 {
+                w = g * 64 + bits.trailing_zeros() as usize;
+                return Some(w * 64 + self.words[w].trailing_zeros() as usize);
+            }
+            g += 1;
+            if g >= self.summary.len() {
+                return None;
+            }
+            bits = self.summary[g];
+        }
+    }
+
+    fn min(&self) -> Option<usize> {
+        self.succ_from(0)
+    }
+}
+
+/// Per-level index of the *unchecked* token entries, mirroring
+/// `{(e.id, e.level) : e ∈ token, !checked(e.id)}` so the Algorithm-1
+/// scans ("first unchecked VM at level L after the holder", "lowest-id
+/// unchecked VM at level L", "best unchecked by level desc, id asc")
+/// answer in O(1)-ish instead of walking every token entry — at 200k
+/// VMs those walks were the single most expensive part of an HLF step.
+///
+/// The index is purely derived state: it is rebuilt from the token and
+/// the checked set whenever the token's membership [`Token::version`]
+/// (or length) changes under the policy's feet, and the policy keeps it
+/// in sync through every level update and check it performs itself.
+#[derive(Debug, Clone, Default)]
+struct UncheckedIndex {
+    built: bool,
+    token_version: u64,
+    token_len: usize,
+    /// One bitset per level value (index = `Level::get()`).
+    levels: Vec<IdBitSet>,
+}
+
+impl UncheckedIndex {
+    /// Rebuilds from scratch if the token changed membership since the
+    /// last sync (or the index was never built / invalidated).
+    fn sync(&mut self, token: &Token, checked: &CheckedSet) {
+        if self.built && self.token_version == token.version() && self.token_len == token.len() {
+            return;
+        }
+        // Bulk rebuild: size every level to the full id range up front, set
+        // raw word bits in one pass over the entries, then derive the
+        // summaries. Avoids per-insert growth and summary maintenance,
+        // which dominate when the token holds hundreds of thousands of VMs.
+        let max_level = token
+            .entries()
+            .iter()
+            .map(|e| e.level.get() as usize)
+            .max()
+            .unwrap_or(0);
+        let words = token.entries().last().map_or(0, |e| e.id.index() / 64 + 1);
+        if self.levels.len() <= max_level {
+            self.levels.resize_with(max_level + 1, IdBitSet::default);
+        }
+        for set in &mut self.levels {
+            set.words.clear();
+            set.words.resize(words, 0);
+        }
+        for e in token.entries() {
+            if !checked.contains(e.id) {
+                let i = e.id.index();
+                self.levels[e.level.get() as usize].words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        for set in &mut self.levels {
+            set.rebuild_summary();
+        }
+        self.built = true;
+        self.token_version = token.version();
+        self.token_len = token.len();
+    }
+
+    fn invalidate(&mut self) {
+        self.built = false;
+    }
+
+    fn insert(&mut self, vm: VmId, level: Level) {
+        let l = level.get() as usize;
+        if self.levels.len() <= l {
+            self.levels.resize_with(l + 1, IdBitSet::default);
+        }
+        self.levels[l].insert(vm.index());
+    }
+
+    /// Clears `vm` at `level`; returns whether it was present.
+    fn remove(&mut self, vm: VmId, level: Level) -> bool {
+        match self.levels.get_mut(level.get() as usize) {
+            Some(set) => set.remove(vm.index()),
+            None => false,
+        }
+    }
+
+    /// Re-levels `vm` — a no-op when it is checked (not present).
+    fn move_level(&mut self, vm: VmId, old: Level, new: Level) {
+        if old != new && self.remove(vm, old) {
+            self.insert(vm, new);
+        }
+    }
+
+    /// First unchecked VM at `level` with id > `from`, wrapping to the
+    /// lowest id — the cyclic Algorithm-1 scan (the holder itself is
+    /// checked by the time this runs, so no exclusion is needed).
+    fn cyclic_after(&self, from: VmId, level: Level) -> Option<VmId> {
+        let set = self.levels.get(level.get() as usize)?;
+        set.succ_from(from.index() + 1)
+            .or_else(|| set.min())
+            .map(|i| VmId::new(i as u32))
+    }
+
+    /// Lowest-id unchecked VM at `level`.
+    fn first_at(&self, level: Level) -> Option<VmId> {
+        self.levels
+            .get(level.get() as usize)?
+            .min()
+            .map(|i| VmId::new(i as u32))
+    }
+
+    /// Best unchecked VM by (level desc, id asc).
+    fn best(&self) -> Option<VmId> {
+        for set in self.levels.iter().rev() {
+            if let Some(i) = set.min() {
+                return Some(VmId::new(i as u32));
+            }
+        }
+        None
     }
 }
 
@@ -108,61 +370,16 @@ impl TokenPolicy for RoundRobin {
 /// inside the policy, which is equivalent for a single ring.
 #[derive(Debug, Clone, Default)]
 pub struct HighestLevelFirst {
-    checked: std::collections::HashSet<VmId>,
+    checked: CheckedSet,
+    /// Accelerates the Algorithm-1 scans; derived from `checked` + the
+    /// token, never authoritative.
+    index: UncheckedIndex,
 }
 
 impl HighestLevelFirst {
     /// Creates the policy.
     pub fn new() -> Self {
         HighestLevelFirst::default()
-    }
-
-    /// Finds the first *unchecked* VM (≠ `exclude`) at exactly `level`,
-    /// scanning ids cyclically starting *after* `from`.
-    fn scan_cyclic_after(
-        &self,
-        token: &Token,
-        from: VmId,
-        level: Level,
-        exclude: VmId,
-    ) -> Option<VmId> {
-        let entries = token.entries();
-        if entries.is_empty() {
-            return None;
-        }
-        let start = match entries.binary_search_by_key(&from, |e| e.id) {
-            Ok(i) => i + 1,
-            Err(i) => i,
-        };
-        let n = entries.len();
-        for off in 0..n {
-            let e = &entries[(start + off) % n];
-            if e.id != exclude && e.level == level && !self.checked.contains(&e.id) {
-                return Some(e.id);
-            }
-        }
-        None
-    }
-
-    /// Finds the lowest-id *unchecked* VM (≠ `exclude`) at exactly `level`
-    /// — the "start from the beginning (v0)" scan of Algorithm 1 lines
-    /// 13–14.
-    fn scan_from_first(&self, token: &Token, level: Level, exclude: VmId) -> Option<VmId> {
-        token
-            .entries()
-            .iter()
-            .find(|e| e.id != exclude && e.level == level && !self.checked.contains(&e.id))
-            .map(|e| e.id)
-    }
-
-    /// Best unchecked VM by (level desc, id asc), excluding `exclude`.
-    fn best_unchecked(&self, token: &Token, exclude: VmId) -> Option<VmId> {
-        token
-            .entries()
-            .iter()
-            .filter(|e| e.id != exclude && !self.checked.contains(&e.id))
-            .max_by(|a, b| a.level.cmp(&b.level).then(b.id.cmp(&a.id)))
-            .map(|e| e.id)
     }
 }
 
@@ -173,6 +390,12 @@ impl TokenPolicy for HighestLevelFirst {
 
     fn reset(&mut self) {
         self.checked.clear();
+        self.index.invalidate();
+    }
+
+    fn prepare(&mut self, token: &Token) {
+        self.index.invalidate();
+        self.index.sync(token, &self.checked);
     }
 
     fn next_holder(
@@ -182,25 +405,38 @@ impl TokenPolicy for HighestLevelFirst {
         outlook: &TrafficOutlook,
     ) -> Option<VmId> {
         let view = outlook.view();
+        self.index.sync(token, &self.checked);
         // Line 1 and the preceding text: the holder refreshes its own entry
         // (it knows ℓ_A(u) exactly) …
-        token.set_level(holder, view.own_level());
+        let own = view.own_level();
+        if let Some(old) = token.level_of(holder) {
+            token.set_level(holder, own);
+            self.index.move_level(holder, old, own);
+        }
         // … and lines 3–5: raises peer entries it has fresher knowledge of.
-        for (vm, level) in view.peer_levels() {
-            token.raise_level(vm, level);
+        for p in &view.peers {
+            let old = token.level_of(p.vm);
+            if token.raise_level(p.vm, p.level) {
+                let old = old.expect("raised entries are tracked");
+                self.index.move_level(p.vm, old, p.level);
+            }
         }
         // The holder has now been checked this round.
         self.checked.insert(holder);
+        if let Some(l) = token.level_of(holder) {
+            self.index.remove(holder, l);
+        }
 
         // Lines 6–14: search the holder's level starting after it, then
-        // lower levels starting from v0 — unchecked VMs only.
+        // lower levels starting from v0 — unchecked VMs only. The holder
+        // itself is checked (above), so the index never returns it.
         let cl0 = token.level_of(holder).unwrap_or(Level::ZERO);
         for cl in (0..=cl0.get()).rev() {
             let level = Level::new(cl);
             let found = if cl == cl0.get() {
-                self.scan_cyclic_after(token, holder, level, holder)
+                self.index.cyclic_after(holder, level)
             } else {
-                self.scan_from_first(token, level, holder)
+                self.index.first_at(level)
             };
             if let Some(z) = found {
                 return Some(z);
@@ -210,17 +446,23 @@ impl TokenPolicy for HighestLevelFirst {
         // Nothing unchecked at or below the holder's level; VMs whose
         // (possibly freshly raised) level exceeds the holder's may still be
         // unchecked — serve the highest of them first.
-        if let Some(z) = self.best_unchecked(token, holder) {
+        if let Some(z) = self.index.best() {
             return Some(z);
         }
 
         // Lines 15–16: no unchecked VMs are left — the round is over.
         // Restart from the highest-level VM with the lowest ID; if that is
         // the holder itself, fall back to its round-robin successor.
+        // O(token) once per round; the index rebuilds on the next call.
         self.checked.clear();
-        let (_, ids) = token.max_level_entries()?;
-        if let Some(z) = ids.into_iter().find(|&z| z != holder) {
-            return Some(z);
+        self.index.invalidate();
+        let max = token.entries().iter().map(|e| e.level).max()?;
+        if let Some(e) = token
+            .entries()
+            .iter()
+            .find(|e| e.level == max && e.id != holder)
+        {
+            return Some(e.id);
         }
         token.next_after(holder).filter(|&z| z != holder)
     }
@@ -237,7 +479,7 @@ impl TokenPolicy for HighestLevelFirst {
 #[derive(Debug, Clone, Default)]
 struct CostFirstCore {
     estimates: std::collections::HashMap<VmId, f64>,
-    checked: std::collections::HashSet<VmId>,
+    checked: CheckedSet,
 }
 
 impl CostFirstCore {
@@ -256,7 +498,7 @@ impl CostFirstCore {
     fn best_unchecked(&self, token: &Token, exclude: VmId) -> Option<VmId> {
         let mut best: Option<(f64, VmId)> = None;
         for e in token.entries() {
-            if e.id == exclude || self.checked.contains(&e.id) {
+            if e.id == exclude || self.checked.contains(e.id) {
                 continue;
             }
             let est = self.estimate(e.id);
@@ -301,8 +543,8 @@ impl CostFirstCore {
         }
         // Keep the token's level entries fresh too (interoperable state).
         token.set_level(holder, view.own_level());
-        for (vm, level) in view.peer_levels() {
-            token.raise_level(vm, level);
+        for p in &view.peers {
+            token.raise_level(p.vm, p.level);
         }
         self.checked.insert(holder);
 
@@ -458,16 +700,22 @@ impl TokenPolicy for RandomNext {
         _outlook: &TrafficOutlook,
     ) -> Option<VmId> {
         let entries = token.entries();
-        let others: Vec<VmId> = entries
-            .iter()
-            .map(|e| e.id)
-            .filter(|&id| id != holder)
-            .collect();
-        if others.is_empty() {
-            None
-        } else {
-            Some(others[self.rng.gen_range(0..others.len())])
+        // Index-walk formulation of "uniform pick among ids ≠ holder":
+        // sample k in the skip-holder index space, then map it back onto
+        // the entry array. Draws the same `gen_range` bound as collecting
+        // the others into a vector would, so picks are bit-identical to
+        // the allocating formulation this replaces.
+        let holder_pos = entries.binary_search_by_key(&holder, |e| e.id);
+        let others = entries.len() - usize::from(holder_pos.is_ok());
+        if others == 0 {
+            return None;
         }
+        let k = self.rng.gen_range(0..others);
+        let idx = match holder_pos {
+            Ok(h) if k >= h => k + 1,
+            _ => k,
+        };
+        Some(entries[idx].id)
     }
 }
 
@@ -755,5 +1003,143 @@ mod tests {
             peers: vec![],
         };
         assert_eq!(hcf.next_holder(&mut token, VmId::new(3), &o(&view)), None);
+    }
+
+    /// The pre-index HLF scans, kept verbatim as a reference oracle for
+    /// [`hlf_index_matches_reference_scans`].
+    #[derive(Default)]
+    struct RefHlf {
+        checked: std::collections::HashSet<VmId>,
+    }
+
+    impl RefHlf {
+        fn next_holder(
+            &mut self,
+            token: &mut Token,
+            holder: VmId,
+            outlook: &TrafficOutlook,
+        ) -> Option<VmId> {
+            let view = outlook.view();
+            token.set_level(holder, view.own_level());
+            for p in &view.peers {
+                token.raise_level(p.vm, p.level);
+            }
+            self.checked.insert(holder);
+            let scan_cyclic = |checked: &std::collections::HashSet<VmId>,
+                               token: &Token,
+                               from: VmId,
+                               level: Level| {
+                let entries = token.entries();
+                if entries.is_empty() {
+                    return None;
+                }
+                let start = match entries.binary_search_by_key(&from, |e| e.id) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let n = entries.len();
+                (0..n)
+                    .map(|off| &entries[(start + off) % n])
+                    .find(|e| e.id != holder && e.level == level && !checked.contains(&e.id))
+                    .map(|e| e.id)
+            };
+            let cl0 = token.level_of(holder).unwrap_or(Level::ZERO);
+            for cl in (0..=cl0.get()).rev() {
+                let level = Level::new(cl);
+                let found = if cl == cl0.get() {
+                    scan_cyclic(&self.checked, token, holder, level)
+                } else {
+                    token
+                        .entries()
+                        .iter()
+                        .find(|e| {
+                            e.id != holder && e.level == level && !self.checked.contains(&e.id)
+                        })
+                        .map(|e| e.id)
+                };
+                if let Some(z) = found {
+                    return Some(z);
+                }
+            }
+            if let Some(z) = token
+                .entries()
+                .iter()
+                .filter(|e| e.id != holder && !self.checked.contains(&e.id))
+                .max_by(|a, b| a.level.cmp(&b.level).then(b.id.cmp(&a.id)))
+                .map(|e| e.id)
+            {
+                return Some(z);
+            }
+            self.checked.clear();
+            let max = token.entries().iter().map(|e| e.level).max()?;
+            if let Some(e) = token
+                .entries()
+                .iter()
+                .find(|e| e.level == max && e.id != holder)
+            {
+                return Some(e.id);
+            }
+            token.next_after(holder).filter(|&z| z != holder)
+        }
+    }
+
+    /// Drives the bitset-indexed `HighestLevelFirst` and the reference
+    /// linear-scan formulation through the same pseudo-random sequence of
+    /// views, membership churn and resets, asserting identical holder
+    /// sequences and token states throughout.
+    #[test]
+    fn hlf_index_matches_reference_scans() {
+        let mut rng_state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        let ids: Vec<VmId> = (0..40).map(VmId::new).collect();
+        let mut token_a = Token::for_vms(ids.iter().copied());
+        let mut token_b = token_a.clone();
+        let mut hlf = HighestLevelFirst::new();
+        hlf.prepare(&token_a);
+        let mut reference = RefHlf::default();
+        let mut holder = token_a.first().expect("non-empty");
+        for step in 0..4000 {
+            let r = next();
+            match r % 23 {
+                0 => {
+                    // Membership churn, policy state preserved — mirrors
+                    // TokenRing::{add_vm,remove_vm}, which do not reset.
+                    let vm = VmId::new((r >> 8) as u32 % 48);
+                    if r & 0x100000 == 0 {
+                        assert_eq!(token_a.add_vm(vm), token_b.add_vm(vm));
+                    } else if vm != holder {
+                        assert_eq!(token_a.remove_vm(vm), token_b.remove_vm(vm));
+                    }
+                }
+                1 => {
+                    // Token regeneration path: both sides reset.
+                    hlf.reset();
+                    reference.checked.clear();
+                }
+                _ => {}
+            }
+            let own = Level::new((r >> 16) as u8 % 5);
+            let peers = (0..(r >> 24) % 4)
+                .map(|_| {
+                    let p = next();
+                    (VmId::new((p % 48) as u32), Level::new((p >> 8) as u8 % 5))
+                })
+                .filter(|(v, _)| *v != holder)
+                .collect::<Vec<_>>();
+            let view = view_with_level(holder, own, peers);
+            let a = hlf.next_holder(&mut token_a, holder, &o(&view));
+            let b = reference.next_holder(&mut token_b, holder, &o(&view));
+            assert_eq!(a, b, "divergence at step {step} (holder {holder:?})");
+            assert_eq!(token_a, token_b, "token divergence at step {step}");
+            match a {
+                Some(h) => holder = h,
+                None => break,
+            }
+        }
     }
 }

@@ -15,10 +15,10 @@ use std::sync::Arc;
 use crate::cluster::Cluster;
 use crate::engine::{MigrationDecision, ScoreEngine};
 use crate::ledger::CostLedger;
-use crate::outlook::OutlookContext;
+use crate::outlook::{OutlookContext, TrafficOutlook};
 use crate::policy::TokenPolicy;
+use crate::scratch::DecisionScratch;
 use crate::token::Token;
-use crate::view::LocalView;
 
 /// Outcome of one token-holder step.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -76,6 +76,10 @@ pub struct TokenRing {
     token: Token,
     holder: Option<VmId>,
     obs: Option<RingObs>,
+    /// Per-ring decision buffers: a ring is single-threaded, so owning
+    /// the scratch here gives `Session`, the daemon's tenant engines and
+    /// every `MatrixRunner` cell a private scratch for free.
+    scratch: DecisionScratch,
 }
 
 /// Pre-resolved instruments for the decision hot path, built once at
@@ -125,15 +129,18 @@ impl TokenRing {
     }
 
     /// Creates a ring from an already-boxed policy (runtime selection).
-    pub fn with_boxed(engine: ScoreEngine, policy: Box<dyn TokenPolicy>, num_vms: u32) -> Self {
+    pub fn with_boxed(engine: ScoreEngine, mut policy: Box<dyn TokenPolicy>, num_vms: u32) -> Self {
         let token = Token::for_vms((0..num_vms).map(VmId::new));
         let holder = token.first();
+        // One-time index builds happen here, not inside the first hold.
+        policy.prepare(&token);
         TokenRing {
             engine,
             policy,
             token,
             holder,
             obs: None,
+            scratch: DecisionScratch::new(),
         }
     }
 
@@ -287,6 +294,7 @@ impl TokenRing {
         let members: Vec<VmId> = self.token.entries().iter().map(|e| e.id).collect();
         self.token = Token::for_vms(members);
         self.policy.reset();
+        self.policy.prepare(&self.token);
         self.holder = self.token.first();
     }
 
@@ -316,15 +324,70 @@ impl TokenRing {
     ) -> Option<StepOutcome> {
         let holder = self.holder?;
         let sw = self.obs.as_ref().map(|o| o.handle.stopwatch());
-        let (decision, pre_outlook) = self.engine.step_outlook(holder, cluster, traffic, ctx);
+        let scratch = &mut self.scratch;
+        scratch
+            .view
+            .observe_into(holder, cluster.allocation(), traffic, cluster.topo());
+        let source = scratch.view.server;
+        // Decide via the single-pass bucketed kernel on scratch buffers —
+        // bit-identical to `ScoreEngine::step_outlook`, without its
+        // allocations. A forecasting context re-rates the scoring view to
+        // the peak-demand envelope first (`TrafficOutlook::expected_rate`).
+        let decision = if ctx.predict_into(&scratch.view, &mut scratch.predicted) {
+            for (slot, p) in scratch.predicted.iter_mut().zip(&scratch.view.peers) {
+                *slot = slot.max(p.rate);
+            }
+            scratch
+                .decision_view
+                .assign_with_rates(&scratch.view, &scratch.predicted);
+            self.engine.decide_scored_with(
+                &scratch.decision_view,
+                Some(&scratch.view),
+                cluster,
+                &mut scratch.kernel,
+            )
+        } else {
+            self.engine
+                .decide_scored_with(&scratch.view, None, cluster, &mut scratch.kernel)
+        };
+        if let Some(target) = decision.target {
+            cluster
+                .migrate(holder, target, self.engine.config().bandwidth_threshold)
+                .expect("the kernel validated admission for the chosen target");
+        }
         // The policy sees the *post-migration* state: if the holder moved,
-        // its levels (and those of its peers) changed.
-        let post_view = LocalView::observe(holder, cluster.allocation(), traffic, cluster.topo());
-        let post_outlook = ctx.outlook_for(post_view);
+        // its levels (and those of its peers) changed — otherwise the
+        // pre-migration view is still exact and is reused as-is. The view
+        // (and any predicted-rate slab) is lent to the policy inside an
+        // owned outlook and reclaimed from its parts afterwards.
+        let migrated = decision.migrates();
+        let post_view = if migrated {
+            scratch
+                .post_view
+                .observe_into(holder, cluster.allocation(), traffic, cluster.topo());
+            std::mem::take(&mut scratch.post_view)
+        } else {
+            std::mem::take(&mut scratch.view)
+        };
+        let post_outlook = if ctx.predict_into(&post_view, &mut scratch.predicted) {
+            let predicted = std::mem::take(&mut scratch.predicted);
+            TrafficOutlook::with_forecast(post_view, predicted, ctx.horizon_s())
+        } else {
+            TrafficOutlook::reactive(post_view)
+        };
         let next = self
             .policy
             .next_holder(&mut self.token, holder, &post_outlook);
         self.holder = next;
+        let (post_view, predicted) = post_outlook.into_parts();
+        if migrated {
+            scratch.post_view = post_view;
+        } else {
+            scratch.view = post_view;
+        }
+        if let Some(predicted) = predicted {
+            scratch.predicted = predicted;
+        }
         if let Some(o) = &self.obs {
             o.hops.inc();
             if let Some(ns) = sw.and_then(|s| s.elapsed_ns()) {
@@ -349,7 +412,7 @@ impl TokenRing {
         }
         Some(StepOutcome {
             holder,
-            source: pre_outlook.view().server,
+            source,
             decision,
             next,
         })

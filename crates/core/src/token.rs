@@ -71,10 +71,57 @@ impl std::error::Error for TokenCodecError {}
 /// let decoded = Token::decode(&bytes).unwrap();
 /// assert_eq!(decoded.level_of(VmId::new(2)), Some(Level::CORE));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Token {
     entries: Vec<TokenEntry>,
+    /// Direct map from VM id to entry index ([`NO_POS`] for untracked
+    /// ids), so the per-step entry lookups (`set_level`, `raise_level`,
+    /// `level_of`, `next_after`) are O(1) instead of binary searches.
+    /// Rebuilt on membership changes (and on decode/deserialize);
+    /// lookups fall back to binary search if the map is ever absent.
+    pos: Vec<u32>,
+    /// Bumped by every membership change (`add_vm`/`remove_vm`), so
+    /// policies keeping derived indexes over the entries can detect
+    /// churn they were not told about and rebuild. Not part of token
+    /// identity or the wire format.
+    version: u64,
 }
+
+/// Sentinel in [`Token::pos`] for ids without an entry.
+const NO_POS: u32 = u32::MAX;
+
+// Manual impls so the derived wire shape stays exactly what the
+// entries-only struct produced — the position map is derived state and
+// must not leak into persisted tokens.
+impl Serialize for Token {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("entries".to_string(), self.entries.to_value())])
+    }
+}
+
+impl Deserialize for Token {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .get("entries")
+            .ok_or_else(|| serde::Error::custom("Token: missing field `entries`"))?;
+        let mut token = Token {
+            entries: Vec::<TokenEntry>::from_value(entries)?,
+            pos: Vec::new(),
+            version: 0,
+        };
+        token.rebuild_pos();
+        Ok(token)
+    }
+}
+
+impl PartialEq for Token {
+    fn eq(&self, other: &Self) -> bool {
+        // The position map is derived state; token identity is the entries.
+        self.entries == other.entries
+    }
+}
+
+impl Eq for Token {}
 
 impl Token {
     /// Bytes per entry on the wire: a 32-bit id plus an 8-bit level.
@@ -87,7 +134,7 @@ impl Token {
         let mut ids: Vec<VmId> = vms.into_iter().collect();
         ids.sort_unstable();
         ids.dedup();
-        Token {
+        let mut token = Token {
             entries: ids
                 .into_iter()
                 .map(|id| TokenEntry {
@@ -95,6 +142,28 @@ impl Token {
                     level: Level::ZERO,
                 })
                 .collect(),
+            pos: Vec::new(),
+            version: 0,
+        };
+        token.rebuild_pos();
+        token
+    }
+
+    /// Membership-change counter: two reads returning the same value from
+    /// the same `Token` instance guarantee no `add_vm`/`remove_vm`
+    /// happened in between. Derived-index owners (e.g. the HLF policy)
+    /// use this to detect churn without scanning the entries.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Rebuilds the id→index map from the (sorted) entries.
+    fn rebuild_pos(&mut self) {
+        let len = self.entries.last().map_or(0, |e| e.id.index() + 1);
+        self.pos.clear();
+        self.pos.resize(len, NO_POS);
+        for (i, e) in self.entries.iter().enumerate() {
+            self.pos[e.id.index()] = i as u32;
         }
     }
 
@@ -119,7 +188,18 @@ impl Token {
     }
 
     fn position(&self, vm: VmId) -> Result<usize, usize> {
-        self.entries.binary_search_by_key(&vm, |e| e.id)
+        match self.entries.last() {
+            // The map is valid only when sized to cover the highest id
+            // (a deserialized token arrives with it empty).
+            Some(last) if self.pos.len() == last.id.index() + 1 => {
+                match self.pos.get(vm.index()).copied() {
+                    Some(i) if i != NO_POS => Ok(i as usize),
+                    // Untracked id: callers still need the insertion index.
+                    _ => Err(self.entries.partition_point(|e| e.id < vm)),
+                }
+            }
+            _ => self.entries.binary_search_by_key(&vm, |e| e.id),
+        }
     }
 
     /// True if the token tracks `vm`.
@@ -187,6 +267,8 @@ impl Token {
                         level: Level::ZERO,
                     },
                 );
+                self.rebuild_pos();
+                self.version += 1;
                 true
             }
         }
@@ -198,6 +280,8 @@ impl Token {
         match self.position(vm) {
             Ok(i) => {
                 self.entries.remove(i);
+                self.rebuild_pos();
+                self.version += 1;
                 true
             }
             Err(_) => false,
@@ -254,7 +338,13 @@ impl Token {
                 level: Level::new(level),
             });
         }
-        Ok(Token { entries })
+        let mut token = Token {
+            entries,
+            pos: Vec::new(),
+            version: 0,
+        };
+        token.rebuild_pos();
+        Ok(token)
     }
 
     /// Wire size in bytes.
@@ -361,6 +451,24 @@ mod tests {
         assert!(t.remove_vm(VmId::new(4)));
         assert!(!t.remove_vm(VmId::new(4)));
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn lookups_fall_back_without_pos_map() {
+        // A serde-deserialized token arrives with an empty position map;
+        // every lookup must still work (via binary search).
+        let mut t = token();
+        t.pos.clear();
+        assert_eq!(t.level_of(VmId::new(3)), Some(Level::ZERO));
+        assert!(t.set_level(VmId::new(5), Level::CORE));
+        assert_eq!(t.level_of(VmId::new(5)), Some(Level::CORE));
+        assert_eq!(t.next_after(VmId::new(7)), Some(VmId::new(1)));
+        assert!(!t.contains(VmId::new(2)));
+        // A membership change rebuilds the map.
+        assert!(t.add_vm(VmId::new(2)));
+        assert_eq!(t.pos.len(), 8);
+        assert_eq!(t.next_after(VmId::new(1)), Some(VmId::new(2)));
+        assert_eq!(t.level_of(VmId::new(5)), Some(Level::CORE));
     }
 
     #[test]

@@ -75,7 +75,11 @@ proptest! {
         let view = LocalView::observe(u, &alloc, &traffic, &topo);
         let local = view.delta_for(t, model.weights(), &topo);
         let global = model.migration_delta(u, t, &alloc, &traffic, &topo);
-        prop_assert!((local - global).abs() < 1e-9);
+        // Tolerance is relative to the traffic magnitude: the bucketed
+        // delta_for evaluates the same sum in decomposed order, so the two
+        // agree to FP rounding of the summed terms, not absolutely.
+        prop_assert!((local - global).abs() < 1e-9 * view.total_rate().max(1.0),
+            "local {} vs global {}", local, global);
     }
 
     #[test]

@@ -31,6 +31,56 @@ impl RouteShare {
     }
 }
 
+/// O(1) hierarchical coordinates of one server: its rack and its zone
+/// (see [`Topology::num_zones`]). Two servers' communication level is a
+/// pure function of how their coordinates relate whenever the topology
+/// publishes [`Topology::level_buckets`] — which is what lets the
+/// decision kernel score a candidate from per-rack/per-zone rate
+/// aggregates instead of per-pair [`Topology::level`] calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCoords {
+    /// The server's rack.
+    pub rack: u32,
+    /// The server's zone (aggregation group / pod).
+    pub zone: u32,
+}
+
+/// The communication levels a coordinate relationship maps to, for
+/// topologies whose `level(a, b)` is a pure function of *how* the
+/// coordinates of `a` and `b` relate (same server / same rack / same
+/// zone / different zone).
+///
+/// `level(a, b)` must equal, for every pair `a != b`:
+///
+/// - `same_rack` when `rack(a) == rack(b)`,
+/// - `same_zone` when the racks differ but `zone(a) == zone(b)`,
+/// - `remote` when the zones differ
+///
+/// (and `Level::ZERO` when `a == b`). The contract is validated by
+/// [`checks::assert_level_buckets_consistent`]. Topologies where levels
+/// depend on more than these three relationships must not publish
+/// buckets (return `None` from [`Topology::level_buckets`]) so scoring
+/// falls back to per-pair `level()` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelBuckets {
+    /// Level of two distinct servers in one rack.
+    pub same_rack: Level,
+    /// Level of two servers in different racks of one zone.
+    pub same_zone: Level,
+    /// Level of two servers in different zones.
+    pub remote: Level,
+}
+
+impl LevelBuckets {
+    /// The three-layer mapping shared by the canonical tree and the
+    /// fat-tree: rack / aggregation / core.
+    pub const THREE_LAYER: LevelBuckets = LevelBuckets {
+        same_rack: Level::RACK,
+        same_zone: Level::AGGREGATION,
+        remote: Level::CORE,
+    };
+}
+
 /// A layered data-center topology.
 ///
 /// Implementations provide closed-form hop counts (validated against BFS on
@@ -133,6 +183,36 @@ pub trait Topology: fmt::Debug + Send + Sync {
         self.zone_of_rack(self.rack_of(s))
     }
 
+    /// O(1) hierarchical coordinates of a server (its rack and zone).
+    ///
+    /// The default derives them from [`Topology::rack_of`] and
+    /// [`Topology::zone_of_rack`]; implementations with closed-form
+    /// integer layouts override this with pure arithmetic so the
+    /// decision hot path never pays two virtual calls per peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    fn coords_of(&self, s: ServerId) -> ServerCoords {
+        let rack = self.rack_of(s);
+        ServerCoords {
+            rack: rack.get(),
+            zone: self.zone_of_rack(rack),
+        }
+    }
+
+    /// The coordinate-relationship → level mapping, when levels are a
+    /// pure function of server coordinates (see [`LevelBuckets`]).
+    ///
+    /// Returning `Some` is a *contract*: for every server pair the
+    /// mapping must reproduce [`Topology::level`] exactly (validated by
+    /// [`checks::assert_level_buckets_consistent`]). The default is
+    /// `None`, which makes level-bucketed consumers fall back to
+    /// per-pair `level()` calls — always correct, never required.
+    fn level_buckets(&self) -> Option<LevelBuckets> {
+        None
+    }
+
     /// Iterator over all server ids.
     fn servers(&self) -> Box<dyn Iterator<Item = ServerId> + '_> {
         Box::new((0..self.num_servers() as u32).map(ServerId::new))
@@ -165,6 +245,43 @@ pub mod checks {
             closed,
             bfs,
             "closed-form hops {closed} != BFS hops {bfs} for {a} -> {b} on {}",
+            topo.name()
+        );
+    }
+
+    /// Asserts the [`LevelBuckets`] contract for one pair: the level
+    /// derived from the servers' coordinates equals the closed-form
+    /// `level(a, b)`, and `coords_of` agrees with `rack_of` /
+    /// `zone_of`. A topology publishing no buckets passes vacuously.
+    pub fn assert_level_buckets_consistent<T: Topology + ?Sized>(
+        topo: &T,
+        a: ServerId,
+        b: ServerId,
+    ) {
+        let ca = topo.coords_of(a);
+        assert_eq!(
+            ca.rack,
+            topo.rack_of(a).get(),
+            "coords rack mismatch for {a}"
+        );
+        assert_eq!(ca.zone, topo.zone_of(a), "coords zone mismatch for {a}");
+        let Some(buckets) = topo.level_buckets() else {
+            return;
+        };
+        let cb = topo.coords_of(b);
+        let derived = if a == b {
+            Level::ZERO
+        } else if ca.rack == cb.rack {
+            buckets.same_rack
+        } else if ca.zone == cb.zone {
+            buckets.same_zone
+        } else {
+            buckets.remote
+        };
+        assert_eq!(
+            derived,
+            topo.level(a, b),
+            "bucket-derived level disagrees with level({a}, {b}) on {}",
             topo.name()
         );
     }
@@ -221,5 +338,23 @@ mod tests {
         let s = RouteShare::new(LinkId::new(3), 0.5);
         assert_eq!(s.link, LinkId::new(3));
         assert_eq!(s.fraction, 0.5);
+    }
+
+    #[test]
+    fn default_coords_derive_from_rack_and_zone() {
+        let t = crate::tree::CanonicalTree::small();
+        for s in t.servers() {
+            let c = t.coords_of(s);
+            assert_eq!(c.rack, t.rack_of(s).get());
+            assert_eq!(c.zone, t.zone_of(s));
+        }
+    }
+
+    #[test]
+    fn three_layer_buckets_constants() {
+        let b = LevelBuckets::THREE_LAYER;
+        assert_eq!(b.same_rack, Level::RACK);
+        assert_eq!(b.same_zone, Level::AGGREGATION);
+        assert_eq!(b.remote, Level::CORE);
     }
 }

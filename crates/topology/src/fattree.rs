@@ -14,7 +14,7 @@
 //! "Racks" map to edge switches: `RackId` identifies an edge switch and its
 //! `k/2` attached hosts.
 
-use crate::api::{RouteShare, Topology};
+use crate::api::{LevelBuckets, RouteShare, ServerCoords, Topology};
 use crate::graph::{NetGraph, NodeKind};
 use crate::ids::{Level, LinkId, NodeId, PodId, RackId, ServerId};
 use crate::tree::{BuildError, LinkCapacities};
@@ -275,6 +275,20 @@ impl Topology for FatTree {
         6
     }
 
+    fn coords_of(&self, s: ServerId) -> ServerCoords {
+        self.assert_server(s);
+        let half = self.half();
+        let rack = s.get() / half;
+        ServerCoords {
+            rack,
+            zone: rack / half,
+        }
+    }
+
+    fn level_buckets(&self) -> Option<LevelBuckets> {
+        Some(LevelBuckets::THREE_LAYER)
+    }
+
     fn max_level(&self) -> Level {
         Level::CORE
     }
@@ -436,6 +450,16 @@ mod tests {
     fn out_of_range_server_panics() {
         let t = FatTree::small();
         let _ = t.hops(ServerId::new(0), ServerId::new(16));
+    }
+
+    #[test]
+    fn level_buckets_agree_with_pairwise_levels() {
+        let t = FatTree::small();
+        for a in 0..t.num_servers() as u32 {
+            for b in 0..t.num_servers() as u32 {
+                checks::assert_level_buckets_consistent(&t, ServerId::new(a), ServerId::new(b));
+            }
+        }
     }
 
     #[test]

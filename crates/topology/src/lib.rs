@@ -45,7 +45,7 @@ pub mod star;
 pub mod tree;
 pub mod weights;
 
-pub use api::{checks, RouteShare, Topology};
+pub use api::{checks, LevelBuckets, RouteShare, ServerCoords, Topology};
 pub use fattree::{FatTree, FatTreeBuilder};
 pub use graph::{Link, NetGraph, Node, NodeKind};
 pub use ids::{Level, LinkId, NodeId, PodId, RackId, ServerId, VmId};

@@ -6,7 +6,7 @@
 //! weight `c1`. Also a minimal example of implementing [`Topology`] outside
 //! the built-in tree families.
 
-use crate::api::{RouteShare, Topology};
+use crate::api::{LevelBuckets, RouteShare, Topology};
 use crate::graph::{NetGraph, NodeKind};
 use crate::ids::{Level, LinkId, NodeId, RackId, ServerId};
 use std::ops::Range;
@@ -81,6 +81,18 @@ impl Topology for StarTopology {
         Level::RACK
     }
 
+    fn level_buckets(&self) -> Option<LevelBuckets> {
+        // Singleton racks in one zone: distinct servers always differ in
+        // rack but share the zone, at hub (RACK) level. The same_rack and
+        // remote buckets are unpopulated; any level satisfies the
+        // contract vacuously, RACK keeps them meaningful.
+        Some(LevelBuckets {
+            same_rack: Level::RACK,
+            same_zone: Level::RACK,
+            remote: Level::RACK,
+        })
+    }
+
     fn graph(&self) -> &NetGraph {
         &self.graph
     }
@@ -121,6 +133,16 @@ mod tests {
             for b in 0..5 {
                 checks::assert_hops_match_bfs(&t, ServerId::new(a), ServerId::new(b));
                 checks::assert_route_shares_sane(&t, ServerId::new(a), ServerId::new(b));
+            }
+        }
+    }
+
+    #[test]
+    fn level_buckets_agree_with_pairwise_levels() {
+        let t = StarTopology::new(6, 1e9);
+        for a in 0..6 {
+            for b in 0..6 {
+                checks::assert_level_buckets_consistent(&t, ServerId::new(a), ServerId::new(b));
             }
         }
     }

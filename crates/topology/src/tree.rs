@@ -9,7 +9,7 @@
 //! Levels: collocated VMs are level 0, intra-rack pairs level 1, pairs under
 //! the same aggregation switch level 2, and everything else level 3 (core).
 
-use crate::api::{RouteShare, Topology};
+use crate::api::{LevelBuckets, RouteShare, ServerCoords, Topology};
 use crate::graph::{NetGraph, NodeKind};
 use crate::ids::{Level, LinkId, NodeId, RackId, ServerId};
 use serde::{Deserialize, Serialize};
@@ -385,6 +385,19 @@ impl Topology for CanonicalTree {
         6
     }
 
+    fn coords_of(&self, s: ServerId) -> ServerCoords {
+        self.assert_server(s);
+        let rack = s.get() / self.hosts_per_rack;
+        ServerCoords {
+            rack,
+            zone: rack / self.racks_per_agg,
+        }
+    }
+
+    fn level_buckets(&self) -> Option<LevelBuckets> {
+        Some(LevelBuckets::THREE_LAYER)
+    }
+
     fn max_level(&self) -> Level {
         if self.num_aggs() > 1 {
             Level::CORE
@@ -578,6 +591,16 @@ mod tests {
         assert_eq!(t.agg_of_rack(RackId::new(1)), 0);
         assert_eq!(t.agg_of_rack(RackId::new(2)), 1);
         assert_eq!(t.agg_of_rack(RackId::new(3)), 1);
+    }
+
+    #[test]
+    fn level_buckets_agree_with_pairwise_levels() {
+        let t = CanonicalTree::small();
+        for a in 0..t.num_servers() as u32 {
+            for b in 0..t.num_servers() as u32 {
+                checks::assert_level_buckets_consistent(&t, ServerId::new(a), ServerId::new(b));
+            }
+        }
     }
 
     #[test]
